@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the critical-path simulator itself: DAG
+//! construction and unbounded/bounded scheduling for the grid sizes used in
+//! the paper's Tables 4–5 (up to 128 × 128 tiles), plus the dynamic Asap
+//! co-simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::dag::TaskDag;
+use tileqr_core::sim::{simulate_asap, simulate_bounded, simulate_unbounded};
+use tileqr_core::KernelFamily;
+
+fn bench_dag_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_build_greedy_tt");
+    for &(p, q) in &[(40usize, 40usize), (64, 32), (128, 16)] {
+        let list = Algorithm::Greedy.elimination_list(p, q);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &list, |b, list| {
+            b.iter(|| TaskDag::build(list, KernelFamily::TT));
+        });
+    }
+    group.finish();
+}
+
+fn bench_unbounded_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_unbounded");
+    for &(p, q) in &[(40usize, 40usize), (128, 32)] {
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &dag, |b, dag| {
+            b.iter(|| simulate_unbounded(dag));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_schedule(c: &mut Criterion) {
+    let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(40, 20), KernelFamily::TT);
+    let mut group = c.benchmark_group("simulate_bounded_40x20");
+    for procs in [8usize, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
+            b.iter(|| simulate_bounded(&dag, procs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_asap_cosimulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_asap");
+    for &(p, q) in &[(32usize, 16usize), (64, 32)] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &(p, q), |b, &(p, q)| {
+            b.iter(|| simulate_asap(p, q));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dag_build, bench_unbounded_schedule, bench_bounded_schedule, bench_asap_cosimulation
+}
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Criterion benchmarks of the six sequential tile kernels plus the GEMM
+//! reference — the statistical counterpart of the paper's Figures 4–5
+//! (kernel performance as a function of the tile size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tileqr_kernels::blas::gemm_acc;
+use tileqr_kernels::flops::{gemm_flops, KernelKind};
+use tileqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
+use tileqr_matrix::generate::random_matrix;
+use tileqr_matrix::{Complex64, Matrix};
+
+const TILE_SIZES: [usize; 3] = [32, 64, 96];
+
+fn bench_factor_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor_kernels_f64");
+    for &nb in &TILE_SIZES {
+        group.throughput(Throughput::Elements(KernelKind::Geqrt.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("GEQRT", nb), &nb, |b, &nb| {
+            let a: Matrix<f64> = random_matrix(nb, nb, 1);
+            let mut t = Matrix::zeros(nb, nb);
+            b.iter(|| {
+                let mut work = a.clone();
+                geqrt(&mut work, &mut t);
+            });
+        });
+        group.throughput(Throughput::Elements(KernelKind::Tsqrt.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("TSQRT", nb), &nb, |b, &nb| {
+            let mut r1: Matrix<f64> = random_matrix(nb, nb, 2);
+            r1.zero_below_diagonal();
+            let a2: Matrix<f64> = random_matrix(nb, nb, 3);
+            let mut t = Matrix::zeros(nb, nb);
+            b.iter(|| {
+                let mut r = r1.clone();
+                let mut a = a2.clone();
+                tsqrt(&mut r, &mut a, &mut t);
+            });
+        });
+        group.throughput(Throughput::Elements(KernelKind::Ttqrt.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("TTQRT", nb), &nb, |b, &nb| {
+            let mut r1: Matrix<f64> = random_matrix(nb, nb, 4);
+            r1.zero_below_diagonal();
+            let mut r2: Matrix<f64> = random_matrix(nb, nb, 5);
+            r2.zero_below_diagonal();
+            let mut t = Matrix::zeros(nb, nb);
+            b.iter(|| {
+                let mut a = r1.clone();
+                let mut b2 = r2.clone();
+                ttqrt(&mut a, &mut b2, &mut t);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_kernels_f64");
+    for &nb in &TILE_SIZES {
+        // Prepare factored tiles once per size.
+        let mut v: Matrix<f64> = random_matrix(nb, nb, 10);
+        let mut t_geqrt = Matrix::zeros(nb, nb);
+        geqrt(&mut v, &mut t_geqrt);
+
+        let mut r1: Matrix<f64> = random_matrix(nb, nb, 11);
+        r1.zero_below_diagonal();
+        let mut v2_ts: Matrix<f64> = random_matrix(nb, nb, 12);
+        let mut t_ts = Matrix::zeros(nb, nb);
+        tsqrt(&mut r1, &mut v2_ts, &mut t_ts);
+
+        let mut r1b: Matrix<f64> = random_matrix(nb, nb, 13);
+        r1b.zero_below_diagonal();
+        let mut v2_tt: Matrix<f64> = random_matrix(nb, nb, 14);
+        v2_tt.zero_below_diagonal();
+        let mut t_tt = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1b, &mut v2_tt, &mut t_tt);
+
+        let c0: Matrix<f64> = random_matrix(nb, nb, 15);
+        let c1: Matrix<f64> = random_matrix(nb, nb, 16);
+
+        group.throughput(Throughput::Elements(KernelKind::Unmqr.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("UNMQR", nb), &nb, |b, _| {
+            let mut c = c0.clone();
+            b.iter(|| unmqr(&v, &t_geqrt, &mut c, Trans::ConjTrans));
+        });
+        group.throughput(Throughput::Elements(KernelKind::Tsmqr.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("TSMQR", nb), &nb, |b, _| {
+            let mut a = c0.clone();
+            let mut bb = c1.clone();
+            b.iter(|| tsmqr(&v2_ts, &t_ts, &mut a, &mut bb, Trans::ConjTrans));
+        });
+        group.throughput(Throughput::Elements(KernelKind::Ttmqr.flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("TTMQR", nb), &nb, |b, _| {
+            let mut a = c0.clone();
+            let mut bb = c1.clone();
+            b.iter(|| ttmqr(&v2_tt, &t_tt, &mut a, &mut bb, Trans::ConjTrans));
+        });
+        group.throughput(Throughput::Elements(gemm_flops(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("GEMM", nb), &nb, |b, _| {
+            let a: Matrix<f64> = random_matrix(nb, nb, 17);
+            let bb: Matrix<f64> = random_matrix(nb, nb, 18);
+            let mut cc = c0.clone();
+            b.iter(|| gemm_acc(&mut cc, &a, &bb));
+        });
+    }
+    group.finish();
+}
+
+fn bench_complex_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_complex64");
+    let nb = 48usize;
+    group.bench_function("GEQRT", |b| {
+        let a: Matrix<Complex64> = random_matrix(nb, nb, 20);
+        let mut t = Matrix::zeros(nb, nb);
+        b.iter(|| {
+            let mut work = a.clone();
+            geqrt(&mut work, &mut t);
+        });
+    });
+    group.bench_function("TTMQR", |b| {
+        let mut r1: Matrix<Complex64> = random_matrix(nb, nb, 21);
+        r1.zero_below_diagonal();
+        let mut v2: Matrix<Complex64> = random_matrix(nb, nb, 22);
+        v2.zero_below_diagonal();
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut v2, &mut t);
+        let c1: Matrix<Complex64> = random_matrix(nb, nb, 23);
+        let c2: Matrix<Complex64> = random_matrix(nb, nb, 24);
+        let mut a = c1.clone();
+        let mut bb = c2.clone();
+        b.iter(|| ttmqr(&v2, &t, &mut a, &mut bb, Trans::ConjTrans));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_factor_kernels, bench_update_kernels, bench_complex_kernels
+}
+criterion_main!(benches);

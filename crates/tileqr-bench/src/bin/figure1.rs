@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 1: predicted and experimental performance
+//! of the TT-kernel algorithms (double and double-complex precision).
+//!
+//! Sizes come from `TILEQR_P`, `TILEQR_NB`, `TILEQR_THREADS`.
+
+use tileqr_bench::Scenario;
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::figure1_report(Scenario::from_env()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figures 2-3: overhead in critical-path length and
+//! in wall-clock time with respect to Greedy (TT kernels).
+//!
+//! Sizes come from `TILEQR_P`, `TILEQR_NB`, `TILEQR_THREADS`.
+
+use tileqr_bench::Scenario;
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::figure2_3_report(Scenario::from_env()));
+}

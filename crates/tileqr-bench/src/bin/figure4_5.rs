@@ -1,0 +1,15 @@
+//! Regenerates the paper's Figures 4-5: kernel performance (factorization and
+//! update kernels plus the GEMM reference) in and out of cache, for a sweep
+//! of tile sizes, in double and double-complex precision.
+//!
+//! Override the sweep with `TILEQR_TILE_SIZES` (comma separated) and the
+//! repetition count with `TILEQR_REPS`. The paper sweeps nb = 100..600; the
+//! default here is a faster 40..200.
+
+fn main() {
+    let sizes: Vec<usize> = std::env::var("TILEQR_TILE_SIZES")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![40, 80, 120, 160, 200]);
+    let reps = std::env::var("TILEQR_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+    print!("{}", tileqr_bench::experiments::figure4_5_report(&sizes, reps));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 6: predicted and experimental performance
+//! of all algorithms (TS and TT kernel families), double and double-complex.
+//!
+//! Sizes come from `TILEQR_P`, `TILEQR_NB`, `TILEQR_THREADS`.
+
+use tileqr_bench::Scenario;
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::figure6_report(Scenario::from_env()));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figures 7-8: overhead with respect to Greedy for
+//! all algorithms (TS and TT kernel families).
+//!
+//! Sizes come from `TILEQR_P`, `TILEQR_NB`, `TILEQR_THREADS`.
+
+use tileqr_bench::Scenario;
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::figure7_8_report(Scenario::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 4: Greedy vs Asap vs Grasap(1) tile times
+//! (15 × 2 and 15 × 3) and the Greedy vs Asap critical-path grid.
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::table4_report());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 5 (theoretical critical paths, p = 40,
+//! q = 1..40). Override p with `TILEQR_TABLE_P`.
+
+fn main() {
+    let p = std::env::var("TILEQR_TABLE_P").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    print!("{}", tileqr_bench::experiments::table5_report(p));
+}

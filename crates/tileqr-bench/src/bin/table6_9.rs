@@ -1,0 +1,12 @@
+//! Regenerates the paper's Tables 6-9 (experimental Greedy vs PlasmaTree(TT)
+//! and vs Fibonacci, double and double-complex precision).
+//!
+//! Sizes come from `TILEQR_P`, `TILEQR_NB`, `TILEQR_THREADS`; the defaults
+//! are laptop-friendly (p = 16, nb = 32). The paper's scale is p = 40,
+//! nb = 200 on 48 cores.
+
+use tileqr_bench::Scenario;
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::table6_9_report(Scenario::from_env()));
+}

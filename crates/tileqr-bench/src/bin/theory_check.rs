@@ -1,0 +1,6 @@
+//! Cross-checks the paper's closed-form results (Theorem 1, Propositions 1-2)
+//! against the DAG simulator and prints the asymptotic-optimality ratios.
+
+fn main() {
+    print!("{}", tileqr_bench::experiments::theory_check_report());
+}

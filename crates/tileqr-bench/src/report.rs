@@ -1,0 +1,119 @@
+//! Minimal plain-text table formatting used by every experiment binary.
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (already formatted as strings).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with right-aligned, width-fitted columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+            out.push_str(&"=".repeat(self.title.chars().count()));
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        if !self.header.is_empty() {
+            out.push_str(&fmt_row(&self.header, &widths));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an optional model time-step (diagonal tiles show the paper's `*`).
+pub fn step_cell(v: Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "*".to_string(),
+    }
+}
+
+/// Formats a ratio with 4 decimal places, like the paper's overhead/gain
+/// columns.
+pub fn ratio_cell(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a GFLOP/s figure with 3 decimal places.
+pub fn rate_cell(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["a", "long-header", "b"]);
+        t.push_row(vec!["1".into(), "2".into(), "3".into()]);
+        t.push_row(vec!["100".into(), "2000".into(), "3".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().collect();
+        // title, underline, header, separator, two rows
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[4].split_whitespace().count(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cells_format_like_the_paper() {
+        assert_eq!(step_cell(Some(42)), "42");
+        assert_eq!(step_cell(None), "*");
+        assert_eq!(ratio_cell(1.33333), "1.3333");
+        assert_eq!(rate_cell(103.2672), "103.267");
+    }
+}

@@ -1,0 +1,72 @@
+//! BinaryTree elimination scheme.
+
+use crate::elim::{Elimination, EliminationList};
+
+/// Binary-tree reduction in every column: in round `s = 1, 2, …` the
+/// surviving rows `k, k+2ˢ, k+2·2ˢ, …` eliminate the rows half a stride below
+/// them. The diagonal row `k` is the final survivor.
+///
+/// The critical path of this scheme is `6·q·log₂p + o(q·log₂p)`
+/// (Proposition 1), which is optimal for a single column (`q = 1`) but not
+/// asymptotically optimal for larger `q`.
+pub fn binary_tree(p: usize, q: usize) -> EliminationList {
+    let kmax = p.min(q);
+    let mut elims = Vec::with_capacity(EliminationList::expected_len(p, q));
+    for k in 0..kmax {
+        let rows = p - k; // active rows k..p-1
+        let mut stride = 1usize;
+        while stride < rows {
+            let mut pivot = k;
+            while pivot + stride < p {
+                elims.push(Elimination::new(pivot + stride, pivot, k));
+                pivot += 2 * stride;
+            }
+            stride *= 2;
+        }
+    }
+    EliminationList::new(p, q, elims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_tree_single_column_rounds() {
+        // p = 8, one column: rounds are (1,0),(3,2),(5,4),(7,6), then
+        // (2,0),(6,4), then (4,0).
+        let list = binary_tree(8, 1);
+        let pairs: Vec<(usize, usize)> = list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
+        assert_eq!(
+            pairs,
+            vec![(1, 0), (3, 2), (5, 4), (7, 6), (2, 0), (6, 4), (4, 0)]
+        );
+        assert!(list.validate().is_ok());
+    }
+
+    #[test]
+    fn binary_tree_non_power_of_two() {
+        let list = binary_tree(6, 1);
+        let pairs: Vec<(usize, usize)> = list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
+        assert_eq!(pairs, vec![(1, 0), (3, 2), (5, 4), (2, 0), (4, 0)]);
+        assert!(list.validate().is_ok());
+    }
+
+    #[test]
+    fn binary_tree_shifts_with_the_panel_column() {
+        let list = binary_tree(5, 2);
+        assert!(list.validate().is_ok());
+        // column 1 reduces rows 1..4 with row 1 as the root
+        let col1 = list.column(1);
+        assert!(col1.iter().all(|e| e.row > 1 && e.piv >= 1));
+        assert!(col1.iter().any(|e| e.piv == 1));
+    }
+
+    #[test]
+    fn every_column_has_the_right_count() {
+        let list = binary_tree(9, 4);
+        for k in 0..4 {
+            assert_eq!(list.column(k).len(), 9 - k - 1);
+        }
+    }
+}

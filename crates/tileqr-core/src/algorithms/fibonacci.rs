@@ -1,0 +1,144 @@
+//! Fibonacci elimination scheme (Modi & Clarke's scheme of order 1).
+
+use crate::elim::{Elimination, EliminationList};
+
+/// Coarse-grain annihilation step of tile `(i, k)` (both zero-based,
+/// `i > k`) under the Fibonacci scheme, exactly as defined in Section 3.1:
+///
+/// * column 0: with `x` the least integer such that `x(x+1)/2 ≥ p − 1`, the
+///   step is `x − y + 1` where `y` is the least integer such that
+///   `i ≤ y(y+1)/2` (the paper's one-based `i ≤ y(y+1)/2 + 1`);
+/// * column `k`: `step(i, k) = step(i−1, k−1) + 2`.
+pub fn fibonacci_coarse_step(p: usize, i: usize, k: usize) -> usize {
+    assert!(i > k, "only sub-diagonal tiles are annihilated");
+    assert!(i < p, "row out of range");
+    if k == 0 {
+        let x = least_triangular_cover(p - 1);
+        // one-based row index is i+1; least y with (i+1) ≤ y(y+1)/2 + 1,
+        // i.e. y(y+1)/2 ≥ i.
+        let y = least_triangular_cover(i);
+        x - y + 1
+    } else {
+        fibonacci_coarse_step(p, i - 1, k - 1) + 2
+    }
+}
+
+/// Least integer `x ≥ 0` such that `x(x+1)/2 ≥ n`.
+fn least_triangular_cover(n: usize) -> usize {
+    let mut x = 0usize;
+    while x * (x + 1) / 2 < n {
+        x += 1;
+    }
+    x
+}
+
+/// Fibonacci elimination scheme: tiles annihilated at the same coarse step in
+/// a column form a block of consecutive rows, and each of the `z` tiles in
+/// the block is paired with the row `z` positions above it.
+///
+/// The list is ordered by coarse step, then by column, which yields a valid
+/// ordering (checked by the test-suite for a wide range of shapes).
+pub fn fibonacci(p: usize, q: usize) -> EliminationList {
+    let kmax = p.min(q);
+    // (step, col, row, piv)
+    let mut tagged: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(EliminationList::expected_len(p, q));
+    for k in 0..kmax {
+        // group rows of column k by coarse step
+        let mut by_step: Vec<(usize, usize)> = ((k + 1)..p)
+            .map(|i| (fibonacci_coarse_step(p, i, k), i))
+            .collect();
+        by_step.sort_unstable();
+        let mut idx = 0;
+        while idx < by_step.len() {
+            let step = by_step[idx].0;
+            let mut block = Vec::new();
+            while idx < by_step.len() && by_step[idx].0 == step {
+                block.push(by_step[idx].1);
+                idx += 1;
+            }
+            // rows in a block are consecutive; pivot of row r is r − z
+            let z = block.len();
+            for &row in &block {
+                let piv = row - z;
+                tagged.push((step, k, row, piv));
+            }
+        }
+    }
+    tagged.sort_by_key(|&(step, col, row, _)| (step, col, row));
+    let elims = tagged.into_iter().map(|(_, col, row, piv)| Elimination::new(row, piv, col)).collect();
+    EliminationList::new(p, q, elims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first column of Table 2(b): a 15 × 6 matrix, one-based steps
+    /// 5,4,4,3,3,3,2,2,2,2,1,1,1,1 for rows 2..15.
+    #[test]
+    fn coarse_steps_match_table_2_column_1() {
+        let expected = [5, 4, 4, 3, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1];
+        for (offset, &want) in expected.iter().enumerate() {
+            let i = offset + 1; // zero-based rows 1..14
+            assert_eq!(fibonacci_coarse_step(15, i, 0), want, "row {}", i + 1);
+        }
+    }
+
+    /// Column 2 of Table 2(b): 7,6,6,5,5,5,4,4,4,4,3,3,3 for rows 3..15.
+    #[test]
+    fn coarse_steps_match_table_2_column_2() {
+        let expected = [7, 6, 6, 5, 5, 5, 4, 4, 4, 4, 3, 3, 3];
+        for (offset, &want) in expected.iter().enumerate() {
+            let i = offset + 2;
+            assert_eq!(fibonacci_coarse_step(15, i, 1), want, "row {}", i + 1);
+        }
+    }
+
+    /// The coarse critical path of Fibonacci is x + 2q − 2 for p > q
+    /// (Section 3.1).
+    #[test]
+    fn coarse_critical_path_formula() {
+        for (p, q) in [(15usize, 6usize), (20, 4), (40, 10)] {
+            let x = least_triangular_cover(p - 1);
+            let max_step = (0..q)
+                .flat_map(|k| ((k + 1)..p).map(move |i| fibonacci_coarse_step(p, i, k)))
+                .max()
+                .unwrap();
+            assert_eq!(max_step, x + 2 * q - 2, "p={p}, q={q}");
+        }
+    }
+
+    #[test]
+    fn pairing_uses_the_rows_directly_above_each_block() {
+        // p = 15, column 0, step 1 annihilates rows 11..14 (zero-based) with
+        // pivots 7..10.
+        let list = fibonacci(15, 1);
+        for (row, piv) in [(11usize, 7usize), (12, 8), (13, 9), (14, 10)] {
+            assert_eq!(list.pivot_of(row, 0), Some(piv));
+        }
+        // the final elimination pairs row 1 with the diagonal row 0
+        assert_eq!(list.pivot_of(1, 0), Some(0));
+        assert!(list.validate().is_ok());
+    }
+
+    #[test]
+    fn valid_for_many_shapes() {
+        for (p, q) in [(2usize, 1usize), (3, 3), (10, 2), (16, 16), (23, 7), (40, 5)] {
+            let list = fibonacci(p, q);
+            assert_eq!(list.len(), EliminationList::expected_len(p, q));
+            assert!(list.validate().is_ok(), "fibonacci {p}x{q} invalid");
+            assert!(list.satisfies_lemma_1());
+        }
+    }
+
+    #[test]
+    fn least_triangular_cover_values() {
+        assert_eq!(least_triangular_cover(0), 0);
+        assert_eq!(least_triangular_cover(1), 1);
+        assert_eq!(least_triangular_cover(2), 2);
+        assert_eq!(least_triangular_cover(3), 2);
+        assert_eq!(least_triangular_cover(14), 5);
+        assert_eq!(least_triangular_cover(15), 5);
+        assert_eq!(least_triangular_cover(16), 6);
+    }
+}

@@ -1,0 +1,52 @@
+//! FlatTree (Sameh-Kuck) elimination scheme.
+
+use crate::elim::{Elimination, EliminationList};
+
+/// Sameh-Kuck / FlatTree: in every column the panel (diagonal) row eliminates
+/// all tiles below it, from the top down:
+/// `elim(i, k, k)` for `i = k+1, …, p−1`, `k = 0, …, min(p,q)−1`.
+///
+/// This is the scheme used by the original PLASMA tiled QR (with TS kernels);
+/// with TT kernels it is the algorithm called *FlatTree* throughout the
+/// paper.
+pub fn flat_tree(p: usize, q: usize) -> EliminationList {
+    let kmax = p.min(q);
+    let mut elims = Vec::with_capacity(EliminationList::expected_len(p, q));
+    for k in 0..kmax {
+        for i in (k + 1)..p {
+            elims.push(Elimination::new(i, k, k));
+        }
+    }
+    EliminationList::new(p, q, elims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_tree_pivots_are_always_the_diagonal_row() {
+        let list = flat_tree(7, 4);
+        assert!(list.validate().is_ok());
+        for e in list.eliminations() {
+            assert_eq!(e.piv, e.col);
+            assert!(e.row > e.col);
+        }
+    }
+
+    #[test]
+    fn flat_tree_order_is_top_down_per_column() {
+        let list = flat_tree(5, 2);
+        let col0: Vec<usize> = list.column(0).iter().map(|e| e.row).collect();
+        assert_eq!(col0, vec![1, 2, 3, 4]);
+        let col1: Vec<usize> = list.column(1).iter().map(|e| e.row).collect();
+        assert_eq!(col1, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        assert!(flat_tree(1, 1).is_empty());
+        assert_eq!(flat_tree(4, 1).len(), 3);
+        assert_eq!(flat_tree(4, 4).len(), 6);
+    }
+}

@@ -1,0 +1,223 @@
+//! Greedy elimination scheme (Cosnard, Muller & Robert).
+
+use crate::algorithms::pair_bottom_rows;
+use crate::elim::{Elimination, EliminationList};
+
+/// One elimination annotated with the coarse-grain time step at which the
+/// Greedy algorithm performs it. Exposed so the coarse-grain tables
+/// (Table 2) and the per-column structure can be reconstructed exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SteppedElimination {
+    /// The elimination.
+    pub elim: Elimination,
+    /// Coarse-grain time step (1-based, as in the paper's tables).
+    pub step: usize,
+}
+
+/// Greedy: at every coarse time step, in every column, eliminate as many
+/// tiles as possible, starting with the bottom rows; blocks are paired with
+/// the rows directly above them (same convention as Fibonacci).
+///
+/// Rows become available for column `k+1` one step after they are zeroed in
+/// column `k`. Because every row's leftmost nonzero column is unique, the
+/// per-column candidate pools are disjoint and the greedy choice is simply
+/// `⌊pool/2⌋` eliminations per column per step.
+pub fn greedy_stepped(p: usize, q: usize) -> Vec<SteppedElimination> {
+    let kmax = p.min(q);
+    if p == 0 || kmax == 0 {
+        return Vec::new();
+    }
+    // cur_col[r]: number of leading zero tiles of row r (the column it is
+    // currently "working in"); avail[r]: first step at which it may work.
+    let mut cur_col = vec![0usize; p];
+    let mut avail = vec![1usize; p];
+    // number of sub-diagonal tiles still to eliminate
+    let mut remaining = EliminationList::expected_len(p, q);
+    let mut out = Vec::with_capacity(remaining);
+
+    let mut step = 1usize;
+    while remaining > 0 {
+        for k in 0..kmax {
+            // candidate pool: rows whose leftmost nonzero column is k and that
+            // are free at this step (this includes the diagonal row k).
+            let pool: Vec<usize> = (k..p).filter(|&r| cur_col[r] == k && avail[r] <= step).collect();
+            let z = pool.len() / 2;
+            if z == 0 {
+                continue;
+            }
+            for (row, piv) in pair_bottom_rows(&pool, z) {
+                out.push(SteppedElimination { elim: Elimination::new(row, piv, k), step });
+                cur_col[row] = k + 1;
+                avail[row] = step + 1;
+                avail[piv] = step + 1;
+                remaining -= 1;
+            }
+        }
+        step += 1;
+        assert!(step <= 4 * (p + q) + 16, "greedy failed to converge — internal error");
+    }
+    out
+}
+
+/// Greedy elimination list, ordered by coarse step then by column.
+pub fn greedy(p: usize, q: usize) -> EliminationList {
+    let mut stepped = greedy_stepped(p, q);
+    stepped.sort_by_key(|s| (s.step, s.elim.col, s.elim.row));
+    let elims = stepped.into_iter().map(|s| s.elim).collect();
+    EliminationList::new(p, q, elims)
+}
+
+/// The paper's **Algorithm 4**: the Greedy algorithm expressed directly on
+/// tiles via TT kernels, driven by per-column counters of triangularized
+/// (`nT`) and eliminated (`nZ`) tiles.
+///
+/// Rounds of the outer loop sweep the columns from right to left; in each
+/// round a column first triangularizes every tile that acquired a zero in the
+/// previous column, then eliminates half of the triangularized-but-not-yet-
+/// eliminated tiles (bottom ones first, each paired with the tile directly
+/// above the eliminated block).
+///
+/// The resulting elimination list is very close to — but not always identical
+/// with — the coarse-grain [`greedy`] list (the gating by triangularization
+/// can group eliminations differently); both are exposed so their critical
+/// paths can be compared (see the `greedy_variants` ablation binary).
+pub fn greedy_algorithm4(p: usize, q: usize) -> EliminationList {
+    let kmax = p.min(q);
+    let mut elims = Vec::with_capacity(EliminationList::expected_len(p, q));
+    if p == 0 || kmax == 0 {
+        return EliminationList::new(p, q, elims);
+    }
+    // nt[j]: number of triangularized tiles in column j, counted from the
+    // bottom row upwards; nz[j]: number of eliminated tiles, same counting.
+    let mut nt = vec![0usize; kmax];
+    let mut nz = vec![0usize; kmax];
+    // column j is finished when all its sub-diagonal tiles are eliminated
+    let target = |j: usize| p - 1 - j;
+    let finished = |nz: &[usize]| (0..kmax).all(|j| nz[j] >= target(j));
+
+    let mut rounds = 0usize;
+    while !finished(&nz) {
+        for j in (0..kmax).rev() {
+            // triangularize
+            let nt_new = if j == 0 { p } else { nz[j - 1].min(p - j) };
+            // eliminate among the tiles triangularized in *previous* rounds
+            let candidates = nt[j].saturating_sub(nz[j]);
+            // never eliminate the diagonal tile: at most target(j) - nz[j] more
+            let z = (candidates / 2).min(target(j) - nz[j]);
+            for kk in nz[j]..(nz[j] + z) {
+                let row = p - 1 - kk;
+                let piv = row - z;
+                elims.push(Elimination::new(row, piv, j));
+            }
+            nz[j] += z;
+            nt[j] = nt_new.max(nt[j]);
+        }
+        rounds += 1;
+        assert!(rounds <= 4 * (p + q) + 16, "Algorithm 4 failed to converge — internal error");
+    }
+    EliminationList::new(p, q, elims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2(c), column 1 of the 15 × 6 example: steps
+    /// 4,3,3,2,2,2,2,1,1,1,1,1,1,1 for rows 2..15.
+    #[test]
+    fn coarse_steps_match_table_2_column_1() {
+        let stepped = greedy_stepped(15, 6);
+        let expected = [4, 3, 3, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1];
+        for (offset, &want) in expected.iter().enumerate() {
+            let row = offset + 1;
+            let got = stepped
+                .iter()
+                .find(|s| s.elim.row == row && s.elim.col == 0)
+                .map(|s| s.step)
+                .unwrap();
+            assert_eq!(got, want, "row {}", row + 1);
+        }
+    }
+
+    /// Table 2(c), column 2: steps 6,5,5,4,4,4,3,3,3,3,2,2,2 for rows 3..15.
+    #[test]
+    fn coarse_steps_match_table_2_column_2() {
+        let stepped = greedy_stepped(15, 6);
+        let expected = [6, 5, 5, 4, 4, 4, 3, 3, 3, 3, 2, 2, 2];
+        for (offset, &want) in expected.iter().enumerate() {
+            let row = offset + 2;
+            let got = stepped
+                .iter()
+                .find(|s| s.elim.row == row && s.elim.col == 1)
+                .map(|s| s.step)
+                .unwrap();
+            assert_eq!(got, want, "row {}", row + 1);
+        }
+    }
+
+    /// Table 2(c), last column (k = 6): 14,13,12,11,11,10,10,9,8 for rows 7..15.
+    #[test]
+    fn coarse_steps_match_table_2_column_6() {
+        let stepped = greedy_stepped(15, 6);
+        let expected = [14, 13, 12, 11, 11, 10, 10, 9, 8];
+        for (offset, &want) in expected.iter().enumerate() {
+            let row = offset + 6;
+            let got = stepped
+                .iter()
+                .find(|s| s.elim.row == row && s.elim.col == 5)
+                .map(|s| s.step)
+                .unwrap();
+            assert_eq!(got, want, "row {}", row + 1);
+        }
+    }
+
+    #[test]
+    fn first_step_eliminates_half_of_the_rows() {
+        let stepped = greedy_stepped(16, 1);
+        let first: Vec<_> = stepped.iter().filter(|s| s.step == 1).collect();
+        assert_eq!(first.len(), 8);
+        // bottom 8 rows eliminated, pivots are the 8 rows above them
+        for s in first {
+            assert_eq!(s.elim.piv + 8, s.elim.row);
+        }
+    }
+
+    #[test]
+    fn valid_for_many_shapes() {
+        for (p, q) in [(2usize, 1usize), (3, 3), (15, 2), (15, 3), (16, 16), (23, 7), (40, 40)] {
+            let list = greedy(p, q);
+            assert_eq!(list.len(), EliminationList::expected_len(p, q));
+            assert!(list.validate().is_ok(), "greedy {p}x{q} invalid");
+            assert!(list.satisfies_lemma_1());
+        }
+    }
+
+    #[test]
+    fn single_column_greedy_is_logarithmic() {
+        // with p = 2^m rows and one column, greedy finishes in m steps
+        let stepped = greedy_stepped(64, 1);
+        let max_step = stepped.iter().map(|s| s.step).max().unwrap();
+        assert_eq!(max_step, 6);
+    }
+
+    #[test]
+    fn algorithm_4_produces_valid_complete_lists() {
+        for (p, q) in [(2usize, 1usize), (15, 2), (15, 6), (16, 16), (23, 7), (40, 5)] {
+            let list = greedy_algorithm4(p, q);
+            assert_eq!(list.len(), EliminationList::expected_len(p, q), "{p}x{q}");
+            assert!(list.validate().is_ok(), "Algorithm 4 invalid for {p}x{q}");
+            assert!(list.satisfies_lemma_1());
+        }
+    }
+
+    #[test]
+    fn algorithm_4_first_column_matches_coarse_greedy() {
+        // In the first column both formulations eliminate ⌊pool/2⌋ bottom
+        // tiles per round with the same pairing, so the column-0 pivots agree.
+        let a4 = greedy_algorithm4(15, 1);
+        let cg = greedy(15, 1);
+        for i in 1..15 {
+            assert_eq!(a4.pivot_of(i, 0), cg.pivot_of(i, 0), "row {}", i + 1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! PlasmaTree: PLASMA's trade-off between FlatTree and BinaryTree.
+
+use crate::elim::{Elimination, EliminationList};
+
+/// PLASMA's reduction tree with domain size `bs` (the tuning parameter the
+/// paper calls `BS`).
+///
+/// For panel column `k`, the active rows `k..p−1` are split into domains of
+/// `bs` consecutive rows anchored at the panel: domain `d` holds rows
+/// `k + d·bs .. min(k + (d+1)·bs, p) − 1` (the bottom domain shrinks as `k`
+/// grows, until there is one less domain). Inside each domain the first row
+/// acts as a local panel and eliminates the other rows with a flat tree; the
+/// domain heads are then merged with a binary tree, rooted at the diagonal
+/// row `k`.
+///
+/// * `bs = 1` → pure binary tree on the whole column;
+/// * `bs ≥ p` → pure flat tree (Sameh-Kuck).
+pub fn plasma_tree(p: usize, q: usize, bs: usize) -> EliminationList {
+    assert!(bs >= 1, "domain size BS must be at least 1");
+    let kmax = p.min(q);
+    let mut elims = Vec::with_capacity(EliminationList::expected_len(p, q));
+    for k in 0..kmax {
+        // Domain heads for this column.
+        let heads: Vec<usize> = (k..p).step_by(bs).collect();
+        // Flat tree inside each domain.
+        for (d, &head) in heads.iter().enumerate() {
+            let end = (k + (d + 1) * bs).min(p);
+            for i in (head + 1)..end {
+                elims.push(Elimination::new(i, head, k));
+            }
+        }
+        // Binary-tree merge of the domain heads (heads[0] == k is the root).
+        let mut stride = 1usize;
+        while stride < heads.len() {
+            let mut idx = 0;
+            while idx + stride < heads.len() {
+                elims.push(Elimination::new(heads[idx + stride], heads[idx], k));
+                idx += 2 * stride;
+            }
+            stride *= 2;
+        }
+    }
+    EliminationList::new(p, q, elims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{binary_tree, flat_tree};
+
+    #[test]
+    fn bs_one_is_binary_tree() {
+        for (p, q) in [(8usize, 3usize), (15, 6), (9, 9)] {
+            assert_eq!(plasma_tree(p, q, 1), binary_tree(p, q), "p={p}, q={q}");
+        }
+    }
+
+    #[test]
+    fn bs_at_least_p_is_flat_tree() {
+        for (p, q) in [(8usize, 3usize), (15, 6)] {
+            assert_eq!(plasma_tree(p, q, p), flat_tree(p, q), "p={p}, q={q}");
+            assert_eq!(plasma_tree(p, q, p + 7), flat_tree(p, q));
+        }
+    }
+
+    #[test]
+    fn domains_follow_the_panel() {
+        // p = 15, BS = 5, column 0: domains {0..4}, {5..9}, {10..14};
+        // heads 0, 5, 10; merges (5,0) then (10,0).
+        let list = plasma_tree(15, 6, 5);
+        let col0 = list.column(0);
+        // rows 1..4 eliminated by head 0
+        for i in 1..5 {
+            assert_eq!(list.pivot_of(i, 0), Some(0));
+        }
+        for i in 6..10 {
+            assert_eq!(list.pivot_of(i, 0), Some(5));
+        }
+        for i in 11..15 {
+            assert_eq!(list.pivot_of(i, 0), Some(10));
+        }
+        assert_eq!(list.pivot_of(5, 0), Some(0));
+        assert_eq!(list.pivot_of(10, 0), Some(0));
+        assert_eq!(col0.len(), 14);
+
+        // column 1: domains {1..5}, {6..10}, {11..14} (bottom domain smaller)
+        assert_eq!(list.pivot_of(5, 1), Some(1));
+        assert_eq!(list.pivot_of(10, 1), Some(6));
+        assert_eq!(list.pivot_of(14, 1), Some(11));
+        assert_eq!(list.pivot_of(6, 1), Some(1));
+        assert_eq!(list.pivot_of(11, 1), Some(1));
+    }
+
+    #[test]
+    fn valid_for_all_domain_sizes() {
+        let (p, q) = (13usize, 5usize);
+        for bs in 1..=p {
+            let list = plasma_tree(p, q, bs);
+            assert_eq!(list.len(), EliminationList::expected_len(p, q));
+            assert!(list.validate().is_ok(), "PlasmaTree BS={bs} invalid");
+            assert!(list.satisfies_lemma_1());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_domain_size_rejected() {
+        let _ = plasma_tree(4, 2, 0);
+    }
+}

@@ -1,0 +1,495 @@
+//! Weighted task DAG of a tiled QR factorization.
+//!
+//! Given an elimination list and a kernel family (TT or TS), this module
+//! builds the complete set of kernel tasks together with their dependencies,
+//! following Section 2.1 (per-elimination kernel decomposition and
+//! dependencies) and Section 2.3 (execution scheme). The DAG is consumed by
+//!
+//! * the critical-path simulator ([`crate::sim`]) to reproduce the paper's
+//!   tables of time-steps and critical-path lengths, and
+//! * the multicore runtime (`tileqr-runtime`) to actually execute the
+//!   factorization, mapping each [`TaskKind`] to the corresponding kernel of
+//!   `tileqr-kernels`.
+//!
+//! Task weights are the abstract costs of Table 1 in units of `nb³/3` flops.
+
+use crate::elim::EliminationList;
+
+/// Which sequential kernel family implements the eliminations.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelFamily {
+    /// Triangle-on-top-of-triangle kernels (GEQRT/TTQRT/UNMQR/TTMQR): more
+    /// parallel, used by all the new algorithms in the paper.
+    TT,
+    /// Triangle-on-top-of-square kernels (GEQRT/TSQRT/UNMQR/TSMQR): better
+    /// locality and sequential speed, used by the original PLASMA algorithms.
+    TS,
+}
+
+impl KernelFamily {
+    /// Display name matching the paper ("TT" / "TS").
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelFamily::TT => "TT",
+            KernelFamily::TS => "TS",
+        }
+    }
+}
+
+/// One kernel invocation in the task graph. Indices are zero-based tile
+/// coordinates.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// `GEQRT(row, col)`: factor tile `(row, col)` into a triangle.
+    Geqrt {
+        /// Tile row.
+        row: usize,
+        /// Panel column.
+        col: usize,
+    },
+    /// `UNMQR(row, col, j)`: apply the reflectors of `GEQRT(row, col)` to
+    /// tile `(row, j)`, `j > col`.
+    Unmqr {
+        /// Tile row.
+        row: usize,
+        /// Panel column whose reflectors are applied.
+        col: usize,
+        /// Updated (trailing) column.
+        j: usize,
+    },
+    /// `TSQRT(row, piv, col)`: zero the full tile `(row, col)` against the
+    /// triangular tile `(piv, col)`.
+    Tsqrt {
+        /// Row being annihilated.
+        row: usize,
+        /// Pivot row.
+        piv: usize,
+        /// Panel column.
+        col: usize,
+    },
+    /// `TSMQR(row, piv, col, j)`: apply the `TSQRT(row, piv, col)` reflectors
+    /// to the tile pair `(piv, j)`, `(row, j)`.
+    Tsmqr {
+        /// Row being annihilated.
+        row: usize,
+        /// Pivot row.
+        piv: usize,
+        /// Panel column of the reflectors.
+        col: usize,
+        /// Updated (trailing) column.
+        j: usize,
+    },
+    /// `TTQRT(row, piv, col)`: zero the triangular tile `(row, col)` against
+    /// the triangular tile `(piv, col)`.
+    Ttqrt {
+        /// Row being annihilated.
+        row: usize,
+        /// Pivot row.
+        piv: usize,
+        /// Panel column.
+        col: usize,
+    },
+    /// `TTMQR(row, piv, col, j)`: apply the `TTQRT(row, piv, col)` reflectors
+    /// to the tile pair `(piv, j)`, `(row, j)`.
+    Ttmqr {
+        /// Row being annihilated.
+        row: usize,
+        /// Pivot row.
+        piv: usize,
+        /// Panel column of the reflectors.
+        col: usize,
+        /// Updated (trailing) column.
+        j: usize,
+    },
+}
+
+impl TaskKind {
+    /// Abstract weight in units of `nb³/3` flops (paper Table 1).
+    pub const fn weight(self) -> u64 {
+        match self {
+            TaskKind::Geqrt { .. } => 4,
+            TaskKind::Unmqr { .. } => 6,
+            TaskKind::Tsqrt { .. } => 6,
+            TaskKind::Tsmqr { .. } => 12,
+            TaskKind::Ttqrt { .. } => 2,
+            TaskKind::Ttmqr { .. } => 6,
+        }
+    }
+
+    /// Short kernel name.
+    pub const fn kernel_name(self) -> &'static str {
+        match self {
+            TaskKind::Geqrt { .. } => "GEQRT",
+            TaskKind::Unmqr { .. } => "UNMQR",
+            TaskKind::Tsqrt { .. } => "TSQRT",
+            TaskKind::Tsmqr { .. } => "TSMQR",
+            TaskKind::Ttqrt { .. } => "TTQRT",
+            TaskKind::Ttmqr { .. } => "TTMQR",
+        }
+    }
+
+    /// True for the kernels that zero out a tile (TSQRT/TTQRT); the finish
+    /// times of these tasks are what the paper's Tables 3 and 4 report.
+    pub const fn is_elimination(self) -> bool {
+        matches!(self, TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. })
+    }
+}
+
+/// A node of the task graph: the kernel, its weight and its predecessor
+/// indices (into [`TaskDag::tasks`]).
+#[derive(Clone, Debug)]
+pub struct TaskNode {
+    /// What kernel to run on which tiles.
+    pub kind: TaskKind,
+    /// Indices of the tasks that must complete before this one starts.
+    pub deps: Vec<usize>,
+}
+
+/// The full weighted task DAG of one tiled QR factorization.
+///
+/// Tasks are stored in a topological order (the construction order), which
+/// the simulator and the runtime both rely on.
+#[derive(Clone, Debug)]
+pub struct TaskDag {
+    /// Tile rows of the underlying grid.
+    pub p: usize,
+    /// Tile columns of the underlying grid.
+    pub q: usize,
+    /// Kernel family used to build the DAG.
+    pub family: KernelFamily,
+    /// Task nodes in topological order.
+    pub tasks: Vec<TaskNode>,
+}
+
+impl TaskDag {
+    /// Builds the task DAG for `list` using the requested kernel family.
+    pub fn build(list: &EliminationList, family: KernelFamily) -> TaskDag {
+        match family {
+            KernelFamily::TT => build_tt(list),
+            KernelFamily::TS => build_ts(list),
+        }
+    }
+
+    /// Total abstract weight of all tasks (units of `nb³/3` flops). For any
+    /// complete elimination list this equals `6pq² − 2q³` regardless of the
+    /// algorithm or kernel family.
+    pub fn total_weight(&self) -> u64 {
+        self.tasks.iter().map(|t| t.kind.weight()).sum()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True if the DAG has no tasks (empty grid).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Successor adjacency (computed on demand; the DAG itself only stores
+    /// predecessor lists).
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); self.tasks.len()];
+        for (idx, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                succ[d].push(idx);
+            }
+        }
+        succ
+    }
+}
+
+/// Helper tracking, for every tile, the index of the last task that wrote it.
+/// Chaining each new task after the previous writer of every tile it touches
+/// yields exactly the dependencies listed in Section 2.1.
+struct LastWriter {
+    p: usize,
+    last: Vec<Option<usize>>,
+}
+
+impl LastWriter {
+    fn new(p: usize, q: usize) -> Self {
+        LastWriter { p, last: vec![None; p * q] }
+    }
+
+    fn get(&self, row: usize, col: usize) -> Option<usize> {
+        self.last[col * self.p + row]
+    }
+
+    fn set(&mut self, row: usize, col: usize, task: usize) {
+        self.last[col * self.p + row] = Some(task);
+    }
+}
+
+fn push_task(tasks: &mut Vec<TaskNode>, kind: TaskKind, deps: Vec<usize>) -> usize {
+    let idx = tasks.len();
+    let mut deps = deps;
+    deps.sort_unstable();
+    deps.dedup();
+    tasks.push(TaskNode { kind, deps });
+    idx
+}
+
+/// TT construction: every active tile `(i, k)`, `i ≥ k`, is triangularized
+/// (GEQRT) and its row updated (UNMQR on the trailing columns); every
+/// elimination adds a TTQRT plus TTMQR updates on the trailing columns.
+fn build_tt(list: &EliminationList) -> TaskDag {
+    let p = list.tile_rows();
+    let q = list.tile_cols();
+    let kmax = p.min(q);
+    let mut tasks = Vec::new();
+    let mut writer = LastWriter::new(p, q);
+
+    for k in 0..kmax {
+        // Factor + row updates for every active row.
+        for i in k..p {
+            let mut deps = Vec::new();
+            if let Some(d) = writer.get(i, k) {
+                deps.push(d);
+            }
+            let geqrt = push_task(&mut tasks, TaskKind::Geqrt { row: i, col: k }, deps);
+            writer.set(i, k, geqrt);
+            for j in (k + 1)..q {
+                let mut deps = vec![geqrt];
+                if let Some(d) = writer.get(i, j) {
+                    deps.push(d);
+                }
+                let unmqr = push_task(&mut tasks, TaskKind::Unmqr { row: i, col: k, j }, deps);
+                writer.set(i, j, unmqr);
+            }
+        }
+        // Eliminations of this column, in list order.
+        for e in list.column(k) {
+            let mut deps = Vec::new();
+            if let Some(d) = writer.get(e.row, k) {
+                deps.push(d);
+            }
+            if let Some(d) = writer.get(e.piv, k) {
+                deps.push(d);
+            }
+            let ttqrt = push_task(&mut tasks, TaskKind::Ttqrt { row: e.row, piv: e.piv, col: k }, deps);
+            writer.set(e.row, k, ttqrt);
+            writer.set(e.piv, k, ttqrt);
+            for j in (k + 1)..q {
+                let mut deps = vec![ttqrt];
+                if let Some(d) = writer.get(e.row, j) {
+                    deps.push(d);
+                }
+                if let Some(d) = writer.get(e.piv, j) {
+                    deps.push(d);
+                }
+                let ttmqr =
+                    push_task(&mut tasks, TaskKind::Ttmqr { row: e.row, piv: e.piv, col: k, j }, deps);
+                writer.set(e.row, j, ttmqr);
+                writer.set(e.piv, j, ttmqr);
+            }
+        }
+    }
+    TaskDag { p, q, family: KernelFamily::TT, tasks }
+}
+
+/// TS construction: only pivot tiles are triangularized (GEQRT + UNMQR).
+/// An elimination whose target tile is still *full* uses TSQRT/TSMQR; an
+/// elimination whose target tile has already been triangularized (because it
+/// served as a pivot earlier in the column, as happens in the binary-tree
+/// merge phase of PlasmaTree) uses TTQRT/TTMQR, exactly as in PLASMA. This
+/// hybrid is what keeps the total task weight at `6pq² − 2q³` for every tree
+/// (Section 2.2). Diagonal tiles that never serve as pivots (e.g. the last
+/// column of a square matrix) still receive a final GEQRT so that the R
+/// factor is complete.
+fn build_ts(list: &EliminationList) -> TaskDag {
+    let p = list.tile_rows();
+    let q = list.tile_cols();
+    let kmax = p.min(q);
+    let mut tasks = Vec::new();
+    let mut writer = LastWriter::new(p, q);
+
+    for k in 0..kmax {
+        // triangularized[i]: whether tile (i, k) has already been factored
+        let mut triangularized = vec![false; p];
+        let ensure_geqrt = |i: usize,
+                                tasks: &mut Vec<TaskNode>,
+                                writer: &mut LastWriter,
+                                triangularized: &mut Vec<bool>| {
+            if triangularized[i] {
+                return;
+            }
+            triangularized[i] = true;
+            let mut deps = Vec::new();
+            if let Some(d) = writer.get(i, k) {
+                deps.push(d);
+            }
+            let geqrt = push_task(tasks, TaskKind::Geqrt { row: i, col: k }, deps);
+            writer.set(i, k, geqrt);
+            for j in (k + 1)..q {
+                let mut deps = vec![geqrt];
+                if let Some(d) = writer.get(i, j) {
+                    deps.push(d);
+                }
+                let unmqr = push_task(tasks, TaskKind::Unmqr { row: i, col: k, j }, deps);
+                writer.set(i, j, unmqr);
+            }
+        };
+
+        for e in list.column(k) {
+            ensure_geqrt(e.piv, &mut tasks, &mut writer, &mut triangularized);
+            // A target tile that was previously triangularized (it served as
+            // a pivot earlier in this column) is annihilated with the cheaper
+            // TT kernels; a full target tile uses the TS kernels.
+            let target_is_triangular = triangularized[e.row];
+            let mut deps = Vec::new();
+            if let Some(d) = writer.get(e.row, k) {
+                deps.push(d);
+            }
+            if let Some(d) = writer.get(e.piv, k) {
+                deps.push(d);
+            }
+            let factor_kind = if target_is_triangular {
+                TaskKind::Ttqrt { row: e.row, piv: e.piv, col: k }
+            } else {
+                TaskKind::Tsqrt { row: e.row, piv: e.piv, col: k }
+            };
+            let factor = push_task(&mut tasks, factor_kind, deps);
+            writer.set(e.row, k, factor);
+            writer.set(e.piv, k, factor);
+            for j in (k + 1)..q {
+                let mut deps = vec![factor];
+                if let Some(d) = writer.get(e.row, j) {
+                    deps.push(d);
+                }
+                if let Some(d) = writer.get(e.piv, j) {
+                    deps.push(d);
+                }
+                let update_kind = if target_is_triangular {
+                    TaskKind::Ttmqr { row: e.row, piv: e.piv, col: k, j }
+                } else {
+                    TaskKind::Tsmqr { row: e.row, piv: e.piv, col: k, j }
+                };
+                let update = push_task(&mut tasks, update_kind, deps);
+                writer.set(e.row, j, update);
+                writer.set(e.piv, j, update);
+            }
+        }
+        // The diagonal tile must end up triangular even if it never pivoted.
+        ensure_geqrt(k, &mut tasks, &mut writer, &mut triangularized);
+    }
+    TaskDag { p, q, family: KernelFamily::TS, tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{binary_tree, fibonacci, flat_tree, greedy, plasma_tree};
+
+    fn total_weight_formula(p: usize, q: usize) -> u64 {
+        6 * (p as u64) * (q as u64) * (q as u64) - 2 * (q as u64).pow(3)
+    }
+
+    #[test]
+    fn task_weights_match_table_1() {
+        assert_eq!(TaskKind::Geqrt { row: 0, col: 0 }.weight(), 4);
+        assert_eq!(TaskKind::Unmqr { row: 0, col: 0, j: 1 }.weight(), 6);
+        assert_eq!(TaskKind::Tsqrt { row: 1, piv: 0, col: 0 }.weight(), 6);
+        assert_eq!(TaskKind::Tsmqr { row: 1, piv: 0, col: 0, j: 1 }.weight(), 12);
+        assert_eq!(TaskKind::Ttqrt { row: 1, piv: 0, col: 0 }.weight(), 2);
+        assert_eq!(TaskKind::Ttmqr { row: 1, piv: 0, col: 0, j: 1 }.weight(), 6);
+    }
+
+    #[test]
+    fn dag_is_topologically_ordered() {
+        let list = greedy(8, 4);
+        for family in [KernelFamily::TT, KernelFamily::TS] {
+            let dag = TaskDag::build(&list, family);
+            for (idx, task) in dag.tasks.iter().enumerate() {
+                for &d in &task.deps {
+                    assert!(d < idx, "dependency {d} of task {idx} is not earlier in the list");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn total_weight_is_algorithm_and_family_independent() {
+        for (p, q) in [(4usize, 4usize), (8, 3), (10, 1), (6, 6), (15, 6)] {
+            let expected = total_weight_formula(p, q);
+            for list in [flat_tree(p, q), fibonacci(p, q), greedy(p, q), binary_tree(p, q), plasma_tree(p, q, 3)] {
+                for family in [KernelFamily::TT, KernelFamily::TS] {
+                    let dag = TaskDag::build(&list, family);
+                    assert_eq!(
+                        dag.total_weight(),
+                        expected,
+                        "weight mismatch for {family:?} on {p}x{q}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tt_dag_counts_one_geqrt_per_active_tile() {
+        let (p, q) = (6usize, 3usize);
+        let dag = TaskDag::build(&greedy(p, q), KernelFamily::TT);
+        let geqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Geqrt { .. })).count();
+        // active tiles: sum over k of (p - k)
+        assert_eq!(geqrts, (0..q).map(|k| p - k).sum::<usize>());
+        let ttqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Ttqrt { .. })).count();
+        assert_eq!(ttqrts, EliminationList::expected_len(p, q));
+    }
+
+    #[test]
+    fn ts_flat_tree_has_one_geqrt_per_column() {
+        let (p, q) = (6usize, 3usize);
+        let dag = TaskDag::build(&flat_tree(p, q), KernelFamily::TS);
+        let geqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Geqrt { .. })).count();
+        // with a flat tree only the diagonal tile of each column is factored
+        assert_eq!(geqrts, q);
+        let tsqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Tsqrt { .. })).count();
+        assert_eq!(tsqrts, EliminationList::expected_len(p, q));
+        assert!(dag.tasks.iter().all(|t| !matches!(t.kind, TaskKind::Ttqrt { .. } | TaskKind::Ttmqr { .. })));
+    }
+
+    #[test]
+    fn elimination_dependency_structure_of_section_2_1() {
+        // For a 2x1 grid with a single elimination elim(1,0,0) using TT
+        // kernels: GEQRT(0,0), GEQRT(1,0), TTQRT(1,0,0); the TTQRT depends on
+        // both GEQRTs.
+        let list = flat_tree(2, 1);
+        let dag = TaskDag::build(&list, KernelFamily::TT);
+        assert_eq!(dag.len(), 3);
+        let ttqrt_idx = dag
+            .tasks
+            .iter()
+            .position(|t| matches!(t.kind, TaskKind::Ttqrt { .. }))
+            .unwrap();
+        assert_eq!(dag.tasks[ttqrt_idx].deps.len(), 2);
+    }
+
+    #[test]
+    fn successors_are_inverse_of_deps() {
+        let dag = TaskDag::build(&fibonacci(6, 3), KernelFamily::TT);
+        let succ = dag.successors();
+        for (idx, task) in dag.tasks.iter().enumerate() {
+            for &d in &task.deps {
+                assert!(succ[d].contains(&idx));
+            }
+        }
+        let total_edges: usize = dag.tasks.iter().map(|t| t.deps.len()).sum();
+        let total_succ: usize = succ.iter().map(|s| s.len()).sum();
+        assert_eq!(total_edges, total_succ);
+    }
+
+    #[test]
+    fn single_tile_dag() {
+        let list = flat_tree(1, 1);
+        let dag = TaskDag::build(&list, KernelFamily::TT);
+        assert_eq!(dag.len(), 1);
+        assert!(matches!(dag.tasks[0].kind, TaskKind::Geqrt { row: 0, col: 0 }));
+        let dag = TaskDag::build(&list, KernelFamily::TS);
+        assert_eq!(dag.len(), 1);
+    }
+
+    use crate::elim::EliminationList;
+}

@@ -1,0 +1,389 @@
+//! Elimination lists — the formal description of a tiled QR algorithm.
+//!
+//! Following Section 2.2 of the paper, any tiled QR algorithm on a `p × q`
+//! tile matrix is characterized by its *elimination list*: an ordered list of
+//! transformations `elim(i, piv(i,k), k)` that zero out every tile below the
+//! diagonal. The list is valid if
+//!
+//! 1. **rows ready** — when `elim(i, piv, k)` appears, both rows `i` and
+//!    `piv` have already been zeroed in every column `k' < k`;
+//! 2. **pivot not yet eliminated** — row `piv` has not been zeroed in column
+//!    `k` before `elim(i, piv, k)`.
+//!
+//! This module provides the [`Elimination`] record, the [`EliminationList`]
+//! container with validity checking, and the Lemma-1 normalization predicate
+//! (every elimination uses a pivot *above* the eliminated row).
+//!
+//! Indices are **zero-based** throughout the code base (the paper is
+//! one-based); conversion only happens in the pretty-printers used by the
+//! benchmark harness.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// One orthogonal transformation `elim(row, piv, col)`: tile `(row, col)` is
+/// zeroed out by combining row `row` with pivot row `piv`.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Elimination {
+    /// Row of the tile being zeroed out (`row > col` after Lemma 1).
+    pub row: usize,
+    /// Pivot (annihilator) row.
+    pub piv: usize,
+    /// Panel column index.
+    pub col: usize,
+}
+
+impl Elimination {
+    /// Convenience constructor.
+    pub const fn new(row: usize, piv: usize, col: usize) -> Self {
+        Elimination { row, piv, col }
+    }
+}
+
+impl fmt::Display for Elimination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // one-based in the human-readable form, like the paper
+        write!(f, "elim({}, {}, {})", self.row + 1, self.piv + 1, self.col + 1)
+    }
+}
+
+/// Reasons an elimination list can be invalid for a given `p × q` tile grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidityError {
+    /// An elimination references a tile on or above the diagonal, or outside
+    /// the grid.
+    OutOfRange(Elimination),
+    /// The same tile is eliminated twice.
+    DuplicateElimination(Elimination),
+    /// A below-diagonal tile is never eliminated.
+    MissingElimination {
+        /// Row of the missing tile.
+        row: usize,
+        /// Column of the missing tile.
+        col: usize,
+    },
+    /// Condition 1 violated: a row participates in column `col` before being
+    /// zeroed out in some earlier column.
+    RowNotReady {
+        /// The offending elimination.
+        elim: Elimination,
+        /// The row that is not ready.
+        row: usize,
+        /// The earlier column in which that row has not yet been zeroed.
+        pending_col: usize,
+    },
+    /// Condition 2 violated: the pivot row was already eliminated in this
+    /// column.
+    PivotAlreadyEliminated(Elimination),
+    /// An elimination pairs a row with itself.
+    SelfElimination(Elimination),
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::OutOfRange(e) => write!(f, "{e} is out of range"),
+            ValidityError::DuplicateElimination(e) => write!(f, "{e} eliminates an already-zeroed tile"),
+            ValidityError::MissingElimination { row, col } => {
+                write!(f, "tile ({}, {}) is never eliminated", row + 1, col + 1)
+            }
+            ValidityError::RowNotReady { elim, row, pending_col } => write!(
+                f,
+                "{elim}: row {} still has a nonzero tile in column {}",
+                row + 1,
+                pending_col + 1
+            ),
+            ValidityError::PivotAlreadyEliminated(e) => {
+                write!(f, "{e}: the pivot row was already eliminated in this column")
+            }
+            ValidityError::SelfElimination(e) => write!(f, "{e}: a row cannot eliminate itself"),
+        }
+    }
+}
+
+/// An ordered elimination list for a `p × q` tile matrix.
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EliminationList {
+    p: usize,
+    q: usize,
+    elims: Vec<Elimination>,
+}
+
+impl EliminationList {
+    /// Wraps an explicit list of eliminations for a `p × q` grid. No validity
+    /// check is performed here; call [`EliminationList::validate`].
+    pub fn new(p: usize, q: usize, elims: Vec<Elimination>) -> Self {
+        EliminationList { p, q, elims }
+    }
+
+    /// Number of tile rows.
+    pub fn tile_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Number of tile columns.
+    pub fn tile_cols(&self) -> usize {
+        self.q
+    }
+
+    /// The ordered eliminations.
+    pub fn eliminations(&self) -> &[Elimination] {
+        &self.elims
+    }
+
+    /// Number of eliminations (equals the number of sub-diagonal tiles when
+    /// the list is complete).
+    pub fn len(&self) -> usize {
+        self.elims.len()
+    }
+
+    /// True if the list is empty (e.g. a 1 × 1 grid).
+    pub fn is_empty(&self) -> bool {
+        self.elims.is_empty()
+    }
+
+    /// Eliminations restricted to one panel column, in list order.
+    pub fn column(&self, col: usize) -> Vec<Elimination> {
+        self.elims.iter().copied().filter(|e| e.col == col).collect()
+    }
+
+    /// The pivot used to zero tile `(row, col)`, if that tile is eliminated.
+    pub fn pivot_of(&self, row: usize, col: usize) -> Option<usize> {
+        self.elims.iter().find(|e| e.row == row && e.col == col).map(|e| e.piv)
+    }
+
+    /// Expected number of eliminations for a complete factorization:
+    /// one per sub-diagonal tile.
+    pub fn expected_len(p: usize, q: usize) -> usize {
+        let kmax = p.min(q);
+        (0..kmax).map(|k| p - k - 1).sum()
+    }
+
+    /// Checks the two validity conditions of Section 2.2 plus completeness
+    /// (every sub-diagonal tile eliminated exactly once). Returns all
+    /// violations found.
+    pub fn validate(&self) -> Result<(), Vec<ValidityError>> {
+        let mut errors = Vec::new();
+        let p = self.p;
+        let q = self.q;
+        let kmax = p.min(q);
+
+        // zeroed[row] = set of columns in which the row has been zeroed so far
+        let mut zeroed: Vec<HashSet<usize>> = vec![HashSet::new(); p];
+
+        for &e in &self.elims {
+            if e.row >= p || e.piv >= p || e.col >= kmax || e.row <= e.col {
+                errors.push(ValidityError::OutOfRange(e));
+                continue;
+            }
+            if e.row == e.piv {
+                errors.push(ValidityError::SelfElimination(e));
+                continue;
+            }
+            if zeroed[e.row].contains(&e.col) {
+                errors.push(ValidityError::DuplicateElimination(e));
+                continue;
+            }
+            // Condition 1: both rows must have been zeroed in all columns < col.
+            for &r in &[e.row, e.piv] {
+                for k in 0..e.col {
+                    // only sub-diagonal tiles need zeroing; a row r has a tile in
+                    // column k below the diagonal iff r > k
+                    if r > k && !zeroed[r].contains(&k) {
+                        errors.push(ValidityError::RowNotReady { elim: e, row: r, pending_col: k });
+                    }
+                }
+            }
+            // Condition 2: the pivot row must still be a potential annihilator.
+            if zeroed[e.piv].contains(&e.col) {
+                errors.push(ValidityError::PivotAlreadyEliminated(e));
+            }
+            zeroed[e.row].insert(e.col);
+        }
+
+        // Completeness.
+        for k in 0..kmax {
+            for i in (k + 1)..p {
+                if !zeroed[i].contains(&k) {
+                    errors.push(ValidityError::MissingElimination { row: i, col: k });
+                }
+            }
+        }
+
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// True if every elimination satisfies Lemma 1 (`row > piv`, i.e. each
+    /// tile is zeroed out by a row above it). All algorithms shipped with the
+    /// crate produce lists in this normal form.
+    pub fn satisfies_lemma_1(&self) -> bool {
+        self.elims.iter().all(|e| e.row > e.piv)
+    }
+
+    /// Total abstract task weight of the factorization when executed with TT
+    /// kernels: every active tile is triangularized (GEQRT, weight 4) and
+    /// updated (UNMQR, weight 6 per trailing column), and every elimination
+    /// adds a TTQRT (2) plus TTMQRs (6 per trailing column).
+    ///
+    /// For any *complete* list this equals `6·p·q² − 2·q³`
+    /// (see `tileqr-kernels::flops::total_task_weight`), independently of the
+    /// elimination tree — a key invariant of Section 2.2.
+    pub fn total_weight_tt(&self) -> u64 {
+        let p = self.p as u64;
+        let q = self.q as u64;
+        let kmax = self.p.min(self.q) as u64;
+        let mut w = 0u64;
+        // factor + update stages for every active tile (i, k), i ≥ k
+        for k in 0..kmax {
+            let rows = p - k;
+            let trailing = q - k - 1;
+            w += rows * (4 + 6 * trailing);
+        }
+        // eliminations
+        for e in &self.elims {
+            let trailing = (q - 1 - e.col as u64) as u64;
+            w += 2 + 6 * trailing;
+        }
+        w
+    }
+}
+
+impl fmt::Display for EliminationList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EliminationList {}x{} ({} eliminations):", self.p, self.q, self.elims.len())?;
+        for e in &self.elims {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_tree_list(p: usize, q: usize) -> EliminationList {
+        let mut elims = Vec::new();
+        for k in 0..p.min(q) {
+            for i in (k + 1)..p {
+                elims.push(Elimination::new(i, k, k));
+            }
+        }
+        EliminationList::new(p, q, elims)
+    }
+
+    #[test]
+    fn flat_tree_by_hand_is_valid() {
+        let list = flat_tree_list(6, 3);
+        assert_eq!(list.len(), EliminationList::expected_len(6, 3));
+        assert!(list.validate().is_ok());
+        assert!(list.satisfies_lemma_1());
+    }
+
+    #[test]
+    fn paper_example_from_section_2_is_valid() {
+        // p = 6, column 1 (zero-based column 0):
+        // elim(3,1,1), elim(6,4,1), elim(2,1,1), elim(5,4,1), elim(4,1,1)
+        // (1-based in the paper).
+        let elims = vec![
+            Elimination::new(2, 0, 0),
+            Elimination::new(5, 3, 0),
+            Elimination::new(1, 0, 0),
+            Elimination::new(4, 3, 0),
+            Elimination::new(3, 0, 0),
+        ];
+        let list = EliminationList::new(6, 1, elims);
+        assert!(list.validate().is_ok());
+    }
+
+    #[test]
+    fn pivot_already_eliminated_is_rejected() {
+        // eliminate row 3 with pivot 1, then row 2 with pivot 3 (pivot already zeroed)
+        let elims = vec![
+            Elimination::new(3, 0, 0),
+            Elimination::new(2, 3, 0),
+            Elimination::new(1, 0, 0),
+        ];
+        let list = EliminationList::new(4, 1, elims);
+        let errs = list.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::PivotAlreadyEliminated(_))));
+    }
+
+    #[test]
+    fn row_not_ready_is_rejected() {
+        // 3x2: eliminate (2, col 1) before (2, col 0) is zeroed
+        let elims = vec![
+            Elimination::new(1, 0, 0),
+            Elimination::new(2, 1, 1), // row 2 still nonzero in column 0
+            Elimination::new(2, 0, 0),
+        ];
+        let list = EliminationList::new(3, 2, elims);
+        let errs = list.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::RowNotReady { .. })));
+    }
+
+    #[test]
+    fn missing_and_duplicate_eliminations_are_reported() {
+        let elims = vec![Elimination::new(1, 0, 0), Elimination::new(1, 0, 0)];
+        let list = EliminationList::new(3, 1, elims);
+        let errs = list.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::DuplicateElimination(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::MissingElimination { row: 2, col: 0 })));
+    }
+
+    #[test]
+    fn out_of_range_and_self_elimination_detected() {
+        let list = EliminationList::new(3, 2, vec![Elimination::new(0, 1, 0)]);
+        let errs = list.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::OutOfRange(_))));
+
+        let list = EliminationList::new(3, 1, vec![
+            Elimination::new(1, 1, 0),
+            Elimination::new(2, 0, 0),
+            Elimination::new(1, 0, 0),
+        ]);
+        let errs = list.validate().unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ValidityError::SelfElimination(_))));
+    }
+
+    #[test]
+    fn expected_len_counts_subdiagonal_tiles() {
+        assert_eq!(EliminationList::expected_len(6, 3), 5 + 4 + 3);
+        assert_eq!(EliminationList::expected_len(4, 4), 3 + 2 + 1);
+        assert_eq!(EliminationList::expected_len(4, 1), 3);
+        assert_eq!(EliminationList::expected_len(1, 1), 0);
+    }
+
+    #[test]
+    fn total_weight_is_tree_independent() {
+        // FlatTree list weight must equal the closed form 6pq² − 2q³.
+        for (p, q) in [(4usize, 4usize), (8, 3), (10, 1), (6, 6)] {
+            let list = flat_tree_list(p, q);
+            let expected = 6 * (p as u64) * (q as u64) * (q as u64) - 2 * (q as u64).pow(3);
+            assert_eq!(list.total_weight_tt(), expected, "p={p}, q={q}");
+        }
+    }
+
+    #[test]
+    fn column_and_pivot_accessors() {
+        let list = flat_tree_list(5, 2);
+        assert_eq!(list.column(1).len(), 3);
+        assert_eq!(list.pivot_of(3, 0), Some(0));
+        assert_eq!(list.pivot_of(0, 0), None);
+        assert!(!list.is_empty());
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let e = Elimination::new(2, 0, 1);
+        assert_eq!(format!("{e}"), "elim(3, 1, 2)");
+    }
+}

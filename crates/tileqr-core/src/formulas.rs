@@ -1,0 +1,221 @@
+//! Closed-form critical-path formulas and bounds from the paper.
+//!
+//! * Theorem 1(1): FlatTree (TT kernels) critical path.
+//! * Theorem 1(2): upper bounds for Fibonacci and Greedy.
+//! * Theorem 1(3): the `22q − 30` lower bound for any algorithm.
+//! * Proposition 1: BinaryTree critical path (exact for powers of two,
+//!   asymptotic otherwise).
+//! * Proposition 2: FlatTree with TS kernels.
+//! * Section 3.1: coarse-grain critical paths of Sameh-Kuck and Fibonacci.
+//!
+//! Every exact formula is cross-checked against the DAG simulator in the
+//! crate's tests — that is the "sanity-check program" the paper alludes to.
+
+/// Theorem 1(1): critical path of FlatTree (Sameh-Kuck) with TT kernels.
+///
+/// * `2p + 2`           for `p ≥ q = 1`
+/// * `6p + 16q − 22`    for `p > q > 1`
+/// * `22p − 24`         for `p = q > 1`
+pub fn flat_tree_tt_cp(p: usize, q: usize) -> u64 {
+    assert!(p >= q && q >= 1, "requires p ≥ q ≥ 1");
+    let (p, q) = (p as u64, q as u64);
+    if q == 1 {
+        if p == 1 {
+            4
+        } else {
+            2 * p + 2
+        }
+    } else if p == q {
+        22 * p - 24
+    } else {
+        6 * p + 16 * q - 22
+    }
+}
+
+/// Proposition 2: critical path of FlatTree with TS kernels.
+///
+/// * `6p − 2`           for `p ≥ q = 1`
+/// * `12p + 18q − 32`   for `p > q > 1`
+/// * `30p − 34`         for `p = q > 1`
+pub fn flat_tree_ts_cp(p: usize, q: usize) -> u64 {
+    assert!(p >= q && q >= 1, "requires p ≥ q ≥ 1");
+    let (p, q) = (p as u64, q as u64);
+    if q == 1 {
+        if p == 1 {
+            4
+        } else {
+            6 * p - 2
+        }
+    } else if p == q {
+        30 * p - 34
+    } else {
+        12 * p + 18 * q - 32
+    }
+}
+
+/// Proposition 1 (exact case): critical path of BinaryTree with TT kernels
+/// when `p` and `q` are powers of two with `q < p`:
+/// `(10 + 6·log₂p)·q − 4·log₂p − 6`.
+pub fn binary_tree_tt_cp_power_of_two(p: usize, q: usize) -> u64 {
+    assert!(p.is_power_of_two() && q.is_power_of_two() && q < p, "requires powers of two with q < p");
+    let lg = p.trailing_zeros() as u64;
+    (10 + 6 * lg) * q as u64 - 4 * lg - 6
+}
+
+/// Theorem 1(2): upper bound `22q + 6·⌈√(2p)⌉` on the Fibonacci critical
+/// path (TT kernels).
+pub fn fibonacci_tt_cp_upper_bound(p: usize, q: usize) -> u64 {
+    22 * q as u64 + 6 * (2.0 * p as f64).sqrt().ceil() as u64
+}
+
+/// Theorem 1(2): upper bound `22q + 6·⌈log₂p⌉` on the Greedy critical path
+/// (TT kernels).
+pub fn greedy_tt_cp_upper_bound(p: usize, q: usize) -> u64 {
+    22 * q as u64 + 6 * ceil_log2(p)
+}
+
+/// Theorem 1(3): lower bound `22q − 30` on the critical path of *any* tiled
+/// algorithm (TT kernels) for a matrix with at least `q ≥ 2` tile columns.
+pub fn tt_cp_lower_bound(q: usize) -> u64 {
+    (22 * q as i64 - 30).max(0) as u64
+}
+
+/// Coarse-grain critical path of Sameh-Kuck: `p + q − 2` for `p > q`,
+/// `2q − 3` for `p = q` (Section 3.1).
+pub fn sameh_kuck_coarse_cp(p: usize, q: usize) -> usize {
+    assert!(p >= q && q >= 1);
+    if p == q {
+        if q == 1 {
+            0
+        } else {
+            2 * q - 3
+        }
+    } else {
+        p + q - 2
+    }
+}
+
+/// Coarse-grain critical path of Fibonacci: `x + 2q − 2` for `p > q` (and
+/// `x + 2q − 4` for `p = q`), where `x` is the least integer with
+/// `x(x+1)/2 ≥ p − 1` (Section 3.1).
+pub fn fibonacci_coarse_cp(p: usize, q: usize) -> usize {
+    assert!(p >= q && q >= 1);
+    let x = least_triangular_cover(p - 1);
+    if p == q {
+        (x + 2 * q).saturating_sub(4)
+    } else {
+        x + 2 * q - 2
+    }
+}
+
+/// Least integer `x ≥ 0` such that `x(x+1)/2 ≥ n`.
+pub fn least_triangular_cover(n: usize) -> usize {
+    let mut x = 0usize;
+    while x * (x + 1) / 2 < n {
+        x += 1;
+    }
+    x
+}
+
+/// Ceiling of `log₂ n` for `n ≥ 1`.
+pub fn ceil_log2(n: usize) -> u64 {
+    assert!(n >= 1);
+    (usize::BITS - (n - 1).leading_zeros()) as u64
+}
+
+/// The asymptotic-optimality predicate of Theorem 1(4): Fibonacci is
+/// asymptotically optimal whenever `p = q²·f(q)` with `f → 0`; in particular
+/// whenever `p` and `q` are proportional. This helper computes the ratio of
+/// an algorithm's critical path to the `22q − 30` lower bound, which the
+/// examples and benches use to illustrate convergence to 1.
+pub fn optimality_ratio(critical_path: u64, q: usize) -> f64 {
+    let lower = tt_cp_lower_bound(q);
+    if lower == 0 {
+        f64::INFINITY
+    } else {
+        critical_path as f64 / lower as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_tree_tt_special_cases() {
+        assert_eq!(flat_tree_tt_cp(1, 1), 4);
+        assert_eq!(flat_tree_tt_cp(5, 1), 12);
+        assert_eq!(flat_tree_tt_cp(15, 6), 6 * 15 + 16 * 6 - 22);
+        assert_eq!(flat_tree_tt_cp(6, 6), 22 * 6 - 24);
+    }
+
+    #[test]
+    fn flat_tree_ts_special_cases() {
+        assert_eq!(flat_tree_ts_cp(1, 1), 4);
+        assert_eq!(flat_tree_ts_cp(5, 1), 28);
+        assert_eq!(flat_tree_ts_cp(15, 6), 12 * 15 + 18 * 6 - 32);
+        assert_eq!(flat_tree_ts_cp(6, 6), 30 * 6 - 34);
+    }
+
+    #[test]
+    fn ts_critical_path_is_longer_than_tt() {
+        for (p, q) in [(2usize, 1usize), (10, 1), (15, 6), (6, 6), (40, 20)] {
+            assert!(flat_tree_ts_cp(p, q) >= flat_tree_tt_cp(p, q), "p={p}, q={q}");
+        }
+    }
+
+    #[test]
+    fn binary_tree_formula_small_case() {
+        // worked example: p = 4, q = 2 gives 30
+        assert_eq!(binary_tree_tt_cp_power_of_two(4, 2), 30);
+        assert_eq!(binary_tree_tt_cp_power_of_two(64, 4), (10 + 36) * 4 - 24 - 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn binary_tree_formula_rejects_non_powers() {
+        let _ = binary_tree_tt_cp_power_of_two(12, 4);
+    }
+
+    #[test]
+    fn bounds_ordering() {
+        for (p, q) in [(40usize, 10usize), (64, 32), (128, 16)] {
+            assert!(tt_cp_lower_bound(q) <= greedy_tt_cp_upper_bound(p, q));
+            assert!(greedy_tt_cp_upper_bound(p, q) <= fibonacci_tt_cp_upper_bound(p, q) || p < 8);
+        }
+    }
+
+    #[test]
+    fn coarse_formulas() {
+        assert_eq!(sameh_kuck_coarse_cp(15, 6), 19);
+        assert_eq!(sameh_kuck_coarse_cp(6, 6), 9);
+        assert_eq!(fibonacci_coarse_cp(15, 6), 5 + 12 - 2);
+        assert_eq!(least_triangular_cover(14), 5);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(40), 6);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+    }
+
+    #[test]
+    fn optimality_ratio_tends_to_one_for_greedy_bound() {
+        // The Greedy upper bound over the lower bound tends to 1 when p = λq.
+        let r_small = greedy_tt_cp_upper_bound(8, 4) as f64 / tt_cp_lower_bound(4) as f64;
+        let r_large = greedy_tt_cp_upper_bound(800, 400) as f64 / tt_cp_lower_bound(400) as f64;
+        assert!(r_large < r_small);
+        assert!(r_large < 1.02);
+        assert!(optimality_ratio(22 * 1000 - 30, 1000) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_clamps_at_zero() {
+        assert_eq!(tt_cp_lower_bound(1), 0);
+        assert_eq!(tt_cp_lower_bound(2), 14);
+    }
+}

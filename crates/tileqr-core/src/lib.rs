@@ -1,0 +1,37 @@
+//! Tiled-QR algorithm layer: elimination trees, task DAGs, critical-path
+//! simulation and performance modelling.
+//!
+//! This crate contains everything from the paper that is *combinatorial* —
+//! independent of the actual floating-point kernels:
+//!
+//! * [`elim`] — elimination lists and their validity conditions (Section 2.2);
+//! * [`algorithms`] — FlatTree (Sameh-Kuck), Fibonacci, Greedy, BinaryTree
+//!   and PlasmaTree generators (Section 3);
+//! * [`coarse`] — the coarse-grain model of the Givens-rotation literature
+//!   and the paper's Table 2;
+//! * [`dag`] — the weighted kernel task graph for the TT and TS kernel
+//!   families (Sections 2.1 and 2.3);
+//! * [`sim`] — the discrete-event simulator: unbounded/bounded schedules,
+//!   per-tile elimination times (Tables 3–4), critical paths (Table 5) and
+//!   the dynamic Asap / Grasap(k) algorithms;
+//! * [`formulas`] — the closed forms and bounds of Theorem 1 and
+//!   Propositions 1–2;
+//! * [`perfmodel`] — the roofline-style prediction of Section 4.
+//!
+//! The crate is `no-float-kernel`: it never touches matrix entries, so it can
+//! be used on its own to study schedules (that is exactly what the paper's
+//! SimGrid-based simulator did).
+
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod coarse;
+pub mod dag;
+pub mod elim;
+pub mod formulas;
+pub mod perfmodel;
+pub mod sim;
+
+pub use algorithms::Algorithm;
+pub use dag::{KernelFamily, TaskDag, TaskKind};
+pub use elim::{Elimination, EliminationList};

@@ -1,0 +1,121 @@
+//! Roofline-style performance prediction (Section 4).
+//!
+//! The paper predicts the performance of an algorithm on `P` cores from two
+//! quantities only: the total work `T` and the critical path length `cp`
+//! (both in the same abstract unit of `nb³/3` flops):
+//!
+//! ```text
+//! γ_pred = γ_seq · T / max(T / P, cp)
+//! ```
+//!
+//! where `γ_seq` is the measured sequential speed of the kernels. The bound
+//! is either the perfectly-parallel execution (`T / P`) or the critical path,
+//! whichever is larger — the same idea as the Roofline model.
+
+use crate::dag::{KernelFamily, TaskDag};
+use crate::elim::EliminationList;
+use crate::sim::simulate_unbounded;
+
+/// Inputs of the prediction: everything is expressed in abstract task-weight
+/// units (`nb³/3` flops); `gamma_seq` is in GFLOP/s (or any consistent rate
+/// unit — the prediction has the same unit).
+#[derive(Clone, Copy, Debug)]
+pub struct PredictionInput {
+    /// Total work of the factorization in `nb³/3` units (`6pq² − 2q³`).
+    pub total_weight: u64,
+    /// Critical path length in `nb³/3` units.
+    pub critical_path: u64,
+    /// Number of processors.
+    pub processors: usize,
+    /// Sequential kernel speed.
+    pub gamma_seq: f64,
+}
+
+/// Predicted performance `γ_pred = γ_seq · T / max(T/P, cp)`.
+pub fn predicted_rate(input: PredictionInput) -> f64 {
+    assert!(input.processors >= 1, "need at least one processor");
+    let t = input.total_weight as f64;
+    if t == 0.0 {
+        return 0.0;
+    }
+    let cp = input.critical_path as f64;
+    let bound = (t / input.processors as f64).max(cp);
+    input.gamma_seq * t / bound
+}
+
+/// Parallel efficiency implied by the prediction: `γ_pred / (P · γ_seq)`,
+/// in `[0, 1]`.
+pub fn predicted_efficiency(input: PredictionInput) -> f64 {
+    predicted_rate(input) / (input.processors as f64 * input.gamma_seq)
+}
+
+/// Convenience: build the prediction for an elimination list directly.
+pub fn predict_for_list(
+    list: &EliminationList,
+    family: KernelFamily,
+    processors: usize,
+    gamma_seq: f64,
+) -> f64 {
+    let dag = TaskDag::build(list, family);
+    let sched = simulate_unbounded(&dag);
+    predicted_rate(PredictionInput {
+        total_weight: dag.total_weight(),
+        critical_path: sched.critical_path,
+        processors,
+        gamma_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{flat_tree, greedy};
+
+    #[test]
+    fn single_processor_prediction_is_sequential_speed() {
+        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 1, gamma_seq: 3.5 };
+        assert!((predicted_rate(input) - 3.5).abs() < 1e-12);
+        assert!((predicted_efficiency(input) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_bound_kicks_in_for_many_processors() {
+        // With infinitely many processors the rate saturates at γ_seq·T/cp.
+        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 1_000_000, gamma_seq: 2.0 };
+        assert!((predicted_rate(input) - 2.0 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_bound_kicks_in_for_few_processors() {
+        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 4, gamma_seq: 2.0 };
+        // T/P = 250 > cp = 100, so the prediction is P·γ_seq
+        assert!((predicted_rate(input) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prediction_never_exceeds_linear_speedup() {
+        for procs in [1usize, 2, 8, 48, 1024] {
+            let input = PredictionInput { total_weight: 5000, critical_path: 180, processors: procs, gamma_seq: 3.0 };
+            assert!(predicted_rate(input) <= procs as f64 * 3.0 + 1e-9);
+            let eff = predicted_efficiency(input);
+            assert!((0.0..=1.0 + 1e-12).contains(&eff));
+        }
+    }
+
+    #[test]
+    fn greedy_predicts_at_least_flat_tree_for_tall_matrices() {
+        // shorter critical path ⇒ higher predicted rate once cp-bound
+        let p = 40;
+        let q = 4;
+        let procs = 48;
+        let g = predict_for_list(&greedy(p, q), KernelFamily::TT, procs, 1.0);
+        let f = predict_for_list(&flat_tree(p, q), KernelFamily::TT, procs, 1.0);
+        assert!(g >= f, "greedy {g} < flat tree {f}");
+    }
+
+    #[test]
+    fn zero_work_predicts_zero() {
+        let input = PredictionInput { total_weight: 0, critical_path: 0, processors: 4, gamma_seq: 2.0 };
+        assert_eq!(predicted_rate(input), 0.0);
+    }
+}

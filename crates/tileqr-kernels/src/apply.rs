@@ -1,0 +1,326 @@
+//! Update kernels: [`unmqr`], [`tsmqr`] and [`ttmqr`].
+//!
+//! Each factorization kernel of [`crate::factor`] has a companion update that
+//! applies the computed block reflector to the trailing tiles of the same
+//! row(s). All three accept a [`Trans`] flag:
+//!
+//! * [`Trans::ConjTrans`] applies `Qᴴ` — this is what the factorization and
+//!   the `Qᴴ·B` driver use;
+//! * [`Trans::NoTrans`] applies `Q` — used when explicitly building the
+//!   `Q` factor or multiplying by it.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+use crate::blas::{
+    conj_trans_mul, conj_trans_mul_unit_lower, sub_mul_assign, sub_mul_assign_unit_lower,
+    trmm_upper_left,
+};
+
+/// Whether an update kernel applies `Q` or `Qᴴ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Apply `Q = I − V·T·Vᴴ`.
+    NoTrans,
+    /// Apply `Qᴴ = I − V·Tᴴ·Vᴴ`.
+    ConjTrans,
+}
+
+impl Trans {
+    #[inline]
+    fn conj_t(self) -> bool {
+        matches!(self, Trans::ConjTrans)
+    }
+}
+
+/// UNMQR: applies the block reflector computed by [`crate::geqrt`] on tile
+/// `(r, k)` to the trailing tile `c` of the same row.
+///
+/// `v` is the factored tile (Householder vectors in its strictly lower part,
+/// unit diagonal implicit — the upper triangle holding `R` is ignored);
+/// `t` is the companion triangular factor.
+///
+/// Paper cost: `6` units of `nb³/3` flops.
+pub fn unmqr<T: Scalar<Real = f64>>(v: &Matrix<T>, t: &Matrix<T>, c: &mut Matrix<T>, trans: Trans) {
+    let nb = v.rows();
+    assert_eq!(v.cols(), nb, "UNMQR reflector tile must be square");
+    assert_eq!(c.rows(), nb, "UNMQR target tile must match the reflector tile");
+    // W = Vᴴ·C
+    let mut w = conj_trans_mul_unit_lower(v, c);
+    // W = op(T)·W
+    trmm_upper_left(t, &mut w, trans.conj_t());
+    // C = C − V·W
+    sub_mul_assign_unit_lower(c, v, &w);
+}
+
+/// TSMQR: applies the block reflector computed by [`crate::tsqrt`] to the
+/// stacked pair of trailing tiles `[c1; c2]` (pivot row on top, annihilated
+/// row below).
+///
+/// `v2` is the dense bottom block of Householder vectors produced by
+/// [`crate::tsqrt`] and `t` its triangular factor.
+///
+/// Paper cost: `12` units of `nb³/3` flops.
+pub fn tsmqr<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TSMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TSMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TSMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TSMQR C1/C2 must have the same width");
+    // W = C1 + V2ᴴ·C2   (the identity top part of V contributes C1 directly)
+    let mut w = conj_trans_mul(v2, c2);
+    w = w.add(c1);
+    // W = op(T)·W
+    trmm_upper_left(t, &mut w, trans.conj_t());
+    // C1 = C1 − W ; C2 = C2 − V2·W
+    *c1 = c1.sub(&w);
+    sub_mul_assign(c2, v2, &w);
+}
+
+/// TTMQR: applies the block reflector computed by [`crate::ttqrt`] to the
+/// stacked pair of trailing tiles `[c1; c2]`.
+///
+/// `v2` holds the Householder vectors in its **upper triangle** (the strictly
+/// lower part is ignored, matching [`crate::ttqrt`]'s output); the triangular
+/// structure is exploited so this kernel costs half of [`tsmqr`].
+///
+/// Paper cost: `6` units of `nb³/3` flops.
+pub fn ttmqr<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TTMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TTMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TTMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TTMQR C1/C2 must have the same width");
+    let ncols = c1.cols();
+
+    // W = C1 + V2ᴴ·C2, exploiting the upper-triangular structure of V2:
+    // column k of V2 has nonzeros only in rows 0..=k.
+    let mut w = Matrix::zeros(nb, ncols);
+    for j in 0..ncols {
+        let c2_col = c2.col(j);
+        let c1_col = c1.col(j);
+        let w_col = w.col_mut(j);
+        for (k, wk) in w_col.iter_mut().enumerate() {
+            let v_col = v2.col(k);
+            let mut acc = c1_col[k];
+            for r in 0..=k {
+                acc += v_col[r].conj() * c2_col[r];
+            }
+            *wk = acc;
+        }
+    }
+    // W = op(T)·W
+    trmm_upper_left(t, &mut w, trans.conj_t());
+    // C1 = C1 − W ; C2 = C2 − V2·W (triangular V2)
+    *c1 = c1.sub(&w);
+    for j in 0..ncols {
+        let w_col = w.col(j);
+        let c2_col = c2.col_mut(j);
+        for k in 0..nb {
+            let wkj = w_col[k];
+            if wkj.is_zero() {
+                continue;
+            }
+            let v_col = v2.col(k);
+            for r in 0..=k {
+                c2_col[r] -= v_col[r] * wkj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{geqrt, tsqrt, ttqrt};
+    use tileqr_matrix::generate::random_matrix;
+    use tileqr_matrix::norms::frobenius_norm;
+    use tileqr_matrix::Complex64;
+
+    const TOL: f64 = 1e-12;
+
+    fn assert_close<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &Matrix<T>) {
+        let d = frobenius_norm(&a.sub(b)) / (1.0 + frobenius_norm(a));
+        assert!(d < TOL, "matrices differ by {d}");
+    }
+
+    /// Explicit Q = I − V·T·Vᴴ for a GEQRT-factored tile.
+    fn explicit_q_geqrt<T: Scalar<Real = f64>>(a: &Matrix<T>, t: &Matrix<T>) -> Matrix<T> {
+        let nb = a.rows();
+        let v = Matrix::from_fn(nb, nb, |i, j| {
+            if i == j {
+                T::ONE
+            } else if i > j {
+                a.get(i, j)
+            } else {
+                T::ZERO
+            }
+        });
+        Matrix::<T>::identity(nb).sub(&v.matmul(&t.matmul(&v.conj_transpose())))
+    }
+
+    /// Explicit 2nb × 2nb Q for a TS/TT-factored tile pair with bottom block V2.
+    fn explicit_q_stacked<T: Scalar<Real = f64>>(v2: &Matrix<T>, t: &Matrix<T>) -> Matrix<T> {
+        let nb = v2.rows();
+        let mut v = Matrix::zeros(2 * nb, nb);
+        for j in 0..nb {
+            v.set(j, j, T::ONE);
+        }
+        v.copy_block(nb, 0, v2, 0, 0, nb, nb);
+        Matrix::<T>::identity(2 * nb).sub(&v.matmul(&t.matmul(&v.conj_transpose())))
+    }
+
+    fn check_unmqr<T: tileqr_matrix::generate::RandomScalar>(nb: usize, seed: u64) {
+        let mut a: Matrix<T> = random_matrix(nb, nb, seed);
+        let mut t = Matrix::zeros(nb, nb);
+        geqrt(&mut a, &mut t);
+        let q = explicit_q_geqrt(&a, &t);
+
+        let c0: Matrix<T> = random_matrix(nb, nb, seed + 1);
+        let mut c = c0.clone();
+        unmqr(&a, &t, &mut c, Trans::ConjTrans);
+        assert_close(&c, &q.conj_transpose().matmul(&c0));
+
+        let mut c = c0.clone();
+        unmqr(&a, &t, &mut c, Trans::NoTrans);
+        assert_close(&c, &q.matmul(&c0));
+    }
+
+    #[test]
+    fn unmqr_applies_q_and_qh() {
+        for nb in [1usize, 2, 5, 16] {
+            check_unmqr::<f64>(nb, 300 + nb as u64);
+            check_unmqr::<Complex64>(nb, 400 + nb as u64);
+        }
+    }
+
+    fn check_tsmqr<T: tileqr_matrix::generate::RandomScalar>(nb: usize, seed: u64) {
+        let mut r1: Matrix<T> = random_matrix(nb, nb, seed);
+        r1.zero_below_diagonal();
+        let mut a2: Matrix<T> = random_matrix(nb, nb, seed + 1);
+        let mut t = Matrix::zeros(nb, nb);
+        tsqrt(&mut r1, &mut a2, &mut t);
+        let q = explicit_q_stacked(&a2, &t);
+
+        let c1_0: Matrix<T> = random_matrix(nb, nb, seed + 2);
+        let c2_0: Matrix<T> = random_matrix(nb, nb, seed + 3);
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.copy_block(0, 0, &c1_0, 0, 0, nb, nb);
+        stacked.copy_block(nb, 0, &c2_0, 0, 0, nb, nb);
+
+        for trans in [Trans::ConjTrans, Trans::NoTrans] {
+            let mut c1 = c1_0.clone();
+            let mut c2 = c2_0.clone();
+            tsmqr(&a2, &t, &mut c1, &mut c2, trans);
+            let expected = match trans {
+                Trans::ConjTrans => q.conj_transpose().matmul(&stacked),
+                Trans::NoTrans => q.matmul(&stacked),
+            };
+            assert_close(&c1, &expected.sub_matrix(0, 0, nb, nb));
+            assert_close(&c2, &expected.sub_matrix(nb, 0, nb, nb));
+        }
+    }
+
+    #[test]
+    fn tsmqr_applies_q_and_qh() {
+        for nb in [1usize, 2, 4, 12] {
+            check_tsmqr::<f64>(nb, 500 + nb as u64);
+            check_tsmqr::<Complex64>(nb, 600 + nb as u64);
+        }
+    }
+
+    fn check_ttmqr<T: tileqr_matrix::generate::RandomScalar>(nb: usize, seed: u64) {
+        let mut r1: Matrix<T> = random_matrix(nb, nb, seed);
+        r1.zero_below_diagonal();
+        let mut r2: Matrix<T> = random_matrix(nb, nb, seed + 1);
+        r2.zero_below_diagonal();
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut r2, &mut t);
+        let q = explicit_q_stacked(&r2, &t);
+
+        let c1_0: Matrix<T> = random_matrix(nb, nb, seed + 2);
+        let c2_0: Matrix<T> = random_matrix(nb, nb, seed + 3);
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.copy_block(0, 0, &c1_0, 0, 0, nb, nb);
+        stacked.copy_block(nb, 0, &c2_0, 0, 0, nb, nb);
+
+        for trans in [Trans::ConjTrans, Trans::NoTrans] {
+            let mut c1 = c1_0.clone();
+            let mut c2 = c2_0.clone();
+            ttmqr(&r2, &t, &mut c1, &mut c2, trans);
+            let expected = match trans {
+                Trans::ConjTrans => q.conj_transpose().matmul(&stacked),
+                Trans::NoTrans => q.matmul(&stacked),
+            };
+            assert_close(&c1, &expected.sub_matrix(0, 0, nb, nb));
+            assert_close(&c2, &expected.sub_matrix(nb, 0, nb, nb));
+        }
+    }
+
+    #[test]
+    fn ttmqr_applies_q_and_qh() {
+        for nb in [1usize, 2, 4, 12] {
+            check_ttmqr::<f64>(nb, 700 + nb as u64);
+            check_ttmqr::<Complex64>(nb, 800 + nb as u64);
+        }
+    }
+
+    #[test]
+    fn ttmqr_ignores_garbage_below_v2_diagonal() {
+        // After TTQRT in a real factorization the lower part of the V2 tile
+        // still holds Householder vectors from an earlier GEQRT; TTMQR must
+        // not read them.
+        let nb = 6;
+        let mut r1: Matrix<f64> = random_matrix(nb, nb, 900);
+        r1.zero_below_diagonal();
+        let mut r2: Matrix<f64> = random_matrix(nb, nb, 901);
+        r2.zero_below_diagonal();
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut r2, &mut t);
+
+        let c1_0: Matrix<f64> = random_matrix(nb, nb, 902);
+        let c2_0: Matrix<f64> = random_matrix(nb, nb, 903);
+
+        let mut c1_clean = c1_0.clone();
+        let mut c2_clean = c2_0.clone();
+        ttmqr(&r2, &t, &mut c1_clean, &mut c2_clean, Trans::ConjTrans);
+
+        // pollute the strictly lower part of v2
+        let mut r2_dirty = r2.clone();
+        for j in 0..nb {
+            for i in (j + 1)..nb {
+                r2_dirty.set(i, j, 1234.5);
+            }
+        }
+        let mut c1_dirty = c1_0.clone();
+        let mut c2_dirty = c2_0.clone();
+        ttmqr(&r2_dirty, &t, &mut c1_dirty, &mut c2_dirty, Trans::ConjTrans);
+
+        assert_eq!(c1_clean, c1_dirty);
+        assert_eq!(c2_clean, c2_dirty);
+    }
+
+    #[test]
+    fn unmqr_roundtrip_q_then_qh_restores_input() {
+        let nb = 10;
+        let mut a: Matrix<Complex64> = random_matrix(nb, nb, 950);
+        let mut t = Matrix::zeros(nb, nb);
+        geqrt(&mut a, &mut t);
+        let c0: Matrix<Complex64> = random_matrix(nb, nb, 951);
+        let mut c = c0.clone();
+        unmqr(&a, &t, &mut c, Trans::ConjTrans);
+        unmqr(&a, &t, &mut c, Trans::NoTrans);
+        assert_close(&c, &c0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Small BLAS-like helpers used by the tile kernels.
+//!
+//! These are deliberately specialized (left-multiplication by a small upper
+//! triangular matrix, `C ± A·B`, `Aᴴ·B`) rather than a general GEMM: each
+//! kernel's update is expressed with two or three of these calls, which keeps
+//! the kernel code close to the mathematics in the paper and in the LAPACK
+//! `larfb`/`tpmqrt` routines they mirror.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+/// Returns `Aᴴ · B`.
+pub fn conj_trans_mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.rows(), b.rows(), "Aᴴ·B: row counts must agree");
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for j in 0..b.cols() {
+        let b_col = b.col(j);
+        let o_col = out.col_mut(j);
+        for (k, o) in o_col.iter_mut().enumerate() {
+            let a_col = a.col(k);
+            let mut acc = T::ZERO;
+            for i in 0..a.rows() {
+                acc += a_col[i].conj() * b_col[i];
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// `C := C - A · B`.
+pub fn sub_mul_assign<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    assert_eq!(a.cols(), b.rows(), "C-=A·B: inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "C-=A·B: row counts must agree");
+    assert_eq!(c.cols(), b.cols(), "C-=A·B: column counts must agree");
+    for j in 0..b.cols() {
+        for k in 0..a.cols() {
+            let bkj = b.get(k, j);
+            if bkj.is_zero() {
+                continue;
+            }
+            let a_col = a.col(k);
+            let c_col = c.col_mut(j);
+            for i in 0..a_col.len() {
+                c_col[i] -= a_col[i] * bkj;
+            }
+        }
+    }
+}
+
+/// `C := C - A · B` where `A` is *unit lower triangular* (implicit unit
+/// diagonal, strictly-lower entries taken from `a`, upper part ignored).
+///
+/// This is the `V`-application shape used by [`crate::unmqr`], where the
+/// Householder vectors are stored in the strictly lower part of the factored
+/// tile.
+pub fn sub_mul_assign_unit_lower<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "V must be square");
+    assert_eq!(b.rows(), n, "C-=V·B: inner dimensions must agree");
+    assert_eq!(c.rows(), n, "C-=V·B: row counts must agree");
+    assert_eq!(c.cols(), b.cols(), "C-=V·B: column counts must agree");
+    for j in 0..b.cols() {
+        for k in 0..n {
+            let bkj = b.get(k, j);
+            if bkj.is_zero() {
+                continue;
+            }
+            let a_col = a.col(k);
+            let c_col = c.col_mut(j);
+            // unit diagonal entry
+            c_col[k] -= bkj;
+            for i in (k + 1)..n {
+                c_col[i] -= a_col[i] * bkj;
+            }
+        }
+    }
+}
+
+/// Returns `Vᴴ · B` where `V` is *unit lower triangular* as in
+/// [`sub_mul_assign_unit_lower`].
+pub fn conj_trans_mul_unit_lower<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "V must be square");
+    assert_eq!(b.rows(), n, "Vᴴ·B: row counts must agree");
+    let mut out = Matrix::zeros(n, b.cols());
+    for j in 0..b.cols() {
+        let b_col = b.col(j);
+        let o_col = out.col_mut(j);
+        for (k, o) in o_col.iter_mut().enumerate() {
+            let a_col = a.col(k);
+            let mut acc = b_col[k]; // unit diagonal: conj(1) * b[k]
+            for i in (k + 1)..n {
+                acc += a_col[i].conj() * b_col[i];
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// In-place left multiplication by an upper triangular matrix:
+/// `B := op(T) · B`, with `op(T) = T` or `op(T) = Tᴴ`.
+///
+/// Only the upper triangle of `t` is referenced.
+pub fn trmm_upper_left<T: Scalar>(t: &Matrix<T>, b: &mut Matrix<T>, conj_trans: bool) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n, "T must be square");
+    assert_eq!(b.rows(), n, "op(T)·B: dimensions must agree");
+    for j in 0..b.cols() {
+        let b_col = b.col_mut(j);
+        if conj_trans {
+            // (Tᴴ B)[i] = sum_{k<=i} conj(T[k,i]) * B[k]; compute bottom-up so
+            // B entries are still the originals when read.
+            for i in (0..n).rev() {
+                let mut acc = T::ZERO;
+                for (k, &bk) in b_col.iter().enumerate().take(i + 1) {
+                    acc += t.get(k, i).conj() * bk;
+                }
+                b_col[i] = acc;
+            }
+        } else {
+            // (T B)[i] = sum_{k>=i} T[i,k] * B[k]; compute top-down.
+            for i in 0..n {
+                let mut acc = T::ZERO;
+                for (k, &bk) in b_col.iter().enumerate().skip(i) {
+                    acc += t.get(i, k) * bk;
+                }
+                b_col[i] = acc;
+            }
+        }
+    }
+}
+
+/// General square matrix product used by the benchmark harness as the GEMM
+/// reference series in Figures 4–5: `C := C + A·B`.
+pub fn gemm_acc<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    assert_eq!(a.cols(), b.rows(), "C+=A·B: inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "C+=A·B: row counts must agree");
+    assert_eq!(c.cols(), b.cols(), "C+=A·B: column counts must agree");
+    for j in 0..b.cols() {
+        for k in 0..a.cols() {
+            let bkj = b.get(k, j);
+            if bkj.is_zero() {
+                continue;
+            }
+            let a_col = a.col(k);
+            let c_col = c.col_mut(j);
+            for i in 0..a_col.len() {
+                c_col[i] += a_col[i] * bkj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::random_matrix;
+    use tileqr_matrix::norms::frobenius_norm;
+    use tileqr_matrix::Complex64;
+
+    fn assert_close<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &Matrix<T>, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        let d = frobenius_norm(&a.sub(b));
+        assert!(d < tol, "matrices differ by {d}");
+    }
+
+    #[test]
+    fn conj_trans_mul_matches_naive() {
+        let a: Matrix<f64> = random_matrix(5, 3, 1);
+        let b: Matrix<f64> = random_matrix(5, 4, 2);
+        let expected = a.conj_transpose().matmul(&b);
+        assert_close(&conj_trans_mul(&a, &b), &expected, 1e-13);
+
+        let az: Matrix<Complex64> = random_matrix(5, 3, 3);
+        let bz: Matrix<Complex64> = random_matrix(5, 4, 4);
+        let expectedz = az.conj_transpose().matmul(&bz);
+        assert_close(&conj_trans_mul(&az, &bz), &expectedz, 1e-13);
+    }
+
+    #[test]
+    fn sub_mul_assign_matches_naive() {
+        let a: Matrix<f64> = random_matrix(4, 3, 5);
+        let b: Matrix<f64> = random_matrix(3, 6, 6);
+        let mut c: Matrix<f64> = random_matrix(4, 6, 7);
+        let expected = c.sub(&a.matmul(&b));
+        sub_mul_assign(&mut c, &a, &b);
+        assert_close(&c, &expected, 1e-13);
+    }
+
+    #[test]
+    fn unit_lower_helpers_match_explicit_v() {
+        let n = 6;
+        let a: Matrix<Complex64> = random_matrix(n, n, 8);
+        // Build the explicit unit-lower-triangular V that the helpers assume.
+        let v = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex64::ONE
+            } else if i > j {
+                a.get(i, j)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let b: Matrix<Complex64> = random_matrix(n, 4, 9);
+
+        let expected_vh_b = v.conj_transpose().matmul(&b);
+        assert_close(&conj_trans_mul_unit_lower(&a, &b), &expected_vh_b, 1e-13);
+
+        let w: Matrix<Complex64> = random_matrix(n, 4, 10);
+        let mut c = b.clone();
+        let expected = b.sub(&v.matmul(&w));
+        sub_mul_assign_unit_lower(&mut c, &a, &w);
+        assert_close(&c, &expected, 1e-13);
+    }
+
+    #[test]
+    fn trmm_upper_left_matches_explicit_triangle() {
+        let n = 5;
+        let full: Matrix<Complex64> = random_matrix(n, n, 11);
+        let t = Matrix::from_fn(n, n, |i, j| if i <= j { full.get(i, j) } else { Complex64::ZERO });
+        let b: Matrix<Complex64> = random_matrix(n, 3, 12);
+
+        let mut b1 = b.clone();
+        trmm_upper_left(&t, &mut b1, false);
+        assert_close(&b1, &t.matmul(&b), 1e-13);
+
+        let mut b2 = b.clone();
+        trmm_upper_left(&t, &mut b2, true);
+        assert_close(&b2, &t.conj_transpose().matmul(&b), 1e-13);
+    }
+
+    #[test]
+    fn trmm_ignores_strictly_lower_part() {
+        let n = 4;
+        let t_upper: Matrix<f64> = Matrix::from_fn(n, n, |i, j| if i <= j { (i + j + 1) as f64 } else { 0.0 });
+        let mut t_dirty = t_upper.clone();
+        // garbage below the diagonal must not change the result
+        for j in 0..n {
+            for i in (j + 1)..n {
+                t_dirty.set(i, j, 99.0);
+            }
+        }
+        let b: Matrix<f64> = random_matrix(n, 2, 13);
+        let mut b1 = b.clone();
+        let mut b2 = b.clone();
+        trmm_upper_left(&t_upper, &mut b1, false);
+        trmm_upper_left(&t_dirty, &mut b2, false);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let a: Matrix<f64> = random_matrix(4, 4, 14);
+        let b: Matrix<f64> = random_matrix(4, 4, 15);
+        let mut c = Matrix::<f64>::zeros(4, 4);
+        gemm_acc(&mut c, &a, &b);
+        assert_close(&c, &a.matmul(&b), 1e-13);
+        gemm_acc(&mut c, &a, &b);
+        assert_close(&c, &a.matmul(&b).scaled(2.0), 1e-13);
+    }
+}

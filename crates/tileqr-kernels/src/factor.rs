@@ -1,0 +1,418 @@
+//! Factorization kernels: [`geqrt`], [`tsqrt`] and [`ttqrt`].
+//!
+//! These are the three ways the paper introduces zeros (Section 2.1):
+//!
+//! * [`geqrt`] — *"factor square into triangle"*: ordinary QR of one tile.
+//! * [`tsqrt`] — *"zero square with triangle on top"*: QR of the 2·nb × nb
+//!   matrix formed by an upper-triangular tile stacked on a full tile
+//!   (the TS kernel family).
+//! * [`ttqrt`] — *"zero triangle with triangle on top"*: QR of two stacked
+//!   upper-triangular tiles (the TT kernel family), which costs a third of
+//!   [`tsqrt`] and is the building block of the new algorithms.
+//!
+//! Each kernel overwrites its inputs with the `R` factor and the Householder
+//! vectors, and produces the upper triangular `T` factor of the compact WY
+//! representation that the corresponding update kernel
+//! ([`crate::unmqr`], [`crate::tsmqr`], [`crate::ttmqr`]) consumes.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+use crate::householder::{larfg, larft};
+
+/// GEQRT: in-place QR factorization of a square `nb × nb` tile.
+///
+/// On exit `a` holds `R` in its upper triangle and the Householder vectors
+/// `V` (unit diagonal implicit) in its strictly lower part; `t` receives the
+/// `nb × nb` upper triangular block-reflector factor.
+///
+/// Paper cost: `4` units of `nb³/3` flops.
+pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = a.rows();
+    assert_eq!(a.cols(), nb, "GEQRT operates on square tiles");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        // Generate the reflector annihilating a[j+1.., j].
+        let tail_len = nb - j - 1;
+        for (r, v) in tail.iter_mut().enumerate().take(tail_len) {
+            *v = a.get(j + 1 + r, j);
+        }
+        let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
+        taus[j] = refl.tau;
+        a.set(j, j, refl.beta);
+        for r in 0..tail_len {
+            a.set(j + 1 + r, j, tail[r]);
+        }
+        // Apply Hᴴ to the trailing columns j+1.. of the tile.
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let col = a.col_mut(k);
+            let mut w = col[j];
+            for r in 0..tail_len {
+                w += tail[r].conj() * col[j + 1 + r];
+            }
+            let s = tau_c * w;
+            col[j] -= s;
+            for r in 0..tail_len {
+                col[j + 1 + r] -= tail[r] * s;
+            }
+        }
+    }
+
+    // Materialize the full V (unit lower triangular) to build T.
+    let v = Matrix::from_fn(nb, nb, |i, j| {
+        if i == j {
+            T::ONE
+        } else if i > j {
+            a.get(i, j)
+        } else {
+            T::ZERO
+        }
+    });
+    larft(&v, &taus, t);
+}
+
+/// TSQRT: QR factorization of `[R1; A2]`, where `R1` is the upper triangular
+/// tile produced by an earlier [`geqrt`]/[`tsqrt`] on the pivot row and `A2`
+/// is a full square tile to be annihilated.
+///
+/// On exit `r1` holds the updated `R` factor, `a2` holds the (dense) bottom
+/// parts `V2` of the Householder vectors (the top parts form an identity and
+/// are implicit), and `t` receives the block-reflector factor.
+///
+/// Paper cost: `6` units of `nb³/3` flops.
+pub fn tsqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, a2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TSQRT pivot tile must be square");
+    assert_eq!(a2.shape(), (nb, nb), "TSQRT target tile must match the pivot tile");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        // Reflector on [r1[j,j]; a2[:, j]] — the tail is the whole column of a2.
+        tail.copy_from_slice(a2.col(j));
+        let refl = larfg(r1.get(j, j), &mut tail);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        a2.col_mut(j).copy_from_slice(&tail);
+
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        // Apply Hᴴ to the trailing columns of [R1; A2].
+        for k in (j + 1)..nb {
+            // w = r1[j,k] + v2ᴴ · a2[:,k]
+            let mut w = r1.get(j, k);
+            {
+                let a2_col = a2.col(k);
+                for r in 0..nb {
+                    w += tail[r].conj() * a2_col[r];
+                }
+            }
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            let a2_col = a2.col_mut(k);
+            for r in 0..nb {
+                a2_col[r] -= tail[r] * s;
+            }
+        }
+    }
+
+    build_t_from_bottom_block(a2, &taus, t, false);
+}
+
+/// TTQRT: QR factorization of `[R1; R2]` where **both** tiles are upper
+/// triangular. This is the cheap kernel that makes the TT algorithm family
+/// attractive: only the leading `j+1` rows of column `j` of `R2` are nonzero,
+/// so the reflectors and the updates stay within the upper triangle.
+///
+/// On exit `r1` holds the updated `R` factor, `r2` holds the (upper
+/// triangular) bottom parts `V2` of the Householder vectors, and `t` receives
+/// the block-reflector factor.
+///
+/// Paper cost: `2` units of `nb³/3` flops.
+pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TTQRT pivot tile must be square");
+    assert_eq!(r2.shape(), (nb, nb), "TTQRT target tile must match the pivot tile");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        // Only the upper triangle of r2 is referenced: rows 0..=j of column j.
+        // (The strictly lower part may hold Householder vectors from an
+        // earlier GEQRT on the same tile, exactly as in PLASMA.)
+        let len = j + 1;
+        tail[..len].copy_from_slice(&r2.col(j)[..len]);
+        let refl = larfg(r1.get(j, j), &mut tail[..len]);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        r2.col_mut(j)[..len].copy_from_slice(&tail[..len]);
+
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let mut w = r1.get(j, k);
+            {
+                let r2_col = r2.col(k);
+                for r in 0..len {
+                    w += tail[r].conj() * r2_col[r];
+                }
+            }
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            let r2_col = r2.col_mut(k);
+            for r in 0..len {
+                r2_col[r] -= tail[r] * s;
+            }
+        }
+    }
+
+    build_t_from_bottom_block(r2, &taus, t, true);
+}
+
+/// Builds the `T` factor for TS/TT reflectors, whose Householder vectors are
+/// `[e_j; v2_j]`: the identity top parts contribute nothing to the inner
+/// products, so `T` only depends on the bottom block `V2`.
+///
+/// When `v2_is_upper_triangular` is true (TTQRT) the inner products are
+/// restricted to the triangle.
+fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    taus: &[T],
+    t: &mut Matrix<T>,
+    v2_is_upper_triangular: bool,
+) {
+    let nb = v2.rows();
+    let k = taus.len();
+    for j in 0..k {
+        for i in j..k {
+            t.set(i, j, T::ZERO);
+        }
+        if taus[j].is_zero() {
+            for i in 0..j {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        let vj = v2.col(j);
+        let rows = if v2_is_upper_triangular { j + 1 } else { nb };
+        // w = V2(:, 0..j)ᴴ · v2_j
+        let mut w = vec![T::ZERO; j];
+        for (a, wa) in w.iter_mut().enumerate() {
+            let va = v2.col(a);
+            let lim = if v2_is_upper_triangular { (a + 1).min(rows) } else { rows };
+            let mut acc = T::ZERO;
+            for r in 0..lim {
+                acc += va[r].conj() * vj[r];
+            }
+            *wa = acc;
+        }
+        for i in 0..j {
+            let mut acc = T::ZERO;
+            for (a, &wa) in w.iter().enumerate().skip(i) {
+                acc += t.get(i, a) * wa;
+            }
+            t.set(i, j, -taus[j] * acc);
+        }
+        t.set(j, j, taus[j]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::{random_matrix, random_upper_triangular};
+    use tileqr_matrix::norms::{factorization_residual, frobenius_norm, orthogonality_residual};
+    use tileqr_matrix::Complex64;
+
+    use crate::reference::{householder_qr, DenseQr};
+
+    const TOL: f64 = 1e-12;
+
+    /// Reconstructs the 2nb × nb matrix factored by tsqrt/ttqrt from its
+    /// compact representation, by applying Q = I − V·T·Vᴴ to [R; 0].
+    fn reconstruct_stacked<T: Scalar<Real = f64>>(
+        r1: &Matrix<T>,
+        v2: &Matrix<T>,
+        t: &Matrix<T>,
+    ) -> Matrix<T> {
+        let nb = r1.rows();
+        // Stack [R; 0]
+        let mut rz = Matrix::zeros(2 * nb, nb);
+        rz.copy_block(0, 0, r1, 0, 0, nb, nb);
+        // V = [I; V2]
+        let mut v = Matrix::zeros(2 * nb, nb);
+        for j in 0..nb {
+            v.set(j, j, T::ONE);
+        }
+        v.copy_block(nb, 0, v2, 0, 0, nb, nb);
+        // Q · [R;0] = [R;0] − V·T·(Vᴴ·[R;0])
+        let w = v.conj_transpose().matmul(&rz);
+        let tw = t.matmul(&w);
+        rz.sub(&v.matmul(&tw))
+    }
+
+    fn check_geqrt<T: Scalar<Real = f64>>(a0: Matrix<T>) {
+        let nb = a0.rows();
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(nb, nb);
+        geqrt(&mut a, &mut t);
+        // R = upper triangle of a
+        let mut r = a.clone();
+        r.zero_below_diagonal();
+        // V = unit lower
+        let v = Matrix::from_fn(nb, nb, |i, j| {
+            if i == j {
+                T::ONE
+            } else if i > j {
+                a.get(i, j)
+            } else {
+                T::ZERO
+            }
+        });
+        // Q = I − V·T·Vᴴ ; A must equal Q·R
+        let q = Matrix::<T>::identity(nb).sub(&v.matmul(&t.matmul(&v.conj_transpose())));
+        assert!(factorization_residual(&a0, &q, &r) < TOL, "GEQRT reconstruction failed");
+        assert!(orthogonality_residual(&q) < TOL, "GEQRT Q not unitary");
+        assert!(t.is_upper_triangular(), "T factor not upper triangular");
+    }
+
+    #[test]
+    fn geqrt_factors_random_real_tiles() {
+        for (n, seed) in [(1usize, 1u64), (2, 2), (5, 3), (16, 4), (32, 5)] {
+            check_geqrt::<f64>(random_matrix(n, n, seed));
+        }
+    }
+
+    #[test]
+    fn geqrt_factors_random_complex_tiles() {
+        for (n, seed) in [(1usize, 11u64), (3, 12), (8, 13), (24, 14)] {
+            check_geqrt::<Complex64>(random_matrix(n, n, seed));
+        }
+    }
+
+    #[test]
+    fn geqrt_matches_reference_r_up_to_phase() {
+        // The R factors of the tile QR and of the reference dense QR agree up
+        // to the sign convention; both use negative-sign beta so they should
+        // agree exactly (within rounding).
+        let a: Matrix<f64> = random_matrix(12, 12, 21);
+        let mut tile = a.clone();
+        let mut t = Matrix::zeros(12, 12);
+        geqrt(&mut tile, &mut t);
+        let DenseQr { r, .. } = householder_qr(&a);
+        let mut r_tile = tile.clone();
+        r_tile.zero_below_diagonal();
+        let diff = frobenius_norm(&r_tile.sub(&r));
+        assert!(diff < 1e-10, "tile and reference R differ by {diff}");
+    }
+
+    #[test]
+    fn geqrt_on_already_triangular_tile_keeps_it() {
+        let r0: Matrix<f64> = random_upper_triangular(10, 33);
+        check_geqrt(r0);
+    }
+
+    fn check_tsqrt<T: tileqr_matrix::generate::RandomScalar>(nb: usize, seed: u64) {
+        // Start from an upper-triangular pivot tile and a full tile below.
+        let r1_0: Matrix<T> = {
+            let mut m: Matrix<T> = random_matrix(nb, nb, seed);
+            m.zero_below_diagonal();
+            m
+        };
+        let a2_0: Matrix<T> = random_matrix(nb, nb, seed + 1000);
+        let mut r1 = r1_0.clone();
+        let mut a2 = a2_0.clone();
+        let mut t = Matrix::zeros(nb, nb);
+        tsqrt(&mut r1, &mut a2, &mut t);
+
+        // Original stacked matrix
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.copy_block(0, 0, &r1_0, 0, 0, nb, nb);
+        stacked.copy_block(nb, 0, &a2_0, 0, 0, nb, nb);
+
+        let mut r_new = r1.clone();
+        r_new.zero_below_diagonal();
+        let rec = reconstruct_stacked(&r_new, &a2, &t);
+        let resid = frobenius_norm(&rec.sub(&stacked)) / (1.0 + frobenius_norm(&stacked));
+        assert!(resid < TOL, "TSQRT reconstruction residual {resid}");
+        assert!(r_new.is_upper_triangular());
+    }
+
+    #[test]
+    fn tsqrt_reconstructs_real_and_complex() {
+        for nb in [1usize, 2, 4, 8, 16] {
+            check_tsqrt::<f64>(nb, 40 + nb as u64);
+            check_tsqrt::<Complex64>(nb, 80 + nb as u64);
+        }
+    }
+
+    fn check_ttqrt<T: tileqr_matrix::generate::RandomScalar>(nb: usize, seed: u64) {
+        let r1_0: Matrix<T> = {
+            let mut m: Matrix<T> = random_matrix(nb, nb, seed);
+            m.zero_below_diagonal();
+            m
+        };
+        let r2_0: Matrix<T> = {
+            let mut m: Matrix<T> = random_matrix(nb, nb, seed + 500);
+            m.zero_below_diagonal();
+            m
+        };
+        let mut r1 = r1_0.clone();
+        let mut r2 = r2_0.clone();
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut r2, &mut t);
+
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.copy_block(0, 0, &r1_0, 0, 0, nb, nb);
+        stacked.copy_block(nb, 0, &r2_0, 0, 0, nb, nb);
+
+        let mut r_new = r1.clone();
+        r_new.zero_below_diagonal();
+        let rec = reconstruct_stacked(&r_new, &r2, &t);
+        let resid = frobenius_norm(&rec.sub(&stacked)) / (1.0 + frobenius_norm(&stacked));
+        assert!(resid < TOL, "TTQRT reconstruction residual {resid}");
+        assert!(r_new.is_upper_triangular());
+        // The Householder block V2 stays upper triangular — that is what makes
+        // the TT kernels cheap.
+        assert!(r2.is_upper_triangular(), "TTQRT V2 must stay upper triangular");
+    }
+
+    #[test]
+    fn ttqrt_reconstructs_real_and_complex() {
+        for nb in [1usize, 2, 3, 8, 16] {
+            check_ttqrt::<f64>(nb, 140 + nb as u64);
+            check_ttqrt::<Complex64>(nb, 180 + nb as u64);
+        }
+    }
+
+    #[test]
+    fn ttqrt_with_zero_bottom_tile_is_identity_like() {
+        let nb = 6;
+        let r1_0: Matrix<f64> = random_upper_triangular(nb, 7);
+        let mut r1 = r1_0.clone();
+        let mut r2 = Matrix::<f64>::zeros(nb, nb);
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut r2, &mut t);
+        // Nothing to annihilate if the diagonal of r1 is already "real
+        // positive or negative": the reflectors may still flip signs, but the
+        // reconstruction must hold and r2 must stay zero-ish in norm.
+        let mut r_new = r1.clone();
+        r_new.zero_below_diagonal();
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.copy_block(0, 0, &r1_0, 0, 0, nb, nb);
+        let rec = reconstruct_stacked(&r_new, &r2, &t);
+        assert!(frobenius_norm(&rec.sub(&stacked)) < TOL);
+    }
+}

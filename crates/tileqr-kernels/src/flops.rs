@@ -1,0 +1,156 @@
+//! Floating-point operation counts and the paper's abstract task weights.
+//!
+//! The paper (Table 1) measures every kernel in units of `nb³/3` flops:
+//!
+//! | kernel | weight |
+//! |---|---|
+//! | GEQRT | 4 |
+//! | TSQRT | 6 |
+//! | TTQRT | 2 |
+//! | UNMQR | 6 |
+//! | TSMQR | 12 |
+//! | TTMQR | 6 |
+//!
+//! The critical-path analysis in `tileqr-core` works directly with these
+//! integer weights. The benchmark harness additionally needs *actual* flop
+//! counts to convert wall-clock times into GFLOP/s; those are provided here
+//! as functions of the tile size `nb`, using the standard convention that the
+//! whole factorization of an `m × n` (`m ≥ n`) matrix costs
+//! `2·m·n² − 2/3·n³` flops (`4×` that in complex arithmetic when counting
+//! real operations; we report "complex flops" like the paper, i.e. the same
+//! formula, so GFLOP/s are comparable across precisions).
+
+/// Kind of sequential kernel, used both by the DAG model and by the harness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Factor a square tile into a triangle.
+    Geqrt,
+    /// Zero a square tile with the triangle on top of it.
+    Tsqrt,
+    /// Zero a triangular tile with the triangle on top of it.
+    Ttqrt,
+    /// Apply a GEQRT reflector block to a trailing tile.
+    Unmqr,
+    /// Apply a TSQRT reflector block to a trailing tile pair.
+    Tsmqr,
+    /// Apply a TTQRT reflector block to a trailing tile pair.
+    Ttmqr,
+}
+
+impl KernelKind {
+    /// The paper's abstract weight in units of `nb³/3` flops (Table 1).
+    pub const fn weight(self) -> u64 {
+        match self {
+            KernelKind::Geqrt => 4,
+            KernelKind::Tsqrt => 6,
+            KernelKind::Ttqrt => 2,
+            KernelKind::Unmqr => 6,
+            KernelKind::Tsmqr => 12,
+            KernelKind::Ttmqr => 6,
+        }
+    }
+
+    /// Nominal flop count of the kernel for tile size `nb`, i.e.
+    /// `weight · nb³ / 3`.
+    pub fn flops(self, nb: usize) -> f64 {
+        let nb = nb as f64;
+        self.weight() as f64 * nb * nb * nb / 3.0
+    }
+
+    /// Short upper-case name as used in the paper's tables.
+    pub const fn name(self) -> &'static str {
+        match self {
+            KernelKind::Geqrt => "GEQRT",
+            KernelKind::Tsqrt => "TSQRT",
+            KernelKind::Ttqrt => "TTQRT",
+            KernelKind::Unmqr => "UNMQR",
+            KernelKind::Tsmqr => "TSMQR",
+            KernelKind::Ttmqr => "TTMQR",
+        }
+    }
+
+    /// All six kernels, in the order of the paper's Table 1.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::Geqrt,
+        KernelKind::Unmqr,
+        KernelKind::Tsqrt,
+        KernelKind::Tsmqr,
+        KernelKind::Ttqrt,
+        KernelKind::Ttmqr,
+    ];
+}
+
+/// Total flop count of a QR factorization of an `m × n` matrix (`m ≥ n`):
+/// `2·m·n² − 2/3·n³`.
+pub fn qr_flops(m: usize, n: usize) -> f64 {
+    let (m, n) = (m as f64, n as f64);
+    2.0 * m * n * n - 2.0 / 3.0 * n * n * n
+}
+
+/// Total abstract task weight of any tiled QR algorithm on a `p × q` tile
+/// matrix: `6·p·q² − 2·q³` units of `nb³/3` flops (Section 2.2 of the paper).
+/// This is algorithm independent — a key invariant checked by the tests.
+pub fn total_task_weight(p: usize, q: usize) -> u64 {
+    let (p, q) = (p as u64, q as u64);
+    6 * p * q * q - 2 * q * q * q
+}
+
+/// Flop count of one GEMM `C += A·B` on square `nb × nb` tiles
+/// (the reference series in the paper's Figures 4–5): `2·nb³`.
+pub fn gemm_flops(nb: usize) -> f64 {
+    2.0 * (nb as f64).powi(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_table_1() {
+        assert_eq!(KernelKind::Geqrt.weight(), 4);
+        assert_eq!(KernelKind::Tsqrt.weight(), 6);
+        assert_eq!(KernelKind::Ttqrt.weight(), 2);
+        assert_eq!(KernelKind::Unmqr.weight(), 6);
+        assert_eq!(KernelKind::Tsmqr.weight(), 12);
+        assert_eq!(KernelKind::Ttmqr.weight(), 6);
+    }
+
+    #[test]
+    fn ts_elimination_cost_equals_tt_elimination_cost() {
+        // Section 2.1: both ways to implement elim(i, piv, k) cost
+        // 10 + 18·(q−k) units. Check the per-kernel identity they rely on:
+        // GEQRT + TSQRT = 2·GEQRT + TTQRT  and  UNMQR + TSMQR = 2·UNMQR + TTMQR.
+        assert_eq!(
+            KernelKind::Geqrt.weight() + KernelKind::Tsqrt.weight(),
+            2 * KernelKind::Geqrt.weight() + KernelKind::Ttqrt.weight()
+        );
+        assert_eq!(
+            KernelKind::Unmqr.weight() + KernelKind::Tsmqr.weight(),
+            2 * KernelKind::Unmqr.weight() + KernelKind::Ttmqr.weight()
+        );
+    }
+
+    #[test]
+    fn total_weight_formula_matches_dense_flops() {
+        // 6pq² − 2q³ units of nb³/3 equals 2mn² − 2/3 n³ flops with m = p·nb,
+        // n = q·nb.
+        let (p, q, nb) = (7usize, 4usize, 24usize);
+        let units = total_task_weight(p, q) as f64 * (nb as f64).powi(3) / 3.0;
+        let dense = qr_flops(p * nb, q * nb);
+        assert!((units - dense).abs() < 1e-6 * dense);
+    }
+
+    #[test]
+    fn kernel_flops_scale_cubically() {
+        assert_eq!(KernelKind::Ttqrt.flops(30), 2.0 * 27000.0 / 3.0);
+        assert!((KernelKind::Tsmqr.flops(10) - 4000.0).abs() < 1e-9);
+        assert_eq!(gemm_flops(10), 2000.0);
+    }
+
+    #[test]
+    fn names_and_all_listing() {
+        assert_eq!(KernelKind::ALL.len(), 6);
+        let names: Vec<&str> = KernelKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"]);
+    }
+}

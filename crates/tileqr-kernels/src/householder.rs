@@ -1,0 +1,259 @@
+//! Elementary Householder reflectors and the triangular `T` factor of the
+//! compact WY representation.
+//!
+//! Conventions follow LAPACK (`zlarfg` / `zlarft`): a reflector
+//! `H = I − τ·v·vᴴ` with `v[0] = 1` is generated such that `Hᴴ·x = β·e₁`
+//! with `β` real. A product of `k` reflectors is accumulated as
+//! `Q = H₁·H₂⋯H_k = I − V·T·Vᴴ` where `T` is `k × k` upper triangular.
+//! Factorization applies `Qᴴ`, i.e. `C ← C − V·Tᴴ·(Vᴴ·C)`.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+/// Result of generating one elementary reflector.
+#[derive(Clone, Copy, Debug)]
+pub struct Reflector<T> {
+    /// The (real-valued, stored in `T`) new leading entry `β`.
+    pub beta: T,
+    /// The scalar factor `τ` of the reflector.
+    pub tau: T,
+}
+
+/// Generates an elementary Householder reflector for the vector
+/// `[alpha, x...]`.
+///
+/// On return, `x` holds the tail of the Householder vector `v` (its leading
+/// entry, equal to one, is implicit), and the returned [`Reflector`] carries
+/// `β` (the value that replaces `alpha`) and `τ`. If the tail is zero and
+/// `alpha` has no imaginary part, `τ = 0` and the reflector is the identity.
+pub fn larfg<T: Scalar<Real = f64>>(alpha: T, x: &mut [T]) -> Reflector<T> {
+    let xnorm_sqr: f64 = x.iter().map(|v| v.abs_sqr()).sum();
+    let alpha_im_sqr = alpha.abs_sqr() - alpha.real() * alpha.real();
+    if xnorm_sqr == 0.0 && alpha_im_sqr <= 0.0 {
+        // Nothing to annihilate: H = I.
+        return Reflector { beta: alpha, tau: T::ZERO };
+    }
+    let alphr = alpha.real();
+    let norm = (alpha.abs_sqr() + xnorm_sqr).sqrt();
+    // β gets the opposite sign of Re(α) to avoid cancellation.
+    let beta_val = if alphr >= 0.0 { -norm } else { norm };
+    // τ = (β − α)/β   (β real)
+    let beta_t = T::from_real(beta_val);
+    let tau = (beta_t - alpha).scale(1.0 / beta_val);
+    // v(tail) = x / (α − β)
+    let denom = alpha - beta_t;
+    let inv = T::ONE / denom;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+    Reflector { beta: beta_t, tau }
+}
+
+/// Builds the upper triangular factor `T` of the compact WY representation
+/// from the Householder vectors `V` (stored as full columns, including the
+/// unit leading entries and the zeros above them) and their scalars `tau`.
+///
+/// `v` is `m × k`, `tau` has length `k`, and the result is written into the
+/// leading `k × k` block of `t` (which must be at least `k × k`); entries
+/// below the diagonal of that block are set to zero.
+pub fn larft<T: Scalar<Real = f64>>(v: &Matrix<T>, tau: &[T], t: &mut Matrix<T>) {
+    let k = tau.len();
+    assert!(v.cols() >= k, "V has fewer columns than reflectors");
+    assert!(t.rows() >= k && t.cols() >= k, "T factor too small");
+    for j in 0..k {
+        for i in 0..k {
+            if i >= j {
+                t.set(i, j, T::ZERO);
+            }
+        }
+        if tau[j].is_zero() {
+            for i in 0..j {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        // w = Vᴴ(:, 0..j) · v_j, then T(0..j, j) = −τ_j · T(0..j,0..j) · w
+        let m = v.rows();
+        let vj = v.col(j);
+        let mut w = vec![T::ZERO; j];
+        for (a, wa) in w.iter_mut().enumerate() {
+            let va = v.col(a);
+            let mut acc = T::ZERO;
+            for r in 0..m {
+                acc += va[r].conj() * vj[r];
+            }
+            *wa = acc;
+        }
+        // T(0..j, j) = −τ_j · (upper triangular T_{0..j,0..j}) · w
+        for i in 0..j {
+            let mut acc = T::ZERO;
+            for (a, &wa) in w.iter().enumerate().skip(i) {
+                acc += t.get(i, a) * wa;
+            }
+            t.set(i, j, -tau[j] * acc);
+        }
+        t.set(j, j, tau[j]);
+    }
+}
+
+/// Applies a single reflector `Hᴴ = (I − τ·v·vᴴ)ᴴ` to a dense matrix from the
+/// left, where `v = [1, tail...]` acts on rows `offset..offset+1+tail.len()`
+/// of `a`, restricted to columns `col_start..`.
+///
+/// Used by the unblocked reference QR ([`crate::reference`]).
+pub fn apply_reflector_left<T: Scalar<Real = f64>>(
+    a: &mut Matrix<T>,
+    offset: usize,
+    tail: &[T],
+    tau: T,
+    col_start: usize,
+) {
+    if tau.is_zero() {
+        return;
+    }
+    let m = 1 + tail.len();
+    assert!(offset + m <= a.rows(), "reflector exceeds matrix height");
+    let tau_c = tau.conj();
+    for j in col_start..a.cols() {
+        // w = vᴴ · a[offset.., j]
+        let col = a.col_mut(j);
+        let mut w = col[offset];
+        for (r, &vr) in tail.iter().enumerate() {
+            w += vr.conj() * col[offset + 1 + r];
+        }
+        let s = tau_c * w;
+        col[offset] -= s;
+        for (r, &vr) in tail.iter().enumerate() {
+            col[offset + 1 + r] -= vr * s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::{random_matrix, random_vector};
+    use tileqr_matrix::norms::{frobenius_norm, vector_norm2};
+    use tileqr_matrix::Complex64;
+
+    /// Checks that Hᴴ x = β e₁ for the generated reflector.
+    fn check_larfg<T: Scalar<Real = f64>>(alpha: T, tail: Vec<T>) {
+        let x_orig: Vec<T> = std::iter::once(alpha).chain(tail.iter().copied()).collect();
+        let mut tail_v = tail.clone();
+        let refl = larfg(alpha, &mut tail_v);
+        // v = [1, tail_v...]
+        let v: Vec<T> = std::iter::once(T::ONE).chain(tail_v.iter().copied()).collect();
+        // Hᴴ x = x − conj(τ)·v·(vᴴ x)
+        let vhx: T = v.iter().zip(&x_orig).map(|(&vi, &xi)| vi.conj() * xi).sum();
+        let s = refl.tau.conj() * vhx;
+        let hx: Vec<T> = x_orig.iter().zip(&v).map(|(&xi, &vi)| xi - vi * s).collect();
+        // first entry equals beta, the rest are (numerically) zero
+        assert!((hx[0] - refl.beta).abs() < 1e-12 * (1.0 + refl.beta.abs()), "leading entry {} != beta {}", hx[0], refl.beta);
+        let tail_norm = vector_norm2(&hx[1..]);
+        assert!(tail_norm < 1e-12 * (1.0 + vector_norm2(&x_orig)), "tail not annihilated: {tail_norm}");
+        // norm preservation: |beta| = ‖x‖
+        assert!((refl.beta.abs() - vector_norm2(&x_orig)).abs() < 1e-12 * (1.0 + vector_norm2(&x_orig)));
+        // beta is real
+        assert!((refl.beta - T::from_real(refl.beta.real())).abs() < 1e-14);
+    }
+
+    #[test]
+    fn larfg_annihilates_real_vectors() {
+        check_larfg(3.0f64, vec![4.0]);
+        check_larfg(-1.0f64, vec![2.0, -2.0, 1.0]);
+        check_larfg(0.0f64, vec![1.0, 1.0, 1.0, 1.0]);
+        let tail: Vec<f64> = random_vector(10, 42);
+        check_larfg(0.37f64, tail);
+    }
+
+    #[test]
+    fn larfg_annihilates_complex_vectors() {
+        check_larfg(Complex64::new(1.0, -2.0), vec![Complex64::new(0.5, 0.5), Complex64::new(-1.0, 0.25)]);
+        check_larfg(Complex64::new(0.0, 1.0), vec![Complex64::new(2.0, 0.0)]);
+        let tail: Vec<Complex64> = random_vector(8, 7);
+        check_larfg(Complex64::new(-0.3, 0.9), tail);
+    }
+
+    #[test]
+    fn larfg_identity_when_nothing_to_do() {
+        let mut tail: Vec<f64> = vec![0.0, 0.0];
+        let r = larfg(5.0f64, &mut tail);
+        assert_eq!(r.tau, 0.0);
+        assert_eq!(r.beta, 5.0);
+        assert_eq!(tail, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn larfg_complex_alpha_with_zero_tail_still_reflects() {
+        // With a purely imaginary alpha the reflector must still fire to make
+        // beta real.
+        let mut tail: Vec<Complex64> = vec![Complex64::ZERO];
+        let r = larfg(Complex64::new(0.0, 2.0), &mut tail);
+        assert!(!Scalar::is_zero(r.tau));
+        assert!((Scalar::abs(r.beta) - 2.0).abs() < 1e-14);
+        assert!(r.beta.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn larft_builds_a_valid_block_reflector() {
+        // Factor a random matrix column by column with larfg, build T with
+        // larft, and verify that I − V·Tᴴ·Vᴴ equals the product of the
+        // individual Hᴴ's by applying both to a random matrix.
+        let m = 8;
+        let k = 4;
+        let mut a: Matrix<Complex64> = random_matrix(m, k, 3);
+        let mut v = Matrix::<Complex64>::zeros(m, k);
+        let mut taus = Vec::with_capacity(k);
+        let c0: Matrix<Complex64> = random_matrix(m, 5, 4);
+        let mut c_seq = c0.clone();
+        for j in 0..k {
+            // extract column j below the diagonal
+            let mut tail: Vec<Complex64> = (j + 1..m).map(|i| a.get(i, j)).collect();
+            let alpha = a.get(j, j);
+            let refl = larfg(alpha, &mut tail);
+            // store the full v_j (zeros above j, 1 at j, tail below)
+            v.set(j, j, Complex64::ONE);
+            for (r, &t) in tail.iter().enumerate() {
+                v.set(j + 1 + r, j, t);
+            }
+            taus.push(refl.tau);
+            // apply Hᴴ to the trailing part of `a` so subsequent columns are correct
+            apply_reflector_left(&mut a, j, &tail, refl.tau, j);
+            a.set(j, j, refl.beta);
+            for i in j + 1..m {
+                a.set(i, j, Complex64::ZERO);
+            }
+            // and to the independent test matrix
+            apply_reflector_left(&mut c_seq, j, &tail, refl.tau, 0);
+        }
+        let mut t = Matrix::<Complex64>::zeros(k, k);
+        larft(&v, &taus, &mut t);
+
+        // blocked application: C ← C − V·Tᴴ·(Vᴴ·C)
+        let mut c_blk = c0.clone();
+        let w = v.conj_transpose().matmul(&c_blk);
+        let thw = t.conj_transpose().matmul(&w);
+        c_blk = c_blk.sub(&v.matmul(&thw));
+
+        let diff = frobenius_norm(&c_blk.sub(&c_seq));
+        assert!(diff < 1e-12, "blocked and sequential applications differ by {diff}");
+        // T is upper triangular
+        assert!(t.is_upper_triangular());
+    }
+
+    #[test]
+    fn apply_reflector_respects_column_offset() {
+        let mut a: Matrix<f64> = random_matrix(5, 4, 9);
+        let before = a.clone();
+        let tail = vec![0.5, -0.25];
+        apply_reflector_left(&mut a, 1, &tail, 0.8, 2);
+        // columns 0 and 1 untouched
+        assert_eq!(a.col(0), before.col(0));
+        assert_eq!(a.col(1), before.col(1));
+        // row 0 untouched (reflector starts at row offset 1)
+        for j in 0..4 {
+            assert_eq!(a.get(0, j), before.get(0, j));
+        }
+        // column 2 changed
+        assert_ne!(a.col(2), before.col(2));
+    }
+}

@@ -1,0 +1,35 @@
+//! Sequential tile kernels for the tiled QR factorization.
+//!
+//! The paper's Table 1 lists six kernels; this crate implements all of them
+//! from scratch on top of Householder reflections with a compact WY
+//! (`I − V·T·Vᴴ`) representation, mirroring the LAPACK/PLASMA `core_blas`
+//! routines they replace:
+//!
+//! | Kernel | Operation | Paper weight (`nb³/3` flops) |
+//! |---|---|---|
+//! | [`geqrt`]  | factor a square tile into a triangle | 4 |
+//! | [`tsqrt`]  | zero a square tile using the triangle on top of it | 6 |
+//! | [`ttqrt`]  | zero a *triangular* tile using the triangle on top of it | 2 |
+//! | [`unmqr`]  | apply a [`geqrt`] reflector block to a trailing tile | 6 |
+//! | [`tsmqr`]  | apply a [`tsqrt`] reflector block to a trailing tile pair | 12 |
+//! | [`ttmqr`]  | apply a [`ttqrt`] reflector block to a trailing tile pair | 6 |
+//!
+//! All kernels are generic over the [`Scalar`](tileqr_matrix::Scalar) type,
+//! so the same code serves the paper's *double* (`f64`) and *double complex*
+//! ([`Complex64`](tileqr_matrix::Complex64)) experiments.
+//!
+//! The crate also provides a reference unblocked Householder QR on dense
+//! matrices ([`reference`]) used to validate the tiled factorizations, and
+//! flop counters ([`flops`]) used by the benchmark harness to report GFLOP/s.
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod blas;
+pub mod factor;
+pub mod flops;
+pub mod householder;
+pub mod reference;
+
+pub use apply::{tsmqr, ttmqr, unmqr, Trans};
+pub use factor::{geqrt, tsqrt, ttqrt};

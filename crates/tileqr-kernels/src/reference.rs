@@ -1,0 +1,181 @@
+//! Reference (untiled) Householder QR factorization.
+//!
+//! This is the classical unblocked algorithm (LAPACK `GEQR2` followed by an
+//! explicit accumulation of `Q`, as in `ORG2R`/`UNG2R`). It is *not* meant to
+//! be fast; it exists to validate the tiled algorithms: both produce
+//! factorizations of the same matrix, so `‖A − Q·R‖` and `‖QᴴQ − I‖` can be
+//! compared, and for square/tall matrices the `R` factors must agree (both
+//! implementations use the same reflector sign convention).
+
+use tileqr_matrix::{Matrix, Scalar};
+
+use crate::householder::{apply_reflector_left, larfg};
+
+/// Result of [`householder_qr`]: the economy-size factors of `A = Q·R` with
+/// `Q` of size `m × n` (orthonormal columns) and `R` of size `n × n`.
+pub struct DenseQr<T: Scalar> {
+    /// The orthonormal factor (economy size, `m × n`).
+    pub q: Matrix<T>,
+    /// The upper triangular factor (`n × n`).
+    pub r: Matrix<T>,
+}
+
+/// Unblocked Householder QR of an `m × n` matrix with `m ≥ n`.
+pub fn householder_qr<T: Scalar<Real = f64>>(a: &Matrix<T>) -> DenseQr<T> {
+    let (m, n) = a.shape();
+    assert!(m >= n, "householder_qr expects a tall or square matrix");
+    let mut work = a.clone();
+    // Store the reflectors to accumulate Q afterwards.
+    let mut tails: Vec<Vec<T>> = Vec::with_capacity(n);
+    let mut taus: Vec<T> = Vec::with_capacity(n);
+
+    for j in 0..n {
+        let mut tail: Vec<T> = (j + 1..m).map(|i| work.get(i, j)).collect();
+        let refl = larfg(work.get(j, j), &mut tail);
+        work.set(j, j, refl.beta);
+        for i in j + 1..m {
+            work.set(i, j, T::ZERO);
+        }
+        apply_reflector_left(&mut work, j, &tail, refl.tau, j + 1);
+        tails.push(tail);
+        taus.push(refl.tau);
+    }
+
+    // R = leading n × n upper triangle of the transformed matrix.
+    let mut r = work.sub_matrix(0, 0, n, n);
+    r.zero_below_diagonal();
+
+    // Q = H(1)·H(2)⋯H(n) applied to the first n columns of the identity.
+    // Apply the reflectors in reverse order: Q·E = H(1)(H(2)(⋯H(n)·E)).
+    // H = I − τ·v·vᴴ (note: *not* conjugated — H, not Hᴴ).
+    let mut q = Matrix::<T>::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, T::ONE);
+    }
+    for j in (0..n).rev() {
+        apply_h_left(&mut q, j, &tails[j], taus[j]);
+    }
+    DenseQr { q, r }
+}
+
+/// Applies `H = I − τ·v·vᴴ` (not conjugated) from the left, `v = [1, tail]`
+/// acting on rows `offset..`.
+fn apply_h_left<T: Scalar<Real = f64>>(a: &mut Matrix<T>, offset: usize, tail: &[T], tau: T) {
+    if tau.is_zero() {
+        return;
+    }
+    for j in 0..a.cols() {
+        let col = a.col_mut(j);
+        let mut w = col[offset];
+        for (r, &vr) in tail.iter().enumerate() {
+            w += vr.conj() * col[offset + 1 + r];
+        }
+        let s = tau * w;
+        col[offset] -= s;
+        for (r, &vr) in tail.iter().enumerate() {
+            col[offset + 1 + r] -= vr * s;
+        }
+    }
+}
+
+/// Solves the least-squares problem `min ‖A·x − b‖₂` for a tall matrix `A`
+/// using the reference QR factorization. Returns the solution vector of
+/// length `n`.
+pub fn least_squares_reference<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &[T]) -> Vec<T> {
+    let (m, n) = a.shape();
+    assert_eq!(b.len(), m, "right-hand side length must equal the row count");
+    let DenseQr { q, r } = householder_qr(a);
+    // x = R⁻¹ · Qᴴ b
+    let qh = q.conj_transpose();
+    let mut qhb = vec![T::ZERO; n];
+    for (i, out) in qhb.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (k, &bk) in b.iter().enumerate() {
+            acc += qh.get(i, k) * bk;
+        }
+        *out = acc;
+    }
+    r.solve_upper_triangular(&qhb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::{random_matrix, random_vector, vandermonde};
+    use tileqr_matrix::norms::{factorization_residual, orthogonality_residual, vector_norm2};
+    use tileqr_matrix::Complex64;
+
+    #[test]
+    fn qr_of_tall_real_matrix() {
+        let a: Matrix<f64> = random_matrix(20, 8, 1);
+        let DenseQr { q, r } = householder_qr(&a);
+        assert_eq!(q.shape(), (20, 8));
+        assert_eq!(r.shape(), (8, 8));
+        assert!(r.is_upper_triangular());
+        assert!(factorization_residual(&a, &q, &r) < 1e-13);
+        assert!(orthogonality_residual(&q) < 1e-13);
+    }
+
+    #[test]
+    fn qr_of_square_complex_matrix() {
+        let a: Matrix<Complex64> = random_matrix(12, 12, 2);
+        let DenseQr { q, r } = householder_qr(&a);
+        assert!(r.is_upper_triangular());
+        assert!(factorization_residual(&a, &q, &r) < 1e-13);
+        assert!(orthogonality_residual(&q) < 1e-13);
+    }
+
+    #[test]
+    fn qr_of_single_column() {
+        let a: Matrix<f64> = random_matrix(7, 1, 3);
+        let DenseQr { q, r } = householder_qr(&a);
+        assert!(factorization_residual(&a, &q, &r) < 1e-14);
+        // |r11| = ‖a‖
+        assert!((r.get(0, 0).abs() - vector_norm2(a.col(0))).abs() < 1e-13);
+    }
+
+    #[test]
+    fn qr_diagonal_of_r_is_nonzero_for_full_rank() {
+        let a = vandermonde(30, 5);
+        let DenseQr { q, r } = householder_qr(&a);
+        for i in 0..5 {
+            assert!(r.get(i, i).abs() > 1e-12);
+        }
+        assert!(factorization_residual(&a, &q, &r) < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_solution() {
+        // b in the range of A ⇒ the LS solution reproduces the generating x.
+        let a: Matrix<f64> = random_matrix(15, 4, 5);
+        let x_true: Vec<f64> = random_vector(4, 6);
+        let mut b = vec![0.0; 15];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for j in 0..4 {
+                *bi += a.get(i, j) * x_true[j];
+            }
+        }
+        let x = least_squares_reference(&a, &b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_range() {
+        let a: Matrix<f64> = random_matrix(10, 3, 7);
+        let b: Vec<f64> = random_vector(10, 8);
+        let x = least_squares_reference(&a, &b);
+        // r = b − A·x must satisfy Aᴴ r = 0 (normal equations).
+        let mut r = b.clone();
+        for (i, ri) in r.iter_mut().enumerate() {
+            for j in 0..3 {
+                *ri -= a.get(i, j) * x[j];
+            }
+        }
+        for j in 0..3 {
+            let dot: f64 = (0..10).map(|i| a.get(i, j) * r[i]).sum();
+            assert!(dot.abs() < 1e-12, "column {j} not orthogonal to residual: {dot}");
+        }
+    }
+}

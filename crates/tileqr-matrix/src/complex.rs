@@ -1,0 +1,282 @@
+//! A self-contained double-precision complex number type.
+//!
+//! The paper evaluates every algorithm in *double* and *double complex*
+//! precision (Section 4). To keep the dependency footprint to the approved
+//! offline crates we ship our own minimal `Complex64` instead of pulling in
+//! `num-complex`. Only the operations required by the QR kernels are
+//! implemented: field arithmetic, conjugation, modulus, and a few helpers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Builds a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Builds a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate `re - im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for robustness against
+    /// intermediate overflow/underflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplicative inverse. Uses Smith's algorithm to avoid overflow for
+    /// large components.
+    #[inline]
+    pub fn recip(self) -> Self {
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            Complex64 { re: 1.0 / d, im: -r / d }
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            Complex64 { re: r / d, im: -1.0 / d }
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64 { re: self.re * s, im: self.im * s }
+    }
+
+    /// Returns true if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns true if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+e}{:+e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64 { re: -self.re, im: -self.im }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-14
+    }
+
+    #[test]
+    fn constructors_and_constants() {
+        assert_eq!(Complex64::new(1.0, 2.0).re, 1.0);
+        assert_eq!(Complex64::new(1.0, 2.0).im, 2.0);
+        assert_eq!(Complex64::from_real(3.0), Complex64::new(3.0, 0.0));
+        assert_eq!(Complex64::from(4.0), Complex64::new(4.0, 0.0));
+        assert_eq!(Complex64::ZERO + Complex64::ONE, Complex64::ONE);
+        assert_eq!(Complex64::I * Complex64::I, -Complex64::ONE);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        let w = Complex64::new(-1.5, 2.25);
+        assert!(close(z + w - w, z));
+        assert!(close(z * w / w, z));
+        assert!(close(z * z.recip(), Complex64::ONE));
+        assert!(close(-(-z), z));
+        assert!(close(z - z, Complex64::ZERO));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+        // z * conj(z) = |z|^2
+        assert!(close(z * z.conj(), Complex64::from_real(25.0)));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::new(2.0, -3.0);
+        assert_eq!(z, Complex64::new(3.0, -2.0));
+        z -= Complex64::new(1.0, 1.0);
+        assert_eq!(z, Complex64::new(2.0, -3.0));
+        z *= Complex64::I;
+        assert!(close(z, Complex64::new(3.0, 2.0)));
+        z /= Complex64::I;
+        assert!(close(z, Complex64::new(2.0, -3.0)));
+    }
+
+    #[test]
+    fn division_robustness() {
+        // Large components would overflow a naive |denominator|^2.
+        let big = Complex64::new(1e300, 1e300);
+        let q = big / big;
+        assert!(close(q, Complex64::ONE));
+        let small = Complex64::new(1e-300, -1e-300);
+        let r = small / small;
+        assert!(close(r, Complex64::ONE));
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let v = vec![Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0), Complex64::new(-0.5, 0.5)];
+        let s: Complex64 = v.into_iter().sum();
+        assert!(close(s, Complex64::new(2.5, -1.5)));
+        assert!(close(s.scale(2.0), Complex64::new(5.0, -3.0)));
+    }
+
+    #[test]
+    fn nan_and_finite_detection() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(Complex64::new(0.0, f64::NAN).is_nan());
+        assert!(!Complex64::new(1.0, 2.0).is_nan());
+        assert!(Complex64::new(1.0, 2.0).is_finite());
+        assert!(!Complex64::new(f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+}

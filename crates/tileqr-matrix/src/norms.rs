@@ -1,0 +1,111 @@
+//! Matrix and vector norms, plus the residual measures used to validate QR
+//! factorizations throughout the test suite and the examples.
+
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+
+/// Euclidean norm of a vector of scalars.
+pub fn vector_norm2<T: Scalar<Real = f64>>(v: &[T]) -> f64 {
+    v.iter().map(|x| x.abs_sqr()).sum::<f64>().sqrt()
+}
+
+/// Frobenius norm `‖A‖_F`.
+pub fn frobenius_norm<T: Scalar<Real = f64>>(a: &Matrix<T>) -> f64 {
+    a.as_slice().iter().map(|x| x.abs_sqr()).sum::<f64>().sqrt()
+}
+
+/// Maximum absolute entry `max_{i,j} |a_{ij}|`.
+pub fn max_abs<T: Scalar<Real = f64>>(a: &Matrix<T>) -> f64 {
+    a.as_slice().iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+/// One-norm (maximum absolute column sum).
+pub fn one_norm<T: Scalar<Real = f64>>(a: &Matrix<T>) -> f64 {
+    (0..a.cols())
+        .map(|j| a.col(j).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Infinity-norm (maximum absolute row sum).
+pub fn inf_norm<T: Scalar<Real = f64>>(a: &Matrix<T>) -> f64 {
+    let mut sums = vec![0.0; a.rows()];
+    for j in 0..a.cols() {
+        for (i, x) in a.col(j).iter().enumerate() {
+            sums[i] += x.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Relative factorization residual `‖A − QR‖_F / (‖A‖_F)`.
+///
+/// A backward-stable QR factorization keeps this at a small multiple of
+/// machine epsilon (times a slowly growing function of the dimensions).
+pub fn factorization_residual<T: Scalar<Real = f64>>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<T>) -> f64 {
+    let qr = q.matmul(r);
+    let diff = a.sub(&qr);
+    let na = frobenius_norm(a);
+    if na == 0.0 {
+        frobenius_norm(&diff)
+    } else {
+        frobenius_norm(&diff) / na
+    }
+}
+
+/// Orthogonality (unitarity) residual `‖QᴴQ − I‖_F`.
+pub fn orthogonality_residual<T: Scalar<Real = f64>>(q: &Matrix<T>) -> f64 {
+    let qhq = q.conj_transpose().matmul(q);
+    let id = Matrix::<T>::identity(q.cols());
+    frobenius_norm(&qhq.sub(&id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+
+    #[test]
+    fn vector_norm_matches_pythagoras() {
+        assert!((vector_norm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-15);
+        let v = [Complex64::new(3.0, 4.0), Complex64::ZERO];
+        assert!((vector_norm2(&v) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn frobenius_and_max_abs() {
+        let a = Matrix::from_col_major(2, 2, vec![1.0, -2.0, 2.0, 4.0]);
+        assert!((frobenius_norm(&a) - 5.0).abs() < 1e-15);
+        assert_eq!(max_abs(&a), 4.0);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        // A = [1 -3; 2 4] (columns [1,2], [-3,4])
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(one_norm(&a), 7.0); // max(|1|+|2|, |-3|+|4|) = 7
+        assert_eq!(inf_norm(&a), 6.0); // max(|1|+|-3|, |2|+|4|) = 6
+    }
+
+    #[test]
+    fn residuals_of_exact_factorization_are_zero() {
+        // A = Q R with Q = I.
+        let r = Matrix::from_col_major(2, 2, vec![2.0, 0.0, 1.0, 3.0]);
+        let q = Matrix::<f64>::identity(2);
+        assert!(factorization_residual(&r, &q, &r) < 1e-15);
+        assert!(orthogonality_residual(&q) < 1e-15);
+    }
+
+    #[test]
+    fn orthogonality_residual_detects_non_unitary() {
+        let q = Matrix::from_col_major(2, 2, vec![1.0, 0.0, 0.0, 2.0]);
+        assert!(orthogonality_residual(&q) > 1.0);
+    }
+
+    #[test]
+    fn zero_matrix_residual_is_absolute() {
+        let a = Matrix::<f64>::zeros(3, 2);
+        let q = Matrix::<f64>::from_fn(3, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+        let r = Matrix::<f64>::zeros(2, 2);
+        assert_eq!(factorization_residual(&a, &q, &r), 0.0);
+    }
+}

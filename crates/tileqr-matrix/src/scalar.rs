@@ -1,0 +1,246 @@
+//! The [`Scalar`] abstraction over real and complex double precision.
+//!
+//! The QR kernels are written once, generically, and instantiated for `f64`
+//! (the paper's *double precision* experiments) and [`Complex64`] (the
+//! *double complex* experiments). The trait exposes exactly the operations a
+//! Householder QR factorization needs: field arithmetic, conjugation, absolute
+//! value, square root of the modulus, and conversion from reals.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::complex::Complex64;
+
+/// Marker-ish trait for the real type underlying a [`Scalar`]; in this crate
+/// it is always `f64`, but keeping it as an associated type makes the kernel
+/// code read like the mathematics (norms are real, elements may be complex).
+pub trait RealScalar:
+    Copy + Debug + Display + PartialOrd + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Largest of two values.
+    fn max(self, other: Self) -> Self;
+}
+
+impl RealScalar for f64 {
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    #[inline]
+    fn sqrt(self) -> f64 {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn max(self, other: f64) -> f64 {
+        f64::max(self, other)
+    }
+}
+
+/// Element type of matrices handled by the tiled QR library.
+///
+/// Implemented for [`f64`] and [`Complex64`]. All operations are `Copy`-based
+/// value semantics; the kernels never allocate per-element.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// The associated real type (always `f64` here).
+    type Real: RealScalar;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Number of real floating-point values stored per element (1 for `f64`,
+    /// 2 for `Complex64`); used by the benchmark harness when reporting
+    /// GFLOP/s in the two precisions.
+    const REALS_PER_ELEMENT: usize;
+
+    /// Flops performed by one fused multiply-add on this type: 2 for real
+    /// arithmetic, 8 for complex arithmetic (cf. the paper's Section 4
+    /// discussion of FMA cost in real vs. complex arithmetic).
+    const FLOPS_PER_FMA: usize;
+
+    /// Complex conjugate (identity for reals).
+    fn conj(self) -> Self;
+
+    /// Modulus `|x|` as a real number.
+    fn abs(self) -> Self::Real;
+
+    /// Squared modulus `|x|²` as a real number.
+    fn abs_sqr(self) -> Self::Real;
+
+    /// Embeds a real value.
+    fn from_real(r: Self::Real) -> Self;
+
+    /// Real part of the element.
+    fn real(self) -> Self::Real;
+
+    /// Scales by a real factor.
+    fn scale(self, s: Self::Real) -> Self;
+
+    /// True if the element is exactly zero.
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == Self::ZERO
+    }
+
+    /// True if any component is NaN.
+    fn is_nan(self) -> bool;
+}
+
+impl Scalar for f64 {
+    type Real = f64;
+    const ZERO: f64 = 0.0;
+    const ONE: f64 = 1.0;
+    const REALS_PER_ELEMENT: usize = 1;
+    const FLOPS_PER_FMA: usize = 2;
+
+    #[inline]
+    fn conj(self) -> Self {
+        self
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        f64::abs(self)
+    }
+    #[inline]
+    fn abs_sqr(self) -> f64 {
+        self * self
+    }
+    #[inline]
+    fn from_real(r: f64) -> Self {
+        r
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        self * s
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+impl Scalar for Complex64 {
+    type Real = f64;
+    const ZERO: Complex64 = Complex64::ZERO;
+    const ONE: Complex64 = Complex64::ONE;
+    const REALS_PER_ELEMENT: usize = 2;
+    const FLOPS_PER_FMA: usize = 8;
+
+    #[inline]
+    fn conj(self) -> Self {
+        Complex64::conj(self)
+    }
+    #[inline]
+    fn abs(self) -> f64 {
+        Complex64::abs(self)
+    }
+    #[inline]
+    fn abs_sqr(self) -> f64 {
+        self.norm_sqr()
+    }
+    #[inline]
+    fn from_real(r: f64) -> Self {
+        Complex64::from_real(r)
+    }
+    #[inline]
+    fn real(self) -> f64 {
+        self.re
+    }
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Complex64::scale(self, s)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Complex64::is_nan(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_field_checks<T: Scalar<Real = f64>>(x: T, y: T) {
+        // basic field identities available through the trait surface
+        assert_eq!(x + T::ZERO, x);
+        assert_eq!(x * T::ONE, x);
+        assert_eq!(x - x, T::ZERO);
+        let z = x * y;
+        assert!((z.abs() - x.abs() * y.abs()).abs() < 1e-12 * (1.0 + z.abs()));
+        assert!(!x.is_nan());
+    }
+
+    #[test]
+    fn f64_implements_scalar() {
+        generic_field_checks(3.5f64, -2.25f64);
+        assert_eq!(<f64 as Scalar>::conj(-4.0), -4.0);
+        assert_eq!(<f64 as Scalar>::abs_sqr(3.0), 9.0);
+        assert_eq!(<f64 as Scalar>::from_real(2.0), 2.0);
+        assert_eq!(<f64 as Scalar>::REALS_PER_ELEMENT, 1);
+        assert_eq!(<f64 as Scalar>::FLOPS_PER_FMA, 2);
+    }
+
+    #[test]
+    fn complex_implements_scalar() {
+        generic_field_checks(Complex64::new(1.0, 2.0), Complex64::new(-0.5, 1.5));
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(Scalar::abs(z), 5.0);
+        assert_eq!(Scalar::abs_sqr(z), 25.0);
+        assert_eq!(Scalar::conj(z), Complex64::new(3.0, 4.0));
+        assert_eq!(Scalar::real(z), 3.0);
+        assert_eq!(<Complex64 as Scalar>::REALS_PER_ELEMENT, 2);
+        assert_eq!(<Complex64 as Scalar>::FLOPS_PER_FMA, 8);
+    }
+
+    #[test]
+    fn real_scalar_helpers() {
+        assert_eq!(RealScalar::sqrt(9.0f64), 3.0);
+        assert_eq!(RealScalar::abs(-2.0f64), 2.0);
+        assert_eq!(RealScalar::max(1.0f64, 2.0), 2.0);
+        assert_eq!(<f64 as RealScalar>::ZERO, 0.0);
+        assert_eq!(<f64 as RealScalar>::ONE, 1.0);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Scalar::is_zero(0.0f64));
+        assert!(!Scalar::is_zero(1e-300f64));
+        assert!(Scalar::is_zero(Complex64::ZERO));
+        assert!(!Scalar::is_zero(Complex64::new(0.0, 1e-300)));
+    }
+}

@@ -1,0 +1,426 @@
+//! High-level factorization drivers.
+//!
+//! [`qr_factorize`] / [`qr_factorize_parallel`] take a dense matrix, tile it,
+//! build the task DAG for the requested algorithm and kernel family, execute
+//! every kernel (sequentially or on worker threads) and return a
+//! [`QrFactorization`] handle from which the user can extract `R`, apply
+//! `Q`/`Qᴴ` to arbitrary matrices, or form `Q` explicitly — the same
+//! functionality LAPACK exposes as `GEQRF` + `ORMQR` + `ORGQR`, but built on
+//! the tiled algorithms of the paper.
+
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::dag::{KernelFamily, TaskDag};
+use tileqr_core::sim::simulate_grasap;
+use tileqr_core::{EliminationList, TaskKind};
+use tileqr_kernels::{tsmqr, ttmqr, unmqr, Trans};
+use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
+
+use crate::executor::{execute_parallel, execute_sequential};
+use crate::state::FactorizationState;
+
+/// Configuration of a tiled QR factorization run.
+#[derive(Clone, Copy, Debug)]
+pub struct QrConfig {
+    /// Tile size `nb`.
+    pub tile_size: usize,
+    /// Reduction tree.
+    pub algorithm: Algorithm,
+    /// Kernel family (TT or TS).
+    pub family: KernelFamily,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+}
+
+impl QrConfig {
+    /// A sensible default: Greedy reduction tree, TT kernels, sequential.
+    pub fn new(tile_size: usize) -> Self {
+        QrConfig { tile_size, algorithm: Algorithm::Greedy, family: KernelFamily::TT, threads: 1 }
+    }
+
+    /// Sets the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the kernel family.
+    pub fn with_family(mut self, family: KernelFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The result of a tiled QR factorization: the factored tiles (R on the
+/// diagonal blocks, Householder vectors elsewhere), the `T` factors of every
+/// block reflector, and the DAG needed to replay the transformations.
+pub struct QrFactorization<T: Scalar> {
+    /// Original row count of the dense matrix (before padding).
+    pub m: usize,
+    /// Original column count of the dense matrix (before padding).
+    pub n: usize,
+    tile_size: usize,
+    tiles: TiledMatrix<T>,
+    t_geqrt: Vec<Option<Matrix<T>>>,
+    t_elim: Vec<Option<Matrix<T>>>,
+    dag: TaskDag,
+}
+
+/// Builds the elimination list for an algorithm, using the dynamic simulator
+/// for Asap/Grasap and the static generators otherwise.
+pub fn elimination_list_for(algorithm: Algorithm, p: usize, q: usize) -> EliminationList {
+    match algorithm {
+        Algorithm::Asap => simulate_grasap(p, q, q).list,
+        Algorithm::Grasap { asap_cols } => simulate_grasap(p, q, asap_cols).list,
+        other => other.elimination_list(p, q),
+    }
+}
+
+/// Factorizes a dense `m × n` matrix (`m ≥ n`) with the given configuration.
+///
+/// The matrix is zero-padded to whole tiles, which does not affect the
+/// leading `n × n` block of `R` nor the action of `Q` on vectors padded the
+/// same way.
+pub fn qr_factorize<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrFactorization<T> {
+    factorize_impl(a, config)
+}
+
+/// Convenience wrapper running the factorization on `threads` worker threads
+/// with otherwise default configuration (Greedy + TT kernels).
+pub fn qr_factorize_parallel<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    tile_size: usize,
+    threads: usize,
+) -> QrFactorization<T> {
+    factorize_impl(a, QrConfig::new(tile_size).with_threads(threads))
+}
+
+/// Factorizes `a` while recording a per-task execution trace (start/finish
+/// timestamps); see [`crate::trace`]. Returns the factorization together
+/// with the collected trace.
+pub fn qr_factorize_traced<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    config: QrConfig,
+) -> (QrFactorization<T>, crate::trace::ExecutionTrace) {
+    let trace = crate::trace::ExecutionTrace::new();
+    let f = factorize_with(a, config, |state, task| trace.record(task, || state.run(task)));
+    (f, trace)
+}
+
+fn factorize_impl<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrFactorization<T> {
+    factorize_with(a, config, |state, task| state.run(task))
+}
+
+fn factorize_with<T, F>(a: &Matrix<T>, config: QrConfig, run: F) -> QrFactorization<T>
+where
+    T: Scalar<Real = f64>,
+    F: Fn(&FactorizationState<T>, tileqr_core::TaskKind) + Sync,
+{
+    let (m, n) = a.shape();
+    assert!(m >= n, "tiled QR requires a tall or square matrix (m ≥ n)");
+    assert!(config.tile_size >= 1, "tile size must be at least 1");
+    let tiled = TiledMatrix::from_dense_padded(a, config.tile_size);
+    let (p, q) = (tiled.tile_rows(), tiled.tile_cols());
+    let list = elimination_list_for(config.algorithm, p, q);
+    let dag = TaskDag::build(&list, config.family);
+
+    let state = FactorizationState::new(tiled);
+    if config.threads <= 1 {
+        execute_sequential(&dag, |task| run(&state, task));
+    } else {
+        execute_parallel(&dag, config.threads, |task| run(&state, task));
+    }
+    let (tiles, t_geqrt, t_elim) = state.into_parts();
+    QrFactorization { m, n, tile_size: config.tile_size, tiles, t_geqrt, t_elim, dag }
+}
+
+impl<T: Scalar<Real = f64>> QrFactorization<T> {
+    /// The upper-triangular factor `R` (size `n × n`, the original column
+    /// count before padding).
+    pub fn r(&self) -> Matrix<T> {
+        let full = self.tiles.to_dense();
+        let mut r = full.sub_matrix(0, 0, self.n, self.n);
+        r.zero_below_diagonal();
+        r
+    }
+
+    /// Applies `Qᴴ` to a dense matrix with `m` rows (the original, unpadded
+    /// row count) and returns the result.
+    pub fn apply_qh(&self, b: &Matrix<T>) -> Matrix<T> {
+        self.apply(b, Trans::ConjTrans)
+    }
+
+    /// Applies `Q` to a dense matrix with `m` rows and returns the result.
+    pub fn apply_q(&self, b: &Matrix<T>) -> Matrix<T> {
+        self.apply(b, Trans::NoTrans)
+    }
+
+    /// Forms the economy-size orthogonal factor `Q` (`m × n`): the result of
+    /// applying `Q` to the first `n` columns of the identity.
+    pub fn q_economy(&self) -> Matrix<T> {
+        let mut id = Matrix::zeros(self.m, self.n);
+        for j in 0..self.n {
+            id.set(j, j, T::ONE);
+        }
+        self.apply_q(&id)
+    }
+
+    /// Relative factorization residual `‖A − Q·R‖_F / ‖A‖_F` against the
+    /// original matrix.
+    pub fn residual(&self, a: &Matrix<T>) -> f64 {
+        let q = self.q_economy();
+        let r = self.r();
+        tileqr_matrix::norms::factorization_residual(a, &q, &r)
+    }
+
+    /// Orthogonality residual `‖QᴴQ − I‖_F` of the economy `Q`.
+    pub fn orthogonality(&self) -> f64 {
+        tileqr_matrix::norms::orthogonality_residual(&self.q_economy())
+    }
+
+    /// Number of tile rows of the padded grid.
+    pub fn tile_rows(&self) -> usize {
+        self.tiles.tile_rows()
+    }
+
+    /// Number of tile columns of the padded grid.
+    pub fn tile_cols(&self) -> usize {
+        self.tiles.tile_cols()
+    }
+
+    /// Tile size `nb`.
+    pub fn tile_size(&self) -> usize {
+        self.tile_size
+    }
+
+    /// Access to the factored tiles (R + Householder vectors), mainly for
+    /// inspection and tests.
+    pub fn factored_tiles(&self) -> &TiledMatrix<T> {
+        &self.tiles
+    }
+
+    fn t_geqrt_of(&self, row: usize, col: usize) -> &Matrix<T> {
+        self.t_geqrt[col * self.tiles.tile_rows() + row]
+            .as_ref()
+            .expect("missing GEQRT T factor — corrupt factorization")
+    }
+
+    fn t_elim_of(&self, row: usize, col: usize) -> &Matrix<T> {
+        self.t_elim[col * self.tiles.tile_rows() + row]
+            .as_ref()
+            .expect("missing elimination T factor — corrupt factorization")
+    }
+
+    /// Applies `Q` or `Qᴴ` to a dense matrix with `self.m` rows by replaying
+    /// the factorization's block reflectors on a tiled copy of `b`.
+    fn apply(&self, b: &Matrix<T>, trans: Trans) -> Matrix<T> {
+        assert_eq!(b.rows(), self.m, "row count must match the factored matrix");
+        let nb = self.tile_size;
+        let p = self.tiles.tile_rows();
+        // Pad b to the same tile-row count as the factorization.
+        let mut padded = Matrix::zeros(p * nb, b.cols());
+        padded.copy_block(0, 0, b, 0, 0, b.rows(), b.cols());
+        let mut bt = TiledMatrix::from_dense_padded(&padded, nb);
+        let qb = bt.tile_cols();
+
+        // The factor tasks of the DAG, in topological order.
+        let factor_tasks: Vec<TaskKind> = self
+            .dag
+            .tasks
+            .iter()
+            .map(|t| t.kind)
+            .filter(|k| matches!(k, TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }))
+            .collect();
+
+        let apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
+            TaskKind::Geqrt { row, col } => {
+                let v = self.tiles.tile(row, col);
+                let t = self.t_geqrt_of(row, col);
+                for jb in 0..qb {
+                    unmqr(v, t, bt.tile_mut(row, jb), trans);
+                }
+            }
+            TaskKind::Tsqrt { row, piv, col } => {
+                let v2 = self.tiles.tile(row, col);
+                let t = self.t_elim_of(row, col);
+                for jb in 0..qb {
+                    let mut c1 = bt.tile(piv, jb).clone();
+                    let mut c2 = bt.tile(row, jb).clone();
+                    tsmqr(v2, t, &mut c1, &mut c2, trans);
+                    bt.set_tile(piv, jb, c1);
+                    bt.set_tile(row, jb, c2);
+                }
+            }
+            TaskKind::Ttqrt { row, piv, col } => {
+                let v2 = self.tiles.tile(row, col);
+                let t = self.t_elim_of(row, col);
+                for jb in 0..qb {
+                    let mut c1 = bt.tile(piv, jb).clone();
+                    let mut c2 = bt.tile(row, jb).clone();
+                    ttmqr(v2, t, &mut c1, &mut c2, trans);
+                    bt.set_tile(piv, jb, c1);
+                    bt.set_tile(row, jb, c2);
+                }
+            }
+            _ => unreachable!("only factor tasks are replayed"),
+        };
+
+        match trans {
+            Trans::ConjTrans => {
+                for &kind in &factor_tasks {
+                    apply_one(&mut bt, kind);
+                }
+            }
+            Trans::NoTrans => {
+                for &kind in factor_tasks.iter().rev() {
+                    apply_one(&mut bt, kind);
+                }
+            }
+        }
+
+        let dense = bt.to_dense();
+        dense.sub_matrix(0, 0, self.m, b.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::{random_matrix, RandomScalar};
+    use tileqr_matrix::norms::{frobenius_norm, orthogonality_residual};
+    use tileqr_matrix::Complex64;
+
+    const TOL: f64 = 1e-11;
+
+    fn check_factorization<T: RandomScalar>(m: usize, n: usize, nb: usize, config: QrConfig, seed: u64) {
+        let a: Matrix<T> = random_matrix(m, n, seed);
+        let f = qr_factorize(&a, config);
+        let r = f.r();
+        assert!(r.is_upper_triangular(), "R not triangular for {}", config.algorithm.name());
+        assert!(
+            f.residual(&a) < TOL,
+            "residual too large for {} ({}x{}, nb={nb}): {}",
+            config.algorithm.name(),
+            m,
+            n,
+            f.residual(&a)
+        );
+        assert!(f.orthogonality() < TOL, "Q not orthogonal for {}", config.algorithm.name());
+    }
+
+    #[test]
+    fn greedy_tt_factorization_is_correct_real() {
+        check_factorization::<f64>(24, 16, 4, QrConfig::new(4), 1);
+        check_factorization::<f64>(20, 12, 8, QrConfig::new(8), 2);
+    }
+
+    #[test]
+    fn greedy_tt_factorization_is_correct_complex() {
+        check_factorization::<Complex64>(24, 16, 4, QrConfig::new(4), 3);
+    }
+
+    #[test]
+    fn all_algorithms_and_families_agree_on_r_shape() {
+        let algorithms = [
+            Algorithm::FlatTree,
+            Algorithm::Fibonacci,
+            Algorithm::Greedy,
+            Algorithm::BinaryTree,
+            Algorithm::PlasmaTree { bs: 2 },
+            Algorithm::Asap,
+            Algorithm::Grasap { asap_cols: 1 },
+        ];
+        for algo in algorithms {
+            for family in [KernelFamily::TT, KernelFamily::TS] {
+                let config = QrConfig::new(4).with_algorithm(algo).with_family(family);
+                check_factorization::<f64>(20, 8, 4, config, 7);
+            }
+        }
+    }
+
+    #[test]
+    fn non_multiple_dimensions_are_padded_correctly() {
+        check_factorization::<f64>(23, 9, 4, QrConfig::new(4), 11);
+        check_factorization::<f64>(17, 17, 5, QrConfig::new(5), 12);
+        check_factorization::<f64>(10, 3, 16, QrConfig::new(16), 13);
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let a: Matrix<f64> = random_matrix(32, 24, 21);
+        let seq = qr_factorize(&a, QrConfig::new(8));
+        let par = qr_factorize_parallel(&a, 8, 4);
+        let diff = frobenius_norm(&seq.r().sub(&par.r()));
+        assert!(diff < 1e-12, "sequential and parallel R differ by {diff}");
+        assert!(par.residual(&a) < TOL);
+    }
+
+    #[test]
+    fn apply_q_and_qh_are_inverse() {
+        let a: Matrix<f64> = random_matrix(20, 12, 31);
+        let f = qr_factorize(&a, QrConfig::new(4));
+        let b: Matrix<f64> = random_matrix(20, 3, 32);
+        let qhb = f.apply_qh(&b);
+        let back = f.apply_q(&qhb);
+        let diff = frobenius_norm(&back.sub(&b)) / frobenius_norm(&b);
+        assert!(diff < 1e-12, "Q·Qᴴ·b differs from b by {diff}");
+    }
+
+    #[test]
+    fn qh_times_a_equals_r_padded() {
+        // Qᴴ·A = [R; 0]
+        let a: Matrix<f64> = random_matrix(16, 8, 41);
+        let f = qr_factorize(&a, QrConfig::new(4));
+        let qha = f.apply_qh(&a);
+        let r = f.r();
+        for i in 0..16 {
+            for j in 0..8 {
+                let expected = if i < 8 { r.get(i, j) } else { 0.0 };
+                assert!((qha.get(i, j) - expected).abs() < 1e-11, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn economy_q_is_orthonormal_complex() {
+        let a: Matrix<Complex64> = random_matrix(18, 6, 51);
+        let f = qr_factorize(&a, QrConfig::new(6).with_algorithm(Algorithm::Fibonacci));
+        let q = f.q_economy();
+        assert_eq!(q.shape(), (18, 6));
+        assert!(orthogonality_residual(&q) < TOL);
+    }
+
+    #[test]
+    fn single_tile_matrix() {
+        check_factorization::<f64>(4, 4, 4, QrConfig::new(4), 61);
+        check_factorization::<f64>(3, 3, 8, QrConfig::new(8), 62);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ n")]
+    fn wide_matrices_are_rejected() {
+        let a: Matrix<f64> = random_matrix(4, 8, 71);
+        let _ = qr_factorize(&a, QrConfig::new(2));
+    }
+
+    #[test]
+    fn traced_factorization_records_every_task() {
+        let a: Matrix<f64> = random_matrix(24, 12, 81);
+        let config = QrConfig::new(4).with_threads(2);
+        let (f, trace) = qr_factorize_traced(&a, config);
+        assert!(f.residual(&a) < TOL);
+        // one span per DAG task
+        let list = super::elimination_list_for(config.algorithm, 6, 3);
+        let dag = TaskDag::build(&list, config.family);
+        assert_eq!(trace.len(), dag.len());
+        let summary = trace.summary();
+        assert_eq!(summary.tasks, dag.len());
+        assert!(summary.makespan >= summary.per_kernel.iter().map(|(_, _, d)| *d).max().unwrap());
+        assert!(summary.average_parallelism() > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Multicore runtime for the tiled QR factorization.
+//!
+//! This crate plays the role of PLASMA's dynamic scheduler in the paper's
+//! experiments: it takes the weighted task DAG produced by `tileqr-core`
+//! (for any elimination tree and either kernel family) and executes it with
+//! the real floating-point kernels of `tileqr-kernels`, either sequentially
+//! or on a pool of worker threads with dependency-driven scheduling.
+//!
+//! * [`executor`] — a generic dependency-counting DAG executor (sequential
+//!   and multi-threaded variants) built on `crossbeam` + `parking_lot`.
+//! * [`state`] — the shared factorization state: lock-protected tiles plus
+//!   the per-tile `T` factors, and the mapping from a [`TaskKind`] to the
+//!   corresponding kernel call.
+//! * [`driver`] — high-level entry points: [`driver::qr_factorize`],
+//!   [`driver::qr_factorize_parallel`] and the [`driver::QrFactorization`]
+//!   handle (extract `R`, apply `Q`/`Qᴴ`, build `Q` explicitly, residuals).
+//! * [`solve`] — linear least-squares solve on top of the tiled QR, the
+//!   motivating application of the paper's introduction.
+//!
+//! [`TaskKind`]: tileqr_core::TaskKind
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod executor;
+pub mod solve;
+pub mod state;
+pub mod trace;
+
+pub use driver::{qr_factorize, qr_factorize_parallel, QrFactorization};
+pub use solve::least_squares_solve;
+pub use trace::{ExecutionTrace, TraceSummary};

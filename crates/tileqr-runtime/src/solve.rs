@@ -1,0 +1,161 @@
+//! Linear least-squares solve on top of the tiled QR factorization.
+//!
+//! Solving `min ‖A·x − b‖₂` for a tall `m × n` matrix is the motivating
+//! application in the paper's introduction. With `A = Q·R`:
+//!
+//! 1. factor `A` with any of the tiled algorithms;
+//! 2. compute `c = Qᴴ·b` (replaying the block reflectors);
+//! 3. solve the triangular system `R·x = c[0..n]`.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+use crate::driver::{qr_factorize, QrConfig, QrFactorization};
+
+/// Solves the least-squares problem `min ‖A·x − b‖₂` using a tiled QR
+/// factorization with the given configuration. Returns the solution vector
+/// of length `n = a.cols()`.
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`, if the matrix is wide (`m < n`), or if
+/// `R` is numerically singular (rank-deficient `A`).
+pub fn least_squares_solve<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &[T], config: QrConfig) -> Vec<T> {
+    assert_eq!(b.len(), a.rows(), "right-hand side length must equal the row count of A");
+    let f = qr_factorize(a, config);
+    least_squares_with_factorization(&f, b)
+}
+
+/// Solves `min ‖A·x − b‖₂` reusing an existing factorization of `A` —
+/// useful when many right-hand sides share the same matrix.
+pub fn least_squares_with_factorization<T: Scalar<Real = f64>>(
+    f: &QrFactorization<T>,
+    b: &[T],
+) -> Vec<T> {
+    assert_eq!(b.len(), f.m, "right-hand side length must equal the row count of A");
+    let bmat = Matrix::from_col_major(f.m, 1, b.to_vec());
+    let c = f.apply_qh(&bmat);
+    let r = f.r();
+    let rhs: Vec<T> = (0..f.n).map(|i| c.get(i, 0)).collect();
+    r.solve_upper_triangular(&rhs)
+}
+
+/// Residual norm `‖A·x − b‖₂` of a candidate least-squares solution.
+pub fn residual_norm<T: Scalar<Real = f64>>(a: &Matrix<T>, x: &[T], b: &[T]) -> f64 {
+    assert_eq!(x.len(), a.cols());
+    assert_eq!(b.len(), a.rows());
+    let mut r: Vec<T> = b.to_vec();
+    for j in 0..a.cols() {
+        let xj = x[j];
+        if xj.is_zero() {
+            continue;
+        }
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri -= a.get(i, j) * xj;
+        }
+    }
+    tileqr_matrix::norms::vector_norm2(&r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_core::algorithms::Algorithm;
+    use tileqr_core::KernelFamily;
+    use tileqr_kernels::reference::least_squares_reference;
+    use tileqr_matrix::generate::{random_matrix, random_vector, vandermonde};
+    use tileqr_matrix::Complex64;
+
+    #[test]
+    fn recovers_exact_solution_when_b_in_range() {
+        let a: Matrix<f64> = random_matrix(30, 8, 1);
+        let x_true: Vec<f64> = random_vector(8, 2);
+        let mut b = vec![0.0; 30];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
+            }
+        }
+        let x = least_squares_solve(&a, &b, QrConfig::new(4));
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn matches_the_reference_dense_solver() {
+        let a = vandermonde(40, 6);
+        let b: Vec<f64> = random_vector(40, 3);
+        let x_tiled = least_squares_solve(&a, &b, QrConfig::new(8).with_algorithm(Algorithm::Fibonacci));
+        let x_ref = least_squares_reference(&a, &b);
+        for (t, r) in x_tiled.iter().zip(&x_ref) {
+            assert!((t - r).abs() < 1e-8, "tiled {t} vs reference {r}");
+        }
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_the_column_span() {
+        let a: Matrix<f64> = random_matrix(25, 5, 4);
+        let b: Vec<f64> = random_vector(25, 5);
+        let x = least_squares_solve(&a, &b, QrConfig::new(5).with_algorithm(Algorithm::BinaryTree));
+        let mut r = b.clone();
+        for j in 0..5 {
+            for (i, ri) in r.iter_mut().enumerate() {
+                *ri -= a.get(i, j) * x[j];
+            }
+        }
+        for j in 0..5 {
+            let dot: f64 = (0..25).map(|i| a.get(i, j) * r[i]).sum();
+            assert!(dot.abs() < 1e-10, "column {j} not orthogonal: {dot}");
+        }
+    }
+
+    #[test]
+    fn complex_least_squares_with_ts_kernels() {
+        let a: Matrix<Complex64> = random_matrix(20, 4, 6);
+        let x_true: Vec<Complex64> = random_vector(4, 7);
+        let mut b = vec![Complex64::ZERO; 20];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * *xj;
+            }
+        }
+        let config = QrConfig::new(4).with_family(KernelFamily::TS).with_algorithm(Algorithm::FlatTree);
+        let x = least_squares_solve(&a, &b, config);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+
+    #[test]
+    fn reusing_a_factorization_for_multiple_rhs() {
+        let a: Matrix<f64> = random_matrix(24, 6, 8);
+        let f = qr_factorize(&a, QrConfig::new(6));
+        for seed in 10..14 {
+            let b: Vec<f64> = random_vector(24, seed);
+            let x1 = least_squares_with_factorization(&f, &b);
+            let x2 = least_squares_solve(&a, &b, QrConfig::new(6));
+            for (u, v) in x1.iter().zip(&x2) {
+                assert!((u - v).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_norm_helper_is_consistent() {
+        let a: Matrix<f64> = random_matrix(12, 3, 20);
+        let b: Vec<f64> = random_vector(12, 21);
+        let x = least_squares_solve(&a, &b, QrConfig::new(4));
+        let opt = residual_norm(&a, &x, &b);
+        // perturbing the solution can only increase the residual
+        let mut worse = x.clone();
+        worse[0] += 0.1;
+        assert!(residual_norm(&a, &worse, &b) > opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "right-hand side length")]
+    fn mismatched_rhs_is_rejected() {
+        let a: Matrix<f64> = random_matrix(10, 3, 30);
+        let b = vec![0.0; 9];
+        let _ = least_squares_solve(&a, &b, QrConfig::new(4));
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared factorization state and the task → kernel mapping.
+//!
+//! Every tile of the matrix, and every auxiliary `T` factor, lives behind its
+//! own `parking_lot::Mutex`. Conflicting tasks are already ordered by the
+//! DAG, so locks are essentially uncontended; they exist to make the
+//! concurrent access to *different parts of the same tile* (e.g. UNMQR
+//! reading the Householder vectors while a TTQRT rewrites the R part above
+//! them) trivially sound. Each task acquires all the locks it needs in a
+//! single global order (tile index, then auxiliary arrays), so the executor
+//! can never deadlock.
+
+use parking_lot::Mutex;
+use tileqr_core::TaskKind;
+use tileqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
+use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
+
+/// Lock-protected storage for the matrix being factored plus the reflector
+/// `T` factors produced along the way.
+pub struct FactorizationState<T: Scalar> {
+    p: usize,
+    q: usize,
+    nb: usize,
+    /// Tiles of the matrix, tile-column-major, each behind its own lock.
+    tiles: Vec<Mutex<Matrix<T>>>,
+    /// `T` factor of `GEQRT(row, col)` (None until that kernel has run).
+    t_geqrt: Vec<Mutex<Option<Matrix<T>>>>,
+    /// `T` factor of the TSQRT/TTQRT that eliminated tile `(row, col)`.
+    t_elim: Vec<Mutex<Option<Matrix<T>>>>,
+}
+
+impl<T: Scalar<Real = f64>> FactorizationState<T> {
+    /// Takes ownership of a tiled matrix and prepares the auxiliary storage.
+    pub fn new(a: TiledMatrix<T>) -> Self {
+        let (tiles, p, q, nb) = a.into_tiles();
+        let tiles = tiles.into_iter().map(Mutex::new).collect();
+        let t_geqrt = (0..p * q).map(|_| Mutex::new(None)).collect();
+        let t_elim = (0..p * q).map(|_| Mutex::new(None)).collect();
+        FactorizationState { p, q, nb, tiles, t_geqrt, t_elim }
+    }
+
+    /// Tile rows of the grid.
+    pub fn tile_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Tile columns of the grid.
+    pub fn tile_cols(&self) -> usize {
+        self.q
+    }
+
+    /// Tile size.
+    pub fn tile_size(&self) -> usize {
+        self.nb
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.p && col < self.q);
+        col * self.p + row
+    }
+
+    /// Executes one task of the DAG. Safe to call concurrently for tasks that
+    /// are not ordered by the DAG.
+    pub fn run(&self, task: TaskKind) {
+        match task {
+            TaskKind::Geqrt { row, col } => {
+                let mut tile = self.tiles[self.idx(row, col)].lock();
+                let mut t = Matrix::zeros(self.nb, self.nb);
+                geqrt(&mut tile, &mut t);
+                *self.t_geqrt[self.idx(row, col)].lock() = Some(t);
+            }
+            TaskKind::Unmqr { row, col, j } => {
+                // lock order: smaller tile index first
+                let (iv, ic) = (self.idx(row, col), self.idx(row, j));
+                debug_assert!(iv < ic);
+                let v = self.tiles[iv].lock();
+                let mut c = self.tiles[ic].lock();
+                let t_guard = self.t_geqrt[iv].lock();
+                let t = t_guard.as_ref().expect("UNMQR before GEQRT");
+                unmqr(&v, t, &mut c, Trans::ConjTrans);
+            }
+            TaskKind::Tsqrt { row, piv, col } => {
+                let (ip, ir) = (self.idx(piv, col), self.idx(row, col));
+                let (mut first, mut second) = self.lock_pair(ip, ir);
+                let mut t = Matrix::zeros(self.nb, self.nb);
+                // first/second are ordered by index; map back to pivot/row
+                let (r1, a2) = if ip < ir { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
+                tsqrt(r1, a2, &mut t);
+                *self.t_elim[self.idx(row, col)].lock() = Some(t);
+            }
+            TaskKind::Ttqrt { row, piv, col } => {
+                let (ip, ir) = (self.idx(piv, col), self.idx(row, col));
+                let (mut first, mut second) = self.lock_pair(ip, ir);
+                let mut t = Matrix::zeros(self.nb, self.nb);
+                let (r1, r2) = if ip < ir { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
+                ttqrt(r1, r2, &mut t);
+                *self.t_elim[self.idx(row, col)].lock() = Some(t);
+            }
+            TaskKind::Tsmqr { row, piv, col, j } => {
+                let iv = self.idx(row, col);
+                let (ic1, ic2) = (self.idx(piv, j), self.idx(row, j));
+                let v = self.tiles[iv].lock();
+                let (mut first, mut second) = self.lock_pair(ic1, ic2);
+                let t_guard = self.t_elim[iv].lock();
+                let t = t_guard.as_ref().expect("TSMQR before TSQRT");
+                let (c1, c2) = if ic1 < ic2 { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
+                tsmqr(&v, t, c1, c2, Trans::ConjTrans);
+            }
+            TaskKind::Ttmqr { row, piv, col, j } => {
+                let iv = self.idx(row, col);
+                let (ic1, ic2) = (self.idx(piv, j), self.idx(row, j));
+                let v = self.tiles[iv].lock();
+                let (mut first, mut second) = self.lock_pair(ic1, ic2);
+                let t_guard = self.t_elim[iv].lock();
+                let t = t_guard.as_ref().expect("TTMQR before TTQRT");
+                let (c1, c2) = if ic1 < ic2 { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
+                ttmqr(&v, t, c1, c2, Trans::ConjTrans);
+            }
+        }
+    }
+
+    /// Locks two distinct tiles in global index order and returns the guards
+    /// in (smaller-index, larger-index) order.
+    fn lock_pair(&self, a: usize, b: usize) -> (parking_lot::MutexGuard<'_, Matrix<T>>, parking_lot::MutexGuard<'_, Matrix<T>>) {
+        assert_ne!(a, b, "a task never locks the same tile twice");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let first = self.tiles[lo].lock();
+        let second = self.tiles[hi].lock();
+        (first, second)
+    }
+
+    /// Consumes the state and returns the factored tiles plus the `T`
+    /// factors, for use by [`crate::driver::QrFactorization`].
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (TiledMatrix<T>, Vec<Option<Matrix<T>>>, Vec<Option<Matrix<T>>>) {
+        let tiles: Vec<Matrix<T>> = self.tiles.into_iter().map(|m| m.into_inner()).collect();
+        let tiled = TiledMatrix::from_tiles(tiles, self.p, self.q, self.nb);
+        let t_geqrt = self.t_geqrt.into_iter().map(|m| m.into_inner()).collect();
+        let t_elim = self.t_elim.into_iter().map(|m| m.into_inner()).collect();
+        (tiled, t_geqrt, t_elim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_core::algorithms::Algorithm;
+    use tileqr_core::dag::TaskDag;
+    use tileqr_core::KernelFamily;
+    use tileqr_matrix::generate::random_matrix;
+
+    #[test]
+    fn state_roundtrip_preserves_grid_shape() {
+        let a = random_matrix::<f64>(12, 8, 1);
+        let tiled = TiledMatrix::from_dense(&a, 4);
+        let state = FactorizationState::new(tiled.clone());
+        assert_eq!(state.tile_rows(), 3);
+        assert_eq!(state.tile_cols(), 2);
+        assert_eq!(state.tile_size(), 4);
+        let (back, tg, te) = state.into_parts();
+        assert_eq!(back, tiled);
+        assert!(tg.iter().all(|t| t.is_none()));
+        assert!(te.iter().all(|t| t.is_none()));
+    }
+
+    #[test]
+    fn running_all_tasks_populates_t_factors() {
+        let a = random_matrix::<f64>(12, 8, 2);
+        let tiled = TiledMatrix::from_dense(&a, 4);
+        let state = FactorizationState::new(tiled);
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(3, 2), KernelFamily::TT);
+        for task in &dag.tasks {
+            state.run(task.kind);
+        }
+        let (_tiles, t_geqrt, t_elim) = state.into_parts();
+        // TT: every active tile has a GEQRT T factor
+        assert_eq!(t_geqrt.iter().filter(|t| t.is_some()).count(), 3 + 2);
+        // and every sub-diagonal tile has an elimination T factor
+        assert_eq!(t_elim.iter().filter(|t| t.is_some()).count(), 2 + 1);
+    }
+}

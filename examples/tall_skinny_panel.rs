@@ -1,0 +1,72 @@
+//! Orthogonalizing a tall-and-skinny panel — the block-iterative-methods use
+//! case from the paper's introduction (e.g. building an orthogonal basis of a
+//! Krylov block at every iteration).
+//!
+//! The example factorizes the same 1024 × 64 panel with every algorithm and
+//! both kernel families, verifies that all of them produce an orthonormal
+//! basis, and reports wall-clock times sequential vs. multi-threaded.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example tall_skinny_panel
+//! ```
+
+use std::time::Instant;
+
+use tiled_qr::core::algorithms::Algorithm;
+use tiled_qr::core::KernelFamily;
+use tiled_qr::matrix::generate::random_matrix;
+use tiled_qr::matrix::norms::orthogonality_residual;
+use tiled_qr::matrix::Matrix;
+use tiled_qr::runtime::driver::{qr_factorize, QrConfig};
+
+fn main() {
+    let (m, n, nb) = (1024usize, 64usize, 32usize);
+    let a: Matrix<f64> = random_matrix(m, n, 2024);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    println!("Orthogonalizing a {m} x {n} panel (tile size {nb}, {} x {} tiles)", m / nb, n / nb);
+    println!("{:<24} {:>8} {:>14} {:>14} {:>12}", "algorithm", "kernels", "seq time", "par time", "‖QᴴQ − I‖");
+
+    let algorithms = [
+        (Algorithm::Greedy, KernelFamily::TT),
+        (Algorithm::Fibonacci, KernelFamily::TT),
+        (Algorithm::BinaryTree, KernelFamily::TT),
+        (Algorithm::PlasmaTree { bs: 8 }, KernelFamily::TT),
+        (Algorithm::FlatTree, KernelFamily::TT),
+        (Algorithm::FlatTree, KernelFamily::TS),
+        (Algorithm::PlasmaTree { bs: 8 }, KernelFamily::TS),
+    ];
+
+    for (algo, family) in algorithms {
+        let seq_cfg = QrConfig::new(nb).with_algorithm(algo).with_family(family);
+        let t0 = Instant::now();
+        let f_seq = qr_factorize(&a, seq_cfg);
+        let seq_time = t0.elapsed();
+
+        let par_cfg = seq_cfg.with_threads(threads);
+        let t1 = Instant::now();
+        let f_par = qr_factorize(&a, par_cfg);
+        let par_time = t1.elapsed();
+
+        let q = f_par.q_economy();
+        let ortho = orthogonality_residual(&q);
+        // parallel and sequential runs produce the same R
+        let diff = tiled_qr::matrix::norms::frobenius_norm(&f_seq.r().sub(&f_par.r()));
+        assert!(diff < 1e-10, "parallel and sequential R differ");
+
+        println!(
+            "{:<24} {:>8} {:>14.3?} {:>14.3?} {:>12.2e}",
+            algo.name(),
+            family.name(),
+            seq_time,
+            par_time,
+            ortho
+        );
+    }
+
+    println!();
+    println!("The orthogonal basis can now be used inside a block iterative method;");
+    println!("all trees give a basis of the same subspace, they only differ in how much");
+    println!("parallelism the factorization exposes (critical path — see tree_comparison).");
+}

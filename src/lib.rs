@@ -1,0 +1,36 @@
+//! # tiled-qr — Tiled QR factorization algorithms
+//!
+//! A production-quality Rust reproduction of *"Tiled QR factorization
+//! algorithms"* (Bouwmeester, Jacquelin, Langou, Robert — SC 2011 / INRIA
+//! RR-7601). The workspace is split into focused crates; this facade simply
+//! re-exports their public APIs so downstream users can depend on a single
+//! crate:
+//!
+//! * [`matrix`] — dense & tiled matrix storage, `f64` / `Complex64` scalars.
+//! * [`kernels`] — the six sequential tile kernels (`GEQRT`, `TSQRT`,
+//!   `TTQRT`, `UNMQR`, `TSMQR`, `TTMQR`) built on Householder reflections
+//!   with a compact WY representation.
+//! * [`core`] — elimination lists, reduction-tree algorithms (FlatTree,
+//!   Fibonacci, Greedy, Asap, Grasap, BinaryTree, PlasmaTree), the weighted
+//!   task DAG, the critical-path simulator and the roofline-style
+//!   performance model.
+//! * [`runtime`] — a multicore dependency-counting scheduler that executes
+//!   the task DAG, plus high-level drivers (factorize, apply Qᴴ, build Q,
+//!   least-squares solve).
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the full
+//! reproduction of the paper's tables and figures.
+
+pub use tileqr_core as core;
+pub use tileqr_kernels as kernels;
+pub use tileqr_matrix as matrix;
+pub use tileqr_runtime as runtime;
+
+/// Convenience prelude re-exporting the types most programs need.
+pub mod prelude {
+    pub use tileqr_core::algorithms::Algorithm;
+    pub use tileqr_core::dag::KernelFamily;
+    pub use tileqr_matrix::{Complex64, Matrix, Scalar, TiledMatrix};
+    pub use tileqr_runtime::driver::{qr_factorize, qr_factorize_parallel, QrFactorization};
+    pub use tileqr_runtime::solve::least_squares_solve;
+}
