@@ -1,60 +1,66 @@
-//! Criterion benchmarks of the critical-path simulator itself: DAG
-//! construction and unbounded/bounded scheduling for the grid sizes used in
-//! the paper's Tables 4–5 (up to 128 × 128 tiles), plus the dynamic Asap
-//! co-simulation.
+//! Micro-benchmarks of the critical-path simulator itself: DAG construction
+//! and unbounded/bounded scheduling for the grid sizes used in the paper's
+//! Tables 4–5 (up to 128 × 128 tiles), plus the dynamic Asap co-simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tileqr_bench::microbench::{run, write_json, Sample};
 use tileqr_core::algorithms::Algorithm;
 use tileqr_core::dag::TaskDag;
 use tileqr_core::sim::{simulate_asap, simulate_bounded, simulate_unbounded};
 use tileqr_core::KernelFamily;
 
-fn bench_dag_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dag_build_greedy_tt");
+fn bench_dag_build(samples: &mut Vec<Sample>) {
     for &(p, q) in &[(40usize, 40usize), (64, 32), (128, 16)] {
         let list = Algorithm::Greedy.elimination_list(p, q);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &list, |b, list| {
-            b.iter(|| TaskDag::build(list, KernelFamily::TT));
+        let name = format!("dag_build_{p}x{q}");
+        run(samples, "dag_build_greedy_tt", &name, p, None, || {
+            std::hint::black_box(TaskDag::build(&list, KernelFamily::TT));
         });
     }
-    group.finish();
 }
 
-fn bench_unbounded_schedule(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_unbounded");
+fn bench_unbounded_schedule(samples: &mut Vec<Sample>) {
     for &(p, q) in &[(40usize, 40usize), (128, 32)] {
         let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &dag, |b, dag| {
-            b.iter(|| simulate_unbounded(dag));
+        let name = format!("unbounded_{p}x{q}");
+        run(samples, "simulate_unbounded", &name, p, None, || {
+            std::hint::black_box(simulate_unbounded(&dag));
         });
     }
-    group.finish();
 }
 
-fn bench_bounded_schedule(c: &mut Criterion) {
-    let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(40, 20), KernelFamily::TT);
-    let mut group = c.benchmark_group("simulate_bounded_40x20");
+fn bench_bounded_schedule(samples: &mut Vec<Sample>) {
+    let dag = TaskDag::build(
+        &Algorithm::Greedy.elimination_list(40, 20),
+        KernelFamily::TT,
+    );
     for procs in [8usize, 48] {
-        group.bench_with_input(BenchmarkId::from_parameter(procs), &procs, |b, &procs| {
-            b.iter(|| simulate_bounded(&dag, procs));
+        let name = format!("bounded_40x20_p{procs}");
+        run(samples, "simulate_bounded", &name, procs, None, || {
+            std::hint::black_box(simulate_bounded(&dag, procs));
         });
     }
-    group.finish();
 }
 
-fn bench_asap_cosimulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_asap");
+fn bench_asap_cosimulation(samples: &mut Vec<Sample>) {
     for &(p, q) in &[(32usize, 16usize), (64, 32)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &(p, q), |b, &(p, q)| {
-            b.iter(|| simulate_asap(p, q));
+        let name = format!("asap_{p}x{q}");
+        run(samples, "simulate_asap", &name, p, None, || {
+            std::hint::black_box(simulate_asap(p, q));
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_dag_build, bench_unbounded_schedule, bench_bounded_schedule, bench_asap_cosimulation
+fn main() {
+    let mut samples = Vec::new();
+    bench_dag_build(&mut samples);
+    bench_unbounded_schedule(&mut samples);
+    bench_bounded_schedule(&mut samples);
+    bench_asap_cosimulation(&mut samples);
+    write_json(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_cp_simulation.json"
+        ),
+        &samples,
+    );
 }
-criterion_main!(benches);

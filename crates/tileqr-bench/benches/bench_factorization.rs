@@ -1,9 +1,9 @@
-//! Criterion benchmarks of complete tiled QR factorizations — the
-//! statistical counterpart of the paper's Tables 6–9 and of the experimental
-//! series in Figures 1 and 6 (Greedy vs Fibonacci vs PlasmaTree vs FlatTree,
-//! TT and TS kernels, sequential and multi-threaded).
+//! Micro-benchmarks of complete tiled QR factorizations — the statistical
+//! counterpart of the paper's Tables 6–9 and of the experimental series in
+//! Figures 1 and 6 (Greedy vs Fibonacci vs PlasmaTree vs FlatTree, TT and TS
+//! kernels, sequential and multi-threaded).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tileqr_bench::microbench::{run, write_json, Sample};
 use tileqr_core::algorithms::Algorithm;
 use tileqr_core::KernelFamily;
 use tileqr_kernels::flops::qr_flops;
@@ -14,63 +14,93 @@ use tileqr_runtime::driver::{qr_factorize, QrConfig};
 const NB: usize = 24;
 const P: usize = 10;
 
-fn bench_algorithms_tall(c: &mut Criterion) {
+fn bench_algorithms_tall(samples: &mut Vec<Sample>) {
     // tall grid: p × 2 tiles, the regime where the tree choice matters most
     let q = 2usize;
     let (m, n) = (P * NB, q * NB);
     let a: Matrix<f64> = random_matrix(m, n, 1);
-    let mut group = c.benchmark_group("factorization_tall_p10xq2");
-    group.throughput(Throughput::Elements(qr_flops(m, n) as u64));
+    let flops = Some(qr_flops(m, n));
     let algorithms = [
         ("greedy_tt", Algorithm::Greedy, KernelFamily::TT),
         ("fibonacci_tt", Algorithm::Fibonacci, KernelFamily::TT),
         ("binary_tt", Algorithm::BinaryTree, KernelFamily::TT),
         ("flat_tt", Algorithm::FlatTree, KernelFamily::TT),
         ("flat_ts", Algorithm::FlatTree, KernelFamily::TS),
-        ("plasma_bs3_tt", Algorithm::PlasmaTree { bs: 3 }, KernelFamily::TT),
-        ("plasma_bs3_ts", Algorithm::PlasmaTree { bs: 3 }, KernelFamily::TS),
+        (
+            "plasma_bs3_tt",
+            Algorithm::PlasmaTree { bs: 3 },
+            KernelFamily::TT,
+        ),
+        (
+            "plasma_bs3_ts",
+            Algorithm::PlasmaTree { bs: 3 },
+            KernelFamily::TS,
+        ),
     ];
     for (name, algo, family) in algorithms {
-        group.bench_with_input(BenchmarkId::new(name, format!("{m}x{n}")), &a, |b, a| {
-            let config = QrConfig::new(NB).with_algorithm(algo).with_family(family);
-            b.iter(|| qr_factorize(a, config));
-        });
+        let config = QrConfig::new(NB).with_algorithm(algo).with_family(family);
+        run(
+            samples,
+            "factorization_tall_p10xq2",
+            name,
+            NB,
+            flops,
+            || {
+                std::hint::black_box(qr_factorize(&a, config));
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_square_vs_tall(c: &mut Criterion) {
-    let mut group = c.benchmark_group("factorization_shapes_greedy");
+fn bench_square_vs_tall(samples: &mut Vec<Sample>) {
     for (p, q) in [(12usize, 1usize), (12, 3), (12, 6), (8, 8)] {
         let (m, n) = (p * NB, q * NB);
         let a: Matrix<f64> = random_matrix(m, n, 7);
-        group.throughput(Throughput::Elements(qr_flops(m, n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &a, |b, a| {
-            let config = QrConfig::new(NB);
-            b.iter(|| qr_factorize(a, config));
-        });
+        let config = QrConfig::new(NB);
+        let name = format!("greedy_tt_{p}x{q}");
+        run(
+            samples,
+            "factorization_shapes",
+            &name,
+            NB,
+            Some(qr_flops(m, n)),
+            || {
+                std::hint::black_box(qr_factorize(&a, config));
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_threads(c: &mut Criterion) {
+fn bench_threads(samples: &mut Vec<Sample>) {
     let (p, q) = (12usize, 4usize);
     let (m, n) = (p * NB, q * NB);
     let a: Matrix<f64> = random_matrix(m, n, 9);
-    let mut group = c.benchmark_group("factorization_threads_greedy");
-    group.throughput(Throughput::Elements(qr_flops(m, n) as u64));
     for threads in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let config = QrConfig::new(NB).with_threads(threads);
-            b.iter(|| qr_factorize(&a, config));
-        });
+        let config = QrConfig::new(NB).with_threads(threads);
+        let name = format!("threads_{threads}");
+        run(
+            samples,
+            "factorization_threads",
+            &name,
+            NB,
+            Some(qr_flops(m, n)),
+            || {
+                std::hint::black_box(qr_factorize(&a, config));
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_algorithms_tall, bench_square_vs_tall, bench_threads
+fn main() {
+    let mut samples = Vec::new();
+    bench_algorithms_tall(&mut samples);
+    bench_square_vs_tall(&mut samples);
+    bench_threads(&mut samples);
+    write_json(
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_factorization.json"
+        ),
+        &samples,
+    );
 }
-criterion_main!(benches);

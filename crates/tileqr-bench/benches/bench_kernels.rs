@@ -1,139 +1,344 @@
-//! Criterion benchmarks of the six sequential tile kernels plus the GEMM
-//! reference — the statistical counterpart of the paper's Figures 4–5
-//! (kernel performance as a function of the tile size).
+//! Micro-benchmarks of the six sequential tile kernels — the statistical
+//! counterpart of the paper's Figures 4–5 (kernel performance as a function
+//! of the tile size) — plus the `bench_workspace` comparison group: the
+//! zero-allocation blocked workspace kernels (`*_ws`) against the frozen
+//! seed (allocating, column-at-a-time) baselines from
+//! `tileqr_bench::seed_kernels`.
+//!
+//! A summary of every sample is written to `BENCH_kernels.json` at the
+//! workspace root (override with `TILEQR_BENCH_JSON`) so the perf trajectory
+//! is tracked across PRs. Run with e.g.
+//!
+//! ```text
+//! cargo bench -p tileqr-bench --bench bench_kernels
+//! TILEQR_BENCH_MS=200 cargo bench -p tileqr-bench --bench bench_kernels
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tileqr_bench::microbench::{run, write_json, Sample};
+use tileqr_bench::seed_kernels;
 use tileqr_kernels::blas::gemm_acc;
 use tileqr_kernels::flops::{gemm_flops, KernelKind};
-use tileqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
+use tileqr_kernels::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Trans, Workspace,
+};
 use tileqr_matrix::generate::random_matrix;
 use tileqr_matrix::{Complex64, Matrix};
 
-const TILE_SIZES: [usize; 3] = [32, 64, 96];
-
-fn bench_factor_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("factor_kernels_f64");
-    for &nb in &TILE_SIZES {
-        group.throughput(Throughput::Elements(KernelKind::Geqrt.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("GEQRT", nb), &nb, |b, &nb| {
-            let a: Matrix<f64> = random_matrix(nb, nb, 1);
-            let mut t = Matrix::zeros(nb, nb);
-            b.iter(|| {
-                let mut work = a.clone();
-                geqrt(&mut work, &mut t);
-            });
-        });
-        group.throughput(Throughput::Elements(KernelKind::Tsqrt.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("TSQRT", nb), &nb, |b, &nb| {
-            let mut r1: Matrix<f64> = random_matrix(nb, nb, 2);
-            r1.zero_below_diagonal();
-            let a2: Matrix<f64> = random_matrix(nb, nb, 3);
-            let mut t = Matrix::zeros(nb, nb);
-            b.iter(|| {
-                let mut r = r1.clone();
-                let mut a = a2.clone();
-                tsqrt(&mut r, &mut a, &mut t);
-            });
-        });
-        group.throughput(Throughput::Elements(KernelKind::Ttqrt.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("TTQRT", nb), &nb, |b, &nb| {
-            let mut r1: Matrix<f64> = random_matrix(nb, nb, 4);
-            r1.zero_below_diagonal();
-            let mut r2: Matrix<f64> = random_matrix(nb, nb, 5);
-            r2.zero_below_diagonal();
-            let mut t = Matrix::zeros(nb, nb);
-            b.iter(|| {
-                let mut a = r1.clone();
-                let mut b2 = r2.clone();
-                ttqrt(&mut a, &mut b2, &mut t);
-            });
-        });
-    }
-    group.finish();
+/// Tile sizes for the workspace-vs-seed comparison (the acceptance sizes of
+/// the zero-allocation PR). Override with `TILEQR_BENCH_NB=32,64`.
+fn tile_sizes() -> Vec<usize> {
+    std::env::var("TILEQR_BENCH_NB")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![64, 128, 192])
 }
 
-fn bench_update_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("update_kernels_f64");
-    for &nb in &TILE_SIZES {
-        // Prepare factored tiles once per size.
+/// Factorization-kernel inputs for one tile size.
+struct FactorInputs {
+    a: Matrix<f64>,
+    r1: Matrix<f64>,
+    a2: Matrix<f64>,
+    r1b: Matrix<f64>,
+    r2b: Matrix<f64>,
+}
+
+impl FactorInputs {
+    fn new(nb: usize) -> Self {
+        let a: Matrix<f64> = random_matrix(nb, nb, 1);
+        let mut r1: Matrix<f64> = random_matrix(nb, nb, 2);
+        r1.zero_below_diagonal();
+        let a2: Matrix<f64> = random_matrix(nb, nb, 3);
+        let mut r1b: Matrix<f64> = random_matrix(nb, nb, 4);
+        r1b.zero_below_diagonal();
+        let mut r2b: Matrix<f64> = random_matrix(nb, nb, 5);
+        r2b.zero_below_diagonal();
+        FactorInputs {
+            a,
+            r1,
+            a2,
+            r1b,
+            r2b,
+        }
+    }
+}
+
+/// Update-kernel inputs (factored reflector blocks + target tiles).
+struct UpdateInputs {
+    v: Matrix<f64>,
+    t_geqrt: Matrix<f64>,
+    v2_ts: Matrix<f64>,
+    t_ts: Matrix<f64>,
+    v2_tt: Matrix<f64>,
+    t_tt: Matrix<f64>,
+    c0: Matrix<f64>,
+    c1: Matrix<f64>,
+}
+
+impl UpdateInputs {
+    fn new(nb: usize) -> Self {
         let mut v: Matrix<f64> = random_matrix(nb, nb, 10);
         let mut t_geqrt = Matrix::zeros(nb, nb);
-        geqrt(&mut v, &mut t_geqrt);
+        tileqr_kernels::geqrt(&mut v, &mut t_geqrt);
 
         let mut r1: Matrix<f64> = random_matrix(nb, nb, 11);
         r1.zero_below_diagonal();
         let mut v2_ts: Matrix<f64> = random_matrix(nb, nb, 12);
         let mut t_ts = Matrix::zeros(nb, nb);
-        tsqrt(&mut r1, &mut v2_ts, &mut t_ts);
+        tileqr_kernels::tsqrt(&mut r1, &mut v2_ts, &mut t_ts);
 
         let mut r1b: Matrix<f64> = random_matrix(nb, nb, 13);
         r1b.zero_below_diagonal();
         let mut v2_tt: Matrix<f64> = random_matrix(nb, nb, 14);
         v2_tt.zero_below_diagonal();
         let mut t_tt = Matrix::zeros(nb, nb);
-        ttqrt(&mut r1b, &mut v2_tt, &mut t_tt);
+        tileqr_kernels::ttqrt(&mut r1b, &mut v2_tt, &mut t_tt);
 
         let c0: Matrix<f64> = random_matrix(nb, nb, 15);
         let c1: Matrix<f64> = random_matrix(nb, nb, 16);
+        UpdateInputs {
+            v,
+            t_geqrt,
+            v2_ts,
+            t_ts,
+            v2_tt,
+            t_tt,
+            c0,
+            c1,
+        }
+    }
+}
 
-        group.throughput(Throughput::Elements(KernelKind::Unmqr.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("UNMQR", nb), &nb, |b, _| {
-            let mut c = c0.clone();
-            b.iter(|| unmqr(&v, &t_geqrt, &mut c, Trans::ConjTrans));
-        });
-        group.throughput(Throughput::Elements(KernelKind::Tsmqr.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("TSMQR", nb), &nb, |b, _| {
-            let mut a = c0.clone();
-            let mut bb = c1.clone();
-            b.iter(|| tsmqr(&v2_ts, &t_ts, &mut a, &mut bb, Trans::ConjTrans));
-        });
-        group.throughput(Throughput::Elements(KernelKind::Ttmqr.flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("TTMQR", nb), &nb, |b, _| {
-            let mut a = c0.clone();
-            let mut bb = c1.clone();
-            b.iter(|| ttmqr(&v2_tt, &t_tt, &mut a, &mut bb, Trans::ConjTrans));
-        });
-        group.throughput(Throughput::Elements(gemm_flops(nb) as u64));
-        group.bench_with_input(BenchmarkId::new("GEMM", nb), &nb, |b, _| {
-            let a: Matrix<f64> = random_matrix(nb, nb, 17);
-            let bb: Matrix<f64> = random_matrix(nb, nb, 18);
-            let mut cc = c0.clone();
-            b.iter(|| gemm_acc(&mut cc, &a, &bb));
+/// The workspace-vs-seed comparison: every kernel, both paths, same inputs.
+fn bench_workspace(samples: &mut Vec<Sample>) {
+    let group = "bench_workspace";
+    for &nb in &tile_sizes() {
+        let fi = FactorInputs::new(nb);
+        let ui = UpdateInputs::new(nb);
+        let mut ws: Workspace<f64> = Workspace::new(nb);
+        let mut t = Matrix::zeros(nb, nb);
+
+        // --- factorization kernels ---
+        let flops = |k: KernelKind| Some(k.flops(nb));
+        run(
+            samples,
+            group,
+            "GEQRT/seed",
+            nb,
+            flops(KernelKind::Geqrt),
+            || {
+                let mut work = fi.a.clone();
+                seed_kernels::geqrt(&mut work, &mut t);
+            },
+        );
+        run(
+            samples,
+            group,
+            "GEQRT/ws",
+            nb,
+            flops(KernelKind::Geqrt),
+            || {
+                let mut work = fi.a.clone();
+                geqrt_ws(&mut work, &mut t, &mut ws);
+            },
+        );
+        run(
+            samples,
+            group,
+            "TSQRT/seed",
+            nb,
+            flops(KernelKind::Tsqrt),
+            || {
+                let mut r = fi.r1.clone();
+                let mut a2 = fi.a2.clone();
+                seed_kernels::tsqrt(&mut r, &mut a2, &mut t);
+            },
+        );
+        run(
+            samples,
+            group,
+            "TSQRT/ws",
+            nb,
+            flops(KernelKind::Tsqrt),
+            || {
+                let mut r = fi.r1.clone();
+                let mut a2 = fi.a2.clone();
+                tsqrt_ws(&mut r, &mut a2, &mut t, &mut ws);
+            },
+        );
+        run(
+            samples,
+            group,
+            "TTQRT/seed",
+            nb,
+            flops(KernelKind::Ttqrt),
+            || {
+                let mut r1 = fi.r1b.clone();
+                let mut r2 = fi.r2b.clone();
+                seed_kernels::ttqrt(&mut r1, &mut r2, &mut t);
+            },
+        );
+        run(
+            samples,
+            group,
+            "TTQRT/ws",
+            nb,
+            flops(KernelKind::Ttqrt),
+            || {
+                let mut r1 = fi.r1b.clone();
+                let mut r2 = fi.r2b.clone();
+                ttqrt_ws(&mut r1, &mut r2, &mut t, &mut ws);
+            },
+        );
+
+        // --- update kernels (applied in place, as in the factorization) ---
+        let mut c = ui.c0.clone();
+        run(
+            samples,
+            group,
+            "UNMQR/seed",
+            nb,
+            flops(KernelKind::Unmqr),
+            || {
+                seed_kernels::unmqr(&ui.v, &ui.t_geqrt, &mut c, Trans::ConjTrans);
+            },
+        );
+        let mut c = ui.c0.clone();
+        run(
+            samples,
+            group,
+            "UNMQR/ws",
+            nb,
+            flops(KernelKind::Unmqr),
+            || {
+                unmqr_ws(&ui.v, &ui.t_geqrt, &mut c, Trans::ConjTrans, &mut ws);
+            },
+        );
+        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        run(
+            samples,
+            group,
+            "TSMQR/seed",
+            nb,
+            flops(KernelKind::Tsmqr),
+            || {
+                seed_kernels::tsmqr(&ui.v2_ts, &ui.t_ts, &mut a, &mut b, Trans::ConjTrans);
+            },
+        );
+        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        run(
+            samples,
+            group,
+            "TSMQR/ws",
+            nb,
+            flops(KernelKind::Tsmqr),
+            || {
+                tsmqr_ws(
+                    &ui.v2_ts,
+                    &ui.t_ts,
+                    &mut a,
+                    &mut b,
+                    Trans::ConjTrans,
+                    &mut ws,
+                );
+            },
+        );
+        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        run(
+            samples,
+            group,
+            "TTMQR/seed",
+            nb,
+            flops(KernelKind::Ttmqr),
+            || {
+                seed_kernels::ttmqr(&ui.v2_tt, &ui.t_tt, &mut a, &mut b, Trans::ConjTrans);
+            },
+        );
+        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        run(
+            samples,
+            group,
+            "TTMQR/ws",
+            nb,
+            flops(KernelKind::Ttmqr),
+            || {
+                ttmqr_ws(
+                    &ui.v2_tt,
+                    &ui.t_tt,
+                    &mut a,
+                    &mut b,
+                    Trans::ConjTrans,
+                    &mut ws,
+                );
+            },
+        );
+
+        // GEMM reference series (Figures 4–5)
+        let ga: Matrix<f64> = random_matrix(nb, nb, 17);
+        let gb: Matrix<f64> = random_matrix(nb, nb, 18);
+        let mut gc = ui.c0.clone();
+        run(samples, group, "GEMM", nb, Some(gemm_flops(nb)), || {
+            gemm_acc(&mut gc, &ga, &gb);
         });
     }
-    group.finish();
 }
 
-fn bench_complex_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_complex64");
+/// Complex-arithmetic spot checks (the paper's double-complex experiments).
+fn bench_complex(samples: &mut Vec<Sample>) {
+    let group = "kernels_complex64";
     let nb = 48usize;
-    group.bench_function("GEQRT", |b| {
-        let a: Matrix<Complex64> = random_matrix(nb, nb, 20);
-        let mut t = Matrix::zeros(nb, nb);
-        b.iter(|| {
-            let mut work = a.clone();
-            geqrt(&mut work, &mut t);
-        });
+    let mut ws: Workspace<Complex64> = Workspace::new(nb);
+
+    let a: Matrix<Complex64> = random_matrix(nb, nb, 20);
+    let mut t = Matrix::zeros(nb, nb);
+    run(samples, group, "GEQRT/ws", nb, None, || {
+        let mut work = a.clone();
+        geqrt_ws(&mut work, &mut t, &mut ws);
     });
-    group.bench_function("TTMQR", |b| {
-        let mut r1: Matrix<Complex64> = random_matrix(nb, nb, 21);
-        r1.zero_below_diagonal();
-        let mut v2: Matrix<Complex64> = random_matrix(nb, nb, 22);
-        v2.zero_below_diagonal();
-        let mut t = Matrix::zeros(nb, nb);
-        ttqrt(&mut r1, &mut v2, &mut t);
-        let c1: Matrix<Complex64> = random_matrix(nb, nb, 23);
-        let c2: Matrix<Complex64> = random_matrix(nb, nb, 24);
-        let mut a = c1.clone();
-        let mut bb = c2.clone();
-        b.iter(|| ttmqr(&v2, &t, &mut a, &mut bb, Trans::ConjTrans));
+
+    let mut r1: Matrix<Complex64> = random_matrix(nb, nb, 21);
+    r1.zero_below_diagonal();
+    let mut v2: Matrix<Complex64> = random_matrix(nb, nb, 22);
+    v2.zero_below_diagonal();
+    let mut t_tt = Matrix::zeros(nb, nb);
+    tileqr_kernels::ttqrt(&mut r1, &mut v2, &mut t_tt);
+    let c1: Matrix<Complex64> = random_matrix(nb, nb, 23);
+    let c2: Matrix<Complex64> = random_matrix(nb, nb, 24);
+    let (mut u1, mut u2) = (c1.clone(), c2.clone());
+    run(samples, group, "TTMQR/ws", nb, None, || {
+        ttmqr_ws(&v2, &t_tt, &mut u1, &mut u2, Trans::ConjTrans, &mut ws);
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_factor_kernels, bench_update_kernels, bench_complex_kernels
+/// Prints the per-kernel speedup of the workspace path over the seed path.
+fn print_speedups(samples: &[Sample]) {
+    println!("\nworkspace path vs seed allocating path (higher is better):");
+    for &nb in &tile_sizes() {
+        for kernel in ["GEQRT", "TSQRT", "TTQRT", "UNMQR", "TSMQR", "TTMQR"] {
+            let find = |suffix: &str| {
+                samples
+                    .iter()
+                    .find(|s| {
+                        s.group == "bench_workspace"
+                            && s.param == nb
+                            && s.name == format!("{kernel}/{suffix}")
+                    })
+                    .map(|s| s.ns_per_iter)
+            };
+            if let (Some(seed), Some(ws)) = (find("seed"), find("ws")) {
+                println!("  {kernel:<6} nb={nb:<4} speedup {:>5.2}x", seed / ws);
+            }
+        }
+    }
 }
-criterion_main!(benches);
+
+fn main() {
+    let mut samples = Vec::new();
+    bench_workspace(&mut samples);
+    bench_complex(&mut samples);
+    print_speedups(&samples);
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json"),
+        &samples,
+    );
+}

@@ -1,41 +1,61 @@
-//! Criterion benchmarks of the elimination-list generators (the reduction
-//! trees themselves) and of the exhaustive PlasmaTree domain-size sweep used
-//! to produce Table 5's "best BS" column.
+//! Micro-benchmarks of the elimination-list generators (the reduction trees
+//! themselves) and of the exhaustive PlasmaTree domain-size sweep used to
+//! produce Table 5's "best BS" column.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tileqr_bench::microbench::{run, write_json, Sample};
 use tileqr_core::algorithms::{binary_tree, fibonacci, flat_tree, greedy, plasma_tree};
 use tileqr_core::sim::best_plasma_tree;
 use tileqr_core::KernelFamily;
 
-fn bench_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("elimination_list_generators");
+fn bench_generators(samples: &mut Vec<Sample>) {
     let (p, q) = (128usize, 64usize);
-    group.bench_function(BenchmarkId::new("flat_tree", format!("{p}x{q}")), |b| b.iter(|| flat_tree(p, q)));
-    group.bench_function(BenchmarkId::new("binary_tree", format!("{p}x{q}")), |b| b.iter(|| binary_tree(p, q)));
-    group.bench_function(BenchmarkId::new("fibonacci", format!("{p}x{q}")), |b| b.iter(|| fibonacci(p, q)));
-    group.bench_function(BenchmarkId::new("greedy", format!("{p}x{q}")), |b| b.iter(|| greedy(p, q)));
-    group.bench_function(BenchmarkId::new("plasma_bs8", format!("{p}x{q}")), |b| b.iter(|| plasma_tree(p, q, 8)));
-    group.finish();
+    run(samples, "elim_generators", "flat_tree", p, None, || {
+        std::hint::black_box(flat_tree(p, q));
+    });
+    run(samples, "elim_generators", "binary_tree", p, None, || {
+        std::hint::black_box(binary_tree(p, q));
+    });
+    run(samples, "elim_generators", "fibonacci", p, None, || {
+        std::hint::black_box(fibonacci(p, q));
+    });
+    run(samples, "elim_generators", "greedy", p, None, || {
+        std::hint::black_box(greedy(p, q));
+    });
+    run(samples, "elim_generators", "plasma_bs8", p, None, || {
+        std::hint::black_box(plasma_tree(p, q, 8));
+    });
 }
 
-fn bench_validation(c: &mut Criterion) {
+fn bench_validation(samples: &mut Vec<Sample>) {
     let list = greedy(96, 48);
-    c.bench_function("validate_greedy_96x48", |b| b.iter(|| list.validate().is_ok()));
+    run(
+        samples,
+        "elim_validation",
+        "validate_greedy_96x48",
+        96,
+        None,
+        || {
+            std::hint::black_box(list.validate().is_ok());
+        },
+    );
 }
 
-fn bench_best_bs_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("plasma_best_bs_sweep");
+fn bench_best_bs_sweep(samples: &mut Vec<Sample>) {
     for &(p, q) in &[(20usize, 10usize), (40, 5)] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{p}x{q}")), &(p, q), |b, &(p, q)| {
-            b.iter(|| best_plasma_tree(p, q, KernelFamily::TT));
+        let name = format!("best_bs_{p}x{q}");
+        run(samples, "plasma_best_bs_sweep", &name, p, None, || {
+            std::hint::black_box(best_plasma_tree(p, q, KernelFamily::TT));
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_generators, bench_validation, bench_best_bs_sweep
+fn main() {
+    let mut samples = Vec::new();
+    bench_generators(&mut samples);
+    bench_validation(&mut samples);
+    bench_best_bs_sweep(&mut samples);
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trees.json"),
+        &samples,
+    );
 }
-criterion_main!(benches);

@@ -21,7 +21,10 @@ use tileqr_core::sim::{critical_path, simulate_bounded};
 use tileqr_core::KernelFamily;
 
 fn main() {
-    let p = std::env::var("TILEQR_TABLE_P").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    let p = std::env::var("TILEQR_TABLE_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
 
     // 1. Greedy formulations
     let mut t = Table::new(
@@ -32,7 +35,12 @@ fn main() {
         let q = q.min(p);
         let cg = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
         let a4 = critical_path(&greedy_algorithm4(p, q), KernelFamily::TT);
-        t.push_row(vec![q.to_string(), cg.to_string(), a4.to_string(), ratio_cell(a4 as f64 / cg as f64)]);
+        t.push_row(vec![
+            q.to_string(),
+            cg.to_string(),
+            a4.to_string(),
+            ratio_cell(a4 as f64 / cg as f64),
+        ]);
     }
     println!("{}", t.render());
 
@@ -43,10 +51,31 @@ fn main() {
         &["P", "FlatTree", "BinaryTree", "Fibonacci", "Greedy", "Greedy cp"],
     );
     let dags: Vec<(&str, TaskDag)> = vec![
-        ("FlatTree", TaskDag::build(&Algorithm::FlatTree.elimination_list(p, q), KernelFamily::TT)),
-        ("BinaryTree", TaskDag::build(&Algorithm::BinaryTree.elimination_list(p, q), KernelFamily::TT)),
-        ("Fibonacci", TaskDag::build(&Algorithm::Fibonacci.elimination_list(p, q), KernelFamily::TT)),
-        ("Greedy", TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT)),
+        (
+            "FlatTree",
+            TaskDag::build(
+                &Algorithm::FlatTree.elimination_list(p, q),
+                KernelFamily::TT,
+            ),
+        ),
+        (
+            "BinaryTree",
+            TaskDag::build(
+                &Algorithm::BinaryTree.elimination_list(p, q),
+                KernelFamily::TT,
+            ),
+        ),
+        (
+            "Fibonacci",
+            TaskDag::build(
+                &Algorithm::Fibonacci.elimination_list(p, q),
+                KernelFamily::TT,
+            ),
+        ),
+        (
+            "Greedy",
+            TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT),
+        ),
     ];
     let greedy_cp = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
     for procs in [1usize, 2, 4, 8, 16, 32, 48, 96] {
@@ -67,7 +96,11 @@ fn main() {
     for q in [1usize, 2, 5, 10, 20, 40] {
         let q = q.min(p);
         let mut row = vec![q.to_string()];
-        for algo in [Algorithm::FlatTree, Algorithm::PlasmaTree { bs: 5 }, Algorithm::Greedy] {
+        for algo in [
+            Algorithm::FlatTree,
+            Algorithm::PlasmaTree { bs: 5 },
+            Algorithm::Greedy,
+        ] {
             let list = algo.elimination_list(p, q);
             let ts = critical_path(&list, KernelFamily::TS);
             let tt = critical_path(&list, KernelFamily::TT);

@@ -10,6 +10,12 @@ fn main() {
     let sizes: Vec<usize> = std::env::var("TILEQR_TILE_SIZES")
         .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .unwrap_or_else(|_| vec![40, 80, 120, 160, 200]);
-    let reps = std::env::var("TILEQR_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
-    print!("{}", tileqr_bench::experiments::figure4_5_report(&sizes, reps));
+    let reps = std::env::var("TILEQR_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    print!(
+        "{}",
+        tileqr_bench::experiments::figure4_5_report(&sizes, reps)
+    );
 }

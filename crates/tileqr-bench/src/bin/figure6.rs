@@ -6,5 +6,8 @@
 use tileqr_bench::Scenario;
 
 fn main() {
-    print!("{}", tileqr_bench::experiments::figure6_report(Scenario::from_env()));
+    print!(
+        "{}",
+        tileqr_bench::experiments::figure6_report(Scenario::from_env())
+    );
 }

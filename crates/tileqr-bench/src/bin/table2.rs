@@ -3,7 +3,13 @@
 //! Override the grid with `TILEQR_TABLE_P` / `TILEQR_TABLE_Q`.
 
 fn main() {
-    let p = std::env::var("TILEQR_TABLE_P").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
-    let q = std::env::var("TILEQR_TABLE_Q").ok().and_then(|v| v.parse().ok()).unwrap_or(6);
+    let p = std::env::var("TILEQR_TABLE_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
+    let q = std::env::var("TILEQR_TABLE_Q")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(6);
     print!("{}", tileqr_bench::experiments::table2_report(p, q));
 }

@@ -2,6 +2,9 @@
 //! q = 1..40). Override p with `TILEQR_TABLE_P`.
 
 fn main() {
-    let p = std::env::var("TILEQR_TABLE_P").ok().and_then(|v| v.parse().ok()).unwrap_or(40);
+    let p = std::env::var("TILEQR_TABLE_P")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
     print!("{}", tileqr_bench::experiments::table5_report(p));
 }

@@ -8,5 +8,8 @@
 use tileqr_bench::Scenario;
 
 fn main() {
-    print!("{}", tileqr_bench::experiments::table6_9_report(Scenario::from_env()));
+    print!(
+        "{}",
+        tileqr_bench::experiments::table6_9_report(Scenario::from_env())
+    );
 }

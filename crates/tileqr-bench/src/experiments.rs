@@ -22,7 +22,9 @@ use crate::Scenario;
 /// row, one column per tile column, `*` on and above the diagonal.
 fn steps_table<T: Copy + Into<u64>>(title: &str, steps: &[Vec<Option<T>>]) -> Table {
     let q = steps.first().map(|r| r.len()).unwrap_or(0);
-    let header: Vec<String> = std::iter::once("row".to_string()).chain((1..=q).map(|k| format!("k={k}"))).collect();
+    let header: Vec<String> = std::iter::once("row".to_string())
+        .chain((1..=q).map(|k| format!("k={k}")))
+        .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
     let mut table = Table::new(title, &header_refs);
     for (i, row) in steps.iter().enumerate() {
@@ -36,13 +38,28 @@ fn steps_table<T: Copy + Into<u64>>(title: &str, steps: &[Vec<Option<T>>]) -> Ta
 /// Table 2: coarse-grain time-steps of Sameh-Kuck, Fibonacci and Greedy.
 pub fn table2_report(p: usize, q: usize) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Table 2 — coarse-grain time-steps for a {p} x {q} tile matrix\n\n"));
+    out.push_str(&format!(
+        "Table 2 — coarse-grain time-steps for a {p} x {q} tile matrix\n\n"
+    ));
     for algo in [Algorithm::FlatTree, Algorithm::Fibonacci, Algorithm::Greedy] {
         let sched = model::coarse_steps(algo, p, q);
-        let name = if algo == Algorithm::FlatTree { "Sameh-Kuck".to_string() } else { algo.name() };
-        let steps: Vec<Vec<Option<u64>>> =
-            sched.steps.iter().map(|r| r.iter().map(|v| v.map(|x| x as u64)).collect()).collect();
-        out.push_str(&steps_table(&format!("({name}) — coarse critical path {}", sched.critical_path), &steps).render());
+        let name = if algo == Algorithm::FlatTree {
+            "Sameh-Kuck".to_string()
+        } else {
+            algo.name()
+        };
+        let steps: Vec<Vec<Option<u64>>> = sched
+            .steps
+            .iter()
+            .map(|r| r.iter().map(|v| v.map(|x| x as u64)).collect())
+            .collect();
+        out.push_str(
+            &steps_table(
+                &format!("({name}) — coarse critical path {}", sched.critical_path),
+                &steps,
+            )
+            .render(),
+        );
         out.push('\n');
     }
     out
@@ -52,7 +69,9 @@ pub fn table2_report(p: usize, q: usize) -> String {
 /// BinaryTree and PlasmaTree(BS=5) with TT kernels.
 pub fn table3_report(p: usize, q: usize) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Table 3 — tiled time-steps (TT kernels) for a {p} x {q} tile matrix\n\n"));
+    out.push_str(&format!(
+        "Table 3 — tiled time-steps (TT kernels) for a {p} x {q} tile matrix\n\n"
+    ));
     let algos = [
         ("Sameh-Kuck / FlatTree", Algorithm::FlatTree),
         ("Fibonacci", Algorithm::Fibonacci),
@@ -94,7 +113,12 @@ pub fn table4_report() -> String {
             }
             let g = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
             let a = simulate_asap(p, q).critical_path;
-            t.push_row(vec![p.to_string(), q.to_string(), g.to_string(), a.to_string()]);
+            t.push_row(vec![
+                p.to_string(),
+                q.to_string(),
+                g.to_string(),
+                a.to_string(),
+            ]);
         }
     }
     out.push_str(&t.render());
@@ -136,7 +160,15 @@ pub fn table6_9_report(scenario: Scenario) -> String {
     for (precision, complex) in [("double", false), ("double complex", true)] {
         let mut vs_plasma = Table::new(
             format!("Greedy vs PlasmaTree(TT) — experimental, {precision} (Tables 6/7)"),
-            &["p", "q", "Greedy", "PlasmaTree(TT)", "BS", "Overhead", "Gain"],
+            &[
+                "p",
+                "q",
+                "Greedy",
+                "PlasmaTree(TT)",
+                "BS",
+                "Overhead",
+                "Gain",
+            ],
         );
         let mut vs_fib = Table::new(
             format!("Greedy vs Fibonacci — experimental, {precision} (Tables 8/9)"),
@@ -146,11 +178,25 @@ pub fn table6_9_report(scenario: Scenario) -> String {
             let (bs, _) = model::best_plasma_cp(scenario.p, q, KernelFamily::TT);
             let run = |algo: Algorithm| -> f64 {
                 if complex {
-                    timing::measure_factorization::<Complex64>(algo, KernelFamily::TT, scenario.p, q, scenario.nb, scenario.threads)
-                        .gflops
+                    timing::measure_factorization::<Complex64>(
+                        algo,
+                        KernelFamily::TT,
+                        scenario.p,
+                        q,
+                        scenario.nb,
+                        scenario.threads,
+                    )
+                    .gflops
                 } else {
-                    timing::measure_factorization::<f64>(algo, KernelFamily::TT, scenario.p, q, scenario.nb, scenario.threads)
-                        .gflops
+                    timing::measure_factorization::<f64>(
+                        algo,
+                        KernelFamily::TT,
+                        scenario.p,
+                        q,
+                        scenario.nb,
+                        scenario.threads,
+                    )
+                    .gflops
                 }
             };
             let greedy = run(Algorithm::Greedy);
@@ -186,8 +232,11 @@ pub fn table6_9_report(scenario: Scenario) -> String {
 /// a set of series.
 fn performance_figure(title: &str, series: &[Series], scenario: Scenario, complex: bool) -> String {
     let mut out = String::new();
-    let gamma_seq =
-        if complex { timing::measure_gamma_seq::<Complex64>(scenario.nb) } else { timing::measure_gamma_seq::<f64>(scenario.nb) };
+    let gamma_seq = if complex {
+        timing::measure_gamma_seq::<Complex64>(scenario.nb)
+    } else {
+        timing::measure_gamma_seq::<f64>(scenario.nb)
+    };
     out.push_str(&format!(
         "{title} (p = {}, nb = {}, P = {} threads, measured gamma_seq = {:.3} GFLOP/s)\n\n",
         scenario.p, scenario.nb, scenario.threads, gamma_seq
@@ -206,9 +255,25 @@ fn performance_figure(title: &str, series: &[Series], scenario: Scenario, comple
             let pred = model::predicted_gflops(s, scenario.p, q, scenario.threads, gamma_seq);
             let (algo, family) = s.instantiate(scenario.p, q);
             let exp = if complex {
-                timing::measure_factorization::<Complex64>(algo, family, scenario.p, q, scenario.nb, scenario.threads).gflops
+                timing::measure_factorization::<Complex64>(
+                    algo,
+                    family,
+                    scenario.p,
+                    q,
+                    scenario.nb,
+                    scenario.threads,
+                )
+                .gflops
             } else {
-                timing::measure_factorization::<f64>(algo, family, scenario.p, q, scenario.nb, scenario.threads).gflops
+                timing::measure_factorization::<f64>(
+                    algo,
+                    family,
+                    scenario.p,
+                    q,
+                    scenario.nb,
+                    scenario.threads,
+                )
+                .gflops
             };
             row.push(rate_cell(pred));
             row.push(rate_cell(exp));
@@ -243,23 +308,37 @@ pub fn figure1_report(scenario: Scenario) -> String {
 /// Figures 2–3: overhead (critical-path length and wall-clock time) of every
 /// TT-kernel algorithm with respect to Greedy.
 pub fn figure2_3_report(scenario: Scenario) -> String {
-    overhead_figure("Figures 2-3 — overhead with respect to Greedy (TT kernels)", &Series::TT_ONLY, scenario)
+    overhead_figure(
+        "Figures 2-3 — overhead with respect to Greedy (TT kernels)",
+        &Series::TT_ONLY,
+        scenario,
+    )
 }
 
 /// Figures 7–8: same as Figures 2–3 but for all kernel families.
 pub fn figure7_8_report(scenario: Scenario) -> String {
-    overhead_figure("Figures 7-8 — overhead with respect to Greedy (all kernels)", &Series::ALL, scenario)
+    overhead_figure(
+        "Figures 7-8 — overhead with respect to Greedy (all kernels)",
+        &Series::ALL,
+        scenario,
+    )
 }
 
 fn overhead_figure(title: &str, series: &[Series], scenario: Scenario) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{title} (p = {}, nb = {}, {} threads)\n\n", scenario.p, scenario.nb, scenario.threads));
+    out.push_str(&format!(
+        "{title} (p = {}, nb = {}, {} threads)\n\n",
+        scenario.p, scenario.nb, scenario.threads
+    ));
 
     // (a) theoretical critical-path overhead
     let mut header: Vec<String> = vec!["q".to_string()];
     header.extend(series.iter().map(|s| s.label().to_string()));
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut theory = Table::new("(a) overhead in critical-path length (Greedy = 1)", &header_refs);
+    let mut theory = Table::new(
+        "(a) overhead in critical-path length (Greedy = 1)",
+        &header_refs,
+    );
     for q in scenario.q_values() {
         let mut row = vec![q.to_string()];
         for (_, overhead) in model::cp_overhead_vs_greedy(series, scenario.p, q) {
@@ -271,10 +350,19 @@ fn overhead_figure(title: &str, series: &[Series], scenario: Scenario) -> String
     out.push('\n');
 
     // (b)/(c) experimental time overhead, double precision
-    let mut exp = Table::new("(b) overhead in wall-clock time, double precision (Greedy = 1)", &header_refs);
+    let mut exp = Table::new(
+        "(b) overhead in wall-clock time, double precision (Greedy = 1)",
+        &header_refs,
+    );
     for q in scenario.q_values() {
-        let greedy =
-            timing::measure_factorization::<f64>(Algorithm::Greedy, KernelFamily::TT, scenario.p, q, scenario.nb, scenario.threads);
+        let greedy = timing::measure_factorization::<f64>(
+            Algorithm::Greedy,
+            KernelFamily::TT,
+            scenario.p,
+            q,
+            scenario.nb,
+            scenario.threads,
+        );
         let mut row = vec![q.to_string()];
         for &s in series {
             if s == Series::Greedy {
@@ -283,7 +371,14 @@ fn overhead_figure(title: &str, series: &[Series], scenario: Scenario) -> String
                 continue;
             }
             let (algo, family) = s.instantiate(scenario.p, q);
-            let m = timing::measure_factorization::<f64>(algo, family, scenario.p, q, scenario.nb, scenario.threads);
+            let m = timing::measure_factorization::<f64>(
+                algo,
+                family,
+                scenario.p,
+                q,
+                scenario.nb,
+                scenario.threads,
+            );
             row.push(ratio_cell(m.seconds / greedy.seconds));
         }
         exp.push_row(row);
@@ -309,7 +404,20 @@ pub fn figure4_5_report(tile_sizes: &[usize], reps: usize) -> String {
             };
             let mut t = Table::new(
                 format!("{mode_name} — GFLOP/s"),
-                &["nb", "GEQRT", "TSQRT", "TTQRT", "GEQRT+TTQRT", "UNMQR", "TSMQR", "TTMQR", "UNMQR+TTMQR", "GEMM", "TS/TT factor", "TS/TT update"],
+                &[
+                    "nb",
+                    "GEQRT",
+                    "TSQRT",
+                    "TTQRT",
+                    "GEQRT+TTQRT",
+                    "UNMQR",
+                    "TSMQR",
+                    "TTMQR",
+                    "UNMQR+TTMQR",
+                    "GEMM",
+                    "TS/TT factor",
+                    "TS/TT update",
+                ],
             );
             for &nb in tile_sizes {
                 let measure = |k: KernelKind| -> f64 {
@@ -332,8 +440,14 @@ pub fn figure4_5_report(tile_sizes: &[usize], reps: usize) -> String {
                 };
                 // GEQRT+TTQRT: the TT pair achieving the same elimination as one TSQRT;
                 // the combined rate weights each kernel by its flop count.
-                let geqrt_ttqrt = combined_rate(&[(KernelKind::Geqrt, geqrt), (KernelKind::Ttqrt, ttqrt)], nb);
-                let unmqr_ttmqr = combined_rate(&[(KernelKind::Unmqr, unmqr), (KernelKind::Ttmqr, ttmqr)], nb);
+                let geqrt_ttqrt = combined_rate(
+                    &[(KernelKind::Geqrt, geqrt), (KernelKind::Ttqrt, ttqrt)],
+                    nb,
+                );
+                let unmqr_ttmqr = combined_rate(
+                    &[(KernelKind::Unmqr, unmqr), (KernelKind::Ttmqr, ttmqr)],
+                    nb,
+                );
                 // Time ratios TS vs TT (the ~1.3 factor discussed in Section 4):
                 let ts_tt_factor = (KernelKind::Tsqrt.flops(nb) / tsqrt)
                     / (KernelKind::Geqrt.flops(nb) / geqrt + KernelKind::Ttqrt.flops(nb) / ttqrt);
@@ -395,11 +509,34 @@ pub fn theory_check_report() -> String {
     let mut out = String::new();
     let mut t = Table::new(
         "Theorem 1 / Propositions 1-2 — closed forms vs simulated critical paths",
-        &["p", "q", "FlatTree(TT)", "formula", "FlatTree(TS)", "formula", "Greedy", "<= 22q+6log2(p)", "lower 22q-30"],
+        &[
+            "p",
+            "q",
+            "FlatTree(TT)",
+            "formula",
+            "FlatTree(TS)",
+            "formula",
+            "Greedy",
+            "<= 22q+6log2(p)",
+            "lower 22q-30",
+        ],
     );
-    for (p, q) in [(10usize, 1usize), (15, 6), (20, 20), (40, 10), (40, 40), (64, 16)] {
-        let flat_tt = critical_path(&Algorithm::FlatTree.elimination_list(p, q), KernelFamily::TT);
-        let flat_ts = critical_path(&Algorithm::FlatTree.elimination_list(p, q), KernelFamily::TS);
+    for (p, q) in [
+        (10usize, 1usize),
+        (15, 6),
+        (20, 20),
+        (40, 10),
+        (40, 40),
+        (64, 16),
+    ] {
+        let flat_tt = critical_path(
+            &Algorithm::FlatTree.elimination_list(p, q),
+            KernelFamily::TT,
+        );
+        let flat_ts = critical_path(
+            &Algorithm::FlatTree.elimination_list(p, q),
+            KernelFamily::TS,
+        );
         let greedy = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
         t.push_row(vec![
             p.to_string(),
@@ -421,7 +558,10 @@ pub fn theory_check_report() -> String {
         &["p", "q", "simulated", "formula"],
     );
     for (p, q) in [(8usize, 4usize), (16, 8), (32, 16), (64, 32)] {
-        let cp = critical_path(&Algorithm::BinaryTree.elimination_list(p, q), KernelFamily::TT);
+        let cp = critical_path(
+            &Algorithm::BinaryTree.elimination_list(p, q),
+            KernelFamily::TT,
+        );
         bt.push_row(vec![
             p.to_string(),
             q.to_string(),
@@ -439,7 +579,10 @@ pub fn theory_check_report() -> String {
     for q in [8usize, 16, 32, 64, 128] {
         let p = 2 * q;
         let g = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
-        let f = critical_path(&Algorithm::Fibonacci.elimination_list(p, q), KernelFamily::TT);
+        let f = critical_path(
+            &Algorithm::Fibonacci.elimination_list(p, q),
+            KernelFamily::TT,
+        );
         opt.push_row(vec![
             q.to_string(),
             ratio_cell(formulas::optimality_ratio(g, q)),

@@ -22,8 +22,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 pub mod model;
 pub mod report;
+pub mod seed_kernels;
 pub mod timing;
 
 /// Scenario sizes shared by the experimental (wall-clock) binaries.
@@ -41,34 +43,51 @@ impl Scenario {
     /// Reads the scenario from the environment (`TILEQR_P`, `TILEQR_NB`,
     /// `TILEQR_THREADS`), falling back to laptop-friendly defaults.
     pub fn from_env() -> Self {
-        let p = std::env::var("TILEQR_P").ok().and_then(|v| v.parse().ok()).unwrap_or(16);
-        let nb = std::env::var("TILEQR_NB").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+        let p = std::env::var("TILEQR_P")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(16);
+        let nb = std::env::var("TILEQR_NB")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32);
         let threads = std::env::var("TILEQR_THREADS")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            });
         Scenario { p, nb, threads }
     }
 
     /// The paper's experimental sizes (`p = 40`, `nb = 200`, 48 threads).
     /// Only practical on a large machine; exposed for completeness.
     pub fn paper_scale() -> Self {
-        Scenario { p: 40, nb: 200, threads: 48 }
+        Scenario {
+            p: 40,
+            nb: 200,
+            threads: 48,
+        }
     }
 
     /// The list of `q` values (tile columns) exercised by the wall-clock
     /// experiments, mirroring the paper's `q ∈ {1, 2, 4, 5, 10, 20, 40}`
     /// scaled to the configured `p`.
     pub fn q_values(&self) -> Vec<usize> {
-        [1usize, 2, 4, 5, 10, 20, 40].iter().map(|&q| q.min(self.p)).filter(|&q| q >= 1).collect::<Vec<_>>().into_iter().fold(
-            Vec::new(),
-            |mut acc, q| {
+        [1usize, 2, 4, 5, 10, 20, 40]
+            .iter()
+            .map(|&q| q.min(self.p))
+            .filter(|&q| q >= 1)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .fold(Vec::new(), |mut acc, q| {
                 if acc.last() != Some(&q) {
                     acc.push(q);
                 }
                 acc
-            },
-        )
+            })
     }
 }
 
@@ -78,9 +97,17 @@ mod tests {
 
     #[test]
     fn scenario_q_values_are_deduplicated_and_capped() {
-        let s = Scenario { p: 8, nb: 16, threads: 2 };
+        let s = Scenario {
+            p: 8,
+            nb: 16,
+            threads: 2,
+        };
         assert_eq!(s.q_values(), vec![1, 2, 4, 5, 8]);
-        let s = Scenario { p: 40, nb: 16, threads: 2 };
+        let s = Scenario {
+            p: 40,
+            nb: 16,
+            threads: 2,
+        };
         assert_eq!(s.q_values(), vec![1, 2, 4, 5, 10, 20, 40]);
     }
 

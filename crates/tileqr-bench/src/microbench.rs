@@ -1,0 +1,174 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the `criterion` dependency of the
+//! original bench files is replaced by this small std-only harness: warm up,
+//! run timed batches until a target duration is reached, report the best
+//! batch (ns/iteration and, when a flop count is supplied, GFLOP/s), and
+//! optionally serialize every sample to a JSON file so the perf trajectory
+//! can be tracked across PRs (`BENCH_kernels.json`).
+//!
+//! Environment knobs:
+//! * `TILEQR_BENCH_MS` — target measuring time per benchmark in
+//!   milliseconds (default 80);
+//! * `TILEQR_BENCH_JSON` — override the JSON output path.
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Group this sample belongs to (e.g. `"update_kernels_f64"`).
+    pub group: String,
+    /// Benchmark name (e.g. `"TSMQR/ws"`).
+    pub name: String,
+    /// Problem-size parameter (tile size for kernel benches).
+    pub param: usize,
+    /// Best observed nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Achieved GFLOP/s when a nominal flop count was supplied.
+    pub gflops: Option<f64>,
+}
+
+/// Target measuring time per benchmark.
+fn target_nanos() -> u128 {
+    let ms = std::env::var("TILEQR_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(80);
+    u128::from(ms) * 1_000_000
+}
+
+/// Runs `f` repeatedly for roughly the target duration and returns the best
+/// (smallest) time per iteration in nanoseconds, which filters scheduler
+/// noise the same way criterion's minimum-of-samples estimate does.
+pub fn time_best_ns(mut f: impl FnMut()) -> f64 {
+    // Warm-up and batch-size calibration: aim for batches of ≥ ~5 ms so the
+    // Instant overhead vanishes.
+    f();
+    let probe = Instant::now();
+    f();
+    let once = probe.elapsed().as_nanos().max(1);
+    let batch = ((5_000_000 / once).clamp(1, 1_000_000)) as usize;
+
+    let target = target_nanos();
+    let mut best = f64::INFINITY;
+    let mut spent: u128 = 0;
+    let mut rounds = 0u32;
+    while spent < target || rounds < 3 {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let elapsed = start.elapsed().as_nanos();
+        spent += elapsed;
+        rounds += 1;
+        best = best.min(elapsed as f64 / batch as f64);
+        if rounds >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+/// Times `f` and records the result under `group`/`name` with an optional
+/// nominal flop count (for GFLOP/s reporting).
+pub fn run(
+    samples: &mut Vec<Sample>,
+    group: &str,
+    name: &str,
+    param: usize,
+    flops: Option<f64>,
+    f: impl FnMut(),
+) {
+    let ns = time_best_ns(f);
+    let gflops = flops.map(|fl| fl / ns);
+    let line = match gflops {
+        Some(g) => {
+            format!("{group:<28} {name:<24} nb={param:<5} {ns:>12.0} ns/iter {g:>8.3} GFLOP/s")
+        }
+        None => format!("{group:<28} {name:<24} n={param:<6} {ns:>12.0} ns/iter"),
+    };
+    println!("{line}");
+    samples.push(Sample {
+        group: group.to_string(),
+        name: name.to_string(),
+        param,
+        ns_per_iter: ns,
+        gflops,
+    });
+}
+
+/// Serializes the samples as a JSON array (hand-rolled: no serde offline).
+pub fn to_json(samples: &[Sample]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in samples.iter().enumerate() {
+        let gflops = match s.gflops {
+            Some(g) => format!("{g:.6}"),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"name\": \"{}\", \"param\": {}, \"ns_per_iter\": {:.1}, \"gflops\": {}}}{}\n",
+            s.group,
+            s.name,
+            s.param,
+            s.ns_per_iter,
+            gflops,
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes the samples to `path` (or the `TILEQR_BENCH_JSON` override),
+/// logging rather than panicking on IO errors so a read-only checkout does
+/// not break benchmarking.
+pub fn write_json(path: &str, samples: &[Sample]) {
+    let path = std::env::var("TILEQR_BENCH_JSON").unwrap_or_else(|_| path.to_string());
+    match std::fs::write(&path, to_json(samples)) {
+        Ok(()) => println!("\nwrote {} samples to {path}", samples.len()),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_positive_nanoseconds() {
+        std::env::set_var("TILEQR_BENCH_MS", "1");
+        let mut x = 0u64;
+        let ns = time_best_ns(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert!(ns.is_finite() && ns > 0.0);
+    }
+
+    #[test]
+    fn json_serialization_is_well_formed() {
+        let samples = vec![
+            Sample {
+                group: "g".into(),
+                name: "a".into(),
+                param: 64,
+                ns_per_iter: 123.4,
+                gflops: Some(1.5),
+            },
+            Sample {
+                group: "g".into(),
+                name: "b".into(),
+                param: 128,
+                ns_per_iter: 5.0,
+                gflops: None,
+            },
+        ];
+        let json = to_json(&samples);
+        assert!(json.starts_with("[\n") && json.ends_with("]\n"));
+        assert!(json.contains("\"name\": \"a\""));
+        assert!(json.contains("\"gflops\": null"));
+        assert_eq!(json.matches('{').count(), 2);
+        assert_eq!(json.matches('}').count(), 2);
+    }
+}

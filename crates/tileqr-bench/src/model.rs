@@ -21,7 +21,12 @@ pub fn coarse_steps(algo: Algorithm, p: usize, q: usize) -> CoarseSchedule {
 /// Tiled (weighted-kernel) elimination times for one algorithm, as in the
 /// paper's Tables 3 and 4. Handles both the static trees and the dynamic
 /// Asap / Grasap algorithms.
-pub fn tiled_steps(algo: Algorithm, p: usize, q: usize, family: KernelFamily) -> Vec<Vec<Option<u64>>> {
+pub fn tiled_steps(
+    algo: Algorithm,
+    p: usize,
+    q: usize,
+    family: KernelFamily,
+) -> Vec<Vec<Option<u64>>> {
     match algo {
         Algorithm::Asap => simulate_grasap(p, q, q).elim_finish,
         Algorithm::Grasap { asap_cols } => simulate_grasap(p, q, asap_cols).elim_finish,
@@ -130,8 +135,12 @@ impl Series {
     }
 
     /// The four TT-kernel series of Figures 1–3.
-    pub const TT_ONLY: [Series; 4] =
-        [Series::FlatTreeTt, Series::PlasmaTreeTt, Series::Fibonacci, Series::Greedy];
+    pub const TT_ONLY: [Series; 4] = [
+        Series::FlatTreeTt,
+        Series::PlasmaTreeTt,
+        Series::Fibonacci,
+        Series::Greedy,
+    ];
 
     /// All six series of Figures 6–8.
     pub const ALL: [Series; 6] = [
@@ -147,24 +156,30 @@ impl Series {
     /// PlasmaTree series). Returns the best domain size when relevant.
     pub fn critical_path(self, p: usize, q: usize) -> (u64, Option<usize>) {
         match self {
-            Series::FlatTreeTs => {
-                (algorithm_critical_path(Algorithm::FlatTree, p, q, KernelFamily::TS), None)
-            }
+            Series::FlatTreeTs => (
+                algorithm_critical_path(Algorithm::FlatTree, p, q, KernelFamily::TS),
+                None,
+            ),
             Series::PlasmaTreeTs => {
                 let (bs, cp) = best_plasma_cp(p, q, KernelFamily::TS);
                 (cp, Some(bs))
             }
-            Series::FlatTreeTt => {
-                (algorithm_critical_path(Algorithm::FlatTree, p, q, KernelFamily::TT), None)
-            }
+            Series::FlatTreeTt => (
+                algorithm_critical_path(Algorithm::FlatTree, p, q, KernelFamily::TT),
+                None,
+            ),
             Series::PlasmaTreeTt => {
                 let (bs, cp) = best_plasma_cp(p, q, KernelFamily::TT);
                 (cp, Some(bs))
             }
-            Series::Fibonacci => {
-                (algorithm_critical_path(Algorithm::Fibonacci, p, q, KernelFamily::TT), None)
-            }
-            Series::Greedy => (algorithm_critical_path(Algorithm::Greedy, p, q, KernelFamily::TT), None),
+            Series::Fibonacci => (
+                algorithm_critical_path(Algorithm::Fibonacci, p, q, KernelFamily::TT),
+                None,
+            ),
+            Series::Greedy => (
+                algorithm_critical_path(Algorithm::Greedy, p, q, KernelFamily::TT),
+                None,
+            ),
         }
     }
 
@@ -190,17 +205,31 @@ impl Series {
 }
 
 /// Roofline prediction (Section 4) for one series: `γ_seq · T / max(T/P, cp)`.
-pub fn predicted_gflops(series: Series, p: usize, q: usize, processors: usize, gamma_seq: f64) -> f64 {
+pub fn predicted_gflops(
+    series: Series,
+    p: usize,
+    q: usize,
+    processors: usize,
+    gamma_seq: f64,
+) -> f64 {
     let (cp, _) = series.critical_path(p, q);
     let total = 6 * (p as u64) * (q as u64) * (q as u64) - 2 * (q as u64).pow(3);
-    predicted_rate(PredictionInput { total_weight: total, critical_path: cp, processors, gamma_seq })
+    predicted_rate(PredictionInput {
+        total_weight: total,
+        critical_path: cp,
+        processors,
+        gamma_seq,
+    })
 }
 
 /// Critical-path overhead of every series with respect to Greedy
 /// (Greedy = 1), the quantity plotted in Figures 2(a), 3(a), 7(a), 8(a).
 pub fn cp_overhead_vs_greedy(series: &[Series], p: usize, q: usize) -> Vec<(Series, f64)> {
     let greedy = algorithm_critical_path(Algorithm::Greedy, p, q, KernelFamily::TT) as f64;
-    series.iter().map(|&s| (s, s.critical_path(p, q).0 as f64 / greedy)).collect()
+    series
+        .iter()
+        .map(|&s| (s, s.critical_path(p, q).0 as f64 / greedy))
+        .collect()
 }
 
 #[cfg(test)]
@@ -211,14 +240,20 @@ mod tests {
     fn table5_matches_published_values() {
         // spot-check the published rows (p = 40)
         let r = table5_row(40, 3);
-        assert_eq!((r.greedy, r.plasma, r.best_bs, r.fibonacci), (74, 98, 5, 94));
+        assert_eq!(
+            (r.greedy, r.plasma, r.best_bs, r.fibonacci),
+            (74, 98, 5, 94)
+        );
         assert!((r.plasma_overhead - 1.3243).abs() < 5e-4);
         assert!((r.plasma_gain - 0.2449).abs() < 5e-4);
         assert!((r.fibonacci_overhead - 1.2703).abs() < 5e-4);
         assert!((r.fibonacci_gain - 0.2128).abs() < 5e-4);
 
         let r = table5_row(40, 30);
-        assert_eq!((r.greedy, r.plasma, r.best_bs, r.fibonacci), (668, 698, 20, 688));
+        assert_eq!(
+            (r.greedy, r.plasma, r.best_bs, r.fibonacci),
+            (668, 698, 20, 688)
+        );
     }
 
     #[test]
@@ -258,7 +293,11 @@ mod tests {
 
     #[test]
     fn tiled_steps_cover_all_subdiagonal_tiles() {
-        for algo in [Algorithm::Greedy, Algorithm::Asap, Algorithm::Grasap { asap_cols: 1 }] {
+        for algo in [
+            Algorithm::Greedy,
+            Algorithm::Asap,
+            Algorithm::Grasap { asap_cols: 1 },
+        ] {
             let steps = tiled_steps(algo, 8, 3, KernelFamily::TT);
             for i in 0..8 {
                 for k in 0..3 {

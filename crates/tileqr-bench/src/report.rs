@@ -11,7 +11,11 @@ pub struct Table {
 impl Table {
     /// Creates a table with a title and column headers.
     pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
-        Table { title: title.into(), header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (already formatted as strings).
@@ -31,7 +35,10 @@ impl Table {
 
     /// Renders the table with right-aligned, width-fitted columns.
     pub fn render(&self) -> String {
-        let ncols = self.header.len().max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let ncols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; ncols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());
@@ -52,7 +59,13 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };

@@ -1,0 +1,386 @@
+//! Frozen copies of the original (allocating, column-at-a-time) tile
+//! kernels, kept as the **baseline** for the workspace/blocked kernel
+//! benchmarks in `benches/bench_kernels.rs`.
+//!
+//! These are byte-for-byte the pre-workspace implementations: every call
+//! heap-allocates its scratch (`taus`/`tail` vectors, the materialized `V`
+//! in GEQRT, fresh `W` matrices in the update kernels) and every reduction
+//! runs on a single accumulator chain. Do **not** use them outside of
+//! benchmarking — the production kernels live in `tileqr-kernels`.
+
+use tileqr_kernels::blas::{
+    conj_trans_mul, conj_trans_mul_unit_lower, sub_mul_assign, sub_mul_assign_unit_lower,
+    trmm_upper_left,
+};
+use tileqr_kernels::householder::{larfg, larft};
+use tileqr_kernels::Trans;
+use tileqr_matrix::{Matrix, Scalar};
+
+fn conj_t(trans: Trans) -> bool {
+    matches!(trans, Trans::ConjTrans)
+}
+
+/// Baseline GEQRT (allocating).
+pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = a.rows();
+    assert_eq!(a.cols(), nb, "GEQRT operates on square tiles");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        let tail_len = nb - j - 1;
+        for (r, v) in tail.iter_mut().enumerate().take(tail_len) {
+            *v = a.get(j + 1 + r, j);
+        }
+        let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
+        taus[j] = refl.tau;
+        a.set(j, j, refl.beta);
+        for r in 0..tail_len {
+            a.set(j + 1 + r, j, tail[r]);
+        }
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let col = a.col_mut(k);
+            let mut w = col[j];
+            for r in 0..tail_len {
+                w += tail[r].conj() * col[j + 1 + r];
+            }
+            let s = tau_c * w;
+            col[j] -= s;
+            for r in 0..tail_len {
+                col[j + 1 + r] -= tail[r] * s;
+            }
+        }
+    }
+
+    let v = Matrix::from_fn(nb, nb, |i, j| {
+        if i == j {
+            T::ONE
+        } else if i > j {
+            a.get(i, j)
+        } else {
+            T::ZERO
+        }
+    });
+    larft(&v, &taus, t);
+}
+
+/// Baseline TSQRT (allocating).
+pub fn tsqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, a2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TSQRT pivot tile must be square");
+    assert_eq!(
+        a2.shape(),
+        (nb, nb),
+        "TSQRT target tile must match the pivot tile"
+    );
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        tail.copy_from_slice(a2.col(j));
+        let refl = larfg(r1.get(j, j), &mut tail);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        a2.col_mut(j).copy_from_slice(&tail);
+
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let mut w = r1.get(j, k);
+            {
+                let a2_col = a2.col(k);
+                for r in 0..nb {
+                    w += tail[r].conj() * a2_col[r];
+                }
+            }
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            let a2_col = a2.col_mut(k);
+            for r in 0..nb {
+                a2_col[r] -= tail[r] * s;
+            }
+        }
+    }
+
+    build_t_from_bottom_block(a2, &taus, t, false);
+}
+
+/// Baseline TTQRT (allocating).
+pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TTQRT pivot tile must be square");
+    assert_eq!(
+        r2.shape(),
+        (nb, nb),
+        "TTQRT target tile must match the pivot tile"
+    );
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let mut taus = vec![T::ZERO; nb];
+    let mut tail = vec![T::ZERO; nb];
+    for j in 0..nb {
+        let len = j + 1;
+        tail[..len].copy_from_slice(&r2.col(j)[..len]);
+        let refl = larfg(r1.get(j, j), &mut tail[..len]);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        r2.col_mut(j)[..len].copy_from_slice(&tail[..len]);
+
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let mut w = r1.get(j, k);
+            {
+                let r2_col = r2.col(k);
+                for r in 0..len {
+                    w += tail[r].conj() * r2_col[r];
+                }
+            }
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            let r2_col = r2.col_mut(k);
+            for r in 0..len {
+                r2_col[r] -= tail[r] * s;
+            }
+        }
+    }
+
+    build_t_from_bottom_block(r2, &taus, t, true);
+}
+
+fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    taus: &[T],
+    t: &mut Matrix<T>,
+    v2_is_upper_triangular: bool,
+) {
+    let nb = v2.rows();
+    let k = taus.len();
+    for j in 0..k {
+        for i in j..k {
+            t.set(i, j, T::ZERO);
+        }
+        if taus[j].is_zero() {
+            for i in 0..j {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        let vj = v2.col(j);
+        let rows = if v2_is_upper_triangular { j + 1 } else { nb };
+        let mut w = vec![T::ZERO; j];
+        for (a, wa) in w.iter_mut().enumerate() {
+            let va = v2.col(a);
+            let lim = if v2_is_upper_triangular {
+                (a + 1).min(rows)
+            } else {
+                rows
+            };
+            let mut acc = T::ZERO;
+            for r in 0..lim {
+                acc += va[r].conj() * vj[r];
+            }
+            *wa = acc;
+        }
+        for i in 0..j {
+            let mut acc = T::ZERO;
+            for (a, &wa) in w.iter().enumerate().skip(i) {
+                acc += t.get(i, a) * wa;
+            }
+            t.set(i, j, -taus[j] * acc);
+        }
+        t.set(j, j, taus[j]);
+    }
+}
+
+/// Baseline UNMQR (allocating).
+pub fn unmqr<T: Scalar<Real = f64>>(v: &Matrix<T>, t: &Matrix<T>, c: &mut Matrix<T>, trans: Trans) {
+    let nb = v.rows();
+    assert_eq!(v.cols(), nb, "UNMQR reflector tile must be square");
+    assert_eq!(
+        c.rows(),
+        nb,
+        "UNMQR target tile must match the reflector tile"
+    );
+    let mut w = conj_trans_mul_unit_lower(v, c);
+    trmm_upper_left(t, &mut w, conj_t(trans));
+    sub_mul_assign_unit_lower(c, v, &w);
+}
+
+/// Baseline TSMQR (allocating).
+pub fn tsmqr<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TSMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TSMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TSMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TSMQR C1/C2 must have the same width");
+    let mut w = conj_trans_mul(v2, c2);
+    w = w.add(c1);
+    trmm_upper_left(t, &mut w, conj_t(trans));
+    *c1 = c1.sub(&w);
+    sub_mul_assign(c2, v2, &w);
+}
+
+/// Baseline TTMQR (allocating).
+pub fn ttmqr<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TTMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TTMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TTMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TTMQR C1/C2 must have the same width");
+    let ncols = c1.cols();
+
+    let mut w = Matrix::zeros(nb, ncols);
+    for j in 0..ncols {
+        let c2_col = c2.col(j);
+        let c1_col = c1.col(j);
+        let w_col = w.col_mut(j);
+        for (k, wk) in w_col.iter_mut().enumerate() {
+            let v_col = v2.col(k);
+            let mut acc = c1_col[k];
+            for r in 0..=k {
+                acc += v_col[r].conj() * c2_col[r];
+            }
+            *wk = acc;
+        }
+    }
+    trmm_upper_left(t, &mut w, conj_t(trans));
+    *c1 = c1.sub(&w);
+    for j in 0..ncols {
+        let w_col = w.col(j);
+        let c2_col = c2.col_mut(j);
+        for k in 0..nb {
+            let wkj = w_col[k];
+            if wkj.is_zero() {
+                continue;
+            }
+            let v_col = v2.col(k);
+            for r in 0..=k {
+                c2_col[r] -= v_col[r] * wkj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::random_matrix;
+    use tileqr_matrix::norms::frobenius_norm;
+
+    /// The optimized kernels must agree with the frozen baselines to
+    /// rounding (the blocked path reorders floating-point sums, so bitwise
+    /// equality is not expected *against the baseline* — only between the
+    /// workspace and allocating variants of the new kernels).
+    #[test]
+    fn baselines_agree_with_production_kernels_numerically() {
+        let nb = 24;
+        let tol = 1e-12;
+
+        let a0: Matrix<f64> = random_matrix(nb, nb, 1);
+        let mut a_base = a0.clone();
+        let mut t_base = Matrix::zeros(nb, nb);
+        geqrt(&mut a_base, &mut t_base);
+        let mut a_new = a0.clone();
+        let mut t_new = Matrix::zeros(nb, nb);
+        tileqr_kernels::geqrt(&mut a_new, &mut t_new);
+        assert!(frobenius_norm(&a_base.sub(&a_new)) < tol);
+        assert!(frobenius_norm(&t_base.sub(&t_new)) < tol);
+
+        let mut r1: Matrix<f64> = random_matrix(nb, nb, 2);
+        r1.zero_below_diagonal();
+        let a2: Matrix<f64> = random_matrix(nb, nb, 3);
+        let (mut r1_base, mut a2_base, mut t1_base) =
+            (r1.clone(), a2.clone(), Matrix::zeros(nb, nb));
+        tsqrt(&mut r1_base, &mut a2_base, &mut t1_base);
+        let (mut r1_new, mut a2_new, mut t1_new) = (r1.clone(), a2.clone(), Matrix::zeros(nb, nb));
+        tileqr_kernels::tsqrt(&mut r1_new, &mut a2_new, &mut t1_new);
+        assert!(frobenius_norm(&r1_base.sub(&r1_new)) < tol);
+        assert!(frobenius_norm(&a2_base.sub(&a2_new)) < tol);
+        assert!(frobenius_norm(&t1_base.sub(&t1_new)) < tol);
+
+        let c1: Matrix<f64> = random_matrix(nb, nb, 4);
+        let c2: Matrix<f64> = random_matrix(nb, nb, 5);
+        let (mut c1_base, mut c2_base) = (c1.clone(), c2.clone());
+        tsmqr(
+            &a2_base,
+            &t1_base,
+            &mut c1_base,
+            &mut c2_base,
+            Trans::ConjTrans,
+        );
+        let (mut c1_new, mut c2_new) = (c1.clone(), c2.clone());
+        tileqr_kernels::tsmqr(
+            &a2_base,
+            &t1_base,
+            &mut c1_new,
+            &mut c2_new,
+            Trans::ConjTrans,
+        );
+        assert!(frobenius_norm(&c1_base.sub(&c1_new)) < tol);
+        assert!(frobenius_norm(&c2_base.sub(&c2_new)) < tol);
+
+        // UNMQR against the GEQRT-factored tile
+        let c: Matrix<f64> = random_matrix(nb, nb, 6);
+        let mut c_base = c.clone();
+        unmqr(&a_base, &t_base, &mut c_base, Trans::ConjTrans);
+        let mut c_new = c.clone();
+        tileqr_kernels::unmqr(&a_base, &t_base, &mut c_new, Trans::ConjTrans);
+        assert!(frobenius_norm(&c_base.sub(&c_new)) < tol);
+
+        // TTQRT + TTMQR on a triangular pair
+        let mut p1: Matrix<f64> = random_matrix(nb, nb, 7);
+        p1.zero_below_diagonal();
+        let mut p2: Matrix<f64> = random_matrix(nb, nb, 8);
+        p2.zero_below_diagonal();
+        let (mut p1_base, mut p2_base, mut t2_base) =
+            (p1.clone(), p2.clone(), Matrix::zeros(nb, nb));
+        ttqrt(&mut p1_base, &mut p2_base, &mut t2_base);
+        let (mut p1_new, mut p2_new, mut t2_new) = (p1.clone(), p2.clone(), Matrix::zeros(nb, nb));
+        tileqr_kernels::ttqrt(&mut p1_new, &mut p2_new, &mut t2_new);
+        assert!(frobenius_norm(&p1_base.sub(&p1_new)) < tol);
+        assert!(frobenius_norm(&p2_base.sub(&p2_new)) < tol);
+        assert!(frobenius_norm(&t2_base.sub(&t2_new)) < tol);
+
+        let (mut d1_base, mut d2_base) = (c1.clone(), c2.clone());
+        ttmqr(
+            &p2_base,
+            &t2_base,
+            &mut d1_base,
+            &mut d2_base,
+            Trans::ConjTrans,
+        );
+        let (mut d1_new, mut d2_new) = (c1.clone(), c2.clone());
+        tileqr_kernels::ttmqr(
+            &p2_base,
+            &t2_base,
+            &mut d1_new,
+            &mut d2_new,
+            Trans::ConjTrans,
+        );
+        assert!(frobenius_norm(&d1_base.sub(&d1_new)) < tol);
+        assert!(frobenius_norm(&d2_base.sub(&d2_new)) < tol);
+    }
+}

@@ -78,7 +78,9 @@ pub fn measure_kernel<T: RandomScalar>(
     let seconds = match kernel {
         KernelKind::Geqrt => {
             let n_sets = pool_len::<T>(1, nb, mode);
-            let pristine: Vec<Matrix<T>> = (0..n_sets).map(|s| random_matrix(nb, nb, 100 + s as u64)).collect();
+            let pristine: Vec<Matrix<T>> = (0..n_sets)
+                .map(|s| random_matrix(nb, nb, 100 + s as u64))
+                .collect();
             let mut work: Vec<Matrix<T>> = pristine.clone();
             let mut t = Matrix::zeros(nb, nb);
             geqrt(&mut work[0], &mut t); // warm-up
@@ -101,7 +103,10 @@ pub fn measure_kernel<T: RandomScalar>(
                 .collect();
             let mut work = pristine.clone();
             let mut t = Matrix::zeros(nb, nb);
-            { let (r1, a2) = &mut work[0]; tsqrt(r1, a2, &mut t); }
+            {
+                let (r1, a2) = &mut work[0];
+                tsqrt(r1, a2, &mut t);
+            }
             let start = Instant::now();
             for r in 0..reps {
                 let s = r % n_sets;
@@ -124,7 +129,10 @@ pub fn measure_kernel<T: RandomScalar>(
                 .collect();
             let mut work = pristine.clone();
             let mut t = Matrix::zeros(nb, nb);
-            { let (r1, r2) = &mut work[0]; ttqrt(r1, r2, &mut t); }
+            {
+                let (r1, r2) = &mut work[0];
+                ttqrt(r1, r2, &mut t);
+            }
             let start = Instant::now();
             for r in 0..reps {
                 let s = r % n_sets;
@@ -139,7 +147,9 @@ pub fn measure_kernel<T: RandomScalar>(
             let mut v: Matrix<T> = random_matrix(nb, nb, 600);
             let mut t = Matrix::zeros(nb, nb);
             geqrt(&mut v, &mut t);
-            let mut cs: Vec<Matrix<T>> = (0..n_sets).map(|s| random_matrix(nb, nb, 700 + s as u64)).collect();
+            let mut cs: Vec<Matrix<T>> = (0..n_sets)
+                .map(|s| random_matrix(nb, nb, 700 + s as u64))
+                .collect();
             unmqr(&v, &t, &mut cs[0], Trans::ConjTrans);
             let start = Instant::now();
             for r in 0..reps {
@@ -156,9 +166,17 @@ pub fn measure_kernel<T: RandomScalar>(
             let mut t = Matrix::zeros(nb, nb);
             tsqrt(&mut r1, &mut v2, &mut t);
             let mut pairs: Vec<(Matrix<T>, Matrix<T>)> = (0..n_sets)
-                .map(|s| (random_matrix(nb, nb, 900 + s as u64), random_matrix(nb, nb, 950 + s as u64)))
+                .map(|s| {
+                    (
+                        random_matrix(nb, nb, 900 + s as u64),
+                        random_matrix(nb, nb, 950 + s as u64),
+                    )
+                })
                 .collect();
-            { let (c1, c2) = &mut pairs[0]; tsmqr(&v2, &t, c1, c2, Trans::ConjTrans); }
+            {
+                let (c1, c2) = &mut pairs[0];
+                tsmqr(&v2, &t, c1, c2, Trans::ConjTrans);
+            }
             let start = Instant::now();
             for r in 0..reps {
                 let s = r % n_sets;
@@ -176,9 +194,17 @@ pub fn measure_kernel<T: RandomScalar>(
             let mut t = Matrix::zeros(nb, nb);
             ttqrt(&mut r1, &mut v2, &mut t);
             let mut pairs: Vec<(Matrix<T>, Matrix<T>)> = (0..n_sets)
-                .map(|s| (random_matrix(nb, nb, 1100 + s as u64), random_matrix(nb, nb, 1150 + s as u64)))
+                .map(|s| {
+                    (
+                        random_matrix(nb, nb, 1100 + s as u64),
+                        random_matrix(nb, nb, 1150 + s as u64),
+                    )
+                })
                 .collect();
-            { let (c1, c2) = &mut pairs[0]; ttmqr(&v2, &t, c1, c2, Trans::ConjTrans); }
+            {
+                let (c1, c2) = &mut pairs[0];
+                ttmqr(&v2, &t, c1, c2, Trans::ConjTrans);
+            }
             let start = Instant::now();
             for r in 0..reps {
                 let s = r % n_sets;
@@ -189,7 +215,12 @@ pub fn measure_kernel<T: RandomScalar>(
         }
     };
 
-    KernelMeasurement { kernel, nb, mode, gflops: flops / seconds / 1e9 }
+    KernelMeasurement {
+        kernel,
+        nb,
+        mode,
+        gflops: flops / seconds / 1e9,
+    }
 }
 
 /// Measures a square `nb × nb` GEMM (`C += A·B`) — the reference series of
@@ -199,7 +230,9 @@ pub fn measure_gemm<T: RandomScalar>(nb: usize, mode: CacheMode, reps: usize) ->
     let n_sets = pool_len::<T>(3, nb, mode);
     let a: Matrix<T> = random_matrix(nb, nb, 1300);
     let b: Matrix<T> = random_matrix(nb, nb, 1301);
-    let mut cs: Vec<Matrix<T>> = (0..n_sets).map(|s| random_matrix(nb, nb, 1400 + s as u64)).collect();
+    let mut cs: Vec<Matrix<T>> = (0..n_sets)
+        .map(|s| random_matrix(nb, nb, 1400 + s as u64))
+        .collect();
     gemm_acc(&mut cs[0], &a, &b);
     let start = Instant::now();
     for r in 0..reps {
@@ -254,14 +287,20 @@ pub fn measure_factorization<T: RandomScalar>(
         .max(1);
     let (m, n) = (p * nb, q * nb);
     let a: Matrix<T> = random_matrix(m, n, 3000 + (p * 31 + q) as u64);
-    let config = QrConfig::new(nb).with_algorithm(algo).with_family(family).with_threads(threads);
+    let config = QrConfig::new(nb)
+        .with_algorithm(algo)
+        .with_family(family)
+        .with_threads(threads);
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
         let _f = qr_factorize(&a, config);
         best = best.min(start.elapsed().as_secs_f64());
     }
-    FactorizationMeasurement { seconds: best, gflops: qr_flops(m, n) / best / 1e9 }
+    FactorizationMeasurement {
+        seconds: best,
+        gflops: qr_flops(m, n) / best / 1e9,
+    }
 }
 
 /// Default number of repetitions for [`measure_factorization`] (best-of).

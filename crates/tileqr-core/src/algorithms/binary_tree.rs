@@ -36,7 +36,8 @@ mod tests {
         // p = 8, one column: rounds are (1,0),(3,2),(5,4),(7,6), then
         // (2,0),(6,4), then (4,0).
         let list = binary_tree(8, 1);
-        let pairs: Vec<(usize, usize)> = list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
+        let pairs: Vec<(usize, usize)> =
+            list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
         assert_eq!(
             pairs,
             vec![(1, 0), (3, 2), (5, 4), (7, 6), (2, 0), (6, 4), (4, 0)]
@@ -47,7 +48,8 @@ mod tests {
     #[test]
     fn binary_tree_non_power_of_two() {
         let list = binary_tree(6, 1);
-        let pairs: Vec<(usize, usize)> = list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
+        let pairs: Vec<(usize, usize)> =
+            list.eliminations().iter().map(|e| (e.row, e.piv)).collect();
         assert_eq!(pairs, vec![(1, 0), (3, 2), (5, 4), (2, 0), (4, 0)]);
         assert!(list.validate().is_ok());
     }

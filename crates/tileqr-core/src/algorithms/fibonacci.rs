@@ -41,7 +41,8 @@ fn least_triangular_cover(n: usize) -> usize {
 pub fn fibonacci(p: usize, q: usize) -> EliminationList {
     let kmax = p.min(q);
     // (step, col, row, piv)
-    let mut tagged: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(EliminationList::expected_len(p, q));
+    let mut tagged: Vec<(usize, usize, usize, usize)> =
+        Vec::with_capacity(EliminationList::expected_len(p, q));
     for k in 0..kmax {
         // group rows of column k by coarse step
         let mut by_step: Vec<(usize, usize)> = ((k + 1)..p)
@@ -65,7 +66,10 @@ pub fn fibonacci(p: usize, q: usize) -> EliminationList {
         }
     }
     tagged.sort_by_key(|&(step, col, row, _)| (step, col, row));
-    let elims = tagged.into_iter().map(|(_, col, row, piv)| Elimination::new(row, piv, col)).collect();
+    let elims = tagged
+        .into_iter()
+        .map(|(_, col, row, piv)| Elimination::new(row, piv, col))
+        .collect();
     EliminationList::new(p, q, elims)
 }
 
@@ -123,7 +127,14 @@ mod tests {
 
     #[test]
     fn valid_for_many_shapes() {
-        for (p, q) in [(2usize, 1usize), (3, 3), (10, 2), (16, 16), (23, 7), (40, 5)] {
+        for (p, q) in [
+            (2usize, 1usize),
+            (3, 3),
+            (10, 2),
+            (16, 16),
+            (23, 7),
+            (40, 5),
+        ] {
             let list = fibonacci(p, q);
             assert_eq!(list.len(), EliminationList::expected_len(p, q));
             assert!(list.validate().is_ok(), "fibonacci {p}x{q} invalid");

@@ -40,13 +40,18 @@ pub fn greedy_stepped(p: usize, q: usize) -> Vec<SteppedElimination> {
         for k in 0..kmax {
             // candidate pool: rows whose leftmost nonzero column is k and that
             // are free at this step (this includes the diagonal row k).
-            let pool: Vec<usize> = (k..p).filter(|&r| cur_col[r] == k && avail[r] <= step).collect();
+            let pool: Vec<usize> = (k..p)
+                .filter(|&r| cur_col[r] == k && avail[r] <= step)
+                .collect();
             let z = pool.len() / 2;
             if z == 0 {
                 continue;
             }
             for (row, piv) in pair_bottom_rows(&pool, z) {
-                out.push(SteppedElimination { elim: Elimination::new(row, piv, k), step });
+                out.push(SteppedElimination {
+                    elim: Elimination::new(row, piv, k),
+                    step,
+                });
                 cur_col[row] = k + 1;
                 avail[row] = step + 1;
                 avail[piv] = step + 1;
@@ -54,7 +59,10 @@ pub fn greedy_stepped(p: usize, q: usize) -> Vec<SteppedElimination> {
             }
         }
         step += 1;
-        assert!(step <= 4 * (p + q) + 16, "greedy failed to converge — internal error");
+        assert!(
+            step <= 4 * (p + q) + 16,
+            "greedy failed to converge — internal error"
+        );
     }
     out
 }
@@ -113,7 +121,10 @@ pub fn greedy_algorithm4(p: usize, q: usize) -> EliminationList {
             nt[j] = nt_new.max(nt[j]);
         }
         rounds += 1;
-        assert!(rounds <= 4 * (p + q) + 16, "Algorithm 4 failed to converge — internal error");
+        assert!(
+            rounds <= 4 * (p + q) + 16,
+            "Algorithm 4 failed to converge — internal error"
+        );
     }
     EliminationList::new(p, q, elims)
 }
@@ -184,7 +195,15 @@ mod tests {
 
     #[test]
     fn valid_for_many_shapes() {
-        for (p, q) in [(2usize, 1usize), (3, 3), (15, 2), (15, 3), (16, 16), (23, 7), (40, 40)] {
+        for (p, q) in [
+            (2usize, 1usize),
+            (3, 3),
+            (15, 2),
+            (15, 3),
+            (16, 16),
+            (23, 7),
+            (40, 40),
+        ] {
             let list = greedy(p, q);
             assert_eq!(list.len(), EliminationList::expected_len(p, q));
             assert!(list.validate().is_ok(), "greedy {p}x{q} invalid");
@@ -202,7 +221,14 @@ mod tests {
 
     #[test]
     fn algorithm_4_produces_valid_complete_lists() {
-        for (p, q) in [(2usize, 1usize), (15, 2), (15, 6), (16, 16), (23, 7), (40, 5)] {
+        for (p, q) in [
+            (2usize, 1usize),
+            (15, 2),
+            (15, 6),
+            (16, 16),
+            (23, 7),
+            (40, 5),
+        ] {
             let list = greedy_algorithm4(p, q);
             assert_eq!(list.len(), EliminationList::expected_len(p, q), "{p}x{q}");
             assert!(list.validate().is_ok(), "Algorithm 4 invalid for {p}x{q}");

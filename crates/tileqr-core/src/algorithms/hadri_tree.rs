@@ -68,8 +68,15 @@ mod tests {
         for (p, q) in [(6usize, 3usize), (15, 6), (16, 16), (23, 5)] {
             for bs in [1usize, 2, 5, 7, p] {
                 let list = hadri_tree(p, q, bs);
-                assert_eq!(list.len(), EliminationList::expected_len(p, q), "{p}x{q} bs={bs}");
-                assert!(list.validate().is_ok(), "hadri_tree {p}x{q} bs={bs} invalid");
+                assert_eq!(
+                    list.len(),
+                    EliminationList::expected_len(p, q),
+                    "{p}x{q} bs={bs}"
+                );
+                assert!(
+                    list.validate().is_ok(),
+                    "hadri_tree {p}x{q} bs={bs} invalid"
+                );
                 assert!(list.satisfies_lemma_1());
             }
         }

@@ -49,7 +49,10 @@ pub fn coarse_schedule(list: &EliminationList) -> CoarseSchedule {
         last_use[e.piv] = step;
         cp = cp.max(step);
     }
-    CoarseSchedule { steps, critical_path: cp }
+    CoarseSchedule {
+        steps,
+        critical_path: cp,
+    }
 }
 
 /// Makespan of an elimination list under the coarse-grain model (ASAP replay).
@@ -93,9 +96,15 @@ pub fn prescribed_steps(algo: Algorithm, p: usize, q: usize) -> CoarseSchedule {
                 cp = cp.max(se.step);
             }
         }
-        other => panic!("{} has no coarse-grain prescribed schedule in the paper", other.name()),
+        other => panic!(
+            "{} has no coarse-grain prescribed schedule in the paper",
+            other.name()
+        ),
     }
-    CoarseSchedule { steps, critical_path: cp }
+    CoarseSchedule {
+        steps,
+        critical_path: cp,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +122,13 @@ mod tests {
         assert_eq!(replay, prescribed);
         for k in 0..6usize {
             for i in (k + 1)..15usize {
-                assert_eq!(replay.steps[i][k], Some(i + k), "tile ({}, {})", i + 1, k + 1);
+                assert_eq!(
+                    replay.steps[i][k],
+                    Some(i + k),
+                    "tile ({}, {})",
+                    i + 1,
+                    k + 1
+                );
             }
         }
         assert_eq!(replay.critical_path, 15 + 6 - 2);
@@ -169,7 +184,11 @@ mod tests {
                 for i in 0..p {
                     for k in 0..q {
                         if let (Some(r), Some(s)) = (replay.steps[i][k], presc.steps[i][k]) {
-                            assert!(r <= s, "{}: tile ({i},{k}) replay {r} > prescribed {s}", algo.name());
+                            assert!(
+                                r <= s,
+                                "{}: tile ({i},{k}) replay {r} > prescribed {s}",
+                                algo.name()
+                            );
                         }
                     }
                 }

@@ -16,7 +16,6 @@
 use crate::elim::EliminationList;
 
 /// Which sequential kernel family implements the eliminations.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum KernelFamily {
     /// Triangle-on-top-of-triangle kernels (GEQRT/TTQRT/UNMQR/TTMQR): more
@@ -39,7 +38,6 @@ impl KernelFamily {
 
 /// One kernel invocation in the task graph. Indices are zero-based tile
 /// coordinates.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TaskKind {
     /// `GEQRT(row, col)`: factor tile `(row, col)` into a triangle.
@@ -200,6 +198,55 @@ impl TaskDag {
         }
         succ
     }
+
+    /// Successor lists in flat CSR form: task `i`'s successors are
+    /// `targets[offsets[i]..offsets[i + 1]]`.
+    ///
+    /// Equivalent to [`TaskDag::successors`] but built from a constant
+    /// number of allocations regardless of the DAG size — the form the
+    /// runtime executor uses so its setup cost stays O(1) allocations.
+    pub fn successors_csr(&self) -> SuccessorsCsr {
+        let n = self.tasks.len();
+        let mut offsets = vec![0usize; n + 1];
+        for t in &self.tasks {
+            for &d in &t.deps {
+                offsets[d + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0usize; offsets[n]];
+        let mut cursor = offsets.clone();
+        for (idx, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                targets[cursor[d]] = idx;
+                cursor[d] += 1;
+            }
+        }
+        SuccessorsCsr { offsets, targets }
+    }
+}
+
+/// Flat (CSR) successor adjacency of a [`TaskDag`]; see
+/// [`TaskDag::successors_csr`].
+#[derive(Clone, Debug)]
+pub struct SuccessorsCsr {
+    offsets: Vec<usize>,
+    targets: Vec<usize>,
+}
+
+impl SuccessorsCsr {
+    /// Successors of task `i`, in ascending order.
+    #[inline]
+    pub fn of(&self, i: usize) -> &[usize] {
+        &self.targets[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Total number of dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
 }
 
 /// Helper tracking, for every tile, the index of the last task that wrote it.
@@ -212,7 +259,10 @@ struct LastWriter {
 
 impl LastWriter {
     fn new(p: usize, q: usize) -> Self {
-        LastWriter { p, last: vec![None; p * q] }
+        LastWriter {
+            p,
+            last: vec![None; p * q],
+        }
     }
 
     fn get(&self, row: usize, col: usize) -> Option<usize> {
@@ -270,7 +320,15 @@ fn build_tt(list: &EliminationList) -> TaskDag {
             if let Some(d) = writer.get(e.piv, k) {
                 deps.push(d);
             }
-            let ttqrt = push_task(&mut tasks, TaskKind::Ttqrt { row: e.row, piv: e.piv, col: k }, deps);
+            let ttqrt = push_task(
+                &mut tasks,
+                TaskKind::Ttqrt {
+                    row: e.row,
+                    piv: e.piv,
+                    col: k,
+                },
+                deps,
+            );
             writer.set(e.row, k, ttqrt);
             writer.set(e.piv, k, ttqrt);
             for j in (k + 1)..q {
@@ -281,14 +339,27 @@ fn build_tt(list: &EliminationList) -> TaskDag {
                 if let Some(d) = writer.get(e.piv, j) {
                     deps.push(d);
                 }
-                let ttmqr =
-                    push_task(&mut tasks, TaskKind::Ttmqr { row: e.row, piv: e.piv, col: k, j }, deps);
+                let ttmqr = push_task(
+                    &mut tasks,
+                    TaskKind::Ttmqr {
+                        row: e.row,
+                        piv: e.piv,
+                        col: k,
+                        j,
+                    },
+                    deps,
+                );
                 writer.set(e.row, j, ttmqr);
                 writer.set(e.piv, j, ttmqr);
             }
         }
     }
-    TaskDag { p, q, family: KernelFamily::TT, tasks }
+    TaskDag {
+        p,
+        q,
+        family: KernelFamily::TT,
+        tasks,
+    }
 }
 
 /// TS construction: only pivot tiles are triangularized (GEQRT + UNMQR).
@@ -311,9 +382,9 @@ fn build_ts(list: &EliminationList) -> TaskDag {
         // triangularized[i]: whether tile (i, k) has already been factored
         let mut triangularized = vec![false; p];
         let ensure_geqrt = |i: usize,
-                                tasks: &mut Vec<TaskNode>,
-                                writer: &mut LastWriter,
-                                triangularized: &mut Vec<bool>| {
+                            tasks: &mut Vec<TaskNode>,
+                            writer: &mut LastWriter,
+                            triangularized: &mut Vec<bool>| {
             if triangularized[i] {
                 return;
             }
@@ -348,9 +419,17 @@ fn build_ts(list: &EliminationList) -> TaskDag {
                 deps.push(d);
             }
             let factor_kind = if target_is_triangular {
-                TaskKind::Ttqrt { row: e.row, piv: e.piv, col: k }
+                TaskKind::Ttqrt {
+                    row: e.row,
+                    piv: e.piv,
+                    col: k,
+                }
             } else {
-                TaskKind::Tsqrt { row: e.row, piv: e.piv, col: k }
+                TaskKind::Tsqrt {
+                    row: e.row,
+                    piv: e.piv,
+                    col: k,
+                }
             };
             let factor = push_task(&mut tasks, factor_kind, deps);
             writer.set(e.row, k, factor);
@@ -364,9 +443,19 @@ fn build_ts(list: &EliminationList) -> TaskDag {
                     deps.push(d);
                 }
                 let update_kind = if target_is_triangular {
-                    TaskKind::Ttmqr { row: e.row, piv: e.piv, col: k, j }
+                    TaskKind::Ttmqr {
+                        row: e.row,
+                        piv: e.piv,
+                        col: k,
+                        j,
+                    }
                 } else {
-                    TaskKind::Tsmqr { row: e.row, piv: e.piv, col: k, j }
+                    TaskKind::Tsmqr {
+                        row: e.row,
+                        piv: e.piv,
+                        col: k,
+                        j,
+                    }
                 };
                 let update = push_task(&mut tasks, update_kind, deps);
                 writer.set(e.row, j, update);
@@ -376,7 +465,12 @@ fn build_ts(list: &EliminationList) -> TaskDag {
         // The diagonal tile must end up triangular even if it never pivoted.
         ensure_geqrt(k, &mut tasks, &mut writer, &mut triangularized);
     }
-    TaskDag { p, q, family: KernelFamily::TS, tasks }
+    TaskDag {
+        p,
+        q,
+        family: KernelFamily::TS,
+        tasks,
+    }
 }
 
 #[cfg(test)]
@@ -391,11 +485,53 @@ mod tests {
     #[test]
     fn task_weights_match_table_1() {
         assert_eq!(TaskKind::Geqrt { row: 0, col: 0 }.weight(), 4);
-        assert_eq!(TaskKind::Unmqr { row: 0, col: 0, j: 1 }.weight(), 6);
-        assert_eq!(TaskKind::Tsqrt { row: 1, piv: 0, col: 0 }.weight(), 6);
-        assert_eq!(TaskKind::Tsmqr { row: 1, piv: 0, col: 0, j: 1 }.weight(), 12);
-        assert_eq!(TaskKind::Ttqrt { row: 1, piv: 0, col: 0 }.weight(), 2);
-        assert_eq!(TaskKind::Ttmqr { row: 1, piv: 0, col: 0, j: 1 }.weight(), 6);
+        assert_eq!(
+            TaskKind::Unmqr {
+                row: 0,
+                col: 0,
+                j: 1
+            }
+            .weight(),
+            6
+        );
+        assert_eq!(
+            TaskKind::Tsqrt {
+                row: 1,
+                piv: 0,
+                col: 0
+            }
+            .weight(),
+            6
+        );
+        assert_eq!(
+            TaskKind::Tsmqr {
+                row: 1,
+                piv: 0,
+                col: 0,
+                j: 1
+            }
+            .weight(),
+            12
+        );
+        assert_eq!(
+            TaskKind::Ttqrt {
+                row: 1,
+                piv: 0,
+                col: 0
+            }
+            .weight(),
+            2
+        );
+        assert_eq!(
+            TaskKind::Ttmqr {
+                row: 1,
+                piv: 0,
+                col: 0,
+                j: 1
+            }
+            .weight(),
+            6
+        );
     }
 
     #[test]
@@ -405,7 +541,10 @@ mod tests {
             let dag = TaskDag::build(&list, family);
             for (idx, task) in dag.tasks.iter().enumerate() {
                 for &d in &task.deps {
-                    assert!(d < idx, "dependency {d} of task {idx} is not earlier in the list");
+                    assert!(
+                        d < idx,
+                        "dependency {d} of task {idx} is not earlier in the list"
+                    );
                 }
             }
         }
@@ -415,7 +554,13 @@ mod tests {
     fn total_weight_is_algorithm_and_family_independent() {
         for (p, q) in [(4usize, 4usize), (8, 3), (10, 1), (6, 6), (15, 6)] {
             let expected = total_weight_formula(p, q);
-            for list in [flat_tree(p, q), fibonacci(p, q), greedy(p, q), binary_tree(p, q), plasma_tree(p, q, 3)] {
+            for list in [
+                flat_tree(p, q),
+                fibonacci(p, q),
+                greedy(p, q),
+                binary_tree(p, q),
+                plasma_tree(p, q, 3),
+            ] {
                 for family in [KernelFamily::TT, KernelFamily::TS] {
                     let dag = TaskDag::build(&list, family);
                     assert_eq!(
@@ -432,10 +577,18 @@ mod tests {
     fn tt_dag_counts_one_geqrt_per_active_tile() {
         let (p, q) = (6usize, 3usize);
         let dag = TaskDag::build(&greedy(p, q), KernelFamily::TT);
-        let geqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Geqrt { .. })).count();
+        let geqrts = dag
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Geqrt { .. }))
+            .count();
         // active tiles: sum over k of (p - k)
         assert_eq!(geqrts, (0..q).map(|k| p - k).sum::<usize>());
-        let ttqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Ttqrt { .. })).count();
+        let ttqrts = dag
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Ttqrt { .. }))
+            .count();
         assert_eq!(ttqrts, EliminationList::expected_len(p, q));
     }
 
@@ -443,12 +596,23 @@ mod tests {
     fn ts_flat_tree_has_one_geqrt_per_column() {
         let (p, q) = (6usize, 3usize);
         let dag = TaskDag::build(&flat_tree(p, q), KernelFamily::TS);
-        let geqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Geqrt { .. })).count();
+        let geqrts = dag
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Geqrt { .. }))
+            .count();
         // with a flat tree only the diagonal tile of each column is factored
         assert_eq!(geqrts, q);
-        let tsqrts = dag.tasks.iter().filter(|t| matches!(t.kind, TaskKind::Tsqrt { .. })).count();
+        let tsqrts = dag
+            .tasks
+            .iter()
+            .filter(|t| matches!(t.kind, TaskKind::Tsqrt { .. }))
+            .count();
         assert_eq!(tsqrts, EliminationList::expected_len(p, q));
-        assert!(dag.tasks.iter().all(|t| !matches!(t.kind, TaskKind::Ttqrt { .. } | TaskKind::Ttmqr { .. })));
+        assert!(dag
+            .tasks
+            .iter()
+            .all(|t| !matches!(t.kind, TaskKind::Ttqrt { .. } | TaskKind::Ttmqr { .. })));
     }
 
     #[test]
@@ -482,11 +646,30 @@ mod tests {
     }
 
     #[test]
+    fn successors_csr_matches_nested_successors() {
+        let dag = TaskDag::build(&fibonacci(6, 3), KernelFamily::TT);
+        let nested = dag.successors();
+        let csr = dag.successors_csr();
+        assert_eq!(
+            csr.edge_count(),
+            nested.iter().map(|s| s.len()).sum::<usize>()
+        );
+        for (i, expected) in nested.iter().enumerate() {
+            let mut sorted = expected.clone();
+            sorted.sort_unstable();
+            assert_eq!(csr.of(i), sorted.as_slice(), "successor list of task {i}");
+        }
+    }
+
+    #[test]
     fn single_tile_dag() {
         let list = flat_tree(1, 1);
         let dag = TaskDag::build(&list, KernelFamily::TT);
         assert_eq!(dag.len(), 1);
-        assert!(matches!(dag.tasks[0].kind, TaskKind::Geqrt { row: 0, col: 0 }));
+        assert!(matches!(
+            dag.tasks[0].kind,
+            TaskKind::Geqrt { row: 0, col: 0 }
+        ));
         let dag = TaskDag::build(&list, KernelFamily::TS);
         assert_eq!(dag.len(), 1);
     }

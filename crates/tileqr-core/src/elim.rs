@@ -23,7 +23,6 @@ use std::fmt;
 
 /// One orthogonal transformation `elim(row, piv, col)`: tile `(row, col)` is
 /// zeroed out by combining row `row` with pivot row `piv`.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Elimination {
     /// Row of the tile being zeroed out (`row > col` after Lemma 1).
@@ -44,7 +43,13 @@ impl Elimination {
 impl fmt::Display for Elimination {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // one-based in the human-readable form, like the paper
-        write!(f, "elim({}, {}, {})", self.row + 1, self.piv + 1, self.col + 1)
+        write!(
+            f,
+            "elim({}, {}, {})",
+            self.row + 1,
+            self.piv + 1,
+            self.col + 1
+        )
     }
 }
 
@@ -84,18 +89,27 @@ impl fmt::Display for ValidityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidityError::OutOfRange(e) => write!(f, "{e} is out of range"),
-            ValidityError::DuplicateElimination(e) => write!(f, "{e} eliminates an already-zeroed tile"),
+            ValidityError::DuplicateElimination(e) => {
+                write!(f, "{e} eliminates an already-zeroed tile")
+            }
             ValidityError::MissingElimination { row, col } => {
                 write!(f, "tile ({}, {}) is never eliminated", row + 1, col + 1)
             }
-            ValidityError::RowNotReady { elim, row, pending_col } => write!(
+            ValidityError::RowNotReady {
+                elim,
+                row,
+                pending_col,
+            } => write!(
                 f,
                 "{elim}: row {} still has a nonzero tile in column {}",
                 row + 1,
                 pending_col + 1
             ),
             ValidityError::PivotAlreadyEliminated(e) => {
-                write!(f, "{e}: the pivot row was already eliminated in this column")
+                write!(
+                    f,
+                    "{e}: the pivot row was already eliminated in this column"
+                )
             }
             ValidityError::SelfElimination(e) => write!(f, "{e}: a row cannot eliminate itself"),
         }
@@ -103,7 +117,6 @@ impl fmt::Display for ValidityError {
 }
 
 /// An ordered elimination list for a `p × q` tile matrix.
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EliminationList {
     p: usize,
@@ -146,12 +159,19 @@ impl EliminationList {
 
     /// Eliminations restricted to one panel column, in list order.
     pub fn column(&self, col: usize) -> Vec<Elimination> {
-        self.elims.iter().copied().filter(|e| e.col == col).collect()
+        self.elims
+            .iter()
+            .copied()
+            .filter(|e| e.col == col)
+            .collect()
     }
 
     /// The pivot used to zero tile `(row, col)`, if that tile is eliminated.
     pub fn pivot_of(&self, row: usize, col: usize) -> Option<usize> {
-        self.elims.iter().find(|e| e.row == row && e.col == col).map(|e| e.piv)
+        self.elims
+            .iter()
+            .find(|e| e.row == row && e.col == col)
+            .map(|e| e.piv)
     }
 
     /// Expected number of eliminations for a complete factorization:
@@ -192,7 +212,11 @@ impl EliminationList {
                     // only sub-diagonal tiles need zeroing; a row r has a tile in
                     // column k below the diagonal iff r > k
                     if r > k && !zeroed[r].contains(&k) {
-                        errors.push(ValidityError::RowNotReady { elim: e, row: r, pending_col: k });
+                        errors.push(ValidityError::RowNotReady {
+                            elim: e,
+                            row: r,
+                            pending_col: k,
+                        });
                     }
                 }
             }
@@ -247,7 +271,7 @@ impl EliminationList {
         }
         // eliminations
         for e in &self.elims {
-            let trailing = (q - 1 - e.col as u64) as u64;
+            let trailing = q - 1 - e.col as u64;
             w += 2 + 6 * trailing;
         }
         w
@@ -256,7 +280,13 @@ impl EliminationList {
 
 impl fmt::Display for EliminationList {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "EliminationList {}x{} ({} eliminations):", self.p, self.q, self.elims.len())?;
+        writeln!(
+            f,
+            "EliminationList {}x{} ({} eliminations):",
+            self.p,
+            self.q,
+            self.elims.len()
+        )?;
         for e in &self.elims {
             writeln!(f, "  {e}")?;
         }
@@ -312,7 +342,9 @@ mod tests {
         ];
         let list = EliminationList::new(4, 1, elims);
         let errs = list.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::PivotAlreadyEliminated(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::PivotAlreadyEliminated(_))));
     }
 
     #[test]
@@ -325,7 +357,9 @@ mod tests {
         ];
         let list = EliminationList::new(3, 2, elims);
         let errs = list.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::RowNotReady { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::RowNotReady { .. })));
     }
 
     #[test]
@@ -333,7 +367,9 @@ mod tests {
         let elims = vec![Elimination::new(1, 0, 0), Elimination::new(1, 0, 0)];
         let list = EliminationList::new(3, 1, elims);
         let errs = list.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::DuplicateElimination(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::DuplicateElimination(_))));
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidityError::MissingElimination { row: 2, col: 0 })));
@@ -343,15 +379,23 @@ mod tests {
     fn out_of_range_and_self_elimination_detected() {
         let list = EliminationList::new(3, 2, vec![Elimination::new(0, 1, 0)]);
         let errs = list.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::OutOfRange(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::OutOfRange(_))));
 
-        let list = EliminationList::new(3, 1, vec![
-            Elimination::new(1, 1, 0),
-            Elimination::new(2, 0, 0),
-            Elimination::new(1, 0, 0),
-        ]);
+        let list = EliminationList::new(
+            3,
+            1,
+            vec![
+                Elimination::new(1, 1, 0),
+                Elimination::new(2, 0, 0),
+                Elimination::new(1, 0, 0),
+            ],
+        );
         let errs = list.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidityError::SelfElimination(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidityError::SelfElimination(_))));
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub fn flat_tree_ts_cp(p: usize, q: usize) -> u64 {
 /// when `p` and `q` are powers of two with `q < p`:
 /// `(10 + 6·log₂p)·q − 4·log₂p − 6`.
 pub fn binary_tree_tt_cp_power_of_two(p: usize, q: usize) -> u64 {
-    assert!(p.is_power_of_two() && q.is_power_of_two() && q < p, "requires powers of two with q < p");
+    assert!(
+        p.is_power_of_two() && q.is_power_of_two() && q < p,
+        "requires powers of two with q < p"
+    );
     let lg = p.trailing_zeros() as u64;
     (10 + 6 * lg) * q as u64 - 4 * lg - 6
 }
@@ -160,7 +163,10 @@ mod tests {
     #[test]
     fn ts_critical_path_is_longer_than_tt() {
         for (p, q) in [(2usize, 1usize), (10, 1), (15, 6), (6, 6), (40, 20)] {
-            assert!(flat_tree_ts_cp(p, q) >= flat_tree_tt_cp(p, q), "p={p}, q={q}");
+            assert!(
+                flat_tree_ts_cp(p, q) >= flat_tree_tt_cp(p, q),
+                "p={p}, q={q}"
+            );
         }
     }
 
@@ -168,7 +174,10 @@ mod tests {
     fn binary_tree_formula_small_case() {
         // worked example: p = 4, q = 2 gives 30
         assert_eq!(binary_tree_tt_cp_power_of_two(4, 2), 30);
-        assert_eq!(binary_tree_tt_cp_power_of_two(64, 4), (10 + 36) * 4 - 24 - 6);
+        assert_eq!(
+            binary_tree_tt_cp_power_of_two(64, 4),
+            (10 + 36) * 4 - 24 - 6
+        );
     }
 
     #[test]

@@ -73,7 +73,12 @@ mod tests {
 
     #[test]
     fn single_processor_prediction_is_sequential_speed() {
-        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 1, gamma_seq: 3.5 };
+        let input = PredictionInput {
+            total_weight: 1000,
+            critical_path: 100,
+            processors: 1,
+            gamma_seq: 3.5,
+        };
         assert!((predicted_rate(input) - 3.5).abs() < 1e-12);
         assert!((predicted_efficiency(input) - 1.0).abs() < 1e-12);
     }
@@ -81,13 +86,23 @@ mod tests {
     #[test]
     fn critical_path_bound_kicks_in_for_many_processors() {
         // With infinitely many processors the rate saturates at γ_seq·T/cp.
-        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 1_000_000, gamma_seq: 2.0 };
+        let input = PredictionInput {
+            total_weight: 1000,
+            critical_path: 100,
+            processors: 1_000_000,
+            gamma_seq: 2.0,
+        };
         assert!((predicted_rate(input) - 2.0 * 10.0).abs() < 1e-9);
     }
 
     #[test]
     fn work_bound_kicks_in_for_few_processors() {
-        let input = PredictionInput { total_weight: 1000, critical_path: 100, processors: 4, gamma_seq: 2.0 };
+        let input = PredictionInput {
+            total_weight: 1000,
+            critical_path: 100,
+            processors: 4,
+            gamma_seq: 2.0,
+        };
         // T/P = 250 > cp = 100, so the prediction is P·γ_seq
         assert!((predicted_rate(input) - 8.0).abs() < 1e-9);
     }
@@ -95,7 +110,12 @@ mod tests {
     #[test]
     fn prediction_never_exceeds_linear_speedup() {
         for procs in [1usize, 2, 8, 48, 1024] {
-            let input = PredictionInput { total_weight: 5000, critical_path: 180, processors: procs, gamma_seq: 3.0 };
+            let input = PredictionInput {
+                total_weight: 5000,
+                critical_path: 180,
+                processors: procs,
+                gamma_seq: 3.0,
+            };
             assert!(predicted_rate(input) <= procs as f64 * 3.0 + 1e-9);
             let eff = predicted_efficiency(input);
             assert!((0.0..=1.0 + 1e-12).contains(&eff));
@@ -115,7 +135,12 @@ mod tests {
 
     #[test]
     fn zero_work_predicts_zero() {
-        let input = PredictionInput { total_weight: 0, critical_path: 0, processors: 4, gamma_seq: 2.0 };
+        let input = PredictionInput {
+            total_weight: 0,
+            critical_path: 0,
+            processors: 4,
+            gamma_seq: 2.0,
+        };
         assert_eq!(predicted_rate(input), 0.0);
     }
 }

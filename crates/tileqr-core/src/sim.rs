@@ -44,7 +44,10 @@ pub fn simulate_unbounded(dag: &TaskDag) -> UnboundedSchedule {
         finish[idx] = start + task.kind.weight();
         cp = cp.max(finish[idx]);
     }
-    UnboundedSchedule { finish, critical_path: cp }
+    UnboundedSchedule {
+        finish,
+        critical_path: cp,
+    }
 }
 
 /// Per-tile elimination finish times (`None` for tiles on or above the
@@ -89,12 +92,16 @@ pub fn simulate_bounded(dag: &TaskDag, procs: usize) -> u64 {
         }
     }
     // processors as a min-heap of free times
-    let mut free: BinaryHeap<std::cmp::Reverse<u64>> = (0..procs).map(|_| std::cmp::Reverse(0u64)).collect();
+    let mut free: BinaryHeap<std::cmp::Reverse<u64>> =
+        (0..procs).map(|_| std::cmp::Reverse(0u64)).collect();
     let mut finish = vec![0u64; n];
     let mut makespan = 0u64;
     let mut scheduled = 0usize;
     while scheduled < n {
-        let &(rt, idx) = ready.iter().next().expect("no ready task but DAG not finished — cycle?");
+        let &(rt, idx) = ready
+            .iter()
+            .next()
+            .expect("no ready task but DAG not finished — cycle?");
         ready.remove(&(rt, idx));
         let std::cmp::Reverse(proc_free) = free.pop().expect("no processor");
         let start = rt.max(proc_free);
@@ -217,7 +224,9 @@ pub fn simulate_grasap(p: usize, q: usize, asap_cols: usize) -> DynamicSchedule 
                 }
                 // ready pool: triangularized, not eliminated, free at time t
                 let pool: Vec<usize> = (col..p)
-                    .filter(|&r| geqrt_done[r][col] && !eliminated[r][col] && last_write[r][col] <= t)
+                    .filter(|&r| {
+                        geqrt_done[r][col] && !eliminated[r][col] && last_write[r][col] <= t
+                    })
                     .collect();
                 let z = pool.len() / 2;
                 if z == 0 {
@@ -272,7 +281,11 @@ pub fn simulate_grasap(p: usize, q: usize, asap_cols: usize) -> DynamicSchedule 
     // dynamic column receives a GEQRT when it enters the column.
 
     let list = EliminationList::new(p, q, elims_out);
-    DynamicSchedule { list, elim_finish, critical_path: cp }
+    DynamicSchedule {
+        list,
+        elim_finish,
+        critical_path: cp,
+    }
 }
 
 /// Finds the domain size `BS` minimizing the PlasmaTree critical path for a
@@ -387,7 +400,10 @@ mod tests {
             assert_eq!(g, want_greedy, "Greedy critical path for {p}x{q}");
             let a = simulate_asap(p, q);
             assert_eq!(a.critical_path, want_asap, "Asap critical path for {p}x{q}");
-            assert!(a.list.validate().is_ok(), "Asap produced an invalid list for {p}x{q}");
+            assert!(
+                a.list.validate().is_ok(),
+                "Asap produced an invalid list for {p}x{q}"
+            );
         }
     }
 
@@ -444,7 +460,15 @@ mod tests {
     /// Theorem 1(1): the FlatTree critical path matches its closed form.
     #[test]
     fn flat_tree_critical_path_formula() {
-        for (p, q) in [(2usize, 1usize), (10, 1), (5, 3), (15, 6), (40, 10), (6, 6), (12, 12)] {
+        for (p, q) in [
+            (2usize, 1usize),
+            (10, 1),
+            (5, 3),
+            (15, 6),
+            (40, 10),
+            (6, 6),
+            (12, 12),
+        ] {
             let cp = critical_path(&flat_tree(p, q), KernelFamily::TT);
             assert_eq!(cp, formulas::flat_tree_tt_cp(p, q), "p={p}, q={q}");
         }
@@ -453,7 +477,15 @@ mod tests {
     /// Proposition 2: the TS-FlatTree critical path matches its closed form.
     #[test]
     fn ts_flat_tree_critical_path_formula() {
-        for (p, q) in [(2usize, 1usize), (10, 1), (5, 3), (15, 6), (40, 10), (6, 6), (12, 12)] {
+        for (p, q) in [
+            (2usize, 1usize),
+            (10, 1),
+            (5, 3),
+            (15, 6),
+            (40, 10),
+            (6, 6),
+            (12, 12),
+        ] {
             let cp = critical_path(&flat_tree(p, q), KernelFamily::TS);
             assert_eq!(cp, formulas::flat_tree_ts_cp(p, q), "p={p}, q={q}");
         }
@@ -465,7 +497,11 @@ mod tests {
     fn binary_tree_critical_path_formula() {
         for (p, q) in [(4usize, 2usize), (8, 4), (16, 8), (32, 16), (64, 4)] {
             let cp = critical_path(&binary_tree(p, q), KernelFamily::TT);
-            assert_eq!(cp, formulas::binary_tree_tt_cp_power_of_two(p, q), "p={p}, q={q}");
+            assert_eq!(
+                cp,
+                formulas::binary_tree_tt_cp_power_of_two(p, q),
+                "p={p}, q={q}"
+            );
         }
     }
 
@@ -480,13 +516,22 @@ mod tests {
     fn theorem_1_bounds() {
         for (p, q) in [(16usize, 4usize), (40, 10), (64, 16), (40, 40), (100, 20)] {
             let fib = critical_path(&fibonacci(p, q), KernelFamily::TT);
-            assert!(fib <= formulas::fibonacci_tt_cp_upper_bound(p, q), "Fibonacci bound violated for {p}x{q}");
+            assert!(
+                fib <= formulas::fibonacci_tt_cp_upper_bound(p, q),
+                "Fibonacci bound violated for {p}x{q}"
+            );
             let gre = critical_path(&greedy(p, q), KernelFamily::TT);
-            assert!(gre <= formulas::greedy_tt_cp_upper_bound(p, q), "Greedy bound violated for {p}x{q}");
+            assert!(
+                gre <= formulas::greedy_tt_cp_upper_bound(p, q),
+                "Greedy bound violated for {p}x{q}"
+            );
             if p >= q + 3 {
                 let lower = formulas::tt_cp_lower_bound(q);
                 for cp in [fib, gre] {
-                    assert!(cp >= lower, "cp {cp} below the lower bound {lower} for {p}x{q}");
+                    assert!(
+                        cp >= lower,
+                        "cp {cp} below the lower bound {lower} for {p}x{q}"
+                    );
                 }
             }
         }
@@ -556,8 +601,15 @@ mod tests {
         for (p, q) in [(6usize, 2usize), (15, 2), (15, 3), (16, 8), (9, 9)] {
             for asap_cols in [0usize, 1, 2, q] {
                 let d = simulate_grasap(p, q, asap_cols);
-                assert_eq!(d.list.len(), EliminationList::expected_len(p, q), "p={p} q={q} k={asap_cols}");
-                assert!(d.list.validate().is_ok(), "invalid dynamic list p={p} q={q} k={asap_cols}");
+                assert_eq!(
+                    d.list.len(),
+                    EliminationList::expected_len(p, q),
+                    "p={p} q={q} k={asap_cols}"
+                );
+                assert!(
+                    d.list.validate().is_ok(),
+                    "invalid dynamic list p={p} q={q} k={asap_cols}"
+                );
             }
         }
     }

@@ -12,9 +12,11 @@
 use tileqr_matrix::{Matrix, Scalar};
 
 use crate::blas::{
-    conj_trans_mul, conj_trans_mul_unit_lower, sub_mul_assign, sub_mul_assign_unit_lower,
-    trmm_upper_left,
+    acc_conj_trans_mul_into, acc_conj_trans_mul_upper_into, conj_trans_mul_unit_lower_into,
+    copy_cols_into, sub_cols_assign, sub_mul_assign_cols, sub_mul_assign_unit_lower_cols,
+    sub_mul_assign_upper_cols, trmm_upper_left_partial,
 };
+use crate::workspace::Workspace;
 
 /// Whether an update kernel applies `Q` or `Qᴴ`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,16 +42,45 @@ impl Trans {
 /// `t` is the companion triangular factor.
 ///
 /// Paper cost: `6` units of `nb³/3` flops.
+///
+/// Allocating convenience wrapper around [`unmqr_ws`].
 pub fn unmqr<T: Scalar<Real = f64>>(v: &Matrix<T>, t: &Matrix<T>, c: &mut Matrix<T>, trans: Trans) {
+    unmqr_ws(v, t, c, trans, &mut Workspace::new(v.rows()));
+}
+
+/// UNMQR with caller-provided scratch: zero heap allocations.
+///
+/// The update is the blocked compact-WY application of `larfb`: the target is
+/// processed in contiguous panels of at most `nb` columns, each staged
+/// through the workspace's `W` buffer as `W := VᴴC`, `W := op(T)·W`,
+/// `C := C − V·W`.
+pub fn unmqr_ws<T: Scalar<Real = f64>>(
+    v: &Matrix<T>,
+    t: &Matrix<T>,
+    c: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut Workspace<T>,
+) {
     let nb = v.rows();
     assert_eq!(v.cols(), nb, "UNMQR reflector tile must be square");
-    assert_eq!(c.rows(), nb, "UNMQR target tile must match the reflector tile");
-    // W = Vᴴ·C
-    let mut w = conj_trans_mul_unit_lower(v, c);
-    // W = op(T)·W
-    trmm_upper_left(t, &mut w, trans.conj_t());
-    // C = C − V·W
-    sub_mul_assign_unit_lower(c, v, &w);
+    assert_eq!(
+        c.rows(),
+        nb,
+        "UNMQR target tile must match the reflector tile"
+    );
+    ws.require(nb);
+    let ncols = c.cols();
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        // W = Vᴴ·C
+        conj_trans_mul_unit_lower_into(v, c, c0, width, &mut ws.w);
+        // W = op(T)·W
+        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
+        // C = C − V·W
+        sub_mul_assign_unit_lower_cols(c, c0, width, v, &ws.w);
+        c0 += width;
+    }
 }
 
 /// TSMQR: applies the block reflector computed by [`crate::tsqrt`] to the
@@ -60,6 +91,8 @@ pub fn unmqr<T: Scalar<Real = f64>>(v: &Matrix<T>, t: &Matrix<T>, c: &mut Matrix
 /// [`crate::tsqrt`] and `t` its triangular factor.
 ///
 /// Paper cost: `12` units of `nb³/3` flops.
+///
+/// Allocating convenience wrapper around [`tsmqr_ws`].
 pub fn tsmqr<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
     t: &Matrix<T>,
@@ -67,19 +100,42 @@ pub fn tsmqr<T: Scalar<Real = f64>>(
     c2: &mut Matrix<T>,
     trans: Trans,
 ) {
+    tsmqr_ws(v2, t, c1, c2, trans, &mut Workspace::new(v2.rows()));
+}
+
+/// TSMQR with caller-provided scratch: zero heap allocations.
+///
+/// Blocked compact-WY application over contiguous column panels:
+/// `W := C1 + V2ᴴ·C2`, `W := op(T)·W`, `C1 −= W`, `C2 −= V2·W`, all staged
+/// through the workspace's `W` buffer.
+pub fn tsmqr_ws<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut Workspace<T>,
+) {
     let nb = v2.rows();
     assert_eq!(v2.cols(), nb, "TSMQR reflector block must be square");
     assert_eq!(c1.rows(), nb, "TSMQR C1 must match the reflector block");
     assert_eq!(c2.rows(), nb, "TSMQR C2 must match the reflector block");
     assert_eq!(c1.cols(), c2.cols(), "TSMQR C1/C2 must have the same width");
-    // W = C1 + V2ᴴ·C2   (the identity top part of V contributes C1 directly)
-    let mut w = conj_trans_mul(v2, c2);
-    w = w.add(c1);
-    // W = op(T)·W
-    trmm_upper_left(t, &mut w, trans.conj_t());
-    // C1 = C1 − W ; C2 = C2 − V2·W
-    *c1 = c1.sub(&w);
-    sub_mul_assign(c2, v2, &w);
+    ws.require(nb);
+    let ncols = c1.cols();
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        // W = C1 + V2ᴴ·C2   (the identity top part of V contributes C1 directly)
+        copy_cols_into(c1, c0, width, &mut ws.w);
+        acc_conj_trans_mul_into(v2, c2, c0, width, &mut ws.w);
+        // W = op(T)·W
+        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
+        // C1 = C1 − W ; C2 = C2 − V2·W
+        sub_cols_assign(c1, c0, width, &ws.w);
+        sub_mul_assign_cols(c2, c0, width, v2, &ws.w);
+        c0 += width;
+    }
 }
 
 /// TTMQR: applies the block reflector computed by [`crate::ttqrt`] to the
@@ -90,6 +146,8 @@ pub fn tsmqr<T: Scalar<Real = f64>>(
 /// structure is exploited so this kernel costs half of [`tsmqr`].
 ///
 /// Paper cost: `6` units of `nb³/3` flops.
+///
+/// Allocating convenience wrapper around [`ttmqr_ws`].
 pub fn ttmqr<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
     t: &Matrix<T>,
@@ -97,46 +155,42 @@ pub fn ttmqr<T: Scalar<Real = f64>>(
     c2: &mut Matrix<T>,
     trans: Trans,
 ) {
+    ttmqr_ws(v2, t, c1, c2, trans, &mut Workspace::new(v2.rows()));
+}
+
+/// TTMQR with caller-provided scratch: zero heap allocations.
+///
+/// Same blocked compact-WY panel structure as [`tsmqr_ws`], but every product
+/// with `V2` is restricted to its upper triangle (column `k` of `V2` has
+/// nonzeros only in rows `0..=k`), which is what makes the TT kernel half the
+/// cost of the TS one.
+pub fn ttmqr_ws<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut Workspace<T>,
+) {
     let nb = v2.rows();
     assert_eq!(v2.cols(), nb, "TTMQR reflector block must be square");
     assert_eq!(c1.rows(), nb, "TTMQR C1 must match the reflector block");
     assert_eq!(c2.rows(), nb, "TTMQR C2 must match the reflector block");
     assert_eq!(c1.cols(), c2.cols(), "TTMQR C1/C2 must have the same width");
+    ws.require(nb);
     let ncols = c1.cols();
-
-    // W = C1 + V2ᴴ·C2, exploiting the upper-triangular structure of V2:
-    // column k of V2 has nonzeros only in rows 0..=k.
-    let mut w = Matrix::zeros(nb, ncols);
-    for j in 0..ncols {
-        let c2_col = c2.col(j);
-        let c1_col = c1.col(j);
-        let w_col = w.col_mut(j);
-        for (k, wk) in w_col.iter_mut().enumerate() {
-            let v_col = v2.col(k);
-            let mut acc = c1_col[k];
-            for r in 0..=k {
-                acc += v_col[r].conj() * c2_col[r];
-            }
-            *wk = acc;
-        }
-    }
-    // W = op(T)·W
-    trmm_upper_left(t, &mut w, trans.conj_t());
-    // C1 = C1 − W ; C2 = C2 − V2·W (triangular V2)
-    *c1 = c1.sub(&w);
-    for j in 0..ncols {
-        let w_col = w.col(j);
-        let c2_col = c2.col_mut(j);
-        for k in 0..nb {
-            let wkj = w_col[k];
-            if wkj.is_zero() {
-                continue;
-            }
-            let v_col = v2.col(k);
-            for r in 0..=k {
-                c2_col[r] -= v_col[r] * wkj;
-            }
-        }
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        // W = C1 + V2ᴴ·C2 (triangular V2)
+        copy_cols_into(c1, c0, width, &mut ws.w);
+        acc_conj_trans_mul_upper_into(v2, c2, c0, width, &mut ws.w);
+        // W = op(T)·W
+        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
+        // C1 = C1 − W ; C2 = C2 − V2·W (triangular V2)
+        sub_cols_assign(c1, c0, width, &ws.w);
+        sub_mul_assign_upper_cols(c2, c0, width, v2, &ws.w);
+        c0 += width;
     }
 }
 
@@ -305,7 +359,13 @@ mod tests {
         }
         let mut c1_dirty = c1_0.clone();
         let mut c2_dirty = c2_0.clone();
-        ttmqr(&r2_dirty, &t, &mut c1_dirty, &mut c2_dirty, Trans::ConjTrans);
+        ttmqr(
+            &r2_dirty,
+            &t,
+            &mut c1_dirty,
+            &mut c2_dirty,
+            Trans::ConjTrans,
+        );
 
         assert_eq!(c1_clean, c1_dirty);
         assert_eq!(c2_clean, c2_dirty);

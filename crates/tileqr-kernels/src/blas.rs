@@ -5,8 +5,288 @@
 //! kernel's update is expressed with two or three of these calls, which keeps
 //! the kernel code close to the mathematics in the paper and in the LAPACK
 //! `larfb`/`tpmqrt` routines they mirror.
+//!
+//! Two families live here:
+//!
+//! * the original allocating helpers ([`conj_trans_mul`],
+//!   [`conj_trans_mul_unit_lower`], …) that return fresh matrices — kept for
+//!   API compatibility and as the readable reference formulation;
+//! * allocation-free column-window variants (`*_into` / `*_cols`) that write
+//!   into a caller-provided staging panel (the `W` buffer of a
+//!   [`crate::workspace::Workspace`]) and operate on a contiguous window of
+//!   `width` columns starting at column `c0`. These are what the `*_ws`
+//!   kernels use; their inner reductions go through [`dot_conj`], which
+//!   splits the accumulation into four independent chains so the CPU is not
+//!   serialized on floating-point add latency.
 
 use tileqr_matrix::{Matrix, Scalar};
+
+/// Conjugated dot product `aᴴ · b` with four independent accumulators.
+///
+/// A single-accumulator reduction is latency-bound: every fused
+/// multiply-add waits for the previous one. Splitting the sum into four
+/// interleaved partial sums exposes instruction-level parallelism (the
+/// compiler cannot do this itself because it must preserve the floating-point
+/// summation order). The result differs from the sequential sum only by
+/// rounding.
+#[inline]
+pub fn dot_conj<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len(), "dot_conj: length mismatch");
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        acc0 += x[0].conj() * y[0];
+        acc1 += x[1].conj() * y[1];
+        acc2 += x[2].conj() * y[2];
+        acc3 += x[3].conj() * y[3];
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc0 += x.conj() * y;
+    }
+    (acc0 + acc1) + (acc2 + acc3)
+}
+
+/// `W(:, 0..width) := Vᴴ · C(:, c0..c0+width)` where `V` is unit lower
+/// triangular as in [`conj_trans_mul_unit_lower`], writing into the staging
+/// panel `w` instead of allocating.
+pub fn conj_trans_mul_unit_lower_into<T: Scalar>(
+    v: &Matrix<T>,
+    c: &Matrix<T>,
+    c0: usize,
+    width: usize,
+    w: &mut Matrix<T>,
+) {
+    let n = v.rows();
+    assert_eq!(v.cols(), n, "V must be square");
+    assert_eq!(c.rows(), n, "Vᴴ·C: row counts must agree");
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let c_col = c.col(c0 + j);
+        let w_col = w.col_mut(j);
+        for k in 0..n {
+            let v_col = v.col(k);
+            // unit diagonal contributes c_col[k] directly
+            w_col[k] = c_col[k] + dot_conj(&v_col[k + 1..n], &c_col[k + 1..n]);
+        }
+    }
+}
+
+/// `C(:, c0..c0+width) -= V · W(:, 0..width)` where `V` is unit lower
+/// triangular; the in-place companion of [`conj_trans_mul_unit_lower_into`].
+pub fn sub_mul_assign_unit_lower_cols<T: Scalar>(
+    c: &mut Matrix<T>,
+    c0: usize,
+    width: usize,
+    v: &Matrix<T>,
+    w: &Matrix<T>,
+) {
+    let n = v.rows();
+    assert_eq!(v.cols(), n, "V must be square");
+    assert_eq!(c.rows(), n, "C-=V·W: row counts must agree");
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let c_col = c.col_mut(c0 + j);
+        for k in 0..n {
+            let wkj = w.col(j)[k];
+            if wkj.is_zero() {
+                continue;
+            }
+            let v_col = v.col(k);
+            c_col[k] -= wkj; // unit diagonal entry
+            for (ci, &vi) in c_col[k + 1..n].iter_mut().zip(&v_col[k + 1..n]) {
+                *ci -= vi * wkj;
+            }
+        }
+    }
+}
+
+/// `W(:, 0..width) := C(:, c0..c0+width)` — loads the staging panel.
+pub fn copy_cols_into<T: Scalar>(c: &Matrix<T>, c0: usize, width: usize, w: &mut Matrix<T>) {
+    let n = c.rows();
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        w.col_mut(j)[..n].copy_from_slice(c.col(c0 + j));
+    }
+}
+
+/// `W(:, 0..width) += Aᴴ · B(:, c0..c0+width)` for a dense `A` — the
+/// accumulate-into variant of [`conj_trans_mul`].
+pub fn acc_conj_trans_mul_into<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    c0: usize,
+    width: usize,
+    w: &mut Matrix<T>,
+) {
+    assert_eq!(a.rows(), b.rows(), "Aᴴ·B: row counts must agree");
+    assert!(c0 + width <= b.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= a.cols() && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let b_col = b.col(c0 + j);
+        let w_col = w.col_mut(j);
+        for (k, wk) in w_col.iter_mut().enumerate().take(a.cols()) {
+            *wk += dot_conj(a.col(k), b_col);
+        }
+    }
+}
+
+/// `W(:, 0..width) += Vᴴ · B(:, c0..c0+width)` where only the **upper
+/// triangle** of `V` is referenced (column `k` of `V` has nonzeros in rows
+/// `0..=k`) — the TTMQR-shaped accumulation.
+pub fn acc_conj_trans_mul_upper_into<T: Scalar>(
+    v: &Matrix<T>,
+    b: &Matrix<T>,
+    c0: usize,
+    width: usize,
+    w: &mut Matrix<T>,
+) {
+    let n = v.rows();
+    assert_eq!(v.cols(), n, "V must be square");
+    assert_eq!(b.rows(), n, "Vᴴ·B: row counts must agree");
+    assert!(c0 + width <= b.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let b_col = b.col(c0 + j);
+        let w_col = w.col_mut(j);
+        for (k, wk) in w_col.iter_mut().enumerate().take(n) {
+            *wk += dot_conj(&v.col(k)[..k + 1], &b_col[..k + 1]);
+        }
+    }
+}
+
+/// `C(:, c0..c0+width) -= W(:, 0..width)` — element-wise panel subtraction.
+pub fn sub_cols_assign<T: Scalar>(c: &mut Matrix<T>, c0: usize, width: usize, w: &Matrix<T>) {
+    let n = c.rows();
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        for (ci, &wi) in c.col_mut(c0 + j).iter_mut().zip(&w.col(j)[..n]) {
+            *ci -= wi;
+        }
+    }
+}
+
+/// `C(:, c0..c0+width) -= A · W(:, 0..width)` for a dense `A` — the
+/// column-window variant of [`sub_mul_assign`].
+pub fn sub_mul_assign_cols<T: Scalar>(
+    c: &mut Matrix<T>,
+    c0: usize,
+    width: usize,
+    a: &Matrix<T>,
+    w: &Matrix<T>,
+) {
+    assert_eq!(c.rows(), a.rows(), "C-=A·W: row counts must agree");
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= a.cols() && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let c_col = c.col_mut(c0 + j);
+        for k in 0..a.cols() {
+            let wkj = w.col(j)[k];
+            if wkj.is_zero() {
+                continue;
+            }
+            for (ci, &ai) in c_col.iter_mut().zip(a.col(k)) {
+                *ci -= ai * wkj;
+            }
+        }
+    }
+}
+
+/// `C(:, c0..c0+width) -= V · W(:, 0..width)` where only the **upper
+/// triangle** of `V` is referenced — the TTMQR-shaped application.
+pub fn sub_mul_assign_upper_cols<T: Scalar>(
+    c: &mut Matrix<T>,
+    c0: usize,
+    width: usize,
+    v: &Matrix<T>,
+    w: &Matrix<T>,
+) {
+    let n = v.rows();
+    assert_eq!(v.cols(), n, "V must be square");
+    assert_eq!(c.rows(), n, "C-=V·W: row counts must agree");
+    assert!(c0 + width <= c.cols(), "column window out of bounds");
+    assert!(
+        w.rows() >= n && w.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let c_col = c.col_mut(c0 + j);
+        for k in 0..n {
+            let wkj = w.col(j)[k];
+            if wkj.is_zero() {
+                continue;
+            }
+            for (ci, &vi) in c_col[..k + 1].iter_mut().zip(&v.col(k)[..k + 1]) {
+                *ci -= vi * wkj;
+            }
+        }
+    }
+}
+
+/// In-place `B(:, 0..width) := op(T) · B(:, 0..width)` for upper triangular
+/// `T` — the partial-panel variant of [`trmm_upper_left`] used on workspace
+/// staging panels (which may have more rows/columns than `T`).
+pub fn trmm_upper_left_partial<T: Scalar>(
+    t: &Matrix<T>,
+    b: &mut Matrix<T>,
+    width: usize,
+    conj_trans: bool,
+) {
+    let n = t.rows();
+    assert_eq!(t.cols(), n, "T must be square");
+    assert!(
+        b.rows() >= n && b.cols() >= width,
+        "op(T)·B: panel too small"
+    );
+    for j in 0..width {
+        let b_col = &mut b.col_mut(j)[..n];
+        if conj_trans {
+            // (Tᴴ B)[i] = Σ_{k≤i} conj(T[k,i])·B[k]; bottom-up keeps reads on
+            // original values, and the column of T is contiguous.
+            for i in (0..n).rev() {
+                let acc = dot_conj(&t.col(i)[..i + 1], &b_col[..i + 1]);
+                b_col[i] = acc;
+            }
+        } else {
+            // (T B)[i] = Σ_{k≥i} T[i,k]·B[k]; top-down keeps reads original.
+            for i in 0..n {
+                let mut acc = T::ZERO;
+                for (k, &bk) in b_col.iter().enumerate().skip(i) {
+                    acc += t.get(i, k) * bk;
+                }
+                b_col[i] = acc;
+            }
+        }
+    }
+}
 
 /// Returns `Aᴴ · B`.
 pub fn conj_trans_mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
@@ -218,7 +498,13 @@ mod tests {
     fn trmm_upper_left_matches_explicit_triangle() {
         let n = 5;
         let full: Matrix<Complex64> = random_matrix(n, n, 11);
-        let t = Matrix::from_fn(n, n, |i, j| if i <= j { full.get(i, j) } else { Complex64::ZERO });
+        let t = Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                full.get(i, j)
+            } else {
+                Complex64::ZERO
+            }
+        });
         let b: Matrix<Complex64> = random_matrix(n, 3, 12);
 
         let mut b1 = b.clone();
@@ -233,7 +519,8 @@ mod tests {
     #[test]
     fn trmm_ignores_strictly_lower_part() {
         let n = 4;
-        let t_upper: Matrix<f64> = Matrix::from_fn(n, n, |i, j| if i <= j { (i + j + 1) as f64 } else { 0.0 });
+        let t_upper: Matrix<f64> =
+            Matrix::from_fn(n, n, |i, j| if i <= j { (i + j + 1) as f64 } else { 0.0 });
         let mut t_dirty = t_upper.clone();
         // garbage below the diagonal must not change the result
         for j in 0..n {
@@ -247,6 +534,105 @@ mod tests {
         trmm_upper_left(&t_upper, &mut b1, false);
         trmm_upper_left(&t_dirty, &mut b2, false);
         assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn dot_conj_matches_sequential_sum() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 33] {
+            let a: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(i as f64 * 0.5 - 1.0, 0.25 * i as f64))
+                .collect();
+            let b: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(1.0 - i as f64 * 0.125, -(i as f64)))
+                .collect();
+            let expected: Complex64 = a.iter().zip(&b).map(|(&x, &y)| x.conj() * y).sum();
+            let got = dot_conj(&a, &b);
+            assert!(
+                (got - expected).abs() < 1e-12 * (1.0 + expected.abs()),
+                "n={n}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_helpers() {
+        let n = 7;
+        let width = 3;
+        let v: Matrix<Complex64> = random_matrix(n, n, 40);
+        let c: Matrix<Complex64> = random_matrix(n, n, 41);
+
+        // unit-lower Vᴴ·C on a column window
+        let mut w = Matrix::<Complex64>::zeros(n, n);
+        conj_trans_mul_unit_lower_into(&v, &c, 2, width, &mut w);
+        let reference = conj_trans_mul_unit_lower(&v, &c.sub_matrix(0, 2, n, width));
+        for j in 0..width {
+            for i in 0..n {
+                assert!((w.get(i, j) - reference.get(i, j)).abs() < 1e-13);
+            }
+        }
+
+        // W = C1 window, then W += Vᴴ·C2 window
+        let c2: Matrix<Complex64> = random_matrix(n, n, 42);
+        let mut w2 = Matrix::<Complex64>::zeros(n, n);
+        copy_cols_into(&c, 1, width, &mut w2);
+        acc_conj_trans_mul_into(&v, &c2, 1, width, &mut w2);
+        let reference2 =
+            conj_trans_mul(&v, &c2.sub_matrix(0, 1, n, width)).add(&c.sub_matrix(0, 1, n, width));
+        for j in 0..width {
+            for i in 0..n {
+                assert!((w2.get(i, j) - reference2.get(i, j)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn column_window_application_matches_allocating_path() {
+        let n = 6;
+        let v: Matrix<f64> = random_matrix(n, n, 50);
+        let w: Matrix<f64> = random_matrix(n, n, 51);
+        let c0: Matrix<f64> = random_matrix(n, n, 52);
+
+        // dense C -= V·W on the full window
+        let mut dense_new = c0.clone();
+        sub_mul_assign_cols(&mut dense_new, 0, n, &v, &w);
+        let mut dense_old = c0.clone();
+        sub_mul_assign(&mut dense_old, &v, &w);
+        assert_eq!(dense_new, dense_old);
+
+        // unit-lower C -= V·W
+        let mut ul_new = c0.clone();
+        sub_mul_assign_unit_lower_cols(&mut ul_new, 0, n, &v, &w);
+        let mut ul_old = c0.clone();
+        sub_mul_assign_unit_lower(&mut ul_old, &v, &w);
+        assert_eq!(ul_new, ul_old);
+    }
+
+    #[test]
+    fn trmm_partial_matches_full_trmm() {
+        let n = 5;
+        let full: Matrix<Complex64> = random_matrix(n, n, 60);
+        let t = Matrix::from_fn(n, n, |i, j| {
+            if i <= j {
+                full.get(i, j)
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let b: Matrix<Complex64> = random_matrix(n, 4, 61);
+        for conj_trans in [false, true] {
+            let mut partial = b.clone();
+            trmm_upper_left_partial(&t, &mut partial, 4, conj_trans);
+            let mut reference = b.clone();
+            trmm_upper_left(&t, &mut reference, conj_trans);
+            for j in 0..4 {
+                for i in 0..n {
+                    assert!(
+                        (partial.get(i, j) - reference.get(i, j)).abs() < 1e-13,
+                        "mismatch at ({i},{j}) conj_trans={conj_trans}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,34 +17,46 @@
 
 use tileqr_matrix::{Matrix, Scalar};
 
-use crate::householder::{larfg, larft};
+use crate::blas::dot_conj;
+use crate::householder::{larfg, larft_from_tile};
+use crate::workspace::Workspace;
 
 /// GEQRT: in-place QR factorization of a square `nb × nb` tile.
+///
+/// Allocating convenience wrapper around [`geqrt_ws`]; builds a fresh
+/// [`Workspace`] per call. Hot paths (the runtime) reuse a per-worker
+/// workspace instead.
+///
+/// Paper cost: `4` units of `nb³/3` flops.
+pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
+    geqrt_ws(a, t, &mut Workspace::new(a.rows()));
+}
+
+/// GEQRT with caller-provided scratch: zero heap allocations.
 ///
 /// On exit `a` holds `R` in its upper triangle and the Householder vectors
 /// `V` (unit diagonal implicit) in its strictly lower part; `t` receives the
 /// `nb × nb` upper triangular block-reflector factor.
-///
-/// Paper cost: `4` units of `nb³/3` flops.
-pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
+pub fn geqrt_ws<T: Scalar<Real = f64>>(
+    a: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) {
     let nb = a.rows();
     assert_eq!(a.cols(), nb, "GEQRT operates on square tiles");
     assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+    ws.require(nb);
 
-    let mut taus = vec![T::ZERO; nb];
-    let mut tail = vec![T::ZERO; nb];
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
     for j in 0..nb {
         // Generate the reflector annihilating a[j+1.., j].
         let tail_len = nb - j - 1;
-        for (r, v) in tail.iter_mut().enumerate().take(tail_len) {
-            *v = a.get(j + 1 + r, j);
-        }
+        tail[..tail_len].copy_from_slice(&a.col(j)[j + 1..nb]);
         let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
         taus[j] = refl.tau;
         a.set(j, j, refl.beta);
-        for r in 0..tail_len {
-            a.set(j + 1 + r, j, tail[r]);
-        }
+        a.col_mut(j)[j + 1..nb].copy_from_slice(&tail[..tail_len]);
         // Apply Hᴴ to the trailing columns j+1.. of the tile.
         if refl.tau.is_zero() {
             continue;
@@ -52,29 +64,18 @@ pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
         let tau_c = refl.tau.conj();
         for k in (j + 1)..nb {
             let col = a.col_mut(k);
-            let mut w = col[j];
-            for r in 0..tail_len {
-                w += tail[r].conj() * col[j + 1 + r];
-            }
+            let w = col[j] + dot_conj(&tail[..tail_len], &col[j + 1..nb]);
             let s = tau_c * w;
             col[j] -= s;
-            for r in 0..tail_len {
-                col[j + 1 + r] -= tail[r] * s;
+            for (ci, &vi) in col[j + 1..nb].iter_mut().zip(&tail[..tail_len]) {
+                *ci -= vi * s;
             }
         }
     }
 
-    // Materialize the full V (unit lower triangular) to build T.
-    let v = Matrix::from_fn(nb, nb, |i, j| {
-        if i == j {
-            T::ONE
-        } else if i > j {
-            a.get(i, j)
-        } else {
-            T::ZERO
-        }
-    });
-    larft(&v, &taus, t);
+    // Build T straight from the tile: V is implicit (unit lower part of `a`),
+    // so no nb×nb V matrix is materialized.
+    larft_from_tile(a, &ws.tau[..nb], t, &mut ws.wcol);
 }
 
 /// TSQRT: QR factorization of `[R1; A2]`, where `R1` is the upper triangular
@@ -86,21 +87,38 @@ pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
 /// are implicit), and `t` receives the block-reflector factor.
 ///
 /// Paper cost: `6` units of `nb³/3` flops.
+///
+/// Allocating convenience wrapper around [`tsqrt_ws`].
 pub fn tsqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, a2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    tsqrt_ws(r1, a2, t, &mut Workspace::new(r1.rows()));
+}
+
+/// TSQRT with caller-provided scratch: zero heap allocations.
+pub fn tsqrt_ws<T: Scalar<Real = f64>>(
+    r1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) {
     let nb = r1.rows();
     assert_eq!(r1.cols(), nb, "TSQRT pivot tile must be square");
-    assert_eq!(a2.shape(), (nb, nb), "TSQRT target tile must match the pivot tile");
+    assert_eq!(
+        a2.shape(),
+        (nb, nb),
+        "TSQRT target tile must match the pivot tile"
+    );
     assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+    ws.require(nb);
 
-    let mut taus = vec![T::ZERO; nb];
-    let mut tail = vec![T::ZERO; nb];
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
     for j in 0..nb {
         // Reflector on [r1[j,j]; a2[:, j]] — the tail is the whole column of a2.
         tail.copy_from_slice(a2.col(j));
-        let refl = larfg(r1.get(j, j), &mut tail);
+        let refl = larfg(r1.get(j, j), tail);
         taus[j] = refl.tau;
         r1.set(j, j, refl.beta);
-        a2.col_mut(j).copy_from_slice(&tail);
+        a2.col_mut(j).copy_from_slice(tail);
 
         if refl.tau.is_zero() {
             continue;
@@ -109,23 +127,16 @@ pub fn tsqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, a2: &mut Matrix<T>, t: &
         // Apply Hᴴ to the trailing columns of [R1; A2].
         for k in (j + 1)..nb {
             // w = r1[j,k] + v2ᴴ · a2[:,k]
-            let mut w = r1.get(j, k);
-            {
-                let a2_col = a2.col(k);
-                for r in 0..nb {
-                    w += tail[r].conj() * a2_col[r];
-                }
-            }
+            let w = r1.get(j, k) + dot_conj(tail, a2.col(k));
             let s = tau_c * w;
             r1.set(j, k, r1.get(j, k) - s);
-            let a2_col = a2.col_mut(k);
-            for r in 0..nb {
-                a2_col[r] -= tail[r] * s;
+            for (ci, &vi) in a2.col_mut(k).iter_mut().zip(tail.iter()) {
+                *ci -= vi * s;
             }
         }
     }
 
-    build_t_from_bottom_block(a2, &taus, t, false);
+    build_t_from_bottom_block(a2, taus, t, false, &mut ws.wcol);
 }
 
 /// TTQRT: QR factorization of `[R1; R2]` where **both** tiles are upper
@@ -138,14 +149,31 @@ pub fn tsqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, a2: &mut Matrix<T>, t: &
 /// the block-reflector factor.
 ///
 /// Paper cost: `2` units of `nb³/3` flops.
+///
+/// Allocating convenience wrapper around [`ttqrt_ws`].
 pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &mut Matrix<T>) {
+    ttqrt_ws(r1, r2, t, &mut Workspace::new(r1.rows()));
+}
+
+/// TTQRT with caller-provided scratch: zero heap allocations.
+pub fn ttqrt_ws<T: Scalar<Real = f64>>(
+    r1: &mut Matrix<T>,
+    r2: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut Workspace<T>,
+) {
     let nb = r1.rows();
     assert_eq!(r1.cols(), nb, "TTQRT pivot tile must be square");
-    assert_eq!(r2.shape(), (nb, nb), "TTQRT target tile must match the pivot tile");
+    assert_eq!(
+        r2.shape(),
+        (nb, nb),
+        "TTQRT target tile must match the pivot tile"
+    );
     assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+    ws.require(nb);
 
-    let mut taus = vec![T::ZERO; nb];
-    let mut tail = vec![T::ZERO; nb];
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
     for j in 0..nb {
         // Only the upper triangle of r2 is referenced: rows 0..=j of column j.
         // (The strictly lower part may hold Householder vectors from an
@@ -162,23 +190,16 @@ pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &
         }
         let tau_c = refl.tau.conj();
         for k in (j + 1)..nb {
-            let mut w = r1.get(j, k);
-            {
-                let r2_col = r2.col(k);
-                for r in 0..len {
-                    w += tail[r].conj() * r2_col[r];
-                }
-            }
+            let w = r1.get(j, k) + dot_conj(&tail[..len], &r2.col(k)[..len]);
             let s = tau_c * w;
             r1.set(j, k, r1.get(j, k) - s);
-            let r2_col = r2.col_mut(k);
-            for r in 0..len {
-                r2_col[r] -= tail[r] * s;
+            for (ci, &vi) in r2.col_mut(k)[..len].iter_mut().zip(&tail[..len]) {
+                *ci -= vi * s;
             }
         }
     }
 
-    build_t_from_bottom_block(r2, &taus, t, true);
+    build_t_from_bottom_block(r2, taus, t, true, &mut ws.wcol);
 }
 
 /// Builds the `T` factor for TS/TT reflectors, whose Householder vectors are
@@ -186,15 +207,18 @@ pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &
 /// products, so `T` only depends on the bottom block `V2`.
 ///
 /// When `v2_is_upper_triangular` is true (TTQRT) the inner products are
-/// restricted to the triangle.
+/// restricted to the triangle. `wcol` is caller-provided scratch of length
+/// ≥ `taus.len()`; the routine performs no allocation.
 fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
     taus: &[T],
     t: &mut Matrix<T>,
     v2_is_upper_triangular: bool,
+    wcol: &mut [T],
 ) {
     let nb = v2.rows();
     let k = taus.len();
+    assert!(wcol.len() >= k, "scratch column too short");
     for j in 0..k {
         for i in j..k {
             t.set(i, j, T::ZERO);
@@ -208,19 +232,18 @@ fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
         let vj = v2.col(j);
         let rows = if v2_is_upper_triangular { j + 1 } else { nb };
         // w = V2(:, 0..j)ᴴ · v2_j
-        let mut w = vec![T::ZERO; j];
-        for (a, wa) in w.iter_mut().enumerate() {
+        for (a, wa) in wcol.iter_mut().enumerate().take(j) {
             let va = v2.col(a);
-            let lim = if v2_is_upper_triangular { (a + 1).min(rows) } else { rows };
-            let mut acc = T::ZERO;
-            for r in 0..lim {
-                acc += va[r].conj() * vj[r];
-            }
-            *wa = acc;
+            let lim = if v2_is_upper_triangular {
+                (a + 1).min(rows)
+            } else {
+                rows
+            };
+            *wa = dot_conj(&va[..lim], &vj[..lim]);
         }
         for i in 0..j {
             let mut acc = T::ZERO;
-            for (a, &wa) in w.iter().enumerate().skip(i) {
+            for (a, &wa) in wcol[..j].iter().enumerate().skip(i) {
                 acc += t.get(i, a) * wa;
             }
             t.set(i, j, -taus[j] * acc);
@@ -283,7 +306,10 @@ mod tests {
         });
         // Q = I − V·T·Vᴴ ; A must equal Q·R
         let q = Matrix::<T>::identity(nb).sub(&v.matmul(&t.matmul(&v.conj_transpose())));
-        assert!(factorization_residual(&a0, &q, &r) < TOL, "GEQRT reconstruction failed");
+        assert!(
+            factorization_residual(&a0, &q, &r) < TOL,
+            "GEQRT reconstruction failed"
+        );
         assert!(orthogonality_residual(&q) < TOL, "GEQRT Q not unitary");
         assert!(t.is_upper_triangular(), "T factor not upper triangular");
     }
@@ -386,7 +412,10 @@ mod tests {
         assert!(r_new.is_upper_triangular());
         // The Householder block V2 stays upper triangular — that is what makes
         // the TT kernels cheap.
-        assert!(r2.is_upper_triangular(), "TTQRT V2 must stay upper triangular");
+        assert!(
+            r2.is_upper_triangular(),
+            "TTQRT V2 must stay upper triangular"
+        );
     }
 
     #[test]

@@ -151,6 +151,9 @@ mod tests {
     fn names_and_all_listing() {
         assert_eq!(KernelKind::ALL.len(), 6);
         let names: Vec<&str> = KernelKind::ALL.iter().map(|k| k.name()).collect();
-        assert_eq!(names, vec!["GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"]);
+        assert_eq!(
+            names,
+            vec!["GEQRT", "UNMQR", "TSQRT", "TSMQR", "TTQRT", "TTMQR"]
+        );
     }
 }

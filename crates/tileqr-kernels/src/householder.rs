@@ -30,7 +30,10 @@ pub fn larfg<T: Scalar<Real = f64>>(alpha: T, x: &mut [T]) -> Reflector<T> {
     let alpha_im_sqr = alpha.abs_sqr() - alpha.real() * alpha.real();
     if xnorm_sqr == 0.0 && alpha_im_sqr <= 0.0 {
         // Nothing to annihilate: H = I.
-        return Reflector { beta: alpha, tau: T::ZERO };
+        return Reflector {
+            beta: alpha,
+            tau: T::ZERO,
+        };
     }
     let alphr = alpha.real();
     let norm = (alpha.abs_sqr() + xnorm_sqr).sqrt();
@@ -95,6 +98,54 @@ pub fn larft<T: Scalar<Real = f64>>(v: &Matrix<T>, tau: &[T], t: &mut Matrix<T>)
     }
 }
 
+/// Builds the compact-WY `T` factor directly from a GEQRT-factored tile.
+///
+/// The Householder vectors live in the strictly lower part of `a` with an
+/// implicit unit diagonal (the upper triangle holds `R` and is ignored), so
+/// unlike [`larft`] no explicit `V` matrix needs to be materialized. `wcol`
+/// is caller-provided scratch of length ≥ `tau.len()` (one column of inner
+/// products); the routine performs no allocation.
+pub fn larft_from_tile<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    tau: &[T],
+    t: &mut Matrix<T>,
+    wcol: &mut [T],
+) {
+    let nb = a.rows();
+    let k = tau.len();
+    assert!(a.cols() >= k, "tile has fewer columns than reflectors");
+    assert!(t.rows() >= k && t.cols() >= k, "T factor too small");
+    assert!(wcol.len() >= k, "scratch column too short");
+    for j in 0..k {
+        for i in j..k {
+            t.set(i, j, T::ZERO);
+        }
+        if tau[j].is_zero() {
+            for i in 0..j {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        // w[i] = v_iᴴ · v_j for i < j, with v_i = e_i + a[i+1.., i]:
+        // rows < j contribute nothing (v_j is zero there except its unit at
+        // row j, where v_i holds a[j, i]).
+        let vj_tail = &a.col(j)[j + 1..nb];
+        for (i, wi) in wcol.iter_mut().enumerate().take(j) {
+            let vi = a.col(i);
+            *wi = vi[j].conj() + crate::blas::dot_conj(&vi[j + 1..nb], vj_tail);
+        }
+        // T(0..j, j) = −τ_j · T(0..j, 0..j) · w
+        for i in 0..j {
+            let mut acc = T::ZERO;
+            for (idx, &wa) in wcol[..j].iter().enumerate().skip(i) {
+                acc += t.get(i, idx) * wa;
+            }
+            t.set(i, j, -tau[j] * acc);
+        }
+        t.set(j, j, tau[j]);
+    }
+}
+
 /// Applies a single reflector `Hᴴ = (I − τ·v·vᴴ)ᴴ` to a dense matrix from the
 /// left, where `v = [1, tail...]` acts on rows `offset..offset+1+tail.len()`
 /// of `a`, restricted to columns `col_start..`.
@@ -141,17 +192,33 @@ mod tests {
         let mut tail_v = tail.clone();
         let refl = larfg(alpha, &mut tail_v);
         // v = [1, tail_v...]
-        let v: Vec<T> = std::iter::once(T::ONE).chain(tail_v.iter().copied()).collect();
+        let v: Vec<T> = std::iter::once(T::ONE)
+            .chain(tail_v.iter().copied())
+            .collect();
         // Hᴴ x = x − conj(τ)·v·(vᴴ x)
         let vhx: T = v.iter().zip(&x_orig).map(|(&vi, &xi)| vi.conj() * xi).sum();
         let s = refl.tau.conj() * vhx;
-        let hx: Vec<T> = x_orig.iter().zip(&v).map(|(&xi, &vi)| xi - vi * s).collect();
+        let hx: Vec<T> = x_orig
+            .iter()
+            .zip(&v)
+            .map(|(&xi, &vi)| xi - vi * s)
+            .collect();
         // first entry equals beta, the rest are (numerically) zero
-        assert!((hx[0] - refl.beta).abs() < 1e-12 * (1.0 + refl.beta.abs()), "leading entry {} != beta {}", hx[0], refl.beta);
+        assert!(
+            (hx[0] - refl.beta).abs() < 1e-12 * (1.0 + refl.beta.abs()),
+            "leading entry {} != beta {}",
+            hx[0],
+            refl.beta
+        );
         let tail_norm = vector_norm2(&hx[1..]);
-        assert!(tail_norm < 1e-12 * (1.0 + vector_norm2(&x_orig)), "tail not annihilated: {tail_norm}");
+        assert!(
+            tail_norm < 1e-12 * (1.0 + vector_norm2(&x_orig)),
+            "tail not annihilated: {tail_norm}"
+        );
         // norm preservation: |beta| = ‖x‖
-        assert!((refl.beta.abs() - vector_norm2(&x_orig)).abs() < 1e-12 * (1.0 + vector_norm2(&x_orig)));
+        assert!(
+            (refl.beta.abs() - vector_norm2(&x_orig)).abs() < 1e-12 * (1.0 + vector_norm2(&x_orig))
+        );
         // beta is real
         assert!((refl.beta - T::from_real(refl.beta.real())).abs() < 1e-14);
     }
@@ -167,7 +234,10 @@ mod tests {
 
     #[test]
     fn larfg_annihilates_complex_vectors() {
-        check_larfg(Complex64::new(1.0, -2.0), vec![Complex64::new(0.5, 0.5), Complex64::new(-1.0, 0.25)]);
+        check_larfg(
+            Complex64::new(1.0, -2.0),
+            vec![Complex64::new(0.5, 0.5), Complex64::new(-1.0, 0.25)],
+        );
         check_larfg(Complex64::new(0.0, 1.0), vec![Complex64::new(2.0, 0.0)]);
         let tail: Vec<Complex64> = random_vector(8, 7);
         check_larfg(Complex64::new(-0.3, 0.9), tail);
@@ -235,7 +305,10 @@ mod tests {
         c_blk = c_blk.sub(&v.matmul(&thw));
 
         let diff = frobenius_norm(&c_blk.sub(&c_seq));
-        assert!(diff < 1e-12, "blocked and sequential applications differ by {diff}");
+        assert!(
+            diff < 1e-12,
+            "blocked and sequential applications differ by {diff}"
+        );
         // T is upper triangular
         assert!(t.is_upper_triangular());
     }

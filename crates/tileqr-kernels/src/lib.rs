@@ -18,6 +18,36 @@
 //! so the same code serves the paper's *double* (`f64`) and *double complex*
 //! ([`Complex64`](tileqr_matrix::Complex64)) experiments.
 //!
+//! # Workspaces and the zero-allocation hot path
+//!
+//! Each kernel comes in two flavours:
+//!
+//! * an allocating entry point with the historical signature
+//!   ([`geqrt`], [`tsqrt`], [`ttqrt`], [`unmqr`], [`tsmqr`], [`ttmqr`]) that
+//!   builds a fresh [`Workspace`](workspace::Workspace) per call — convenient
+//!   for tests and one-off use, source-compatible with earlier releases;
+//! * a `*_ws` variant ([`factor::geqrt_ws`], [`apply::tsmqr_ws`], …) taking a
+//!   caller-provided [`Workspace`](workspace::Workspace) and performing
+//!   **zero heap allocations**. The runtime (`tileqr-runtime`) gives every
+//!   worker thread its own workspace, so none of the `O(p·q²)` tasks of a
+//!   factorization touches the allocator.
+//!
+//! # Blocked compact-WY updates
+//!
+//! The update kernels apply `Q = I − V·T·Vᴴ` with the `larfb`/`tpmqrt`
+//! panel scheme: the target tile(s) are walked in contiguous column panels,
+//! each staged through the workspace's `W` buffer as
+//!
+//! ```text
+//! W := VᴴC,   W := op(T)·W,   C := C − V·W,
+//! ```
+//!
+//! with every reduction running through a four-accumulator dot product
+//! ([`blas::dot_conj`]) so the floating-point units are not serialized on the
+//! add-latency chain of a naive accumulation. The structured shapes (unit
+//! lower `V` for UNMQR, dense `V2` for TSMQR, upper-triangular `V2` for
+//! TTMQR) each have specialized window helpers in [`blas`].
+//!
 //! The crate also provides a reference unblocked Householder QR on dense
 //! matrices ([`reference`]) used to validate the tiled factorizations, and
 //! flop counters ([`flops`]) used by the benchmark harness to report GFLOP/s.
@@ -30,6 +60,8 @@ pub mod factor;
 pub mod flops;
 pub mod householder;
 pub mod reference;
+pub mod workspace;
 
-pub use apply::{tsmqr, ttmqr, unmqr, Trans};
-pub use factor::{geqrt, tsqrt, ttqrt};
+pub use apply::{tsmqr, tsmqr_ws, ttmqr, ttmqr_ws, unmqr, unmqr_ws, Trans};
+pub use factor::{geqrt, geqrt_ws, tsqrt, tsqrt_ws, ttqrt, ttqrt_ws};
+pub use workspace::Workspace;

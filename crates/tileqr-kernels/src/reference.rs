@@ -83,7 +83,11 @@ fn apply_h_left<T: Scalar<Real = f64>>(a: &mut Matrix<T>, offset: usize, tail: &
 /// length `n`.
 pub fn least_squares_reference<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &[T]) -> Vec<T> {
     let (m, n) = a.shape();
-    assert_eq!(b.len(), m, "right-hand side length must equal the row count");
+    assert_eq!(
+        b.len(),
+        m,
+        "right-hand side length must equal the row count"
+    );
     let DenseQr { q, r } = householder_qr(a);
     // x = R⁻¹ · Qᴴ b
     let qh = q.conj_transpose();
@@ -175,7 +179,10 @@ mod tests {
         }
         for j in 0..3 {
             let dot: f64 = (0..10).map(|i| a.get(i, j) * r[i]).sum();
-            assert!(dot.abs() < 1e-12, "column {j} not orthogonal to residual: {dot}");
+            assert!(
+                dot.abs() < 1e-12,
+                "column {j} not orthogonal to residual: {dot}"
+            );
         }
     }
 }

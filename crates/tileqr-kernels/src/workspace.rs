@@ -1,0 +1,111 @@
+//! Preallocated scratch space for the tile kernels.
+//!
+//! Every kernel of this crate needs a small amount of scratch: the
+//! Householder scalars `τ`, the reflector tail being generated, one column of
+//! inner products while building the `T` factor, and — for the blocked
+//! compact-WY updates — the `nb × nb` staging panel `W` of the
+//! `larfb`-style application
+//!
+//! ```text
+//! W := VᴴC,   W := op(T)·W,   C := C − V·W.
+//! ```
+//!
+//! The original (seed) kernels allocated all of this on every call, i.e. on
+//! every one of the `O(p·q²)` tasks of a factorization. A [`Workspace`] is
+//! allocated **once** (per worker thread, in the runtime) and reused by every
+//! kernel invocation, so the hot path performs zero heap allocations.
+//!
+//! Sizing: a workspace built with [`Workspace::new`]`(nb)` serves every
+//! kernel on `nb × nb` tiles. Each `*_ws` kernel asserts that the workspace
+//! is large enough, and the allocating wrappers ([`crate::geqrt`] & co.)
+//! simply build a fresh workspace per call, which keeps the original public
+//! API source-compatible.
+
+use tileqr_matrix::{Matrix, Scalar};
+
+/// Reusable scratch arena for the tile kernels, sized once from the tile
+/// order `nb`.
+#[derive(Clone, Debug)]
+pub struct Workspace<T: Scalar> {
+    nb: usize,
+    /// Householder scalars `τ_j`, one per reflector of the current panel.
+    pub(crate) tau: Vec<T>,
+    /// Tail of the reflector currently being generated.
+    pub(crate) tail: Vec<T>,
+    /// One column of inner products while accumulating the `T` factor.
+    pub(crate) wcol: Vec<T>,
+    /// `nb × nb` staging panel `W` for the blocked compact-WY updates.
+    pub(crate) w: Matrix<T>,
+}
+
+impl<T: Scalar> Workspace<T> {
+    /// Allocates a workspace serving all six kernels on `nb × nb` tiles.
+    pub fn new(nb: usize) -> Self {
+        Workspace {
+            nb,
+            tau: vec![T::ZERO; nb],
+            tail: vec![T::ZERO; nb],
+            wcol: vec![T::ZERO; nb],
+            w: Matrix::zeros(nb, nb),
+        }
+    }
+
+    /// Tile order this workspace was sized for.
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Grows the workspace if it is smaller than `nb` (no-op otherwise).
+    /// Useful when one worker serves factorizations with different tile
+    /// sizes.
+    pub fn ensure(&mut self, nb: usize) {
+        if nb > self.nb {
+            *self = Workspace::new(nb);
+        }
+    }
+
+    /// Asserts (in debug and release) that the workspace can serve tiles of
+    /// order `nb`.
+    #[inline]
+    pub(crate) fn require(&self, nb: usize) {
+        assert!(
+            self.nb >= nb,
+            "workspace sized for nb={} cannot serve an nb={} tile; call Workspace::ensure",
+            self.nb,
+            nb
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_is_sized_from_nb() {
+        let ws: Workspace<f64> = Workspace::new(8);
+        assert_eq!(ws.nb(), 8);
+        assert_eq!(ws.tau.len(), 8);
+        assert_eq!(ws.tail.len(), 8);
+        assert_eq!(ws.wcol.len(), 8);
+        assert_eq!(ws.w.shape(), (8, 8));
+    }
+
+    #[test]
+    fn ensure_grows_but_never_shrinks() {
+        let mut ws: Workspace<f64> = Workspace::new(4);
+        ws.ensure(2);
+        assert_eq!(ws.nb(), 4);
+        ws.ensure(16);
+        assert_eq!(ws.nb(), 16);
+        assert_eq!(ws.w.shape(), (16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace sized for nb=4")]
+    fn require_rejects_oversized_tiles() {
+        let ws: Workspace<f64> = Workspace::new(4);
+        ws.require(8);
+    }
+}

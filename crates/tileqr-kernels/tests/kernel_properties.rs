@@ -1,10 +1,8 @@
-//! Property-based tests of the sequential tile kernels: for random tile
-//! sizes and random contents, every factorization kernel must produce an
-//! exact-in-precision QR factorization of its stacked input, and every update
-//! kernel must apply the very transformation its factorization kernel
-//! computed.
+//! Property tests of the sequential tile kernels: for a sweep of tile sizes
+//! and seeds, every factorization kernel must produce an exact-in-precision
+//! QR factorization of its stacked input, and every update kernel must apply
+//! the very transformation its factorization kernel computed.
 
-use proptest::prelude::*;
 use tileqr_kernels::reference::householder_qr;
 use tileqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
 use tileqr_matrix::generate::random_matrix;
@@ -12,6 +10,18 @@ use tileqr_matrix::norms::{frobenius_norm, orthogonality_residual};
 use tileqr_matrix::{Complex64, Matrix, Scalar};
 
 const TOL: f64 = 1e-11;
+
+/// The (nb, seed) sweep standing in for the original proptest strategies.
+fn cases(max_nb: usize) -> Vec<(usize, u64)> {
+    let sizes = [1usize, 2, 3, 4, 5, 7, 8, 11, 12, 16, 24];
+    let mut out = Vec::new();
+    for &nb in sizes.iter().filter(|&&nb| nb <= max_nb) {
+        for seed in 0..3u64 {
+            out.push((nb, 9973 * nb as u64 + seed));
+        }
+    }
+    out
+}
 
 /// Explicit 2nb × 2nb Q for a TS/TT block reflector with bottom block V2.
 fn explicit_q_stacked<T: Scalar<Real = f64>>(v2: &Matrix<T>, t: &Matrix<T>) -> Matrix<T> {
@@ -32,28 +42,42 @@ fn stack<T: Scalar<Real = f64>>(top: &Matrix<T>, bottom: &Matrix<T>) -> Matrix<T
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn geqrt_is_a_qr_factorization(nb in 1usize..=24, seed in 0u64..10_000) {
+#[test]
+fn geqrt_is_a_qr_factorization() {
+    for (nb, seed) in cases(24) {
         let a0: Matrix<f64> = random_matrix(nb, nb, seed);
         let mut a = a0.clone();
         let mut t = Matrix::zeros(nb, nb);
         geqrt(&mut a, &mut t);
         let mut r = a.clone();
         r.zero_below_diagonal();
-        let v = Matrix::from_fn(nb, nb, |i, j| if i == j { 1.0 } else if i > j { a.get(i, j) } else { 0.0 });
+        let v = Matrix::from_fn(nb, nb, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                a.get(i, j)
+            } else {
+                0.0
+            }
+        });
         let q = Matrix::<f64>::identity(nb).sub(&v.matmul(&t.matmul(&v.conj_transpose())));
-        prop_assert!(orthogonality_residual(&q) < TOL);
-        prop_assert!(frobenius_norm(&q.matmul(&r).sub(&a0)) < TOL * (1.0 + frobenius_norm(&a0)));
+        assert!(orthogonality_residual(&q) < TOL, "nb={nb} seed={seed}");
+        assert!(
+            frobenius_norm(&q.matmul(&r).sub(&a0)) < TOL * (1.0 + frobenius_norm(&a0)),
+            "nb={nb} seed={seed}"
+        );
         // R agrees with the unblocked reference (same sign convention)
         let reference = householder_qr(&a0);
-        prop_assert!(frobenius_norm(&r.sub(&reference.r)) < 1e-9 * (1.0 + frobenius_norm(&reference.r)));
+        assert!(
+            frobenius_norm(&r.sub(&reference.r)) < 1e-9 * (1.0 + frobenius_norm(&reference.r)),
+            "nb={nb} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn tsqrt_and_tsmqr_are_consistent(nb in 1usize..=16, seed in 0u64..10_000) {
+#[test]
+fn tsqrt_and_tsmqr_are_consistent() {
+    for (nb, seed) in cases(16) {
         let mut r1: Matrix<Complex64> = random_matrix(nb, nb, seed);
         r1.zero_below_diagonal();
         let a2: Matrix<Complex64> = random_matrix(nb, nb, seed + 1);
@@ -67,10 +91,13 @@ proptest! {
 
         // the block reflector is unitary and reproduces the stacked input
         let q = explicit_q_stacked(&v2, &t);
-        prop_assert!(orthogonality_residual(&q) < TOL);
+        assert!(orthogonality_residual(&q) < TOL, "nb={nb} seed={seed}");
         let mut rz = Matrix::zeros(2 * nb, nb);
         rz.copy_block(0, 0, &r_new, 0, 0, nb, nb);
-        prop_assert!(frobenius_norm(&q.matmul(&rz).sub(&stacked)) < TOL * (1.0 + frobenius_norm(&stacked)));
+        assert!(
+            frobenius_norm(&q.matmul(&rz).sub(&stacked)) < TOL * (1.0 + frobenius_norm(&stacked)),
+            "nb={nb} seed={seed}"
+        );
 
         // TSMQR applies exactly Qᴴ to an independent tile pair
         let c1: Matrix<Complex64> = random_matrix(nb, nb, seed + 2);
@@ -79,11 +106,17 @@ proptest! {
         let mut u2 = c2.clone();
         tsmqr(&v2, &t, &mut u1, &mut u2, Trans::ConjTrans);
         let expected = q.conj_transpose().matmul(&stack(&c1, &c2));
-        prop_assert!(frobenius_norm(&stack(&u1, &u2).sub(&expected)) < TOL * (1.0 + frobenius_norm(&expected)));
+        assert!(
+            frobenius_norm(&stack(&u1, &u2).sub(&expected))
+                < TOL * (1.0 + frobenius_norm(&expected)),
+            "nb={nb} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn ttqrt_and_ttmqr_are_consistent(nb in 1usize..=16, seed in 0u64..10_000) {
+#[test]
+fn ttqrt_and_ttmqr_are_consistent() {
+    for (nb, seed) in cases(16) {
         let mut r1: Matrix<f64> = random_matrix(nb, nb, seed);
         r1.zero_below_diagonal();
         let mut r2: Matrix<f64> = random_matrix(nb, nb, seed + 1);
@@ -97,13 +130,16 @@ proptest! {
         r_new.zero_below_diagonal();
         // the Householder block stays upper triangular — the property that
         // makes the TT kernels cheap
-        prop_assert!(v2.is_upper_triangular());
+        assert!(v2.is_upper_triangular(), "nb={nb} seed={seed}");
 
         let q = explicit_q_stacked(&v2, &t);
-        prop_assert!(orthogonality_residual(&q) < TOL);
+        assert!(orthogonality_residual(&q) < TOL, "nb={nb} seed={seed}");
         let mut rz = Matrix::zeros(2 * nb, nb);
         rz.copy_block(0, 0, &r_new, 0, 0, nb, nb);
-        prop_assert!(frobenius_norm(&q.matmul(&rz).sub(&stacked)) < TOL * (1.0 + frobenius_norm(&stacked)));
+        assert!(
+            frobenius_norm(&q.matmul(&rz).sub(&stacked)) < TOL * (1.0 + frobenius_norm(&stacked)),
+            "nb={nb} seed={seed}"
+        );
 
         let c1: Matrix<f64> = random_matrix(nb, nb, seed + 2);
         let c2: Matrix<f64> = random_matrix(nb, nb, seed + 3);
@@ -111,11 +147,17 @@ proptest! {
         let mut u2 = c2.clone();
         ttmqr(&v2, &t, &mut u1, &mut u2, Trans::ConjTrans);
         let expected = q.conj_transpose().matmul(&stack(&c1, &c2));
-        prop_assert!(frobenius_norm(&stack(&u1, &u2).sub(&expected)) < TOL * (1.0 + frobenius_norm(&expected)));
+        assert!(
+            frobenius_norm(&stack(&u1, &u2).sub(&expected))
+                < TOL * (1.0 + frobenius_norm(&expected)),
+            "nb={nb} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn unmqr_roundtrip_and_norm_preservation(nb in 1usize..=24, seed in 0u64..10_000) {
+#[test]
+fn unmqr_roundtrip_and_norm_preservation() {
+    for (nb, seed) in cases(24) {
         let mut a: Matrix<Complex64> = random_matrix(nb, nb, seed);
         let mut t = Matrix::zeros(nb, nb);
         geqrt(&mut a, &mut t);
@@ -123,8 +165,14 @@ proptest! {
         let mut c = c0.clone();
         unmqr(&a, &t, &mut c, Trans::ConjTrans);
         // unitary application preserves the Frobenius norm
-        prop_assert!((frobenius_norm(&c) - frobenius_norm(&c0)).abs() < TOL * (1.0 + frobenius_norm(&c0)));
+        assert!(
+            (frobenius_norm(&c) - frobenius_norm(&c0)).abs() < TOL * (1.0 + frobenius_norm(&c0)),
+            "nb={nb} seed={seed}"
+        );
         unmqr(&a, &t, &mut c, Trans::NoTrans);
-        prop_assert!(frobenius_norm(&c.sub(&c0)) < TOL * (1.0 + frobenius_norm(&c0)));
+        assert!(
+            frobenius_norm(&c.sub(&c0)) < TOL * (1.0 + frobenius_norm(&c0)),
+            "nb={nb} seed={seed}"
+        );
     }
 }

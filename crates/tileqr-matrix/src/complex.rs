@@ -42,7 +42,10 @@ impl Complex64 {
     /// Complex conjugate `re - im·i`.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `re² + im²`.
@@ -65,18 +68,27 @@ impl Complex64 {
         if self.re.abs() >= self.im.abs() {
             let r = self.im / self.re;
             let d = self.re + self.im * r;
-            Complex64 { re: 1.0 / d, im: -r / d }
+            Complex64 {
+                re: 1.0 / d,
+                im: -r / d,
+            }
         } else {
             let r = self.re / self.im;
             let d = self.re * r + self.im;
-            Complex64 { re: r / d, im: -1.0 / d }
+            Complex64 {
+                re: r / d,
+                im: -1.0 / d,
+            }
         }
     }
 
     /// Scales by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// Returns true if either component is NaN.
@@ -119,7 +131,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline]
     fn add(self, rhs: Self) -> Self {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -127,7 +142,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline]
     fn sub(self, rhs: Self) -> Self {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -145,6 +163,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w computed as z · w⁻¹
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -154,7 +173,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline]
     fn neg(self) -> Self {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -259,7 +281,11 @@ mod tests {
 
     #[test]
     fn sum_and_scale() {
-        let v = vec![Complex64::new(1.0, 1.0), Complex64::new(2.0, -3.0), Complex64::new(-0.5, 0.5)];
+        let v = vec![
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -3.0),
+            Complex64::new(-0.5, 0.5),
+        ];
         let s: Complex64 = v.into_iter().sum();
         assert!(close(s, Complex64::new(2.5, -1.5)));
         assert!(close(s.scale(2.0), Complex64::new(5.0, -3.0)));

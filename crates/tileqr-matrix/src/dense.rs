@@ -22,7 +22,11 @@ pub struct Matrix<T: Scalar> {
 impl<T: Scalar> Matrix<T> {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -50,7 +54,11 @@ impl<T: Scalar> Matrix<T> {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_col_major(rows: usize, cols: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -113,6 +121,7 @@ impl<T: Scalar> Matrix<T> {
 
     /// Copies the rectangular block of `src` starting at `(src_i, src_j)` with
     /// size `bi × bj` into `self` at `(dst_i, dst_j)`.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS block-copy signature
     pub fn copy_block(
         &mut self,
         dst_i: usize,
@@ -123,8 +132,14 @@ impl<T: Scalar> Matrix<T> {
         bi: usize,
         bj: usize,
     ) {
-        assert!(dst_i + bi <= self.rows && dst_j + bj <= self.cols, "destination block out of bounds");
-        assert!(src_i + bi <= src.rows && src_j + bj <= src.cols, "source block out of bounds");
+        assert!(
+            dst_i + bi <= self.rows && dst_j + bj <= self.cols,
+            "destination block out of bounds"
+        );
+        assert!(
+            src_i + bi <= src.rows && src_j + bj <= src.cols,
+            "source block out of bounds"
+        );
         for j in 0..bj {
             for i in 0..bi {
                 let v = src.get(src_i + i, src_j + j);
@@ -173,21 +188,43 @@ impl<T: Scalar> Matrix<T> {
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(self.shape(), rhs.shape(), "shapes must agree");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise sum `self + rhs`.
     pub fn add(&self, rhs: &Matrix<T>) -> Matrix<T> {
         assert_eq!(self.shape(), rhs.shape(), "shapes must agree");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scales every entry by `alpha`.
     pub fn scaled(&self, alpha: T) -> Matrix<T> {
         let data = self.data.iter().map(|&a| a * alpha).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// True if every entry strictly below the main diagonal is (exactly) zero.
@@ -258,7 +295,12 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[j * self.rows + i]
     }
 }
@@ -266,7 +308,12 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[j * self.rows + i]
     }
 }

@@ -4,35 +4,33 @@
 //! few structured) matrices. Generators take an explicit seed so every
 //! experiment in `EXPERIMENTS.md` can be re-run bit-for-bit.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::complex::Complex64;
 use crate::dense::Matrix;
+use crate::rng::Rng;
 use crate::scalar::Scalar;
 
 /// Types that can be drawn uniformly from `[-1, 1]` (per real component).
 pub trait RandomScalar: Scalar<Real = f64> {
     /// Draws one random value from the generator.
-    fn sample<R: Rng>(rng: &mut R) -> Self;
+    fn sample(rng: &mut Rng) -> Self;
 }
 
 impl RandomScalar for f64 {
-    fn sample<R: Rng>(rng: &mut R) -> Self {
-        rng.gen_range(-1.0..=1.0)
+    fn sample(rng: &mut Rng) -> Self {
+        rng.unit_symmetric()
     }
 }
 
 impl RandomScalar for Complex64 {
-    fn sample<R: Rng>(rng: &mut R) -> Self {
-        Complex64::new(rng.gen_range(-1.0..=1.0), rng.gen_range(-1.0..=1.0))
+    fn sample(rng: &mut Rng) -> Self {
+        Complex64::new(rng.unit_symmetric(), rng.unit_symmetric())
     }
 }
 
 /// Uniformly random `rows × cols` matrix with entries in `[-1, 1]`
 /// (independently per real component), seeded for reproducibility.
 pub fn random_matrix<T: RandomScalar>(rows: usize, cols: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| T::sample(&mut rng))
 }
 
@@ -40,7 +38,7 @@ pub fn random_matrix<T: RandomScalar>(rows: usize, cols: usize, seed: u64) -> Ma
 /// (diagonal entries bounded away from zero). Used to build matrices with a
 /// known R factor and by the TTQRT/TSQRT kernel tests.
 pub fn random_upper_triangular<T: RandomScalar>(n: usize, seed: u64) -> Matrix<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Matrix::from_fn(n, n, |i, j| {
         if i < j {
             T::sample(&mut rng)
@@ -58,7 +56,7 @@ pub fn random_upper_triangular<T: RandomScalar>(n: usize, seed: u64) -> Matrix<T
 
 /// Random right-hand side vector of length `n`.
 pub fn random_vector<T: RandomScalar>(n: usize, seed: u64) -> Vec<T> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n).map(|_| T::sample(&mut rng)).collect()
 }
 
@@ -66,7 +64,9 @@ pub fn random_vector<T: RandomScalar>(n: usize, seed: u64) -> Vec<T> {
 /// handy for debugging layout code because every entry is distinct and
 /// human-readable.
 pub fn counting_matrix<T: Scalar<Real = f64>>(rows: usize, cols: usize) -> Matrix<T> {
-    Matrix::from_fn(rows, cols, |i, j| T::from_real((i + 1) as f64 + (j + 1) as f64 / 1000.0))
+    Matrix::from_fn(rows, cols, |i, j| {
+        T::from_real((i + 1) as f64 + (j + 1) as f64 / 1000.0)
+    })
 }
 
 /// An ill-conditioned Vandermonde-like tall matrix used by the least-squares
@@ -105,7 +105,11 @@ mod tests {
         let r: Matrix<f64> = random_upper_triangular(10, 3);
         assert!(r.is_upper_triangular());
         for i in 0..10 {
-            assert!(r.get(i, i).abs() >= 1.0, "diagonal too small: {}", r.get(i, i));
+            assert!(
+                r.get(i, i).abs() >= 1.0,
+                "diagonal too small: {}",
+                r.get(i, i)
+            );
         }
     }
 

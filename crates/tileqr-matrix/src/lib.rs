@@ -24,6 +24,7 @@ pub mod complex;
 pub mod dense;
 pub mod generate;
 pub mod norms;
+pub mod rng;
 pub mod scalar;
 pub mod tiled;
 

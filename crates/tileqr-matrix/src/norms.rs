@@ -41,7 +41,11 @@ pub fn inf_norm<T: Scalar<Real = f64>>(a: &Matrix<T>) -> f64 {
 ///
 /// A backward-stable QR factorization keeps this at a small multiple of
 /// machine epsilon (times a slowly growing function of the dimensions).
-pub fn factorization_residual<T: Scalar<Real = f64>>(a: &Matrix<T>, q: &Matrix<T>, r: &Matrix<T>) -> f64 {
+pub fn factorization_residual<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    q: &Matrix<T>,
+    r: &Matrix<T>,
+) -> f64 {
     let qr = q.matmul(r);
     let diff = a.sub(&qr);
     let na = frobenius_norm(a);

@@ -16,7 +16,14 @@ use crate::complex::Complex64;
 /// it is always `f64`, but keeping it as an associated type makes the kernel
 /// code read like the mathematics (norms are real, elements may be complex).
 pub trait RealScalar:
-    Copy + Debug + Display + PartialOrd + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+    Copy
+    + Debug
+    + Display
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
 {
     /// Additive identity.
     const ZERO: Self;
@@ -195,6 +202,7 @@ impl Scalar for Complex64 {
 mod tests {
     use super::*;
 
+    #[allow(clippy::eq_op)] // x - x == 0 is exactly the identity under test
     fn generic_field_checks<T: Scalar<Real = f64>>(x: T, y: T) {
         // basic field identities available through the trait surface
         assert_eq!(x + T::ZERO, x);

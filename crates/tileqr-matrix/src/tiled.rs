@@ -58,8 +58,20 @@ impl<T: Scalar> TiledMatrix<T> {
     /// Panics if `a.rows()` or `a.cols()` is not a multiple of `nb`.
     pub fn from_dense(a: &Matrix<T>, nb: usize) -> Self {
         assert!(nb > 0, "tile size must be positive");
-        assert_eq!(a.rows() % nb, 0, "row count {} not a multiple of nb={}", a.rows(), nb);
-        assert_eq!(a.cols() % nb, 0, "column count {} not a multiple of nb={}", a.cols(), nb);
+        assert_eq!(
+            a.rows() % nb,
+            0,
+            "row count {} not a multiple of nb={}",
+            a.rows(),
+            nb
+        );
+        assert_eq!(
+            a.cols() % nb,
+            0,
+            "column count {} not a multiple of nb={}",
+            a.cols(),
+            nb
+        );
         let p = a.rows() / nb;
         let q = a.cols() / nb;
         let mut t = TiledMatrix::zeros(p, q, nb);
@@ -98,7 +110,15 @@ impl<T: Scalar> TiledMatrix<T> {
         let mut a = Matrix::zeros(self.p * self.nb, self.q * self.nb);
         for j in 0..self.q {
             for i in 0..self.p {
-                a.copy_block(i * self.nb, j * self.nb, self.tile(i, j), 0, 0, self.nb, self.nb);
+                a.copy_block(
+                    i * self.nb,
+                    j * self.nb,
+                    self.tile(i, j),
+                    0,
+                    0,
+                    self.nb,
+                    self.nb,
+                );
             }
         }
         a
@@ -137,15 +157,51 @@ impl<T: Scalar> TiledMatrix<T> {
     /// Immutable access to tile `(i, j)`.
     #[inline]
     pub fn tile(&self, i: usize, j: usize) -> &Matrix<T> {
-        assert!(i < self.p && j < self.q, "tile ({i},{j}) out of bounds for {}x{} tiles", self.p, self.q);
+        assert!(
+            i < self.p && j < self.q,
+            "tile ({i},{j}) out of bounds for {}x{} tiles",
+            self.p,
+            self.q
+        );
         &self.tiles[j * self.p + i]
     }
 
     /// Mutable access to tile `(i, j)`.
     #[inline]
     pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut Matrix<T> {
-        assert!(i < self.p && j < self.q, "tile ({i},{j}) out of bounds for {}x{} tiles", self.p, self.q);
+        assert!(
+            i < self.p && j < self.q,
+            "tile ({i},{j}) out of bounds for {}x{} tiles",
+            self.p,
+            self.q
+        );
         &mut self.tiles[j * self.p + i]
+    }
+
+    /// Mutable access to two *distinct* tiles at once, in the order
+    /// requested. Used by the runtime's update kernels (TSMQR/TTMQR), which
+    /// rewrite a pivot-row tile and an eliminated-row tile in one call
+    /// without cloning either.
+    ///
+    /// # Panics
+    /// Panics if the two coordinates are equal or out of bounds.
+    pub fn tile_pair_mut(
+        &mut self,
+        (i1, j1): (usize, usize),
+        (i2, j2): (usize, usize),
+    ) -> (&mut Matrix<T>, &mut Matrix<T>) {
+        assert!(i1 < self.p && j1 < self.q, "tile ({i1},{j1}) out of bounds");
+        assert!(i2 < self.p && j2 < self.q, "tile ({i2},{j2}) out of bounds");
+        let a = j1 * self.p + i1;
+        let b = j2 * self.p + i2;
+        assert_ne!(a, b, "tile_pair_mut requires distinct tiles");
+        if a < b {
+            let (lo, hi) = self.tiles.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.tiles.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
     }
 
     /// Replaces tile `(i, j)` wholesale.
@@ -174,7 +230,8 @@ impl<T: Scalar> TiledMatrix<T> {
     /// Element access through the tile structure (mainly for tests).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
-        self.tile(i / self.nb, j / self.nb).get(i % self.nb, j % self.nb)
+        self.tile(i / self.nb, j / self.nb)
+            .get(i % self.nb, j % self.nb)
     }
 
     /// Element update through the tile structure (mainly for tests).
@@ -256,6 +313,28 @@ mod tests {
         let rebuilt = TiledMatrix::from_tiles(tiles, p, q, nb);
         assert_eq!(rebuilt, copy);
         assert_eq!(rebuilt.to_dense(), a);
+    }
+
+    #[test]
+    fn tile_pair_mut_returns_distinct_tiles_in_request_order() {
+        let a = counting_matrix::<f64>(6, 4);
+        let mut t = TiledMatrix::from_dense(&a, 2);
+        let (x, y) = t.tile_pair_mut((0, 1), (2, 0));
+        x.set(0, 0, -1.0);
+        y.set(1, 1, -2.0);
+        assert_eq!(t.tile(0, 1).get(0, 0), -1.0);
+        assert_eq!(t.tile(2, 0).get(1, 1), -2.0);
+        // reversed order too
+        let (x, y) = t.tile_pair_mut((2, 0), (0, 1));
+        assert_eq!(y.get(0, 0), -1.0);
+        assert_eq!(x.get(1, 1), -2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tiles")]
+    fn tile_pair_mut_rejects_aliasing() {
+        let mut t = TiledMatrix::<f64>::zeros(2, 2, 2);
+        let _ = t.tile_pair_mut((1, 1), (1, 1));
     }
 
     #[test]

@@ -12,10 +12,10 @@ use tileqr_core::algorithms::Algorithm;
 use tileqr_core::dag::{KernelFamily, TaskDag};
 use tileqr_core::sim::simulate_grasap;
 use tileqr_core::{EliminationList, TaskKind};
-use tileqr_kernels::{tsmqr, ttmqr, unmqr, Trans};
+use tileqr_kernels::{tsmqr_ws, ttmqr_ws, unmqr_ws, Trans, Workspace};
 use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
-use crate::executor::{execute_parallel, execute_sequential};
+use crate::executor::{execute_parallel_with, execute_sequential_with};
 use crate::state::FactorizationState;
 
 /// Configuration of a tiled QR factorization run.
@@ -34,7 +34,12 @@ pub struct QrConfig {
 impl QrConfig {
     /// A sensible default: Greedy reduction tree, TT kernels, sequential.
     pub fn new(tile_size: usize) -> Self {
-        QrConfig { tile_size, algorithm: Algorithm::Greedy, family: KernelFamily::TT, threads: 1 }
+        QrConfig {
+            tile_size,
+            algorithm: Algorithm::Greedy,
+            family: KernelFamily::TT,
+            threads: 1,
+        }
     }
 
     /// Sets the algorithm.
@@ -108,18 +113,20 @@ pub fn qr_factorize_traced<T: Scalar<Real = f64>>(
     config: QrConfig,
 ) -> (QrFactorization<T>, crate::trace::ExecutionTrace) {
     let trace = crate::trace::ExecutionTrace::new();
-    let f = factorize_with(a, config, |state, task| trace.record(task, || state.run(task)));
+    let f = factorize_with(a, config, |state, task, ws| {
+        trace.record(task, || state.run_ws(task, ws))
+    });
     (f, trace)
 }
 
 fn factorize_impl<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrFactorization<T> {
-    factorize_with(a, config, |state, task| state.run(task))
+    factorize_with(a, config, |state, task, ws| state.run_ws(task, ws))
 }
 
 fn factorize_with<T, F>(a: &Matrix<T>, config: QrConfig, run: F) -> QrFactorization<T>
 where
     T: Scalar<Real = f64>,
-    F: Fn(&FactorizationState<T>, tileqr_core::TaskKind) + Sync,
+    F: Fn(&FactorizationState<T>, tileqr_core::TaskKind, &mut Workspace<T>) + Sync,
 {
     let (m, n) = a.shape();
     assert!(m >= n, "tiled QR requires a tall or square matrix (m ≥ n)");
@@ -129,14 +136,31 @@ where
     let list = elimination_list_for(config.algorithm, p, q);
     let dag = TaskDag::build(&list, config.family);
 
+    // Per-worker scratch: the sequential path reuses a single workspace, the
+    // parallel path builds one per worker thread. Either way, no task on the
+    // hot path allocates.
     let state = FactorizationState::new(tiled);
     if config.threads <= 1 {
-        execute_sequential(&dag, |task| run(&state, task));
+        let mut ws = Workspace::new(config.tile_size);
+        execute_sequential_with(&dag, &mut ws, |task, ws| run(&state, task, ws));
     } else {
-        execute_parallel(&dag, config.threads, |task| run(&state, task));
+        execute_parallel_with(
+            &dag,
+            config.threads,
+            || Workspace::new(config.tile_size),
+            |task, ws| run(&state, task, ws),
+        );
     }
     let (tiles, t_geqrt, t_elim) = state.into_parts();
-    QrFactorization { m, n, tile_size: config.tile_size, tiles, t_geqrt, t_elim, dag }
+    QrFactorization {
+        m,
+        n,
+        tile_size: config.tile_size,
+        tiles,
+        t_geqrt,
+        t_elim,
+        dag,
+    }
 }
 
 impl<T: Scalar<Real = f64>> QrFactorization<T> {
@@ -234,37 +258,39 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
             .tasks
             .iter()
             .map(|t| t.kind)
-            .filter(|k| matches!(k, TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }))
+            .filter(|k| {
+                matches!(
+                    k,
+                    TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }
+                )
+            })
             .collect();
 
-        let apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
+        // One workspace serves the whole replay; the tile pairs are updated
+        // in place (no per-task clones).
+        let mut ws = Workspace::new(nb);
+        let mut apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
             TaskKind::Geqrt { row, col } => {
                 let v = self.tiles.tile(row, col);
                 let t = self.t_geqrt_of(row, col);
                 for jb in 0..qb {
-                    unmqr(v, t, bt.tile_mut(row, jb), trans);
+                    unmqr_ws(v, t, bt.tile_mut(row, jb), trans, &mut ws);
                 }
             }
             TaskKind::Tsqrt { row, piv, col } => {
                 let v2 = self.tiles.tile(row, col);
                 let t = self.t_elim_of(row, col);
                 for jb in 0..qb {
-                    let mut c1 = bt.tile(piv, jb).clone();
-                    let mut c2 = bt.tile(row, jb).clone();
-                    tsmqr(v2, t, &mut c1, &mut c2, trans);
-                    bt.set_tile(piv, jb, c1);
-                    bt.set_tile(row, jb, c2);
+                    let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
+                    tsmqr_ws(v2, t, c1, c2, trans, &mut ws);
                 }
             }
             TaskKind::Ttqrt { row, piv, col } => {
                 let v2 = self.tiles.tile(row, col);
                 let t = self.t_elim_of(row, col);
                 for jb in 0..qb {
-                    let mut c1 = bt.tile(piv, jb).clone();
-                    let mut c2 = bt.tile(row, jb).clone();
-                    ttmqr(v2, t, &mut c1, &mut c2, trans);
-                    bt.set_tile(piv, jb, c1);
-                    bt.set_tile(row, jb, c2);
+                    let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
+                    ttmqr_ws(v2, t, c1, c2, trans, &mut ws);
                 }
             }
             _ => unreachable!("only factor tasks are replayed"),
@@ -297,11 +323,21 @@ mod tests {
 
     const TOL: f64 = 1e-11;
 
-    fn check_factorization<T: RandomScalar>(m: usize, n: usize, nb: usize, config: QrConfig, seed: u64) {
+    fn check_factorization<T: RandomScalar>(
+        m: usize,
+        n: usize,
+        nb: usize,
+        config: QrConfig,
+        seed: u64,
+    ) {
         let a: Matrix<T> = random_matrix(m, n, seed);
         let f = qr_factorize(&a, config);
         let r = f.r();
-        assert!(r.is_upper_triangular(), "R not triangular for {}", config.algorithm.name());
+        assert!(
+            r.is_upper_triangular(),
+            "R not triangular for {}",
+            config.algorithm.name()
+        );
         assert!(
             f.residual(&a) < TOL,
             "residual too large for {} ({}x{}, nb={nb}): {}",
@@ -310,7 +346,11 @@ mod tests {
             n,
             f.residual(&a)
         );
-        assert!(f.orthogonality() < TOL, "Q not orthogonal for {}", config.algorithm.name());
+        assert!(
+            f.orthogonality() < TOL,
+            "Q not orthogonal for {}",
+            config.algorithm.name()
+        );
     }
 
     #[test]
@@ -381,7 +421,10 @@ mod tests {
         for i in 0..16 {
             for j in 0..8 {
                 let expected = if i < 8 { r.get(i, j) } else { 0.0 };
-                assert!((qha.get(i, j) - expected).abs() < 1e-11, "mismatch at ({i},{j})");
+                assert!(
+                    (qha.get(i, j) - expected).abs() < 1e-11,
+                    "mismatch at ({i},{j})"
+                );
             }
         }
     }

@@ -3,18 +3,30 @@
 //! The task graph built by `tileqr-core` is already in topological order with
 //! explicit predecessor lists. Two execution strategies are provided:
 //!
-//! * [`execute_sequential`] simply walks the tasks in order — used by the
-//!   sequential driver and as the reference for correctness tests;
-//! * [`execute_parallel`] runs a pool of worker threads that pull ready tasks
-//!   from a lock-free queue and release their successors as they finish —
-//!   a miniature version of the PLASMA/QUARK dynamic scheduler used in the
-//!   paper's experiments.
+//! * [`execute_sequential`] / [`execute_sequential_with`] simply walk the
+//!   tasks in order — used by the sequential driver and as the reference for
+//!   correctness tests;
+//! * [`execute_parallel`] / [`execute_parallel_with`] run a pool of worker
+//!   threads that pull ready tasks from a shared queue and release their
+//!   successors as they finish — a miniature version of the PLASMA/QUARK
+//!   dynamic scheduler used in the paper's experiments.
+//!
+//! The `_with` variants thread a per-worker **workspace** through the task
+//! closure: `make_ws` is called once per worker thread (and once for the
+//! sequential path), and every task executed by that worker receives a
+//! mutable reference to its worker's workspace. With
+//! [`tileqr_kernels::Workspace`] as the workspace type this makes the hot
+//! loop allocation-free: all kernel scratch is preallocated before the first
+//! task runs. Idle workers back off with
+//! [`Backoff`](crate::sync::Backoff) (spin, then yield) instead of hammering
+//! `yield_now`, so they stop burning a core at the tail of the DAG.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use crossbeam::queue::SegQueue;
 use tileqr_core::dag::TaskDag;
 use tileqr_core::TaskKind;
+
+use crate::sync::{Backoff, TaskQueue};
 
 /// Executes every task of the DAG in topological order on the current
 /// thread.
@@ -27,16 +39,44 @@ where
     }
 }
 
-/// Executes the DAG on `num_threads` worker threads.
-///
-/// Every worker repeatedly pops a ready task from a shared lock-free queue,
-/// runs it, and decrements the dependency counters of its successors, pushing
-/// any task whose counter reaches zero. The closure must therefore be safe to
-/// call concurrently for tasks that are not ordered by the DAG — the state
-/// module guarantees this by protecting each tile with its own lock.
+/// Executes every task in topological order, threading a caller-provided
+/// workspace through the task closure.
+pub fn execute_sequential_with<W, F>(dag: &TaskDag, ws: &mut W, mut run: F)
+where
+    F: FnMut(TaskKind, &mut W),
+{
+    for task in &dag.tasks {
+        run(task.kind, ws);
+    }
+}
+
+/// Executes the DAG on `num_threads` worker threads (workspace-free
+/// compatibility wrapper over [`execute_parallel_with`]).
 pub fn execute_parallel<F>(dag: &TaskDag, num_threads: usize, run: F)
 where
     F: Fn(TaskKind) + Sync,
+{
+    execute_parallel_with(dag, num_threads, || (), |task, _ws: &mut ()| run(task));
+}
+
+/// Executes the DAG on `num_threads` worker threads with one workspace per
+/// worker.
+///
+/// Every worker builds its own workspace with `make_ws` when it starts, then
+/// repeatedly pops a ready task from a shared queue, runs it against its
+/// workspace, and decrements the dependency counters of the task's
+/// successors, pushing any task whose counter reaches zero. The closure must
+/// be safe to call concurrently for tasks that are not ordered by the DAG —
+/// the state module guarantees this by protecting each tile with its own
+/// lock.
+///
+/// After the setup phase (queue and counters sized to the DAG, workspaces
+/// built per worker) the loop performs no heap allocations.
+pub fn execute_parallel_with<W, M, F>(dag: &TaskDag, num_threads: usize, make_ws: M, run: F)
+where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(TaskKind, &mut W) + Sync,
 {
     let n = dag.tasks.len();
     if n == 0 {
@@ -44,41 +84,66 @@ where
     }
     let num_threads = num_threads.max(1);
     if num_threads == 1 {
+        let mut ws = make_ws();
         for task in &dag.tasks {
-            run(task.kind);
+            run(task.kind, &mut ws);
         }
         return;
     }
 
-    let succ = dag.successors();
-    let remaining: Vec<AtomicUsize> =
-        dag.tasks.iter().map(|t| AtomicUsize::new(t.deps.len())).collect();
-    let ready: SegQueue<usize> = SegQueue::new();
+    let succ = dag.successors_csr();
+    let remaining: Vec<AtomicUsize> = dag
+        .tasks
+        .iter()
+        .map(|t| AtomicUsize::new(t.deps.len()))
+        .collect();
+    let ready = TaskQueue::with_capacity(n);
     for (idx, task) in dag.tasks.iter().enumerate() {
         if task.deps.is_empty() {
             ready.push(idx);
         }
     }
     let completed = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+
+    // Arms while a task runs; if the task panics the unwind runs this Drop,
+    // flagging every other worker to exit so `thread::scope` can join them
+    // and propagate the panic instead of deadlocking on `completed < n`.
+    struct AbortOnPanic<'a>(&'a AtomicBool);
+    impl Drop for AbortOnPanic<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
 
     std::thread::scope(|scope| {
         for _ in 0..num_threads {
-            scope.spawn(|| loop {
-                match ready.pop() {
-                    Some(idx) => {
-                        run(dag.tasks[idx].kind);
-                        completed.fetch_add(1, Ordering::Release);
-                        for &s in &succ[idx] {
-                            if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                ready.push(s);
+            scope.spawn(|| {
+                let mut ws = make_ws();
+                let mut backoff = Backoff::new();
+                loop {
+                    if aborted.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match ready.pop() {
+                        Some(idx) => {
+                            backoff.reset();
+                            let guard = AbortOnPanic(&aborted);
+                            run(dag.tasks[idx].kind, &mut ws);
+                            std::mem::forget(guard);
+                            completed.fetch_add(1, Ordering::Release);
+                            for &s in succ.of(idx) {
+                                if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    ready.push(s);
+                                }
                             }
                         }
-                    }
-                    None => {
-                        if completed.load(Ordering::Acquire) >= n {
-                            break;
+                        None => {
+                            if completed.load(Ordering::Acquire) >= n {
+                                break;
+                            }
+                            backoff.snooze();
                         }
-                        std::thread::yield_now();
                     }
                 }
             });
@@ -89,8 +154,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use crate::sync::Mutex;
     use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
     use tileqr_core::algorithms::Algorithm;
     use tileqr_core::KernelFamily;
 
@@ -134,16 +200,29 @@ mod tests {
             let me = position[&task.kind];
             for &d in &task.deps {
                 let dep = position[&dag.tasks[d].kind];
-                assert!(dep < me, "dependency ran after dependent: {:?} -> {:?}", dag.tasks[d].kind, task.kind);
+                assert!(
+                    dep < me,
+                    "dependency ran after dependent: {:?} -> {:?}",
+                    dag.tasks[d].kind,
+                    task.kind
+                );
             }
         }
     }
 
     #[test]
     fn empty_dag_is_a_noop() {
-        let dag = TaskDag::build(&Algorithm::FlatTree.elimination_list(1, 1), KernelFamily::TT);
+        let dag = TaskDag::build(
+            &Algorithm::FlatTree.elimination_list(1, 1),
+            KernelFamily::TT,
+        );
         // a 1x1 grid has a single GEQRT; build a truly empty DAG by filtering
-        let empty = TaskDag { p: 0, q: 0, family: KernelFamily::TT, tasks: Vec::new() };
+        let empty = TaskDag {
+            p: 0,
+            q: 0,
+            family: KernelFamily::TT,
+            tasks: Vec::new(),
+        };
         let mut count = 0;
         execute_sequential(&empty, |_| count += 1);
         execute_parallel(&empty, 4, |_| panic!("should not run"));
@@ -159,5 +238,59 @@ mod tests {
         let seen = seen.into_inner();
         let sequential: Vec<_> = dag.tasks.iter().map(|t| t.kind).collect();
         assert_eq!(seen, sequential);
+    }
+
+    #[test]
+    fn each_worker_gets_its_own_workspace() {
+        // Workspaces are identified by a creation counter; every task records
+        // which workspace it ran with, and the number of distinct workspaces
+        // must not exceed the worker count.
+        let dag = sample_dag(8, 4);
+        let counter = AtomicUsize::new(0);
+        let used = Mutex::new(HashSet::new());
+        let tasks = Mutex::new(0usize);
+        execute_parallel_with(
+            &dag,
+            4,
+            || counter.fetch_add(1, Ordering::SeqCst),
+            |_task, ws_id| {
+                used.lock().insert(*ws_id);
+                *tasks.lock() += 1;
+            },
+        );
+        assert_eq!(*tasks.lock(), dag.len());
+        let created = counter.load(Ordering::SeqCst);
+        assert_eq!(created, 4, "one workspace per worker");
+        assert!(!used.lock().is_empty() && used.lock().len() <= 4);
+    }
+
+    #[test]
+    fn task_panic_propagates_instead_of_hanging() {
+        // A panicking task must flag the other workers to exit so the thread
+        // scope can join and re-raise the panic (previously the pool spun
+        // forever on `completed < n`).
+        let dag = sample_dag(8, 4);
+        let poison = dag.tasks[dag.len() / 2].kind;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_parallel(&dag, 4, |k| {
+                if k == poison {
+                    panic!("injected task failure");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic was swallowed");
+    }
+
+    #[test]
+    fn sequential_with_reuses_one_workspace() {
+        let dag = sample_dag(5, 2);
+        let mut ws = 0usize;
+        let mut count = 0usize;
+        execute_sequential_with(&dag, &mut ws, |_k, ws| {
+            *ws += 1;
+            count += 1;
+        });
+        assert_eq!(ws, dag.len());
+        assert_eq!(count, dag.len());
     }
 }

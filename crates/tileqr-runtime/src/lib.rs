@@ -7,10 +7,14 @@
 //! or on a pool of worker threads with dependency-driven scheduling.
 //!
 //! * [`executor`] — a generic dependency-counting DAG executor (sequential
-//!   and multi-threaded variants) built on `crossbeam` + `parking_lot`.
+//!   and multi-threaded variants) that gives every worker thread its own
+//!   preallocated kernel [`Workspace`](tileqr_kernels::Workspace), so the
+//!   per-task hot loop never touches the allocator.
+//! * [`sync`] — std-only synchronisation primitives (mutex, exponential
+//!   backoff, ready queue) used by the executor and the state.
 //! * [`state`] — the shared factorization state: lock-protected tiles plus
-//!   the per-tile `T` factors, and the mapping from a [`TaskKind`] to the
-//!   corresponding kernel call.
+//!   the per-tile `T` factors (preallocated up front), and the mapping from
+//!   a [`TaskKind`] to the corresponding kernel call.
 //! * [`driver`] — high-level entry points: [`driver::qr_factorize`],
 //!   [`driver::qr_factorize_parallel`] and the [`driver::QrFactorization`]
 //!   handle (extract `R`, apply `Q`/`Qᴴ`, build `Q` explicitly, residuals).
@@ -25,6 +29,7 @@ pub mod driver;
 pub mod executor;
 pub mod solve;
 pub mod state;
+pub mod sync;
 pub mod trace;
 
 pub use driver::{qr_factorize, qr_factorize_parallel, QrFactorization};

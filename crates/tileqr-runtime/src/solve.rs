@@ -18,8 +18,16 @@ use crate::driver::{qr_factorize, QrConfig, QrFactorization};
 /// # Panics
 /// Panics if `b.len() != a.rows()`, if the matrix is wide (`m < n`), or if
 /// `R` is numerically singular (rank-deficient `A`).
-pub fn least_squares_solve<T: Scalar<Real = f64>>(a: &Matrix<T>, b: &[T], config: QrConfig) -> Vec<T> {
-    assert_eq!(b.len(), a.rows(), "right-hand side length must equal the row count of A");
+pub fn least_squares_solve<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    b: &[T],
+    config: QrConfig,
+) -> Vec<T> {
+    assert_eq!(
+        b.len(),
+        a.rows(),
+        "right-hand side length must equal the row count of A"
+    );
     let f = qr_factorize(a, config);
     least_squares_with_factorization(&f, b)
 }
@@ -30,7 +38,11 @@ pub fn least_squares_with_factorization<T: Scalar<Real = f64>>(
     f: &QrFactorization<T>,
     b: &[T],
 ) -> Vec<T> {
-    assert_eq!(b.len(), f.m, "right-hand side length must equal the row count of A");
+    assert_eq!(
+        b.len(),
+        f.m,
+        "right-hand side length must equal the row count of A"
+    );
     let bmat = Matrix::from_col_major(f.m, 1, b.to_vec());
     let c = f.apply_qh(&bmat);
     let r = f.r();
@@ -84,7 +96,11 @@ mod tests {
     fn matches_the_reference_dense_solver() {
         let a = vandermonde(40, 6);
         let b: Vec<f64> = random_vector(40, 3);
-        let x_tiled = least_squares_solve(&a, &b, QrConfig::new(8).with_algorithm(Algorithm::Fibonacci));
+        let x_tiled = least_squares_solve(
+            &a,
+            &b,
+            QrConfig::new(8).with_algorithm(Algorithm::Fibonacci),
+        );
         let x_ref = least_squares_reference(&a, &b);
         for (t, r) in x_tiled.iter().zip(&x_ref) {
             assert!((t - r).abs() < 1e-8, "tiled {t} vs reference {r}");
@@ -95,7 +111,11 @@ mod tests {
     fn residual_is_orthogonal_to_the_column_span() {
         let a: Matrix<f64> = random_matrix(25, 5, 4);
         let b: Vec<f64> = random_vector(25, 5);
-        let x = least_squares_solve(&a, &b, QrConfig::new(5).with_algorithm(Algorithm::BinaryTree));
+        let x = least_squares_solve(
+            &a,
+            &b,
+            QrConfig::new(5).with_algorithm(Algorithm::BinaryTree),
+        );
         let mut r = b.clone();
         for j in 0..5 {
             for (i, ri) in r.iter_mut().enumerate() {
@@ -118,7 +138,9 @@ mod tests {
                 *bi += a.get(i, j) * *xj;
             }
         }
-        let config = QrConfig::new(4).with_family(KernelFamily::TS).with_algorithm(Algorithm::FlatTree);
+        let config = QrConfig::new(4)
+            .with_family(KernelFamily::TS)
+            .with_algorithm(Algorithm::FlatTree);
         let x = least_squares_solve(&a, &b, config);
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((*xi - *ti).abs() < 1e-9, "{xi} vs {ti}");

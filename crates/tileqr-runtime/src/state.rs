@@ -1,17 +1,24 @@
 //! Shared factorization state and the task → kernel mapping.
 //!
 //! Every tile of the matrix, and every auxiliary `T` factor, lives behind its
-//! own `parking_lot::Mutex`. Conflicting tasks are already ordered by the
-//! DAG, so locks are essentially uncontended; they exist to make the
+//! own [`Mutex`](crate::sync::Mutex). Conflicting tasks are already ordered
+//! by the DAG, so locks are essentially uncontended; they exist to make the
 //! concurrent access to *different parts of the same tile* (e.g. UNMQR
 //! reading the Householder vectors while a TTQRT rewrites the R part above
 //! them) trivially sound. Each task acquires all the locks it needs in a
 //! single global order (tile index, then auxiliary arrays), so the executor
 //! can never deadlock.
+//!
+//! All `T`-factor storage is preallocated in [`FactorizationState::new`]:
+//! together with the per-worker [`Workspace`]s threaded in by the executor,
+//! this makes [`FactorizationState::run_ws`] — the per-task hot path —
+//! completely allocation-free.
 
-use parking_lot::Mutex;
+use crate::sync::{Mutex, MutexGuard};
 use tileqr_core::TaskKind;
-use tileqr_kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Trans};
+use tileqr_kernels::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Trans, Workspace,
+};
 use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
 /// Lock-protected storage for the matrix being factored plus the reflector
@@ -22,20 +29,38 @@ pub struct FactorizationState<T: Scalar> {
     nb: usize,
     /// Tiles of the matrix, tile-column-major, each behind its own lock.
     tiles: Vec<Mutex<Matrix<T>>>,
-    /// `T` factor of `GEQRT(row, col)` (None until that kernel has run).
+    /// `T` factor of `GEQRT(row, col)`; preallocated (zero) until that
+    /// kernel has run.
     t_geqrt: Vec<Mutex<Option<Matrix<T>>>>,
-    /// `T` factor of the TSQRT/TTQRT that eliminated tile `(row, col)`.
+    /// `T` factor of the TSQRT/TTQRT that eliminated tile `(row, col)`;
+    /// preallocated (zero) until that kernel has run.
     t_elim: Vec<Mutex<Option<Matrix<T>>>>,
 }
 
 impl<T: Scalar<Real = f64>> FactorizationState<T> {
     /// Takes ownership of a tiled matrix and prepares the auxiliary storage.
+    ///
+    /// Every `T`-factor slot is allocated here, up front, so no task ever
+    /// allocates on the hot path. (The memory overhead is one extra `nb × nb`
+    /// matrix per tile slot per array — the same `T`-array layout PLASMA
+    /// uses.)
     pub fn new(a: TiledMatrix<T>) -> Self {
         let (tiles, p, q, nb) = a.into_tiles();
         let tiles = tiles.into_iter().map(Mutex::new).collect();
-        let t_geqrt = (0..p * q).map(|_| Mutex::new(None)).collect();
-        let t_elim = (0..p * q).map(|_| Mutex::new(None)).collect();
-        FactorizationState { p, q, nb, tiles, t_geqrt, t_elim }
+        let t_geqrt = (0..p * q)
+            .map(|_| Mutex::new(Some(Matrix::zeros(nb, nb))))
+            .collect();
+        let t_elim = (0..p * q)
+            .map(|_| Mutex::new(Some(Matrix::zeros(nb, nb))))
+            .collect();
+        FactorizationState {
+            p,
+            q,
+            nb,
+            tiles,
+            t_geqrt,
+            t_elim,
+        }
     }
 
     /// Tile rows of the grid.
@@ -59,15 +84,22 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
         col * self.p + row
     }
 
-    /// Executes one task of the DAG. Safe to call concurrently for tasks that
-    /// are not ordered by the DAG.
+    /// Executes one task of the DAG with a fresh workspace — allocating
+    /// compatibility wrapper over [`FactorizationState::run_ws`].
     pub fn run(&self, task: TaskKind) {
+        self.run_ws(task, &mut Workspace::new(self.nb));
+    }
+
+    /// Executes one task of the DAG against a caller-provided workspace
+    /// (zero heap allocations). Safe to call concurrently for tasks that are
+    /// not ordered by the DAG.
+    pub fn run_ws(&self, task: TaskKind, ws: &mut Workspace<T>) {
         match task {
             TaskKind::Geqrt { row, col } => {
                 let mut tile = self.tiles[self.idx(row, col)].lock();
-                let mut t = Matrix::zeros(self.nb, self.nb);
-                geqrt(&mut tile, &mut t);
-                *self.t_geqrt[self.idx(row, col)].lock() = Some(t);
+                let mut t_slot = self.t_geqrt[self.idx(row, col)].lock();
+                let t = t_slot.as_mut().expect("T factor storage is preallocated");
+                geqrt_ws(&mut tile, t, ws);
             }
             TaskKind::Unmqr { row, col, j } => {
                 // lock order: smaller tile index first
@@ -77,24 +109,32 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
                 let mut c = self.tiles[ic].lock();
                 let t_guard = self.t_geqrt[iv].lock();
                 let t = t_guard.as_ref().expect("UNMQR before GEQRT");
-                unmqr(&v, t, &mut c, Trans::ConjTrans);
+                unmqr_ws(&v, t, &mut c, Trans::ConjTrans, ws);
             }
             TaskKind::Tsqrt { row, piv, col } => {
                 let (ip, ir) = (self.idx(piv, col), self.idx(row, col));
                 let (mut first, mut second) = self.lock_pair(ip, ir);
-                let mut t = Matrix::zeros(self.nb, self.nb);
                 // first/second are ordered by index; map back to pivot/row
-                let (r1, a2) = if ip < ir { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
-                tsqrt(r1, a2, &mut t);
-                *self.t_elim[self.idx(row, col)].lock() = Some(t);
+                let (r1, a2) = if ip < ir {
+                    (&mut *first, &mut *second)
+                } else {
+                    (&mut *second, &mut *first)
+                };
+                let mut t_slot = self.t_elim[self.idx(row, col)].lock();
+                let t = t_slot.as_mut().expect("T factor storage is preallocated");
+                tsqrt_ws(r1, a2, t, ws);
             }
             TaskKind::Ttqrt { row, piv, col } => {
                 let (ip, ir) = (self.idx(piv, col), self.idx(row, col));
                 let (mut first, mut second) = self.lock_pair(ip, ir);
-                let mut t = Matrix::zeros(self.nb, self.nb);
-                let (r1, r2) = if ip < ir { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
-                ttqrt(r1, r2, &mut t);
-                *self.t_elim[self.idx(row, col)].lock() = Some(t);
+                let (r1, r2) = if ip < ir {
+                    (&mut *first, &mut *second)
+                } else {
+                    (&mut *second, &mut *first)
+                };
+                let mut t_slot = self.t_elim[self.idx(row, col)].lock();
+                let t = t_slot.as_mut().expect("T factor storage is preallocated");
+                ttqrt_ws(r1, r2, t, ws);
             }
             TaskKind::Tsmqr { row, piv, col, j } => {
                 let iv = self.idx(row, col);
@@ -103,8 +143,12 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
                 let (mut first, mut second) = self.lock_pair(ic1, ic2);
                 let t_guard = self.t_elim[iv].lock();
                 let t = t_guard.as_ref().expect("TSMQR before TSQRT");
-                let (c1, c2) = if ic1 < ic2 { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
-                tsmqr(&v, t, c1, c2, Trans::ConjTrans);
+                let (c1, c2) = if ic1 < ic2 {
+                    (&mut *first, &mut *second)
+                } else {
+                    (&mut *second, &mut *first)
+                };
+                tsmqr_ws(&v, t, c1, c2, Trans::ConjTrans, ws);
             }
             TaskKind::Ttmqr { row, piv, col, j } => {
                 let iv = self.idx(row, col);
@@ -113,15 +157,23 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
                 let (mut first, mut second) = self.lock_pair(ic1, ic2);
                 let t_guard = self.t_elim[iv].lock();
                 let t = t_guard.as_ref().expect("TTMQR before TTQRT");
-                let (c1, c2) = if ic1 < ic2 { (&mut *first, &mut *second) } else { (&mut *second, &mut *first) };
-                ttmqr(&v, t, c1, c2, Trans::ConjTrans);
+                let (c1, c2) = if ic1 < ic2 {
+                    (&mut *first, &mut *second)
+                } else {
+                    (&mut *second, &mut *first)
+                };
+                ttmqr_ws(&v, t, c1, c2, Trans::ConjTrans, ws);
             }
         }
     }
 
     /// Locks two distinct tiles in global index order and returns the guards
     /// in (smaller-index, larger-index) order.
-    fn lock_pair(&self, a: usize, b: usize) -> (parking_lot::MutexGuard<'_, Matrix<T>>, parking_lot::MutexGuard<'_, Matrix<T>>) {
+    fn lock_pair(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (MutexGuard<'_, Matrix<T>>, MutexGuard<'_, Matrix<T>>) {
         assert_ne!(a, b, "a task never locks the same tile twice");
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let first = self.tiles[lo].lock();
@@ -131,8 +183,17 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
 
     /// Consumes the state and returns the factored tiles plus the `T`
     /// factors, for use by [`crate::driver::QrFactorization`].
+    ///
+    /// Every slot is `Some` (the storage is preallocated); slots whose kernel
+    /// never ran hold a zero matrix.
     #[allow(clippy::type_complexity)]
-    pub fn into_parts(self) -> (TiledMatrix<T>, Vec<Option<Matrix<T>>>, Vec<Option<Matrix<T>>>) {
+    pub fn into_parts(
+        self,
+    ) -> (
+        TiledMatrix<T>,
+        Vec<Option<Matrix<T>>>,
+        Vec<Option<Matrix<T>>>,
+    ) {
         let tiles: Vec<Matrix<T>> = self.tiles.into_iter().map(|m| m.into_inner()).collect();
         let tiled = TiledMatrix::from_tiles(tiles, self.p, self.q, self.nb);
         let t_geqrt = self.t_geqrt.into_iter().map(|m| m.into_inner()).collect();
@@ -159,8 +220,13 @@ mod tests {
         assert_eq!(state.tile_size(), 4);
         let (back, tg, te) = state.into_parts();
         assert_eq!(back, tiled);
-        assert!(tg.iter().all(|t| t.is_none()));
-        assert!(te.iter().all(|t| t.is_none()));
+        // T storage is preallocated and zero until a kernel runs
+        assert!(tg.iter().all(|t| t
+            .as_ref()
+            .is_some_and(|m| m.as_slice().iter().all(|v| *v == 0.0))));
+        assert!(te.iter().all(|t| t
+            .as_ref()
+            .is_some_and(|m| m.as_slice().iter().all(|v| *v == 0.0))));
     }
 
     #[test]
@@ -169,13 +235,39 @@ mod tests {
         let tiled = TiledMatrix::from_dense(&a, 4);
         let state = FactorizationState::new(tiled);
         let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(3, 2), KernelFamily::TT);
+        let mut ws = Workspace::new(4);
         for task in &dag.tasks {
-            state.run(task.kind);
+            state.run_ws(task.kind, &mut ws);
         }
         let (_tiles, t_geqrt, t_elim) = state.into_parts();
+        let nonzero = |t: &Option<Matrix<f64>>| {
+            t.as_ref()
+                .is_some_and(|m| m.as_slice().iter().any(|v| *v != 0.0))
+        };
         // TT: every active tile has a GEQRT T factor
-        assert_eq!(t_geqrt.iter().filter(|t| t.is_some()).count(), 3 + 2);
+        assert_eq!(t_geqrt.iter().filter(|t| nonzero(t)).count(), 3 + 2);
         // and every sub-diagonal tile has an elimination T factor
-        assert_eq!(t_elim.iter().filter(|t| t.is_some()).count(), 2 + 1);
+        assert_eq!(t_elim.iter().filter(|t| nonzero(t)).count(), 2 + 1);
+    }
+
+    #[test]
+    fn run_and_run_ws_agree_bitwise() {
+        let a = random_matrix::<f64>(16, 8, 3);
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(4, 2), KernelFamily::TT);
+
+        let state_alloc = FactorizationState::new(TiledMatrix::from_dense(&a, 4));
+        for task in &dag.tasks {
+            state_alloc.run(task.kind);
+        }
+        let state_ws = FactorizationState::new(TiledMatrix::from_dense(&a, 4));
+        let mut ws = Workspace::new(4);
+        for task in &dag.tasks {
+            state_ws.run_ws(task.kind, &mut ws);
+        }
+        let (tiles_a, tg_a, te_a) = state_alloc.into_parts();
+        let (tiles_w, tg_w, te_w) = state_ws.into_parts();
+        assert_eq!(tiles_a, tiles_w);
+        assert_eq!(tg_a, tg_w);
+        assert_eq!(te_a, te_w);
     }
 }

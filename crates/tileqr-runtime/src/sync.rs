@@ -1,0 +1,198 @@
+//! Std-only synchronisation primitives for the runtime.
+//!
+//! The workspace builds offline, so instead of `parking_lot` and `crossbeam`
+//! this module provides the three primitives the executor and the shared
+//! factorization state actually need:
+//!
+//! * [`Mutex`] — a thin wrapper over `std::sync::Mutex` with the
+//!   `parking_lot`-style infallible `lock()` API (a poisoned lock means a
+//!   kernel panicked on another thread; propagating the panic is the only
+//!   sensible response, so the guard just unwraps the poison).
+//! * [`Backoff`] — exponential spin-then-yield backoff (the shape of
+//!   `crossbeam::utils::Backoff`) used by idle workers at the tail of the
+//!   DAG instead of a hot `yield_now` loop.
+//! * [`TaskQueue`] — the shared ready queue of task indices. Tasks are tile
+//!   kernels costing `O(nb³)` flops, so a locked `VecDeque` (preallocated to
+//!   the DAG size: the hot path never grows it) is far below measurement
+//!   noise; a lock-free or work-stealing deque is an open ROADMAP item.
+
+use std::collections::VecDeque;
+
+/// Infallible mutex: `lock()` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, ignoring poison (a panic on another thread is
+    /// already propagating through the thread scope).
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Exponential backoff for spin loops: a few busy spins with `spin_loop`
+/// hints, then increasingly reluctant `yield_now` snoozes, so idle workers at
+/// the tail of the DAG stop burning a core while still reacting quickly when
+/// work appears.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    /// Fresh backoff (next snooze is a cheap spin).
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Resets after useful work was found.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Backs off once: `2^step` spin-loop hints while `step` is small, then a
+    /// `yield_now` to let the OS run someone else.
+    #[inline]
+    pub fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    /// True once the backoff has escalated past busy spinning; callers can
+    /// use it to switch to a heavier waiting strategy if they have one.
+    #[inline]
+    pub fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
+
+/// Shared FIFO of ready task indices.
+///
+/// Preallocated to the DAG size so pushes on the hot path never reallocate.
+#[derive(Debug)]
+pub struct TaskQueue {
+    inner: Mutex<VecDeque<usize>>,
+}
+
+impl TaskQueue {
+    /// Creates a queue with room for `capacity` indices.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TaskQueue {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Enqueues a ready task.
+    #[inline]
+    pub fn push(&self, idx: usize) {
+        self.inner.lock().push_back(idx);
+    }
+
+    /// Dequeues the oldest ready task, if any.
+    #[inline]
+    pub fn pop(&self) -> Option<usize> {
+        self.inner.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_lock_and_into_inner() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_recovers_from_poison() {
+        let m = std::sync::Arc::new(Mutex::new(0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        *m.lock() += 7;
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+
+    #[test]
+    fn task_queue_is_fifo() {
+        let q = TaskQueue::with_capacity(4);
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn task_queue_survives_concurrent_use() {
+        let q = std::sync::Arc::new(TaskQueue::with_capacity(1024));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..256 {
+                    q.push(t * 256 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = q.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 1024);
+    }
+}

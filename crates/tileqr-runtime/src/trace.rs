@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use tileqr_core::dag::TaskDag;
 use tileqr_core::TaskKind;
 
@@ -47,7 +47,10 @@ impl Default for ExecutionTrace {
 impl ExecutionTrace {
     /// Creates an empty trace whose clock starts now.
     pub fn new() -> Self {
-        ExecutionTrace { origin: Instant::now(), spans: Mutex::new(Vec::new()) }
+        ExecutionTrace {
+            origin: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
     }
 
     /// Runs `f` for `kind`, recording its start and end times.
@@ -99,17 +102,26 @@ impl TraceSummary {
     pub fn from_spans(spans: &[TaskSpan]) -> Self {
         let mut makespan = Duration::ZERO;
         let mut total_busy = Duration::ZERO;
-        let mut per: std::collections::HashMap<&'static str, (usize, Duration)> = std::collections::HashMap::new();
+        let mut per: std::collections::HashMap<&'static str, (usize, Duration)> =
+            std::collections::HashMap::new();
         for s in spans {
             makespan = makespan.max(s.end);
             total_busy += s.duration();
-            let e = per.entry(s.kind.kernel_name()).or_insert((0, Duration::ZERO));
+            let e = per
+                .entry(s.kind.kernel_name())
+                .or_insert((0, Duration::ZERO));
             e.0 += 1;
             e.1 += s.duration();
         }
-        let mut per_kernel: Vec<(&'static str, usize, Duration)> = per.into_iter().map(|(k, (c, d))| (k, c, d)).collect();
-        per_kernel.sort_by(|a, b| b.2.cmp(&a.2));
-        TraceSummary { tasks: spans.len(), makespan, total_busy, per_kernel }
+        let mut per_kernel: Vec<(&'static str, usize, Duration)> =
+            per.into_iter().map(|(k, (c, d))| (k, c, d)).collect();
+        per_kernel.sort_by_key(|k| std::cmp::Reverse(k.2));
+        TraceSummary {
+            tasks: spans.len(),
+            makespan,
+            total_busy,
+            per_kernel,
+        }
     }
 
     /// Average parallelism actually achieved: work / makespan.
@@ -128,7 +140,11 @@ impl TraceSummary {
 /// machine could reach with the paper's weights.
 pub fn parallelism_vs_model(summary: &TraceSummary, dag: &TaskDag) -> (f64, f64) {
     let cp = tileqr_core::sim::simulate_unbounded(dag).critical_path;
-    let model = if cp == 0 { 0.0 } else { dag.total_weight() as f64 / cp as f64 };
+    let model = if cp == 0 {
+        0.0
+    } else {
+        dag.total_weight() as f64 / cp as f64
+    };
     (summary.average_parallelism(), model)
 }
 
@@ -163,8 +179,17 @@ mod tests {
     #[test]
     fn summary_aggregates_per_kernel() {
         let trace = ExecutionTrace::new();
-        trace.record(TaskKind::Geqrt { row: 0, col: 0 }, || std::thread::sleep(Duration::from_millis(2)));
-        trace.record(TaskKind::Ttqrt { row: 1, piv: 0, col: 0 }, || std::thread::sleep(Duration::from_millis(1)));
+        trace.record(TaskKind::Geqrt { row: 0, col: 0 }, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        trace.record(
+            TaskKind::Ttqrt {
+                row: 1,
+                piv: 0,
+                col: 0,
+            },
+            || std::thread::sleep(Duration::from_millis(1)),
+        );
         trace.record(TaskKind::Geqrt { row: 1, col: 0 }, || ());
         let s = trace.summary();
         assert_eq!(s.tasks, 3);
@@ -184,7 +209,10 @@ mod tests {
 
     #[test]
     fn model_parallelism_matches_weight_over_cp() {
-        let dag = tileqr_core::dag::TaskDag::build(&Algorithm::Greedy.elimination_list(8, 4), KernelFamily::TT);
+        let dag = tileqr_core::dag::TaskDag::build(
+            &Algorithm::Greedy.elimination_list(8, 4),
+            KernelFamily::TT,
+        );
         let (_, model) = parallelism_vs_model(&TraceSummary::default(), &dag);
         let cp = tileqr_core::sim::simulate_unbounded(&dag).critical_path;
         assert!((model - dag.total_weight() as f64 / cp as f64).abs() < 1e-12);

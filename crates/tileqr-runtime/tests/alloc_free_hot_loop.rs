@@ -1,0 +1,126 @@
+//! Verifies the zero-allocation guarantee of the executor hot loop with a
+//! counting global allocator: once the DAG, the factorization state (tiles +
+//! preallocated `T` factors) and the ready queue are built, executing the
+//! tasks must not allocate **per task** — only a constant number of setup
+//! allocations per run (thread spawns, one workspace per worker) is allowed.
+//!
+//! The test runs a small DAG and a much larger DAG with the same worker
+//! count and asserts the allocation counts inside `execute_parallel_with`
+//! are essentially identical: if any task allocated, the large run would
+//! exceed the small one by at least the task-count difference (hundreds).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::dag::TaskDag;
+use tileqr_core::KernelFamily;
+use tileqr_kernels::Workspace;
+use tileqr_matrix::generate::random_matrix;
+use tileqr_matrix::TiledMatrix;
+use tileqr_runtime::executor::{execute_parallel_with, execute_sequential_with};
+use tileqr_runtime::state::FactorizationState;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAllocator = CountingAllocator;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, out)
+}
+
+/// Runs a full Greedy/TT factorization of a p×q tile grid through the
+/// parallel executor and returns the number of allocations performed inside
+/// the execute call only (setup excluded).
+fn parallel_run_allocations(p: usize, q: usize, nb: usize, threads: usize) -> (usize, usize) {
+    let a = random_matrix::<f64>(p * nb, q * nb, 7);
+    let tiled = TiledMatrix::from_dense(&a, nb);
+    let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
+    let state = FactorizationState::new(tiled);
+    let (allocs, ()) = allocations_during(|| {
+        execute_parallel_with(
+            &dag,
+            threads,
+            || Workspace::<f64>::new(nb),
+            |task, ws| state.run_ws(task, ws),
+        );
+    });
+    (allocs, dag.len())
+}
+
+// The allocation counter is process-global, so everything runs inside one
+// `#[test]` — libtest schedules separate tests on parallel threads, and even
+// its own thread spawning would pollute a concurrent measurement window.
+#[test]
+fn hot_loops_do_not_allocate_per_task() {
+    parallel_check();
+    sequential_check();
+}
+
+fn parallel_check() {
+    let threads = 3;
+    // Warm up thread-local/runtime one-time allocations.
+    let _ = parallel_run_allocations(2, 1, 4, threads);
+    let (small_allocs, small_tasks) = parallel_run_allocations(3, 2, 4, threads);
+    let (large_allocs, large_tasks) = parallel_run_allocations(10, 6, 4, threads);
+    assert!(
+        large_tasks > small_tasks + 300,
+        "need a meaningful task-count gap"
+    );
+    // Setup allocations (queue, counters, per-worker workspaces, thread
+    // spawns) are an affine function of `threads`, not of the task count.
+    // Allow generous slack for allocator-internal noise; one allocation per
+    // task would blow through this by an order of magnitude.
+    let slack = 64;
+    assert!(
+        large_allocs <= small_allocs + slack,
+        "hot loop allocates per task: {small_allocs} allocs for {small_tasks} tasks but \
+         {large_allocs} allocs for {large_tasks} tasks"
+    );
+}
+
+fn sequential_check() {
+    let nb = 4;
+    let build = |p: usize, q: usize| {
+        let a = random_matrix::<f64>(p * nb, q * nb, 9);
+        let tiled = TiledMatrix::from_dense(&a, nb);
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
+        (FactorizationState::new(tiled), dag)
+    };
+    let (state_small, dag_small) = build(3, 2);
+    let (state_large, dag_large) = build(10, 6);
+    let mut ws = Workspace::<f64>::new(nb);
+
+    let (small, ()) = allocations_during(|| {
+        execute_sequential_with(&dag_small, &mut ws, |task, ws| state_small.run_ws(task, ws));
+    });
+    let (large, ()) = allocations_during(|| {
+        execute_sequential_with(&dag_large, &mut ws, |task, ws| state_large.run_ws(task, ws));
+    });
+    assert!(dag_large.len() > dag_small.len() + 300);
+    // The sequential path reuses one preallocated workspace: zero is the
+    // expected count for both runs.
+    assert_eq!(small, 0, "sequential small run allocated");
+    assert_eq!(large, 0, "sequential large run allocated");
+}

@@ -34,7 +34,10 @@ fn main() {
     let a = Matrix::from_fn(m, n, |i, j| ts[i].powi(j as i32));
 
     println!("Least-squares fit of a degree-{degree} polynomial to {m} samples");
-    println!("  design matrix: {m} x {n} (tile grid {} x 1 with nb = {n})", m.div_ceil(n));
+    println!(
+        "  design matrix: {m} x {n} (tile grid {} x 1 with nb = {n})",
+        m.div_ceil(n)
+    );
 
     let mut solutions = Vec::new();
     for algo in [Algorithm::Greedy, Algorithm::Fibonacci, Algorithm::FlatTree] {
@@ -43,7 +46,10 @@ fn main() {
         let x = least_squares_solve(&a, &b, config);
         let elapsed = start.elapsed();
         let res = residual_norm(&a, &x, &b);
-        println!("  {:<12} residual ‖Ax − b‖₂ = {res:.6e}   ({elapsed:?})", algo.name());
+        println!(
+            "  {:<12} residual ‖Ax − b‖₂ = {res:.6e}   ({elapsed:?})",
+            algo.name()
+        );
         solutions.push(x);
     }
 
@@ -58,5 +64,11 @@ fn main() {
         println!("  max coefficient difference vs Greedy (solution {idx}): {max_diff:.3e}");
     }
 
-    println!("  fitted coefficients (Greedy): {:?}", reference.iter().map(|c| (c * 1e4).round() / 1e4).collect::<Vec<_>>());
+    println!(
+        "  fitted coefficients (Greedy): {:?}",
+        reference
+            .iter()
+            .map(|c| (c * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
 }

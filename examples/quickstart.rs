@@ -20,12 +20,20 @@ fn main() {
     let a: Matrix<f64> = random_matrix(m, n, 42);
 
     println!("Tiled QR quickstart");
-    println!("  matrix: {m} x {n}, tile size nb = {nb} ({} x {} tiles)", m.div_ceil(nb), n.div_ceil(nb));
+    println!(
+        "  matrix: {m} x {n}, tile size nb = {nb} ({} x {} tiles)",
+        m.div_ceil(nb),
+        n.div_ceil(nb)
+    );
 
     let config = QrConfig::new(nb)
         .with_algorithm(Algorithm::Greedy)
         .with_family(KernelFamily::TT)
-        .with_threads(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        .with_threads(
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+        );
 
     let start = std::time::Instant::now();
     let f = qr_factorize(&a, config);
@@ -44,5 +52,8 @@ fn main() {
     let b: Matrix<f64> = random_matrix(m, 3, 7);
     let qhb = f.apply_qh(&b);
     let roundtrip = f.apply_q(&qhb);
-    println!("  ‖Q·(Qᴴ·b) − b‖ = {:.3e}", frobenius_norm(&roundtrip.sub(&b)));
+    println!(
+        "  ‖Q·(Qᴴ·b) − b‖ = {:.3e}",
+        frobenius_norm(&roundtrip.sub(&b))
+    );
 }

@@ -20,7 +20,9 @@ fn main() {
     let (p, q, nb) = (24usize, 6usize, 32usize);
     let (m, n) = (p * nb, q * nb);
     let a: Matrix<f64> = random_matrix(m, n, 7);
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
 
     println!("Tracing a {m} x {n} factorization ({p} x {q} tiles, nb = {nb}, {threads} threads)\n");
     println!(
@@ -28,7 +30,12 @@ fn main() {
         "algorithm", "tasks", "makespan", "busy time", "avg ||ism", "model ||ism"
     );
 
-    for algo in [Algorithm::Greedy, Algorithm::Fibonacci, Algorithm::BinaryTree, Algorithm::FlatTree] {
+    for algo in [
+        Algorithm::Greedy,
+        Algorithm::Fibonacci,
+        Algorithm::BinaryTree,
+        Algorithm::FlatTree,
+    ] {
         let config = QrConfig::new(nb).with_algorithm(algo).with_threads(threads);
         let (f, trace) = qr_factorize_traced(&a, config);
         assert!(f.residual(&a) < 1e-11);

@@ -23,10 +23,19 @@ use tiled_qr::runtime::driver::{qr_factorize, QrConfig};
 fn main() {
     let (m, n, nb) = (1024usize, 64usize, 32usize);
     let a: Matrix<f64> = random_matrix(m, n, 2024);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
 
-    println!("Orthogonalizing a {m} x {n} panel (tile size {nb}, {} x {} tiles)", m / nb, n / nb);
-    println!("{:<24} {:>8} {:>14} {:>14} {:>12}", "algorithm", "kernels", "seq time", "par time", "‖QᴴQ − I‖");
+    println!(
+        "Orthogonalizing a {m} x {n} panel (tile size {nb}, {} x {} tiles)",
+        m / nb,
+        n / nb
+    );
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>12}",
+        "algorithm", "kernels", "seq time", "par time", "‖QᴴQ − I‖"
+    );
 
     let algorithms = [
         (Algorithm::Greedy, KernelFamily::TT),

@@ -26,13 +26,29 @@ fn main() {
     println!("Critical paths and predicted performance for a {p} x q tile grid (TT kernels)");
     println!(
         "{:>4} {:>10} {:>10} {:>10} {:>10} {:>16} {:>10} {:>12}",
-        "q", "FlatTree", "BinaryTree", "Fibonacci", "Greedy", "Plasma(bestBS)", "lower", "Greedy pred"
+        "q",
+        "FlatTree",
+        "BinaryTree",
+        "Fibonacci",
+        "Greedy",
+        "Plasma(bestBS)",
+        "lower",
+        "Greedy pred"
     );
 
     for q in [1usize, 2, 4, 5, 8, 10, 16, 20, 30, 40] {
-        let flat = critical_path(&Algorithm::FlatTree.elimination_list(p, q), KernelFamily::TT);
-        let bin = critical_path(&Algorithm::BinaryTree.elimination_list(p, q), KernelFamily::TT);
-        let fib = critical_path(&Algorithm::Fibonacci.elimination_list(p, q), KernelFamily::TT);
+        let flat = critical_path(
+            &Algorithm::FlatTree.elimination_list(p, q),
+            KernelFamily::TT,
+        );
+        let bin = critical_path(
+            &Algorithm::BinaryTree.elimination_list(p, q),
+            KernelFamily::TT,
+        );
+        let fib = critical_path(
+            &Algorithm::Fibonacci.elimination_list(p, q),
+            KernelFamily::TT,
+        );
         let gre = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
         let (best_bs, plasma) = best_plasma_tree(p, q, KernelFamily::TT);
         let lower = formulas::tt_cp_lower_bound(q);
@@ -57,7 +73,9 @@ fn main() {
     println!();
     println!("Observations (matching the paper):");
     println!("  * Greedy has the shortest critical path for every q;");
-    println!("  * FlatTree is far from optimal for small q (tall matrices) but catches up as q → p;");
+    println!(
+        "  * FlatTree is far from optimal for small q (tall matrices) but catches up as q → p;"
+    );
     println!("  * the best PlasmaTree needs a hand-tuned BS per shape, Greedy does not;");
     println!("  * the predicted rate (normalized to the sequential speed) is bounded by");
     println!("    min(P, total-work / critical-path), the roofline of Section 4.");

@@ -28,15 +28,37 @@ fn all_algorithms() -> Vec<Algorithm> {
     ]
 }
 
-fn check<T: RandomScalar>(m: usize, n: usize, nb: usize, algo: Algorithm, family: KernelFamily, seed: u64) {
+fn check<T: RandomScalar>(
+    m: usize,
+    n: usize,
+    nb: usize,
+    algo: Algorithm,
+    family: KernelFamily,
+    seed: u64,
+) {
     let a: Matrix<T> = random_matrix(m, n, seed);
     let config = QrConfig::new(nb).with_algorithm(algo).with_family(family);
     let f = qr_factorize(&a, config);
-    assert!(f.r().is_upper_triangular(), "{}/{}: R not triangular", algo.name(), family.name());
+    assert!(
+        f.r().is_upper_triangular(),
+        "{}/{}: R not triangular",
+        algo.name(),
+        family.name()
+    );
     let resid = f.residual(&a);
-    assert!(resid < TOL, "{}/{} on {m}x{n} nb={nb}: residual {resid}", algo.name(), family.name());
+    assert!(
+        resid < TOL,
+        "{}/{} on {m}x{n} nb={nb}: residual {resid}",
+        algo.name(),
+        family.name()
+    );
     let ortho = f.orthogonality();
-    assert!(ortho < TOL, "{}/{} on {m}x{n} nb={nb}: orthogonality {ortho}", algo.name(), family.name());
+    assert!(
+        ortho < TOL,
+        "{}/{} on {m}x{n} nb={nb}: orthogonality {ortho}",
+        algo.name(),
+        family.name()
+    );
 }
 
 #[test]
@@ -58,9 +80,28 @@ fn every_algorithm_factorizes_a_square_complex_matrix() {
 #[test]
 fn odd_shapes_with_padding() {
     // dimensions that are not multiples of the tile size
-    for (m, n, nb) in [(37usize, 11usize, 8usize), (25, 25, 6), (50, 7, 16), (9, 2, 4)] {
-        check::<f64>(m, n, nb, Algorithm::Greedy, KernelFamily::TT, 300 + m as u64);
-        check::<f64>(m, n, nb, Algorithm::FlatTree, KernelFamily::TS, 400 + m as u64);
+    for (m, n, nb) in [
+        (37usize, 11usize, 8usize),
+        (25, 25, 6),
+        (50, 7, 16),
+        (9, 2, 4),
+    ] {
+        check::<f64>(
+            m,
+            n,
+            nb,
+            Algorithm::Greedy,
+            KernelFamily::TT,
+            300 + m as u64,
+        );
+        check::<f64>(
+            m,
+            n,
+            nb,
+            Algorithm::FlatTree,
+            KernelFamily::TS,
+            400 + m as u64,
+        );
     }
 }
 
@@ -78,10 +119,17 @@ fn parallel_runtime_matches_sequential_bitwise() {
     // The parallel schedule executes exactly the same kernels on the same
     // tiles (only the interleaving differs), so R must match to the last bit.
     let a: Matrix<f64> = random_matrix(48, 24, 600);
-    for algo in [Algorithm::Greedy, Algorithm::Fibonacci, Algorithm::PlasmaTree { bs: 2 }] {
+    for algo in [
+        Algorithm::Greedy,
+        Algorithm::Fibonacci,
+        Algorithm::PlasmaTree { bs: 2 },
+    ] {
         let seq = qr_factorize(&a, QrConfig::new(8).with_algorithm(algo));
         for threads in [2usize, 3, 8] {
-            let par = qr_factorize(&a, QrConfig::new(8).with_algorithm(algo).with_threads(threads));
+            let par = qr_factorize(
+                &a,
+                QrConfig::new(8).with_algorithm(algo).with_threads(threads),
+            );
             assert_eq!(seq.r(), par.r(), "{} with {threads} threads", algo.name());
         }
     }
@@ -115,7 +163,12 @@ fn different_trees_give_the_same_r_up_to_signs() {
 fn prelude_exports_are_usable() {
     use tiled_qr::prelude::*;
     let a: Matrix<f64> = random_matrix(16, 8, 900);
-    let f = qr_factorize(&a, tiled_qr::runtime::driver::QrConfig::new(4).with_algorithm(Algorithm::Greedy).with_family(KernelFamily::TT));
+    let f = qr_factorize(
+        &a,
+        tiled_qr::runtime::driver::QrConfig::new(4)
+            .with_algorithm(Algorithm::Greedy)
+            .with_family(KernelFamily::TT),
+    );
     assert!(f.residual(&a) < TOL);
     let b: Vec<f64> = (0..16).map(|i| i as f64).collect();
     let x = least_squares_solve(&a, &b, tiled_qr::runtime::driver::QrConfig::new(4));

@@ -22,9 +22,16 @@ fn table_5_headline_rows() {
         (40, 826, 892, 856, 20),
     ];
     for (q, greedy, fibonacci, plasma, bs) in rows {
-        assert_eq!(critical_path(&Algorithm::Greedy.elimination_list(40, q), KernelFamily::TT), greedy, "Greedy q={q}");
         assert_eq!(
-            critical_path(&Algorithm::Fibonacci.elimination_list(40, q), KernelFamily::TT),
+            critical_path(&Algorithm::Greedy.elimination_list(40, q), KernelFamily::TT),
+            greedy,
+            "Greedy q={q}"
+        );
+        assert_eq!(
+            critical_path(
+                &Algorithm::Fibonacci.elimination_list(40, q),
+                KernelFamily::TT
+            ),
             fibonacci,
             "Fibonacci q={q}"
         );
@@ -51,14 +58,21 @@ fn table_4b_grid() {
         (128, 128, 2732, 2756),
     ];
     for (p, q, greedy, asap) in cases {
-        assert_eq!(critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT), greedy, "Greedy {p}x{q}");
+        assert_eq!(
+            critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT),
+            greedy,
+            "Greedy {p}x{q}"
+        );
         let got = simulate_asap(p, q).critical_path;
         let tol = asap / 100;
         assert!(
             got.abs_diff(asap) <= tol,
             "Asap {p}x{q}: got {got}, paper reports {asap}"
         );
-        assert!(got >= greedy, "Asap beat Greedy on {p}x{q}, contradicting Table 4(b)");
+        assert!(
+            got >= greedy,
+            "Asap beat Greedy on {p}x{q}, contradicting Table 4(b)"
+        );
     }
 }
 
@@ -83,11 +97,48 @@ fn paper_section_2_1_parallel_elimination_times() {
 fn abstract_weights_agree_between_model_and_kernel_layers() {
     let pairs = [
         (TaskKind::Geqrt { row: 0, col: 0 }, KernelKind::Geqrt),
-        (TaskKind::Unmqr { row: 0, col: 0, j: 1 }, KernelKind::Unmqr),
-        (TaskKind::Tsqrt { row: 1, piv: 0, col: 0 }, KernelKind::Tsqrt),
-        (TaskKind::Tsmqr { row: 1, piv: 0, col: 0, j: 1 }, KernelKind::Tsmqr),
-        (TaskKind::Ttqrt { row: 1, piv: 0, col: 0 }, KernelKind::Ttqrt),
-        (TaskKind::Ttmqr { row: 1, piv: 0, col: 0, j: 1 }, KernelKind::Ttmqr),
+        (
+            TaskKind::Unmqr {
+                row: 0,
+                col: 0,
+                j: 1,
+            },
+            KernelKind::Unmqr,
+        ),
+        (
+            TaskKind::Tsqrt {
+                row: 1,
+                piv: 0,
+                col: 0,
+            },
+            KernelKind::Tsqrt,
+        ),
+        (
+            TaskKind::Tsmqr {
+                row: 1,
+                piv: 0,
+                col: 0,
+                j: 1,
+            },
+            KernelKind::Tsmqr,
+        ),
+        (
+            TaskKind::Ttqrt {
+                row: 1,
+                piv: 0,
+                col: 0,
+            },
+            KernelKind::Ttqrt,
+        ),
+        (
+            TaskKind::Ttmqr {
+                row: 1,
+                piv: 0,
+                col: 0,
+                j: 1,
+            },
+            KernelKind::Ttmqr,
+        ),
     ];
     for (task, kernel) in pairs {
         assert_eq!(task.weight(), kernel.weight(), "{}", kernel.name());
@@ -124,9 +175,15 @@ fn binary_tree_is_not_asymptotically_optimal() {
     // stays bounded away from 1 for p = q².
     let q = 12usize;
     let p = q * q;
-    let bt = critical_path(&Algorithm::BinaryTree.elimination_list(p, q), KernelFamily::TT);
+    let bt = critical_path(
+        &Algorithm::BinaryTree.elimination_list(p, q),
+        KernelFamily::TT,
+    );
     let ratio = bt as f64 / (22.0 * q as f64);
-    assert!(ratio > 1.5, "BinaryTree unexpectedly close to optimal: {ratio}");
+    assert!(
+        ratio > 1.5,
+        "BinaryTree unexpectedly close to optimal: {ratio}"
+    );
     // while Greedy stays close to 22q even for p = q²
     let g = critical_path(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
     assert!((g as f64) < 1.35 * 22.0 * q as f64);
