@@ -10,6 +10,7 @@ use tileqr_kernels::flops::qr_flops;
 use tileqr_matrix::generate::random_matrix;
 use tileqr_matrix::Matrix;
 use tileqr_runtime::driver::{qr_factorize, QrConfig};
+use tileqr_runtime::SchedulerKind;
 
 const NB: usize = 24;
 const P: usize = 10;
@@ -76,18 +77,31 @@ fn bench_threads(samples: &mut Vec<Sample>) {
     let (m, n) = (p * NB, q * NB);
     let a: Matrix<f64> = random_matrix(m, n, 9);
     for threads in [1usize, 2, 4] {
-        let config = QrConfig::new(NB).with_threads(threads);
-        let name = format!("threads_{threads}");
-        run(
-            samples,
-            "factorization_threads",
-            &name,
-            NB,
-            Some(qr_flops(m, n)),
-            || {
-                std::hint::black_box(qr_factorize(&a, config));
-            },
-        );
+        // The multi-threaded points are measured once per scheduling policy
+        // (the single-thread point bypasses the scheduler entirely).
+        let kinds: &[SchedulerKind] = if threads == 1 {
+            &[SchedulerKind::WorkStealingPriority]
+        } else {
+            &SchedulerKind::ALL
+        };
+        for &kind in kinds {
+            let config = QrConfig::new(NB).with_threads(threads).with_scheduler(kind);
+            let name = if threads == 1 {
+                "threads_1".to_string()
+            } else {
+                format!("threads_{threads}_{}", kind.name())
+            };
+            run(
+                samples,
+                "factorization_threads",
+                &name,
+                NB,
+                Some(qr_flops(m, n)),
+                || {
+                    std::hint::black_box(qr_factorize(&a, config));
+                },
+            );
+        }
     }
 }
 

@@ -226,6 +226,34 @@ impl TaskDag {
         }
         SuccessorsCsr { offsets, targets }
     }
+
+    /// Scheduling priority of every task: the weighted length of the longest
+    /// path from the task to an exit of the DAG (its *bottom level*),
+    /// including the task's own weight, in the abstract `nb³/3` unit of
+    /// Table 1 — the same kernel weights the roofline model in
+    /// [`crate::perfmodel`] consumes.
+    ///
+    /// A task whose priority equals the DAG's critical path lies *on* the
+    /// critical path; executing ready tasks in decreasing priority order is
+    /// the classic critical-path list-scheduling heuristic the runtime's
+    /// priority work-stealing scheduler implements.
+    pub fn priorities(&self) -> Vec<u64> {
+        self.priorities_with(&self.successors_csr())
+    }
+
+    /// Like [`TaskDag::priorities`], but reuses an already-built successor
+    /// CSR (the runtime builds one anyway) to avoid a second traversal.
+    pub fn priorities_with(&self, succ: &SuccessorsCsr) -> Vec<u64> {
+        let n = self.tasks.len();
+        let mut prio = vec![0u64; n];
+        // Tasks are stored in topological order, so one reverse sweep sees
+        // every successor before the task itself.
+        for i in (0..n).rev() {
+            let downstream = succ.of(i).iter().map(|&s| prio[s]).max().unwrap_or(0);
+            prio[i] = downstream + self.tasks[i].kind.weight();
+        }
+        prio
+    }
 }
 
 /// Flat (CSR) successor adjacency of a [`TaskDag`]; see
@@ -658,6 +686,39 @@ mod tests {
             let mut sorted = expected.clone();
             sorted.sort_unstable();
             assert_eq!(csr.of(i), sorted.as_slice(), "successor list of task {i}");
+        }
+    }
+
+    #[test]
+    fn priorities_are_bottom_levels() {
+        let dag = TaskDag::build(&greedy(8, 4), KernelFamily::TT);
+        let succ = dag.successors_csr();
+        let prio = dag.priorities();
+        assert_eq!(prio, dag.priorities_with(&succ));
+        // Every exit task's priority is exactly its own weight; every other
+        // task dominates its successors by its own weight.
+        for (i, task) in dag.tasks.iter().enumerate() {
+            let downstream = succ.of(i).iter().map(|&s| prio[s]).max().unwrap_or(0);
+            assert_eq!(prio[i], downstream + task.kind.weight());
+        }
+        // The largest bottom level is the critical path of the DAG.
+        let cp = crate::sim::simulate_unbounded(&dag).critical_path;
+        assert_eq!(prio.iter().copied().max().unwrap(), cp);
+    }
+
+    #[test]
+    fn priorities_decrease_along_every_edge() {
+        for family in [KernelFamily::TT, KernelFamily::TS] {
+            let dag = TaskDag::build(&fibonacci(10, 5), family);
+            let prio = dag.priorities();
+            for (idx, task) in dag.tasks.iter().enumerate() {
+                for &d in &task.deps {
+                    assert!(
+                        prio[d] > prio[idx],
+                        "priority must strictly decrease towards the exits"
+                    );
+                }
+            }
         }
     }
 

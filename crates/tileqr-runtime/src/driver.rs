@@ -15,8 +15,9 @@ use tileqr_core::{EliminationList, TaskKind};
 use tileqr_kernels::{tsmqr_ws, ttmqr_ws, unmqr_ws, Trans, Workspace};
 use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
-use crate::executor::{execute_parallel_with, execute_sequential_with};
+use crate::executor::{execute_parallel_with_scheduler, execute_sequential_with, SchedulerKind};
 use crate::state::FactorizationState;
+use crate::trace::WorkerTrace;
 
 /// Configuration of a tiled QR factorization run.
 #[derive(Clone, Copy, Debug)]
@@ -29,16 +30,21 @@ pub struct QrConfig {
     pub family: KernelFamily,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Ready-task scheduling policy of the parallel executor (ignored when
+    /// `threads == 1`).
+    pub scheduler: SchedulerKind,
 }
 
 impl QrConfig {
-    /// A sensible default: Greedy reduction tree, TT kernels, sequential.
+    /// A sensible default: Greedy reduction tree, TT kernels, sequential,
+    /// work-stealing scheduler (when threads are enabled).
     pub fn new(tile_size: usize) -> Self {
         QrConfig {
             tile_size,
             algorithm: Algorithm::Greedy,
             family: KernelFamily::TT,
             threads: 1,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -57,6 +63,12 @@ impl QrConfig {
     /// Sets the number of worker threads.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the parallel scheduling policy.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -108,25 +120,49 @@ pub fn qr_factorize_parallel<T: Scalar<Real = f64>>(
 /// Factorizes `a` while recording a per-task execution trace (start/finish
 /// timestamps); see [`crate::trace`]. Returns the factorization together
 /// with the collected trace.
+///
+/// Each worker records into its own lock-free [`WorkerTrace`] buffer; the
+/// buffers are merged into the returned trace when the pool shuts down, so
+/// tracing adds no lock traffic to the executor hot loop.
 pub fn qr_factorize_traced<T: Scalar<Real = f64>>(
     a: &Matrix<T>,
     config: QrConfig,
 ) -> (QrFactorization<T>, crate::trace::ExecutionTrace) {
     let trace = crate::trace::ExecutionTrace::new();
-    let f = factorize_with(a, config, |state, task, ws| {
-        trace.record(task, || state.run_ws(task, ws))
-    });
+    let f = factorize_with(
+        a,
+        config,
+        |dag_len| trace.worker_with_capacity(dag_len),
+        |state, task, ws, wt| wt.record(task, || state.run_ws(task, ws)),
+    );
     (f, trace)
 }
 
 fn factorize_impl<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrFactorization<T> {
-    factorize_with(a, config, |state, task, ws| state.run_ws(task, ws))
+    factorize_with(
+        a,
+        config,
+        |_| WorkerTrace::disabled(),
+        |state, task, ws, _wt| state.run_ws(task, ws),
+    )
 }
 
-fn factorize_with<T, F>(a: &Matrix<T>, config: QrConfig, run: F) -> QrFactorization<T>
+/// Shared driver body: tiles the matrix, builds the DAG and executes it.
+///
+/// `make_trace` builds one per-worker trace recorder (given the DAG length
+/// as a capacity hint) and `run` maps a task to its kernel; the untraced
+/// path passes [`WorkerTrace::disabled`], which makes recording a no-op.
+fn factorize_with<'t, T, MT, F>(
+    a: &Matrix<T>,
+    config: QrConfig,
+    make_trace: MT,
+    run: F,
+) -> QrFactorization<T>
 where
     T: Scalar<Real = f64>,
-    F: Fn(&FactorizationState<T>, tileqr_core::TaskKind, &mut Workspace<T>) + Sync,
+    MT: Fn(usize) -> WorkerTrace<'t> + Sync,
+    F: Fn(&FactorizationState<T>, tileqr_core::TaskKind, &mut Workspace<T>, &mut WorkerTrace<'t>)
+        + Sync,
 {
     let (m, n) = a.shape();
     assert!(m >= n, "tiled QR requires a tall or square matrix (m ≥ n)");
@@ -142,13 +178,15 @@ where
     let state = FactorizationState::new(tiled);
     if config.threads <= 1 {
         let mut ws = Workspace::new(config.tile_size);
-        execute_sequential_with(&dag, &mut ws, |task, ws| run(&state, task, ws));
+        let mut wt = make_trace(dag.len());
+        execute_sequential_with(&dag, &mut ws, |task, ws| run(&state, task, ws, &mut wt));
     } else {
-        execute_parallel_with(
+        execute_parallel_with_scheduler(
             &dag,
             config.threads,
-            || Workspace::new(config.tile_size),
-            |task, ws| run(&state, task, ws),
+            config.scheduler,
+            || (Workspace::new(config.tile_size), make_trace(dag.len())),
+            |task, (ws, wt)| run(&state, task, ws, wt),
         );
     }
     let (tiles, t_geqrt, t_elim) = state.into_parts();
@@ -398,6 +436,21 @@ mod tests {
         let diff = frobenius_norm(&seq.r().sub(&par.r()));
         assert!(diff < 1e-12, "sequential and parallel R differ by {diff}");
         assert!(par.residual(&a) < TOL);
+    }
+
+    #[test]
+    fn every_scheduler_produces_a_correct_factorization() {
+        let a: Matrix<f64> = random_matrix(32, 24, 22);
+        for kind in crate::executor::SchedulerKind::ALL {
+            let config = QrConfig::new(8).with_threads(3).with_scheduler(kind);
+            assert_eq!(config.scheduler, kind);
+            let f = qr_factorize(&a, config);
+            assert!(
+                f.residual(&a) < TOL,
+                "scheduler {} produced a bad factorization",
+                kind.name()
+            );
+        }
     }
 
     #[test]

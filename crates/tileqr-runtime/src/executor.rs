@@ -1,4 +1,4 @@
-//! Dependency-counting DAG executors.
+//! Dependency-counting DAG executors and the pluggable ready-task scheduler.
 //!
 //! The task graph built by `tileqr-core` is already in topological order with
 //! explicit predecessor lists. Two execution strategies are provided:
@@ -6,10 +6,38 @@
 //! * [`execute_sequential`] / [`execute_sequential_with`] simply walk the
 //!   tasks in order — used by the sequential driver and as the reference for
 //!   correctness tests;
-//! * [`execute_parallel`] / [`execute_parallel_with`] run a pool of worker
-//!   threads that pull ready tasks from a shared queue and release their
-//!   successors as they finish — a miniature version of the PLASMA/QUARK
-//!   dynamic scheduler used in the paper's experiments.
+//! * [`execute_parallel`] / [`execute_parallel_with`] /
+//!   [`execute_parallel_with_scheduler`] run a pool of worker threads that
+//!   pull ready tasks from a [`Scheduler`] and release their successors as
+//!   they finish — a miniature version of the PLASMA/QUARK dynamic scheduler
+//!   used in the paper's experiments.
+//!
+//! # Schedulers
+//!
+//! *Which* ready task a worker runs next is delegated to the [`Scheduler`]
+//! trait; [`SchedulerKind`] selects between the three implementations:
+//!
+//! * [`SchedulerKind::LockedFifo`] — the original single
+//!   [`TaskQueue`](crate::sync::TaskQueue) (a mutex-protected FIFO) shared by
+//!   every worker. Kept for ablation: it is correct and simple, but on many
+//!   cores the single lock serializes every push and pop.
+//! * [`SchedulerKind::WorkStealing`] — one Chase–Lev
+//!   [`WorkerDeque`](crate::sync::WorkerDeque) per worker plus a global FIFO
+//!   injector holding the initially-ready tasks. A worker pushes the tasks it
+//!   enables onto its *own* deque and pops them back LIFO (cache-warm tiles);
+//!   an idle worker first drains the injector, then steals the *oldest* task
+//!   from a sibling. No lock is ever taken on the hot path.
+//! * [`SchedulerKind::WorkStealingPriority`] — same deques, but each batch of
+//!   newly-enabled tasks is pushed in increasing **critical-path priority**
+//!   order ([`TaskDag::priorities`]: the weighted longest path from the task
+//!   to a DAG exit), so the owner pops the most critical task first while
+//!   stealers take the least critical — the paper's thesis that measured time
+//!   tracks the critical path, applied to the runtime itself. The injector is
+//!   seeded in decreasing priority order too.
+//!
+//! All three schedulers preallocate every buffer from `dag.len()` during
+//! setup, preserving the executor's **zero per-task allocation** guarantee
+//! (verified by the counting-allocator integration test).
 //!
 //! The `_with` variants thread a per-worker **workspace** through the task
 //! closure: `make_ws` is called once per worker thread (and once for the
@@ -18,15 +46,17 @@
 //! [`tileqr_kernels::Workspace`] as the workspace type this makes the hot
 //! loop allocation-free: all kernel scratch is preallocated before the first
 //! task runs. Idle workers back off with
-//! [`Backoff`](crate::sync::Backoff) (spin, then yield) instead of hammering
-//! `yield_now`, so they stop burning a core at the tail of the DAG.
+//! [`Backoff`](crate::sync::Backoff) (spin → yield → bounded park), so they
+//! stop burning a core at the tail of the DAG.
+//!
+//! [`TaskDag::priorities`]: tileqr_core::dag::TaskDag::priorities
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use tileqr_core::dag::TaskDag;
 use tileqr_core::TaskKind;
 
-use crate::sync::{Backoff, TaskQueue};
+use crate::sync::{Backoff, Steal, TaskQueue, WorkerDeque};
 
 /// Executes every task of the DAG in topological order on the current
 /// thread.
@@ -50,6 +80,258 @@ where
     }
 }
 
+/// Selects the ready-task scheduling policy of the parallel executor; see
+/// the [module docs](self) for what each policy does.
+///
+/// The default is plain [`SchedulerKind::WorkStealing`]: LIFO owner pops
+/// walk the DAG depth-first over the tiles the worker just touched, which
+/// measures fastest when cores are scarce (the `bench_executor` ablation).
+/// [`SchedulerKind::WorkStealingPriority`] trades some of that locality for
+/// critical-path order — the right trade once the machine has enough cores
+/// that the critical path, not the work, binds the makespan (the paper's
+/// regime of interest).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Single mutex-protected FIFO shared by all workers (legacy behavior,
+    /// kept for ablation).
+    LockedFifo,
+    /// Per-worker Chase–Lev deques + global injector; LIFO owner pop, FIFO
+    /// steal (the default).
+    #[default]
+    WorkStealing,
+    /// Work stealing with owner deques ordered by weighted
+    /// critical-path-to-exit priority.
+    WorkStealingPriority,
+}
+
+impl SchedulerKind {
+    /// Short display name (`"locked_fifo"`, `"work_stealing"`,
+    /// `"ws_priority"`), used by the bench layer.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::LockedFifo => "locked_fifo",
+            SchedulerKind::WorkStealing => "work_stealing",
+            SchedulerKind::WorkStealingPriority => "ws_priority",
+        }
+    }
+
+    /// All scheduler kinds, for ablation sweeps.
+    pub const ALL: [SchedulerKind; 3] = [
+        SchedulerKind::LockedFifo,
+        SchedulerKind::WorkStealing,
+        SchedulerKind::WorkStealingPriority,
+    ];
+}
+
+/// A ready-task multiplexer between the workers of the parallel executor.
+///
+/// The executor drives the scheduler through three calls:
+///
+/// 1. [`Scheduler::seed`] once, before any worker starts, with every task
+///    whose dependency count is zero;
+/// 2. [`Scheduler::push_ready`] from worker `w` each time completing a task
+///    enables a batch of successors (the batch slice is scratch owned by the
+///    worker — implementations may reorder it in place). The scheduler may
+///    hand one task of the batch straight back as a **work-first
+///    continuation**: the worker runs it immediately, skipping a queue
+///    round-trip — for chains of dependent tasks (the bulk of a tiled-QR
+///    DAG) this removes the scheduler from the hot path entirely;
+/// 3. [`Scheduler::pop`] from worker `w` to obtain the next task to run
+///    when it has no continuation in hand.
+///
+/// Contract: every index handed to `seed`/`push_ready` must come back
+/// exactly once — either as a `push_ready` continuation or from one `pop` —
+/// and implementations must not allocate in `push_ready`/`pop` (all buffers
+/// are sized from the DAG during construction). A `pop` returning `None` is
+/// *transient* — the executor re-checks its completion counter and retries
+/// with backoff.
+pub trait Scheduler: Sync {
+    /// Makes the initially-ready tasks available before the pool starts.
+    /// The slice may be reordered in place.
+    fn seed(&self, roots: &mut [usize]);
+
+    /// Makes a batch of newly-enabled tasks available; called by worker `w`
+    /// on its own hot path. The slice may be reordered in place. A returned
+    /// task is *not* enqueued: the worker must run it next.
+    fn push_ready(&self, w: usize, ready: &mut [usize]) -> Option<usize>;
+
+    /// Returns the next task for worker `w`, or `None` if no runnable task
+    /// was found right now.
+    fn pop(&self, w: usize) -> Option<usize>;
+}
+
+/// The legacy scheduler: one mutex-protected FIFO shared by every worker.
+pub struct LockedFifo {
+    queue: TaskQueue,
+}
+
+impl LockedFifo {
+    /// Builds the scheduler for a DAG of `num_tasks` tasks.
+    pub fn new(num_tasks: usize) -> Self {
+        LockedFifo {
+            queue: TaskQueue::with_capacity(num_tasks),
+        }
+    }
+}
+
+impl Scheduler for LockedFifo {
+    fn seed(&self, roots: &mut [usize]) {
+        for &r in roots.iter() {
+            self.queue.push(r);
+        }
+    }
+
+    /// Everything goes through the shared queue — no work-first
+    /// continuation, faithfully reproducing the pre-refactor executor for
+    /// the ablation.
+    fn push_ready(&self, _w: usize, ready: &mut [usize]) -> Option<usize> {
+        for &r in ready.iter() {
+            self.queue.push(r);
+        }
+        None
+    }
+
+    fn pop(&self, _w: usize) -> Option<usize> {
+        self.queue.pop()
+    }
+}
+
+/// Per-worker Chase–Lev deques with a global FIFO injector for the
+/// initially-ready tasks.
+pub struct WorkStealing {
+    /// Initially-ready tasks; drained when a worker's own deque is empty.
+    injector: TaskQueue,
+    /// Set once the injector has been observed empty. Tasks enter the
+    /// injector only during [`Scheduler::seed`], so "drained" is permanent
+    /// and idle workers stop taking the injector lock on every miss.
+    injector_drained: std::sync::atomic::AtomicBool,
+    /// One deque per worker; worker `w` owns `deques[w]`.
+    deques: Vec<WorkerDeque>,
+}
+
+impl WorkStealing {
+    /// Builds the scheduler: `workers` deques, each able to hold the whole
+    /// DAG (`num_tasks` indices), so pushes can never overflow.
+    pub fn new(num_tasks: usize, workers: usize) -> Self {
+        WorkStealing {
+            injector: TaskQueue::with_capacity(num_tasks),
+            injector_drained: std::sync::atomic::AtomicBool::new(false),
+            deques: (0..workers.max(1))
+                .map(|_| WorkerDeque::with_capacity(num_tasks))
+                .collect(),
+        }
+    }
+
+    /// Pop order shared by both stealing schedulers: own deque (LIFO), then
+    /// the injector, then one stealing sweep over the siblings starting
+    /// after `w` (so the victims are spread instead of all workers mobbing
+    /// worker 0).
+    #[inline]
+    fn pop_from(&self, w: usize) -> Option<usize> {
+        if let Some(task) = self.deques[w].pop() {
+            return Some(task);
+        }
+        if !self.injector_drained.load(Ordering::Relaxed) {
+            match self.injector.pop() {
+                Some(task) => return Some(task),
+                None => self.injector_drained.store(true, Ordering::Relaxed),
+            }
+        }
+        let n = self.deques.len();
+        for step in 1..n {
+            let victim = (w + step) % n;
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Success(task) => return Some(task),
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Scheduler for WorkStealing {
+    fn seed(&self, roots: &mut [usize]) {
+        for &r in roots.iter() {
+            self.injector.push(r);
+        }
+    }
+
+    /// Keeps the first successor (topological order — the tiles the worker
+    /// just touched) as the work-first continuation and publishes the rest,
+    /// reverse-pushed so the owner's LIFO pop visits them in original
+    /// order.
+    fn push_ready(&self, w: usize, ready: &mut [usize]) -> Option<usize> {
+        let (&next, rest) = ready.split_first()?;
+        for &r in rest.iter().rev() {
+            self.deques[w].push(r);
+        }
+        Some(next)
+    }
+
+    fn pop(&self, w: usize) -> Option<usize> {
+        self.pop_from(w)
+    }
+}
+
+/// Work stealing with critical-path priorities: each batch of newly-enabled
+/// tasks is pushed so the owner pops the task with the largest weighted
+/// critical-path-to-exit first, and stealers take the least critical one.
+pub struct WorkStealingPriority {
+    inner: WorkStealing,
+    /// `priority[i]` = weighted longest path from task `i` to a DAG exit
+    /// ([`TaskDag::priorities`](tileqr_core::dag::TaskDag::priorities)).
+    priority: Vec<u64>,
+}
+
+impl WorkStealingPriority {
+    /// Builds the scheduler from precomputed per-task priorities.
+    pub fn new(priority: Vec<u64>, workers: usize) -> Self {
+        WorkStealingPriority {
+            inner: WorkStealing::new(priority.len(), workers),
+            priority,
+        }
+    }
+
+    /// Sorts a batch by ascending priority, in place, without allocating
+    /// (`sort_unstable` is in-place, and batches are bounded by the DAG's
+    /// maximum out-degree — `O(q)` for tiled QR).
+    #[inline]
+    fn sort_ascending(&self, batch: &mut [usize]) {
+        batch.sort_unstable_by_key(|&t| self.priority[t]);
+    }
+}
+
+impl Scheduler for WorkStealingPriority {
+    fn seed(&self, roots: &mut [usize]) {
+        // FIFO injector: push in *descending* priority so the first pops get
+        // the most critical roots.
+        self.sort_ascending(roots);
+        for &r in roots.iter().rev() {
+            self.inner.injector.push(r);
+        }
+    }
+
+    /// Keeps the most critical successor as the work-first continuation and
+    /// publishes the rest in ascending priority: LIFO owner pops then run
+    /// higher priorities first while stealers take from the top — the least
+    /// critical of the batch.
+    fn push_ready(&self, w: usize, ready: &mut [usize]) -> Option<usize> {
+        self.sort_ascending(ready);
+        let (&next, rest) = ready.split_last()?;
+        for &r in rest.iter() {
+            self.inner.deques[w].push(r);
+        }
+        Some(next)
+    }
+
+    fn pop(&self, w: usize) -> Option<usize> {
+        self.inner.pop_from(w)
+    }
+}
+
 /// Executes the DAG on `num_threads` worker threads (workspace-free
 /// compatibility wrapper over [`execute_parallel_with`]).
 pub fn execute_parallel<F>(dag: &TaskDag, num_threads: usize, run: F)
@@ -60,20 +342,37 @@ where
 }
 
 /// Executes the DAG on `num_threads` worker threads with one workspace per
-/// worker.
-///
-/// Every worker builds its own workspace with `make_ws` when it starts, then
-/// repeatedly pops a ready task from a shared queue, runs it against its
-/// workspace, and decrements the dependency counters of the task's
-/// successors, pushing any task whose counter reaches zero. The closure must
-/// be safe to call concurrently for tasks that are not ordered by the DAG —
-/// the state module guarantees this by protecting each tile with its own
-/// lock.
-///
-/// After the setup phase (queue and counters sized to the DAG, workspaces
-/// built per worker) the loop performs no heap allocations.
+/// worker, using the default scheduler ([`SchedulerKind::WorkStealing`]).
 pub fn execute_parallel_with<W, M, F>(dag: &TaskDag, num_threads: usize, make_ws: M, run: F)
 where
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(TaskKind, &mut W) + Sync,
+{
+    execute_parallel_with_scheduler(dag, num_threads, SchedulerKind::default(), make_ws, run)
+}
+
+/// Executes the DAG on `num_threads` worker threads with one workspace per
+/// worker and an explicit scheduling policy.
+///
+/// Every worker builds its own workspace with `make_ws` when it starts, then
+/// repeatedly pops a ready task from the scheduler, runs it against its
+/// workspace, and decrements the dependency counters of the task's
+/// successors, handing the scheduler every task whose counter reaches zero.
+/// The closure must be safe to call concurrently for tasks that are not
+/// ordered by the DAG — the state module guarantees this by protecting each
+/// tile with its own lock.
+///
+/// After the setup phase (scheduler buffers and counters sized to the DAG,
+/// workspaces built per worker) the loop performs no heap allocations, for
+/// every [`SchedulerKind`].
+pub fn execute_parallel_with_scheduler<W, M, F>(
+    dag: &TaskDag,
+    num_threads: usize,
+    scheduler: SchedulerKind,
+    make_ws: M,
+    run: F,
+) where
     W: Send,
     M: Fn() -> W + Sync,
     F: Fn(TaskKind, &mut W) + Sync,
@@ -90,19 +389,66 @@ where
         }
         return;
     }
-
+    // One successor CSR serves both the dependency release loop and (for
+    // the priority scheduler) the bottom-level computation.
     let succ = dag.successors_csr();
+    match scheduler {
+        SchedulerKind::LockedFifo => {
+            run_pool(dag, &succ, num_threads, &LockedFifo::new(n), make_ws, run)
+        }
+        SchedulerKind::WorkStealing => run_pool(
+            dag,
+            &succ,
+            num_threads,
+            &WorkStealing::new(n, num_threads),
+            make_ws,
+            run,
+        ),
+        SchedulerKind::WorkStealingPriority => {
+            let priorities = dag.priorities_with(&succ);
+            run_pool(
+                dag,
+                &succ,
+                num_threads,
+                &WorkStealingPriority::new(priorities, num_threads),
+                make_ws,
+                run,
+            )
+        }
+    }
+}
+
+/// The worker pool, generic (monomorphized) over the scheduler so the hot
+/// loop pays no virtual dispatch.
+fn run_pool<S, W, M, F>(
+    dag: &TaskDag,
+    succ: &tileqr_core::dag::SuccessorsCsr,
+    num_threads: usize,
+    sched: &S,
+    make_ws: M,
+    run: F,
+) where
+    S: Scheduler,
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(TaskKind, &mut W) + Sync,
+{
+    let n = dag.tasks.len();
     let remaining: Vec<AtomicUsize> = dag
         .tasks
         .iter()
         .map(|t| AtomicUsize::new(t.deps.len()))
         .collect();
-    let ready = TaskQueue::with_capacity(n);
-    for (idx, task) in dag.tasks.iter().enumerate() {
-        if task.deps.is_empty() {
-            ready.push(idx);
-        }
-    }
+    // Scratch for the largest possible batch of newly-enabled successors.
+    let max_out_degree = (0..n).map(|i| succ.of(i).len()).max().unwrap_or(0);
+    let mut roots: Vec<usize> = dag
+        .tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.deps.is_empty())
+        .map(|(idx, _)| idx)
+        .collect();
+    sched.seed(&mut roots);
     let completed = AtomicUsize::new(0);
     let aborted = AtomicBool::new(false);
 
@@ -117,25 +463,40 @@ where
     }
 
     std::thread::scope(|scope| {
-        for _ in 0..num_threads {
-            scope.spawn(|| {
+        for w in 0..num_threads {
+            let sched = &sched;
+            let succ = &succ;
+            let remaining = &remaining;
+            let completed = &completed;
+            let aborted = &aborted;
+            let make_ws = &make_ws;
+            let run = &run;
+            scope.spawn(move || {
                 let mut ws = make_ws();
+                let mut enabled: Vec<usize> = Vec::with_capacity(max_out_degree);
                 let mut backoff = Backoff::new();
+                // Work-first continuation handed back by `push_ready`: run
+                // it directly, skipping the queue round-trip.
+                let mut next: Option<usize> = None;
                 loop {
                     if aborted.load(Ordering::Acquire) {
                         break;
                     }
-                    match ready.pop() {
+                    match next.take().or_else(|| sched.pop(w)) {
                         Some(idx) => {
                             backoff.reset();
-                            let guard = AbortOnPanic(&aborted);
+                            let guard = AbortOnPanic(aborted);
                             run(dag.tasks[idx].kind, &mut ws);
                             std::mem::forget(guard);
                             completed.fetch_add(1, Ordering::Release);
+                            enabled.clear();
                             for &s in succ.of(idx) {
                                 if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    ready.push(s);
+                                    enabled.push(s);
                                 }
+                            }
+                            if !enabled.is_empty() {
+                                next = sched.push_ready(w, &mut enabled);
                             }
                         }
                         None => {
@@ -175,37 +536,54 @@ mod tests {
     }
 
     #[test]
-    fn parallel_visits_every_task_once() {
+    fn parallel_visits_every_task_once_with_every_scheduler() {
         let dag = sample_dag(8, 4);
-        let seen = Mutex::new(HashSet::new());
-        execute_parallel(&dag, 4, |k| {
-            assert!(seen.lock().insert(k), "task executed twice: {k:?}");
-        });
-        assert_eq!(seen.lock().len(), dag.len());
+        for kind in SchedulerKind::ALL {
+            let seen = Mutex::new(HashSet::new());
+            execute_parallel_with_scheduler(
+                &dag,
+                4,
+                kind,
+                || (),
+                |k, _ws: &mut ()| {
+                    assert!(seen.lock().insert(k), "task executed twice: {k:?}");
+                },
+            );
+            assert_eq!(seen.lock().len(), dag.len(), "scheduler {}", kind.name());
+        }
     }
 
     #[test]
-    fn parallel_respects_dependencies() {
+    fn parallel_respects_dependencies_with_every_scheduler() {
         // Record completion order and verify that every dependency finished
         // before its dependent started. We log positions under a lock.
         let dag = sample_dag(7, 3);
-        let order = Mutex::new(Vec::new());
-        execute_parallel(&dag, 3, |k| {
-            order.lock().push(k);
-        });
-        let order = order.into_inner();
-        let position: std::collections::HashMap<_, _> =
-            order.iter().enumerate().map(|(i, k)| (*k, i)).collect();
-        for task in &dag.tasks {
-            let me = position[&task.kind];
-            for &d in &task.deps {
-                let dep = position[&dag.tasks[d].kind];
-                assert!(
-                    dep < me,
-                    "dependency ran after dependent: {:?} -> {:?}",
-                    dag.tasks[d].kind,
-                    task.kind
-                );
+        for kind in SchedulerKind::ALL {
+            let order = Mutex::new(Vec::new());
+            execute_parallel_with_scheduler(
+                &dag,
+                3,
+                kind,
+                || (),
+                |k, _ws: &mut ()| {
+                    order.lock().push(k);
+                },
+            );
+            let order = order.into_inner();
+            let position: std::collections::HashMap<_, _> =
+                order.iter().enumerate().map(|(i, k)| (*k, i)).collect();
+            for task in &dag.tasks {
+                let me = position[&task.kind];
+                for &d in &task.deps {
+                    let dep = position[&dag.tasks[d].kind];
+                    assert!(
+                        dep < me,
+                        "[{}] dependency ran after dependent: {:?} -> {:?}",
+                        kind.name(),
+                        dag.tasks[d].kind,
+                        task.kind
+                    );
+                }
             }
         }
     }
@@ -233,11 +611,19 @@ mod tests {
     #[test]
     fn single_thread_parallel_falls_back_to_sequential_order() {
         let dag = sample_dag(5, 2);
-        let seen = Mutex::new(Vec::new());
-        execute_parallel(&dag, 1, |k| seen.lock().push(k));
-        let seen = seen.into_inner();
-        let sequential: Vec<_> = dag.tasks.iter().map(|t| t.kind).collect();
-        assert_eq!(seen, sequential);
+        for kind in SchedulerKind::ALL {
+            let seen = Mutex::new(Vec::new());
+            execute_parallel_with_scheduler(
+                &dag,
+                1,
+                kind,
+                || (),
+                |k, _ws: &mut ()| seen.lock().push(k),
+            );
+            let seen = seen.into_inner();
+            let sequential: Vec<_> = dag.tasks.iter().map(|t| t.kind).collect();
+            assert_eq!(seen, sequential);
+        }
     }
 
     #[test]
@@ -271,14 +657,22 @@ mod tests {
         // forever on `completed < n`).
         let dag = sample_dag(8, 4);
         let poison = dag.tasks[dag.len() / 2].kind;
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_parallel(&dag, 4, |k| {
-                if k == poison {
-                    panic!("injected task failure");
-                }
-            });
-        }));
-        assert!(result.is_err(), "panic was swallowed");
+        for kind in SchedulerKind::ALL {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_parallel_with_scheduler(
+                    &dag,
+                    4,
+                    kind,
+                    || (),
+                    |k, _ws: &mut ()| {
+                        if k == poison {
+                            panic!("injected task failure");
+                        }
+                    },
+                );
+            }));
+            assert!(result.is_err(), "panic was swallowed by {}", kind.name());
+        }
     }
 
     #[test]
@@ -292,5 +686,68 @@ mod tests {
         });
         assert_eq!(ws, dag.len());
         assert_eq!(count, dag.len());
+    }
+
+    #[test]
+    fn scheduler_kind_defaults_to_work_stealing() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::WorkStealing);
+        let names: HashSet<_> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn priority_scheduler_runs_critical_roots_first_single_consumer() {
+        // Seed the priority scheduler with shuffled roots and drain it from
+        // one worker with no pushes: the injector must yield them in
+        // decreasing priority order.
+        let priority = vec![5u64, 40, 10, 7, 99, 1];
+        let sched = WorkStealingPriority::new(priority.clone(), 2);
+        let mut roots = vec![0usize, 1, 2, 3, 4, 5];
+        sched.seed(&mut roots);
+        let mut got = Vec::new();
+        while let Some(t) = sched.pop(0) {
+            got.push(t);
+        }
+        let drained: Vec<u64> = got.iter().map(|&t| priority[t]).collect();
+        assert_eq!(drained, vec![99, 40, 10, 7, 5, 1]);
+    }
+
+    #[test]
+    fn priority_scheduler_runs_batches_most_critical_first() {
+        let priority = vec![3u64, 8, 1, 12];
+        let sched = WorkStealingPriority::new(priority, 1);
+        let mut batch = vec![0usize, 1, 2, 3];
+        // The most critical task comes back as the work-first continuation;
+        // the rest pop in decreasing priority.
+        assert_eq!(sched.push_ready(0, &mut batch), Some(3)); // priority 12
+        assert_eq!(sched.pop(0), Some(1)); // priority 8
+        assert_eq!(sched.pop(0), Some(0)); // priority 3
+        assert_eq!(sched.pop(0), Some(2)); // priority 1
+        assert_eq!(sched.pop(0), None);
+    }
+
+    #[test]
+    fn work_stealing_pop_prefers_own_deque_then_injector_then_steal() {
+        let sched = WorkStealing::new(16, 2);
+        sched.seed(&mut [7usize]);
+        // First of each batch is the work-first continuation; the rest go
+        // to the pushing worker's own deque.
+        assert_eq!(sched.push_ready(0, &mut [1usize, 2]), Some(1));
+        assert_eq!(sched.push_ready(1, &mut [8usize, 9]), Some(8));
+        // Own deque first (batch in original order), then injector, then
+        // steal from worker 1.
+        assert_eq!(sched.pop(0), Some(2));
+        assert_eq!(sched.pop(0), Some(7));
+        assert_eq!(sched.pop(0), Some(9));
+        assert_eq!(sched.pop(0), None);
+    }
+
+    #[test]
+    fn locked_fifo_never_hands_back_a_continuation() {
+        let sched = LockedFifo::new(8);
+        assert_eq!(sched.push_ready(0, &mut [4usize, 5]), None);
+        assert_eq!(sched.pop(0), Some(4));
+        assert_eq!(sched.pop(1), Some(5));
+        assert_eq!(sched.pop(0), None);
     }
 }

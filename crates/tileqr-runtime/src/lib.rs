@@ -7,11 +7,17 @@
 //! or on a pool of worker threads with dependency-driven scheduling.
 //!
 //! * [`executor`] — a generic dependency-counting DAG executor (sequential
-//!   and multi-threaded variants) that gives every worker thread its own
-//!   preallocated kernel [`Workspace`](tileqr_kernels::Workspace), so the
-//!   per-task hot loop never touches the allocator.
-//! * [`sync`] — std-only synchronisation primitives (mutex, exponential
-//!   backoff, ready queue) used by the executor and the state.
+//!   and multi-threaded variants) with a pluggable ready-task
+//!   [`Scheduler`](executor::Scheduler): a legacy locked FIFO, per-worker
+//!   Chase–Lev work-stealing deques, and priority work stealing driven by
+//!   weighted critical-path-to-exit lengths
+//!   ([`TaskDag::priorities`](tileqr_core::dag::TaskDag::priorities)).
+//!   Every worker thread gets its own preallocated kernel
+//!   [`Workspace`](tileqr_kernels::Workspace), so the per-task hot loop
+//!   never touches the allocator under any scheduler.
+//! * [`sync`] — std-only synchronisation primitives (mutex, three-tier
+//!   spin/yield/park backoff, exact-capacity ready queue, Chase–Lev
+//!   work-stealing deque) used by the executor and the state.
 //! * [`state`] — the shared factorization state: lock-protected tiles plus
 //!   the per-tile `T` factors (preallocated up front), and the mapping from
 //!   a [`TaskKind`] to the corresponding kernel call.
@@ -33,5 +39,6 @@ pub mod sync;
 pub mod trace;
 
 pub use driver::{qr_factorize, qr_factorize_parallel, QrFactorization};
+pub use executor::SchedulerKind;
 pub use solve::least_squares_solve;
-pub use trace::{ExecutionTrace, TraceSummary};
+pub use trace::{ExecutionTrace, TraceSummary, WorkerTrace};

@@ -148,6 +148,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_solves_agree_across_schedulers() {
+        // The scheduler selection threads from QrConfig through the driver
+        // into the executor; every policy must yield the same solution as
+        // the sequential solve, bit for bit (same kernels, same DAG order
+        // per tile).
+        use crate::executor::SchedulerKind;
+        let a: Matrix<f64> = random_matrix(36, 9, 9);
+        let b: Vec<f64> = random_vector(36, 10);
+        let base = QrConfig::new(4).with_algorithm(Algorithm::Greedy);
+        let x_seq = least_squares_solve(&a, &b, base);
+        for kind in SchedulerKind::ALL {
+            let x_par = least_squares_solve(&a, &b, base.with_threads(4).with_scheduler(kind));
+            assert_eq!(x_seq, x_par, "solution differs under {}", kind.name());
+        }
+    }
+
+    #[test]
     fn reusing_a_factorization_for_multiple_rhs() {
         let a: Matrix<f64> = random_matrix(24, 6, 8);
         let f = qr_factorize(&a, QrConfig::new(6));

@@ -13,6 +13,13 @@
 //! together with the per-worker [`Workspace`]s threaded in by the executor,
 //! this makes [`FactorizationState::run_ws`] — the per-task hot path —
 //! completely allocation-free.
+//!
+//! [`FactorizationState::run_ws`] is the task body every scheduler of the
+//! executor drives ([`SchedulerKind`](crate::executor::SchedulerKind):
+//! locked FIFO, work stealing, priority work stealing). It is
+//! scheduler-agnostic by design: correctness relies only on the DAG
+//! ordering conflicting tasks, never on *which* ready task runs first, so
+//! the factorization output is bitwise identical under every policy.
 
 use crate::sync::{Mutex, MutexGuard};
 use tileqr_core::TaskKind;
@@ -248,6 +255,38 @@ mod tests {
         assert_eq!(t_geqrt.iter().filter(|t| nonzero(t)).count(), 3 + 2);
         // and every sub-diagonal tile has an elimination T factor
         assert_eq!(t_elim.iter().filter(|t| nonzero(t)).count(), 2 + 1);
+    }
+
+    #[test]
+    fn run_ws_is_bitwise_identical_under_every_scheduler() {
+        // The same DAG executed by each scheduler against a fresh state must
+        // produce bit-for-bit the same tiles and T factors as the sequential
+        // reference walk.
+        use crate::executor::{execute_parallel_with_scheduler, SchedulerKind};
+        let a = random_matrix::<f64>(24, 12, 5);
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(6, 3), KernelFamily::TT);
+
+        let reference = FactorizationState::new(TiledMatrix::from_dense(&a, 4));
+        let mut ws = Workspace::new(4);
+        for task in &dag.tasks {
+            reference.run_ws(task.kind, &mut ws);
+        }
+        let (tiles_ref, tg_ref, te_ref) = reference.into_parts();
+
+        for kind in SchedulerKind::ALL {
+            let state = FactorizationState::new(TiledMatrix::from_dense(&a, 4));
+            execute_parallel_with_scheduler(
+                &dag,
+                4,
+                kind,
+                || Workspace::<f64>::new(4),
+                |task, ws| state.run_ws(task, ws),
+            );
+            let (tiles, tg, te) = state.into_parts();
+            assert_eq!(tiles, tiles_ref, "tiles differ under {}", kind.name());
+            assert_eq!(tg, tg_ref, "GEQRT T factors differ under {}", kind.name());
+            assert_eq!(te, te_ref, "elim T factors differ under {}", kind.name());
+        }
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! follows the model — per-kernel time breakdowns, the measured makespan,
 //! the longest chain actually observed, and a simple parallelism profile.
 //! The `schedule_trace` example prints such a report.
+//!
+//! Tracing stays off the executor's hot path: each worker records into its
+//! own local [`WorkerTrace`] buffer (no lock, no allocation once the buffer
+//! is reserved) and the buffers are merged into the shared
+//! [`ExecutionTrace`] exactly once, when the worker shuts down and drops its
+//! `WorkerTrace`. A [`WorkerTrace::disabled`] handle makes every `record`
+//! call a true no-op — not even a timestamp is taken — so untraced runs pay
+//! nothing.
 
 use std::time::{Duration, Instant};
 
@@ -53,7 +61,10 @@ impl ExecutionTrace {
         }
     }
 
-    /// Runs `f` for `kind`, recording its start and end times.
+    /// Runs `f` for `kind`, recording its start and end times directly into
+    /// the shared span list (one lock per call — fine for sequential or
+    /// one-off use; worker threads should use [`ExecutionTrace::worker`]
+    /// buffers instead).
     pub fn record<R>(&self, kind: TaskKind, f: impl FnOnce() -> R) -> R {
         let start = self.origin.elapsed();
         let out = f();
@@ -62,7 +73,35 @@ impl ExecutionTrace {
         out
     }
 
-    /// Returns the recorded spans (in completion order).
+    /// Creates a lock-free per-worker recording buffer that merges itself
+    /// into this trace when dropped (i.e. at pool shutdown).
+    pub fn worker(&self) -> WorkerTrace<'_> {
+        self.worker_with_capacity(0)
+    }
+
+    /// Like [`ExecutionTrace::worker`], but preallocates room for
+    /// `capacity` spans so recording never reallocates on the hot path
+    /// (size it to the DAG length).
+    pub fn worker_with_capacity(&self, capacity: usize) -> WorkerTrace<'_> {
+        WorkerTrace {
+            sink: Some(self),
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Merges a batch of spans collected elsewhere (one lock per batch).
+    fn merge(&self, spans: &mut Vec<TaskSpan>) {
+        if spans.is_empty() {
+            return;
+        }
+        self.spans.lock().append(spans);
+    }
+
+    /// Returns the recorded spans. Spans recorded via [`ExecutionTrace::record`]
+    /// appear in completion order; spans from [`WorkerTrace`] buffers arrive
+    /// as one contiguous batch per worker at pool shutdown (completion order
+    /// *within* each worker, workers interleaved arbitrarily) — sort by
+    /// [`TaskSpan::end`] if a global completion order is needed.
     pub fn spans(&self) -> Vec<TaskSpan> {
         self.spans.lock().clone()
     }
@@ -80,6 +119,57 @@ impl ExecutionTrace {
     /// Builds the summary report.
     pub fn summary(&self) -> TraceSummary {
         TraceSummary::from_spans(&self.spans())
+    }
+}
+
+/// A per-worker trace buffer: records spans locally without taking any lock,
+/// and merges them into the parent [`ExecutionTrace`] when dropped.
+///
+/// When built with [`WorkerTrace::disabled`] (no sink installed), `record`
+/// is a complete no-op — it neither reads the clock nor touches the buffer —
+/// so the same task closure serves traced and untraced executions without a
+/// hot-path penalty.
+pub struct WorkerTrace<'a> {
+    sink: Option<&'a ExecutionTrace>,
+    buf: Vec<TaskSpan>,
+}
+
+impl WorkerTrace<'static> {
+    /// A no-op recorder: every `record` call just runs the closure.
+    pub fn disabled() -> Self {
+        WorkerTrace {
+            sink: None,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<'a> WorkerTrace<'a> {
+    /// Runs `f` for `kind`; when a sink is installed, buffers the span
+    /// locally (no lock).
+    #[inline]
+    pub fn record<R>(&mut self, kind: TaskKind, f: impl FnOnce() -> R) -> R {
+        let Some(trace) = self.sink else {
+            return f();
+        };
+        let start = trace.origin.elapsed();
+        let out = f();
+        let end = trace.origin.elapsed();
+        self.buf.push(TaskSpan { kind, start, end });
+        out
+    }
+
+    /// Number of spans buffered locally (not yet merged).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl Drop for WorkerTrace<'_> {
+    fn drop(&mut self) {
+        if let Some(trace) = self.sink {
+            trace.merge(&mut self.buf);
+        }
     }
 }
 
@@ -198,6 +288,46 @@ mod tests {
         let geqrt = s.per_kernel.iter().find(|(k, _, _)| *k == "GEQRT").unwrap();
         assert_eq!(geqrt.1, 2);
         assert!(s.average_parallelism() > 0.0);
+    }
+
+    #[test]
+    fn worker_buffers_merge_on_drop() {
+        let trace = ExecutionTrace::new();
+        {
+            let mut w0 = trace.worker_with_capacity(4);
+            let mut w1 = trace.worker();
+            for i in 0..3 {
+                w0.record(fake_kind(i), || ());
+            }
+            w1.record(fake_kind(9), || ());
+            assert_eq!(w0.buffered(), 3);
+            assert_eq!(w1.buffered(), 1);
+            // Nothing visible in the shared trace until the workers drop.
+            assert!(trace.is_empty());
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.summary().tasks, 4);
+    }
+
+    #[test]
+    fn disabled_worker_trace_is_a_noop() {
+        let mut w = WorkerTrace::disabled();
+        let out = w.record(fake_kind(0), || 17);
+        assert_eq!(out, 17);
+        assert_eq!(w.buffered(), 0);
+    }
+
+    #[test]
+    fn worker_recording_does_not_lock_the_shared_trace() {
+        // Record from a worker while the shared span list is locked: if the
+        // worker path took the lock this would deadlock.
+        let trace = ExecutionTrace::new();
+        let mut w = trace.worker_with_capacity(1);
+        let guard = trace.spans.lock();
+        w.record(fake_kind(1), || ());
+        drop(guard);
+        drop(w);
+        assert_eq!(trace.len(), 1);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use tileqr_core::KernelFamily;
 use tileqr_kernels::Workspace;
 use tileqr_matrix::generate::random_matrix;
 use tileqr_matrix::TiledMatrix;
-use tileqr_runtime::executor::{execute_parallel_with, execute_sequential_with};
+use tileqr_runtime::executor::{
+    execute_parallel_with_scheduler, execute_sequential_with, SchedulerKind,
+};
 use tileqr_runtime::state::FactorizationState;
 
 struct CountingAllocator;
@@ -51,17 +53,24 @@ fn allocations_during<R>(f: impl FnOnce() -> R) -> (usize, R) {
 }
 
 /// Runs a full Greedy/TT factorization of a p×q tile grid through the
-/// parallel executor and returns the number of allocations performed inside
-/// the execute call only (setup excluded).
-fn parallel_run_allocations(p: usize, q: usize, nb: usize, threads: usize) -> (usize, usize) {
+/// parallel executor with the given scheduler and returns the number of
+/// allocations performed inside the execute call only (setup excluded).
+fn parallel_run_allocations(
+    p: usize,
+    q: usize,
+    nb: usize,
+    threads: usize,
+    kind: SchedulerKind,
+) -> (usize, usize) {
     let a = random_matrix::<f64>(p * nb, q * nb, 7);
     let tiled = TiledMatrix::from_dense(&a, nb);
     let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
     let state = FactorizationState::new(tiled);
     let (allocs, ()) = allocations_during(|| {
-        execute_parallel_with(
+        execute_parallel_with_scheduler(
             &dag,
             threads,
+            kind,
             || Workspace::<f64>::new(nb),
             |task, ws| state.run_ws(task, ws),
         );
@@ -74,29 +83,33 @@ fn parallel_run_allocations(p: usize, q: usize, nb: usize, threads: usize) -> (u
 // its own thread spawning would pollute a concurrent measurement window.
 #[test]
 fn hot_loops_do_not_allocate_per_task() {
-    parallel_check();
+    for kind in SchedulerKind::ALL {
+        parallel_check(kind);
+    }
     sequential_check();
 }
 
-fn parallel_check() {
+fn parallel_check(kind: SchedulerKind) {
     let threads = 3;
     // Warm up thread-local/runtime one-time allocations.
-    let _ = parallel_run_allocations(2, 1, 4, threads);
-    let (small_allocs, small_tasks) = parallel_run_allocations(3, 2, 4, threads);
-    let (large_allocs, large_tasks) = parallel_run_allocations(10, 6, 4, threads);
+    let _ = parallel_run_allocations(2, 1, 4, threads, kind);
+    let (small_allocs, small_tasks) = parallel_run_allocations(3, 2, 4, threads, kind);
+    let (large_allocs, large_tasks) = parallel_run_allocations(10, 6, 4, threads, kind);
     assert!(
         large_tasks > small_tasks + 300,
         "need a meaningful task-count gap"
     );
-    // Setup allocations (queue, counters, per-worker workspaces, thread
-    // spawns) are an affine function of `threads`, not of the task count.
-    // Allow generous slack for allocator-internal noise; one allocation per
-    // task would blow through this by an order of magnitude.
+    // Setup allocations (scheduler buffers — locked queue, deques, priority
+    // vector —, counters, per-worker workspaces, thread spawns) scale with
+    // `threads` and `dag.len()`, but the *count* of them is constant per
+    // run. Allow generous slack for allocator-internal noise; one
+    // allocation per task would blow through this by an order of magnitude.
     let slack = 64;
     assert!(
         large_allocs <= small_allocs + slack,
-        "hot loop allocates per task: {small_allocs} allocs for {small_tasks} tasks but \
-         {large_allocs} allocs for {large_tasks} tasks"
+        "[{}] hot loop allocates per task: {small_allocs} allocs for {small_tasks} tasks but \
+         {large_allocs} allocs for {large_tasks} tasks",
+        kind.name()
     );
 }
 
