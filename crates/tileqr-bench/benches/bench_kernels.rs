@@ -1,9 +1,18 @@
 //! Micro-benchmarks of the six sequential tile kernels — the statistical
 //! counterpart of the paper's Figures 4–5 (kernel performance as a function
-//! of the tile size) — plus the `bench_workspace` comparison group: the
-//! zero-allocation blocked workspace kernels (`*_ws`) against the frozen
-//! seed (allocating, column-at-a-time) baselines from
-//! `tileqr_bench::seed_kernels`.
+//! of the tile size) — plus the `bench_workspace` comparison group tracking
+//! the kernel-backend trajectory across PRs:
+//!
+//! * `KERNEL/seed` — the original allocating, column-at-a-time kernels
+//!   (`tileqr_bench::seed_kernels`, frozen);
+//! * `KERNEL/ws` — the PR-1 zero-allocation blocked workspace kernels with
+//!   full-tile `T` factors and dot-product reductions
+//!   (`tileqr_bench::ws_kernels`, frozen);
+//! * `KERNEL/microblas` — the production kernels: inner-blocked (`ib`),
+//!   packed-triangular TT storage, register-tiled micro-BLAS backend.
+//!
+//! An additional `ib_sweep` group (largest configured tile size only)
+//! measures every kernel across inner blocking factors.
 //!
 //! A summary of every sample is written to `BENCH_kernels.json` at the
 //! workspace root (override with `TILEQR_BENCH_JSON`) so the perf trajectory
@@ -12,10 +21,11 @@
 //! ```text
 //! cargo bench -p tileqr-bench --bench bench_kernels
 //! TILEQR_BENCH_MS=200 cargo bench -p tileqr-bench --bench bench_kernels
+//! TILEQR_BENCH_NB=64 TILEQR_BENCH_IB=16 TILEQR_BENCH_IB_LIST=16,32 ...
 //! ```
 
 use tileqr_bench::microbench::{run, write_json, Sample};
-use tileqr_bench::seed_kernels;
+use tileqr_bench::{seed_kernels, ws_kernels};
 use tileqr_kernels::blas::gemm_acc;
 use tileqr_kernels::flops::{gemm_flops, KernelKind};
 use tileqr_kernels::{
@@ -24,14 +34,39 @@ use tileqr_kernels::{
 use tileqr_matrix::generate::random_matrix;
 use tileqr_matrix::{Complex64, Matrix};
 
-/// Tile sizes for the workspace-vs-seed comparison (the acceptance sizes of
-/// the zero-allocation PR). Override with `TILEQR_BENCH_NB=32,64`.
+/// Tile sizes for the backend comparison (the acceptance sizes of the
+/// zero-allocation and micro-BLAS PRs). Override with `TILEQR_BENCH_NB=32,64`.
 fn tile_sizes() -> Vec<usize> {
     std::env::var("TILEQR_BENCH_NB")
         .ok()
         .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .filter(|v: &Vec<usize>| !v.is_empty())
         .unwrap_or_else(|| vec![64, 128, 192])
+}
+
+/// Headline inner blocking factor for the `microblas` entries (PLASMA-style
+/// `ib ≪ nb`). Override with `TILEQR_BENCH_IB=16`.
+fn headline_ib(nb: usize) -> usize {
+    std::env::var("TILEQR_BENCH_IB")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(32)
+        .clamp(1, nb)
+}
+
+/// Inner blocking factors for the `ib_sweep` group. Gated by
+/// `TILEQR_BENCH_IB_LIST=8,16` so the CI smoke run stays fast.
+fn ib_sweep_list(nb: usize) -> Vec<usize> {
+    let mut list: Vec<usize> = std::env::var("TILEQR_BENCH_IB_LIST")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![8, 16, 32, 64]);
+    list.retain(|&ib| ib >= 1 && ib < nb);
+    list.push(nb);
+    list.sort_unstable();
+    list.dedup();
+    list
 }
 
 /// Factorization-kernel inputs for one tile size.
@@ -63,7 +98,9 @@ impl FactorInputs {
     }
 }
 
-/// Update-kernel inputs (factored reflector blocks + target tiles).
+/// Update-kernel inputs (factored reflector blocks + target tiles) for a
+/// given inner blocking factor — the `T` factors must be produced with the
+/// same `ib` the update kernels replay.
 struct UpdateInputs {
     v: Matrix<f64>,
     t_geqrt: Matrix<f64>,
@@ -76,23 +113,24 @@ struct UpdateInputs {
 }
 
 impl UpdateInputs {
-    fn new(nb: usize) -> Self {
+    fn new(nb: usize, ib: usize) -> Self {
+        let mut ws: Workspace<f64> = Workspace::with_inner_block(nb, ib);
         let mut v: Matrix<f64> = random_matrix(nb, nb, 10);
-        let mut t_geqrt = Matrix::zeros(nb, nb);
-        tileqr_kernels::geqrt(&mut v, &mut t_geqrt);
+        let mut t_geqrt = Matrix::zeros(ib, nb);
+        geqrt_ws(&mut v, &mut t_geqrt, &mut ws);
 
         let mut r1: Matrix<f64> = random_matrix(nb, nb, 11);
         r1.zero_below_diagonal();
         let mut v2_ts: Matrix<f64> = random_matrix(nb, nb, 12);
-        let mut t_ts = Matrix::zeros(nb, nb);
-        tileqr_kernels::tsqrt(&mut r1, &mut v2_ts, &mut t_ts);
+        let mut t_ts = Matrix::zeros(ib, nb);
+        tsqrt_ws(&mut r1, &mut v2_ts, &mut t_ts, &mut ws);
 
         let mut r1b: Matrix<f64> = random_matrix(nb, nb, 13);
         r1b.zero_below_diagonal();
         let mut v2_tt: Matrix<f64> = random_matrix(nb, nb, 14);
         v2_tt.zero_below_diagonal();
-        let mut t_tt = Matrix::zeros(nb, nb);
-        tileqr_kernels::ttqrt(&mut r1b, &mut v2_tt, &mut t_tt);
+        let mut t_tt = Matrix::zeros(ib, nb);
+        ttqrt_ws(&mut r1b, &mut v2_tt, &mut t_tt, &mut ws);
 
         let c0: Matrix<f64> = random_matrix(nb, nb, 15);
         let c1: Matrix<f64> = random_matrix(nb, nb, 16);
@@ -109,16 +147,118 @@ impl UpdateInputs {
     }
 }
 
-/// The workspace-vs-seed comparison: every kernel, both paths, same inputs.
+/// Times all six production kernels with the given workspace/`ib`, naming
+/// the samples `KERNEL/<variant>` in `group`.
+#[allow(clippy::too_many_arguments)]
+fn run_production_kernels(
+    samples: &mut Vec<Sample>,
+    group: &str,
+    variant: &str,
+    nb: usize,
+    ib: usize,
+    fi: &FactorInputs,
+    ui: &UpdateInputs,
+) {
+    let mut ws: Workspace<f64> = Workspace::with_inner_block(nb, ib);
+    let mut t = Matrix::zeros(ib, nb);
+    let flops = |k: KernelKind| Some(k.flops(nb));
+
+    run(
+        samples,
+        group,
+        &format!("GEQRT/{variant}"),
+        nb,
+        flops(KernelKind::Geqrt),
+        || {
+            let mut work = fi.a.clone();
+            geqrt_ws(&mut work, &mut t, &mut ws);
+        },
+    );
+    run(
+        samples,
+        group,
+        &format!("TSQRT/{variant}"),
+        nb,
+        flops(KernelKind::Tsqrt),
+        || {
+            let mut r = fi.r1.clone();
+            let mut a2 = fi.a2.clone();
+            tsqrt_ws(&mut r, &mut a2, &mut t, &mut ws);
+        },
+    );
+    run(
+        samples,
+        group,
+        &format!("TTQRT/{variant}"),
+        nb,
+        flops(KernelKind::Ttqrt),
+        || {
+            let mut r1 = fi.r1b.clone();
+            let mut r2 = fi.r2b.clone();
+            ttqrt_ws(&mut r1, &mut r2, &mut t, &mut ws);
+        },
+    );
+    let mut c = ui.c0.clone();
+    run(
+        samples,
+        group,
+        &format!("UNMQR/{variant}"),
+        nb,
+        flops(KernelKind::Unmqr),
+        || {
+            unmqr_ws(&ui.v, &ui.t_geqrt, &mut c, Trans::ConjTrans, &mut ws);
+        },
+    );
+    let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+    run(
+        samples,
+        group,
+        &format!("TSMQR/{variant}"),
+        nb,
+        flops(KernelKind::Tsmqr),
+        || {
+            tsmqr_ws(
+                &ui.v2_ts,
+                &ui.t_ts,
+                &mut a,
+                &mut b,
+                Trans::ConjTrans,
+                &mut ws,
+            );
+        },
+    );
+    let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+    run(
+        samples,
+        group,
+        &format!("TTMQR/{variant}"),
+        nb,
+        flops(KernelKind::Ttmqr),
+        || {
+            ttmqr_ws(
+                &ui.v2_tt,
+                &ui.t_tt,
+                &mut a,
+                &mut b,
+                Trans::ConjTrans,
+                &mut ws,
+            );
+        },
+    );
+}
+
+/// The backend comparison: every kernel, seed vs frozen-ws vs microblas,
+/// same inputs.
 fn bench_workspace(samples: &mut Vec<Sample>) {
     let group = "bench_workspace";
     for &nb in &tile_sizes() {
         let fi = FactorInputs::new(nb);
-        let ui = UpdateInputs::new(nb);
-        let mut ws: Workspace<f64> = Workspace::new(nb);
+        // Frozen baselines factor with the unblocked path (ib = nb T layout).
+        let ui_full = UpdateInputs::new(nb, nb);
+        let mut scratch: ws_kernels::WsScratch<f64> = ws_kernels::WsScratch::new(nb);
         let mut t = Matrix::zeros(nb, nb);
 
-        // --- factorization kernels ---
+        // --- seed baselines (allocating, column-at-a-time) ---
         let flops = |k: KernelKind| Some(k.flops(nb));
         run(
             samples,
@@ -129,17 +269,6 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
             || {
                 let mut work = fi.a.clone();
                 seed_kernels::geqrt(&mut work, &mut t);
-            },
-        );
-        run(
-            samples,
-            group,
-            "GEQRT/ws",
-            nb,
-            flops(KernelKind::Geqrt),
-            || {
-                let mut work = fi.a.clone();
-                geqrt_ws(&mut work, &mut t, &mut ws);
             },
         );
         run(
@@ -157,18 +286,6 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
         run(
             samples,
             group,
-            "TSQRT/ws",
-            nb,
-            flops(KernelKind::Tsqrt),
-            || {
-                let mut r = fi.r1.clone();
-                let mut a2 = fi.a2.clone();
-                tsqrt_ws(&mut r, &mut a2, &mut t, &mut ws);
-            },
-        );
-        run(
-            samples,
-            group,
             "TTQRT/seed",
             nb,
             flops(KernelKind::Ttqrt),
@@ -176,6 +293,76 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
                 let mut r1 = fi.r1b.clone();
                 let mut r2 = fi.r2b.clone();
                 seed_kernels::ttqrt(&mut r1, &mut r2, &mut t);
+            },
+        );
+        let mut c = ui_full.c0.clone();
+        run(
+            samples,
+            group,
+            "UNMQR/seed",
+            nb,
+            flops(KernelKind::Unmqr),
+            || {
+                seed_kernels::unmqr(&ui_full.v, &ui_full.t_geqrt, &mut c, Trans::ConjTrans);
+            },
+        );
+        let (mut a, mut b) = (ui_full.c0.clone(), ui_full.c1.clone());
+        run(
+            samples,
+            group,
+            "TSMQR/seed",
+            nb,
+            flops(KernelKind::Tsmqr),
+            || {
+                seed_kernels::tsmqr(
+                    &ui_full.v2_ts,
+                    &ui_full.t_ts,
+                    &mut a,
+                    &mut b,
+                    Trans::ConjTrans,
+                );
+            },
+        );
+        let (mut a, mut b) = (ui_full.c0.clone(), ui_full.c1.clone());
+        run(
+            samples,
+            group,
+            "TTMQR/seed",
+            nb,
+            flops(KernelKind::Ttmqr),
+            || {
+                seed_kernels::ttmqr(
+                    &ui_full.v2_tt,
+                    &ui_full.t_tt,
+                    &mut a,
+                    &mut b,
+                    Trans::ConjTrans,
+                );
+            },
+        );
+
+        // --- frozen PR-1 workspace baselines ---
+        run(
+            samples,
+            group,
+            "GEQRT/ws",
+            nb,
+            flops(KernelKind::Geqrt),
+            || {
+                let mut work = fi.a.clone();
+                ws_kernels::geqrt_ws(&mut work, &mut t, &mut scratch);
+            },
+        );
+        run(
+            samples,
+            group,
+            "TSQRT/ws",
+            nb,
+            flops(KernelKind::Tsqrt),
+            || {
+                let mut r = fi.r1.clone();
+                let mut a2 = fi.a2.clone();
+                ws_kernels::tsqrt_ws(&mut r, &mut a2, &mut t, &mut scratch);
             },
         );
         run(
@@ -187,23 +374,10 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
             || {
                 let mut r1 = fi.r1b.clone();
                 let mut r2 = fi.r2b.clone();
-                ttqrt_ws(&mut r1, &mut r2, &mut t, &mut ws);
+                ws_kernels::ttqrt_ws(&mut r1, &mut r2, &mut t, &mut scratch);
             },
         );
-
-        // --- update kernels (applied in place, as in the factorization) ---
-        let mut c = ui.c0.clone();
-        run(
-            samples,
-            group,
-            "UNMQR/seed",
-            nb,
-            flops(KernelKind::Unmqr),
-            || {
-                seed_kernels::unmqr(&ui.v, &ui.t_geqrt, &mut c, Trans::ConjTrans);
-            },
-        );
-        let mut c = ui.c0.clone();
+        let mut c = ui_full.c0.clone();
         run(
             samples,
             group,
@@ -211,21 +385,16 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
             nb,
             flops(KernelKind::Unmqr),
             || {
-                unmqr_ws(&ui.v, &ui.t_geqrt, &mut c, Trans::ConjTrans, &mut ws);
+                ws_kernels::unmqr_ws(
+                    &ui_full.v,
+                    &ui_full.t_geqrt,
+                    &mut c,
+                    Trans::ConjTrans,
+                    &mut scratch,
+                );
             },
         );
-        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
-        run(
-            samples,
-            group,
-            "TSMQR/seed",
-            nb,
-            flops(KernelKind::Tsmqr),
-            || {
-                seed_kernels::tsmqr(&ui.v2_ts, &ui.t_ts, &mut a, &mut b, Trans::ConjTrans);
-            },
-        );
-        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        let (mut a, mut b) = (ui_full.c0.clone(), ui_full.c1.clone());
         run(
             samples,
             group,
@@ -233,28 +402,17 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
             nb,
             flops(KernelKind::Tsmqr),
             || {
-                tsmqr_ws(
-                    &ui.v2_ts,
-                    &ui.t_ts,
+                ws_kernels::tsmqr_ws(
+                    &ui_full.v2_ts,
+                    &ui_full.t_ts,
                     &mut a,
                     &mut b,
                     Trans::ConjTrans,
-                    &mut ws,
+                    &mut scratch,
                 );
             },
         );
-        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
-        run(
-            samples,
-            group,
-            "TTMQR/seed",
-            nb,
-            flops(KernelKind::Ttmqr),
-            || {
-                seed_kernels::ttmqr(&ui.v2_tt, &ui.t_tt, &mut a, &mut b, Trans::ConjTrans);
-            },
-        );
-        let (mut a, mut b) = (ui.c0.clone(), ui.c1.clone());
+        let (mut a, mut b) = (ui_full.c0.clone(), ui_full.c1.clone());
         run(
             samples,
             group,
@@ -262,24 +420,53 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
             nb,
             flops(KernelKind::Ttmqr),
             || {
-                ttmqr_ws(
-                    &ui.v2_tt,
-                    &ui.t_tt,
+                ws_kernels::ttmqr_ws(
+                    &ui_full.v2_tt,
+                    &ui_full.t_tt,
                     &mut a,
                     &mut b,
                     Trans::ConjTrans,
-                    &mut ws,
+                    &mut scratch,
                 );
             },
         );
 
-        // GEMM reference series (Figures 4–5)
+        // --- production micro-BLAS kernels at the headline ib ---
+        let ib = headline_ib(nb);
+        let ui_ib = UpdateInputs::new(nb, ib);
+        run_production_kernels(samples, group, "microblas", nb, ib, &fi, &ui_ib);
+
+        // GEMM reference series (Figures 4–5): naive jki baseline and the
+        // register-tiled backend.
         let ga: Matrix<f64> = random_matrix(nb, nb, 17);
         let gb: Matrix<f64> = random_matrix(nb, nb, 18);
-        let mut gc = ui.c0.clone();
+        let mut gc = ui_full.c0.clone();
+        run(
+            samples,
+            group,
+            "GEMM/naive",
+            nb,
+            Some(gemm_flops(nb)),
+            || {
+                ws_kernels::gemm_acc_naive(&mut gc, &ga, &gb);
+            },
+        );
+        let mut gc = ui_full.c0.clone();
         run(samples, group, "GEMM", nb, Some(gemm_flops(nb)), || {
             gemm_acc(&mut gc, &ga, &gb);
         });
+    }
+}
+
+/// Inner-blocking sweep at the largest configured tile size: every kernel
+/// across `ib` values, so the panel-width/packing trade-off is tracked.
+fn bench_ib_sweep(samples: &mut Vec<Sample>) {
+    let group = "ib_sweep";
+    let nb = *tile_sizes().iter().max().expect("at least one tile size");
+    let fi = FactorInputs::new(nb);
+    for ib in ib_sweep_list(nb) {
+        let ui = UpdateInputs::new(nb, ib);
+        run_production_kernels(samples, group, &format!("ib={ib}"), nb, ib, &fi, &ui);
     }
 }
 
@@ -287,10 +474,11 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
 fn bench_complex(samples: &mut Vec<Sample>) {
     let group = "kernels_complex64";
     let nb = 48usize;
-    let mut ws: Workspace<Complex64> = Workspace::new(nb);
+    let ib = headline_ib(nb);
+    let mut ws: Workspace<Complex64> = Workspace::with_inner_block(nb, ib);
 
     let a: Matrix<Complex64> = random_matrix(nb, nb, 20);
-    let mut t = Matrix::zeros(nb, nb);
+    let mut t = Matrix::zeros(ib, nb);
     run(samples, group, "GEQRT/ws", nb, None, || {
         let mut work = a.clone();
         geqrt_ws(&mut work, &mut t, &mut ws);
@@ -300,8 +488,8 @@ fn bench_complex(samples: &mut Vec<Sample>) {
     r1.zero_below_diagonal();
     let mut v2: Matrix<Complex64> = random_matrix(nb, nb, 22);
     v2.zero_below_diagonal();
-    let mut t_tt = Matrix::zeros(nb, nb);
-    tileqr_kernels::ttqrt(&mut r1, &mut v2, &mut t_tt);
+    let mut t_tt = Matrix::zeros(ib, nb);
+    ttqrt_ws(&mut r1, &mut v2, &mut t_tt, &mut ws);
     let c1: Matrix<Complex64> = random_matrix(nb, nb, 23);
     let c2: Matrix<Complex64> = random_matrix(nb, nb, 24);
     let (mut u1, mut u2) = (c1.clone(), c2.clone());
@@ -310,9 +498,9 @@ fn bench_complex(samples: &mut Vec<Sample>) {
     });
 }
 
-/// Prints the per-kernel speedup of the workspace path over the seed path.
+/// Prints the per-kernel speedups along the backend trajectory.
 fn print_speedups(samples: &[Sample]) {
-    println!("\nworkspace path vs seed allocating path (higher is better):");
+    println!("\nbackend trajectory (higher is better):");
     for &nb in &tile_sizes() {
         for kernel in ["GEQRT", "TSQRT", "TTQRT", "UNMQR", "TSMQR", "TTMQR"] {
             let find = |suffix: &str| {
@@ -325,8 +513,14 @@ fn print_speedups(samples: &[Sample]) {
                     })
                     .map(|s| s.ns_per_iter)
             };
-            if let (Some(seed), Some(ws)) = (find("seed"), find("ws")) {
-                println!("  {kernel:<6} nb={nb:<4} speedup {:>5.2}x", seed / ws);
+            if let (Some(seed), Some(ws), Some(mb)) = (find("seed"), find("ws"), find("microblas"))
+            {
+                println!(
+                    "  {kernel:<6} nb={nb:<4} ws/seed {:>5.2}x   microblas/ws {:>5.2}x   microblas/seed {:>5.2}x",
+                    seed / ws,
+                    ws / mb,
+                    seed / mb
+                );
             }
         }
     }
@@ -335,6 +529,7 @@ fn print_speedups(samples: &[Sample]) {
 fn main() {
     let mut samples = Vec::new();
     bench_workspace(&mut samples);
+    bench_ib_sweep(&mut samples);
     bench_complex(&mut samples);
     print_speedups(&samples);
     write_json(

@@ -1,0 +1,359 @@
+//! Frozen copies of the PR-1 workspace kernels (blocked compact-WY with
+//! full-tile `T` factors and `dot_conj`-shaped reductions), kept as the
+//! **`*_ws` baseline** for the micro-BLAS kernel benchmarks in
+//! `benches/bench_kernels.rs` — the same role `seed_kernels` plays for the
+//! original allocating kernels.
+//!
+//! These are byte-for-byte the pre-inner-blocking implementations: one
+//! `nb`-wide reflector block per tile, every update staged through the
+//! column-window helpers of `tileqr_kernels::blas` whose inner reductions
+//! are four-accumulator dot products. Do **not** use them outside of
+//! benchmarking — the production kernels (inner-blocked, register-tiled,
+//! packed-triangular TT) live in `tileqr-kernels`.
+
+use tileqr_kernels::blas::{
+    acc_conj_trans_mul_into, acc_conj_trans_mul_upper_into, conj_trans_mul_unit_lower_into,
+    copy_cols_into, dot_conj, sub_cols_assign, sub_mul_assign_cols, sub_mul_assign_unit_lower_cols,
+    sub_mul_assign_upper_cols, trmm_upper_left_partial,
+};
+use tileqr_kernels::householder::{larfg, larft_from_tile};
+use tileqr_kernels::Trans;
+use tileqr_matrix::{Matrix, Scalar};
+
+/// Frozen equivalent of the PR-1 `Workspace` (tau/tail/wcol vectors plus the
+/// `nb × nb` staging panel `W`).
+pub struct WsScratch<T: Scalar> {
+    tau: Vec<T>,
+    tail: Vec<T>,
+    wcol: Vec<T>,
+    w: Matrix<T>,
+}
+
+impl<T: Scalar> WsScratch<T> {
+    /// Scratch serving all six frozen kernels on `nb × nb` tiles.
+    pub fn new(nb: usize) -> Self {
+        WsScratch {
+            tau: vec![T::ZERO; nb],
+            tail: vec![T::ZERO; nb],
+            wcol: vec![T::ZERO; nb],
+            w: Matrix::zeros(nb, nb),
+        }
+    }
+}
+
+fn conj_t(trans: Trans) -> bool {
+    matches!(trans, Trans::ConjTrans)
+}
+
+/// Frozen PR-1 GEQRT (unblocked reflector sweep + full-tile `T`).
+pub fn geqrt_ws<T: Scalar<Real = f64>>(
+    a: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = a.rows();
+    assert_eq!(a.cols(), nb, "GEQRT operates on square tiles");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
+    for j in 0..nb {
+        let tail_len = nb - j - 1;
+        tail[..tail_len].copy_from_slice(&a.col(j)[j + 1..nb]);
+        let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
+        taus[j] = refl.tau;
+        a.set(j, j, refl.beta);
+        a.col_mut(j)[j + 1..nb].copy_from_slice(&tail[..tail_len]);
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let col = a.col_mut(k);
+            let w = col[j] + dot_conj(&tail[..tail_len], &col[j + 1..nb]);
+            let s = tau_c * w;
+            col[j] -= s;
+            for (ci, &vi) in col[j + 1..nb].iter_mut().zip(&tail[..tail_len]) {
+                *ci -= vi * s;
+            }
+        }
+    }
+    larft_from_tile(a, &ws.tau[..nb], t, &mut ws.wcol);
+}
+
+/// Frozen PR-1 TSQRT.
+pub fn tsqrt_ws<T: Scalar<Real = f64>>(
+    r1: &mut Matrix<T>,
+    a2: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TSQRT pivot tile must be square");
+    assert_eq!(a2.shape(), (nb, nb), "TSQRT tiles must match");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
+    for j in 0..nb {
+        tail.copy_from_slice(a2.col(j));
+        let refl = larfg(r1.get(j, j), tail);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        a2.col_mut(j).copy_from_slice(tail);
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let w = r1.get(j, k) + dot_conj(tail, a2.col(k));
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            for (ci, &vi) in a2.col_mut(k).iter_mut().zip(tail.iter()) {
+                *ci -= vi * s;
+            }
+        }
+    }
+    build_t_from_bottom_block(a2, taus, t, false, &mut ws.wcol);
+}
+
+/// Frozen PR-1 TTQRT (dense-tile triangular accesses).
+pub fn ttqrt_ws<T: Scalar<Real = f64>>(
+    r1: &mut Matrix<T>,
+    r2: &mut Matrix<T>,
+    t: &mut Matrix<T>,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = r1.rows();
+    assert_eq!(r1.cols(), nb, "TTQRT pivot tile must be square");
+    assert_eq!(r2.shape(), (nb, nb), "TTQRT tiles must match");
+    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
+
+    let taus = &mut ws.tau[..nb];
+    let tail = &mut ws.tail[..nb];
+    for j in 0..nb {
+        let len = j + 1;
+        tail[..len].copy_from_slice(&r2.col(j)[..len]);
+        let refl = larfg(r1.get(j, j), &mut tail[..len]);
+        taus[j] = refl.tau;
+        r1.set(j, j, refl.beta);
+        r2.col_mut(j)[..len].copy_from_slice(&tail[..len]);
+        if refl.tau.is_zero() {
+            continue;
+        }
+        let tau_c = refl.tau.conj();
+        for k in (j + 1)..nb {
+            let w = r1.get(j, k) + dot_conj(&tail[..len], &r2.col(k)[..len]);
+            let s = tau_c * w;
+            r1.set(j, k, r1.get(j, k) - s);
+            for (ci, &vi) in r2.col_mut(k)[..len].iter_mut().zip(&tail[..len]) {
+                *ci -= vi * s;
+            }
+        }
+    }
+    build_t_from_bottom_block(r2, taus, t, true, &mut ws.wcol);
+}
+
+/// Frozen PR-1 UNMQR (full-tile compact-WY panels).
+pub fn unmqr_ws<T: Scalar<Real = f64>>(
+    v: &Matrix<T>,
+    t: &Matrix<T>,
+    c: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = v.rows();
+    assert_eq!(v.cols(), nb, "UNMQR reflector tile must be square");
+    assert_eq!(c.rows(), nb, "UNMQR target tile must match");
+    let ncols = c.cols();
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        conj_trans_mul_unit_lower_into(v, c, c0, width, &mut ws.w);
+        trmm_upper_left_partial(t, &mut ws.w, width, conj_t(trans));
+        sub_mul_assign_unit_lower_cols(c, c0, width, v, &ws.w);
+        c0 += width;
+    }
+}
+
+/// Frozen PR-1 TSMQR (full-tile compact-WY panels).
+pub fn tsmqr_ws<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TSMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TSMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TSMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TSMQR C1/C2 must have the same width");
+    let ncols = c1.cols();
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        copy_cols_into(c1, c0, width, &mut ws.w);
+        acc_conj_trans_mul_into(v2, c2, c0, width, &mut ws.w);
+        trmm_upper_left_partial(t, &mut ws.w, width, conj_t(trans));
+        sub_cols_assign(c1, c0, width, &ws.w);
+        sub_mul_assign_cols(c2, c0, width, v2, &ws.w);
+        c0 += width;
+    }
+}
+
+/// Frozen PR-1 TTMQR (dense-tile triangular accesses).
+pub fn ttmqr_ws<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    t: &Matrix<T>,
+    c1: &mut Matrix<T>,
+    c2: &mut Matrix<T>,
+    trans: Trans,
+    ws: &mut WsScratch<T>,
+) {
+    let nb = v2.rows();
+    assert_eq!(v2.cols(), nb, "TTMQR reflector block must be square");
+    assert_eq!(c1.rows(), nb, "TTMQR C1 must match the reflector block");
+    assert_eq!(c2.rows(), nb, "TTMQR C2 must match the reflector block");
+    assert_eq!(c1.cols(), c2.cols(), "TTMQR C1/C2 must have the same width");
+    let ncols = c1.cols();
+    let mut c0 = 0;
+    while c0 < ncols {
+        let width = nb.min(ncols - c0);
+        copy_cols_into(c1, c0, width, &mut ws.w);
+        acc_conj_trans_mul_upper_into(v2, c2, c0, width, &mut ws.w);
+        trmm_upper_left_partial(t, &mut ws.w, width, conj_t(trans));
+        sub_cols_assign(c1, c0, width, &ws.w);
+        sub_mul_assign_upper_cols(c2, c0, width, v2, &ws.w);
+        c0 += width;
+    }
+}
+
+/// Frozen PR-1 naive GEMM (`jki` axpy loops): `C := C + A·B`, the reference
+/// the micro-BLAS-backed `tileqr_kernels::blas::gemm_acc` replaced.
+pub fn gemm_acc_naive<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
+    assert_eq!(a.cols(), b.rows(), "C+=A·B: inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows(), "C+=A·B: row counts must agree");
+    assert_eq!(c.cols(), b.cols(), "C+=A·B: column counts must agree");
+    for j in 0..b.cols() {
+        for k in 0..a.cols() {
+            let bkj = b.get(k, j);
+            if bkj.is_zero() {
+                continue;
+            }
+            let a_col = a.col(k);
+            let c_col = c.col_mut(j);
+            for i in 0..a_col.len() {
+                c_col[i] += a_col[i] * bkj;
+            }
+        }
+    }
+}
+
+/// PR-1-era `build_t_from_bottom_block`, copied verbatim so the frozen
+/// kernels have no dependency on the production crate's internals.
+fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
+    v2: &Matrix<T>,
+    taus: &[T],
+    t: &mut Matrix<T>,
+    v2_is_upper_triangular: bool,
+    wcol: &mut [T],
+) {
+    let nb = v2.rows();
+    let k = taus.len();
+    assert!(wcol.len() >= k, "scratch column too short");
+    for j in 0..k {
+        for i in j..k {
+            t.set(i, j, T::ZERO);
+        }
+        if taus[j].is_zero() {
+            for i in 0..j {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        let vj = v2.col(j);
+        let rows = if v2_is_upper_triangular { j + 1 } else { nb };
+        for (a, wa) in wcol.iter_mut().enumerate().take(j) {
+            let va = v2.col(a);
+            let lim = if v2_is_upper_triangular {
+                (a + 1).min(rows)
+            } else {
+                rows
+            };
+            *wa = dot_conj(&va[..lim], &vj[..lim]);
+        }
+        for i in 0..j {
+            let mut acc = T::ZERO;
+            for (a, &wa) in wcol[..j].iter().enumerate().skip(i) {
+                acc += t.get(i, a) * wa;
+            }
+            t.set(i, j, -taus[j] * acc);
+        }
+        t.set(j, j, taus[j]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_kernels::Workspace;
+    use tileqr_matrix::generate::random_matrix;
+
+    /// The frozen baseline must be bit-identical to the production kernels
+    /// at ib = nb — that is what makes the benchmark comparison a pure
+    /// backend ablation (same arithmetic, different data movement is only
+    /// introduced once ib < nb).
+    #[test]
+    fn frozen_ws_kernels_match_production_at_full_ib() {
+        let nb = 16;
+        let mut scratch: WsScratch<f64> = WsScratch::new(nb);
+        let mut ws: Workspace<f64> = Workspace::new(nb);
+
+        let a0: Matrix<f64> = random_matrix(nb, nb, 1);
+        let mut a_f = a0.clone();
+        let mut t_f = Matrix::zeros(nb, nb);
+        geqrt_ws(&mut a_f, &mut t_f, &mut scratch);
+        let mut a_p = a0.clone();
+        let mut t_p = Matrix::zeros(nb, nb);
+        tileqr_kernels::geqrt_ws(&mut a_p, &mut t_p, &mut ws);
+        assert_eq!(a_f, a_p);
+        assert_eq!(t_f, t_p);
+
+        let mut r1: Matrix<f64> = random_matrix(nb, nb, 2);
+        r1.zero_below_diagonal();
+        let mut r2: Matrix<f64> = random_matrix(nb, nb, 3);
+        r2.zero_below_diagonal();
+        let (mut r1_f, mut r2_f, mut tt_f) = (r1.clone(), r2.clone(), Matrix::zeros(nb, nb));
+        ttqrt_ws(&mut r1_f, &mut r2_f, &mut tt_f, &mut scratch);
+        let (mut r1_p, mut r2_p, mut tt_p) = (r1.clone(), r2.clone(), Matrix::zeros(nb, nb));
+        tileqr_kernels::ttqrt_ws(&mut r1_p, &mut r2_p, &mut tt_p, &mut ws);
+        assert_eq!(r1_f, r1_p);
+        assert_eq!(r2_f, r2_p);
+        assert_eq!(tt_f, tt_p);
+
+        let c1: Matrix<f64> = random_matrix(nb, nb, 4);
+        let c2: Matrix<f64> = random_matrix(nb, nb, 5);
+        let (mut c1_f, mut c2_f) = (c1.clone(), c2.clone());
+        ttmqr_ws(
+            &r2_f,
+            &tt_f,
+            &mut c1_f,
+            &mut c2_f,
+            Trans::ConjTrans,
+            &mut scratch,
+        );
+        let (mut c1_p, mut c2_p) = (c1.clone(), c2.clone());
+        tileqr_kernels::ttmqr_ws(
+            &r2_p,
+            &tt_p,
+            &mut c1_p,
+            &mut c2_p,
+            Trans::ConjTrans,
+            &mut ws,
+        );
+        assert_eq!(c1_f, c1_p);
+        assert_eq!(c2_f, c2_p);
+    }
+}

@@ -1,21 +1,47 @@
 //! Update kernels: [`unmqr`], [`tsmqr`] and [`ttmqr`].
 //!
 //! Each factorization kernel of [`crate::factor`] has a companion update that
-//! applies the computed block reflector to the trailing tiles of the same
+//! applies the computed block reflector(s) to the trailing tiles of the same
 //! row(s). All three accept a [`Trans`] flag:
 //!
 //! * [`Trans::ConjTrans`] applies `Qᴴ` — this is what the factorization and
 //!   the `Qᴴ·B` driver use;
 //! * [`Trans::NoTrans`] applies `Q` — used when explicitly building the
 //!   `Q` factor or multiplying by it.
+//!
+//! # Inner blocking
+//!
+//! The factorization kernels produce one block reflector per panel of `ib`
+//! columns (`Q = P_1·P_2⋯P_l`, see [`crate::factor`]), so the update kernels
+//! replay the panels in factor order for `Qᴴ` and in reverse for `Q`, each
+//! through the blocked compact-WY scheme
+//!
+//! ```text
+//! W := V_sᴴ·C,   W := op(T_s)·W,   C := C − V_s·W.
+//! ```
+//!
+//! The dense bulk of every panel product runs on the register-tiled
+//! [`crate::microblas`] backend; the structured parts (the unit-lower
+//! triangle of UNMQR reflectors, the packed upper triangle of TTMQR
+//! reflectors, the identity top block of the stacked TS/TT reflectors) use
+//! the small panel helpers in [`crate::blas`]. Targets wider than `nb` are
+//! processed in `nb`-column chunks staged through the workspace's `W`
+//! buffer, exactly as before. The workspace's `ib` must match the one used
+//! at factor time — the `T` factors are stored `ib`-blocked. With `ib = nb`
+//! there is a single panel per tile and [`unmqr_ws`] is bit-identical to the
+//! historical unblocked path; [`ttmqr_ws`] additionally packs `V2`'s
+//! triangle into the workspace's packed scratch (contiguous columns, no
+//! reads of the garbage below the diagonal), which leaves its arithmetic
+//! order unchanged.
 
+use tileqr_matrix::packed::{pack_upper_triangle, packed_col, packed_len};
 use tileqr_matrix::{Matrix, Scalar};
 
 use crate::blas::{
-    acc_conj_trans_mul_into, acc_conj_trans_mul_upper_into, conj_trans_mul_unit_lower_into,
-    copy_cols_into, sub_cols_assign, sub_mul_assign_cols, sub_mul_assign_unit_lower_cols,
-    sub_mul_assign_upper_cols, trmm_upper_left_partial,
+    copy_rows_window_into, panel_packed_upper_apply, panel_packed_upper_stage,
+    panel_unit_lower_apply, panel_unit_lower_stage, sub_rows_window_assign, trmm_upper_left_window,
 };
+use crate::microblas::{gemm_into, AMode};
 use crate::workspace::Workspace;
 
 /// Whether an update kernel applies `Q` or `Qᴴ`.
@@ -32,14 +58,26 @@ impl Trans {
     fn conj_t(self) -> bool {
         matches!(self, Trans::ConjTrans)
     }
+
+    /// Panel start columns in application order: `Qᴴ = P_lᴴ⋯P_1ᴴ` applies
+    /// the panels in factor order, `Q = P_1⋯P_l` in reverse.
+    #[inline]
+    fn panel_starts(self, nb: usize, ib: usize) -> impl Iterator<Item = usize> {
+        let l = nb.div_ceil(ib);
+        let conj = self.conj_t();
+        (0..l).map(move |idx| {
+            let s = if conj { idx } else { l - 1 - idx };
+            s * ib
+        })
+    }
 }
 
-/// UNMQR: applies the block reflector computed by [`crate::geqrt`] on tile
+/// UNMQR: applies the block reflectors computed by [`crate::geqrt`] on tile
 /// `(r, k)` to the trailing tile `c` of the same row.
 ///
 /// `v` is the factored tile (Householder vectors in its strictly lower part,
 /// unit diagonal implicit — the upper triangle holding `R` is ignored);
-/// `t` is the companion triangular factor.
+/// `t` is the companion `ib`-blocked triangular factor.
 ///
 /// Paper cost: `6` units of `nb³/3` flops.
 ///
@@ -50,10 +88,11 @@ pub fn unmqr<T: Scalar<Real = f64>>(v: &Matrix<T>, t: &Matrix<T>, c: &mut Matrix
 
 /// UNMQR with caller-provided scratch: zero heap allocations.
 ///
-/// The update is the blocked compact-WY application of `larfb`: the target is
-/// processed in contiguous panels of at most `nb` columns, each staged
-/// through the workspace's `W` buffer as `W := VᴴC`, `W := op(T)·W`,
-/// `C := C − V·W`.
+/// The update is the blocked compact-WY application of `larfb` per reflector
+/// panel: the target is processed in contiguous chunks of at most `nb`
+/// columns, each staged through the workspace's `W` buffer as `W := V_sᴴC`,
+/// `W := op(T_s)·W`, `C := C − V_s·W`, with the dense rows of the
+/// trapezoidal panel running on the micro-BLAS backend.
 pub fn unmqr_ws<T: Scalar<Real = f64>>(
     v: &Matrix<T>,
     t: &Matrix<T>,
@@ -69,26 +108,67 @@ pub fn unmqr_ws<T: Scalar<Real = f64>>(
         "UNMQR target tile must match the reflector tile"
     );
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        w: wmat,
+        apack,
+        bpack,
+        ..
+    } = ws;
     let ncols = c.cols();
+    let ldc = c.rows();
+    let ldw = wmat.rows();
     let mut c0 = 0;
     while c0 < ncols {
         let width = nb.min(ncols - c0);
-        // W = Vᴴ·C
-        conj_trans_mul_unit_lower_into(v, c, c0, width, &mut ws.w);
-        // W = op(T)·W
-        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
-        // C = C − V·W
-        sub_mul_assign_unit_lower_cols(c, c0, width, v, &ws.w);
+        for j0 in trans.panel_starts(nb, ib) {
+            let w = ib.min(nb - j0);
+            let j1 = j0 + w;
+            let coffc = |j: usize| (c0 + j) * ldc;
+            // W := V_triᴴ·C_top (+ V_denseᴴ·C_bot via the microkernel)
+            panel_unit_lower_stage(|k| v.col(k), j0, w, c.as_slice(), coffc, width, wmat);
+            gemm_into(
+                w,
+                width,
+                nb - j1,
+                AMode::ConjTrans,
+                |i| &v.col(j0 + i)[j1..],
+                |j| &c.col(c0 + j)[j1..],
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            // W := op(T_s)·W
+            trmm_upper_left_window(t, j0, w, wmat, width, trans.conj_t());
+            // C := C − V_s·W
+            panel_unit_lower_apply(|k| v.col(k), j0, w, c.as_mut_slice(), coffc, width, wmat);
+            gemm_into(
+                nb - j1,
+                width,
+                w,
+                AMode::NoTrans,
+                |p| &v.col(j0 + p)[j1..],
+                |j| wmat.col(j),
+                c.as_mut_slice(),
+                |j| (c0 + j) * ldc + j1,
+                true,
+                apack,
+                bpack,
+            );
+        }
         c0 += width;
     }
 }
 
-/// TSMQR: applies the block reflector computed by [`crate::tsqrt`] to the
+/// TSMQR: applies the block reflectors computed by [`crate::tsqrt`] to the
 /// stacked pair of trailing tiles `[c1; c2]` (pivot row on top, annihilated
 /// row below).
 ///
 /// `v2` is the dense bottom block of Householder vectors produced by
-/// [`crate::tsqrt`] and `t` its triangular factor.
+/// [`crate::tsqrt`] and `t` its `ib`-blocked triangular factors.
 ///
 /// Paper cost: `12` units of `nb³/3` flops.
 ///
@@ -105,9 +185,10 @@ pub fn tsmqr<T: Scalar<Real = f64>>(
 
 /// TSMQR with caller-provided scratch: zero heap allocations.
 ///
-/// Blocked compact-WY application over contiguous column panels:
-/// `W := C1 + V2ᴴ·C2`, `W := op(T)·W`, `C1 −= W`, `C2 −= V2·W`, all staged
-/// through the workspace's `W` buffer.
+/// Blocked compact-WY application per reflector panel over contiguous column
+/// chunks: `W := C1[panel rows] + V2_sᴴ·C2`, `W := op(T_s)·W`,
+/// `C1[panel rows] −= W`, `C2 −= V2_s·W` — both matrix products run on the
+/// micro-BLAS backend (this is the GEMM-richest kernel of the six).
 pub fn tsmqr_ws<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
     t: &Matrix<T>,
@@ -122,23 +203,61 @@ pub fn tsmqr_ws<T: Scalar<Real = f64>>(
     assert_eq!(c2.rows(), nb, "TSMQR C2 must match the reflector block");
     assert_eq!(c1.cols(), c2.cols(), "TSMQR C1/C2 must have the same width");
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        w: wmat,
+        apack,
+        bpack,
+        ..
+    } = ws;
     let ncols = c1.cols();
+    let ldc = c1.rows();
+    let ldw = wmat.rows();
     let mut c0 = 0;
     while c0 < ncols {
         let width = nb.min(ncols - c0);
-        // W = C1 + V2ᴴ·C2   (the identity top part of V contributes C1 directly)
-        copy_cols_into(c1, c0, width, &mut ws.w);
-        acc_conj_trans_mul_into(v2, c2, c0, width, &mut ws.w);
-        // W = op(T)·W
-        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
-        // C1 = C1 − W ; C2 = C2 − V2·W
-        sub_cols_assign(c1, c0, width, &ws.w);
-        sub_mul_assign_cols(c2, c0, width, v2, &ws.w);
+        for j0 in trans.panel_starts(nb, ib) {
+            let w = ib.min(nb - j0);
+            let coffc = |j: usize| (c0 + j) * ldc;
+            // W := C1[j0..j0+w, :] + V2_sᴴ·C2 (identity top block + GEMM)
+            copy_rows_window_into(c1.as_slice(), coffc, j0, w, width, wmat);
+            gemm_into(
+                w,
+                width,
+                nb,
+                AMode::ConjTrans,
+                |i| v2.col(j0 + i),
+                |j| c2.col(c0 + j),
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            // W := op(T_s)·W
+            trmm_upper_left_window(t, j0, w, wmat, width, trans.conj_t());
+            // C1[j0..j0+w, :] −= W ; C2 −= V2_s·W
+            sub_rows_window_assign(c1.as_mut_slice(), coffc, j0, w, width, wmat);
+            gemm_into(
+                nb,
+                width,
+                w,
+                AMode::NoTrans,
+                |p| v2.col(j0 + p),
+                |j| wmat.col(j),
+                c2.as_mut_slice(),
+                coffc,
+                true,
+                apack,
+                bpack,
+            );
+        }
         c0 += width;
     }
 }
 
-/// TTMQR: applies the block reflector computed by [`crate::ttqrt`] to the
+/// TTMQR: applies the block reflectors computed by [`crate::ttqrt`] to the
 /// stacked pair of trailing tiles `[c1; c2]`.
 ///
 /// `v2` holds the Householder vectors in its **upper triangle** (the strictly
@@ -160,10 +279,13 @@ pub fn ttmqr<T: Scalar<Real = f64>>(
 
 /// TTMQR with caller-provided scratch: zero heap allocations.
 ///
-/// Same blocked compact-WY panel structure as [`tsmqr_ws`], but every product
-/// with `V2` is restricted to its upper triangle (column `k` of `V2` has
-/// nonzeros only in rows `0..=k`), which is what makes the TT kernel half the
-/// cost of the TS one.
+/// Same blocked compact-WY panel structure as [`tsmqr_ws`], but `V2`'s upper
+/// triangle is packed once into the workspace's column-major packed scratch
+/// (only the triangle is read — never the GEQRT vectors below the diagonal)
+/// and every product with it is restricted to the trapezoid: the dense rows
+/// above the current panel run on the micro-BLAS backend, the `w × w`
+/// triangle on the packed panel helpers. This is what makes the TT kernel
+/// half the cost of the TS one.
 pub fn ttmqr_ws<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
     t: &Matrix<T>,
@@ -178,18 +300,65 @@ pub fn ttmqr_ws<T: Scalar<Real = f64>>(
     assert_eq!(c2.rows(), nb, "TTMQR C2 must match the reflector block");
     assert_eq!(c1.cols(), c2.cols(), "TTMQR C1/C2 must have the same width");
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        w: wmat,
+        apack,
+        bpack,
+        tri,
+        ..
+    } = ws;
+    let tri = &mut tri[..packed_len(nb)];
+    pack_upper_triangle(v2, tri);
+    let tri = &*tri;
+    let vcol = |k: usize| packed_col(tri, k);
     let ncols = c1.cols();
+    let ldc = c1.rows();
+    let ldw = wmat.rows();
     let mut c0 = 0;
     while c0 < ncols {
         let width = nb.min(ncols - c0);
-        // W = C1 + V2ᴴ·C2 (triangular V2)
-        copy_cols_into(c1, c0, width, &mut ws.w);
-        acc_conj_trans_mul_upper_into(v2, c2, c0, width, &mut ws.w);
-        // W = op(T)·W
-        trmm_upper_left_partial(t, &mut ws.w, width, trans.conj_t());
-        // C1 = C1 − W ; C2 = C2 − V2·W (triangular V2)
-        sub_cols_assign(c1, c0, width, &ws.w);
-        sub_mul_assign_upper_cols(c2, c0, width, v2, &ws.w);
+        for j0 in trans.panel_starts(nb, ib) {
+            let w = ib.min(nb - j0);
+            let coffc = |j: usize| (c0 + j) * ldc;
+            // W := C1[j0..j0+w, :] + V2_sᴴ·C2[0..j0+w, :]
+            // (identity top block, then dense rows 0..j0 via the microkernel
+            // and the w × w triangle via the packed panel helper)
+            copy_rows_window_into(c1.as_slice(), coffc, j0, w, width, wmat);
+            gemm_into(
+                w,
+                width,
+                j0,
+                AMode::ConjTrans,
+                |i| vcol(j0 + i),
+                |j| c2.col(c0 + j),
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            panel_packed_upper_stage(vcol, j0, w, c2.as_slice(), coffc, width, wmat);
+            // W := op(T_s)·W
+            trmm_upper_left_window(t, j0, w, wmat, width, trans.conj_t());
+            // C1[j0..j0+w, :] −= W ; C2[0..j0+w, :] −= V2_s·W
+            sub_rows_window_assign(c1.as_mut_slice(), coffc, j0, w, width, wmat);
+            gemm_into(
+                j0,
+                width,
+                w,
+                AMode::NoTrans,
+                |p| &vcol(j0 + p)[..j0],
+                |j| wmat.col(j),
+                c2.as_mut_slice(),
+                coffc,
+                true,
+                apack,
+                bpack,
+            );
+            panel_packed_upper_apply(vcol, j0, w, c2.as_mut_slice(), coffc, width, wmat);
+        }
         c0 += width;
     }
 }
@@ -382,5 +551,24 @@ mod tests {
         unmqr(&a, &t, &mut c, Trans::ConjTrans);
         unmqr(&a, &t, &mut c, Trans::NoTrans);
         assert_close(&c, &c0);
+    }
+
+    #[test]
+    fn inner_blocked_roundtrip_q_then_qh_restores_input() {
+        // Factor and apply with ib < nb (including ib ∤ nb): Q·Qᴴ·C = C
+        // exercises both panel application orders against the same
+        // ib-blocked T factors.
+        let nb = 10;
+        for ib in [1usize, 3, 4, 10] {
+            let mut ws: Workspace<Complex64> = Workspace::with_inner_block(nb, ib);
+            let mut a: Matrix<Complex64> = random_matrix(nb, nb, 960 + ib as u64);
+            let mut t = Matrix::zeros(ib.min(nb), nb);
+            crate::factor::geqrt_ws(&mut a, &mut t, &mut ws);
+            let c0: Matrix<Complex64> = random_matrix(nb, nb, 961);
+            let mut c = c0.clone();
+            unmqr_ws(&a, &t, &mut c, Trans::ConjTrans, &mut ws);
+            unmqr_ws(&a, &t, &mut c, Trans::NoTrans, &mut ws);
+            assert_close(&c, &c0);
+        }
     }
 }

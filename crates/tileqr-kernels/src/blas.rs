@@ -6,7 +6,7 @@
 //! the kernel code close to the mathematics in the paper and in the LAPACK
 //! `larfb`/`tpmqrt` routines they mirror.
 //!
-//! Two families live here:
+//! Three families live here:
 //!
 //! * the original allocating helpers ([`conj_trans_mul`],
 //!   [`conj_trans_mul_unit_lower`], …) that return fresh matrices — kept for
@@ -14,10 +14,22 @@
 //! * allocation-free column-window variants (`*_into` / `*_cols`) that write
 //!   into a caller-provided staging panel (the `W` buffer of a
 //!   [`crate::workspace::Workspace`]) and operate on a contiguous window of
-//!   `width` columns starting at column `c0`. These are what the `*_ws`
-//!   kernels use; their inner reductions go through [`dot_conj`], which
-//!   splits the accumulation into four independent chains so the CPU is not
-//!   serialized on floating-point add latency.
+//!   `width` columns starting at column `c0` — the pre-inner-blocking
+//!   formulation, retained for tests and as the frozen benchmark baseline;
+//! * *panel* helpers (`panel_*`, [`trmm_upper_left_window`],
+//!   [`copy_rows_window_into`], …) used by the inner-blocked (`ib`) kernels:
+//!   they handle the small structured parts of a trapezoidal reflector panel
+//!   (the unit-lower or packed-upper triangle, the `T`-factor `trmm`, the
+//!   pivot-row staging), while the dense rank-`ib` bulk of every update goes
+//!   through the register-tiled [`crate::microblas`] backend. Operand
+//!   columns are supplied as accessor closures and destinations as raw
+//!   column-major buffers plus a column-offset map, so the same code serves
+//!   dense tiles, `split_at_mut` windows and packed triangular storage.
+//!
+//! Reductions in the first two families go through [`dot_conj`], which
+//! splits the accumulation into four independent chains so the CPU is not
+//! serialized on floating-point add latency; the micro-BLAS path gets its
+//! instruction-level parallelism from the `MR × NR` register block instead.
 
 use tileqr_matrix::{Matrix, Scalar};
 
@@ -288,6 +300,225 @@ pub fn trmm_upper_left_partial<T: Scalar>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Panel helpers for the inner-blocked (`ib`) kernels.
+//
+// Under inner blocking a reflector panel covers tile columns `j0 .. j0+w`
+// (`w ≤ ib`). Its structured part — the unit-lower triangle of GEQRT/UNMQR
+// reflectors in rows `j0 .. j0+w`, or the packed upper triangle of TT
+// reflectors — is applied by the small loops below (`O(nb·w²)` work), while
+// the dense remainder goes through `crate::microblas::gemm_into`. Target
+// columns are addressed through a raw buffer + offset map so tiles, split
+// windows and packed triangles all work; `vcol(k)` yields (the full column
+// of) the tile holding the reflectors.
+// ---------------------------------------------------------------------------
+
+/// Staging of the unit-lower-triangular part of a trapezoidal panel:
+/// `W(r, j) := C[j0+r, j] + Σ_{i=j0+r+1}^{j0+w-1} conj(V[i, j0+r]) · C[i, j]`
+/// for `r < w`, `j < width`. (The dense rows `≥ j0+w` of the panel are
+/// accumulated onto `W` separately via the micro-BLAS backend.)
+pub fn panel_unit_lower_stage<'a, T: Scalar + 'a>(
+    vcol: impl Fn(usize) -> &'a [T],
+    j0: usize,
+    w: usize,
+    c: &[T],
+    coff: impl Fn(usize) -> usize,
+    width: usize,
+    wmat: &mut Matrix<T>,
+) {
+    let j1 = j0 + w;
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let ccol = &c[coff(j)..];
+        let wc = wmat.col_mut(j);
+        for r in 0..w {
+            let k = j0 + r;
+            wc[r] = ccol[k] + dot_conj(&vcol(k)[k + 1..j1], &ccol[k + 1..j1]);
+        }
+    }
+}
+
+/// Application of the unit-lower-triangular part of a trapezoidal panel:
+/// `C[j0+r, j] -= W(r, j)` and
+/// `C[j0+r+1 .. j0+w, j] -= V[.., j0+r] · W(r, j)`.
+pub fn panel_unit_lower_apply<'a, T: Scalar + 'a>(
+    vcol: impl Fn(usize) -> &'a [T],
+    j0: usize,
+    w: usize,
+    c: &mut [T],
+    coff: impl Fn(usize) -> usize,
+    width: usize,
+    wmat: &Matrix<T>,
+) {
+    let j1 = j0 + w;
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let ccol = &mut c[coff(j)..];
+        let wc = wmat.col(j);
+        for r in 0..w {
+            let k = j0 + r;
+            let wkj = wc[r];
+            if wkj.is_zero() {
+                continue;
+            }
+            ccol[k] -= wkj; // unit diagonal entry
+            for (ci, &vi) in ccol[k + 1..j1].iter_mut().zip(&vcol(k)[k + 1..j1]) {
+                *ci -= vi * wkj;
+            }
+        }
+    }
+}
+
+/// Staging of the triangular part of a packed-upper TT reflector panel:
+/// `W(r, j) += Σ_{p=j0}^{j0+r} conj(V2[p, j0+r]) · C[p, j]`, where
+/// `vcol(k)` yields the packed column `k` (rows `0..=k`, contiguous). Rows
+/// `< j0` of the panel are dense and handled by the micro-BLAS backend.
+pub fn panel_packed_upper_stage<'a, T: Scalar + 'a>(
+    vcol: impl Fn(usize) -> &'a [T],
+    j0: usize,
+    w: usize,
+    c: &[T],
+    coff: impl Fn(usize) -> usize,
+    width: usize,
+    wmat: &mut Matrix<T>,
+) {
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let ccol = &c[coff(j)..];
+        let wc = wmat.col_mut(j);
+        for r in 0..w {
+            let v = vcol(j0 + r);
+            wc[r] += dot_conj(&v[j0..], &ccol[j0..j0 + r + 1]);
+        }
+    }
+}
+
+/// Application of the triangular part of a packed-upper TT reflector panel:
+/// `C[j0 .. j0+r+1, j] -= V2[j0.., j0+r] · W(r, j)`.
+pub fn panel_packed_upper_apply<'a, T: Scalar + 'a>(
+    vcol: impl Fn(usize) -> &'a [T],
+    j0: usize,
+    w: usize,
+    c: &mut [T],
+    coff: impl Fn(usize) -> usize,
+    width: usize,
+    wmat: &Matrix<T>,
+) {
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let ccol = &mut c[coff(j)..];
+        let wc = wmat.col(j);
+        for r in 0..w {
+            let wkj = wc[r];
+            if wkj.is_zero() {
+                continue;
+            }
+            let v = vcol(j0 + r);
+            for (ci, &vi) in ccol[j0..j0 + r + 1].iter_mut().zip(&v[j0..]) {
+                *ci -= vi * wkj;
+            }
+        }
+    }
+}
+
+/// `W(r, j) := C[r0+r, j]` for `r < w`, `j < width` — stages the pivot-row
+/// window of a TS/TT target (the identity top block of the stacked reflector
+/// contributes these rows directly).
+pub fn copy_rows_window_into<T: Scalar>(
+    c: &[T],
+    coff: impl Fn(usize) -> usize,
+    r0: usize,
+    w: usize,
+    width: usize,
+    wmat: &mut Matrix<T>,
+) {
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let base = coff(j) + r0;
+        wmat.col_mut(j)[..w].copy_from_slice(&c[base..base + w]);
+    }
+}
+
+/// `C[r0+r, j] -= W(r, j)` — the in-place companion of
+/// [`copy_rows_window_into`].
+pub fn sub_rows_window_assign<T: Scalar>(
+    c: &mut [T],
+    coff: impl Fn(usize) -> usize,
+    r0: usize,
+    w: usize,
+    width: usize,
+    wmat: &Matrix<T>,
+) {
+    assert!(
+        wmat.rows() >= w && wmat.cols() >= width,
+        "staging panel too small"
+    );
+    for j in 0..width {
+        let base = coff(j) + r0;
+        for (ci, &wi) in c[base..base + w].iter_mut().zip(&wmat.col(j)[..w]) {
+            *ci -= wi;
+        }
+    }
+}
+
+/// In-place `B(:, 0..width) := op(T_s) · B(:, 0..width)` for the `w × w`
+/// upper triangular panel factor stored `ib`-blocked at rows `0..w` of
+/// columns `t_c0 .. t_c0+w` of `t` — the windowed generalization of
+/// [`trmm_upper_left_partial`] (bit-identical to it at `t_c0 = 0`,
+/// `w = t.rows()`).
+pub fn trmm_upper_left_window<T: Scalar>(
+    t: &Matrix<T>,
+    t_c0: usize,
+    w: usize,
+    b: &mut Matrix<T>,
+    width: usize,
+    conj_trans: bool,
+) {
+    assert!(
+        t.rows() >= w && t.cols() >= t_c0 + w,
+        "T window out of bounds"
+    );
+    assert!(
+        b.rows() >= w && b.cols() >= width,
+        "op(T)·B: panel too small"
+    );
+    for j in 0..width {
+        let b_col = &mut b.col_mut(j)[..w];
+        if conj_trans {
+            // (Tᴴ B)[i] = Σ_{k≤i} conj(T[k,i])·B[k]; bottom-up keeps reads on
+            // original values, and the column of T is contiguous.
+            for i in (0..w).rev() {
+                let acc = dot_conj(&t.col(t_c0 + i)[..i + 1], &b_col[..i + 1]);
+                b_col[i] = acc;
+            }
+        } else {
+            // (T B)[i] = Σ_{k≥i} T[i,k]·B[k]; top-down keeps reads original.
+            for i in 0..w {
+                let mut acc = T::ZERO;
+                for (k, &bk) in b_col.iter().enumerate().take(w).skip(i) {
+                    acc += t.get(i, t_c0 + k) * bk;
+                }
+                b_col[i] = acc;
+            }
+        }
+    }
+}
+
 /// Returns `Aᴴ · B`.
 pub fn conj_trans_mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
     assert_eq!(a.rows(), b.rows(), "Aᴴ·B: row counts must agree");
@@ -411,25 +642,14 @@ pub fn trmm_upper_left<T: Scalar>(t: &Matrix<T>, b: &mut Matrix<T>, conj_trans: 
     }
 }
 
-/// General square matrix product used by the benchmark harness as the GEMM
+/// General matrix product used by the benchmark harness as the GEMM
 /// reference series in Figures 4–5: `C := C + A·B`.
+///
+/// Routed through the register-tiled [`crate::microblas`] backend; this
+/// convenience form allocates its own pack buffers (the kernels call
+/// [`crate::microblas::gemm_into`] with workspace-provided scratch instead).
 pub fn gemm_acc<T: Scalar>(c: &mut Matrix<T>, a: &Matrix<T>, b: &Matrix<T>) {
-    assert_eq!(a.cols(), b.rows(), "C+=A·B: inner dimensions must agree");
-    assert_eq!(c.rows(), a.rows(), "C+=A·B: row counts must agree");
-    assert_eq!(c.cols(), b.cols(), "C+=A·B: column counts must agree");
-    for j in 0..b.cols() {
-        for k in 0..a.cols() {
-            let bkj = b.get(k, j);
-            if bkj.is_zero() {
-                continue;
-            }
-            let a_col = a.col(k);
-            let c_col = c.col_mut(j);
-            for i in 0..a_col.len() {
-                c_col[i] += a_col[i] * bkj;
-            }
-        }
-    }
+    crate::microblas::gemm_matrix(c, crate::microblas::AMode::NoTrans, a, b, false);
 }
 
 #[cfg(test)]

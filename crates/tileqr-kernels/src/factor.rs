@@ -11,21 +11,51 @@
 //!   [`tsqrt`] and is the building block of the new algorithms.
 //!
 //! Each kernel overwrites its inputs with the `R` factor and the Householder
-//! vectors, and produces the upper triangular `T` factor of the compact WY
+//! vectors, and produces the upper triangular `T` factor(s) of the compact WY
 //! representation that the corresponding update kernel
 //! ([`crate::unmqr`], [`crate::tsmqr`], [`crate::ttmqr`]) consumes.
+//!
+//! # Inner blocking
+//!
+//! All three kernels are PLASMA-style inner-blocked: the tile is factored in
+//! panels of `ib` columns (`ib` comes from the
+//! [`Workspace`](crate::workspace::Workspace)). Within a panel the
+//! reflectors are generated and applied column by column; the *trailing*
+//! columns of the tile are then updated once per panel with the blocked
+//! compact-WY application `C ← C − V·Tᴴ·(VᴴC)`, whose dense bulk runs on the
+//! register-tiled [`crate::microblas`] backend. The `w × w` panel factors
+//! are stored `ib`-blocked: panel `s` (columns `j0 .. j0+w`) occupies rows
+//! `0..w` of columns `j0 .. j0+w` of `t`, so `t` needs only `ib` rows. With
+//! `ib = nb` (the default workspace) there is a single panel, no trailing
+//! update, and the kernels are bit-identical to the historical unblocked
+//! path.
+//!
+//! [`ttqrt_ws`] additionally packs the triangular tile being annihilated
+//! into the workspace's packed column-major triangular scratch
+//! ([`tileqr_matrix::packed`]) for the duration of the kernel: packing reads
+//! only the triangle (the strictly-lower Householder vectors of an earlier
+//! GEQRT on the same tile are never touched), every column access inside the
+//! elimination loop is contiguous, and the result is unpacked back into the
+//! triangle on exit.
 
+use tileqr_matrix::packed::{
+    pack_upper_triangle, packed_col, packed_col_mut, packed_len, packed_off, unpack_upper_triangle,
+};
 use tileqr_matrix::{Matrix, Scalar};
 
-use crate::blas::dot_conj;
-use crate::householder::{larfg, larft_from_tile};
+use crate::blas::{
+    copy_rows_window_into, dot_conj, panel_packed_upper_apply, panel_packed_upper_stage,
+    panel_unit_lower_apply, panel_unit_lower_stage, sub_rows_window_assign, trmm_upper_left_window,
+};
+use crate::householder::{larfg, larft_panel_from_tile};
+use crate::microblas::{gemm_into, AMode};
 use crate::workspace::Workspace;
 
 /// GEQRT: in-place QR factorization of a square `nb × nb` tile.
 ///
 /// Allocating convenience wrapper around [`geqrt_ws`]; builds a fresh
-/// [`Workspace`] per call. Hot paths (the runtime) reuse a per-worker
-/// workspace instead.
+/// [`Workspace`] per call (with `ib = nb`, i.e. unblocked). Hot paths (the
+/// runtime) reuse a per-worker workspace instead.
 ///
 /// Paper cost: `4` units of `nb³/3` flops.
 pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
@@ -36,7 +66,9 @@ pub fn geqrt<T: Scalar<Real = f64>>(a: &mut Matrix<T>, t: &mut Matrix<T>) {
 ///
 /// On exit `a` holds `R` in its upper triangle and the Householder vectors
 /// `V` (unit diagonal implicit) in its strictly lower part; `t` receives the
-/// `nb × nb` upper triangular block-reflector factor.
+/// `ib`-blocked block-reflector factors (one `w × w` upper triangle per
+/// panel of `w ≤ ib` columns, at rows `0..w` of the panel's columns), so it
+/// must have at least `min(ib, nb)` rows and `nb` columns.
 pub fn geqrt_ws<T: Scalar<Real = f64>>(
     a: &mut Matrix<T>,
     t: &mut Matrix<T>,
@@ -44,38 +76,95 @@ pub fn geqrt_ws<T: Scalar<Real = f64>>(
 ) {
     let nb = a.rows();
     assert_eq!(a.cols(), nb, "GEQRT operates on square tiles");
-    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        tau,
+        tail,
+        wcol,
+        w: wmat,
+        apack,
+        bpack,
+        ..
+    } = ws;
 
-    let taus = &mut ws.tau[..nb];
-    let tail = &mut ws.tail[..nb];
-    for j in 0..nb {
-        // Generate the reflector annihilating a[j+1.., j].
-        let tail_len = nb - j - 1;
-        tail[..tail_len].copy_from_slice(&a.col(j)[j + 1..nb]);
-        let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
-        taus[j] = refl.tau;
-        a.set(j, j, refl.beta);
-        a.col_mut(j)[j + 1..nb].copy_from_slice(&tail[..tail_len]);
-        // Apply Hᴴ to the trailing columns j+1.. of the tile.
-        if refl.tau.is_zero() {
-            continue;
-        }
-        let tau_c = refl.tau.conj();
-        for k in (j + 1)..nb {
-            let col = a.col_mut(k);
-            let w = col[j] + dot_conj(&tail[..tail_len], &col[j + 1..nb]);
-            let s = tau_c * w;
-            col[j] -= s;
-            for (ci, &vi) in col[j + 1..nb].iter_mut().zip(&tail[..tail_len]) {
-                *ci -= vi * s;
+    let mut j0 = 0;
+    while j0 < nb {
+        let w = ib.min(nb - j0);
+        let j1 = j0 + w;
+        // --- factor the panel columns ---
+        let tail = &mut tail[..nb];
+        for jj in 0..w {
+            let j = j0 + jj;
+            // Generate the reflector annihilating a[j+1.., j].
+            let tail_len = nb - j - 1;
+            tail[..tail_len].copy_from_slice(&a.col(j)[j + 1..nb]);
+            let refl = larfg(a.get(j, j), &mut tail[..tail_len]);
+            tau[jj] = refl.tau;
+            a.set(j, j, refl.beta);
+            a.col_mut(j)[j + 1..nb].copy_from_slice(&tail[..tail_len]);
+            // Apply Hᴴ to the remaining columns of the panel.
+            if refl.tau.is_zero() {
+                continue;
+            }
+            let tau_c = refl.tau.conj();
+            for k in (j + 1)..j1 {
+                let col = a.col_mut(k);
+                let wv = col[j] + dot_conj(&tail[..tail_len], &col[j + 1..nb]);
+                let s = tau_c * wv;
+                col[j] -= s;
+                for (ci, &vi) in col[j + 1..nb].iter_mut().zip(&tail[..tail_len]) {
+                    *ci -= vi * s;
+                }
             }
         }
+        // --- panel T factor (V is implicit in the tile) ---
+        larft_panel_from_tile(a, j0, w, &tau[..w], t, wcol);
+        // --- trailing update: C(:, j1..) ← (I − V·T·Vᴴ)ᴴ · C(:, j1..) ---
+        if j1 < nb {
+            let trail = nb - j1;
+            let ldw = wmat.rows();
+            // V lives in columns j0..j1 of the tile, the targets in j1..nb:
+            // split the storage so both can be accessed at once.
+            let (left, right) = a.as_mut_slice().split_at_mut(j1 * nb);
+            let vcol = |k: usize| &left[k * nb..(k + 1) * nb];
+            // W := V_triᴴ · C_top  (unit-lower w × w triangle, rows j0..j1)
+            panel_unit_lower_stage(vcol, j0, w, right, |j| j * nb, trail, wmat);
+            // W += V_denseᴴ · C_bot  (rows j1..nb of the trapezoid)
+            gemm_into(
+                w,
+                trail,
+                nb - j1,
+                AMode::ConjTrans,
+                |i| &vcol(j0 + i)[j1..],
+                |j| &right[j * nb + j1..(j + 1) * nb],
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            // W := Tᴴ · W
+            trmm_upper_left_window(t, j0, w, wmat, trail, true);
+            // C_top -= V_tri · W ; C_bot -= V_dense · W
+            panel_unit_lower_apply(vcol, j0, w, right, |j| j * nb, trail, wmat);
+            gemm_into(
+                nb - j1,
+                trail,
+                w,
+                AMode::NoTrans,
+                |p| &vcol(j0 + p)[j1..],
+                |j| wmat.col(j),
+                right,
+                |j| j * nb + j1,
+                true,
+                apack,
+                bpack,
+            );
+        }
+        j0 = j1;
     }
-
-    // Build T straight from the tile: V is implicit (unit lower part of `a`),
-    // so no nb×nb V matrix is materialized.
-    larft_from_tile(a, &ws.tau[..nb], t, &mut ws.wcol);
 }
 
 /// TSQRT: QR factorization of `[R1; A2]`, where `R1` is the upper triangular
@@ -84,7 +173,7 @@ pub fn geqrt_ws<T: Scalar<Real = f64>>(
 ///
 /// On exit `r1` holds the updated `R` factor, `a2` holds the (dense) bottom
 /// parts `V2` of the Householder vectors (the top parts form an identity and
-/// are implicit), and `t` receives the block-reflector factor.
+/// are implicit), and `t` receives the `ib`-blocked block-reflector factors.
 ///
 /// Paper cost: `6` units of `nb³/3` flops.
 ///
@@ -107,36 +196,94 @@ pub fn tsqrt_ws<T: Scalar<Real = f64>>(
         (nb, nb),
         "TSQRT target tile must match the pivot tile"
     );
-    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        tau,
+        tail,
+        wcol,
+        w: wmat,
+        apack,
+        bpack,
+        ..
+    } = ws;
 
-    let taus = &mut ws.tau[..nb];
-    let tail = &mut ws.tail[..nb];
-    for j in 0..nb {
-        // Reflector on [r1[j,j]; a2[:, j]] — the tail is the whole column of a2.
-        tail.copy_from_slice(a2.col(j));
-        let refl = larfg(r1.get(j, j), tail);
-        taus[j] = refl.tau;
-        r1.set(j, j, refl.beta);
-        a2.col_mut(j).copy_from_slice(tail);
+    let tail = &mut tail[..nb];
+    let mut j0 = 0;
+    while j0 < nb {
+        let w = ib.min(nb - j0);
+        let j1 = j0 + w;
+        // --- factor the panel columns ---
+        for jj in 0..w {
+            let j = j0 + jj;
+            // Reflector on [r1[j,j]; a2[:, j]] — the tail is the whole column.
+            tail.copy_from_slice(a2.col(j));
+            let refl = larfg(r1.get(j, j), tail);
+            tau[jj] = refl.tau;
+            r1.set(j, j, refl.beta);
+            a2.col_mut(j).copy_from_slice(tail);
 
-        if refl.tau.is_zero() {
-            continue;
-        }
-        let tau_c = refl.tau.conj();
-        // Apply Hᴴ to the trailing columns of [R1; A2].
-        for k in (j + 1)..nb {
-            // w = r1[j,k] + v2ᴴ · a2[:,k]
-            let w = r1.get(j, k) + dot_conj(tail, a2.col(k));
-            let s = tau_c * w;
-            r1.set(j, k, r1.get(j, k) - s);
-            for (ci, &vi) in a2.col_mut(k).iter_mut().zip(tail.iter()) {
-                *ci -= vi * s;
+            if refl.tau.is_zero() {
+                continue;
+            }
+            let tau_c = refl.tau.conj();
+            // Apply Hᴴ to the remaining panel columns of [R1; A2].
+            for k in (j + 1)..j1 {
+                // w = r1[j,k] + v2ᴴ · a2[:,k]
+                let wv = r1.get(j, k) + dot_conj(tail, a2.col(k));
+                let s = tau_c * wv;
+                r1.set(j, k, r1.get(j, k) - s);
+                for (ci, &vi) in a2.col_mut(k).iter_mut().zip(tail.iter()) {
+                    *ci -= vi * s;
+                }
             }
         }
+        // --- panel T factor from the dense bottom block ---
+        build_t_panel_ts(a2, j0, w, &tau[..w], t, wcol);
+        // --- trailing update of [R1; A2] columns j1..nb ---
+        if j1 < nb {
+            let trail = nb - j1;
+            let ldw = wmat.rows();
+            // V2 lives in columns j0..j1 of a2, the targets in j1..nb.
+            let (left, right) = a2.as_mut_slice().split_at_mut(j1 * nb);
+            let v2col = |p: usize| &left[(j0 + p) * nb..(j0 + p + 1) * nb];
+            // W := R1[j0..j1, j1..nb]  (identity top block of the reflector)
+            copy_rows_window_into(r1.as_slice(), |j| (j1 + j) * nb, j0, w, trail, wmat);
+            // W += V2ᴴ · A2(:, j1..nb)
+            gemm_into(
+                w,
+                trail,
+                nb,
+                AMode::ConjTrans,
+                v2col,
+                |j| &right[j * nb..(j + 1) * nb],
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            // W := Tᴴ · W
+            trmm_upper_left_window(t, j0, w, wmat, trail, true);
+            // R1[j0..j1, j1..nb] -= W ; A2(:, j1..nb) -= V2 · W
+            sub_rows_window_assign(r1.as_mut_slice(), |j| (j1 + j) * nb, j0, w, trail, wmat);
+            gemm_into(
+                nb,
+                trail,
+                w,
+                AMode::NoTrans,
+                v2col,
+                |j| wmat.col(j),
+                right,
+                |j| j * nb,
+                true,
+                apack,
+                bpack,
+            );
+        }
+        j0 = j1;
     }
-
-    build_t_from_bottom_block(a2, taus, t, false, &mut ws.wcol);
 }
 
 /// TTQRT: QR factorization of `[R1; R2]` where **both** tiles are upper
@@ -146,7 +293,7 @@ pub fn tsqrt_ws<T: Scalar<Real = f64>>(
 ///
 /// On exit `r1` holds the updated `R` factor, `r2` holds the (upper
 /// triangular) bottom parts `V2` of the Householder vectors, and `t` receives
-/// the block-reflector factor.
+/// the `ib`-blocked block-reflector factors.
 ///
 /// Paper cost: `2` units of `nb³/3` flops.
 ///
@@ -156,6 +303,12 @@ pub fn ttqrt<T: Scalar<Real = f64>>(r1: &mut Matrix<T>, r2: &mut Matrix<T>, t: &
 }
 
 /// TTQRT with caller-provided scratch: zero heap allocations.
+///
+/// The triangular tile `r2` is packed into the workspace's column-major
+/// packed triangular scratch for the duration of the kernel — only its upper
+/// triangle is read and written (the strictly lower part, which still holds
+/// the Householder vectors of the earlier GEQRT on that tile, is untouched),
+/// and every elimination-loop column access is contiguous.
 pub fn ttqrt_ws<T: Scalar<Real = f64>>(
     r1: &mut Matrix<T>,
     r2: &mut Matrix<T>,
@@ -169,86 +322,185 @@ pub fn ttqrt_ws<T: Scalar<Real = f64>>(
         (nb, nb),
         "TTQRT target tile must match the pivot tile"
     );
-    assert!(t.rows() >= nb && t.cols() >= nb, "T factor too small");
     ws.require(nb);
+    let ib = ws.ib_for(nb);
+    assert!(t.rows() >= ib && t.cols() >= nb, "T factor too small");
+    let Workspace {
+        tau,
+        tail,
+        wcol,
+        w: wmat,
+        apack,
+        bpack,
+        tri,
+        ..
+    } = ws;
+    let tri = &mut tri[..packed_len(nb)];
+    pack_upper_triangle(r2, tri);
 
-    let taus = &mut ws.tau[..nb];
-    let tail = &mut ws.tail[..nb];
-    for j in 0..nb {
-        // Only the upper triangle of r2 is referenced: rows 0..=j of column j.
-        // (The strictly lower part may hold Householder vectors from an
-        // earlier GEQRT on the same tile, exactly as in PLASMA.)
-        let len = j + 1;
-        tail[..len].copy_from_slice(&r2.col(j)[..len]);
-        let refl = larfg(r1.get(j, j), &mut tail[..len]);
-        taus[j] = refl.tau;
-        r1.set(j, j, refl.beta);
-        r2.col_mut(j)[..len].copy_from_slice(&tail[..len]);
+    let mut j0 = 0;
+    while j0 < nb {
+        let w = ib.min(nb - j0);
+        let j1 = j0 + w;
+        // --- factor the panel columns (all accesses packed-contiguous) ---
+        for jj in 0..w {
+            let j = j0 + jj;
+            // Only the upper triangle of r2 is referenced: rows 0..=j of
+            // column j, which is exactly the packed column.
+            let len = j + 1;
+            tail[..len].copy_from_slice(packed_col(tri, j));
+            let refl = larfg(r1.get(j, j), &mut tail[..len]);
+            tau[jj] = refl.tau;
+            r1.set(j, j, refl.beta);
+            packed_col_mut(tri, j).copy_from_slice(&tail[..len]);
 
-        if refl.tau.is_zero() {
-            continue;
-        }
-        let tau_c = refl.tau.conj();
-        for k in (j + 1)..nb {
-            let w = r1.get(j, k) + dot_conj(&tail[..len], &r2.col(k)[..len]);
-            let s = tau_c * w;
-            r1.set(j, k, r1.get(j, k) - s);
-            for (ci, &vi) in r2.col_mut(k)[..len].iter_mut().zip(&tail[..len]) {
-                *ci -= vi * s;
+            if refl.tau.is_zero() {
+                continue;
+            }
+            let tau_c = refl.tau.conj();
+            for k in (j + 1)..j1 {
+                let wv = r1.get(j, k) + dot_conj(&tail[..len], &packed_col(tri, k)[..len]);
+                let s = tau_c * wv;
+                r1.set(j, k, r1.get(j, k) - s);
+                for (ci, &vi) in packed_col_mut(tri, k)[..len].iter_mut().zip(&tail[..len]) {
+                    *ci -= vi * s;
+                }
             }
         }
+        // --- panel T factor from the packed trapezoid ---
+        build_t_panel_tt(tri, j0, w, &tau[..w], t, wcol);
+        // --- trailing update of [R1; R2] columns j1..nb ---
+        if j1 < nb {
+            let trail = nb - j1;
+            let ldw = wmat.rows();
+            // V2 (packed columns j0..j1) is read while the packed trailing
+            // columns are updated: split the packed buffer between them.
+            let (vpart, cpart) = tri.split_at_mut(packed_off(j1));
+            let base = packed_off(j1);
+            let vcol = |k: usize| packed_col(vpart, k);
+            let coffp = |j: usize| packed_off(j1 + j) - base;
+            // W := R1[j0..j1, j1..nb]
+            copy_rows_window_into(r1.as_slice(), |j| (j1 + j) * nb, j0, w, trail, wmat);
+            // W += V2ᴴ · R2[0..j1, j1..nb]: dense rows 0..j0 via the
+            // microkernel, the w × w triangle via the packed panel helper.
+            gemm_into(
+                w,
+                trail,
+                j0,
+                AMode::ConjTrans,
+                |i| vcol(j0 + i),
+                |j| &cpart[coffp(j)..coffp(j) + j1 + j + 1],
+                wmat.as_mut_slice(),
+                |j| j * ldw,
+                false,
+                apack,
+                bpack,
+            );
+            panel_packed_upper_stage(vcol, j0, w, cpart, coffp, trail, wmat);
+            // W := Tᴴ · W
+            trmm_upper_left_window(t, j0, w, wmat, trail, true);
+            // R1[j0..j1, j1..nb] -= W
+            sub_rows_window_assign(r1.as_mut_slice(), |j| (j1 + j) * nb, j0, w, trail, wmat);
+            // R2[0..j1, j1..nb] -= V2 · W (dense rows + triangle)
+            gemm_into(
+                j0,
+                trail,
+                w,
+                AMode::NoTrans,
+                |p| &vcol(j0 + p)[..j0],
+                |j| wmat.col(j),
+                cpart,
+                coffp,
+                true,
+                apack,
+                bpack,
+            );
+            panel_packed_upper_apply(vcol, j0, w, cpart, coffp, trail, wmat);
+        }
+        j0 = j1;
     }
 
-    build_t_from_bottom_block(r2, taus, t, true, &mut ws.wcol);
+    unpack_upper_triangle(tri, r2);
 }
 
-/// Builds the `T` factor for TS/TT reflectors, whose Householder vectors are
-/// `[e_j; v2_j]`: the identity top parts contribute nothing to the inner
-/// products, so `T` only depends on the bottom block `V2`.
-///
-/// When `v2_is_upper_triangular` is true (TTQRT) the inner products are
-/// restricted to the triangle. `wcol` is caller-provided scratch of length
-/// ≥ `taus.len()`; the routine performs no allocation.
-fn build_t_from_bottom_block<T: Scalar<Real = f64>>(
+/// Builds the panel `T` factor for TSQRT reflectors `[e_j; v2_j]`: the
+/// identity top parts contribute nothing to the inner products, so `T_s`
+/// only depends on the dense bottom block `V2` (columns `j0 .. j0+w` of
+/// `a2`). Written `ib`-blocked into rows `0..w` of those columns of `t`.
+fn build_t_panel_ts<T: Scalar<Real = f64>>(
     v2: &Matrix<T>,
+    j0: usize,
+    w: usize,
     taus: &[T],
     t: &mut Matrix<T>,
-    v2_is_upper_triangular: bool,
     wcol: &mut [T],
 ) {
     let nb = v2.rows();
-    let k = taus.len();
-    assert!(wcol.len() >= k, "scratch column too short");
-    for j in 0..k {
-        for i in j..k {
+    assert!(wcol.len() >= w, "scratch column too short");
+    for jj in 0..w {
+        let j = j0 + jj;
+        for i in jj..w {
             t.set(i, j, T::ZERO);
         }
-        if taus[j].is_zero() {
-            for i in 0..j {
+        if taus[jj].is_zero() {
+            for i in 0..jj {
                 t.set(i, j, T::ZERO);
             }
             continue;
         }
         let vj = v2.col(j);
-        let rows = if v2_is_upper_triangular { j + 1 } else { nb };
-        // w = V2(:, 0..j)ᴴ · v2_j
-        for (a, wa) in wcol.iter_mut().enumerate().take(j) {
-            let va = v2.col(a);
-            let lim = if v2_is_upper_triangular {
-                (a + 1).min(rows)
-            } else {
-                rows
-            };
-            *wa = dot_conj(&va[..lim], &vj[..lim]);
+        // w = V2(:, j0..j0+jj)ᴴ · v2_j
+        for (ii, wa) in wcol.iter_mut().enumerate().take(jj) {
+            *wa = dot_conj(&v2.col(j0 + ii)[..nb], &vj[..nb]);
         }
-        for i in 0..j {
+        for i in 0..jj {
             let mut acc = T::ZERO;
-            for (a, &wa) in wcol[..j].iter().enumerate().skip(i) {
-                acc += t.get(i, a) * wa;
+            for (idx, &wa) in wcol[..jj].iter().enumerate().skip(i) {
+                acc += t.get(i, j0 + idx) * wa;
             }
-            t.set(i, j, -taus[j] * acc);
+            t.set(i, j, -taus[jj] * acc);
         }
-        t.set(j, j, taus[j]);
+        t.set(jj, j, taus[jj]);
+    }
+}
+
+/// Builds the panel `T` factor for TTQRT reflectors from the packed upper
+/// trapezoid: column `j0+ii` has `j0+ii+1` packed entries, which is exactly
+/// the inner-product range the triangle restricts to.
+fn build_t_panel_tt<T: Scalar<Real = f64>>(
+    tri: &[T],
+    j0: usize,
+    w: usize,
+    taus: &[T],
+    t: &mut Matrix<T>,
+    wcol: &mut [T],
+) {
+    assert!(wcol.len() >= w, "scratch column too short");
+    for jj in 0..w {
+        let j = j0 + jj;
+        for i in jj..w {
+            t.set(i, j, T::ZERO);
+        }
+        if taus[jj].is_zero() {
+            for i in 0..jj {
+                t.set(i, j, T::ZERO);
+            }
+            continue;
+        }
+        let vj = packed_col(tri, j);
+        for (ii, wa) in wcol.iter_mut().enumerate().take(jj) {
+            let va = packed_col(tri, j0 + ii);
+            let lim = va.len();
+            *wa = dot_conj(va, &vj[..lim]);
+        }
+        for i in 0..jj {
+            let mut acc = T::ZERO;
+            for (idx, &wa) in wcol[..jj].iter().enumerate().skip(i) {
+                acc += t.get(i, j0 + idx) * wa;
+            }
+            t.set(i, j, -taus[jj] * acc);
+        }
+        t.set(jj, j, taus[jj]);
     }
 }
 
@@ -443,5 +695,27 @@ mod tests {
         stacked.copy_block(0, 0, &r1_0, 0, 0, nb, nb);
         let rec = reconstruct_stacked(&r_new, &r2, &t);
         assert!(frobenius_norm(&rec.sub(&stacked)) < TOL);
+    }
+
+    #[test]
+    fn ttqrt_preserves_the_strictly_lower_half_of_r2() {
+        // In a real factorization the lower half of the annihilated tile
+        // still holds the Householder vectors of the earlier GEQRT; the
+        // packed path must never read or write them.
+        let nb = 8;
+        let mut r1: Matrix<f64> = random_upper_triangular(nb, 70);
+        let mut r2: Matrix<f64> = random_matrix(nb, nb, 71); // lower half = "GEQRT vectors"
+        let below = r2.clone();
+        let mut t = Matrix::zeros(nb, nb);
+        ttqrt(&mut r1, &mut r2, &mut t);
+        for j in 0..nb {
+            for i in (j + 1)..nb {
+                assert_eq!(
+                    r2.get(i, j),
+                    below.get(i, j),
+                    "TTQRT touched the strictly lower half at ({i},{j})"
+                );
+            }
+        }
     }
 }

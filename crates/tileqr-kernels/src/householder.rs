@@ -111,38 +111,61 @@ pub fn larft_from_tile<T: Scalar<Real = f64>>(
     t: &mut Matrix<T>,
     wcol: &mut [T],
 ) {
+    larft_panel_from_tile(a, 0, tau.len(), tau, t, wcol);
+}
+
+/// Builds the `w × w` compact-WY `T` factor of one reflector *panel* of a
+/// GEQRT-factored tile, stored `ib`-blocked.
+///
+/// The panel covers tile columns `j0 .. j0+w`; reflector `j0+jj` lives in
+/// the strictly lower part of column `j0+jj` of `a` with an implicit unit
+/// diagonal at row `j0+jj`. Its triangular factor is written to rows `0..w`
+/// of columns `j0 .. j0+w` of `t` — the PLASMA `ib × nb` T-factor layout,
+/// which coincides with the historical full-tile layout when the panel is
+/// the whole tile (`j0 = 0`, `w = nb`, making [`larft_from_tile`] a special
+/// case). `tau` holds the `w` panel-local scalars; `wcol` is caller-provided
+/// scratch of length ≥ `w`; the routine performs no allocation.
+pub fn larft_panel_from_tile<T: Scalar<Real = f64>>(
+    a: &Matrix<T>,
+    j0: usize,
+    w: usize,
+    tau: &[T],
+    t: &mut Matrix<T>,
+    wcol: &mut [T],
+) {
     let nb = a.rows();
-    let k = tau.len();
-    assert!(a.cols() >= k, "tile has fewer columns than reflectors");
-    assert!(t.rows() >= k && t.cols() >= k, "T factor too small");
-    assert!(wcol.len() >= k, "scratch column too short");
-    for j in 0..k {
-        for i in j..k {
+    assert!(j0 + w <= a.cols(), "panel exceeds the tile");
+    assert!(tau.len() >= w, "fewer scalars than reflectors");
+    assert!(t.rows() >= w && t.cols() >= j0 + w, "T factor too small");
+    assert!(wcol.len() >= w, "scratch column too short");
+    for jj in 0..w {
+        let j = j0 + jj;
+        for i in jj..w {
             t.set(i, j, T::ZERO);
         }
-        if tau[j].is_zero() {
-            for i in 0..j {
+        if tau[jj].is_zero() {
+            for i in 0..jj {
                 t.set(i, j, T::ZERO);
             }
             continue;
         }
-        // w[i] = v_iᴴ · v_j for i < j, with v_i = e_i + a[i+1.., i]:
-        // rows < j contribute nothing (v_j is zero there except its unit at
-        // row j, where v_i holds a[j, i]).
+        // w[ii] = v_{j0+ii}ᴴ · v_j for ii < jj: rows < j contribute nothing
+        // (v_j is zero there except its unit at row j, where v_{j0+ii} holds
+        // a[j, j0+ii]).
         let vj_tail = &a.col(j)[j + 1..nb];
-        for (i, wi) in wcol.iter_mut().enumerate().take(j) {
-            let vi = a.col(i);
+        for (ii, wi) in wcol.iter_mut().enumerate().take(jj) {
+            let vi = a.col(j0 + ii);
             *wi = vi[j].conj() + crate::blas::dot_conj(&vi[j + 1..nb], vj_tail);
         }
-        // T(0..j, j) = −τ_j · T(0..j, 0..j) · w
-        for i in 0..j {
+        // T_s(0..jj, jj) = −τ_jj · T_s(0..jj, 0..jj) · w
+        for i in 0..jj {
             let mut acc = T::ZERO;
-            for (idx, &wa) in wcol[..j].iter().enumerate().skip(i) {
-                acc += t.get(i, idx) * wa;
+            for (idx, &wa) in wcol[..jj].iter().enumerate().skip(i) {
+                acc += t.get(i, j0 + idx) * wa;
             }
-            t.set(i, j, -tau[j] * acc);
+            t.set(i, j, -tau[jj] * acc);
         }
-        t.set(j, j, tau[j]);
+        t.set(jj, j, tau[jj]);
     }
 }
 

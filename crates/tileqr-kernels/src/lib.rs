@@ -18,6 +18,41 @@
 //! so the same code serves the paper's *double* (`f64`) and *double complex*
 //! ([`Complex64`](tileqr_matrix::Complex64)) experiments.
 //!
+//! # The three-level blocking hierarchy
+//!
+//! The kernels are organized around three nested blocking levels, the same
+//! hierarchy PLASMA's `core_blas` uses:
+//!
+//! 1. **Tile level (`nb`)** — the unit the runtime's task DAG schedules.
+//!    Owned by the kernel entry points in [`factor`] (GEQRT / TSQRT / TTQRT)
+//!    and [`apply`] (UNMQR / TSMQR / TTMQR): they walk a tile (pair) and
+//!    decide *what* is computed.
+//! 2. **Inner panel level (`ib`)** — each `nb × nb` tile is factored and
+//!    applied in panels of `ib` columns (the
+//!    [`Workspace`](workspace::Workspace) carries `ib`; `ib = nb` reproduces
+//!    the historical unblocked path bit for bit). Reflectors are generated
+//!    column by column *inside* a panel, and the trailing columns are
+//!    touched once per panel through the blocked compact-WY update
+//!    `W := VᴴC`, `W := op(T)·W`, `C := C − V·W`, which turns the bulk of
+//!    every kernel into matrix–matrix products of width `ib`. The panel
+//!    `T` factors are stored `ib`-blocked (rows `0..w` of the panel's
+//!    columns — PLASMA's `ib × nb` T layout). The structured panel pieces
+//!    (unit-lower triangles, packed-upper TT trapezoids, the `trmm` with
+//!    `T`, pivot-row staging) live in [`blas`], which owns everything that
+//!    is `O(nb·ib²)` or smaller.
+//! 3. **Register level (`MR × NR`)** — the dense bulk of every panel update
+//!    funnels through [`microblas`]: packed operand panels and a
+//!    register-blocked microkernel accumulating an `MR × NR` block in a
+//!    fixed-size stack array (independent dependency chains, written so
+//!    LLVM autovectorizes it; std only, no intrinsics). [`microblas`] owns
+//!    everything `O(nb²·ib)` — the flops that dominate.
+//!
+//! The triangular tiles of the TT kernel family additionally use the packed
+//! column-major layout of [`tileqr_matrix::packed`] inside [`ttqrt_ws`] and
+//! [`ttmqr_ws`]: only the triangle is packed/unpacked (the strictly-lower
+//! Householder vectors of an earlier GEQRT are never touched) and the
+//! elimination loops run on contiguous columns.
+//!
 //! # Workspaces and the zero-allocation hot path
 //!
 //! Each kernel comes in two flavours:
@@ -28,25 +63,11 @@
 //!   for tests and one-off use, source-compatible with earlier releases;
 //! * a `*_ws` variant ([`factor::geqrt_ws`], [`apply::tsmqr_ws`], …) taking a
 //!   caller-provided [`Workspace`](workspace::Workspace) and performing
-//!   **zero heap allocations**. The runtime (`tileqr-runtime`) gives every
-//!   worker thread its own workspace, so none of the `O(p·q²)` tasks of a
-//!   factorization touches the allocator.
-//!
-//! # Blocked compact-WY updates
-//!
-//! The update kernels apply `Q = I − V·T·Vᴴ` with the `larfb`/`tpmqrt`
-//! panel scheme: the target tile(s) are walked in contiguous column panels,
-//! each staged through the workspace's `W` buffer as
-//!
-//! ```text
-//! W := VᴴC,   W := op(T)·W,   C := C − V·W,
-//! ```
-//!
-//! with every reduction running through a four-accumulator dot product
-//! ([`blas::dot_conj`]) so the floating-point units are not serialized on the
-//! add-latency chain of a naive accumulation. The structured shapes (unit
-//! lower `V` for UNMQR, dense `V2` for TSMQR, upper-triangular `V2` for
-//! TTMQR) each have specialized window helpers in [`blas`].
+//!   **zero heap allocations**: the staging panel, the micro-BLAS pack
+//!   buffers and the packed triangular scratch are all preallocated for the
+//!   worst case at workspace construction. The runtime (`tileqr-runtime`)
+//!   gives every worker thread its own workspace, so none of the `O(p·q²)`
+//!   tasks of a factorization touches the allocator.
 //!
 //! The crate also provides a reference unblocked Householder QR on dense
 //! matrices ([`reference`]) used to validate the tiled factorizations, and
@@ -59,6 +80,7 @@ pub mod blas;
 pub mod factor;
 pub mod flops;
 pub mod householder;
+pub mod microblas;
 pub mod reference;
 pub mod workspace;
 

@@ -2,51 +2,94 @@
 //!
 //! Every kernel of this crate needs a small amount of scratch: the
 //! Householder scalars `τ`, the reflector tail being generated, one column of
-//! inner products while building the `T` factor, and — for the blocked
-//! compact-WY updates — the `nb × nb` staging panel `W` of the
-//! `larfb`-style application
+//! inner products while building the `T` factor, the staging panel `W` of the
+//! compact-WY applications
 //!
 //! ```text
-//! W := VᴴC,   W := op(T)·W,   C := C − V·W.
+//! W := VᴴC,   W := op(T)·W,   C := C − V·W,
 //! ```
+//!
+//! the pack buffers of the register-tiled micro-BLAS backend
+//! ([`crate::microblas`]), and the packed-triangular scratch of the TT
+//! kernels.
 //!
 //! The original (seed) kernels allocated all of this on every call, i.e. on
 //! every one of the `O(p·q²)` tasks of a factorization. A [`Workspace`] is
 //! allocated **once** (per worker thread, in the runtime) and reused by every
-//! kernel invocation, so the hot path performs zero heap allocations.
+//! kernel invocation, so the hot path performs zero heap allocations — the
+//! worst case over every kernel and every inner-blocking factor is sized at
+//! construction, and [`Workspace::require`] asserts the invariant on each
+//! kernel entry.
 //!
-//! Sizing: a workspace built with [`Workspace::new`]`(nb)` serves every
-//! kernel on `nb × nb` tiles. Each `*_ws` kernel asserts that the workspace
-//! is large enough, and the allocating wrappers ([`crate::geqrt`] & co.)
-//! simply build a fresh workspace per call, which keeps the original public
-//! API source-compatible.
+//! # Inner blocking
+//!
+//! The workspace also carries the PLASMA-style inner blocking factor `ib`:
+//! kernels factor/apply each `nb × nb` tile in panels of `ib` columns (see
+//! the crate docs). [`Workspace::new`]`(nb)` uses `ib = nb` (unblocked,
+//! bit-compatible with the historical kernels);
+//! [`Workspace::with_inner_block`] selects a smaller panel width, which
+//! routes the trailing updates through the micro-BLAS GEMM path. The `T`
+//! factors produced under inner blocking are stored `ib`-blocked (an
+//! `ib × nb` matrix holding one `w × w` triangular factor per panel), so the
+//! same `ib` must be used to factor and to apply.
+//!
+//! Sizing: a workspace built for tile order `nb` serves every kernel on
+//! tiles of order ≤ `nb`; the effective panel width for a smaller tile is
+//! `min(ib, tile order)`. The allocating wrappers ([`crate::geqrt`] & co.)
+//! build a fresh `ib = nb` workspace per call, which keeps the original
+//! public API source-compatible.
 
+use tileqr_matrix::packed::packed_len;
 use tileqr_matrix::{Matrix, Scalar};
 
+use crate::microblas::{apack_len, bpack_len};
+
 /// Reusable scratch arena for the tile kernels, sized once from the tile
-/// order `nb`.
+/// order `nb` and the inner blocking factor `ib`.
 #[derive(Clone, Debug)]
 pub struct Workspace<T: Scalar> {
     nb: usize,
+    ib: usize,
     /// Householder scalars `τ_j`, one per reflector of the current panel.
     pub(crate) tau: Vec<T>,
     /// Tail of the reflector currently being generated.
     pub(crate) tail: Vec<T>,
     /// One column of inner products while accumulating the `T` factor.
     pub(crate) wcol: Vec<T>,
-    /// `nb × nb` staging panel `W` for the blocked compact-WY updates.
+    /// `nb × nb` staging panel `W` for the blocked compact-WY updates (only
+    /// the leading `ib` rows are live under inner blocking).
     pub(crate) w: Matrix<T>,
+    /// Micro-BLAS A-slab pack buffer ([`crate::microblas::apack_len`]).
+    pub(crate) apack: Vec<T>,
+    /// Micro-BLAS B pack buffer ([`crate::microblas::bpack_len`]).
+    pub(crate) bpack: Vec<T>,
+    /// Packed upper-triangular scratch for the TT kernels
+    /// ([`tileqr_matrix::packed::packed_len`]).
+    pub(crate) tri: Vec<T>,
 }
 
 impl<T: Scalar> Workspace<T> {
-    /// Allocates a workspace serving all six kernels on `nb × nb` tiles.
+    /// Allocates a workspace serving all six kernels on `nb × nb` tiles with
+    /// `ib = nb` (no inner blocking).
     pub fn new(nb: usize) -> Self {
+        Workspace::with_inner_block(nb, nb)
+    }
+
+    /// Allocates a workspace with inner blocking factor `ib` (clamped to
+    /// `1..=nb`): kernels process tiles in panels of `ib` columns and store
+    /// `T` factors `ib`-blocked.
+    pub fn with_inner_block(nb: usize, ib: usize) -> Self {
+        let ib = ib.clamp(1, nb.max(1));
         Workspace {
             nb,
+            ib,
             tau: vec![T::ZERO; nb],
             tail: vec![T::ZERO; nb],
             wcol: vec![T::ZERO; nb],
             w: Matrix::zeros(nb, nb),
+            apack: vec![T::ZERO; apack_len(nb, nb)],
+            bpack: vec![T::ZERO; bpack_len(nb, nb)],
+            tri: vec![T::ZERO; packed_len(nb)],
         }
     }
 
@@ -56,17 +99,32 @@ impl<T: Scalar> Workspace<T> {
         self.nb
     }
 
-    /// Grows the workspace if it is smaller than `nb` (no-op otherwise).
-    /// Useful when one worker serves factorizations with different tile
-    /// sizes.
+    /// Inner blocking factor (panel width) the kernels will use.
+    #[inline]
+    pub fn ib(&self) -> usize {
+        self.ib
+    }
+
+    /// Effective panel width for a tile of order `nb` (a workspace sized for
+    /// a larger tile serves smaller tiles unblocked once `ib ≥ nb`).
+    #[inline]
+    pub(crate) fn ib_for(&self, nb: usize) -> usize {
+        self.ib.min(nb).max(1)
+    }
+
+    /// Grows the workspace if it is smaller than `nb` (no-op otherwise),
+    /// keeping the inner blocking factor. Useful when one worker serves
+    /// factorizations with different tile sizes.
     pub fn ensure(&mut self, nb: usize) {
         if nb > self.nb {
-            *self = Workspace::new(nb);
+            *self = Workspace::with_inner_block(nb, self.ib);
         }
     }
 
     /// Asserts (in debug and release) that the workspace can serve tiles of
-    /// order `nb`.
+    /// order `nb`, including the micro-BLAS pack buffers and the packed
+    /// triangular scratch — the zero-per-task-allocation guarantee relies on
+    /// every buffer being preallocated for the worst case.
     #[inline]
     pub(crate) fn require(&self, nb: usize) {
         assert!(
@@ -74,6 +132,12 @@ impl<T: Scalar> Workspace<T> {
             "workspace sized for nb={} cannot serve an nb={} tile; call Workspace::ensure",
             self.nb,
             nb
+        );
+        assert!(
+            self.apack.len() >= apack_len(nb, nb)
+                && self.bpack.len() >= bpack_len(nb, nb)
+                && self.tri.len() >= packed_len(nb),
+            "workspace pack buffers are not preallocated for nb={nb}"
         );
     }
 }
@@ -86,6 +150,7 @@ mod tests {
     fn workspace_is_sized_from_nb() {
         let ws: Workspace<f64> = Workspace::new(8);
         assert_eq!(ws.nb(), 8);
+        assert_eq!(ws.ib(), 8);
         assert_eq!(ws.tau.len(), 8);
         assert_eq!(ws.tail.len(), 8);
         assert_eq!(ws.wcol.len(), 8);
@@ -93,13 +158,42 @@ mod tests {
     }
 
     #[test]
+    fn pack_buffers_are_preallocated_for_any_inner_block() {
+        // The zero-per-task-allocation guarantee: every buffer the kernels
+        // touch — including the micro-BLAS panels and the packed triangle —
+        // is sized for the worst case at construction, for every ib ≤ nb.
+        for ib in [1usize, 3, 8, 16] {
+            let ws: Workspace<f64> = Workspace::with_inner_block(16, ib);
+            assert_eq!(ws.ib(), ib);
+            assert!(ws.apack.len() >= apack_len(16, 16));
+            assert!(ws.bpack.len() >= bpack_len(16, 16));
+            assert!(ws.tri.len() >= packed_len(16));
+            ws.require(16); // must not panic: buffers cover the full tile
+        }
+    }
+
+    #[test]
+    fn inner_block_is_clamped() {
+        let ws: Workspace<f64> = Workspace::with_inner_block(8, 0);
+        assert_eq!(ws.ib(), 1);
+        let ws: Workspace<f64> = Workspace::with_inner_block(8, 99);
+        assert_eq!(ws.ib(), 8);
+        assert_eq!(ws.ib_for(4), 4);
+        let ws: Workspace<f64> = Workspace::with_inner_block(8, 3);
+        assert_eq!(ws.ib_for(8), 3);
+        assert_eq!(ws.ib_for(2), 2);
+    }
+
+    #[test]
     fn ensure_grows_but_never_shrinks() {
-        let mut ws: Workspace<f64> = Workspace::new(4);
+        let mut ws: Workspace<f64> = Workspace::with_inner_block(4, 2);
         ws.ensure(2);
         assert_eq!(ws.nb(), 4);
         ws.ensure(16);
         assert_eq!(ws.nb(), 16);
+        assert_eq!(ws.ib(), 2, "ensure keeps the inner blocking factor");
         assert_eq!(ws.w.shape(), (16, 16));
+        ws.require(16);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Packed column-major storage for upper triangular tiles.
+//!
+//! The TT kernel family of the tiled QR factorization (TTQRT / TTMQR)
+//! manipulates tiles whose relevant part is an upper triangle: the pivot `R`
+//! tiles and the triangular Householder blocks `V2`. Storing them as full
+//! `nb × nb` matrices wastes half the footprint and, worse, forces every
+//! column access to skip over the explicit-zero (or garbage — the strictly
+//! lower half of an eliminated tile still holds the Householder vectors of an
+//! earlier GEQRT) bottom half.
+//!
+//! The packed layout stores column `j` as `j + 1` contiguous scalars at
+//! offset `j·(j+1)/2` — exactly LAPACK's `UPLO='U'` packed format. Column
+//! slices are contiguous, the whole triangle occupies `n·(n+1)/2` scalars,
+//! and the strictly lower half of the source tile is never read or written:
+//! packing touches only the triangle.
+//!
+//! Two APIs are provided:
+//!
+//! * free functions ([`packed_len`], [`packed_off`], [`packed_col`],
+//!   [`pack_upper_triangle`], …) operating on caller-provided slices — used
+//!   by the kernels, whose packed scratch lives in a preallocated workspace
+//!   arena so the hot path performs no allocation;
+//! * an owning [`PackedUpperTriangular`] wrapper for standalone use and
+//!   tests.
+
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+
+/// Number of scalars needed to pack an `n × n` upper triangle.
+#[inline]
+pub const fn packed_len(n: usize) -> usize {
+    n * (n + 1) / 2
+}
+
+/// Offset of (the row-0 element of) packed column `j`.
+#[inline]
+pub const fn packed_off(j: usize) -> usize {
+    j * (j + 1) / 2
+}
+
+/// Immutable view of packed column `j` (rows `0..=j`, contiguous).
+#[inline]
+pub fn packed_col<T>(buf: &[T], j: usize) -> &[T] {
+    &buf[packed_off(j)..packed_off(j) + j + 1]
+}
+
+/// Mutable view of packed column `j` (rows `0..=j`, contiguous).
+#[inline]
+pub fn packed_col_mut<T>(buf: &mut [T], j: usize) -> &mut [T] {
+    &mut buf[packed_off(j)..packed_off(j) + j + 1]
+}
+
+/// Packs the upper triangle of `m` into `buf` (length ≥ [`packed_len`]).
+///
+/// Only the triangle of `m` is read: entries strictly below the diagonal are
+/// never touched, so a tile whose lower half holds unrelated data (e.g.
+/// Householder vectors of an earlier factorization) packs cleanly.
+pub fn pack_upper_triangle<T: Scalar>(m: &Matrix<T>, buf: &mut [T]) {
+    let n = m.rows();
+    assert_eq!(m.cols(), n, "packed storage is for square tiles");
+    assert!(buf.len() >= packed_len(n), "packed buffer too small");
+    for j in 0..n {
+        let off = packed_off(j);
+        buf[off..off + j + 1].copy_from_slice(&m.col(j)[..j + 1]);
+    }
+}
+
+/// Unpacks `buf` into the upper triangle of `m`.
+///
+/// Only the triangle of `m` is written: the strictly lower half keeps its
+/// previous contents.
+pub fn unpack_upper_triangle<T: Scalar>(buf: &[T], m: &mut Matrix<T>) {
+    let n = m.rows();
+    assert_eq!(m.cols(), n, "packed storage is for square tiles");
+    assert!(buf.len() >= packed_len(n), "packed buffer too small");
+    for j in 0..n {
+        let off = packed_off(j);
+        m.col_mut(j)[..j + 1].copy_from_slice(&buf[off..off + j + 1]);
+    }
+}
+
+/// An owning packed upper triangular `n × n` matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PackedUpperTriangular<T: Scalar> {
+    n: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> PackedUpperTriangular<T> {
+    /// Zero-filled packed triangle of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        PackedUpperTriangular {
+            n,
+            data: vec![T::ZERO; packed_len(n)],
+        }
+    }
+
+    /// Packs the upper triangle of a square matrix.
+    pub fn from_matrix(m: &Matrix<T>) -> Self {
+        let mut p = PackedUpperTriangular::zeros(m.rows());
+        pack_upper_triangle(m, &mut p.data);
+        p
+    }
+
+    /// Order `n` of the triangle.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Immutable view of column `j` (rows `0..=j`).
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        packed_col(&self.data, j)
+    }
+
+    /// Mutable view of column `j` (rows `0..=j`).
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        packed_col_mut(&mut self.data, j)
+    }
+
+    /// The underlying packed buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Element `(i, j)` of the triangle (`i ≤ j`), zero below the diagonal.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        if i <= j {
+            self.data[packed_off(j) + i]
+        } else {
+            T::ZERO
+        }
+    }
+
+    /// Expands to a dense matrix with an explicit-zero lower half.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        let mut m = Matrix::zeros(self.n, self.n);
+        unpack_upper_triangle(&self.data, &mut m);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use crate::generate::random_matrix;
+
+    #[test]
+    fn offsets_and_lengths_are_consistent() {
+        assert_eq!(packed_len(0), 0);
+        assert_eq!(packed_len(1), 1);
+        assert_eq!(packed_len(4), 10);
+        for n in [1usize, 2, 3, 7] {
+            assert_eq!(packed_off(n), packed_len(n));
+        }
+    }
+
+    #[test]
+    fn pack_reads_only_the_triangle_and_unpack_writes_only_it() {
+        let n = 6;
+        let mut src: Matrix<f64> = random_matrix(n, n, 3);
+        // garbage below the diagonal must not leak into the packed form
+        for j in 0..n {
+            for i in (j + 1)..n {
+                src.set(i, j, f64::NAN);
+            }
+        }
+        let p = PackedUpperTriangular::from_matrix(&src);
+        assert!(p.as_slice().iter().all(|v| !v.is_nan()));
+
+        let mut dst: Matrix<f64> = random_matrix(n, n, 4);
+        let below = dst.clone();
+        unpack_upper_triangle(p.as_slice(), &mut dst);
+        for j in 0..n {
+            for i in 0..n {
+                if i <= j {
+                    assert_eq!(dst.get(i, j), src.get(i, j));
+                } else {
+                    assert_eq!(dst.get(i, j), below.get(i, j), "lower half must be kept");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity_complex() {
+        let n = 9;
+        let mut src: Matrix<Complex64> = random_matrix(n, n, 11);
+        src.zero_below_diagonal();
+        let p = PackedUpperTriangular::from_matrix(&src);
+        assert_eq!(p.to_matrix(), src);
+        assert_eq!(p.col(0).len(), 1);
+        assert_eq!(p.col(n - 1).len(), n);
+        assert_eq!(p.get(2, 5), src.get(2, 5));
+        assert_eq!(p.get(5, 2), Complex64::ZERO);
+    }
+}

@@ -24,6 +24,12 @@ use crate::trace::WorkerTrace;
 pub struct QrConfig {
     /// Tile size `nb`.
     pub tile_size: usize,
+    /// PLASMA-style inner blocking factor `ib` (clamped to `1..=tile_size`
+    /// at use): kernels factor/apply each tile in panels of `ib` columns and
+    /// store `T` factors `ib`-blocked, routing the trailing updates through
+    /// the register-tiled micro-BLAS backend. `ib = tile_size` (the default)
+    /// reproduces the historical unblocked kernels bit for bit.
+    pub inner_block: usize,
     /// Reduction tree.
     pub algorithm: Algorithm,
     /// Kernel family (TT or TS).
@@ -41,11 +47,24 @@ impl QrConfig {
     pub fn new(tile_size: usize) -> Self {
         QrConfig {
             tile_size,
+            inner_block: tile_size,
             algorithm: Algorithm::Greedy,
             family: KernelFamily::TT,
             threads: 1,
             scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Sets the inner blocking factor `ib` (clamped to `1..=tile_size` when
+    /// the factorization runs).
+    pub fn with_inner_block(mut self, ib: usize) -> Self {
+        self.inner_block = ib;
+        self
+    }
+
+    /// Effective inner blocking factor for this configuration.
+    pub fn effective_inner_block(&self) -> usize {
+        self.inner_block.clamp(1, self.tile_size.max(1))
     }
 
     /// Sets the algorithm.
@@ -82,6 +101,7 @@ pub struct QrFactorization<T: Scalar> {
     /// Original column count of the dense matrix (before padding).
     pub n: usize,
     tile_size: usize,
+    inner_block: usize,
     tiles: TiledMatrix<T>,
     t_geqrt: Vec<Option<Matrix<T>>>,
     t_elim: Vec<Option<Matrix<T>>>,
@@ -174,10 +194,12 @@ where
 
     // Per-worker scratch: the sequential path reuses a single workspace, the
     // parallel path builds one per worker thread. Either way, no task on the
-    // hot path allocates.
-    let state = FactorizationState::new(tiled);
+    // hot path allocates. The inner blocking factor must match between the
+    // T-factor storage (state) and the kernels (workspaces).
+    let ib = config.effective_inner_block();
+    let state = FactorizationState::with_inner_block(tiled, ib);
     if config.threads <= 1 {
-        let mut ws = Workspace::new(config.tile_size);
+        let mut ws = Workspace::with_inner_block(config.tile_size, ib);
         let mut wt = make_trace(dag.len());
         execute_sequential_with(&dag, &mut ws, |task, ws| run(&state, task, ws, &mut wt));
     } else {
@@ -185,7 +207,12 @@ where
             &dag,
             config.threads,
             config.scheduler,
-            || (Workspace::new(config.tile_size), make_trace(dag.len())),
+            || {
+                (
+                    Workspace::with_inner_block(config.tile_size, ib),
+                    make_trace(dag.len()),
+                )
+            },
             |task, (ws, wt)| run(&state, task, ws, wt),
         );
     }
@@ -194,6 +221,7 @@ where
         m,
         n,
         tile_size: config.tile_size,
+        inner_block: ib,
         tiles,
         t_geqrt,
         t_elim,
@@ -260,6 +288,13 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
         self.tile_size
     }
 
+    /// Inner blocking factor `ib` the tiles were factored with (the `T`
+    /// factors are stored `ib`-blocked, so replaying the reflectors uses the
+    /// same panel width).
+    pub fn inner_block(&self) -> usize {
+        self.inner_block
+    }
+
     /// Access to the factored tiles (R + Householder vectors), mainly for
     /// inspection and tests.
     pub fn factored_tiles(&self) -> &TiledMatrix<T> {
@@ -305,8 +340,9 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
             .collect();
 
         // One workspace serves the whole replay; the tile pairs are updated
-        // in place (no per-task clones).
-        let mut ws = Workspace::new(nb);
+        // in place (no per-task clones). The panel width must match the
+        // ib-blocked T factors produced at factor time.
+        let mut ws = Workspace::with_inner_block(nb, self.inner_block);
         let mut apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
             TaskKind::Geqrt { row, col } => {
                 let v = self.tiles.tile(row, col);

@@ -34,6 +34,7 @@ pub struct FactorizationState<T: Scalar> {
     p: usize,
     q: usize,
     nb: usize,
+    ib: usize,
     /// Tiles of the matrix, tile-column-major, each behind its own lock.
     tiles: Vec<Mutex<Matrix<T>>>,
     /// `T` factor of `GEQRT(row, col)`; preallocated (zero) until that
@@ -45,25 +46,38 @@ pub struct FactorizationState<T: Scalar> {
 }
 
 impl<T: Scalar<Real = f64>> FactorizationState<T> {
-    /// Takes ownership of a tiled matrix and prepares the auxiliary storage.
+    /// Takes ownership of a tiled matrix and prepares the auxiliary storage
+    /// with no inner blocking (`ib = nb`).
+    pub fn new(a: TiledMatrix<T>) -> Self {
+        let nb = a.tile_size();
+        FactorizationState::with_inner_block(a, nb)
+    }
+
+    /// Takes ownership of a tiled matrix and prepares the auxiliary storage
+    /// for kernels running with inner blocking factor `ib` (clamped to
+    /// `1..=nb`).
     ///
     /// Every `T`-factor slot is allocated here, up front, so no task ever
-    /// allocates on the hot path. (The memory overhead is one extra `nb × nb`
-    /// matrix per tile slot per array — the same `T`-array layout PLASMA
-    /// uses.)
-    pub fn new(a: TiledMatrix<T>) -> Self {
+    /// allocates on the hot path. The slots use PLASMA's `ib`-blocked
+    /// `ib × nb` T-factor layout (one `w × w` triangle per `ib`-column
+    /// panel) — with `ib = nb` this is the historical square layout. The
+    /// workspaces threaded in by the executor must be built with the same
+    /// `ib` ([`Workspace::with_inner_block`]).
+    pub fn with_inner_block(a: TiledMatrix<T>, ib: usize) -> Self {
         let (tiles, p, q, nb) = a.into_tiles();
+        let ib = ib.clamp(1, nb.max(1));
         let tiles = tiles.into_iter().map(Mutex::new).collect();
         let t_geqrt = (0..p * q)
-            .map(|_| Mutex::new(Some(Matrix::zeros(nb, nb))))
+            .map(|_| Mutex::new(Some(Matrix::zeros(ib, nb))))
             .collect();
         let t_elim = (0..p * q)
-            .map(|_| Mutex::new(Some(Matrix::zeros(nb, nb))))
+            .map(|_| Mutex::new(Some(Matrix::zeros(ib, nb))))
             .collect();
         FactorizationState {
             p,
             q,
             nb,
+            ib,
             tiles,
             t_geqrt,
             t_elim,
@@ -85,16 +99,22 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
         self.nb
     }
 
+    /// Inner blocking factor the `T`-factor storage is laid out for.
+    pub fn inner_block(&self) -> usize {
+        self.ib
+    }
+
     #[inline]
     fn idx(&self, row: usize, col: usize) -> usize {
         debug_assert!(row < self.p && col < self.q);
         col * self.p + row
     }
 
-    /// Executes one task of the DAG with a fresh workspace — allocating
-    /// compatibility wrapper over [`FactorizationState::run_ws`].
+    /// Executes one task of the DAG with a fresh workspace (matching the
+    /// state's inner blocking) — allocating compatibility wrapper over
+    /// [`FactorizationState::run_ws`].
     pub fn run(&self, task: TaskKind) {
-        self.run_ws(task, &mut Workspace::new(self.nb));
+        self.run_ws(task, &mut Workspace::with_inner_block(self.nb, self.ib));
     }
 
     /// Executes one task of the DAG against a caller-provided workspace
@@ -234,6 +254,22 @@ mod tests {
         assert!(te.iter().all(|t| t
             .as_ref()
             .is_some_and(|m| m.as_slice().iter().all(|v| *v == 0.0))));
+    }
+
+    #[test]
+    fn inner_blocked_state_allocates_ib_blocked_t_factors() {
+        let a = random_matrix::<f64>(12, 8, 4);
+        let state = FactorizationState::with_inner_block(TiledMatrix::from_dense(&a, 4), 2);
+        assert_eq!(state.inner_block(), 2);
+        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(3, 2), KernelFamily::TT);
+        let mut ws = Workspace::with_inner_block(4, 2);
+        for task in &dag.tasks {
+            state.run_ws(task.kind, &mut ws);
+        }
+        let (_tiles, t_geqrt, t_elim) = state.into_parts();
+        for t in t_geqrt.iter().chain(t_elim.iter()) {
+            assert_eq!(t.as_ref().unwrap().shape(), (2, 4), "T storage is ib × nb");
+        }
     }
 
     #[test]

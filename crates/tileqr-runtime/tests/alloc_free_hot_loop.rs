@@ -59,19 +59,20 @@ fn parallel_run_allocations(
     p: usize,
     q: usize,
     nb: usize,
+    ib: usize,
     threads: usize,
     kind: SchedulerKind,
 ) -> (usize, usize) {
     let a = random_matrix::<f64>(p * nb, q * nb, 7);
     let tiled = TiledMatrix::from_dense(&a, nb);
     let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
-    let state = FactorizationState::new(tiled);
+    let state = FactorizationState::with_inner_block(tiled, ib);
     let (allocs, ()) = allocations_during(|| {
         execute_parallel_with_scheduler(
             &dag,
             threads,
             kind,
-            || Workspace::<f64>::new(nb),
+            || Workspace::<f64>::with_inner_block(nb, ib),
             |task, ws| state.run_ws(task, ws),
         );
     });
@@ -84,17 +85,22 @@ fn parallel_run_allocations(
 #[test]
 fn hot_loops_do_not_allocate_per_task() {
     for kind in SchedulerKind::ALL {
-        parallel_check(kind);
+        // ib = nb (unblocked) and ib < nb (micro-BLAS pack buffers + packed
+        // triangular scratch in play): the inner-blocked kernels must stay
+        // zero-allocation too — every panel buffer is preallocated in the
+        // workspace.
+        parallel_check(kind, 4);
+        parallel_check(kind, 2);
     }
     sequential_check();
 }
 
-fn parallel_check(kind: SchedulerKind) {
+fn parallel_check(kind: SchedulerKind, ib: usize) {
     let threads = 3;
     // Warm up thread-local/runtime one-time allocations.
-    let _ = parallel_run_allocations(2, 1, 4, threads, kind);
-    let (small_allocs, small_tasks) = parallel_run_allocations(3, 2, 4, threads, kind);
-    let (large_allocs, large_tasks) = parallel_run_allocations(10, 6, 4, threads, kind);
+    let _ = parallel_run_allocations(2, 1, 4, ib, threads, kind);
+    let (small_allocs, small_tasks) = parallel_run_allocations(3, 2, 4, ib, threads, kind);
+    let (large_allocs, large_tasks) = parallel_run_allocations(10, 6, 4, ib, threads, kind);
     assert!(
         large_tasks > small_tasks + 300,
         "need a meaningful task-count gap"
@@ -115,25 +121,30 @@ fn parallel_check(kind: SchedulerKind) {
 
 fn sequential_check() {
     let nb = 4;
-    let build = |p: usize, q: usize| {
-        let a = random_matrix::<f64>(p * nb, q * nb, 9);
-        let tiled = TiledMatrix::from_dense(&a, nb);
-        let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
-        (FactorizationState::new(tiled), dag)
-    };
-    let (state_small, dag_small) = build(3, 2);
-    let (state_large, dag_large) = build(10, 6);
-    let mut ws = Workspace::<f64>::new(nb);
+    // ib = nb and ib < nb: the inner-blocked kernels (micro-BLAS packing,
+    // packed triangular scratch) must be exactly as allocation-free as the
+    // unblocked path.
+    for ib in [nb, 2] {
+        let build = |p: usize, q: usize| {
+            let a = random_matrix::<f64>(p * nb, q * nb, 9);
+            let tiled = TiledMatrix::from_dense(&a, nb);
+            let dag = TaskDag::build(&Algorithm::Greedy.elimination_list(p, q), KernelFamily::TT);
+            (FactorizationState::with_inner_block(tiled, ib), dag)
+        };
+        let (state_small, dag_small) = build(3, 2);
+        let (state_large, dag_large) = build(10, 6);
+        let mut ws = Workspace::<f64>::with_inner_block(nb, ib);
 
-    let (small, ()) = allocations_during(|| {
-        execute_sequential_with(&dag_small, &mut ws, |task, ws| state_small.run_ws(task, ws));
-    });
-    let (large, ()) = allocations_during(|| {
-        execute_sequential_with(&dag_large, &mut ws, |task, ws| state_large.run_ws(task, ws));
-    });
-    assert!(dag_large.len() > dag_small.len() + 300);
-    // The sequential path reuses one preallocated workspace: zero is the
-    // expected count for both runs.
-    assert_eq!(small, 0, "sequential small run allocated");
-    assert_eq!(large, 0, "sequential large run allocated");
+        let (small, ()) = allocations_during(|| {
+            execute_sequential_with(&dag_small, &mut ws, |task, ws| state_small.run_ws(task, ws));
+        });
+        let (large, ()) = allocations_during(|| {
+            execute_sequential_with(&dag_large, &mut ws, |task, ws| state_large.run_ws(task, ws));
+        });
+        assert!(dag_large.len() > dag_small.len() + 300);
+        // The sequential path reuses one preallocated workspace: zero is the
+        // expected count for both runs.
+        assert_eq!(small, 0, "sequential small run allocated (ib={ib})");
+        assert_eq!(large, 0, "sequential large run allocated (ib={ib})");
+    }
 }
