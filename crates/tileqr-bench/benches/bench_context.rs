@@ -1,0 +1,190 @@
+//! Throughput of a *stream* of repeated factorizations — the workload the
+//! session API ([`QrContext`] + [`QrPlan`]) exists for.
+//!
+//! Every variant factors the same sequence of same-shape matrices; what
+//! differs is how much work is redone per call:
+//!
+//! * `per_call_parallel` — the legacy one-shot path: `qr_factorize_parallel`
+//!   re-tiles, re-plans (elimination list + DAG + CSR) and spawns a fresh
+//!   worker pool on every matrix;
+//! * `context_plan` — a persistent pool plus a reused plan: per call only
+//!   the dense→tiled copy, the `T`-factor storage and the kernels remain;
+//! * `context_plan_in_place` — additionally skips the dense→tiled copy by
+//!   refilling one caller-owned tile buffer
+//!   ([`TiledMatrix::fill_from_dense_padded`]) and factoring it in place
+//!   ([`QrContext::factorize_into`]);
+//! * `context_seq` / `per_call_seq` — the same comparison at one thread
+//!   (no pool either way; isolates the planning cost from thread startup).
+//!
+//! Writes `BENCH_context.json`. Knobs: `TILEQR_BENCH_MS` (per-cell time),
+//! `TILEQR_BENCH_CTX_THREADS` (default 2), `TILEQR_BENCH_CTX_NB`
+//! (default 32, 8 × 4 tiles).
+
+use tileqr_bench::microbench::{run, write_json};
+use tileqr_kernels::flops::qr_flops;
+use tileqr_matrix::generate::random_matrix;
+use tileqr_matrix::{Matrix, TiledMatrix};
+use tileqr_runtime::driver::{qr_factorize, qr_factorize_parallel, QrConfig};
+use tileqr_runtime::{QrContext, QrPlan};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let nb = env_usize("TILEQR_BENCH_CTX_NB", 32);
+    let threads = env_usize("TILEQR_BENCH_CTX_THREADS", 2).max(2);
+    let (p, q) = (8usize, 4usize);
+    let (m, n) = (p * nb, q * nb);
+    let a: Matrix<f64> = random_matrix(m, n, 42);
+    let flops = Some(qr_flops(m, n));
+    let config = QrConfig::new(nb);
+    let mut samples = Vec::new();
+
+    // --- one thread: planning cost only -----------------------------------
+    run(
+        &mut samples,
+        "context_stream",
+        "per_call_seq",
+        nb,
+        flops,
+        || {
+            std::hint::black_box(qr_factorize(&a, config));
+        },
+    );
+    {
+        let ctx = QrContext::new(1).expect("one worker is always accepted");
+        let plan: QrPlan<f64> = QrPlan::new(m, n, config).expect("valid shape");
+        run(
+            &mut samples,
+            "context_stream",
+            "context_seq",
+            nb,
+            flops,
+            || {
+                std::hint::black_box(ctx.factorize(&plan, &a).expect("shape matches the plan"));
+            },
+        );
+    }
+
+    // --- `threads` workers: planning + pool startup ------------------------
+    run(
+        &mut samples,
+        "context_stream",
+        &format!("per_call_parallel_t{threads}"),
+        nb,
+        flops,
+        || {
+            std::hint::black_box(qr_factorize_parallel(&a, nb, threads));
+        },
+    );
+    let ctx = QrContext::new(threads).expect("thread count below the maximum");
+    let plan: QrPlan<f64> = QrPlan::new(m, n, config).expect("valid shape");
+    run(
+        &mut samples,
+        "context_stream",
+        &format!("context_plan_t{threads}"),
+        nb,
+        flops,
+        || {
+            std::hint::black_box(ctx.factorize(&plan, &a).expect("shape matches the plan"));
+        },
+    );
+    let mut tiles = TiledMatrix::from_dense_padded(&a, nb);
+    run(
+        &mut samples,
+        "context_stream",
+        &format!("context_plan_in_place_t{threads}"),
+        nb,
+        flops,
+        || {
+            tiles.fill_from_dense_padded(&a);
+            std::hint::black_box(
+                ctx.factorize_into(&plan, &mut tiles)
+                    .expect("tiles match the plan grid"),
+            );
+        },
+    );
+
+    // --- a *small* shape, where per-call overhead dominates ----------------
+    // 96 × 48 with nb = 16 (6 × 3 tiles): the kernels finish in tens of
+    // microseconds, so planning and pool startup are the bulk of a one-shot
+    // call — the amortization regime of the paper's PLASMA runtime.
+    let nb_s = 16usize;
+    let (ms, ns_) = (6 * nb_s, 3 * nb_s);
+    let a_s: Matrix<f64> = random_matrix(ms, ns_, 43);
+    let flops_s = Some(qr_flops(ms, ns_));
+    run(
+        &mut samples,
+        "context_stream_small",
+        &format!("per_call_parallel_t{threads}"),
+        nb_s,
+        flops_s,
+        || {
+            std::hint::black_box(qr_factorize_parallel(&a_s, nb_s, threads));
+        },
+    );
+    let plan_s: QrPlan<f64> = QrPlan::new(ms, ns_, QrConfig::new(nb_s)).expect("valid shape");
+    run(
+        &mut samples,
+        "context_stream_small",
+        &format!("context_plan_t{threads}"),
+        nb_s,
+        flops_s,
+        || {
+            std::hint::black_box(
+                ctx.factorize(&plan_s, &a_s)
+                    .expect("shape matches the plan"),
+            );
+        },
+    );
+    let mut tiles_s = TiledMatrix::from_dense_padded(&a_s, nb_s);
+    run(
+        &mut samples,
+        "context_stream_small",
+        &format!("context_plan_in_place_t{threads}"),
+        nb_s,
+        flops_s,
+        || {
+            tiles_s.fill_from_dense_padded(&a_s);
+            std::hint::black_box(
+                ctx.factorize_into(&plan_s, &mut tiles_s)
+                    .expect("tiles match the plan grid"),
+            );
+        },
+    );
+
+    // Headline ratios for the log: reused context+plan vs per-call spawning.
+    let ns = |group: &str, name: &str| {
+        samples
+            .iter()
+            .find(|s| s.group == group && s.name == name)
+            .map(|s| s.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    println!();
+    for (group, label) in [
+        ("context_stream", format!("{m} x {n} (nb = {nb})")),
+        (
+            "context_stream_small",
+            format!("{ms} x {ns_} (nb = {nb_s})"),
+        ),
+    ] {
+        let per_call = ns(group, &format!("per_call_parallel_t{threads}"));
+        let reused = ns(group, &format!("context_plan_t{threads}"));
+        println!(
+            "context+plan vs per-call, {label}, {threads} threads: {:.2}x ({:.1} µs -> {:.1} µs per factorization)",
+            per_call / reused,
+            per_call / 1e3,
+            reused / 1e3,
+        );
+    }
+
+    write_json(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_context.json"),
+        &samples,
+    );
+}

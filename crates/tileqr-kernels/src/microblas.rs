@@ -82,7 +82,10 @@ fn ukernel<T: Scalar>(k: usize, ap: &[T], bp: &[T], acc: &mut [T; MR * NR]) {
     for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
         for (c, &bv) in b.iter().enumerate() {
             for (r, &av) in a.iter().enumerate() {
-                acc[c * MR + r] += av * bv;
+                // `mul_acc` is mul+add by default (bit-identical with the
+                // historical kernel) and a single hardware `vfmadd` for f64
+                // under the `fma` cargo feature — see `Scalar::mul_acc`.
+                acc[c * MR + r] = acc[c * MR + r].mul_acc(av, bv);
             }
         }
     }

@@ -105,6 +105,47 @@ impl<T: Scalar> TiledMatrix<T> {
         t
     }
 
+    /// Refills this tiled matrix **in place** from a dense matrix, zeroing
+    /// the padding — the allocation-free counterpart of
+    /// [`TiledMatrix::from_dense_padded`] for callers that stream many
+    /// matrices of one shape through a single tile buffer (e.g. the
+    /// in-place factorization path of the runtime's `QrContext`).
+    ///
+    /// # Panics
+    /// Panics if the dense matrix does not pad to this grid, i.e. unless
+    /// `p = ⌈a.rows()/nb⌉` and `q = ⌈a.cols()/nb⌉` (with the same one-tile
+    /// minimum as `from_dense_padded`).
+    pub fn fill_from_dense_padded(&mut self, a: &Matrix<T>) {
+        let nb = self.nb;
+        let (p, q) = (a.rows().div_ceil(nb).max(1), a.cols().div_ceil(nb).max(1));
+        assert!(
+            (p, q) == (self.p, self.q),
+            "a {} × {} matrix pads to a {p} × {q} grid of nb = {nb} tiles, \
+             but this tiled matrix is {} × {}",
+            a.rows(),
+            a.cols(),
+            self.p,
+            self.q
+        );
+        for tj in 0..self.q {
+            for ti in 0..self.p {
+                let tile = self.tile_mut(ti, tj);
+                for rj in 0..nb {
+                    let j = tj * nb + rj;
+                    for ri in 0..nb {
+                        let i = ti * nb + ri;
+                        let v = if i < a.rows() && j < a.cols() {
+                            a.get(i, j)
+                        } else {
+                            T::ZERO
+                        };
+                        tile.set(ri, rj, v);
+                    }
+                }
+            }
+        }
+    }
+
     /// Reassembles the dense `(p·nb) × (q·nb)` matrix.
     pub fn to_dense(&self) -> Matrix<T> {
         let mut a = Matrix::zeros(self.p * self.nb, self.q * self.nb);
@@ -290,6 +331,33 @@ mod tests {
         // padding is zero
         assert_eq!(d.get(7, 3), 0.0);
         assert_eq!(d.get(5, 0), 0.0);
+    }
+
+    #[test]
+    fn fill_from_dense_padded_matches_the_allocating_constructor() {
+        let a = counting_matrix::<f64>(5, 3);
+        let fresh = TiledMatrix::from_dense_padded(&a, 4);
+        // Start from a dirty buffer of the right grid: every element set.
+        let mut buf = TiledMatrix::<f64>::zeros(2, 1, 4);
+        for i in 0..8 {
+            for j in 0..4 {
+                buf.set(i, j, -7.0);
+            }
+        }
+        buf.fill_from_dense_padded(&a);
+        assert_eq!(buf, fresh, "refill must also clear the padding");
+        // Refilling with different values reuses the same storage.
+        let b = random_matrix::<f64>(5, 3, 9);
+        buf.fill_from_dense_padded(&b);
+        assert_eq!(buf, TiledMatrix::from_dense_padded(&b, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "pads to")]
+    fn fill_from_dense_padded_rejects_wrong_grids() {
+        let a = counting_matrix::<f64>(9, 3);
+        let mut buf = TiledMatrix::<f64>::zeros(2, 1, 4);
+        buf.fill_from_dense_padded(&a);
     }
 
     #[test]

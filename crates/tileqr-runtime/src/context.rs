@@ -1,0 +1,847 @@
+//! Session-style factorization API: [`QrContext`] + [`QrPlan`].
+//!
+//! The free functions of [`crate::driver`] are one-shot: every call re-tiles
+//! the matrix, rebuilds the elimination list and [`TaskDag`], reallocates all
+//! scratch, and spawns a fresh set of worker threads. That is the right shape
+//! for a single large factorization, but a service factoring a *stream* of
+//! moderate-size matrices pays the planning and pool-startup cost on every
+//! request. This module splits the API the way PLASMA splits it:
+//!
+//! * [`QrContext`] — the long-lived runtime: a persistent, parkable worker
+//!   pool (built once from `threads` + [`SchedulerKind`]; workers idle
+//!   through the executor's [`Backoff`](crate::sync::Backoff) between jobs
+//!   instead of being respawned) plus the scheduling policy.
+//! * [`QrPlan`] — the reusable schedule for one problem shape
+//!   `(m, n, nb, ib, algorithm, family)`: the elimination list, the task
+//!   DAG with its CSR successor lists, the critical-path priorities
+//!   (computed lazily, shared by every job), and a checkout cache of
+//!   per-worker kernel [`Workspace`]s. Building a plan is the *planning*
+//!   phase; executing it is pure kernel time.
+//! * [`QrError`] — typed errors replacing the driver's panics: bad shapes,
+//!   zero tile sizes and oversized thread counts are reported as values.
+//! * [`QrReflectors`] — the result of the in-place path
+//!   [`QrContext::factorize_into`], which factors caller-owned tile storage
+//!   without the dense→tiled copy and hands back only the `T` factors.
+//!
+//! ```
+//! use tileqr_matrix::{generate::random_matrix, Matrix};
+//! use tileqr_runtime::{QrConfig, QrContext, QrPlan};
+//!
+//! let a: Matrix<f64> = random_matrix(96, 48, 7);
+//! let ctx = QrContext::new(2).unwrap();
+//! let plan: QrPlan<f64> = QrPlan::new(96, 48, QrConfig::new(16)).unwrap();
+//! for _ in 0..4 {
+//!     let f = ctx.factorize(&plan, &a).unwrap(); // only kernel time after call 1
+//!     assert!(f.residual(&a) < 1e-11);
+//! }
+//! ```
+//!
+//! Every execution path of the context (sequential, and each scheduler on
+//! the persistent pool) runs the same kernels in a DAG-respecting order, so
+//! results are **bitwise identical** to the legacy free functions — the
+//! equivalence suite pins this down for `f64` and `Complex64`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::{Arc, OnceLock};
+
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::dag::{KernelFamily, SuccessorsCsr, TaskDag};
+use tileqr_kernels::{Trans, Workspace};
+use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
+
+use crate::driver::{elimination_list_for, replay_q, QrConfig, QrFactorization};
+use crate::executor::{
+    dependency_counters, drive_worker, execute_sequential_with, LockedFifo, Scheduler,
+    SchedulerKind, WorkStealing, WorkStealingPriority,
+};
+use crate::pool::{Job, WorkerPool};
+use crate::state::FactorizationState;
+use crate::sync::Mutex;
+
+/// Hard upper bound on the worker-thread count of a [`QrContext`]; requests
+/// beyond it are configuration mistakes (the pool would oversubscribe any
+/// real machine by orders of magnitude) and are rejected as
+/// [`QrError::TooManyThreads`].
+pub const MAX_THREADS: usize = 1024;
+
+/// Typed errors of the session API ([`QrContext`] / [`QrPlan`]).
+///
+/// The legacy free functions ([`crate::driver::qr_factorize`] & co.) keep
+/// their documented panicking behavior; the context API reports the same
+/// conditions as values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QrError {
+    /// The matrix is wide (`m < n`); tiled QR requires tall or square.
+    WideMatrix {
+        /// Row count of the offending matrix.
+        m: usize,
+        /// Column count of the offending matrix.
+        n: usize,
+    },
+    /// The configured tile size is zero.
+    ZeroTileSize,
+    /// A context with zero worker threads was requested.
+    ZeroThreads,
+    /// More worker threads than [`MAX_THREADS`] were requested.
+    TooManyThreads {
+        /// The requested thread count.
+        requested: usize,
+        /// The maximum the context accepts.
+        max: usize,
+    },
+    /// The dense matrix handed to [`QrContext::factorize`] does not have the
+    /// shape the plan was built for.
+    ShapeMismatch {
+        /// `(m, n)` the plan was built for.
+        expected: (usize, usize),
+        /// `(m, n)` of the matrix actually supplied.
+        got: (usize, usize),
+    },
+    /// The tiled matrix handed to [`QrContext::factorize_into`] does not
+    /// match the plan's tile grid.
+    PlanMismatch {
+        /// `(p, q, nb)` the plan was built for.
+        expected: (usize, usize, usize),
+        /// `(p, q, nb)` of the tiles actually supplied.
+        got: (usize, usize, usize),
+    },
+    /// A right-hand side's length does not match the factored matrix.
+    RhsLength {
+        /// Expected length (`m` of the factored matrix).
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for QrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QrError::WideMatrix { m, n } => write!(
+                f,
+                "tiled QR requires a tall or square matrix (m ≥ n), got {m} × {n}"
+            ),
+            QrError::ZeroTileSize => write!(f, "tile size must be at least 1"),
+            QrError::ZeroThreads => write!(f, "a context needs at least one worker thread"),
+            QrError::TooManyThreads { requested, max } => {
+                write!(f, "{requested} worker threads requested, maximum is {max}")
+            }
+            QrError::ShapeMismatch { expected, got } => write!(
+                f,
+                "plan built for a {} × {} matrix, got {} × {}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            QrError::PlanMismatch { expected, got } => write!(
+                f,
+                "plan built for a {} × {} grid of nb = {} tiles, got {} × {} of nb = {}",
+                expected.0, expected.1, expected.2, got.0, got.1, got.2
+            ),
+            QrError::RhsLength { expected, got } => write!(
+                f,
+                "right-hand side length {got} does not match the factored row count {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QrError {}
+
+/// The scalar-independent part of a plan: the schedule itself.
+///
+/// Shared (`Arc`) between the plan, in-flight pool jobs and every
+/// [`QrFactorization`]/[`QrReflectors`] produced from it, so the DAG is built
+/// once per shape and never copied.
+pub(crate) struct PlanCore {
+    pub(crate) dag: Arc<TaskDag>,
+    pub(crate) succ: SuccessorsCsr,
+    /// Initially-ready task indices, in topological order.
+    pub(crate) roots: Vec<usize>,
+    /// Largest successor batch a single task completion can enable.
+    pub(crate) max_out_degree: usize,
+    /// Weighted critical-path-to-exit priorities, computed on first use by
+    /// the priority scheduler and shared by every subsequent job.
+    priorities: OnceLock<Arc<[u64]>>,
+}
+
+impl PlanCore {
+    fn priorities(&self) -> Arc<[u64]> {
+        self.priorities
+            .get_or_init(|| self.dag.priorities_with(&self.succ).into())
+            .clone()
+    }
+}
+
+/// A reusable factorization schedule for one problem shape.
+///
+/// A plan fixes `(m, n, nb, ib, algorithm, family)` and precomputes
+/// everything about the factorization that does not depend on the matrix
+/// *values*: the elimination list, the task DAG (with CSR successor lists
+/// and root set), the critical-path priorities, and a cache of per-worker
+/// kernel workspaces sized for `(nb, ib)`. Repeated factorizations of the
+/// same shape through [`QrContext::factorize`] then pay only kernel time
+/// (plus the unavoidable per-call tile/`T`-factor storage).
+///
+/// The type parameter is the element type the plan's workspaces serve
+/// (`f64` or `Complex64`).
+pub struct QrPlan<T: Scalar> {
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    algorithm: Algorithm,
+    family: KernelFamily,
+    p: usize,
+    q: usize,
+    pub(crate) core: Arc<PlanCore>,
+    /// Checkout cache of kernel workspaces: taken at job start, returned at
+    /// job end, grown on demand up to the largest worker count seen.
+    ws_cache: Mutex<Vec<Workspace<T>>>,
+    /// Largest single checkout so far — the retention bound of `ws_cache`.
+    /// Without it, concurrent `factorize` bursts (each building `threads`
+    /// fresh workspaces against a momentarily-empty cache) would ratchet the
+    /// cache up without limit; with it, surplus returns are dropped.
+    ws_high_water: std::sync::atomic::AtomicUsize,
+}
+
+impl<T: Scalar> std::fmt::Debug for QrPlan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrPlan")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("tile_size", &self.nb)
+            .field("inner_block", &self.ib)
+            .field("algorithm", &self.algorithm)
+            .field("family", &self.family)
+            .field("grid", &(self.p, self.q))
+            .field("tasks", &self.core.dag.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar> QrPlan<T> {
+    /// Builds the plan for factorizing `m × n` matrices with the shape
+    /// parameters of `config` (`tile_size`, `inner_block`, `algorithm`,
+    /// `family` — the `threads`/`scheduler` fields belong to the
+    /// [`QrContext`] and are ignored here).
+    pub fn new(m: usize, n: usize, config: QrConfig) -> Result<Self, QrError> {
+        if config.tile_size == 0 {
+            return Err(QrError::ZeroTileSize);
+        }
+        if m < n {
+            return Err(QrError::WideMatrix { m, n });
+        }
+        let nb = config.tile_size;
+        let ib = config.effective_inner_block();
+        // Degenerate empty matrices pad to one tile, exactly like
+        // `TiledMatrix::from_dense_padded`.
+        let p = m.div_ceil(nb).max(1);
+        let q = n.div_ceil(nb).max(1);
+        let list = elimination_list_for(config.algorithm, p, q);
+        let dag = TaskDag::build(&list, config.family);
+        let succ = dag.successors_csr();
+        let roots = crate::executor::initial_roots(&dag);
+        let max_out_degree = (0..dag.len()).map(|i| succ.of(i).len()).max().unwrap_or(0);
+        Ok(QrPlan {
+            m,
+            n,
+            nb,
+            ib,
+            algorithm: config.algorithm,
+            family: config.family,
+            p,
+            q,
+            core: Arc::new(PlanCore {
+                dag: Arc::new(dag),
+                succ,
+                roots,
+                max_out_degree,
+                priorities: OnceLock::new(),
+            }),
+            ws_cache: Mutex::new(Vec::new()),
+            ws_high_water: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// Row count the plan factorizes.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Column count the plan factorizes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tile size `nb`.
+    pub fn tile_size(&self) -> usize {
+        self.nb
+    }
+
+    /// Inner blocking factor `ib` the kernels will run with.
+    pub fn inner_block(&self) -> usize {
+        self.ib
+    }
+
+    /// Reduction tree the schedule was generated from.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Kernel family (TT or TS) of the schedule.
+    pub fn family(&self) -> KernelFamily {
+        self.family
+    }
+
+    /// Tile rows `p` of the padded grid.
+    pub fn tile_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Tile columns `q` of the padded grid.
+    pub fn tile_cols(&self) -> usize {
+        self.q
+    }
+
+    /// Number of kernel tasks one factorization executes.
+    pub fn task_count(&self) -> usize {
+        self.core.dag.len()
+    }
+
+    /// Takes `count` workspaces out of the cache, building any that are
+    /// missing; the caller returns them through
+    /// [`QrPlan::restore_workspaces`] when the job is done.
+    fn checkout_workspaces(&self, count: usize) -> Vec<Workspace<T>> {
+        self.ws_high_water
+            .fetch_max(count, std::sync::atomic::Ordering::Relaxed);
+        let mut cache = self.ws_cache.lock();
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            match cache.pop() {
+                Some(ws) => out.push(ws),
+                None => out.push(Workspace::with_inner_block(self.nb, self.ib)),
+            }
+        }
+        out
+    }
+
+    /// Returns checked-out workspaces to the cache for the next job,
+    /// retaining at most one workspace per worker of the widest checkout
+    /// ever made (surplus built during concurrent bursts is dropped).
+    fn restore_workspaces(&self, ws: impl IntoIterator<Item = Workspace<T>>) {
+        let cap = self
+            .ws_high_water
+            .load(std::sync::atomic::Ordering::Relaxed);
+        let mut cache = self.ws_cache.lock();
+        cache.extend(ws);
+        cache.truncate(cap);
+    }
+}
+
+/// One factorization executed on the persistent pool: the shared state, the
+/// schedule, this job's scheduler instance and dependency counters, and one
+/// workspace slot per worker.
+struct FactorJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
+    state: Arc<FactorizationState<T>>,
+    core: Arc<PlanCore>,
+    sched: S,
+    remaining: Vec<AtomicUsize>,
+    completed: AtomicUsize,
+    aborted: AtomicBool,
+    ws_slots: Arc<Vec<Mutex<Option<Workspace<T>>>>>,
+}
+
+impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for FactorJob<T, S> {
+    fn run(&self, w: usize) {
+        let mut slot = self.ws_slots[w].lock();
+        let ws = slot.as_mut().expect("one workspace is staged per worker");
+        drive_worker(
+            &self.core.dag,
+            &self.core.succ,
+            &self.sched,
+            &self.remaining,
+            &self.completed,
+            &self.aborted,
+            self.core.max_out_degree,
+            w,
+            &mut |kind| self.state.run_ws(kind, ws),
+        );
+    }
+}
+
+/// A long-lived factorization runtime: a persistent worker pool plus a
+/// scheduling policy.
+///
+/// Build one context per service (or per thread-count/scheduler choice) and
+/// reuse it for every factorization; combine with a [`QrPlan`] per problem
+/// shape so repeated factorizations skip planning entirely. With
+/// `threads == 1` no pool is spawned and every factorization runs on the
+/// calling thread in topological order (the bitwise reference order).
+///
+/// The context is `Sync`; concurrent `factorize` calls from several threads
+/// are safe but serialized — the pool runs one job at a time.
+pub struct QrContext {
+    threads: usize,
+    scheduler: SchedulerKind,
+    pool: Option<WorkerPool>,
+}
+
+impl std::fmt::Debug for QrContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrContext")
+            .field("threads", &self.threads)
+            .field("scheduler", &self.scheduler)
+            .finish_non_exhaustive()
+    }
+}
+
+impl QrContext {
+    /// Builds a context with `threads` persistent workers and the default
+    /// scheduler ([`SchedulerKind::WorkStealing`]).
+    pub fn new(threads: usize) -> Result<Self, QrError> {
+        QrContext::with_scheduler(threads, SchedulerKind::default())
+    }
+
+    /// Validates a worker-thread count; factored out of the constructor so
+    /// the bounds (including the [`MAX_THREADS`] boundary itself) are
+    /// testable without actually spawning a pool.
+    pub(crate) fn validate_threads(threads: usize) -> Result<(), QrError> {
+        if threads == 0 {
+            return Err(QrError::ZeroThreads);
+        }
+        if threads > MAX_THREADS {
+            return Err(QrError::TooManyThreads {
+                requested: threads,
+                max: MAX_THREADS,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds a context with `threads` persistent workers and an explicit
+    /// ready-task scheduling policy.
+    pub fn with_scheduler(threads: usize, scheduler: SchedulerKind) -> Result<Self, QrError> {
+        QrContext::validate_threads(threads)?;
+        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        Ok(QrContext {
+            threads,
+            scheduler,
+            pool,
+        })
+    }
+
+    /// Number of worker threads (1 = sequential, no pool).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Ready-task scheduling policy of the pool.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Factorizes a dense matrix of the plan's shape, returning the full
+    /// [`QrFactorization`] handle (extract `R`, apply `Q`/`Qᴴ`, …).
+    ///
+    /// The matrix values are copied into fresh tile storage; use
+    /// [`QrContext::factorize_into`] to skip that copy on a hot path.
+    pub fn factorize<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        a: &Matrix<T>,
+    ) -> Result<QrFactorization<T>, QrError> {
+        if a.shape() != (plan.m, plan.n) {
+            return Err(QrError::ShapeMismatch {
+                expected: (plan.m, plan.n),
+                got: a.shape(),
+            });
+        }
+        let tiled = TiledMatrix::from_dense_padded(a, plan.nb);
+        let (tiles, t_geqrt, t_elim) = self.run_plan(plan, tiled);
+        Ok(QrFactorization::from_parts(
+            plan.m,
+            plan.n,
+            plan.nb,
+            plan.ib,
+            tiles,
+            t_geqrt,
+            t_elim,
+            Arc::clone(&plan.core.dag),
+        ))
+    }
+
+    /// Factorizes caller-owned tile storage **in place** — the tiles are
+    /// overwritten with `R` and the Householder vectors, and only the `T`
+    /// factors come back, as a [`QrReflectors`] handle. Nothing about the
+    /// matrix values is copied, so a caller that keeps refilling one
+    /// [`TiledMatrix`] buffer (e.g. via
+    /// [`TiledMatrix::fill_from_dense_padded`]) factors a stream of
+    /// matrices with zero per-call tile allocation.
+    ///
+    /// The grid must match the plan: `p × q` tiles of order `nb` (the shape
+    /// [`TiledMatrix::from_dense_padded`] produces for an `m × n` matrix).
+    ///
+    /// If a kernel panics (a bug, not a recoverable condition), the panic is
+    /// propagated and the tile storage is left in an unspecified state.
+    pub fn factorize_into<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiles: &mut TiledMatrix<T>,
+    ) -> Result<QrReflectors<T>, QrError> {
+        let got = (tiles.tile_rows(), tiles.tile_cols(), tiles.tile_size());
+        if got != (plan.p, plan.q, plan.nb) {
+            return Err(QrError::PlanMismatch {
+                expected: (plan.p, plan.q, plan.nb),
+                got,
+            });
+        }
+        let owned = std::mem::replace(tiles, TiledMatrix::from_tiles(Vec::new(), 0, 0, plan.nb));
+        let (factored, t_geqrt, t_elim) = self.run_plan(plan, owned);
+        *tiles = factored;
+        Ok(QrReflectors {
+            m: plan.m,
+            n: plan.n,
+            nb: plan.nb,
+            ib: plan.ib,
+            p: plan.p,
+            q: plan.q,
+            dag: Arc::clone(&plan.core.dag),
+            t_geqrt,
+            t_elim,
+        })
+    }
+
+    /// Executes the plan's DAG against `tiled`, sequentially or on the pool,
+    /// and returns the factored parts.
+    #[allow(clippy::type_complexity)]
+    fn run_plan<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiled: TiledMatrix<T>,
+    ) -> (
+        TiledMatrix<T>,
+        Vec<Option<Matrix<T>>>,
+        Vec<Option<Matrix<T>>>,
+    ) {
+        let state = FactorizationState::with_inner_block(tiled, plan.ib);
+        match &self.pool {
+            None => {
+                let mut ws = plan.checkout_workspaces(1);
+                execute_sequential_with(&plan.core.dag, &mut ws[0], |task, ws| {
+                    state.run_ws(task, ws)
+                });
+                plan.restore_workspaces(ws);
+                state.into_parts()
+            }
+            Some(pool) => {
+                let n = plan.core.dag.len();
+                let threads = pool.threads();
+                match self.scheduler {
+                    SchedulerKind::LockedFifo => {
+                        self.run_job(plan, pool, state, LockedFifo::new(n))
+                    }
+                    SchedulerKind::WorkStealing => {
+                        self.run_job(plan, pool, state, WorkStealing::new(n, threads))
+                    }
+                    SchedulerKind::WorkStealingPriority => self.run_job(
+                        plan,
+                        pool,
+                        state,
+                        WorkStealingPriority::new_shared(plan.core.priorities(), threads),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Packages one factorization as a pool job, runs it, and recovers the
+    /// state and workspaces (both are uniquely owned again once every worker
+    /// signalled completion).
+    #[allow(clippy::type_complexity)]
+    fn run_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
+        &self,
+        plan: &QrPlan<T>,
+        pool: &WorkerPool,
+        state: FactorizationState<T>,
+        sched: S,
+    ) -> (
+        TiledMatrix<T>,
+        Vec<Option<Matrix<T>>>,
+        Vec<Option<Matrix<T>>>,
+    ) {
+        let threads = pool.threads();
+        let mut roots = plan.core.roots.clone();
+        sched.seed(&mut roots);
+        let ws_slots: Arc<Vec<Mutex<Option<Workspace<T>>>>> = Arc::new(
+            plan.checkout_workspaces(threads)
+                .into_iter()
+                .map(|ws| Mutex::new(Some(ws)))
+                .collect(),
+        );
+        let state = Arc::new(state);
+        let job: Arc<dyn Job> = Arc::new(FactorJob {
+            state: Arc::clone(&state),
+            core: Arc::clone(&plan.core),
+            sched,
+            remaining: dependency_counters(&plan.core.dag),
+            completed: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            ws_slots: Arc::clone(&ws_slots),
+        });
+        pool.run(job);
+        // `pool.run` returns only after every worker dropped its reference
+        // to the job (and the job itself was dropped), so both Arcs are
+        // uniquely owned again.
+        let slots = Arc::try_unwrap(ws_slots)
+            .unwrap_or_else(|_| panic!("workspace slots still shared after the job completed"));
+        plan.restore_workspaces(slots.into_iter().filter_map(Mutex::into_inner));
+        Arc::try_unwrap(state)
+            .unwrap_or_else(|_| panic!("factorization state still shared after the job completed"))
+            .into_parts()
+    }
+}
+
+/// The `T` factors of an in-place factorization ([`QrContext::factorize_into`]).
+///
+/// The factored tiles stay with the caller; combined with them, this handle
+/// replays the block reflectors (`Q`/`Qᴴ` application, `R` extraction) or
+/// upgrades into a self-contained [`QrFactorization`] by taking ownership of
+/// the tiles.
+pub struct QrReflectors<T: Scalar> {
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    p: usize,
+    q: usize,
+    dag: Arc<TaskDag>,
+    t_geqrt: Vec<Option<Matrix<T>>>,
+    t_elim: Vec<Option<Matrix<T>>>,
+}
+
+impl<T: Scalar> std::fmt::Debug for QrReflectors<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrReflectors")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("tile_size", &self.nb)
+            .field("inner_block", &self.ib)
+            .field("grid", &(self.p, self.q))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Scalar<Real = f64>> QrReflectors<T> {
+    /// Original (unpadded) row count of the factored matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Original (unpadded) column count of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Inner blocking factor the `T` factors are stored with.
+    pub fn inner_block(&self) -> usize {
+        self.ib
+    }
+
+    /// Panics unless `tiles` has the grid this factorization was computed
+    /// on — the `tiles` handed back by [`QrContext::factorize_into`].
+    fn check_tiles(&self, tiles: &TiledMatrix<T>) {
+        assert!(
+            (tiles.tile_rows(), tiles.tile_cols(), tiles.tile_size()) == (self.p, self.q, self.nb),
+            "tile grid does not match the factorization ({}×{} of nb={})",
+            self.p,
+            self.q,
+            self.nb
+        );
+    }
+
+    /// The upper-triangular factor `R` (`n × n`), read out of the factored
+    /// tiles.
+    pub fn r(&self, tiles: &TiledMatrix<T>) -> Matrix<T> {
+        self.check_tiles(tiles);
+        let full = tiles.to_dense();
+        let mut r = full.sub_matrix(0, 0, self.n, self.n);
+        r.zero_below_diagonal();
+        r
+    }
+
+    /// Applies `Qᴴ` to a dense matrix with `m` rows, replaying the block
+    /// reflectors stored in `tiles`.
+    pub fn apply_qh(&self, tiles: &TiledMatrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        self.check_tiles(tiles);
+        replay_q(
+            tiles,
+            &self.t_geqrt,
+            &self.t_elim,
+            &self.dag,
+            self.ib,
+            self.m,
+            b,
+            Trans::ConjTrans,
+        )
+    }
+
+    /// Applies `Q` to a dense matrix with `m` rows.
+    pub fn apply_q(&self, tiles: &TiledMatrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        self.check_tiles(tiles);
+        replay_q(
+            tiles,
+            &self.t_geqrt,
+            &self.t_elim,
+            &self.dag,
+            self.ib,
+            self.m,
+            b,
+            Trans::NoTrans,
+        )
+    }
+
+    /// Upgrades into a self-contained [`QrFactorization`] by taking
+    /// ownership of the factored tiles.
+    pub fn into_factorization(self, tiles: TiledMatrix<T>) -> QrFactorization<T> {
+        self.check_tiles(&tiles);
+        QrFactorization::from_parts(
+            self.m,
+            self.n,
+            self.nb,
+            self.ib,
+            tiles,
+            self.t_geqrt,
+            self.t_elim,
+            self.dag,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tileqr_matrix::generate::random_matrix;
+
+    #[test]
+    fn plan_rejects_bad_shapes() {
+        assert_eq!(
+            QrPlan::<f64>::new(4, 8, QrConfig::new(2)).err(),
+            Some(QrError::WideMatrix { m: 4, n: 8 })
+        );
+        assert_eq!(
+            QrPlan::<f64>::new(8, 4, QrConfig::new(0)).err(),
+            Some(QrError::ZeroTileSize)
+        );
+    }
+
+    #[test]
+    fn context_rejects_bad_thread_counts() {
+        assert_eq!(QrContext::new(0).err(), Some(QrError::ZeroThreads));
+        assert_eq!(
+            QrContext::new(MAX_THREADS + 1).err(),
+            Some(QrError::TooManyThreads {
+                requested: MAX_THREADS + 1,
+                max: MAX_THREADS
+            })
+        );
+        assert!(QrContext::new(1).unwrap().pool.is_none());
+        // The boundary itself is accepted; validated without spawning 1024
+        // parked workers.
+        assert_eq!(QrContext::validate_threads(MAX_THREADS), Ok(()));
+        assert_eq!(
+            QrContext::validate_threads(MAX_THREADS + 1),
+            Err(QrError::TooManyThreads {
+                requested: MAX_THREADS + 1,
+                max: MAX_THREADS
+            })
+        );
+        assert_eq!(QrContext::validate_threads(0), Err(QrError::ZeroThreads));
+    }
+
+    #[test]
+    fn factorize_checks_the_matrix_shape() {
+        let ctx = QrContext::new(1).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(12, 8, QrConfig::new(4)).unwrap();
+        let wrong: Matrix<f64> = random_matrix(12, 4, 1);
+        assert_eq!(
+            ctx.factorize(&plan, &wrong).err(),
+            Some(QrError::ShapeMismatch {
+                expected: (12, 8),
+                got: (12, 4)
+            })
+        );
+    }
+
+    #[test]
+    fn factorize_into_checks_the_tile_grid() {
+        let ctx = QrContext::new(1).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(12, 8, QrConfig::new(4)).unwrap();
+        let mut tiles = TiledMatrix::<f64>::zeros(2, 2, 4);
+        assert_eq!(
+            ctx.factorize_into(&plan, &mut tiles).err(),
+            Some(QrError::PlanMismatch {
+                expected: (3, 2, 4),
+                got: (2, 2, 4)
+            })
+        );
+    }
+
+    #[test]
+    fn repeated_factorizations_reuse_the_plan() {
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(24, 16, QrConfig::new(4)).unwrap();
+        let a: Matrix<f64> = random_matrix(24, 16, 3);
+        let first = ctx.factorize(&plan, &a).unwrap();
+        for _ in 0..3 {
+            let again = ctx.factorize(&plan, &a).unwrap();
+            assert_eq!(again.r(), first.r(), "plan reuse must be deterministic");
+        }
+        assert!(first.residual(&a) < 1e-11);
+    }
+
+    #[test]
+    fn in_place_matches_the_copying_path_bitwise() {
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(20, 12, QrConfig::new(4)).unwrap();
+        let a: Matrix<f64> = random_matrix(20, 12, 5);
+        let f = ctx.factorize(&plan, &a).unwrap();
+        let mut tiles = TiledMatrix::from_dense_padded(&a, 4);
+        let refl = ctx.factorize_into(&plan, &mut tiles).unwrap();
+        assert_eq!(&tiles, f.factored_tiles());
+        assert_eq!(refl.r(&tiles), f.r());
+        let b: Matrix<f64> = random_matrix(20, 2, 6);
+        assert_eq!(refl.apply_qh(&tiles, &b), f.apply_qh(&b));
+        let g = refl.into_factorization(tiles);
+        assert_eq!(g.r(), f.r());
+    }
+
+    #[test]
+    fn workspace_cache_is_bounded_by_the_widest_checkout() {
+        // Simulate a concurrent burst: three checkouts in flight at once
+        // against a cold cache. The cache must retain at most one workspace
+        // per worker of the widest checkout, not the sum of the burst.
+        let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+        let a = plan.checkout_workspaces(2);
+        let b = plan.checkout_workspaces(2);
+        let c = plan.checkout_workspaces(2);
+        plan.restore_workspaces(a);
+        plan.restore_workspaces(b);
+        plan.restore_workspaces(c);
+        assert!(plan.ws_cache.lock().len() <= 2);
+        // A wider context later raises the retention bound.
+        let d = plan.checkout_workspaces(3);
+        plan.restore_workspaces(d);
+        assert!(plan.ws_cache.lock().len() <= 3);
+    }
+
+    #[test]
+    fn error_messages_are_displayable() {
+        let e = QrError::WideMatrix { m: 2, n: 5 };
+        assert!(e.to_string().contains("m ≥ n"));
+        let e = QrError::TooManyThreads {
+            requested: 9999,
+            max: MAX_THREADS,
+        };
+        assert!(e.to_string().contains("9999"));
+    }
+}

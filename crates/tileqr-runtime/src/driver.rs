@@ -1,12 +1,24 @@
-//! High-level factorization drivers.
+//! One-shot factorization drivers (convenience wrappers over the session API).
 //!
-//! [`qr_factorize`] / [`qr_factorize_parallel`] take a dense matrix, tile it,
-//! build the task DAG for the requested algorithm and kernel family, execute
-//! every kernel (sequentially or on worker threads) and return a
-//! [`QrFactorization`] handle from which the user can extract `R`, apply
-//! `Q`/`Qᴴ` to arbitrary matrices, or form `Q` explicitly — the same
-//! functionality LAPACK exposes as `GEQRF` + `ORMQR` + `ORGQR`, but built on
-//! the tiled algorithms of the paper.
+//! [`qr_factorize`] / [`qr_factorize_parallel`] take a dense matrix, build a
+//! [`QrPlan`](crate::context::QrPlan) and a transient
+//! [`QrContext`](crate::context::QrContext) for it, execute every kernel
+//! (sequentially or on worker threads) and return a [`QrFactorization`]
+//! handle from which the user can extract `R`, apply `Q`/`Qᴴ` to arbitrary
+//! matrices, or form `Q` explicitly — the same functionality LAPACK exposes
+//! as `GEQRF` + `ORMQR` + `ORGQR`, but built on the tiled algorithms of the
+//! paper.
+//!
+//! These free functions are the right call for a **single** factorization.
+//! A service factoring a *stream* of matrices should hold a long-lived
+//! [`QrContext`](crate::context::QrContext) (persistent worker pool) and one
+//! [`QrPlan`](crate::context::QrPlan) per problem shape instead, so repeated
+//! calls pay only kernel time; see the [`crate::context`] docs. The wrappers
+//! here keep their historical panicking contract (`m ≥ n`, positive tile
+//! size) and are bitwise identical to the session API — both run the same
+//! kernels in a DAG-respecting order.
+
+use std::sync::Arc;
 
 use tileqr_core::algorithms::Algorithm;
 use tileqr_core::dag::{KernelFamily, TaskDag};
@@ -105,7 +117,21 @@ pub struct QrFactorization<T: Scalar> {
     tiles: TiledMatrix<T>,
     t_geqrt: Vec<Option<Matrix<T>>>,
     t_elim: Vec<Option<Matrix<T>>>,
-    dag: TaskDag,
+    /// Shared with the plan that produced the factorization (the DAG is
+    /// read-only after construction and can be large).
+    dag: Arc<TaskDag>,
+}
+
+impl<T: Scalar> std::fmt::Debug for QrFactorization<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QrFactorization")
+            .field("m", &self.m)
+            .field("n", &self.n)
+            .field("tile_size", &self.tile_size)
+            .field("inner_block", &self.inner_block)
+            .field("tasks", &self.dag.len())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Builds the elimination list for an algorithm, using the dynamic simulator
@@ -158,20 +184,31 @@ pub fn qr_factorize_traced<T: Scalar<Real = f64>>(
     (f, trace)
 }
 
+/// Untraced one-shot path: validates with the historical panics, then runs
+/// through a transient plan + context (the session API), which makes the
+/// free functions thin wrappers over [`crate::context::QrContext`].
 fn factorize_impl<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrFactorization<T> {
-    factorize_with(
-        a,
-        config,
-        |_| WorkerTrace::disabled(),
-        |state, task, ws, _wt| state.run_ws(task, ws),
-    )
+    let (m, n) = a.shape();
+    assert!(m >= n, "tiled QR requires a tall or square matrix (m ≥ n)");
+    assert!(config.tile_size >= 1, "tile size must be at least 1");
+    let plan = crate::context::QrPlan::new(m, n, config)
+        .expect("shape and tile size were validated above");
+    // The legacy API never limited the thread count; clamp instead of
+    // erroring so historical callers keep working.
+    let threads = config.threads.clamp(1, crate::context::MAX_THREADS);
+    let ctx = crate::context::QrContext::with_scheduler(threads, config.scheduler)
+        .expect("thread count is clamped into the accepted range");
+    ctx.factorize(&plan, a)
+        .expect("the plan was built for exactly this matrix shape")
 }
 
-/// Shared driver body: tiles the matrix, builds the DAG and executes it.
+/// Traced driver body: tiles the matrix, builds the DAG and executes it on
+/// the scoped executor (per-worker trace buffers borrow the trace, so this
+/// path cannot ride the `'static` jobs of the persistent pool — tracing is a
+/// diagnostic mode, not the hot path).
 ///
 /// `make_trace` builds one per-worker trace recorder (given the DAG length
-/// as a capacity hint) and `run` maps a task to its kernel; the untraced
-/// path passes [`WorkerTrace::disabled`], which makes recording a no-op.
+/// as a capacity hint) and `run` maps a task to its kernel.
 fn factorize_with<'t, T, MT, F>(
     a: &Matrix<T>,
     config: QrConfig,
@@ -225,11 +262,134 @@ where
         tiles,
         t_geqrt,
         t_elim,
-        dag,
+        dag: Arc::new(dag),
     }
 }
 
+/// Replays the factor tasks of `dag` over a dense matrix `b` with `m` rows,
+/// applying `Q` (reverse task order) or `Qᴴ` (forward order) built from the
+/// Householder tiles and the `ib`-blocked `T` factors.
+///
+/// Shared by [`QrFactorization`] (owned tiles) and
+/// [`QrReflectors`](crate::context::QrReflectors) (caller-owned tiles).
+#[allow(clippy::too_many_arguments)] // internal seam between the two handles
+pub(crate) fn replay_q<T: Scalar<Real = f64>>(
+    tiles: &TiledMatrix<T>,
+    t_geqrt: &[Option<Matrix<T>>],
+    t_elim: &[Option<Matrix<T>>],
+    dag: &TaskDag,
+    ib: usize,
+    m: usize,
+    b: &Matrix<T>,
+    trans: Trans,
+) -> Matrix<T> {
+    assert_eq!(b.rows(), m, "row count must match the factored matrix");
+    let nb = tiles.tile_size();
+    let p = tiles.tile_rows();
+    let t_geqrt_of = |row: usize, col: usize| -> &Matrix<T> {
+        t_geqrt[col * p + row]
+            .as_ref()
+            .expect("missing GEQRT T factor — corrupt factorization")
+    };
+    let t_elim_of = |row: usize, col: usize| -> &Matrix<T> {
+        t_elim[col * p + row]
+            .as_ref()
+            .expect("missing elimination T factor — corrupt factorization")
+    };
+    // Pad b to the same tile-row count as the factorization.
+    let mut padded = Matrix::zeros(p * nb, b.cols());
+    padded.copy_block(0, 0, b, 0, 0, b.rows(), b.cols());
+    let mut bt = TiledMatrix::from_dense_padded(&padded, nb);
+    let qb = bt.tile_cols();
+
+    // The factor tasks of the DAG, in topological order.
+    let factor_tasks: Vec<TaskKind> = dag
+        .tasks
+        .iter()
+        .map(|t| t.kind)
+        .filter(|k| {
+            matches!(
+                k,
+                TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }
+            )
+        })
+        .collect();
+
+    // One workspace serves the whole replay; the tile pairs are updated
+    // in place (no per-task clones). The panel width must match the
+    // ib-blocked T factors produced at factor time.
+    let mut ws = Workspace::with_inner_block(nb, ib);
+    let mut apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
+        TaskKind::Geqrt { row, col } => {
+            let v = tiles.tile(row, col);
+            let t = t_geqrt_of(row, col);
+            for jb in 0..qb {
+                unmqr_ws(v, t, bt.tile_mut(row, jb), trans, &mut ws);
+            }
+        }
+        TaskKind::Tsqrt { row, piv, col } => {
+            let v2 = tiles.tile(row, col);
+            let t = t_elim_of(row, col);
+            for jb in 0..qb {
+                let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
+                tsmqr_ws(v2, t, c1, c2, trans, &mut ws);
+            }
+        }
+        TaskKind::Ttqrt { row, piv, col } => {
+            let v2 = tiles.tile(row, col);
+            let t = t_elim_of(row, col);
+            for jb in 0..qb {
+                let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
+                ttmqr_ws(v2, t, c1, c2, trans, &mut ws);
+            }
+        }
+        _ => unreachable!("only factor tasks are replayed"),
+    };
+
+    match trans {
+        Trans::ConjTrans => {
+            for &kind in &factor_tasks {
+                apply_one(&mut bt, kind);
+            }
+        }
+        Trans::NoTrans => {
+            for &kind in factor_tasks.iter().rev() {
+                apply_one(&mut bt, kind);
+            }
+        }
+    }
+
+    let dense = bt.to_dense();
+    dense.sub_matrix(0, 0, m, b.cols())
+}
+
 impl<T: Scalar<Real = f64>> QrFactorization<T> {
+    /// Assembles a factorization from its parts (used by the session API in
+    /// [`crate::context`], which shares the plan's DAG instead of rebuilding
+    /// it).
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor
+    pub(crate) fn from_parts(
+        m: usize,
+        n: usize,
+        tile_size: usize,
+        inner_block: usize,
+        tiles: TiledMatrix<T>,
+        t_geqrt: Vec<Option<Matrix<T>>>,
+        t_elim: Vec<Option<Matrix<T>>>,
+        dag: Arc<TaskDag>,
+    ) -> Self {
+        QrFactorization {
+            m,
+            n,
+            tile_size,
+            inner_block,
+            tiles,
+            t_geqrt,
+            t_elim,
+            dag,
+        }
+    }
+
     /// The upper-triangular factor `R` (size `n × n`, the original column
     /// count before padding).
     pub fn r(&self) -> Matrix<T> {
@@ -301,90 +461,19 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
         &self.tiles
     }
 
-    fn t_geqrt_of(&self, row: usize, col: usize) -> &Matrix<T> {
-        self.t_geqrt[col * self.tiles.tile_rows() + row]
-            .as_ref()
-            .expect("missing GEQRT T factor — corrupt factorization")
-    }
-
-    fn t_elim_of(&self, row: usize, col: usize) -> &Matrix<T> {
-        self.t_elim[col * self.tiles.tile_rows() + row]
-            .as_ref()
-            .expect("missing elimination T factor — corrupt factorization")
-    }
-
     /// Applies `Q` or `Qᴴ` to a dense matrix with `self.m` rows by replaying
     /// the factorization's block reflectors on a tiled copy of `b`.
     fn apply(&self, b: &Matrix<T>, trans: Trans) -> Matrix<T> {
-        assert_eq!(b.rows(), self.m, "row count must match the factored matrix");
-        let nb = self.tile_size;
-        let p = self.tiles.tile_rows();
-        // Pad b to the same tile-row count as the factorization.
-        let mut padded = Matrix::zeros(p * nb, b.cols());
-        padded.copy_block(0, 0, b, 0, 0, b.rows(), b.cols());
-        let mut bt = TiledMatrix::from_dense_padded(&padded, nb);
-        let qb = bt.tile_cols();
-
-        // The factor tasks of the DAG, in topological order.
-        let factor_tasks: Vec<TaskKind> = self
-            .dag
-            .tasks
-            .iter()
-            .map(|t| t.kind)
-            .filter(|k| {
-                matches!(
-                    k,
-                    TaskKind::Geqrt { .. } | TaskKind::Tsqrt { .. } | TaskKind::Ttqrt { .. }
-                )
-            })
-            .collect();
-
-        // One workspace serves the whole replay; the tile pairs are updated
-        // in place (no per-task clones). The panel width must match the
-        // ib-blocked T factors produced at factor time.
-        let mut ws = Workspace::with_inner_block(nb, self.inner_block);
-        let mut apply_one = |bt: &mut TiledMatrix<T>, kind: TaskKind| match kind {
-            TaskKind::Geqrt { row, col } => {
-                let v = self.tiles.tile(row, col);
-                let t = self.t_geqrt_of(row, col);
-                for jb in 0..qb {
-                    unmqr_ws(v, t, bt.tile_mut(row, jb), trans, &mut ws);
-                }
-            }
-            TaskKind::Tsqrt { row, piv, col } => {
-                let v2 = self.tiles.tile(row, col);
-                let t = self.t_elim_of(row, col);
-                for jb in 0..qb {
-                    let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
-                    tsmqr_ws(v2, t, c1, c2, trans, &mut ws);
-                }
-            }
-            TaskKind::Ttqrt { row, piv, col } => {
-                let v2 = self.tiles.tile(row, col);
-                let t = self.t_elim_of(row, col);
-                for jb in 0..qb {
-                    let (c1, c2) = bt.tile_pair_mut((piv, jb), (row, jb));
-                    ttmqr_ws(v2, t, c1, c2, trans, &mut ws);
-                }
-            }
-            _ => unreachable!("only factor tasks are replayed"),
-        };
-
-        match trans {
-            Trans::ConjTrans => {
-                for &kind in &factor_tasks {
-                    apply_one(&mut bt, kind);
-                }
-            }
-            Trans::NoTrans => {
-                for &kind in factor_tasks.iter().rev() {
-                    apply_one(&mut bt, kind);
-                }
-            }
-        }
-
-        let dense = bt.to_dense();
-        dense.sub_matrix(0, 0, self.m, b.cols())
+        replay_q(
+            &self.tiles,
+            &self.t_geqrt,
+            &self.t_elim,
+            &self.dag,
+            self.inner_block,
+            self.m,
+            b,
+            trans,
+        )
     }
 }
 

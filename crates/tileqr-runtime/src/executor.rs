@@ -283,12 +283,21 @@ pub struct WorkStealingPriority {
     inner: WorkStealing,
     /// `priority[i]` = weighted longest path from task `i` to a DAG exit
     /// ([`TaskDag::priorities`](tileqr_core::dag::TaskDag::priorities)).
-    priority: Vec<u64>,
+    /// Shared so a reusable plan can hand the same priority table to many
+    /// jobs without copying it.
+    priority: std::sync::Arc<[u64]>,
 }
 
 impl WorkStealingPriority {
     /// Builds the scheduler from precomputed per-task priorities.
     pub fn new(priority: Vec<u64>, workers: usize) -> Self {
+        WorkStealingPriority::new_shared(priority.into(), workers)
+    }
+
+    /// Builds the scheduler from a shared priority table — the allocation-free
+    /// path used by [`QrPlan`](crate::context::QrPlan), which computes the
+    /// priorities once and reuses them for every factorization of the shape.
+    pub fn new_shared(priority: std::sync::Arc<[u64]>, workers: usize) -> Self {
         WorkStealingPriority {
             inner: WorkStealing::new(priority.len(), workers),
             priority,
@@ -418,6 +427,99 @@ pub fn execute_parallel_with_scheduler<W, M, F>(
     }
 }
 
+/// Per-task dependency counters of a DAG, freshly initialized for one run.
+pub(crate) fn dependency_counters(dag: &TaskDag) -> Vec<AtomicUsize> {
+    dag.tasks
+        .iter()
+        .map(|t| AtomicUsize::new(t.deps.len()))
+        .collect()
+}
+
+/// Indices of the initially-ready tasks (no dependencies), in topological
+/// order.
+pub(crate) fn initial_roots(dag: &TaskDag) -> Vec<usize> {
+    dag.tasks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.deps.is_empty())
+        .map(|(idx, _)| idx)
+        .collect()
+}
+
+/// One worker's share of a DAG run: pop ready tasks from the scheduler, run
+/// them, release successors, hand newly-enabled batches back to the
+/// scheduler, and back off when idle until every task of the DAG completed
+/// (or a sibling aborted).
+///
+/// This is the single hot loop shared by the scoped executor
+/// ([`execute_parallel_with_scheduler`]) and the persistent-pool jobs of
+/// [`QrContext`](crate::context::QrContext) — both paths are bitwise
+/// equivalent by construction because they run exactly this code.
+///
+/// If `run` panics, the abort flag is raised *before* the unwind leaves this
+/// function, so sibling workers exit instead of spinning on `completed < n`
+/// forever; the caller is responsible for propagating the panic.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by two executors
+pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
+    dag: &TaskDag,
+    succ: &tileqr_core::dag::SuccessorsCsr,
+    sched: &S,
+    remaining: &[AtomicUsize],
+    completed: &AtomicUsize,
+    aborted: &AtomicBool,
+    max_out_degree: usize,
+    w: usize,
+    run: &mut dyn FnMut(TaskKind),
+) {
+    let n = dag.tasks.len();
+    // Arms while a task runs; if the task panics the unwind runs this Drop,
+    // flagging every other worker to exit so the caller can join them and
+    // propagate the panic instead of deadlocking on `completed < n`.
+    struct AbortOnPanic<'a>(&'a AtomicBool);
+    impl Drop for AbortOnPanic<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+
+    // Scratch for the largest possible batch of newly-enabled successors —
+    // allocated once per worker per run, never on the per-task path.
+    let mut enabled: Vec<usize> = Vec::with_capacity(max_out_degree);
+    let mut backoff = Backoff::new();
+    // Work-first continuation handed back by `push_ready`: run it directly,
+    // skipping the queue round-trip.
+    let mut next: Option<usize> = None;
+    loop {
+        if aborted.load(Ordering::Acquire) {
+            break;
+        }
+        match next.take().or_else(|| sched.pop(w)) {
+            Some(idx) => {
+                backoff.reset();
+                let guard = AbortOnPanic(aborted);
+                run(dag.tasks[idx].kind);
+                std::mem::forget(guard);
+                completed.fetch_add(1, Ordering::Release);
+                enabled.clear();
+                for &s in succ.of(idx) {
+                    if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        enabled.push(s);
+                    }
+                }
+                if !enabled.is_empty() {
+                    next = sched.push_ready(w, &mut enabled);
+                }
+            }
+            None => {
+                if completed.load(Ordering::Acquire) >= n {
+                    break;
+                }
+                backoff.snooze();
+            }
+        }
+    }
+}
+
 /// The worker pool, generic (monomorphized) over the scheduler so the hot
 /// loop pays no virtual dispatch.
 fn run_pool<S, W, M, F>(
@@ -434,33 +536,12 @@ fn run_pool<S, W, M, F>(
     F: Fn(TaskKind, &mut W) + Sync,
 {
     let n = dag.tasks.len();
-    let remaining: Vec<AtomicUsize> = dag
-        .tasks
-        .iter()
-        .map(|t| AtomicUsize::new(t.deps.len()))
-        .collect();
-    // Scratch for the largest possible batch of newly-enabled successors.
+    let remaining = dependency_counters(dag);
     let max_out_degree = (0..n).map(|i| succ.of(i).len()).max().unwrap_or(0);
-    let mut roots: Vec<usize> = dag
-        .tasks
-        .iter()
-        .enumerate()
-        .filter(|(_, t)| t.deps.is_empty())
-        .map(|(idx, _)| idx)
-        .collect();
+    let mut roots = initial_roots(dag);
     sched.seed(&mut roots);
     let completed = AtomicUsize::new(0);
     let aborted = AtomicBool::new(false);
-
-    // Arms while a task runs; if the task panics the unwind runs this Drop,
-    // flagging every other worker to exit so `thread::scope` can join them
-    // and propagate the panic instead of deadlocking on `completed < n`.
-    struct AbortOnPanic<'a>(&'a AtomicBool);
-    impl Drop for AbortOnPanic<'_> {
-        fn drop(&mut self) {
-            self.0.store(true, Ordering::Release);
-        }
-    }
 
     std::thread::scope(|scope| {
         for w in 0..num_threads {
@@ -473,40 +554,17 @@ fn run_pool<S, W, M, F>(
             let run = &run;
             scope.spawn(move || {
                 let mut ws = make_ws();
-                let mut enabled: Vec<usize> = Vec::with_capacity(max_out_degree);
-                let mut backoff = Backoff::new();
-                // Work-first continuation handed back by `push_ready`: run
-                // it directly, skipping the queue round-trip.
-                let mut next: Option<usize> = None;
-                loop {
-                    if aborted.load(Ordering::Acquire) {
-                        break;
-                    }
-                    match next.take().or_else(|| sched.pop(w)) {
-                        Some(idx) => {
-                            backoff.reset();
-                            let guard = AbortOnPanic(aborted);
-                            run(dag.tasks[idx].kind, &mut ws);
-                            std::mem::forget(guard);
-                            completed.fetch_add(1, Ordering::Release);
-                            enabled.clear();
-                            for &s in succ.of(idx) {
-                                if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    enabled.push(s);
-                                }
-                            }
-                            if !enabled.is_empty() {
-                                next = sched.push_ready(w, &mut enabled);
-                            }
-                        }
-                        None => {
-                            if completed.load(Ordering::Acquire) >= n {
-                                break;
-                            }
-                            backoff.snooze();
-                        }
-                    }
-                }
+                drive_worker(
+                    dag,
+                    succ,
+                    *sched,
+                    remaining,
+                    completed,
+                    aborted,
+                    max_out_degree,
+                    w,
+                    &mut |kind| run(kind, &mut ws),
+                );
             });
         }
     });

@@ -17,28 +17,40 @@
 //!   never touches the allocator under any scheduler.
 //! * [`sync`] — std-only synchronisation primitives (mutex, three-tier
 //!   spin/yield/park backoff, exact-capacity ready queue, Chase–Lev
-//!   work-stealing deque) used by the executor and the state.
+//!   work-stealing deque) used by the executor, the pool and the state.
 //! * [`state`] — the shared factorization state: lock-protected tiles plus
 //!   the per-tile `T` factors (preallocated up front), and the mapping from
 //!   a [`TaskKind`] to the corresponding kernel call.
-//! * [`driver`] — high-level entry points: [`driver::qr_factorize`],
-//!   [`driver::qr_factorize_parallel`] and the [`driver::QrFactorization`]
-//!   handle (extract `R`, apply `Q`/`Qᴴ`, build `Q` explicitly, residuals).
+//! * [`context`] — the **session API** and the recommended entry point for
+//!   services: a long-lived [`QrContext`] owning a persistent, parkable
+//!   worker pool, reusable shape-keyed [`QrPlan`]s (elimination list, DAG,
+//!   priorities and workspaces precomputed once), typed [`QrError`]s instead
+//!   of panics, and an in-place [`QrContext::factorize_into`] path over
+//!   caller-owned tile storage.
+//! * [`driver`] — one-shot convenience wrappers over the session API:
+//!   [`driver::qr_factorize`], [`driver::qr_factorize_parallel`] and the
+//!   [`driver::QrFactorization`] handle (extract `R`, apply `Q`/`Qᴴ`, build
+//!   `Q` explicitly, residuals).
 //! * [`solve`] — linear least-squares solve on top of the tiled QR, the
-//!   motivating application of the paper's introduction.
+//!   motivating application of the paper's introduction (one-shot and
+//!   context/plan-based variants).
 //!
 //! [`TaskKind`]: tileqr_core::TaskKind
+//! [`QrContext::factorize_into`]: context::QrContext::factorize_into
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod driver;
 pub mod executor;
+mod pool;
 pub mod solve;
 pub mod state;
 pub mod sync;
 pub mod trace;
 
-pub use driver::{qr_factorize, qr_factorize_parallel, QrFactorization};
+pub use context::{QrContext, QrError, QrPlan, QrReflectors};
+pub use driver::{qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization};
 pub use executor::SchedulerKind;
-pub use solve::least_squares_solve;
+pub use solve::{least_squares_solve, least_squares_solve_with};
 pub use trace::{ExecutionTrace, TraceSummary, WorkerTrace};

@@ -1,0 +1,270 @@
+//! Persistent, parkable worker pool behind [`QrContext`](crate::context::QrContext).
+//!
+//! The scoped executor ([`crate::executor`]) spawns and joins a fresh set of
+//! worker threads on every call — correct, but a stream of moderate-size
+//! factorizations then pays thread startup and teardown per matrix. This
+//! module provides the long-lived alternative the context API is built on:
+//!
+//! * `threads` workers are spawned **once** when the pool is built;
+//! * between jobs they idle through the same three-tier
+//!   [`Backoff`](crate::sync::Backoff) the executor uses (spin → yield →
+//!   bounded park), so an idle pool consumes no CPU;
+//! * a job is submitted by publishing an `Arc<dyn Job>` and bumping an
+//!   epoch counter; every worker is unparked, runs `Job::run(worker_index)`,
+//!   and the submitter blocks until all of them have finished;
+//! * a panicking job is caught on the worker, the payload is stored, and
+//!   [`WorkerPool::run`] re-raises it on the submitting thread — the pool
+//!   itself stays alive and can run further jobs;
+//! * dropping the pool shuts the workers down and joins them.
+//!
+//! Jobs must be `'static` (workers are not scoped threads), which is why the
+//! context wraps the per-factorization state in `Arc`s; the pool itself is
+//! type-erased and knows nothing about matrices or schedulers.
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::sync::{Backoff, Mutex};
+
+/// One unit of pool work: called exactly once per worker with that worker's
+/// index in `0..threads`. Implementations coordinate internally (the
+/// factorization job drives the shared DAG scheduler from every worker).
+pub(crate) trait Job: Send + Sync {
+    /// Runs worker `w`'s share of the job.
+    fn run(&self, w: usize);
+}
+
+/// State shared between the submitter and the workers.
+struct Shared {
+    /// The job being executed (present from submission until every worker
+    /// finished). Workers clone the `Arc` out under the lock.
+    job: Mutex<Option<Arc<dyn Job>>>,
+    /// Bumped once per submission; workers run one job per observed bump.
+    epoch: AtomicUsize,
+    /// Number of workers that finished the current job.
+    done: AtomicUsize,
+    /// Set once, by `Drop`: workers exit their main loop.
+    shutdown: AtomicBool,
+    /// First panic payload raised by a job, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The submitting thread, parked while it waits for `done == threads`;
+    /// the last worker to finish unparks it.
+    waiter: Mutex<Option<std::thread::Thread>>,
+}
+
+/// A persistent pool of `threads` parked worker threads executing one
+/// [`Job`] at a time.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Handles used to unpark the workers on submission and shutdown.
+    wakers: Vec<std::thread::Thread>,
+    joins: Vec<JoinHandle<()>>,
+    /// Serializes submissions from concurrent callers sharing one context.
+    submit: Mutex<()>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least 1) that park until a job arrives.
+    pub(crate) fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            job: Mutex::new(None),
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            waiter: Mutex::new(None),
+        });
+        let joins: Vec<JoinHandle<()>> = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tileqr-worker-{w}"))
+                    .spawn(move || worker_main(&shared, w, threads))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect();
+        let wakers = joins.iter().map(|j| j.thread().clone()).collect();
+        WorkerPool {
+            shared,
+            wakers,
+            joins,
+            submit: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn threads(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Runs one job to completion on every worker and returns once all of
+    /// them finished. Re-raises the first panic a worker caught, after the
+    /// job is fully torn down — the pool remains usable either way.
+    ///
+    /// Concurrent callers are serialized: the pool runs one job at a time.
+    pub(crate) fn run(&self, job: Arc<dyn Job>) {
+        let _serialize = self.submit.lock();
+        let shared = &self.shared;
+        shared.done.store(0, Ordering::Relaxed);
+        *shared.waiter.lock() = Some(std::thread::current());
+        *shared.job.lock() = Some(job);
+        // The release increment publishes the job slot write above to any
+        // worker that acquires the epoch (the mutex already synchronizes the
+        // slot itself; the epoch is what workers poll without the lock).
+        shared.epoch.fetch_add(1, Ordering::Release);
+        for t in &self.wakers {
+            t.unpark();
+        }
+        // Wait for every worker. Workers unpark us when the last one
+        // finishes; the bounded-park backoff makes a missed unpark a
+        // bounded-latency event, never a deadlock.
+        let threads = self.threads();
+        let mut backoff = Backoff::new();
+        while shared.done.load(Ordering::Acquire) < threads {
+            backoff.snooze();
+        }
+        // Tear down: drop the pool's reference to the job (workers dropped
+        // theirs before signalling done) and clear the waiter slot.
+        *shared.job.lock() = None;
+        shared.waiter.lock().take();
+        if let Some(payload) = shared.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in &self.wakers {
+            t.unpark();
+        }
+        for j in self.joins.drain(..) {
+            // A worker body never panics outside a job (job panics are
+            // caught and re-raised on the submitter), so join errors are
+            // limited to catastrophic situations; ignore them on teardown.
+            let _ = j.join();
+        }
+    }
+}
+
+/// Body of one pool worker: park until the epoch advances (or shutdown),
+/// run the published job, signal completion, repeat.
+fn worker_main(shared: &Shared, w: usize, threads: usize) {
+    let mut seen = 0usize;
+    loop {
+        // Idle phase: wait for a new epoch with spin → yield → bounded park.
+        let mut backoff = Backoff::new();
+        let epoch = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            backoff.snooze();
+        };
+        seen = epoch;
+        let Some(job) = shared.job.lock().clone() else {
+            // Raced with teardown of a job this worker never observed
+            // (possible only around shutdown); treat as spurious.
+            continue;
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.run(w)));
+        // Drop our clone *before* signalling: once `done == threads` the
+        // submitter assumes it holds the only references to the job's state.
+        drop(job);
+        if let Err(payload) = result {
+            let mut slot = shared.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        if shared.done.fetch_add(1, Ordering::AcqRel) + 1 == threads {
+            // Unpark without `take()`: a straggler from job N reaching this
+            // point after job N+1 was submitted must not consume N+1's
+            // waiter registration (that would lose N+1's completion wake-up
+            // and leave its submitter to the bounded-park fallback). A
+            // spurious unpark of the next submitter is harmless — it
+            // re-checks `done` and parks again; the submitter clears its own
+            // registration during teardown.
+            if let Some(waiter) = shared.waiter.lock().as_ref() {
+                waiter.unpark();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountJob {
+        hits: Vec<AtomicUsize>,
+    }
+    impl Job for CountJob {
+        fn run(&self, w: usize) {
+            self.hits[w].fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn every_worker_runs_every_job_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let job = Arc::new(CountJob {
+            hits: (0..3).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        for round in 1..=10usize {
+            pool.run(job.clone());
+            for h in &job.hits {
+                assert_eq!(h.load(Ordering::SeqCst), round);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job_and_reraises_it() {
+        struct Bomb;
+        impl Job for Bomb {
+            fn run(&self, w: usize) {
+                if w == 0 {
+                    panic!("boom from worker 0");
+                }
+            }
+        }
+        let pool = WorkerPool::new(2);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(Arc::new(Bomb));
+        }));
+        assert!(err.is_err(), "job panic must reach the submitter");
+        // The pool is still functional afterwards.
+        let job = Arc::new(CountJob {
+            hits: (0..2).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        pool.run(job.clone());
+        assert!(job.hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn job_state_is_exclusively_owned_after_run() {
+        let pool = WorkerPool::new(4);
+        let job = Arc::new(CountJob {
+            hits: (0..4).map(|_| AtomicUsize::new(0)).collect(),
+        });
+        pool.run(job.clone());
+        // All worker clones and the pool's slot reference are gone.
+        let job = Arc::try_unwrap(job).unwrap_or_else(|_| panic!("job uniquely owned"));
+        assert!(job.hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn dropping_an_idle_pool_joins_cleanly() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        drop(pool); // must not hang
+    }
+}

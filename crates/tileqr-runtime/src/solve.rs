@@ -9,6 +9,7 @@
 
 use tileqr_matrix::{Matrix, Scalar};
 
+use crate::context::{QrContext, QrError, QrPlan};
 use crate::driver::{qr_factorize, QrConfig, QrFactorization};
 
 /// Solves the least-squares problem `min ‖A·x − b‖₂` using a tiled QR
@@ -30,6 +31,27 @@ pub fn least_squares_solve<T: Scalar<Real = f64>>(
     );
     let f = qr_factorize(a, config);
     least_squares_with_factorization(&f, b)
+}
+
+/// Solves `min ‖A·x − b‖₂` through the session API: the context's persistent
+/// pool executes the plan's precomputed schedule, so a stream of solves
+/// sharing one shape pays planning and thread startup once. Fallible
+/// counterpart of [`least_squares_solve`]: shape problems come back as
+/// [`QrError`] values instead of panics.
+pub fn least_squares_solve_with<T: Scalar<Real = f64>>(
+    ctx: &QrContext,
+    plan: &QrPlan<T>,
+    a: &Matrix<T>,
+    b: &[T],
+) -> Result<Vec<T>, QrError> {
+    if b.len() != a.rows() {
+        return Err(QrError::RhsLength {
+            expected: a.rows(),
+            got: b.len(),
+        });
+    }
+    let f = ctx.factorize(plan, a)?;
+    Ok(least_squares_with_factorization(&f, b))
 }
 
 /// Solves `min ‖A·x − b‖₂` reusing an existing factorization of `A` —

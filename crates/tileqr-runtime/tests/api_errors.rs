@@ -1,0 +1,132 @@
+//! Error paths of the session API (`QrContext`/`QrPlan`) and the contract
+//! that the legacy free functions keep their documented panicking behavior.
+
+use tileqr_matrix::generate::random_matrix;
+use tileqr_matrix::{Matrix, TiledMatrix};
+use tileqr_runtime::context::MAX_THREADS;
+use tileqr_runtime::solve::least_squares_solve_with;
+use tileqr_runtime::{qr_factorize, QrConfig, QrContext, QrError, QrPlan};
+
+#[test]
+fn wide_matrices_are_reported_not_panicked() {
+    let err = QrPlan::<f64>::new(4, 8, QrConfig::new(2)).unwrap_err();
+    assert_eq!(err, QrError::WideMatrix { m: 4, n: 8 });
+    assert!(err.to_string().contains("m ≥ n"));
+}
+
+#[test]
+fn zero_tile_size_is_reported() {
+    assert_eq!(
+        QrPlan::<f64>::new(8, 4, QrConfig::new(0)).unwrap_err(),
+        QrError::ZeroTileSize
+    );
+}
+
+#[test]
+fn thread_count_bounds_are_enforced() {
+    assert_eq!(QrContext::new(0).unwrap_err(), QrError::ZeroThreads);
+    let err = QrContext::new(MAX_THREADS + 1).unwrap_err();
+    assert_eq!(
+        err,
+        QrError::TooManyThreads {
+            requested: MAX_THREADS + 1,
+            max: MAX_THREADS
+        }
+    );
+    // (The MAX_THREADS boundary itself is covered by a unit test on the
+    // crate-internal validation, without spawning 1024 workers.)
+    assert!(QrContext::new(2).is_ok());
+}
+
+#[test]
+fn non_conforming_dense_matrix_is_reported() {
+    let ctx = QrContext::new(1).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+    for (m, n) in [(16usize, 12usize), (12, 8), (8, 16)] {
+        let a: Matrix<f64> = random_matrix(m, n, 1);
+        assert_eq!(
+            ctx.factorize(&plan, &a).unwrap_err(),
+            QrError::ShapeMismatch {
+                expected: (16, 8),
+                got: (m, n)
+            }
+        );
+    }
+}
+
+#[test]
+fn non_conforming_tile_grid_is_reported() {
+    let ctx = QrContext::new(1).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+    // Wrong grid and wrong tile size both fail with the plan's expectation.
+    let mut small = TiledMatrix::<f64>::zeros(2, 2, 4);
+    assert_eq!(
+        ctx.factorize_into(&plan, &mut small).unwrap_err(),
+        QrError::PlanMismatch {
+            expected: (4, 2, 4),
+            got: (2, 2, 4)
+        }
+    );
+    let mut wrong_nb = TiledMatrix::<f64>::zeros(4, 2, 8);
+    assert_eq!(
+        ctx.factorize_into(&plan, &mut wrong_nb).unwrap_err(),
+        QrError::PlanMismatch {
+            expected: (4, 2, 4),
+            got: (4, 2, 8)
+        }
+    );
+    // A failed factorize_into must leave the caller's tiles untouched.
+    assert_eq!(wrong_nb, TiledMatrix::<f64>::zeros(4, 2, 8));
+}
+
+#[test]
+fn rhs_length_mismatch_is_reported() {
+    let ctx = QrContext::new(1).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(12, 4, QrConfig::new(4)).unwrap();
+    let a: Matrix<f64> = random_matrix(12, 4, 2);
+    let b = vec![0.0; 11];
+    assert_eq!(
+        least_squares_solve_with(&ctx, &plan, &a, &b).unwrap_err(),
+        QrError::RhsLength {
+            expected: 12,
+            got: 11
+        }
+    );
+}
+
+#[test]
+fn context_solve_matches_the_one_shot_solve() {
+    let ctx = QrContext::new(2).unwrap();
+    let config = QrConfig::new(4);
+    let plan: QrPlan<f64> = QrPlan::new(20, 8, config).unwrap();
+    let a: Matrix<f64> = random_matrix(20, 8, 3);
+    let b: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+    let x_ctx = least_squares_solve_with(&ctx, &plan, &a, &b).unwrap();
+    let x_legacy = tileqr_runtime::least_squares_solve(&a, &b, config);
+    assert_eq!(x_ctx, x_legacy, "context solve must be bitwise identical");
+}
+
+// ---- legacy wrappers keep their documented panicking behavior -------------
+
+#[test]
+#[should_panic(expected = "m ≥ n")]
+fn legacy_qr_factorize_still_panics_on_wide_matrices() {
+    let a: Matrix<f64> = random_matrix(4, 8, 71);
+    let _ = qr_factorize(&a, QrConfig::new(2));
+}
+
+#[test]
+#[should_panic(expected = "tile size must be at least 1")]
+fn legacy_qr_factorize_still_panics_on_zero_tile_size() {
+    let a: Matrix<f64> = random_matrix(8, 4, 72);
+    let _ = qr_factorize(&a, QrConfig::new(0));
+}
+
+#[test]
+fn legacy_wrappers_clamp_rather_than_reject_thread_counts() {
+    // `with_threads(0)` documents clamping to 1; the context wrapper must
+    // preserve that instead of surfacing `ZeroThreads`.
+    let a: Matrix<f64> = random_matrix(12, 8, 73);
+    let f = qr_factorize(&a, QrConfig::new(4).with_threads(0));
+    assert!(f.residual(&a) < 1e-11);
+}

@@ -1,0 +1,126 @@
+//! The session API must be **bitwise identical** to the legacy free
+//! functions, for both scalar types, both kernel families and every
+//! scheduler — the redesign moved planning and thread management around, but
+//! every path still runs the same kernels in a DAG-respecting order, and the
+//! factorization output is order-invariant for conflicting-task-ordering
+//! schedules (pinned by the pre-existing scheduler-equivalence suite).
+
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::KernelFamily;
+use tileqr_matrix::generate::{random_matrix, RandomScalar};
+use tileqr_matrix::{Complex64, Matrix, TiledMatrix};
+use tileqr_runtime::{qr_factorize, QrConfig, QrContext, QrPlan, SchedulerKind};
+
+fn assert_context_matches_legacy<T: RandomScalar>(seed: u64) {
+    let (m, n, nb) = (36usize, 20usize, 6usize);
+    let a: Matrix<T> = random_matrix(m, n, seed);
+    for family in [KernelFamily::TT, KernelFamily::TS] {
+        let config = QrConfig::new(nb)
+            .with_algorithm(Algorithm::Greedy)
+            .with_family(family)
+            .with_inner_block(3);
+        // Sequential legacy run = the bitwise reference.
+        let reference = qr_factorize(&a, config);
+        let plan: QrPlan<T> = QrPlan::new(m, n, config).unwrap();
+        for threads in [1usize, 3] {
+            for kind in SchedulerKind::ALL {
+                let ctx = QrContext::with_scheduler(threads, kind).unwrap();
+                let f = ctx.factorize(&plan, &a).unwrap();
+                assert_eq!(
+                    f.factored_tiles(),
+                    reference.factored_tiles(),
+                    "tiles differ: {} threads, {}, {:?}",
+                    threads,
+                    kind.name(),
+                    family
+                );
+                assert_eq!(f.r(), reference.r());
+                let b: Matrix<T> = random_matrix(m, 3, seed + 100);
+                assert_eq!(f.apply_qh(&b), reference.apply_qh(&b));
+            }
+        }
+    }
+}
+
+#[test]
+fn context_is_bitwise_identical_to_legacy_f64() {
+    assert_context_matches_legacy::<f64>(11);
+}
+
+#[test]
+fn context_is_bitwise_identical_to_legacy_complex() {
+    assert_context_matches_legacy::<Complex64>(12);
+}
+
+#[test]
+fn legacy_parallel_is_bitwise_identical_to_sequential_after_the_redesign() {
+    // The legacy entry points now route through the context internally;
+    // their cross-scheduler bitwise equivalence must be unchanged.
+    let a: Matrix<f64> = random_matrix(40, 24, 21);
+    let seq = qr_factorize(&a, QrConfig::new(8));
+    for kind in SchedulerKind::ALL {
+        let par = qr_factorize(&a, QrConfig::new(8).with_threads(4).with_scheduler(kind));
+        assert_eq!(
+            par.factored_tiles(),
+            seq.factored_tiles(),
+            "scheduler {}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn one_context_serves_many_plans_and_shapes() {
+    let ctx = QrContext::new(2).unwrap();
+    let shapes = [(24usize, 12usize, 4usize), (30, 10, 5), (16, 16, 8)];
+    for (round, &(m, n, nb)) in shapes.iter().cycle().take(6).enumerate() {
+        let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+        let a: Matrix<f64> = random_matrix(m, n, 50 + round as u64);
+        let f = ctx.factorize(&plan, &a).unwrap();
+        assert_eq!(f.r(), qr_factorize(&a, QrConfig::new(nb)).r());
+    }
+}
+
+#[test]
+fn plan_reuse_is_bitwise_stable_across_many_calls() {
+    // One plan, one context, a stream of different matrices: every call must
+    // equal its one-shot counterpart, and the in-place path must equal the
+    // copying path while reusing a single tile buffer.
+    let (m, n, nb) = (24usize, 16usize, 4usize);
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+    let mut tiles = TiledMatrix::<f64>::zeros(6, 4, nb);
+    for seed in 200..208u64 {
+        let a: Matrix<f64> = random_matrix(m, n, seed);
+        let f = ctx.factorize(&plan, &a).unwrap();
+        let oneshot = qr_factorize(&a, QrConfig::new(nb));
+        assert_eq!(f.factored_tiles(), oneshot.factored_tiles());
+
+        tiles.fill_from_dense_padded(&a);
+        let refl = ctx.factorize_into(&plan, &mut tiles).unwrap();
+        assert_eq!(&tiles, oneshot.factored_tiles());
+        assert_eq!(refl.r(&tiles), oneshot.r());
+    }
+}
+
+#[test]
+fn reflectors_roundtrip_q_applications() {
+    let (m, n, nb) = (20usize, 12usize, 4usize);
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb).with_inner_block(2)).unwrap();
+    let a: Matrix<f64> = random_matrix(m, n, 77);
+    let mut tiles = TiledMatrix::from_dense_padded(&a, nb);
+    let refl = ctx.factorize_into(&plan, &mut tiles).unwrap();
+    let b: Matrix<f64> = random_matrix(m, 2, 78);
+    let qhb = refl.apply_qh(&tiles, &b);
+    let back = refl.apply_q(&tiles, &qhb);
+    let diff: f64 = (0..m)
+        .flat_map(|i| (0..2).map(move |j| (i, j)))
+        .map(|(i, j)| (back.get(i, j) - b.get(i, j)).abs())
+        .fold(0.0, f64::max);
+    assert!(diff < 1e-12, "Q·(Qᴴ·b) differs from b by {diff}");
+    // Upgrading to a full factorization preserves everything bitwise.
+    let f = refl.into_factorization(tiles);
+    assert_eq!(f.apply_qh(&b), qhb);
+    assert!(f.residual(&a) < 1e-11);
+}

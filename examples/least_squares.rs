@@ -13,8 +13,8 @@
 
 use tiled_qr::core::algorithms::Algorithm;
 use tiled_qr::matrix::Matrix;
-use tiled_qr::runtime::driver::QrConfig;
-use tiled_qr::runtime::solve::{least_squares_solve, residual_norm};
+use tiled_qr::prelude::{QrConfig, QrContext, QrPlan};
+use tiled_qr::runtime::solve::{least_squares_solve, least_squares_solve_with, residual_norm};
 
 fn main() {
     // Observations: 600 sample points of f(t) = sin(3t) + 0.5t on [0, 1],
@@ -71,4 +71,13 @@ fn main() {
             .map(|c| (c * 1e4).round() / 1e4)
             .collect::<Vec<_>>()
     );
+
+    // A service fitting many datasets of this shape would hold a context +
+    // plan instead of re-planning per solve; the result is bitwise the same.
+    let ctx = QrContext::new(2).expect("reasonable thread count");
+    let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(n).with_algorithm(Algorithm::Greedy))
+        .expect("tall matrix, positive tile size");
+    let x_ctx = least_squares_solve_with(&ctx, &plan, &a, &b).expect("conforming shapes");
+    assert_eq!(&x_ctx, reference, "session solve matches the one-shot path");
+    println!("  session-API solve (QrContext + QrPlan) matches bit for bit");
 }

@@ -27,10 +27,20 @@ pub use tileqr_matrix as matrix;
 pub use tileqr_runtime as runtime;
 
 /// Convenience prelude re-exporting the types most programs need.
+///
+/// For a single factorization use [`qr_factorize`](prelude::qr_factorize);
+/// services factoring a stream of matrices should hold a
+/// [`QrContext`](prelude::QrContext) (persistent worker pool) plus one
+/// [`QrPlan`](prelude::QrPlan) per problem shape, so repeated calls pay only
+/// kernel time.
 pub mod prelude {
     pub use tileqr_core::algorithms::Algorithm;
     pub use tileqr_core::dag::KernelFamily;
     pub use tileqr_matrix::{Complex64, Matrix, Scalar, TiledMatrix};
-    pub use tileqr_runtime::driver::{qr_factorize, qr_factorize_parallel, QrFactorization};
-    pub use tileqr_runtime::solve::least_squares_solve;
+    pub use tileqr_runtime::context::{QrContext, QrError, QrPlan, QrReflectors};
+    pub use tileqr_runtime::driver::{
+        qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization,
+    };
+    pub use tileqr_runtime::solve::{least_squares_solve, least_squares_solve_with};
+    pub use tileqr_runtime::SchedulerKind;
 }
