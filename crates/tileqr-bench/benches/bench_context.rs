@@ -16,9 +16,16 @@
 //! * `context_seq` / `per_call_seq` — the same comparison at one thread
 //!   (no pool either way; isolates the planning cost from thread startup).
 //!
+//! The `context_batch` group covers the *batched* session API on the small
+//! shape, where per-call pool wake-up dominates: a loop of k
+//! `QrContext::factorize` calls (k wake-ups) vs one `factorize_batch`
+//! (one fused job, one wake-up) vs the allocation-free steady state
+//! (`factorize_batch_into` over refilled tile buffers + `T`-factor
+//! recycling through the plan).
+//!
 //! Writes `BENCH_context.json`. Knobs: `TILEQR_BENCH_MS` (per-cell time),
 //! `TILEQR_BENCH_CTX_THREADS` (default 2), `TILEQR_BENCH_CTX_NB`
-//! (default 32, 8 × 4 tiles).
+//! (default 32, 8 × 4 tiles), `TILEQR_BENCH_CTX_K` (batch width, default 8).
 
 use tileqr_bench::microbench::{run, write_json};
 use tileqr_kernels::flops::qr_flops;
@@ -157,6 +164,67 @@ fn main() {
         },
     );
 
+    // --- batched submission: k small matrices as one fused pool job --------
+    // The batch cell uses a *tiny* shape (6 × 3 tiles of nb = 4 by default,
+    // ~30 µs per one-shot call): kernel time per matrix is a few tens of
+    // microseconds, so the per-call pool wake-up — what batching amortizes —
+    // is a first-order cost, the regime the batch API exists for. Each iteration factors all
+    // k matrices, so ns_per_iter is directly comparable across the three
+    // strategies (flops = k factorizations).
+    let k = env_usize("TILEQR_BENCH_CTX_K", 8).max(1);
+    let nb_b = env_usize("TILEQR_BENCH_CTX_BATCH_NB", 4);
+    let (mb, nb_cols) = (6 * nb_b, 3 * nb_b);
+    let plan_b: QrPlan<f64> = QrPlan::new(mb, nb_cols, QrConfig::new(nb_b)).expect("valid shape");
+    let flops_batch = Some(qr_flops(mb, nb_cols) * k as f64);
+    let batch_mats: Vec<Matrix<f64>> = (0..k)
+        .map(|i| random_matrix(mb, nb_cols, 100 + i as u64))
+        .collect();
+    run(
+        &mut samples,
+        "context_batch",
+        &format!("per_call_loop_t{threads}_k{k}"),
+        nb_b,
+        flops_batch,
+        || {
+            for a in &batch_mats {
+                std::hint::black_box(ctx.factorize(&plan_b, a).expect("shape matches the plan"));
+            }
+        },
+    );
+    run(
+        &mut samples,
+        "context_batch",
+        &format!("factorize_batch_t{threads}_k{k}"),
+        nb_b,
+        flops_batch,
+        || {
+            for item in ctx.factorize_batch(&plan_b, &batch_mats) {
+                std::hint::black_box(item.expect("shape matches the plan"));
+            }
+        },
+    );
+    let mut batch_tiles: Vec<TiledMatrix<f64>> = batch_mats
+        .iter()
+        .map(|a| TiledMatrix::from_dense_padded(a, nb_b))
+        .collect();
+    run(
+        &mut samples,
+        "context_batch",
+        &format!("batch_into_recycled_t{threads}_k{k}"),
+        nb_b,
+        flops_batch,
+        || {
+            for (t, a) in batch_tiles.iter_mut().zip(&batch_mats) {
+                t.fill_from_dense_padded(a);
+            }
+            for item in ctx.factorize_batch_into(&plan_b, &mut batch_tiles) {
+                plan_b.recycle_reflectors(std::hint::black_box(
+                    item.expect("tiles match the plan grid"),
+                ));
+            }
+        },
+    );
+
     // Headline ratios for the log: reused context+plan vs per-call spawning.
     let ns = |group: &str, name: &str| {
         samples
@@ -182,6 +250,21 @@ fn main() {
             reused / 1e3,
         );
     }
+    let loop_ns = ns("context_batch", &format!("per_call_loop_t{threads}_k{k}"));
+    let batch_ns = ns("context_batch", &format!("factorize_batch_t{threads}_k{k}"));
+    let in_place_ns = ns(
+        "context_batch",
+        &format!("batch_into_recycled_t{threads}_k{k}"),
+    );
+    println!(
+        "factorize_batch vs per-call loop, k = {k} of {mb} x {nb_cols} (nb = {nb_b}), {threads} threads: \
+         {:.2}x ({:.1} µs -> {:.1} µs per batch; in-place+recycled {:.1} µs, {:.2}x)",
+        loop_ns / batch_ns,
+        loop_ns / 1e3,
+        batch_ns / 1e3,
+        in_place_ns / 1e3,
+        loop_ns / in_place_ns,
+    );
 
     write_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_context.json"),

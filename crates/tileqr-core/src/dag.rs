@@ -275,6 +275,18 @@ impl SuccessorsCsr {
     pub fn edge_count(&self) -> usize {
         self.targets.len()
     }
+
+    /// Largest successor batch a single task completion can enable — the
+    /// scratch bound the runtime's workers size their release buffers with.
+    /// `O(q)` for tiled QR (a factor task fans out over the trailing
+    /// columns of its panel).
+    pub fn max_out_degree(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Helper tracking, for every tile, the index of the last task that wrote it.
@@ -687,6 +699,11 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(csr.of(i), sorted.as_slice(), "successor list of task {i}");
         }
+        assert_eq!(
+            csr.max_out_degree(),
+            nested.iter().map(|s| s.len()).max().unwrap(),
+            "max out-degree must match the nested adjacency"
+        );
     }
 
     #[test]

@@ -78,6 +78,45 @@ pub fn vandermonde(rows: usize, cols: usize) -> Matrix<f64> {
     })
 }
 
+/// A random matrix with geometrically graded column norms: column `j` is
+/// scaled by `cond^(-j / (cols - 1))`, so the ratio of the largest to the
+/// smallest column norm — a lower bound on the condition number — is `cond`.
+/// Used by the numerics stress suite to check that the tiled QR stays
+/// backward stable on ill-conditioned inputs (backward error is independent
+/// of conditioning; only the *forward* error of downstream solves grows).
+pub fn ill_conditioned_matrix<T: RandomScalar>(
+    rows: usize,
+    cols: usize,
+    cond: f64,
+    seed: u64,
+) -> Matrix<T> {
+    assert!(cond >= 1.0, "condition target must be at least 1");
+    let mut a: Matrix<T> = random_matrix(rows, cols, seed);
+    for j in 0..cols {
+        let s = cond.powf(-(j as f64) / (cols.max(2) - 1) as f64);
+        for v in a.col_mut(j) {
+            *v = v.scale(s);
+        }
+    }
+    a
+}
+
+/// An exactly rank-deficient `rows × cols` matrix of the requested rank:
+/// the product of a random `rows × rank` and a random `rank × cols` factor.
+/// A backward-stable QR must factor it without breakdown — the trailing
+/// `cols − rank` diagonal entries of `R` land at roundoff level.
+pub fn rank_deficient_matrix<T: RandomScalar>(
+    rows: usize,
+    cols: usize,
+    rank: usize,
+    seed: u64,
+) -> Matrix<T> {
+    assert!(rank <= rows.min(cols), "rank cannot exceed the dimensions");
+    let b: Matrix<T> = random_matrix(rows, rank, seed);
+    let c: Matrix<T> = random_matrix(rank, cols, seed.wrapping_add(1));
+    b.matmul(&c)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +178,63 @@ mod tests {
         let a: Vec<f64> = random_vector(5, 1);
         let b: Vec<f64> = random_vector(5, 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ill_conditioned_matrix_grades_column_norms() {
+        let cond = 1e10;
+        let a: Matrix<f64> = ill_conditioned_matrix(32, 8, cond, 5);
+        let norm = |j: usize| a.col(j).iter().map(|x| x * x).sum::<f64>().sqrt();
+        // Norms decay geometrically: first/last ratio hits the target.
+        let ratio = norm(0) / norm(7);
+        assert!(
+            (ratio / cond).log10().abs() < 1.0,
+            "column-norm ratio {ratio:e} far from target {cond:e}"
+        );
+        for j in 1..8 {
+            assert!(norm(j) < norm(j - 1), "norms must decrease along columns");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_matrix_has_the_requested_rank() {
+        let a: Matrix<f64> = rank_deficient_matrix(12, 6, 3, 7);
+        assert_eq!(a.shape(), (12, 6));
+        // Rank ≤ 3: every 4-column subset is linearly dependent. Cheap proxy:
+        // the Gram matrix of the first 4 columns is singular (determinant at
+        // roundoff scale relative to its entries).
+        let g = a
+            .sub_matrix(0, 0, 12, 4)
+            .conj_transpose()
+            .matmul(&a.sub_matrix(0, 0, 12, 4));
+        // 4x4 determinant by cofactor-free LU-ish elimination on a copy.
+        let mut m = [[0.0f64; 4]; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                m[i][j] = g.get(i, j);
+            }
+        }
+        let mut det = 1.0;
+        for k in 0..4 {
+            let piv = (k..4)
+                .max_by(|&x, &y| m[x][k].abs().total_cmp(&m[y][k].abs()))
+                .unwrap();
+            m.swap(k, piv);
+            det *= m[k][k];
+            if m[k][k] == 0.0 {
+                break;
+            }
+            for i in (k + 1)..4 {
+                let f = m[i][k] / m[k][k];
+                for j in k..4 {
+                    m[i][j] -= f * m[k][j];
+                }
+            }
+        }
+        let scale: f64 = (0..4).map(|i| g.get(i, i)).product();
+        assert!(
+            det.abs() <= 1e-10 * scale.abs().max(1.0),
+            "Gram determinant {det:e} not at roundoff scale"
+        );
     }
 }

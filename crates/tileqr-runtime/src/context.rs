@@ -23,6 +23,33 @@
 //!   [`QrContext::factorize_into`], which factors caller-owned tile storage
 //!   without the dense→tiled copy and hands back only the `T` factors.
 //!
+//! # Batched factorization
+//!
+//! A service factoring many *small* matrices of one shape pays the pool
+//! wake-up (epoch bump + unpark + park-tier wake latency) per call even with
+//! a reused plan — for a 6 × 3-tile problem that overhead rivals the kernel
+//! time itself. [`QrContext::factorize_batch`] (and the in-place
+//! [`QrContext::factorize_batch_into`]) submits `k` independent matrices as
+//! **one fused pool job**: task ids are the plan's DAG tiled `k` times
+//! (`copy * tasks + local`), the per-shape CSR successor lists and
+//! critical-path priorities are reused cyclically instead of re-materialized,
+//! and the work-stealing deques load-balance freely *across* matrices — the
+//! PLASMA insight that one DAG-driven pool amortizes over problems, not just
+//! tiles. Per-item shape errors are isolated ([`Result`] per matrix); the
+//! valid items still run.
+//!
+//! The last per-call allocation of the hot path — the `T`-factor storage —
+//! recycles through the plan: [`QrPlan::recycle`] /
+//! [`QrPlan::recycle_reflectors`] return a consumed result's `ib × nb`
+//! buffers to a checkout pool the next factorization draws from (zeroed in
+//! place, so results stay bitwise identical to the fresh-allocation path).
+//! A steady-state loop of `factorize_batch_into` + `recycle_reflectors` over
+//! refilled tile buffers performs only a fixed, small *number* of heap
+//! allocations per call — none per task, per tile or per `T` factor. (The
+//! few per-call bookkeeping buffers that remain — dependency counters,
+//! scheduler deques — are each one allocation whose *size* scales with the
+//! fused DAG; the counting-allocator test pins the count.)
+//!
 //! ```
 //! use tileqr_matrix::{generate::random_matrix, Matrix};
 //! use tileqr_runtime::{QrConfig, QrContext, QrPlan};
@@ -51,8 +78,8 @@ use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
 use crate::driver::{elimination_list_for, replay_q, QrConfig, QrFactorization};
 use crate::executor::{
-    dependency_counters, drive_worker, execute_sequential_with, LockedFifo, Scheduler,
-    SchedulerKind, WorkStealing, WorkStealingPriority,
+    drive_worker, execute_sequential_with, LockedFifo, Scheduler, SchedulerKind, WorkStealing,
+    WorkStealingPriority,
 };
 use crate::pool::{Job, WorkerPool};
 use crate::state::FactorizationState;
@@ -202,6 +229,15 @@ pub struct QrPlan<T: Scalar> {
     /// fresh workspaces against a momentarily-empty cache) would ratchet the
     /// cache up without limit; with it, surplus returns are dropped.
     ws_high_water: std::sync::atomic::AtomicUsize,
+    /// Recycled `ib × nb` `T`-factor buffers, returned by
+    /// [`QrPlan::recycle`] / [`QrPlan::recycle_reflectors`] and drawn (zeroed
+    /// in place) by the next factorization — the storage that was otherwise
+    /// the last per-call allocation of the hot path.
+    t_pool: Mutex<Vec<Matrix<T>>>,
+    /// Largest number of `T` buffers a single call has checked out
+    /// (`2 · p · q` per matrix in the batch) — the retention bound of
+    /// `t_pool`, same rationale as `ws_high_water`.
+    t_high_water: std::sync::atomic::AtomicUsize,
 }
 
 impl<T: Scalar> std::fmt::Debug for QrPlan<T> {
@@ -241,7 +277,7 @@ impl<T: Scalar> QrPlan<T> {
         let dag = TaskDag::build(&list, config.family);
         let succ = dag.successors_csr();
         let roots = crate::executor::initial_roots(&dag);
-        let max_out_degree = (0..dag.len()).map(|i| succ.of(i).len()).max().unwrap_or(0);
+        let max_out_degree = succ.max_out_degree();
         Ok(QrPlan {
             m,
             n,
@@ -260,6 +296,8 @@ impl<T: Scalar> QrPlan<T> {
             }),
             ws_cache: Mutex::new(Vec::new()),
             ws_high_water: std::sync::atomic::AtomicUsize::new(0),
+            t_pool: Mutex::new(Vec::new()),
+            t_high_water: std::sync::atomic::AtomicUsize::new(0),
         })
     }
 
@@ -336,27 +374,141 @@ impl<T: Scalar> QrPlan<T> {
         cache.extend(ws);
         cache.truncate(cap);
     }
+
+    fn recycle_buffers(&self, bufs: impl Iterator<Item = Option<Matrix<T>>>) {
+        let cap = self.t_high_water.load(std::sync::atomic::Ordering::Relaxed);
+        let mut pool = self.t_pool.lock();
+        for b in bufs.flatten() {
+            if pool.len() >= cap {
+                break;
+            }
+            if b.shape() == (self.ib, self.nb) {
+                pool.push(b);
+            }
+        }
+    }
 }
 
-/// One factorization executed on the persistent pool: the shared state, the
-/// schedule, this job's scheduler instance and dependency counters, and one
-/// workspace slot per worker.
-struct FactorJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
-    state: Arc<FactorizationState<T>>,
+impl<T: Scalar<Real = f64>> QrPlan<T> {
+    /// Builds one [`FactorizationState`] per tiled matrix, drawing the
+    /// `T`-factor buffers (2 · p · q of `ib × nb` per matrix) from the
+    /// plan's recycle pool where available — the fresh-allocation fallback
+    /// and the recycled path are bitwise identical because recycled buffers
+    /// are zeroed in place before reuse.
+    fn build_states(&self, tiled: Vec<TiledMatrix<T>>) -> Vec<FactorizationState<T>> {
+        let need = 2 * self.p * self.q * tiled.len();
+        self.t_high_water
+            .fetch_max(need, std::sync::atomic::Ordering::Relaxed);
+        // Take the recycled buffers out under a short lock; state
+        // construction — tile-mutex wrapping, buffer zeroing and any
+        // fresh-allocation fallback — runs lock-free, so concurrent
+        // factorizations sharing one plan do not serialize here.
+        let mut recycled: Vec<Matrix<T>> = {
+            let mut pool = self.t_pool.lock();
+            let keep = pool.len().saturating_sub(need);
+            pool.split_off(keep)
+        };
+        tiled
+            .into_iter()
+            .map(|t| {
+                FactorizationState::with_t_supplier(t, self.ib, &mut |r, c| match recycled.pop() {
+                    Some(mut m) => {
+                        debug_assert_eq!(
+                            m.shape(),
+                            (r, c),
+                            "T pool holds only plan-shaped buffers"
+                        );
+                        m.as_mut_slice().fill(T::ZERO);
+                        m
+                    }
+                    None => Matrix::zeros(r, c),
+                })
+            })
+            .collect()
+    }
+
+    /// Returns a consumed factorization's `T`-factor buffers to the plan's
+    /// recycle pool, making the next [`QrContext::factorize`] /
+    /// [`QrContext::factorize_batch`] call of this plan allocation-free for
+    /// `T` storage — the last per-call allocation of the hot path. Buffers
+    /// whose shape does not match the plan's `(ib, nb)` (a factorization
+    /// from a differently-blocked plan) are silently dropped, and the pool
+    /// retains at most the widest checkout ever made, so recycling can never
+    /// ratchet memory up.
+    pub fn recycle(&self, f: QrFactorization<T>) {
+        let (t_geqrt, t_elim) = f.into_t_parts();
+        self.recycle_buffers(t_geqrt.into_iter().chain(t_elim));
+    }
+
+    /// [`QrPlan::recycle`] for the in-place path: returns a
+    /// [`QrReflectors`] handle's `T` buffers to the pool. The steady-state
+    /// batch loop — refill tiles, [`QrContext::factorize_batch_into`], use
+    /// the reflectors, `recycle_reflectors` — keeps a constant per-call
+    /// allocation *count*, with nothing allocated per tile, task or `T`
+    /// factor (see the [module docs](self)).
+    pub fn recycle_reflectors(&self, r: QrReflectors<T>) {
+        self.recycle_buffers(r.t_geqrt.into_iter().chain(r.t_elim));
+    }
+}
+
+/// Unwind guard of the in-place batch path: while a fused job runs, the
+/// caller's conforming slots hold `0 × 0` placeholder grids (their tiles
+/// were moved into the job). If the job panics — a kernel bug — this guard
+/// puts a plan-shaped **zero** grid back into every *taken* slot still
+/// holding its placeholder, so the caller keeps buffers of the documented
+/// shape (the values were being overwritten anyway; a
+/// `catch_unwind`-and-retry loop refills them via
+/// [`TiledMatrix::fill_from_dense_padded`]). Rejected slots are tracked
+/// explicitly (`taken[i] == false`), never restored — a caller-supplied
+/// buffer that happens to *be* `0 × 0` stays untouched, as documented. On
+/// the normal return path every placeholder was already replaced by its
+/// factored tiles, and the drop is a no-op.
+struct RestorePlaceholders<'a, T: Scalar> {
+    tiles: &'a mut [TiledMatrix<T>],
+    /// `taken[i]`: slot `i` conformed and its tiles were moved into the job.
+    taken: Vec<bool>,
+    p: usize,
+    q: usize,
+    nb: usize,
+}
+
+impl<T: Scalar> Drop for RestorePlaceholders<'_, T> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        for (t, &taken) in self.tiles.iter_mut().zip(&self.taken) {
+            if taken && t.tile_rows() == 0 && t.tile_cols() == 0 {
+                *t = TiledMatrix::zeros(self.p, self.q, self.nb);
+            }
+        }
+    }
+}
+
+/// One pool job factoring a *batch* of `k ≥ 1` independent matrices of one
+/// plan's shape as a single fused DAG: `k` factorization states, the shared
+/// schedule, this job's scheduler instance and `k · n` dependency counters,
+/// and one workspace slot per worker. Global task id `g` maps to task
+/// `g % n` of the plan's DAG executed against matrix `g / n` — the
+/// single-matrix path is simply `k = 1`, where the mapping is the identity.
+struct BatchJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
+    states: Vec<FactorizationState<T>>,
     core: Arc<PlanCore>,
     sched: S,
     remaining: Vec<AtomicUsize>,
     completed: AtomicUsize,
     aborted: AtomicBool,
-    ws_slots: Arc<Vec<Mutex<Option<Workspace<T>>>>>,
+    ws_slots: Vec<Mutex<Option<Workspace<T>>>>,
 }
 
-impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for FactorJob<T, S> {
+impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for BatchJob<T, S> {
     fn run(&self, w: usize) {
+        let n = self.core.dag.len();
         let mut slot = self.ws_slots[w].lock();
         let ws = slot.as_mut().expect("one workspace is staged per worker");
         drive_worker(
-            &self.core.dag,
+            self.remaining.len(),
+            n,
             &self.core.succ,
             &self.sched,
             &self.remaining,
@@ -364,7 +516,7 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for FactorJob<T, S> 
             &self.aborted,
             self.core.max_out_degree,
             w,
-            &mut |kind| self.state.run_ws(kind, ws),
+            &mut |g| self.states[g / n].run_ws(self.core.dag.tasks[g % n].kind, ws),
         );
     }
 }
@@ -482,33 +634,152 @@ impl QrContext {
     /// [`TiledMatrix::from_dense_padded`] produces for an `m × n` matrix).
     ///
     /// If a kernel panics (a bug, not a recoverable condition), the panic is
-    /// propagated and the tile storage is left in an unspecified state.
+    /// propagated; the tile buffer keeps its plan-shaped grid but its
+    /// numeric contents are lost (reset to zeros), so a
+    /// `catch_unwind`-and-retry caller can refill the same buffer and carry
+    /// on — the pool itself survives the panic.
     pub fn factorize_into<T: Scalar<Real = f64>>(
         &self,
         plan: &QrPlan<T>,
         tiles: &mut TiledMatrix<T>,
     ) -> Result<QrReflectors<T>, QrError> {
-        let got = (tiles.tile_rows(), tiles.tile_cols(), tiles.tile_size());
-        if got != (plan.p, plan.q, plan.nb) {
-            return Err(QrError::PlanMismatch {
-                expected: (plan.p, plan.q, plan.nb),
-                got,
-            });
+        self.factorize_batch_into(plan, std::slice::from_mut(tiles))
+            .pop()
+            .expect("one buffer in, one result out")
+    }
+
+    /// Factorizes a batch of `k` independent matrices of the plan's shape as
+    /// **one fused pool job**, returning one [`Result`] per matrix in input
+    /// order.
+    ///
+    /// All `k` schedules are submitted together — task ids are the plan's
+    /// DAG tiled `k` times, sharing its CSR successor lists and critical-path
+    /// priorities — so small problems pay a single pool wake-up instead of
+    /// `k`, and the work-stealing deques balance load *across* matrices: a
+    /// worker idling at the tail of one matrix's DAG steals ready tasks from
+    /// another's. Each matrix's result is **bitwise identical** to a
+    /// standalone [`QrContext::factorize`] of that matrix (the fused DAG has
+    /// no cross-matrix edges, and the per-tile kernel order within each
+    /// matrix is unchanged).
+    ///
+    /// Failures are isolated per item: a matrix whose shape does not match
+    /// the plan gets `Err(`[`QrError::ShapeMismatch`]`)` in its slot while
+    /// the conforming matrices still factor. An empty batch returns an empty
+    /// vector without touching the pool.
+    ///
+    /// Pair with [`QrPlan::recycle`] to return each consumed result's
+    /// `T`-factor storage for the next call.
+    pub fn factorize_batch<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        mats: &[Matrix<T>],
+    ) -> Vec<Result<QrFactorization<T>, QrError>> {
+        let mut slots: Vec<Result<(), QrError>> = Vec::with_capacity(mats.len());
+        let mut tiled = Vec::with_capacity(mats.len());
+        for a in mats {
+            if a.shape() == (plan.m, plan.n) {
+                slots.push(Ok(()));
+                tiled.push(TiledMatrix::from_dense_padded(a, plan.nb));
+            } else {
+                slots.push(Err(QrError::ShapeMismatch {
+                    expected: (plan.m, plan.n),
+                    got: a.shape(),
+                }));
+            }
         }
-        let owned = std::mem::replace(tiles, TiledMatrix::from_tiles(Vec::new(), 0, 0, plan.nb));
-        let (factored, t_geqrt, t_elim) = self.run_plan(plan, owned);
-        *tiles = factored;
-        Ok(QrReflectors {
-            m: plan.m,
-            n: plan.n,
-            nb: plan.nb,
-            ib: plan.ib,
+        let mut parts = self.run_batch(plan, tiled).into_iter();
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.map(|()| {
+                    let (tiles, t_geqrt, t_elim) =
+                        parts.next().expect("one result per conforming matrix");
+                    QrFactorization::from_parts(
+                        plan.m,
+                        plan.n,
+                        plan.nb,
+                        plan.ib,
+                        tiles,
+                        t_geqrt,
+                        t_elim,
+                        Arc::clone(&plan.core.dag),
+                    )
+                })
+            })
+            .collect()
+    }
+
+    /// The in-place counterpart of [`QrContext::factorize_batch`]: factors a
+    /// batch of caller-owned tile buffers **in place** as one fused pool
+    /// job, returning one [`QrReflectors`] handle per buffer in input order.
+    ///
+    /// Each buffer must match the plan's grid (`p × q` tiles of order `nb`);
+    /// a non-conforming buffer gets `Err(`[`QrError::PlanMismatch`]`)` in
+    /// its slot and is left untouched while the conforming buffers still
+    /// factor. Combined with [`TiledMatrix::fill_from_dense_padded`] to
+    /// refill the buffers and [`QrPlan::recycle_reflectors`] to return the
+    /// `T` storage, a steady-state batch loop performs only a constant,
+    /// small number of bookkeeping allocations per call — none per tile,
+    /// per task or per `T` factor (see the [module docs](self)).
+    ///
+    /// If a kernel panics mid-batch, the panic is propagated; every
+    /// conforming buffer keeps its plan-shaped grid (contents reset to
+    /// zeros), so a `catch_unwind`-and-retry caller can refill the same
+    /// buffers — the pool itself survives the panic.
+    pub fn factorize_batch_into<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiles: &mut [TiledMatrix<T>],
+    ) -> Vec<Result<QrReflectors<T>, QrError>> {
+        let mut slots: Vec<Result<(), QrError>> = Vec::with_capacity(tiles.len());
+        let mut owned = Vec::with_capacity(tiles.len());
+        for t in tiles.iter_mut() {
+            let got = (t.tile_rows(), t.tile_cols(), t.tile_size());
+            if got == (plan.p, plan.q, plan.nb) {
+                slots.push(Ok(()));
+                owned.push(std::mem::replace(
+                    t,
+                    TiledMatrix::from_tiles(Vec::new(), 0, 0, plan.nb),
+                ));
+            } else {
+                slots.push(Err(QrError::PlanMismatch {
+                    expected: (plan.p, plan.q, plan.nb),
+                    got,
+                }));
+            }
+        }
+        // If the fused job panics (a kernel bug), the unwind must not leave
+        // the caller's conforming slots holding the 0 × 0 placeholders: the
+        // guard puts plan-shaped zero grids back so a recover-and-retry
+        // caller can refill the same buffers.
+        let guard = RestorePlaceholders {
+            taken: slots.iter().map(Result::is_ok).collect(),
+            tiles,
             p: plan.p,
             q: plan.q,
-            dag: Arc::clone(&plan.core.dag),
-            t_geqrt,
-            t_elim,
-        })
+            nb: plan.nb,
+        };
+        let mut parts = self.run_batch(plan, owned).into_iter();
+        let mut out = Vec::with_capacity(guard.tiles.len());
+        for (slot, t) in slots.into_iter().zip(guard.tiles.iter_mut()) {
+            out.push(slot.map(|()| {
+                let (factored, t_geqrt, t_elim) =
+                    parts.next().expect("one result per conforming buffer");
+                *t = factored;
+                QrReflectors {
+                    m: plan.m,
+                    n: plan.n,
+                    nb: plan.nb,
+                    ib: plan.ib,
+                    p: plan.p,
+                    q: plan.q,
+                    dag: Arc::clone(&plan.core.dag),
+                    t_geqrt,
+                    t_elim,
+                }
+            }));
+        }
+        out
     }
 
     /// Executes the plan's DAG against `tiled`, sequentially or on the pool,
@@ -523,81 +794,122 @@ impl QrContext {
         Vec<Option<Matrix<T>>>,
         Vec<Option<Matrix<T>>>,
     ) {
-        let state = FactorizationState::with_inner_block(tiled, plan.ib);
+        self.run_batch(plan, vec![tiled])
+            .pop()
+            .expect("one matrix in, one result out")
+    }
+
+    /// Executes the plan's DAG against every matrix of the batch — the
+    /// single shared engine behind [`QrContext::factorize`],
+    /// [`QrContext::factorize_into`] and both batch entry points. With a
+    /// pool, the whole batch is one fused job (one wake-up); without one,
+    /// the matrices run back to back on the calling thread in topological
+    /// order (the bitwise reference order).
+    #[allow(clippy::type_complexity)]
+    fn run_batch<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiled: Vec<TiledMatrix<T>>,
+    ) -> Vec<(
+        TiledMatrix<T>,
+        Vec<Option<Matrix<T>>>,
+        Vec<Option<Matrix<T>>>,
+    )> {
+        if tiled.is_empty() {
+            return Vec::new();
+        }
+        let states = plan.build_states(tiled);
         match &self.pool {
             None => {
                 let mut ws = plan.checkout_workspaces(1);
-                execute_sequential_with(&plan.core.dag, &mut ws[0], |task, ws| {
-                    state.run_ws(task, ws)
-                });
+                for state in &states {
+                    execute_sequential_with(&plan.core.dag, &mut ws[0], |task, ws| {
+                        state.run_ws(task, ws)
+                    });
+                }
                 plan.restore_workspaces(ws);
-                state.into_parts()
+                states.into_iter().map(|s| s.into_parts()).collect()
             }
             Some(pool) => {
-                let n = plan.core.dag.len();
+                let copies = states.len();
+                let total = plan.core.dag.len() * copies;
                 let threads = pool.threads();
                 match self.scheduler {
                     SchedulerKind::LockedFifo => {
-                        self.run_job(plan, pool, state, LockedFifo::new(n))
+                        self.run_batch_job(plan, pool, states, LockedFifo::new(total))
                     }
                     SchedulerKind::WorkStealing => {
-                        self.run_job(plan, pool, state, WorkStealing::new(n, threads))
+                        self.run_batch_job(plan, pool, states, WorkStealing::new(total, threads))
                     }
-                    SchedulerKind::WorkStealingPriority => self.run_job(
+                    SchedulerKind::WorkStealingPriority => self.run_batch_job(
                         plan,
                         pool,
-                        state,
-                        WorkStealingPriority::new_shared(plan.core.priorities(), threads),
+                        states,
+                        WorkStealingPriority::new_shared_cyclic(
+                            plan.core.priorities(),
+                            threads,
+                            copies,
+                        ),
                     ),
                 }
             }
         }
     }
 
-    /// Packages one factorization as a pool job, runs it, and recovers the
-    /// state and workspaces (both are uniquely owned again once every worker
-    /// signalled completion).
+    /// Packages a batch of factorizations as one fused pool job, runs it,
+    /// and recovers the states and workspaces (the job is uniquely owned
+    /// again once every worker signalled completion).
     #[allow(clippy::type_complexity)]
-    fn run_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
+    fn run_batch_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
         &self,
         plan: &QrPlan<T>,
         pool: &WorkerPool,
-        state: FactorizationState<T>,
+        states: Vec<FactorizationState<T>>,
         sched: S,
-    ) -> (
+    ) -> Vec<(
         TiledMatrix<T>,
         Vec<Option<Matrix<T>>>,
         Vec<Option<Matrix<T>>>,
-    ) {
+    )> {
         let threads = pool.threads();
-        let mut roots = plan.core.roots.clone();
+        let n = plan.core.dag.len();
+        // Roots of every copy of the DAG, offset into that copy's id range.
+        let mut roots = Vec::with_capacity(plan.core.roots.len() * states.len());
+        for copy in 0..states.len() {
+            roots.extend(plan.core.roots.iter().map(|&r| copy * n + r));
+        }
         sched.seed(&mut roots);
-        let ws_slots: Arc<Vec<Mutex<Option<Workspace<T>>>>> = Arc::new(
-            plan.checkout_workspaces(threads)
+        let mut remaining = Vec::with_capacity(n * states.len());
+        for _ in 0..states.len() {
+            remaining.extend(
+                plan.core
+                    .dag
+                    .tasks
+                    .iter()
+                    .map(|t| AtomicUsize::new(t.deps.len())),
+            );
+        }
+        let job = Arc::new(BatchJob {
+            states,
+            core: Arc::clone(&plan.core),
+            sched,
+            remaining,
+            completed: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            ws_slots: plan
+                .checkout_workspaces(threads)
                 .into_iter()
                 .map(|ws| Mutex::new(Some(ws)))
                 .collect(),
-        );
-        let state = Arc::new(state);
-        let job: Arc<dyn Job> = Arc::new(FactorJob {
-            state: Arc::clone(&state),
-            core: Arc::clone(&plan.core),
-            sched,
-            remaining: dependency_counters(&plan.core.dag),
-            completed: AtomicUsize::new(0),
-            aborted: AtomicBool::new(false),
-            ws_slots: Arc::clone(&ws_slots),
         });
-        pool.run(job);
+        pool.run(Arc::clone(&job) as Arc<dyn Job>);
         // `pool.run` returns only after every worker dropped its reference
-        // to the job (and the job itself was dropped), so both Arcs are
+        // to the job (and the pool's own slot was cleared), so the Arc is
         // uniquely owned again.
-        let slots = Arc::try_unwrap(ws_slots)
-            .unwrap_or_else(|_| panic!("workspace slots still shared after the job completed"));
-        plan.restore_workspaces(slots.into_iter().filter_map(Mutex::into_inner));
-        Arc::try_unwrap(state)
-            .unwrap_or_else(|_| panic!("factorization state still shared after the job completed"))
-            .into_parts()
+        let job = Arc::into_inner(job)
+            .unwrap_or_else(|| panic!("batch job still shared after the pool ran it"));
+        plan.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner));
+        job.states.into_iter().map(|s| s.into_parts()).collect()
     }
 }
 
@@ -843,5 +1155,229 @@ mod tests {
             max: MAX_THREADS,
         };
         assert!(e.to_string().contains("9999"));
+    }
+
+    #[test]
+    fn batch_matches_per_call_factorizations_bitwise() {
+        let (m, n, nb) = (24usize, 16usize, 4usize);
+        let mats: Vec<Matrix<f64>> = (0..5).map(|i| random_matrix(m, n, 300 + i)).collect();
+        for kind in SchedulerKind::ALL {
+            for threads in [1usize, 3] {
+                let ctx = QrContext::with_scheduler(threads, kind).unwrap();
+                let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+                let batch = ctx.factorize_batch(&plan, &mats);
+                assert_eq!(batch.len(), mats.len());
+                for (a, item) in mats.iter().zip(batch) {
+                    let f = item.expect("conforming matrix must factor");
+                    let solo = ctx.factorize(&plan, a).unwrap();
+                    assert_eq!(
+                        f.factored_tiles(),
+                        solo.factored_tiles(),
+                        "batch and per-call results diverge ({} threads, {})",
+                        threads,
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_matches_the_copying_batch_bitwise() {
+        let (m, n, nb) = (20usize, 12usize, 4usize);
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+        let mats: Vec<Matrix<f64>> = (0..4).map(|i| random_matrix(m, n, 400 + i)).collect();
+        let copied = ctx.factorize_batch(&plan, &mats);
+        let mut tiles: Vec<TiledMatrix<f64>> = mats
+            .iter()
+            .map(|a| TiledMatrix::from_dense_padded(a, nb))
+            .collect();
+        let refls = ctx.factorize_batch_into(&plan, &mut tiles);
+        for ((f, refl), t) in copied.into_iter().zip(refls).zip(&tiles) {
+            let f = f.unwrap();
+            let refl = refl.unwrap();
+            assert_eq!(t, f.factored_tiles());
+            assert_eq!(refl.r(t), f.r());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(12, 8, QrConfig::new(4)).unwrap();
+        assert!(ctx.factorize_batch(&plan, &[]).is_empty());
+        assert!(ctx.factorize_batch_into(&plan, &mut []).is_empty());
+    }
+
+    #[test]
+    fn t_factor_recycling_is_bitwise_invisible_and_bounded() {
+        let (m, n, nb) = (16usize, 8usize, 4usize);
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+        let a: Matrix<f64> = random_matrix(m, n, 500);
+        let reference = ctx.factorize(&plan, &a).unwrap();
+        let r_ref = reference.r();
+        let b: Matrix<f64> = random_matrix(m, 2, 501);
+        let qhb_ref = reference.apply_qh(&b);
+        // Recycle and refactor several times: results must not change by a
+        // bit, and the pool must stay bounded by the widest checkout
+        // (2 · p · q buffers for the single-matrix calls here).
+        plan.recycle(reference);
+        let per_call = 2 * plan.tile_rows() * plan.tile_cols();
+        for _ in 0..3 {
+            assert!(plan.t_pool.lock().len() <= per_call);
+            let f = ctx.factorize(&plan, &a).unwrap();
+            assert_eq!(f.r(), r_ref, "recycled T buffers changed the result");
+            assert_eq!(f.apply_qh(&b), qhb_ref, "recycled T buffers broke Q replay");
+            plan.recycle(f);
+        }
+        // Foreign-shaped buffers are dropped, not pooled: recycling through
+        // a differently-blocked plan of the same grid must not grow its pool
+        // with mismatched matrices.
+        let plan_ib1: QrPlan<f64> =
+            QrPlan::new(m, n, QrConfig::new(nb).with_inner_block(1)).unwrap();
+        let f = ctx.factorize(&plan, &a).unwrap();
+        plan_ib1.recycle(f);
+        assert!(plan_ib1.t_pool.lock().is_empty());
+    }
+
+    #[test]
+    fn reflector_recycling_keeps_the_in_place_loop_stable() {
+        let (m, n, nb) = (24usize, 12usize, 4usize);
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+        let a: Matrix<f64> = random_matrix(m, n, 510);
+        let oneshot = ctx.factorize(&plan, &a).unwrap();
+        let mut tiles = TiledMatrix::from_dense_padded(&a, nb);
+        for _ in 0..4 {
+            tiles.fill_from_dense_padded(&a);
+            let mut batch = vec![std::mem::replace(&mut tiles, TiledMatrix::zeros(6, 3, nb))];
+            let refl = ctx
+                .factorize_batch_into(&plan, &mut batch)
+                .pop()
+                .unwrap()
+                .unwrap();
+            tiles = batch.pop().unwrap();
+            assert_eq!(&tiles, oneshot.factored_tiles());
+            plan.recycle_reflectors(refl);
+        }
+    }
+
+    #[test]
+    fn in_place_buffers_keep_their_grid_if_the_call_unwinds() {
+        // A kernel panic unwinds out of factorize_batch_into after the
+        // caller's conforming buffers were swapped for 0 × 0 placeholders.
+        // The RestorePlaceholders guard must put plan-shaped grids back
+        // (zeroed — the values were being overwritten anyway) and leave
+        // non-placeholder slots alone, so a catch_unwind-and-retry loop can
+        // refill the same buffers.
+        let mut tiles = vec![
+            TiledMatrix::<f64>::zeros(3, 2, 4),
+            TiledMatrix::<f64>::zeros(1, 1, 4), // rejected slot: untouched
+            // A caller-supplied buffer that *is* 0 × 0 (also rejected): the
+            // guard must not mistake it for a moved-out placeholder.
+            TiledMatrix::<f64>::from_tiles(Vec::new(), 0, 0, 7),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let guard = RestorePlaceholders {
+                taken: vec![true, false, false],
+                tiles: &mut tiles,
+                p: 3,
+                q: 2,
+                nb: 4,
+            };
+            // Simulate the batch having taken the first (conforming) buffer.
+            guard.tiles[0] = TiledMatrix::from_tiles(Vec::new(), 0, 0, 4);
+            panic!("simulated kernel failure");
+        }));
+        assert!(err.is_err());
+        assert_eq!(tiles[0], TiledMatrix::zeros(3, 2, 4), "grid restored");
+        assert_eq!(tiles[1], TiledMatrix::zeros(1, 1, 4), "foreign slot kept");
+        assert_eq!(
+            tiles[2],
+            TiledMatrix::from_tiles(Vec::new(), 0, 0, 7),
+            "a caller-owned 0 × 0 buffer is not a placeholder"
+        );
+        // And a refill on the restored buffer works — the retry pattern.
+        tiles[0].fill_from_dense_padded(&random_matrix::<f64>(12, 8, 99));
+    }
+
+    #[test]
+    fn pool_survives_a_mid_batch_worker_panic() {
+        // A worker panicking mid-job is what a kernel bug looks like to the
+        // pool: drive the plan's real DAG through the real pool with one
+        // poisoned task, then prove the same context still factors real
+        // batches bitwise-correctly afterwards.
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(24, 16, QrConfig::new(4)).unwrap();
+
+        struct PoisonJob {
+            core: Arc<PlanCore>,
+            sched: WorkStealing,
+            remaining: Vec<AtomicUsize>,
+            completed: AtomicUsize,
+            aborted: AtomicBool,
+            poison: usize,
+        }
+        impl Job for PoisonJob {
+            fn run(&self, w: usize) {
+                let n = self.core.dag.len();
+                drive_worker(
+                    n,
+                    n,
+                    &self.core.succ,
+                    &self.sched,
+                    &self.remaining,
+                    &self.completed,
+                    &self.aborted,
+                    self.core.max_out_degree,
+                    w,
+                    &mut |idx| {
+                        if idx == self.poison {
+                            panic!("injected mid-batch kernel failure");
+                        }
+                    },
+                );
+            }
+        }
+
+        let core = Arc::clone(&plan.core);
+        let sched = WorkStealing::new(core.dag.len(), 2);
+        let mut roots = core.roots.clone();
+        sched.seed(&mut roots);
+        let job = Arc::new(PoisonJob {
+            remaining: core
+                .dag
+                .tasks
+                .iter()
+                .map(|t| AtomicUsize::new(t.deps.len()))
+                .collect(),
+            completed: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            poison: core.dag.len() / 2,
+            core,
+            sched,
+        });
+        let pool = ctx.pool.as_ref().expect("2-thread context has a pool");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(job as Arc<dyn Job>);
+        }));
+        assert!(
+            result.is_err(),
+            "the injected panic must reach the submitter"
+        );
+
+        // The context (and its pool) must still serve batches, bitwise equal
+        // to the sequential reference.
+        let mats: Vec<Matrix<f64>> = (0..3).map(|i| random_matrix(24, 16, 600 + i)).collect();
+        let seq = QrContext::new(1).unwrap();
+        for (a, item) in mats.iter().zip(ctx.factorize_batch(&plan, &mats)) {
+            let f = item.expect("batch after a panic must succeed");
+            assert_eq!(
+                f.factored_tiles(),
+                seq.factorize(&plan, a).unwrap().factored_tiles()
+            );
+        }
     }
 }

@@ -53,7 +53,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use tileqr_core::dag::TaskDag;
+use tileqr_core::dag::{SuccessorsCsr, TaskDag};
 use tileqr_core::TaskKind;
 
 use crate::sync::{Backoff, Steal, TaskQueue, WorkerDeque};
@@ -286,6 +286,12 @@ pub struct WorkStealingPriority {
     /// Shared so a reusable plan can hand the same priority table to many
     /// jobs without copying it.
     priority: std::sync::Arc<[u64]>,
+    /// Task ids are reduced modulo this before the priority lookup. Equal to
+    /// `priority.len()` for a single DAG; a *fused batch* of `k` independent
+    /// copies of one DAG (task ids `copy * period + local`) reuses the
+    /// per-copy priority table cyclically instead of materializing `k`
+    /// copies of it per call.
+    period: usize,
 }
 
 impl WorkStealingPriority {
@@ -298,9 +304,24 @@ impl WorkStealingPriority {
     /// path used by [`QrPlan`](crate::context::QrPlan), which computes the
     /// priorities once and reuses them for every factorization of the shape.
     pub fn new_shared(priority: std::sync::Arc<[u64]>, workers: usize) -> Self {
+        WorkStealingPriority::new_shared_cyclic(priority, workers, 1)
+    }
+
+    /// Builds the scheduler for a fused batch of `copies` independent
+    /// instances of one DAG: the deques hold `copies * priority.len()` task
+    /// ids, and task `t` is ranked by `priority[t % priority.len()]` — every
+    /// copy shares the single per-shape priority table, so batching adds no
+    /// per-call priority allocation.
+    pub fn new_shared_cyclic(
+        priority: std::sync::Arc<[u64]>,
+        workers: usize,
+        copies: usize,
+    ) -> Self {
+        let period = priority.len().max(1);
         WorkStealingPriority {
-            inner: WorkStealing::new(priority.len(), workers),
+            inner: WorkStealing::new(priority.len() * copies.max(1), workers),
             priority,
+            period,
         }
     }
 
@@ -309,7 +330,7 @@ impl WorkStealingPriority {
     /// maximum out-degree — `O(q)` for tiled QR).
     #[inline]
     fn sort_ascending(&self, batch: &mut [usize]) {
-        batch.sort_unstable_by_key(|&t| self.priority[t]);
+        batch.sort_unstable_by_key(|&t| self.priority[t % self.period]);
     }
 }
 
@@ -448,30 +469,39 @@ pub(crate) fn initial_roots(dag: &TaskDag) -> Vec<usize> {
 
 /// One worker's share of a DAG run: pop ready tasks from the scheduler, run
 /// them, release successors, hand newly-enabled batches back to the
-/// scheduler, and back off when idle until every task of the DAG completed
-/// (or a sibling aborted).
+/// scheduler, and back off when idle until every one of `num_tasks` tasks
+/// completed (or a sibling aborted).
 ///
-/// This is the single hot loop shared by the scoped executor
-/// ([`execute_parallel_with_scheduler`]) and the persistent-pool jobs of
-/// [`QrContext`](crate::context::QrContext) — both paths are bitwise
-/// equivalent by construction because they run exactly this code.
+/// The loop is phrased over **raw task ids** so the same code serves three
+/// callers: the scoped executor ([`execute_parallel_with_scheduler`]), the
+/// single-factorization pool jobs of [`QrContext`](crate::context::QrContext),
+/// and the *fused batch* jobs of
+/// [`QrContext::factorize_batch`](crate::context::QrContext::factorize_batch).
+/// A batch of `k` independent copies of one DAG uses global ids
+/// `copy * local_tasks + local`: the single per-shape successor CSR is
+/// indexed by `id % local_tasks` and the released successors are offset back
+/// into the id's copy, so no per-call fused adjacency is ever materialized.
+/// For a single DAG `local_tasks == num_tasks` and the id arithmetic is the
+/// identity. All paths are bitwise equivalent by construction because they
+/// run exactly this code over the same per-tile kernel ordering.
 ///
 /// If `run` panics, the abort flag is raised *before* the unwind leaves this
 /// function, so sibling workers exit instead of spinning on `completed < n`
 /// forever; the caller is responsible for propagating the panic.
-#[allow(clippy::too_many_arguments)] // internal plumbing shared by two executors
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by three executors
 pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
-    dag: &TaskDag,
-    succ: &tileqr_core::dag::SuccessorsCsr,
+    num_tasks: usize,
+    local_tasks: usize,
+    succ: &SuccessorsCsr,
     sched: &S,
     remaining: &[AtomicUsize],
     completed: &AtomicUsize,
     aborted: &AtomicBool,
     max_out_degree: usize,
     w: usize,
-    run: &mut dyn FnMut(TaskKind),
+    run: &mut dyn FnMut(usize),
 ) {
-    let n = dag.tasks.len();
+    debug_assert!(local_tasks > 0 && num_tasks % local_tasks == 0);
     // Arms while a task runs; if the task panics the unwind runs this Drop,
     // flagging every other worker to exit so the caller can join them and
     // propagate the panic instead of deadlocking on `completed < n`.
@@ -497,13 +527,19 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
             Some(idx) => {
                 backoff.reset();
                 let guard = AbortOnPanic(aborted);
-                run(dag.tasks[idx].kind);
+                run(idx);
                 std::mem::forget(guard);
                 completed.fetch_add(1, Ordering::Release);
+                // Successors stay within the task's own DAG copy: reduce to
+                // the local id for the CSR lookup, offset the released ids
+                // back into the copy.
+                let local = idx % local_tasks;
+                let base = idx - local;
                 enabled.clear();
-                for &s in succ.of(idx) {
-                    if remaining[s].fetch_sub(1, Ordering::AcqRel) == 1 {
-                        enabled.push(s);
+                for &s in succ.of(local) {
+                    let g = base + s;
+                    if remaining[g].fetch_sub(1, Ordering::AcqRel) == 1 {
+                        enabled.push(g);
                     }
                 }
                 if !enabled.is_empty() {
@@ -511,7 +547,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
                 }
             }
             None => {
-                if completed.load(Ordering::Acquire) >= n {
+                if completed.load(Ordering::Acquire) >= num_tasks {
                     break;
                 }
                 backoff.snooze();
@@ -524,7 +560,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
 /// loop pays no virtual dispatch.
 fn run_pool<S, W, M, F>(
     dag: &TaskDag,
-    succ: &tileqr_core::dag::SuccessorsCsr,
+    succ: &SuccessorsCsr,
     num_threads: usize,
     sched: &S,
     make_ws: M,
@@ -537,7 +573,7 @@ fn run_pool<S, W, M, F>(
 {
     let n = dag.tasks.len();
     let remaining = dependency_counters(dag);
-    let max_out_degree = (0..n).map(|i| succ.of(i).len()).max().unwrap_or(0);
+    let max_out_degree = succ.max_out_degree();
     let mut roots = initial_roots(dag);
     sched.seed(&mut roots);
     let completed = AtomicUsize::new(0);
@@ -555,7 +591,8 @@ fn run_pool<S, W, M, F>(
             scope.spawn(move || {
                 let mut ws = make_ws();
                 drive_worker(
-                    dag,
+                    n,
+                    n,
                     succ,
                     *sched,
                     remaining,
@@ -563,7 +600,7 @@ fn run_pool<S, W, M, F>(
                     aborted,
                     max_out_degree,
                     w,
-                    &mut |kind| run(kind, &mut ws),
+                    &mut |idx| run(dag.tasks[idx].kind, &mut ws),
                 );
             });
         }

@@ -26,7 +26,15 @@
 //!   worker pool, reusable shape-keyed [`QrPlan`]s (elimination list, DAG,
 //!   priorities and workspaces precomputed once), typed [`QrError`]s instead
 //!   of panics, and an in-place [`QrContext::factorize_into`] path over
-//!   caller-owned tile storage.
+//!   caller-owned tile storage. **Batching**: `k` independent matrices of
+//!   one shape submit as a *single fused pool job* through
+//!   [`QrContext::factorize_batch`] / [`QrContext::factorize_batch_into`]
+//!   (one worker wake-up for the whole batch, work stealing balancing
+//!   across matrices, per-item errors isolated), and each consumed result's
+//!   `T`-factor storage recycles through [`QrPlan::recycle`] /
+//!   [`QrPlan::recycle_reflectors`], cutting the steady-state batch loop
+//!   down to a constant *count* of per-call bookkeeping allocations — none
+//!   per task, tile or `T` factor.
 //! * [`driver`] — one-shot convenience wrappers over the session API:
 //!   [`driver::qr_factorize`], [`driver::qr_factorize_parallel`] and the
 //!   [`driver::QrFactorization`] handle (extract `R`, apply `Q`/`Qᴴ`, build
@@ -37,6 +45,10 @@
 //!
 //! [`TaskKind`]: tileqr_core::TaskKind
 //! [`QrContext::factorize_into`]: context::QrContext::factorize_into
+//! [`QrContext::factorize_batch`]: context::QrContext::factorize_batch
+//! [`QrContext::factorize_batch_into`]: context::QrContext::factorize_batch_into
+//! [`QrPlan::recycle`]: context::QrPlan::recycle
+//! [`QrPlan::recycle_reflectors`]: context::QrPlan::recycle_reflectors
 
 #![warn(missing_docs)]
 
@@ -50,7 +62,9 @@ pub mod sync;
 pub mod trace;
 
 pub use context::{QrContext, QrError, QrPlan, QrReflectors};
-pub use driver::{qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization};
+pub use driver::{
+    qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization, DEFAULT_INNER_BLOCK,
+};
 pub use executor::SchedulerKind;
 pub use solve::{least_squares_solve, least_squares_solve_with};
 pub use trace::{ExecutionTrace, TraceSummary, WorkerTrace};

@@ -11,7 +11,11 @@
 //!   bounded park), so an idle pool consumes no CPU;
 //! * a job is submitted by publishing an `Arc<dyn Job>` and bumping an
 //!   epoch counter; every worker is unparked, runs `Job::run(worker_index)`,
-//!   and the submitter blocks until all of them have finished;
+//!   and the submitter blocks until all of them have finished. The wake-up
+//!   cost is **per job, not per matrix**: the context's batch path
+//!   ([`QrContext::factorize_batch`](crate::context::QrContext::factorize_batch))
+//!   exists precisely so `k` small factorizations ride one epoch bump
+//!   instead of `k`;
 //! * a panicking job is caught on the worker, the payload is stored, and
 //!   [`WorkerPool::run`] re-raises it on the submitting thread — the pool
 //!   itself stays alive and can run further jobs;
@@ -29,8 +33,9 @@ use std::thread::JoinHandle;
 use crate::sync::{Backoff, Mutex};
 
 /// One unit of pool work: called exactly once per worker with that worker's
-/// index in `0..threads`. Implementations coordinate internally (the
-/// factorization job drives the shared DAG scheduler from every worker).
+/// index in `0..threads`. Implementations coordinate internally — the
+/// context's `BatchJob` (which also serves single factorizations as the
+/// `k = 1` case) drives the shared fused-DAG scheduler from every worker.
 pub(crate) trait Job: Send + Sync {
     /// Runs worker `w`'s share of the job.
     fn run(&self, w: usize);

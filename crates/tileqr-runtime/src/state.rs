@@ -64,15 +64,39 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
     /// workspaces threaded in by the executor must be built with the same
     /// `ib` ([`Workspace::with_inner_block`]).
     pub fn with_inner_block(a: TiledMatrix<T>, ib: usize) -> Self {
+        FactorizationState::with_t_supplier(a, ib, &mut |r, c| Matrix::zeros(r, c))
+    }
+
+    /// Like [`FactorizationState::with_inner_block`], but draws every
+    /// `T`-factor slot from `supply` instead of allocating it — the seam
+    /// that lets a reusable plan ([`QrPlan`](crate::context::QrPlan)) feed
+    /// recycled buffers back into the state, removing the last per-call
+    /// allocation that scales with the tile grid.
+    ///
+    /// `supply(rows, cols)` is called exactly `2 · p · q` times and must
+    /// return an all-zero `rows × cols` matrix (`rows` is the clamped inner
+    /// blocking factor, `cols` the tile size) — recycled buffers must be
+    /// zeroed by the supplier so results stay bitwise identical to the
+    /// allocating constructor.
+    pub fn with_t_supplier(
+        a: TiledMatrix<T>,
+        ib: usize,
+        supply: &mut dyn FnMut(usize, usize) -> Matrix<T>,
+    ) -> Self {
         let (tiles, p, q, nb) = a.into_tiles();
         let ib = ib.clamp(1, nb.max(1));
         let tiles = tiles.into_iter().map(Mutex::new).collect();
-        let t_geqrt = (0..p * q)
-            .map(|_| Mutex::new(Some(Matrix::zeros(ib, nb))))
-            .collect();
-        let t_elim = (0..p * q)
-            .map(|_| Mutex::new(Some(Matrix::zeros(ib, nb))))
-            .collect();
+        let mut slot = || {
+            let m = supply(ib, nb);
+            debug_assert_eq!(m.shape(), (ib, nb), "supplied T buffer has the wrong shape");
+            debug_assert!(
+                m.as_slice().iter().all(|v| *v == T::ZERO),
+                "supplied T buffer must be zeroed"
+            );
+            Mutex::new(Some(m))
+        };
+        let t_geqrt = (0..p * q).map(|_| slot()).collect();
+        let t_elim = (0..p * q).map(|_| slot()).collect();
         FactorizationState {
             p,
             q,

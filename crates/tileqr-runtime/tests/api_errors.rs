@@ -106,6 +106,106 @@ fn context_solve_matches_the_one_shot_solve() {
     assert_eq!(x_ctx, x_legacy, "context solve must be bitwise identical");
 }
 
+// ---- batch API error paths -------------------------------------------------
+
+#[test]
+fn empty_batches_return_empty_results_without_touching_the_pool() {
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(12, 8, QrConfig::new(4)).unwrap();
+    assert!(ctx.factorize_batch::<f64>(&plan, &[]).is_empty());
+    assert!(ctx.factorize_batch_into::<f64>(&plan, &mut []).is_empty());
+    // The context is untouched and still factors.
+    let a: Matrix<f64> = random_matrix(12, 8, 40);
+    assert!(ctx.factorize(&plan, &a).is_ok());
+}
+
+#[test]
+fn batch_isolates_per_item_shape_mismatches() {
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+    let good_a: Matrix<f64> = random_matrix(16, 8, 41);
+    let bad: Matrix<f64> = random_matrix(12, 8, 42);
+    let good_b: Matrix<f64> = random_matrix(16, 8, 43);
+    let wide: Matrix<f64> = random_matrix(16, 4, 44);
+    let out = ctx.factorize_batch(&plan, &[good_a.clone(), bad, good_b.clone(), wide]);
+    assert_eq!(out.len(), 4);
+    // Failures land in their own slots…
+    assert_eq!(
+        out[1].as_ref().unwrap_err(),
+        &QrError::ShapeMismatch {
+            expected: (16, 8),
+            got: (12, 8)
+        }
+    );
+    assert_eq!(
+        out[3].as_ref().unwrap_err(),
+        &QrError::ShapeMismatch {
+            expected: (16, 8),
+            got: (16, 4)
+        }
+    );
+    // …while the conforming items still factor, bitwise equal to solo calls.
+    let mut out = out;
+    let f2 = out.remove(2).expect("conforming item must factor");
+    let f0 = out.remove(0).expect("conforming item must factor");
+    assert_eq!(
+        f0.factored_tiles(),
+        ctx.factorize(&plan, &good_a).unwrap().factored_tiles()
+    );
+    assert_eq!(
+        f2.factored_tiles(),
+        ctx.factorize(&plan, &good_b).unwrap().factored_tiles()
+    );
+    // The pool survives a partially-failed batch.
+    assert!(ctx.factorize(&plan, &good_a).is_ok());
+}
+
+#[test]
+fn batch_into_isolates_plan_mismatches_and_leaves_bad_buffers_untouched() {
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+    let a: Matrix<f64> = random_matrix(16, 8, 45);
+    let good = TiledMatrix::from_dense_padded(&a, 4);
+    let bad_grid = TiledMatrix::<f64>::zeros(2, 2, 4);
+    let bad_nb = TiledMatrix::<f64>::zeros(4, 2, 8);
+    let mut tiles = vec![good, bad_grid.clone(), bad_nb.clone()];
+    let out = ctx.factorize_batch_into(&plan, &mut tiles);
+    assert_eq!(out.len(), 3);
+    assert!(out[0].is_ok());
+    assert_eq!(
+        out[1].as_ref().unwrap_err(),
+        &QrError::PlanMismatch {
+            expected: (4, 2, 4),
+            got: (2, 2, 4)
+        }
+    );
+    assert_eq!(
+        out[2].as_ref().unwrap_err(),
+        &QrError::PlanMismatch {
+            expected: (4, 2, 4),
+            got: (4, 2, 8)
+        }
+    );
+    // Rejected buffers are untouched; the accepted one holds the factors.
+    assert_eq!(tiles[1], bad_grid);
+    assert_eq!(tiles[2], bad_nb);
+    let oneshot = qr_factorize(&a, QrConfig::new(4));
+    assert_eq!(&tiles[0], oneshot.factored_tiles());
+}
+
+#[test]
+fn an_all_invalid_batch_fails_every_item_and_spares_the_pool() {
+    let ctx = QrContext::new(2).unwrap();
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, QrConfig::new(4)).unwrap();
+    let bad: Matrix<f64> = random_matrix(8, 8, 46);
+    let out = ctx.factorize_batch(&plan, &[bad.clone(), bad]);
+    assert!(out
+        .iter()
+        .all(|r| matches!(r, Err(QrError::ShapeMismatch { .. }))));
+    let a: Matrix<f64> = random_matrix(16, 8, 47);
+    assert!(ctx.factorize(&plan, &a).is_ok(), "pool must stay usable");
+}
+
 // ---- legacy wrappers keep their documented panicking behavior -------------
 
 #[test]

@@ -119,6 +119,53 @@ fn ib_sweep_complex_ts() {
     check_ib_sweep::<Complex64>(KernelFamily::TS, 74);
 }
 
+/// The default inner blocking is the *tuned* `ib = min(nb, 16)` (ROADMAP:
+/// 1.72× end-to-end at nb = 128), not the historical `ib = nb`: the default
+/// configuration must be bitwise identical to an explicit
+/// `with_inner_block(ib)` run at that tuned value, for both scalar types
+/// and kernel families, sequential and parallel.
+#[test]
+fn default_inner_block_is_the_tuned_ib_bitwise() {
+    use tileqr_runtime::driver::DEFAULT_INNER_BLOCK;
+    assert_eq!(DEFAULT_INNER_BLOCK, 16);
+    // Large tiles cap at the tuned value; small tiles keep ib = nb.
+    assert_eq!(QrConfig::new(24).effective_inner_block(), 16);
+    assert_eq!(QrConfig::new(16).effective_inner_block(), 16);
+    assert_eq!(QrConfig::new(8).effective_inner_block(), 8);
+
+    fn check<T: RandomScalar>(family: KernelFamily, seed: u64) {
+        let (m, n, nb) = (48usize, 36usize, 24usize); // nb > 16: the flip is live
+        let a: Matrix<T> = random_matrix(m, n, seed);
+        let base = QrConfig::new(nb)
+            .with_algorithm(Algorithm::Greedy)
+            .with_family(family);
+        let default_run = qr_factorize(&a, base);
+        assert_eq!(default_run.inner_block(), 16);
+        let explicit = qr_factorize(&a, base.with_inner_block(16));
+        assert_eq!(
+            default_run.factored_tiles(),
+            explicit.factored_tiles(),
+            "{}: default must be bitwise with_inner_block(16)",
+            family.name()
+        );
+        // And the parallel default agrees with the sequential default.
+        for kind in SchedulerKind::ALL {
+            let par = qr_factorize(&a, base.with_threads(4).with_scheduler(kind));
+            assert_eq!(
+                default_run.factored_tiles(),
+                par.factored_tiles(),
+                "{}: new default diverges under {}",
+                family.name(),
+                kind.name()
+            );
+        }
+    }
+    check::<f64>(KernelFamily::TT, 91);
+    check::<f64>(KernelFamily::TS, 92);
+    check::<Complex64>(KernelFamily::TT, 93);
+    check::<Complex64>(KernelFamily::TS, 94);
+}
+
 /// `Q`/`Qᴴ` replay must honour the ib-blocked `T` layout: applying `Q` then
 /// `Qᴴ` restores the input, and `Qᴴ·A` reproduces `[R; 0]`, at every ib.
 #[test]

@@ -10,7 +10,13 @@
 //!    built once, per call only the dense→tiled copy + kernels;
 //! 3. `QrContext::factorize_into` — additionally reuses one caller-owned
 //!    tile buffer (`TiledMatrix::fill_from_dense_padded`), so no tile
-//!    storage is allocated per call at all.
+//!    storage is allocated per call at all;
+//! 4. `QrContext::factorize_batch_into` — groups the stream into batches of
+//!    8 submitted as **one fused pool job each** (one worker wake-up per
+//!    batch instead of per matrix, work stealing balancing across the
+//!    matrices), recycling every result's `T`-factor storage back into the
+//!    plan (`QrPlan::recycle_reflectors`) so the steady-state loop allocates
+//!    nothing per tile, task or `T` factor.
 //!
 //! Run with:
 //! ```text
@@ -68,10 +74,35 @@ fn main() {
     let in_place = start.elapsed();
     println!("  context + in-place tile reuse  : {in_place:?}");
 
+    // 4. Batched: 8 matrices per fused pool job, T factors recycled — the
+    //    allocation-free steady state of a batch service.
+    let batch = 8usize;
+    let mut batch_tiles: Vec<TiledMatrix<f64>> = (0..batch)
+        .map(|_| TiledMatrix::zeros(m / nb, n / nb, nb))
+        .collect();
+    let start = Instant::now();
+    let mut checksum_bat = 0.0f64;
+    for chunk in stream.chunks(batch) {
+        for (tiles, a) in batch_tiles.iter_mut().zip(chunk) {
+            tiles.fill_from_dense_padded(a);
+        }
+        let refls = ctx.factorize_batch_into(&plan, &mut batch_tiles[..chunk.len()]);
+        for (refl, tiles) in refls.into_iter().zip(&batch_tiles) {
+            let refl = refl.expect("grid matches");
+            checksum_bat += refl.r(tiles).get(0, 0).abs();
+            plan.recycle_reflectors(refl);
+        }
+    }
+    let batched = start.elapsed();
+    println!("  context + fused batches of {batch}   : {batched:?}");
+
     assert_eq!(checksum, checksum_ctx, "paths must agree bitwise");
     assert_eq!(checksum, checksum_inp, "paths must agree bitwise");
+    assert_eq!(checksum, checksum_bat, "paths must agree bitwise");
     println!(
-        "\n  all three paths bitwise identical; context+plan is {:.2}x the one-shot throughput",
-        per_call.as_secs_f64() / reused.as_secs_f64()
+        "\n  all four paths bitwise identical; context+plan is {:.2}x and fused \
+         batches are {:.2}x the one-shot throughput",
+        per_call.as_secs_f64() / reused.as_secs_f64(),
+        per_call.as_secs_f64() / batched.as_secs_f64(),
     );
 }
