@@ -23,6 +23,11 @@
 //! (`factorize_batch_into` over refilled tile buffers + `T`-factor
 //! recycling through the plan).
 //!
+//! The `context_robustness` group re-runs the steady-state batch loop with
+//! the fault-isolation layer armed — a live deadline, the per-item panic
+//! tracker, worker heartbeats and (second cell) the stall watchdog — to pin
+//! the containment overhead to within noise of `context_batch`.
+//!
 //! Writes `BENCH_context.json`. Knobs: `TILEQR_BENCH_MS` (per-cell time),
 //! `TILEQR_BENCH_CTX_THREADS` (default 2), `TILEQR_BENCH_CTX_NB`
 //! (default 32, 8 × 4 tiles), `TILEQR_BENCH_CTX_K` (batch width, default 8).
@@ -225,6 +230,61 @@ fn main() {
         },
     );
 
+    // --- robustness layer overhead -----------------------------------------
+    // The same steady-state batch-into-recycled loop, but with the fault
+    // isolation machinery fully armed: a live deadline (checked by the
+    // submitter's poll loop and between tasks), the per-item fault tracker,
+    // per-worker heartbeats and — in the second cell — the stall watchdog.
+    // The contract is that containment costs a handful of relaxed atomics
+    // per task, so these cells must stay within noise of
+    // `batch_into_recycled` above.
+    run(
+        &mut samples,
+        "context_robustness",
+        &format!("batch_into_deadline_t{threads}_k{k}"),
+        nb_b,
+        flops_batch,
+        || {
+            for (t, a) in batch_tiles.iter_mut().zip(&batch_mats) {
+                t.fill_from_dense_padded(a);
+            }
+            for item in ctx.factorize_batch_into_with_deadline(
+                &plan_b,
+                &mut batch_tiles,
+                std::time::Duration::from_secs(60),
+            ) {
+                plan_b.recycle_reflectors(std::hint::black_box(
+                    item.expect("a 60 s deadline never fires here"),
+                ));
+            }
+        },
+    );
+    // Arming the watchdog only sets a field on the context, so moving `ctx`
+    // keeps the already-placed worker threads — a second pool would measure
+    // thread placement, not the watchdog.
+    let ctx_w = ctx.with_watchdog(std::time::Duration::from_secs(5));
+    run(
+        &mut samples,
+        "context_robustness",
+        &format!("batch_into_watchdog_t{threads}_k{k}"),
+        nb_b,
+        flops_batch,
+        || {
+            for (t, a) in batch_tiles.iter_mut().zip(&batch_mats) {
+                t.fill_from_dense_padded(a);
+            }
+            for item in ctx_w.factorize_batch_into_with_deadline(
+                &plan_b,
+                &mut batch_tiles,
+                std::time::Duration::from_secs(60),
+            ) {
+                plan_b.recycle_reflectors(std::hint::black_box(
+                    item.expect("neither the deadline nor the watchdog fires"),
+                ));
+            }
+        },
+    );
+
     // Headline ratios for the log: reused context+plan vs per-call spawning.
     let ns = |group: &str, name: &str| {
         samples
@@ -264,6 +324,23 @@ fn main() {
         batch_ns / 1e3,
         in_place_ns / 1e3,
         loop_ns / in_place_ns,
+    );
+    let deadline_ns = ns(
+        "context_robustness",
+        &format!("batch_into_deadline_t{threads}_k{k}"),
+    );
+    let watchdog_ns = ns(
+        "context_robustness",
+        &format!("batch_into_watchdog_t{threads}_k{k}"),
+    );
+    println!(
+        "robustness overhead on the steady-state batch loop: deadline {:+.2}%, deadline+watchdog {:+.2}% \
+         ({:.1} µs -> {:.1} µs / {:.1} µs per batch)",
+        (deadline_ns / in_place_ns - 1.0) * 100.0,
+        (watchdog_ns / in_place_ns - 1.0) * 100.0,
+        in_place_ns / 1e3,
+        deadline_ns / 1e3,
+        watchdog_ns / 1e3,
     );
 
     write_json(

@@ -123,6 +123,9 @@ pub trait Scalar:
     /// True if any component is NaN.
     fn is_nan(self) -> bool;
 
+    /// True if every component is finite (neither NaN nor infinite).
+    fn is_finite(self) -> bool;
+
     /// Multiply-accumulate `self + a·b`, the innermost operation of the
     /// register-tiled microkernel.
     ///
@@ -182,6 +185,10 @@ impl Scalar for f64 {
     fn is_nan(self) -> bool {
         f64::is_nan(self)
     }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
 
     /// Hardware-fused multiply-add; compiled only when the build guarantees
     /// an FMA unit, so the fallback never routes through libm. On x86-64
@@ -229,6 +236,10 @@ impl Scalar for Complex64 {
     #[inline]
     fn is_nan(self) -> bool {
         Complex64::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex64::is_finite(self)
     }
 }
 

@@ -68,22 +68,23 @@
 //! results are **bitwise identical** to the legacy free functions — the
 //! equivalence suite pins this down for `f64` and `Complex64`.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use tileqr_core::algorithms::Algorithm;
-use tileqr_core::dag::{KernelFamily, SuccessorsCsr, TaskDag};
+use tileqr_core::dag::{KernelFamily, SuccessorsCsr, TaskDag, TaskKind};
 use tileqr_kernels::{Trans, Workspace};
 use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
 use crate::driver::{elimination_list_for, replay_q, QrConfig, QrFactorization};
 use crate::executor::{
-    drive_worker, execute_sequential_with, LockedFifo, Scheduler, SchedulerKind, WorkStealing,
+    drive_worker, DriveCtl, FaultSink, LockedFifo, Scheduler, SchedulerKind, WorkStealing,
     WorkStealingPriority,
 };
-use crate::pool::{Job, WorkerPool};
+use crate::pool::{payload_message, Job, RunCtl, WorkerPool};
 use crate::state::FactorizationState;
-use crate::sync::Mutex;
+use crate::sync::{CancelCause, CancelToken, Mutex};
 
 /// Hard upper bound on the worker-thread count of a [`QrContext`]; requests
 /// beyond it are configuration mistakes (the pool would oversubscribe any
@@ -140,6 +141,55 @@ pub enum QrError {
         /// Length actually supplied.
         got: usize,
     },
+    /// A kernel task panicked while factorizing this item. The panic was
+    /// contained: only this batch item failed, its sibling items completed
+    /// normally, and the pool survived. The item's output (tiles, `T`
+    /// factors) holds partial garbage and must be refilled before reuse.
+    TaskPanicked {
+        /// The kernel task that panicked.
+        kind: TaskKind,
+        /// The panic message (string payloads verbatim, a placeholder for
+        /// non-string payloads).
+        message: String,
+    },
+    /// The factorization was cancelled through
+    /// [`QrContext::cancel_handle`]. Batch items that had already finished
+    /// when the cancellation was observed still return `Ok`.
+    Cancelled,
+    /// A `*_with_deadline` call ran past its deadline. Batch items that had
+    /// already finished still return `Ok`.
+    DeadlineExceeded,
+    /// The pool watchdog ([`QrContext::with_watchdog`]) saw no progress from
+    /// any worker for longer than the configured bound and cancelled the
+    /// job.
+    Stalled,
+    /// Spawning a pool worker thread failed ([`QrContext::new`] /
+    /// [`QrContext::with_scheduler`]).
+    ThreadSpawn {
+        /// The underlying OS error, rendered.
+        details: String,
+    },
+    /// The opt-in [`QrConfig::check_finite`] pre-submission scan found a NaN
+    /// or infinity; the input was rejected before any kernel ran and the
+    /// caller's buffers are untouched.
+    NonFiniteInput {
+        /// Row of the first non-finite entry (column-major scan order).
+        row: usize,
+        /// Column of the first non-finite entry.
+        col: usize,
+    },
+}
+
+impl QrError {
+    /// Maps a triggered cancel token's cause to the error the affected items
+    /// report.
+    pub(crate) fn from_cancel(cause: CancelCause) -> QrError {
+        match cause {
+            CancelCause::Cancelled => QrError::Cancelled,
+            CancelCause::DeadlineExceeded => QrError::DeadlineExceeded,
+            CancelCause::Stalled => QrError::Stalled,
+        }
+    }
 }
 
 impl std::fmt::Display for QrError {
@@ -167,6 +217,22 @@ impl std::fmt::Display for QrError {
             QrError::RhsLength { expected, got } => write!(
                 f,
                 "right-hand side length {got} does not match the factored row count {expected}"
+            ),
+            QrError::TaskPanicked { kind, message } => {
+                write!(f, "kernel task {kind:?} panicked: {message}")
+            }
+            QrError::Cancelled => write!(f, "the factorization was cancelled"),
+            QrError::DeadlineExceeded => write!(f, "the factorization deadline expired"),
+            QrError::Stalled => write!(
+                f,
+                "a pool worker stalled past the watchdog bound; the job was cancelled"
+            ),
+            QrError::ThreadSpawn { details } => {
+                write!(f, "failed to spawn a pool worker thread: {details}")
+            }
+            QrError::NonFiniteInput { row, col } => write!(
+                f,
+                "input contains a non-finite value at row {row}, column {col}"
             ),
         }
     }
@@ -220,6 +286,8 @@ pub struct QrPlan<T: Scalar> {
     family: KernelFamily,
     p: usize,
     q: usize,
+    /// Opt-in pre-submission NaN/Inf scan ([`QrConfig::check_finite`]).
+    check_finite: bool,
     pub(crate) core: Arc<PlanCore>,
     /// Checkout cache of kernel workspaces: taken at job start, returned at
     /// job end, grown on demand up to the largest worker count seen.
@@ -287,6 +355,7 @@ impl<T: Scalar> QrPlan<T> {
             family: config.family,
             p,
             q,
+            check_finite: config.check_finite,
             core: Arc::new(PlanCore {
                 dag: Arc::new(dag),
                 succ,
@@ -451,6 +520,112 @@ impl<T: Scalar<Real = f64>> QrPlan<T> {
     }
 }
 
+/// Column-major scan for the first non-finite entry of a dense matrix
+/// (the [`QrConfig::check_finite`] pre-submission check).
+fn find_non_finite_dense<T: Scalar>(a: &Matrix<T>) -> Option<(usize, usize)> {
+    let (m, n) = a.shape();
+    for col in 0..n {
+        for row in 0..m {
+            if !a.get(row, col).is_finite() {
+                return Some((row, col));
+            }
+        }
+    }
+    None
+}
+
+/// [`find_non_finite_dense`] for caller-owned tile storage: scans the whole
+/// padded grid (global coordinates), since a non-finite value anywhere in
+/// the buffer — padding included — would poison the factorization.
+fn find_non_finite_tiled<T: Scalar>(t: &TiledMatrix<T>) -> Option<(usize, usize)> {
+    let rows = t.tile_rows() * t.tile_size();
+    let cols = t.tile_cols() * t.tile_size();
+    for col in 0..cols {
+        for row in 0..rows {
+            if !t.get(row, col).is_finite() {
+                return Some((row, col));
+            }
+        }
+    }
+    None
+}
+
+/// Per-batch fault bookkeeping: one slot per batch copy, fed by
+/// [`drive_worker`]'s containment mode through the [`FaultSink`] trait.
+///
+/// A recorded panic poisons exactly one copy: its remaining tasks are
+/// skipped (retired without executing) while sibling copies run to
+/// completion. After the job drains, [`ItemTracker::verdict`] turns the
+/// per-copy state into the item's `Result`.
+struct ItemTracker {
+    /// The plan's DAG, for mapping a panicking local task id to its
+    /// [`TaskKind`].
+    dag: Arc<TaskDag>,
+    /// Fast path: no copy has failed yet (one relaxed load per task).
+    any_failed: AtomicBool,
+    /// Per-copy failure flag, checked before executing each task.
+    failed: Vec<AtomicBool>,
+    /// First error recorded per copy.
+    errors: Vec<Mutex<Option<QrError>>>,
+    /// Tasks retired (executed or skipped) per copy; a copy with a full
+    /// count and no recorded error completed successfully.
+    done: Vec<AtomicUsize>,
+}
+
+impl ItemTracker {
+    fn new(dag: Arc<TaskDag>, copies: usize) -> Self {
+        ItemTracker {
+            dag,
+            any_failed: AtomicBool::new(false),
+            failed: (0..copies).map(|_| AtomicBool::new(false)).collect(),
+            errors: (0..copies).map(|_| Mutex::new(None)).collect(),
+            done: (0..copies).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// The item result of `copy` once the job has drained: a recorded fault
+    /// wins; an incomplete retire count means the job was cancelled out from
+    /// under the copy (`cause` says why); otherwise the copy succeeded.
+    fn verdict(&self, copy: usize, cause: Option<CancelCause>) -> Option<QrError> {
+        if let Some(err) = self.errors[copy].lock().take() {
+            return Some(err);
+        }
+        if self.done[copy].load(Ordering::Acquire) < self.dag.len() {
+            return Some(QrError::from_cancel(
+                cause.unwrap_or(CancelCause::Cancelled),
+            ));
+        }
+        None
+    }
+}
+
+impl FaultSink for ItemTracker {
+    fn copy_failed(&self, copy: usize) -> bool {
+        // The relaxed fast-path load is safe: a stale `false` at worst runs
+        // one more task of an already-failed copy against garbage tile data,
+        // which only that copy's (already discarded) output can observe.
+        // Tasks released *after* the panic was recorded see the flag through
+        // the dependency counter's release/acquire chain.
+        self.any_failed.load(Ordering::Relaxed) && self.failed[copy].load(Ordering::Acquire)
+    }
+
+    fn record_panic(&self, copy: usize, local: usize, payload: &(dyn std::any::Any + Send)) {
+        let mut slot = self.errors[copy].lock();
+        if slot.is_none() {
+            *slot = Some(QrError::TaskPanicked {
+                kind: self.dag.tasks[local].kind,
+                message: payload_message(payload).to_string(),
+            });
+        }
+        self.failed[copy].store(true, Ordering::Release);
+        self.any_failed.store(true, Ordering::Release);
+    }
+
+    fn task_retired(&self, copy: usize) {
+        self.done[copy].fetch_add(1, Ordering::AcqRel);
+    }
+}
+
 /// Unwind guard of the in-place batch path: while a fused job runs, the
 /// caller's conforming slots hold `0 × 0` placeholder grids (their tiles
 /// were moved into the job). If the job panics — a kernel bug — this guard
@@ -499,25 +674,36 @@ struct BatchJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
     completed: AtomicUsize,
     aborted: AtomicBool,
     ws_slots: Vec<Mutex<Option<Workspace<T>>>>,
+    /// Per-copy fault bookkeeping; the workers run in containment mode, so a
+    /// kernel panic poisons one copy instead of the whole job.
+    tracker: ItemTracker,
+    /// This job's cancel token: the submitter's wait loop funnels user
+    /// cancellation, the deadline and the watchdog into it; workers check it
+    /// between tasks.
+    cancel: CancelToken,
 }
 
 impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for BatchJob<T, S> {
-    fn run(&self, w: usize) {
+    fn run(&self, w: usize, heartbeat: &AtomicUsize) {
         let n = self.core.dag.len();
         let mut slot = self.ws_slots[w].lock();
         let ws = slot.as_mut().expect("one workspace is staged per worker");
-        drive_worker(
-            self.remaining.len(),
-            n,
-            &self.core.succ,
-            &self.sched,
-            &self.remaining,
-            &self.completed,
-            &self.aborted,
-            self.core.max_out_degree,
-            w,
-            &mut |g| self.states[g / n].run_ws(self.core.dag.tasks[g % n].kind, ws),
-        );
+        let ctl = DriveCtl {
+            num_tasks: self.remaining.len(),
+            local_tasks: n,
+            succ: &self.core.succ,
+            remaining: &self.remaining,
+            completed: &self.completed,
+            aborted: &self.aborted,
+            max_out_degree: self.core.max_out_degree,
+            cancel: Some(&self.cancel),
+            faults: Some(&self.tracker),
+        };
+        drive_worker(&ctl, &self.sched, w, Some(heartbeat), &mut |g| {
+            #[cfg(feature = "fault-injection")]
+            crate::fault::check(g / n, g % n);
+            self.states[g / n].run_ws(self.core.dag.tasks[g % n].kind, ws)
+        });
     }
 }
 
@@ -536,6 +722,12 @@ pub struct QrContext {
     threads: usize,
     scheduler: SchedulerKind,
     pool: Option<WorkerPool>,
+    /// The sticky user cancellation token handed out by
+    /// [`QrContext::cancel_handle`]. Internal causes (deadline, watchdog)
+    /// never touch it — each job gets its own token they funnel into.
+    cancel: CancelToken,
+    /// Stall bound of the pool watchdog, if enabled.
+    watchdog: Option<Duration>,
 }
 
 impl std::fmt::Debug for QrContext {
@@ -543,6 +735,7 @@ impl std::fmt::Debug for QrContext {
         f.debug_struct("QrContext")
             .field("threads", &self.threads)
             .field("scheduler", &self.scheduler)
+            .field("watchdog", &self.watchdog)
             .finish_non_exhaustive()
     }
 }
@@ -574,12 +767,46 @@ impl QrContext {
     /// ready-task scheduling policy.
     pub fn with_scheduler(threads: usize, scheduler: SchedulerKind) -> Result<Self, QrError> {
         QrContext::validate_threads(threads)?;
-        let pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let pool = if threads > 1 {
+            Some(WorkerPool::new(threads).map_err(|e| QrError::ThreadSpawn {
+                details: e.to_string(),
+            })?)
+        } else {
+            None
+        };
         Ok(QrContext {
             threads,
             scheduler,
             pool,
+            cancel: CancelToken::new(),
+            watchdog: None,
         })
+    }
+
+    /// Arms the pool watchdog: if no worker retires a task for longer than
+    /// `bound` while a job is in flight, the job is cancelled and its
+    /// unfinished items report [`QrError::Stalled`].
+    ///
+    /// The watchdog is cooperative — it reliably recovers runs whose workers
+    /// are *idling* without progress (the shape of a lost-task bug) and runs
+    /// whose stalled task eventually returns. A task wedged in an infinite
+    /// loop keeps its OS thread (safe Rust cannot kill it); the watchdog then
+    /// still stops the *other* workers from burning CPU, but the call
+    /// returns only once the wedged task does. Pick a bound comfortably
+    /// above the longest single kernel task, not the whole factorization.
+    pub fn with_watchdog(mut self, bound: Duration) -> Self {
+        self.watchdog = Some(bound);
+        self
+    }
+
+    /// A cloneable cancellation handle shared by every factorization this
+    /// context runs. After [`CancelToken::cancel`], in-flight calls wind
+    /// down at the next between-task check (unfinished items report
+    /// [`QrError::Cancelled`]; already-finished batch items still return
+    /// `Ok`) and *future* calls fail fast — cancellation is sticky until
+    /// [`CancelToken::reset`] revives the context.
+    pub fn cancel_handle(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Number of worker threads (1 = sequential, no pool).
@@ -602,24 +829,55 @@ impl QrContext {
         plan: &QrPlan<T>,
         a: &Matrix<T>,
     ) -> Result<QrFactorization<T>, QrError> {
+        self.factorize_inner(plan, a, None)
+    }
+
+    /// [`QrContext::factorize`] with a relative deadline: if the
+    /// factorization has not finished `timeout` after the call was made, it
+    /// is cancelled and returns [`QrError::DeadlineExceeded`]. The deadline
+    /// is checked between kernel tasks, so the overrun is bounded by one
+    /// task plus the submitter's poll interval.
+    pub fn factorize_with_deadline<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        a: &Matrix<T>,
+        timeout: Duration,
+    ) -> Result<QrFactorization<T>, QrError> {
+        self.factorize_inner(plan, a, Some(Instant::now() + timeout))
+    }
+
+    fn factorize_inner<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        a: &Matrix<T>,
+        deadline: Option<Instant>,
+    ) -> Result<QrFactorization<T>, QrError> {
         if a.shape() != (plan.m, plan.n) {
             return Err(QrError::ShapeMismatch {
                 expected: (plan.m, plan.n),
                 got: a.shape(),
             });
         }
+        if plan.check_finite {
+            if let Some((row, col)) = find_non_finite_dense(a) {
+                return Err(QrError::NonFiniteInput { row, col });
+            }
+        }
         let tiled = TiledMatrix::from_dense_padded(a, plan.nb);
-        let (tiles, t_geqrt, t_elim) = self.run_plan(plan, tiled);
-        Ok(QrFactorization::from_parts(
-            plan.m,
-            plan.n,
-            plan.nb,
-            plan.ib,
-            tiles,
-            t_geqrt,
-            t_elim,
-            Arc::clone(&plan.core.dag),
-        ))
+        let ((tiles, t_geqrt, t_elim), err) = self.run_plan(plan, tiled, deadline);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(QrFactorization::from_parts(
+                plan.m,
+                plan.n,
+                plan.nb,
+                plan.ib,
+                tiles,
+                t_geqrt,
+                t_elim,
+                Arc::clone(&plan.core.dag),
+            )),
+        }
     }
 
     /// Factorizes caller-owned tile storage **in place** — the tiles are
@@ -643,9 +901,28 @@ impl QrContext {
         plan: &QrPlan<T>,
         tiles: &mut TiledMatrix<T>,
     ) -> Result<QrReflectors<T>, QrError> {
-        self.factorize_batch_into(plan, std::slice::from_mut(tiles))
+        self.batch_into_inner(plan, std::slice::from_mut(tiles), None)
             .pop()
             .expect("one buffer in, one result out")
+    }
+
+    /// [`QrContext::factorize_into`] with a relative deadline; see
+    /// [`QrContext::factorize_with_deadline`]. On
+    /// [`QrError::DeadlineExceeded`] the buffer keeps its plan-shaped grid
+    /// but may hold a partially factored matrix — refill it before retrying.
+    pub fn factorize_into_with_deadline<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiles: &mut TiledMatrix<T>,
+        timeout: Duration,
+    ) -> Result<QrReflectors<T>, QrError> {
+        self.batch_into_inner(
+            plan,
+            std::slice::from_mut(tiles),
+            Some(Instant::now() + timeout),
+        )
+        .pop()
+        .expect("one buffer in, one result out")
     }
 
     /// Factorizes a batch of `k` independent matrices of the plan's shape as
@@ -674,36 +951,67 @@ impl QrContext {
         plan: &QrPlan<T>,
         mats: &[Matrix<T>],
     ) -> Vec<Result<QrFactorization<T>, QrError>> {
+        self.batch_inner(plan, mats, None)
+    }
+
+    /// [`QrContext::factorize_batch`] with a relative deadline shared by the
+    /// whole batch. Items that finished before the deadline fired still
+    /// return `Ok` (partial results); the rest report
+    /// [`QrError::DeadlineExceeded`].
+    pub fn factorize_batch_with_deadline<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        mats: &[Matrix<T>],
+        timeout: Duration,
+    ) -> Vec<Result<QrFactorization<T>, QrError>> {
+        self.batch_inner(plan, mats, Some(Instant::now() + timeout))
+    }
+
+    fn batch_inner<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        mats: &[Matrix<T>],
+        deadline: Option<Instant>,
+    ) -> Vec<Result<QrFactorization<T>, QrError>> {
         let mut slots: Vec<Result<(), QrError>> = Vec::with_capacity(mats.len());
         let mut tiled = Vec::with_capacity(mats.len());
         for a in mats {
-            if a.shape() == (plan.m, plan.n) {
-                slots.push(Ok(()));
-                tiled.push(TiledMatrix::from_dense_padded(a, plan.nb));
-            } else {
+            if a.shape() != (plan.m, plan.n) {
                 slots.push(Err(QrError::ShapeMismatch {
                     expected: (plan.m, plan.n),
                     got: a.shape(),
                 }));
+            } else if let Some((row, col)) = plan
+                .check_finite
+                .then(|| find_non_finite_dense(a))
+                .flatten()
+            {
+                slots.push(Err(QrError::NonFiniteInput { row, col }));
+            } else {
+                slots.push(Ok(()));
+                tiled.push(TiledMatrix::from_dense_padded(a, plan.nb));
             }
         }
-        let mut parts = self.run_batch(plan, tiled).into_iter();
+        let mut items = self.run_batch(plan, tiled, deadline).into_iter();
         slots
             .into_iter()
             .map(|slot| {
-                slot.map(|()| {
-                    let (tiles, t_geqrt, t_elim) =
-                        parts.next().expect("one result per conforming matrix");
-                    QrFactorization::from_parts(
-                        plan.m,
-                        plan.n,
-                        plan.nb,
-                        plan.ib,
-                        tiles,
-                        t_geqrt,
-                        t_elim,
-                        Arc::clone(&plan.core.dag),
-                    )
+                slot.and_then(|()| {
+                    let ((tiles, t_geqrt, t_elim), err) =
+                        items.next().expect("one result per conforming matrix");
+                    match err {
+                        Some(e) => Err(e),
+                        None => Ok(QrFactorization::from_parts(
+                            plan.m,
+                            plan.n,
+                            plan.nb,
+                            plan.ib,
+                            tiles,
+                            t_geqrt,
+                            t_elim,
+                            Arc::clone(&plan.core.dag),
+                        )),
+                    }
                 })
             })
             .collect()
@@ -731,27 +1039,58 @@ impl QrContext {
         plan: &QrPlan<T>,
         tiles: &mut [TiledMatrix<T>],
     ) -> Vec<Result<QrReflectors<T>, QrError>> {
+        self.batch_into_inner(plan, tiles, None)
+    }
+
+    /// [`QrContext::factorize_batch_into`] with a relative deadline shared
+    /// by the whole batch; see
+    /// [`QrContext::factorize_batch_with_deadline`]. Buffers of items that
+    /// report an error keep their plan-shaped grid but may hold partially
+    /// factored values — refill them before retrying.
+    pub fn factorize_batch_into_with_deadline<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiles: &mut [TiledMatrix<T>],
+        timeout: Duration,
+    ) -> Vec<Result<QrReflectors<T>, QrError>> {
+        self.batch_into_inner(plan, tiles, Some(Instant::now() + timeout))
+    }
+
+    fn batch_into_inner<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiles: &mut [TiledMatrix<T>],
+        deadline: Option<Instant>,
+    ) -> Vec<Result<QrReflectors<T>, QrError>> {
         let mut slots: Vec<Result<(), QrError>> = Vec::with_capacity(tiles.len());
         let mut owned = Vec::with_capacity(tiles.len());
         for t in tiles.iter_mut() {
             let got = (t.tile_rows(), t.tile_cols(), t.tile_size());
-            if got == (plan.p, plan.q, plan.nb) {
+            if got != (plan.p, plan.q, plan.nb) {
+                slots.push(Err(QrError::PlanMismatch {
+                    expected: (plan.p, plan.q, plan.nb),
+                    got,
+                }));
+            } else if let Some((row, col)) = plan
+                .check_finite
+                .then(|| find_non_finite_tiled(t))
+                .flatten()
+            {
+                // Rejected before submission: the buffer is left untouched.
+                slots.push(Err(QrError::NonFiniteInput { row, col }));
+            } else {
                 slots.push(Ok(()));
                 owned.push(std::mem::replace(
                     t,
                     TiledMatrix::from_tiles(Vec::new(), 0, 0, plan.nb),
                 ));
-            } else {
-                slots.push(Err(QrError::PlanMismatch {
-                    expected: (plan.p, plan.q, plan.nb),
-                    got,
-                }));
             }
         }
-        // If the fused job panics (a kernel bug), the unwind must not leave
-        // the caller's conforming slots holding the 0 × 0 placeholders: the
-        // guard puts plan-shaped zero grids back so a recover-and-retry
-        // caller can refill the same buffers.
+        // If the fused job panics *uncontained* (a bug in the runtime
+        // itself — kernel panics are caught per task), the unwind must not
+        // leave the caller's conforming slots holding the 0 × 0
+        // placeholders: the guard puts plan-shaped zero grids back so a
+        // recover-and-retry caller can refill the same buffers.
         let guard = RestorePlaceholders {
             taken: slots.iter().map(Result::is_ok).collect(),
             tiles,
@@ -759,23 +1098,31 @@ impl QrContext {
             q: plan.q,
             nb: plan.nb,
         };
-        let mut parts = self.run_batch(plan, owned).into_iter();
+        let mut items = self.run_batch(plan, owned, deadline).into_iter();
         let mut out = Vec::with_capacity(guard.tiles.len());
         for (slot, t) in slots.into_iter().zip(guard.tiles.iter_mut()) {
-            out.push(slot.map(|()| {
-                let (factored, t_geqrt, t_elim) =
-                    parts.next().expect("one result per conforming buffer");
+            out.push(slot.and_then(|()| {
+                let ((factored, t_geqrt, t_elim), err) =
+                    items.next().expect("one result per conforming buffer");
+                // The caller gets their buffer back in every outcome: the
+                // factored tiles on success, the partially overwritten tiles
+                // on a contained fault or cancellation (grid intact, values
+                // to be refilled), and the bitwise-untouched tiles when the
+                // run was rejected before any kernel executed.
                 *t = factored;
-                QrReflectors {
-                    m: plan.m,
-                    n: plan.n,
-                    nb: plan.nb,
-                    ib: plan.ib,
-                    p: plan.p,
-                    q: plan.q,
-                    dag: Arc::clone(&plan.core.dag),
-                    t_geqrt,
-                    t_elim,
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(QrReflectors {
+                        m: plan.m,
+                        n: plan.n,
+                        nb: plan.nb,
+                        ib: plan.ib,
+                        p: plan.p,
+                        q: plan.q,
+                        dag: Arc::clone(&plan.core.dag),
+                        t_geqrt,
+                        t_elim,
+                    }),
                 }
             }));
         }
@@ -783,18 +1130,22 @@ impl QrContext {
     }
 
     /// Executes the plan's DAG against `tiled`, sequentially or on the pool,
-    /// and returns the factored parts.
+    /// and returns the factored parts plus the item's fault, if any.
     #[allow(clippy::type_complexity)]
     fn run_plan<T: Scalar<Real = f64>>(
         &self,
         plan: &QrPlan<T>,
         tiled: TiledMatrix<T>,
+        deadline: Option<Instant>,
     ) -> (
-        TiledMatrix<T>,
-        Vec<Option<Matrix<T>>>,
-        Vec<Option<Matrix<T>>>,
+        (
+            TiledMatrix<T>,
+            Vec<Option<Matrix<T>>>,
+            Vec<Option<Matrix<T>>>,
+        ),
+        Option<QrError>,
     ) {
-        self.run_batch(plan, vec![tiled])
+        self.run_batch(plan, vec![tiled], deadline)
             .pop()
             .expect("one matrix in, one result out")
     }
@@ -810,37 +1161,52 @@ impl QrContext {
         &self,
         plan: &QrPlan<T>,
         tiled: Vec<TiledMatrix<T>>,
+        deadline: Option<Instant>,
     ) -> Vec<(
-        TiledMatrix<T>,
-        Vec<Option<Matrix<T>>>,
-        Vec<Option<Matrix<T>>>,
+        (
+            TiledMatrix<T>,
+            Vec<Option<Matrix<T>>>,
+            Vec<Option<Matrix<T>>>,
+        ),
+        Option<QrError>,
     )> {
         if tiled.is_empty() {
             return Vec::new();
         }
+        // Fail fast before any state is built or kernel runs: a sticky
+        // cancellation or an already-expired deadline rejects every item
+        // with its tile buffers bitwise untouched.
+        let pre = if self.cancel.is_cancelled() {
+            Some(QrError::Cancelled)
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(QrError::DeadlineExceeded)
+        } else {
+            None
+        };
+        if let Some(e) = pre {
+            return tiled
+                .into_iter()
+                .map(|t| ((t, Vec::new(), Vec::new()), Some(e.clone())))
+                .collect();
+        }
         let states = plan.build_states(tiled);
         match &self.pool {
-            None => {
-                let mut ws = plan.checkout_workspaces(1);
-                for state in &states {
-                    execute_sequential_with(&plan.core.dag, &mut ws[0], |task, ws| {
-                        state.run_ws(task, ws)
-                    });
-                }
-                plan.restore_workspaces(ws);
-                states.into_iter().map(|s| s.into_parts()).collect()
-            }
+            None => self.run_batch_sequential(plan, states, deadline),
             Some(pool) => {
                 let copies = states.len();
                 let total = plan.core.dag.len() * copies;
                 let threads = pool.threads();
                 match self.scheduler {
                     SchedulerKind::LockedFifo => {
-                        self.run_batch_job(plan, pool, states, LockedFifo::new(total))
+                        self.run_batch_job(plan, pool, states, LockedFifo::new(total), deadline)
                     }
-                    SchedulerKind::WorkStealing => {
-                        self.run_batch_job(plan, pool, states, WorkStealing::new(total, threads))
-                    }
+                    SchedulerKind::WorkStealing => self.run_batch_job(
+                        plan,
+                        pool,
+                        states,
+                        WorkStealing::new(total, threads),
+                        deadline,
+                    ),
                     SchedulerKind::WorkStealingPriority => self.run_batch_job(
                         plan,
                         pool,
@@ -850,15 +1216,82 @@ impl QrContext {
                             threads,
                             copies,
                         ),
+                        deadline,
                     ),
                 }
             }
         }
     }
 
-    /// Packages a batch of factorizations as one fused pool job, runs it,
-    /// and recovers the states and workspaces (the job is uniquely owned
-    /// again once every worker signalled completion).
+    /// The `threads == 1` engine: every copy runs on the calling thread in
+    /// topological order (the bitwise reference order), with the same
+    /// robustness semantics as the pool path — per-task cancellation and
+    /// deadline checks, and per-task panic containment that fails only the
+    /// current copy while later copies still run.
+    #[allow(clippy::type_complexity)]
+    fn run_batch_sequential<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        states: Vec<FactorizationState<T>>,
+        deadline: Option<Instant>,
+    ) -> Vec<(
+        (
+            TiledMatrix<T>,
+            Vec<Option<Matrix<T>>>,
+            Vec<Option<Matrix<T>>>,
+        ),
+        Option<QrError>,
+    )> {
+        let mut ws = plan.checkout_workspaces(1);
+        // A cancellation or expired deadline stops the whole run: the copy
+        // it interrupted and every later copy report the cause.
+        let mut stop: Option<QrError> = None;
+        let mut errors: Vec<Option<QrError>> = Vec::with_capacity(states.len());
+        for (copy, state) in states.iter().enumerate() {
+            if stop.is_some() {
+                errors.push(stop.clone());
+                continue;
+            }
+            let mut item_err: Option<QrError> = None;
+            for (local, task) in plan.core.dag.tasks.iter().enumerate() {
+                if self.cancel.is_cancelled() {
+                    stop = Some(QrError::Cancelled);
+                    break;
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    stop = Some(QrError::DeadlineExceeded);
+                    break;
+                }
+                // `copy`/`local` address the fault-injection probe; without
+                // the feature they are deliberately unused.
+                let _ = (copy, local);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-injection")]
+                    crate::fault::check(copy, local);
+                    state.run_ws(task.kind, &mut ws[0])
+                }));
+                if let Err(payload) = result {
+                    item_err = Some(QrError::TaskPanicked {
+                        kind: task.kind,
+                        message: payload_message(&*payload).to_string(),
+                    });
+                    break;
+                }
+            }
+            errors.push(item_err.or_else(|| stop.clone()));
+        }
+        plan.restore_workspaces(ws);
+        states
+            .into_iter()
+            .zip(errors)
+            .map(|(s, e)| (s.into_parts(), e))
+            .collect()
+    }
+
+    /// Packages a batch of factorizations as one fused pool job, runs it
+    /// under the submitter-side controls (cancellation, deadline, watchdog),
+    /// and recovers the states, workspaces and per-item verdicts (the job is
+    /// uniquely owned again once every worker signalled completion).
     #[allow(clippy::type_complexity)]
     fn run_batch_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
         &self,
@@ -866,21 +1299,26 @@ impl QrContext {
         pool: &WorkerPool,
         states: Vec<FactorizationState<T>>,
         sched: S,
+        deadline: Option<Instant>,
     ) -> Vec<(
-        TiledMatrix<T>,
-        Vec<Option<Matrix<T>>>,
-        Vec<Option<Matrix<T>>>,
+        (
+            TiledMatrix<T>,
+            Vec<Option<Matrix<T>>>,
+            Vec<Option<Matrix<T>>>,
+        ),
+        Option<QrError>,
     )> {
         let threads = pool.threads();
         let n = plan.core.dag.len();
+        let copies = states.len();
         // Roots of every copy of the DAG, offset into that copy's id range.
-        let mut roots = Vec::with_capacity(plan.core.roots.len() * states.len());
-        for copy in 0..states.len() {
+        let mut roots = Vec::with_capacity(plan.core.roots.len() * copies);
+        for copy in 0..copies {
             roots.extend(plan.core.roots.iter().map(|&r| copy * n + r));
         }
         sched.seed(&mut roots);
-        let mut remaining = Vec::with_capacity(n * states.len());
-        for _ in 0..states.len() {
+        let mut remaining = Vec::with_capacity(n * copies);
+        for _ in 0..copies {
             remaining.extend(
                 plan.core
                     .dag
@@ -901,15 +1339,34 @@ impl QrContext {
                 .into_iter()
                 .map(|ws| Mutex::new(Some(ws)))
                 .collect(),
+            tracker: ItemTracker::new(Arc::clone(&plan.core.dag), copies),
+            // A fresh per-job token: the submitter's wait loop forwards user
+            // cancellation into it and triggers it on deadline/stall, so
+            // internal causes never poison the context's sticky handle.
+            cancel: CancelToken::new(),
         });
-        pool.run(Arc::clone(&job) as Arc<dyn Job>);
-        // `pool.run` returns only after every worker dropped its reference
-        // to the job (and the pool's own slot was cleared), so the Arc is
-        // uniquely owned again.
+        pool.run_controlled(
+            Arc::clone(&job) as Arc<dyn Job>,
+            Some(RunCtl {
+                job_cancel: job.cancel.clone(),
+                user_cancel: self.cancel.clone(),
+                deadline,
+                stall_bound: self.watchdog,
+            }),
+        );
+        // `run_controlled` returns only after every worker dropped its
+        // reference to the job (and the pool's own slot was cleared), so the
+        // Arc is uniquely owned again.
         let job = Arc::into_inner(job)
             .unwrap_or_else(|| panic!("batch job still shared after the pool ran it"));
         plan.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner));
-        job.states.into_iter().map(|s| s.into_parts()).collect()
+        let cause = job.cancel.cause();
+        let tracker = job.tracker;
+        job.states
+            .into_iter()
+            .enumerate()
+            .map(|(copy, s)| (s.into_parts(), tracker.verdict(copy, cause)))
+            .collect()
     }
 }
 
@@ -1155,6 +1612,21 @@ mod tests {
             max: MAX_THREADS,
         };
         assert!(e.to_string().contains("9999"));
+        let e = QrError::TaskPanicked {
+            kind: TaskKind::Geqrt { row: 0, col: 2 },
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("boom"));
+        assert!(QrError::Cancelled.to_string().contains("cancelled"));
+        assert!(QrError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(QrError::Stalled.to_string().contains("stalled"));
+        let e = QrError::ThreadSpawn {
+            details: "out of threads".into(),
+        };
+        assert!(e.to_string().contains("out of threads"));
+        let e = QrError::NonFiniteInput { row: 3, col: 1 };
+        assert!(e.to_string().contains("row 3"));
     }
 
     #[test]
@@ -1321,24 +1793,26 @@ mod tests {
             poison: usize,
         }
         impl Job for PoisonJob {
-            fn run(&self, w: usize) {
+            fn run(&self, w: usize, heartbeat: &AtomicUsize) {
                 let n = self.core.dag.len();
-                drive_worker(
-                    n,
-                    n,
-                    &self.core.succ,
-                    &self.sched,
-                    &self.remaining,
-                    &self.completed,
-                    &self.aborted,
-                    self.core.max_out_degree,
-                    w,
-                    &mut |idx| {
-                        if idx == self.poison {
-                            panic!("injected mid-batch kernel failure");
-                        }
-                    },
-                );
+                // Legacy abort mode (`faults: None`): the panic unwinds out
+                // of the worker and the pool re-raises it on the submitter.
+                let ctl = DriveCtl {
+                    num_tasks: n,
+                    local_tasks: n,
+                    succ: &self.core.succ,
+                    remaining: &self.remaining,
+                    completed: &self.completed,
+                    aborted: &self.aborted,
+                    max_out_degree: self.core.max_out_degree,
+                    cancel: None,
+                    faults: None,
+                };
+                drive_worker(&ctl, &self.sched, w, Some(heartbeat), &mut |idx| {
+                    if idx == self.poison {
+                        panic!("injected mid-batch kernel failure");
+                    }
+                });
             }
         }
 

@@ -61,6 +61,13 @@ pub struct QrConfig {
     /// Ready-task scheduling policy of the parallel executor (ignored when
     /// `threads == 1`).
     pub scheduler: SchedulerKind,
+    /// Opt-in pre-submission scan for NaN/Inf entries (off by default — it
+    /// costs one pass over the input). Plans built with it reject non-finite
+    /// inputs as
+    /// [`QrError::NonFiniteInput`](crate::context::QrError::NonFiniteInput)
+    /// before any kernel runs, instead of silently producing garbage
+    /// factors.
+    pub check_finite: bool,
 }
 
 impl QrConfig {
@@ -75,6 +82,7 @@ impl QrConfig {
             family: KernelFamily::TT,
             threads: 1,
             scheduler: SchedulerKind::default(),
+            check_finite: false,
         }
     }
 
@@ -111,6 +119,13 @@ impl QrConfig {
     /// Sets the parallel scheduling policy.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables or disables the pre-submission NaN/Inf scan (see
+    /// [`QrConfig::check_finite`]).
+    pub fn with_check_finite(mut self, check: bool) -> Self {
+        self.check_finite = check;
         self
     }
 }
@@ -209,8 +224,11 @@ fn factorize_impl<T: Scalar<Real = f64>>(a: &Matrix<T>, config: QrConfig) -> QrF
     let threads = config.threads.clamp(1, crate::context::MAX_THREADS);
     let ctx = crate::context::QrContext::with_scheduler(threads, config.scheduler)
         .expect("thread count is clamped into the accepted range");
-    ctx.factorize(&plan, a)
-        .expect("the plan was built for exactly this matrix shape")
+    // The legacy contract is to panic on any failure. The context API
+    // contains kernel panics as `QrError::TaskPanicked`; re-raising the
+    // rendered error (which carries the original panic message) keeps this
+    // wrapper panicking while results stay bitwise unchanged.
+    ctx.factorize(&plan, a).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Traced driver body: tiles the matrix, builds the DAG and executes it on

@@ -56,7 +56,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use tileqr_core::dag::{SuccessorsCsr, TaskDag};
 use tileqr_core::TaskKind;
 
-use crate::sync::{Backoff, Steal, TaskQueue, WorkerDeque};
+use crate::sync::{Backoff, CancelToken, Steal, TaskQueue, WorkerDeque};
 
 /// Executes every task of the DAG in topological order on the current
 /// thread.
@@ -467,10 +467,60 @@ pub(crate) fn initial_roots(dag: &TaskDag) -> Vec<usize> {
         .collect()
 }
 
+/// Receives contained task panics from [`drive_worker`] and answers which
+/// batch copies have already failed (so their remaining tasks are skipped —
+/// counted as released, never executed).
+///
+/// Implemented by the context's per-batch item tracker; the executor itself
+/// stays ignorant of [`QrError`](crate::context::QrError).
+pub(crate) trait FaultSink: Sync {
+    /// True if `copy` has already recorded a fault; its tasks are skipped.
+    fn copy_failed(&self, copy: usize) -> bool;
+
+    /// Records a panic raised by task `local` of `copy`. Called at most once
+    /// per panicking task; the first recorded fault of a copy wins.
+    fn record_panic(&self, copy: usize, local: usize, payload: &(dyn std::any::Any + Send));
+
+    /// Counts one task of `copy` as retired (executed *or* skipped); a copy
+    /// whose retired count reaches the DAG length without a recorded fault
+    /// completed successfully.
+    fn task_retired(&self, copy: usize);
+}
+
+/// Everything one [`drive_worker`] call shares with its sibling workers:
+/// the fused-DAG geometry, the per-run counters, and the optional
+/// robustness hooks (cancellation, heartbeat, panic containment).
+pub(crate) struct DriveCtl<'a> {
+    /// Total task count of the (fused) run; the loop exits when `completed`
+    /// reaches it.
+    pub(crate) num_tasks: usize,
+    /// Task count of one DAG copy (`num_tasks` for a single matrix).
+    pub(crate) local_tasks: usize,
+    /// Per-shape successor CSR, indexed by `id % local_tasks`.
+    pub(crate) succ: &'a SuccessorsCsr,
+    /// Per-task dependency counters of the whole fused run.
+    pub(crate) remaining: &'a [AtomicUsize],
+    /// Tasks completed so far across all workers.
+    pub(crate) completed: &'a AtomicUsize,
+    /// Legacy abort flag: raised when a worker panics in abort mode
+    /// (`faults: None`); sibling workers exit instead of spinning.
+    pub(crate) aborted: &'a AtomicBool,
+    /// Largest successor batch one completion can enable.
+    pub(crate) max_out_degree: usize,
+    /// Checked once per loop iteration; a triggered token makes workers
+    /// abandon the remaining tasks and return.
+    pub(crate) cancel: Option<&'a CancelToken>,
+    /// Panic policy: `None` — a task panic raises `aborted` and unwinds out
+    /// (the scoped executor's contract, re-raised by the caller); `Some` —
+    /// the panic is caught, reported to the sink, and only that task's copy
+    /// is poisoned while siblings keep running.
+    pub(crate) faults: Option<&'a dyn FaultSink>,
+}
+
 /// One worker's share of a DAG run: pop ready tasks from the scheduler, run
 /// them, release successors, hand newly-enabled batches back to the
-/// scheduler, and back off when idle until every one of `num_tasks` tasks
-/// completed (or a sibling aborted).
+/// scheduler, and back off when idle until every one of `ctl.num_tasks`
+/// tasks completed (or a sibling aborted, or the cancel token fired).
 ///
 /// The loop is phrased over **raw task ids** so the same code serves three
 /// callers: the scoped executor ([`execute_parallel_with_scheduler`]), the
@@ -485,26 +535,28 @@ pub(crate) fn initial_roots(dag: &TaskDag) -> Vec<usize> {
 /// identity. All paths are bitwise equivalent by construction because they
 /// run exactly this code over the same per-tile kernel ordering.
 ///
-/// If `run` panics, the abort flag is raised *before* the unwind leaves this
-/// function, so sibling workers exit instead of spinning on `completed < n`
-/// forever; the caller is responsible for propagating the panic.
-#[allow(clippy::too_many_arguments)] // internal plumbing shared by three executors
+/// Panic handling depends on `ctl.faults` — see [`DriveCtl::faults`]. In
+/// containment mode a failed copy's remaining tasks still *retire* (their
+/// successor counters are released and `completed` advances) so the fused
+/// run drains normally; they are never executed.
+///
+/// `heartbeat` is this worker's progress counter (pool workers pass theirs;
+/// the scoped executor passes `None`): it is bumped once per **retired
+/// task**, never while idling, so a run whose workers all spin without
+/// retiring anything — the shape of a lost-task deadlock — is visible to the
+/// pool watchdog as a flat heartbeat sum.
 pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
-    num_tasks: usize,
-    local_tasks: usize,
-    succ: &SuccessorsCsr,
+    ctl: &DriveCtl<'_>,
     sched: &S,
-    remaining: &[AtomicUsize],
-    completed: &AtomicUsize,
-    aborted: &AtomicBool,
-    max_out_degree: usize,
     w: usize,
+    heartbeat: Option<&AtomicUsize>,
     run: &mut dyn FnMut(usize),
 ) {
-    debug_assert!(local_tasks > 0 && num_tasks % local_tasks == 0);
-    // Arms while a task runs; if the task panics the unwind runs this Drop,
-    // flagging every other worker to exit so the caller can join them and
-    // propagate the panic instead of deadlocking on `completed < n`.
+    debug_assert!(ctl.local_tasks > 0 && ctl.num_tasks % ctl.local_tasks == 0);
+    // Arms while a task runs in abort mode; if the task panics the unwind
+    // runs this Drop, flagging every other worker to exit so the caller can
+    // join them and propagate the panic instead of deadlocking on
+    // `completed < n`.
     struct AbortOnPanic<'a>(&'a AtomicBool);
     impl Drop for AbortOnPanic<'_> {
         fn drop(&mut self) {
@@ -514,31 +566,58 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
 
     // Scratch for the largest possible batch of newly-enabled successors —
     // allocated once per worker per run, never on the per-task path.
-    let mut enabled: Vec<usize> = Vec::with_capacity(max_out_degree);
+    let mut enabled: Vec<usize> = Vec::with_capacity(ctl.max_out_degree);
     let mut backoff = Backoff::new();
     // Work-first continuation handed back by `push_ready`: run it directly,
     // skipping the queue round-trip.
     let mut next: Option<usize> = None;
     loop {
-        if aborted.load(Ordering::Acquire) {
+        if ctl.aborted.load(Ordering::Acquire) {
             break;
+        }
+        if let Some(token) = ctl.cancel {
+            if token.is_cancelled() {
+                break;
+            }
         }
         match next.take().or_else(|| sched.pop(w)) {
             Some(idx) => {
                 backoff.reset();
-                let guard = AbortOnPanic(aborted);
-                run(idx);
-                std::mem::forget(guard);
-                completed.fetch_add(1, Ordering::Release);
+                let local = idx % ctl.local_tasks;
+                let copy = idx / ctl.local_tasks;
+                match ctl.faults {
+                    None => {
+                        let guard = AbortOnPanic(ctl.aborted);
+                        run(idx);
+                        std::mem::forget(guard);
+                    }
+                    Some(sink) => {
+                        // A failed copy's tasks are skipped, not executed;
+                        // they still retire below so the run drains.
+                        if !sink.copy_failed(copy) {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(idx)));
+                            if let Err(payload) = result {
+                                sink.record_panic(copy, local, &*payload);
+                            }
+                        }
+                        sink.task_retired(copy);
+                    }
+                }
+                if let Some(hb) = heartbeat {
+                    // Single-writer counter: a plain load+store is enough
+                    // and avoids a locked RMW on the per-task path.
+                    hb.store(hb.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                }
+                ctl.completed.fetch_add(1, Ordering::Release);
                 // Successors stay within the task's own DAG copy: reduce to
                 // the local id for the CSR lookup, offset the released ids
                 // back into the copy.
-                let local = idx % local_tasks;
                 let base = idx - local;
                 enabled.clear();
-                for &s in succ.of(local) {
+                for &s in ctl.succ.of(local) {
                     let g = base + s;
-                    if remaining[g].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if ctl.remaining[g].fetch_sub(1, Ordering::AcqRel) == 1 {
                         enabled.push(g);
                     }
                 }
@@ -547,7 +626,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
                 }
             }
             None => {
-                if completed.load(Ordering::Acquire) >= num_tasks {
+                if ctl.completed.load(Ordering::Acquire) >= ctl.num_tasks {
                     break;
                 }
                 backoff.snooze();
@@ -579,29 +658,28 @@ fn run_pool<S, W, M, F>(
     let completed = AtomicUsize::new(0);
     let aborted = AtomicBool::new(false);
 
+    let ctl = DriveCtl {
+        num_tasks: n,
+        local_tasks: n,
+        succ,
+        remaining: &remaining,
+        completed: &completed,
+        aborted: &aborted,
+        max_out_degree,
+        cancel: None,
+        faults: None,
+    };
     std::thread::scope(|scope| {
         for w in 0..num_threads {
+            let ctl = &ctl;
             let sched = &sched;
-            let succ = &succ;
-            let remaining = &remaining;
-            let completed = &completed;
-            let aborted = &aborted;
             let make_ws = &make_ws;
             let run = &run;
             scope.spawn(move || {
                 let mut ws = make_ws();
-                drive_worker(
-                    n,
-                    n,
-                    succ,
-                    *sched,
-                    remaining,
-                    completed,
-                    aborted,
-                    max_out_degree,
-                    w,
-                    &mut |idx| run(dag.tasks[idx].kind, &mut ws),
-                );
+                drive_worker(ctl, *sched, w, None, &mut |idx| {
+                    run(dag.tasks[idx].kind, &mut ws)
+                });
             });
         }
     });

@@ -1,0 +1,225 @@
+//! Deterministic fault injection for the chaos test suite
+//! (`--features fault-injection`; default-off and zero-cost when disabled —
+//! the probe in the task loop is compiled out entirely).
+//!
+//! A [`FaultPlan`] maps `(copy, task)` boundaries of a batch run to
+//! [`FaultAction`]s: a `Panic` fires just before that task's kernel would
+//! execute (exercising the runtime's per-item panic containment end to end),
+//! a `Delay` sleeps there (exercising schedule perturbation — results must
+//! stay bitwise identical, and the watchdog must tell a slow task from a
+//! dead one). [`FaultPlan::seeded`] draws a reproducible schedule from the
+//! in-tree xoshiro256++ PRNG, so the chaos suite replays the same hundred
+//! fault scenarios on every run.
+//!
+//! Installation is process-global ([`FaultPlan::install`]): the returned
+//! [`InstalledFaults`] guard holds a static lock for its lifetime, so
+//! concurrent tests serialize instead of trampling each other's plans, and
+//! dropping the guard disarms injection. The probe
+//! ([`check`](crate::fault::check)) is called by the batch engines with the
+//! task's `(copy, local)` coordinates; outside an installed plan it is a
+//! single relaxed-ish atomic load.
+//!
+//! This module is test infrastructure: it injects faults only into runs of
+//! the process that installed a plan, and nothing here is compiled into
+//! default builds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use tileqr_matrix::rng::Rng;
+
+use crate::sync::{Mutex, MutexGuard};
+
+/// What to inject at a `(copy, task)` boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic before the task's kernel runs; the runtime must contain it to
+    /// the task's batch copy.
+    Panic,
+    /// Sleep before the task's kernel runs; the factorization must still be
+    /// bitwise correct (and the watchdog must not fire for bounded delays
+    /// below its stall bound).
+    Delay(Duration),
+}
+
+/// A deterministic schedule of injected faults, keyed by
+/// `(batch copy, local task id)`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<(usize, usize), FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Injects a panic at `(copy, task)`.
+    pub fn panic_at(mut self, copy: usize, task: usize) -> Self {
+        self.faults.insert((copy, task), FaultAction::Panic);
+        self
+    }
+
+    /// Injects a delay of `d` at `(copy, task)`.
+    pub fn delay_at(mut self, copy: usize, task: usize, d: Duration) -> Self {
+        self.faults.insert((copy, task), FaultAction::Delay(d));
+        self
+    }
+
+    /// Draws a reproducible fault schedule for a batch of `copies` DAG
+    /// copies of `tasks` tasks each: `panics` panicking tasks on *distinct*
+    /// copies (at most one panic per copy, so each faulted item's expected
+    /// error is unambiguous) plus `delays` short sleeps (50–550 µs) at
+    /// random boundaries of the remaining, non-panicked copies.
+    pub fn seeded(seed: u64, copies: usize, tasks: usize, panics: usize, delays: usize) -> Self {
+        assert!(copies > 0 && tasks > 0, "an empty batch cannot be faulted");
+        assert!(panics <= copies, "at most one panic per copy");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        // Panicking copies: a seeded partial Fisher–Yates pick of `panics`
+        // distinct copies.
+        let mut ids: Vec<usize> = (0..copies).collect();
+        for i in 0..panics {
+            let j = i + (rng.next_u64() as usize) % (copies - i);
+            ids.swap(i, j);
+            let copy = ids[i];
+            let task = (rng.next_u64() as usize) % tasks;
+            plan.faults.insert((copy, task), FaultAction::Panic);
+        }
+        // Delays go to the non-panicked copies so every delayed item still
+        // completes and its bitwise-identity assertion stays meaningful.
+        let clean = &ids[panics..];
+        if !clean.is_empty() {
+            for _ in 0..delays {
+                let copy = clean[(rng.next_u64() as usize) % clean.len()];
+                let task = (rng.next_u64() as usize) % tasks;
+                let micros = 50 + rng.next_u64() % 500;
+                plan.faults
+                    .entry((copy, task))
+                    .or_insert(FaultAction::Delay(Duration::from_micros(micros)));
+            }
+        }
+        plan
+    }
+
+    /// The `(copy, task)` boundaries that panic, sorted (the chaos suite's
+    /// expected-failure set).
+    pub fn panics(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .faults
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Panic))
+            .map(|(&k, _)| k)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of delay injections in the plan.
+    pub fn delay_count(&self) -> usize {
+        self.faults
+            .values()
+            .filter(|a| matches!(a, FaultAction::Delay(_)))
+            .count()
+    }
+
+    /// Arms this plan process-wide until the returned guard is dropped.
+    ///
+    /// Holding the guard serializes concurrent installers (a static lock),
+    /// so parallel test threads take turns instead of overwriting each
+    /// other's plans.
+    pub fn install(self) -> InstalledFaults {
+        let serialize = INSTALL.lock();
+        *PLAN.lock() = Some(self);
+        ARMED.store(true, Ordering::Release);
+        InstalledFaults {
+            _serialize: serialize,
+        }
+    }
+}
+
+/// Keeps a [`FaultPlan`] armed; dropping it disarms injection and releases
+/// the installation lock.
+pub struct InstalledFaults {
+    _serialize: MutexGuard<'static, ()>,
+}
+
+impl Drop for InstalledFaults {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        PLAN.lock().take();
+    }
+}
+
+/// Serializes installations; held by [`InstalledFaults`] for its lifetime.
+static INSTALL: Mutex<()> = Mutex::new(());
+/// Fast-path arm flag: the probe bails on one load when no plan is active.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The active plan, if any.
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// The probe the batch engines call before executing task `task` of batch
+/// copy `copy`. With no installed plan this is one atomic load; with one,
+/// the matching action (if any) fires *inside* the caller's containment
+/// region, so an injected panic exercises exactly the code path a kernel
+/// panic would.
+pub(crate) fn check(copy: usize, task: usize) {
+    if !ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    // Clone the action out before acting: panicking or sleeping while
+    // holding the plan lock would stall every other worker's probe.
+    let action = PLAN
+        .lock()
+        .as_ref()
+        .and_then(|p| p.faults.get(&(copy, task)).copied());
+    match action {
+        Some(FaultAction::Panic) => panic!("injected fault at (copy {copy}, task {task})"),
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_bounded() {
+        let a = FaultPlan::seeded(42, 4, 30, 2, 5);
+        let b = FaultPlan::seeded(42, 4, 30, 2, 5);
+        assert_eq!(a.panics(), b.panics());
+        assert_eq!(a.delay_count(), b.delay_count());
+        assert_eq!(a.panics().len(), 2);
+        // At most one panic per copy, and delays never land on a panicking
+        // copy.
+        let panicked: Vec<usize> = a.panics().iter().map(|&(c, _)| c).collect();
+        let mut distinct = panicked.clone();
+        distinct.dedup();
+        assert_eq!(panicked, distinct);
+        for (&(copy, _), action) in &a.faults {
+            if matches!(action, FaultAction::Delay(_)) {
+                assert!(!panicked.contains(&copy), "delay on a panicking copy");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_is_inert_without_an_installed_plan() {
+        check(0, 0); // must not panic or sleep
+    }
+
+    #[test]
+    fn install_arms_and_drop_disarms() {
+        let plan = FaultPlan::new().panic_at(1, 3);
+        {
+            let _armed = plan.install();
+            let caught = std::panic::catch_unwind(|| check(1, 3));
+            assert!(caught.is_err(), "armed probe must fire");
+            check(0, 3); // non-matching boundary is inert
+        }
+        check(1, 3); // disarmed after the guard dropped
+    }
+}

@@ -43,7 +43,77 @@
 //!   motivating application of the paper's introduction (one-shot and
 //!   context/plan-based variants).
 //!
+//! # Robustness & error handling
+//!
+//! The runtime is built to degrade per *item*, not per *pool* — one poisoned
+//! matrix in a fused batch must not take down its siblings, and no call may
+//! hang forever. The pieces:
+//!
+//! **The [`QrError`] taxonomy.** Configuration and input errors are reported
+//! before any kernel runs: [`QrError::WideMatrix`], [`QrError::ZeroTileSize`]
+//! (plan construction), [`QrError::ZeroThreads`] /
+//! [`QrError::TooManyThreads`] / [`QrError::ThreadSpawn`] (context
+//! construction — thread-spawn failure is a typed error, not a panic),
+//! [`QrError::ShapeMismatch`] / [`QrError::PlanMismatch`] /
+//! [`QrError::RhsLength`] (per-call input checks) and the opt-in
+//! [`QrError::NonFiniteInput`] ([`QrConfig::check_finite`] scans for NaN/Inf
+//! so bad inputs fail fast instead of silently producing garbage factors).
+//! Runtime faults are reported per batch item: [`QrError::TaskPanicked`]
+//! (a kernel panicked while factorizing that item),
+//! [`QrError::Cancelled`], [`QrError::DeadlineExceeded`] and
+//! [`QrError::Stalled`].
+//!
+//! **Panic containment.** Inside the session API every kernel task runs
+//! under `catch_unwind`: a panic marks only that task's batch copy failed
+//! (its remaining tasks are skipped — counted as released, never executed)
+//! while sibling items run to completion, the pool survives, and the failed
+//! item returns [`QrError::TaskPanicked`] carrying the panicking task's kind
+//! and message. When several workers panic at once, the surplus payloads
+//! are *counted* and the count is surfaced instead of being dropped
+//! silently. The legacy free functions ([`qr_factorize`] & co.) keep their
+//! documented panicking contract — they re-raise the contained error — and
+//! the scoped executor ([`executor`]) keeps its abort-and-propagate
+//! behavior. A failed item's output buffers hold partial garbage and must
+//! be refilled; input-rejected items (shape, finiteness) are bitwise
+//! untouched.
+//!
+//! **Cancellation, deadlines, watchdog.** [`QrContext::cancel_handle`]
+//! returns a sticky, cloneable [`CancelToken`] checked between tasks;
+//! `*_with_deadline` entry-point variants bound wall-clock time; and
+//! [`QrContext::with_watchdog`] arms a pool watchdog that watches per-worker
+//! heartbeat counters from the submitting thread and cancels a job whose
+//! workers stop retiring tasks past the bound ([`QrError::Stalled`]) instead
+//! of hanging the caller. Batches report partial results: items that
+//! finished before the trigger still return `Ok`. All clock reads happen on
+//! the submitting thread — the per-task cost of the whole robustness layer
+//! is a handful of relaxed atomic operations.
+//!
+//! **Deterministic fault injection** (`--features fault-injection`,
+//! default-off, zero-cost when disabled). The `fault` module installs a
+//! seeded `FaultPlan` injecting panics and delays at chosen `(copy, task)`
+//! boundaries, driving the chaos stress suite: a hundred seeded fault
+//! schedules across shapes and schedulers, asserting every non-faulted item
+//! stays bitwise identical to its fault-free factorization and every
+//! faulted item reports the right error.
+//!
 //! [`TaskKind`]: tileqr_core::TaskKind
+//! [`QrError::WideMatrix`]: context::QrError::WideMatrix
+//! [`QrError::ZeroTileSize`]: context::QrError::ZeroTileSize
+//! [`QrError::ZeroThreads`]: context::QrError::ZeroThreads
+//! [`QrError::TooManyThreads`]: context::QrError::TooManyThreads
+//! [`QrError::ThreadSpawn`]: context::QrError::ThreadSpawn
+//! [`QrError::ShapeMismatch`]: context::QrError::ShapeMismatch
+//! [`QrError::PlanMismatch`]: context::QrError::PlanMismatch
+//! [`QrError::RhsLength`]: context::QrError::RhsLength
+//! [`QrError::NonFiniteInput`]: context::QrError::NonFiniteInput
+//! [`QrError::TaskPanicked`]: context::QrError::TaskPanicked
+//! [`QrError::Cancelled`]: context::QrError::Cancelled
+//! [`QrError::DeadlineExceeded`]: context::QrError::DeadlineExceeded
+//! [`QrError::Stalled`]: context::QrError::Stalled
+//! [`QrConfig::check_finite`]: driver::QrConfig::check_finite
+//! [`QrContext::cancel_handle`]: context::QrContext::cancel_handle
+//! [`QrContext::with_watchdog`]: context::QrContext::with_watchdog
+//! [`qr_factorize`]: driver::qr_factorize
 //! [`QrContext::factorize_into`]: context::QrContext::factorize_into
 //! [`QrContext::factorize_batch`]: context::QrContext::factorize_batch
 //! [`QrContext::factorize_batch_into`]: context::QrContext::factorize_batch_into
@@ -55,6 +125,8 @@
 pub mod context;
 pub mod driver;
 pub mod executor;
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 mod pool;
 pub mod solve;
 pub mod state;
@@ -67,4 +139,5 @@ pub use driver::{
 };
 pub use executor::SchedulerKind;
 pub use solve::{least_squares_solve, least_squares_solve_with};
+pub use sync::CancelToken;
 pub use trace::{ExecutionTrace, TraceSummary, WorkerTrace};

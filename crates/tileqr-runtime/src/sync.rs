@@ -8,6 +8,10 @@
 //!   `parking_lot`-style infallible `lock()` API (a poisoned lock means a
 //!   kernel panicked on another thread; propagating the panic is the only
 //!   sensible response, so the guard just unwraps the poison).
+//! * [`CancelToken`] — a shared cancellation flag (one atomic) checked by
+//!   workers between tasks; carries *why* it fired (user cancel, deadline,
+//!   watchdog stall) so the context can report the matching
+//!   [`QrError`](crate::context::QrError).
 //! * [`Backoff`] — three-tier idle backoff (spin → yield → bounded park)
 //!   used by workers that find no runnable task, so an idle pool stops
 //!   burning CPU when the tail of the DAG is sequential while still reacting
@@ -30,6 +34,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Infallible mutex: `lock()` returns the guard directly.
@@ -59,6 +64,95 @@ impl<T> Mutex<T> {
         self.0
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Why a runtime job was interrupted; reported through
+/// [`QrError`](crate::context::QrError) as the matching variant.
+///
+/// The first cause to fire wins ([`CancelToken::trigger`] is a
+/// compare-and-swap from the live state), so a job that is both cancelled by
+/// the user and past its deadline reports whichever condition was observed
+/// first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CancelCause {
+    /// [`CancelToken::cancel`] was called (user-initiated).
+    Cancelled,
+    /// A deadline passed while the job was running (or before it started).
+    DeadlineExceeded,
+    /// The pool watchdog saw no progress for longer than the stall bound.
+    Stalled,
+}
+
+const CANCEL_LIVE: usize = 0;
+const CANCEL_USER: usize = 1;
+const CANCEL_DEADLINE: usize = 2;
+const CANCEL_STALLED: usize = 3;
+
+/// A shared cancellation flag checked by the runtime between tasks.
+///
+/// Cloning the token yields another handle to the same flag; cancellation is
+/// one atomic store, and the workers' check is one atomic load per task.
+/// Obtain one for a running context with
+/// [`QrContext::cancel_handle`](crate::context::QrContext::cancel_handle).
+///
+/// A user cancellation is **sticky**: every subsequent factorization through
+/// the same context fails with
+/// [`QrError::Cancelled`](crate::context::QrError) until [`CancelToken::reset`]
+/// is called. (Deadline and watchdog interruptions are scoped to the one job
+/// they fire on — they use a per-job token internally and never poison the
+/// context's handle.)
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicUsize>,
+}
+
+impl CancelToken {
+    /// A fresh, live token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation of the work observing this token. Idempotent;
+    /// has no effect if another cause already triggered the token.
+    pub fn cancel(&self) {
+        self.trigger(CancelCause::Cancelled);
+    }
+
+    /// True once any cause has triggered the token.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Acquire) != CANCEL_LIVE
+    }
+
+    /// Returns the token to the live state so the owner can run further
+    /// jobs. Only meaningful on a token whose work has already wound down;
+    /// in-flight workers that already observed the cancellation still exit.
+    pub fn reset(&self) {
+        self.state.store(CANCEL_LIVE, Ordering::Release);
+    }
+
+    /// Triggers the token with a specific cause; the first cause wins.
+    /// Returns true if this call performed the transition.
+    pub(crate) fn trigger(&self, cause: CancelCause) -> bool {
+        let v = match cause {
+            CancelCause::Cancelled => CANCEL_USER,
+            CancelCause::DeadlineExceeded => CANCEL_DEADLINE,
+            CancelCause::Stalled => CANCEL_STALLED,
+        };
+        self.state
+            .compare_exchange(CANCEL_LIVE, v, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The cause that triggered the token, if any.
+    pub(crate) fn cause(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Acquire) {
+            CANCEL_USER => Some(CancelCause::Cancelled),
+            CANCEL_DEADLINE => Some(CancelCause::DeadlineExceeded),
+            CANCEL_STALLED => Some(CancelCause::Stalled),
+            _ => None,
+        }
     }
 }
 
@@ -338,6 +432,25 @@ mod tests {
         .join();
         *m.lock() += 7;
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn cancel_token_first_cause_wins_and_reset_revives() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.cause(), None);
+        assert!(t.trigger(CancelCause::DeadlineExceeded));
+        // A later cause does not overwrite the first.
+        assert!(!t.trigger(CancelCause::Stalled));
+        t.cancel(); // also a no-op now
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+        // Clones share the state.
+        let c = t.clone();
+        assert!(c.is_cancelled());
+        c.reset();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(c.cause(), Some(CancelCause::Cancelled));
     }
 
     #[test]

@@ -1,0 +1,263 @@
+//! Deterministic chaos suite (`--features fault-injection`).
+//!
+//! A hundred seeded fault schedules over the batch-stress shape mix, each
+//! replayed through **all three schedulers**: panics injected at random
+//! `(copy, task)` boundaries must be contained to exactly that batch item
+//! (which reports [`QrError::TaskPanicked`] with the faulted task's kind),
+//! while every non-faulted sibling — including the ones slowed down by
+//! injected delays — stays **bitwise identical** to its fault-free
+//! factorization. Separate tests drive the watchdog with an injected stall
+//! and check that bounded delays never trip a generously-bounded watchdog.
+//!
+//! Fault plans are process-global, so the tests in this binary serialize on
+//! a local mutex: a reference factorization computed while another test's
+//! plan is armed would hit that test's faults.
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use tileqr_core::algorithms::Algorithm;
+use tileqr_core::dag::TaskDag;
+use tileqr_core::KernelFamily;
+use tileqr_matrix::generate::{random_matrix, RandomScalar};
+use tileqr_matrix::rng::Rng;
+use tileqr_matrix::{Complex64, Matrix, TiledMatrix};
+use tileqr_runtime::driver::{elimination_list_for, qr_factorize, QrConfig};
+use tileqr_runtime::fault::FaultPlan;
+use tileqr_runtime::{QrContext, QrError, QrPlan, SchedulerKind};
+
+const RUNS: usize = 100;
+const THREADS: usize = 4;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One chaos round: draw a batch-stress-style problem and a seeded fault
+/// schedule (1..k-1 panicking copies, a few delays on the clean copies),
+/// run it under every scheduler, and check per-item containment.
+fn chaos_round<T: RandomScalar>(
+    rng: &mut Rng,
+    contexts: &[QrContext],
+    it: usize,
+    use_in_place: bool,
+) {
+    let algorithms = [
+        Algorithm::Greedy,
+        Algorithm::FlatTree,
+        Algorithm::Fibonacci,
+        Algorithm::BinaryTree,
+    ];
+    let nb = 2 + (rng.next_u64() % 4) as usize; // 2..=5
+    let p = 2 + (rng.next_u64() % 4) as usize; // 2..=5 tile rows
+    let q = 1 + (rng.next_u64() % p.min(3) as u64) as usize; // 1..=min(p,3)
+    let m = p * nb - (rng.next_u64() % nb as u64) as usize; // ragged edges
+    let n = (q * nb - (rng.next_u64() % nb as u64) as usize)
+        .min(m)
+        .max(1);
+    let algo = algorithms[(rng.next_u64() % 4) as usize];
+    let family = if rng.next_u64() % 2 == 0 {
+        KernelFamily::TT
+    } else {
+        KernelFamily::TS
+    };
+    // At least two copies so every faulted run keeps a clean sibling whose
+    // bitwise identity proves the blast radius stayed per-item.
+    let k = 2 + (rng.next_u64() % 3) as usize; // 2..=4
+    let ib = 1 + (rng.next_u64() % nb as u64) as usize; // 1..=nb
+
+    let config = QrConfig::new(nb)
+        .with_algorithm(algo)
+        .with_family(family)
+        .with_inner_block(ib);
+    let mats: Vec<Matrix<T>> = (0..k)
+        .map(|_| random_matrix(m, n, rng.next_u64()))
+        .collect();
+    // References run fault-free, so they must be computed before a plan is
+    // armed: installation is process-global and `qr_factorize` goes through
+    // the same probed task loop.
+    let references: Vec<_> = mats.iter().map(|a| qr_factorize(a, config)).collect();
+
+    let plan: QrPlan<T> = QrPlan::new(m, n, config).expect("valid random shape");
+    let panics = 1 + (rng.next_u64() as usize) % (k - 1).max(1); // 1..=k-1
+    let delays = (rng.next_u64() % 4) as usize;
+    let faults = FaultPlan::seeded(rng.next_u64(), k, plan.task_count(), panics, delays);
+    let expected = faults.panics();
+    // The same DAG construction the plan uses, to check the reported kind.
+    let dag = TaskDag::build(
+        &elimination_list_for(algo, plan.tile_rows(), plan.tile_cols()),
+        family,
+    );
+
+    for (ctx, kind) in contexts.iter().zip(SchedulerKind::ALL) {
+        let label = |copy: usize| {
+            format!(
+                "iteration {it} copy {copy}: {m}x{n} nb={nb} ib={ib} k={k} {} {} under {}, \
+                 faults {expected:?} (+{} delays)",
+                algo.name(),
+                family.name(),
+                kind.name(),
+                faults.delay_count(),
+            )
+        };
+        let injected = |copy: usize| {
+            expected
+                .iter()
+                .find(|&&(c, _)| c == copy)
+                .map(|&(_, task)| task)
+        };
+        let check =
+            |copy: usize, item: Result<&TiledMatrix<T>, &QrError>| match (injected(copy), item) {
+                (Some(task), Err(QrError::TaskPanicked { kind, message })) => {
+                    assert_eq!(*kind, dag.tasks[task].kind, "{}", label(copy));
+                    let expect_msg = format!("injected fault at (copy {copy}, task {task})");
+                    assert!(
+                        message.contains(&expect_msg),
+                        "{}: got {message:?}",
+                        label(copy)
+                    );
+                }
+                (Some(_), other) => panic!(
+                    "{}: faulted item returned {other:?} instead of TaskPanicked",
+                    label(copy)
+                ),
+                (None, Ok(tiles)) => assert_eq!(
+                    tiles,
+                    references[copy].factored_tiles(),
+                    "{} (clean item diverged bitwise)",
+                    label(copy)
+                ),
+                (None, Err(e)) => panic!("{}: clean item failed: {e}", label(copy)),
+            };
+
+        let armed = faults.clone().install();
+        if use_in_place {
+            let mut tiles: Vec<TiledMatrix<T>> = mats
+                .iter()
+                .map(|a| TiledMatrix::from_dense_padded(a, nb))
+                .collect();
+            let out = ctx.factorize_batch_into(&plan, &mut tiles);
+            drop(armed);
+            assert_eq!(out.len(), k);
+            for (copy, (slot, t)) in out.iter().zip(&tiles).enumerate() {
+                // A faulted item's buffer legitimately holds partial values;
+                // only clean buffers are compared.
+                check(copy, slot.as_ref().map(|_| t));
+            }
+        } else {
+            let batch = ctx.factorize_batch(&plan, &mats);
+            drop(armed);
+            assert_eq!(batch.len(), k);
+            for (copy, item) in batch.iter().enumerate() {
+                check(copy, item.as_ref().map(|f| f.factored_tiles()));
+            }
+        }
+    }
+}
+
+#[test]
+fn hundred_seeded_fault_schedules_are_contained_per_item() {
+    let _serial = serial();
+    let contexts: Vec<QrContext> = SchedulerKind::ALL
+        .into_iter()
+        .map(|kind| QrContext::with_scheduler(THREADS, kind).expect("valid thread count"))
+        .collect();
+    let mut rng = Rng::seed_from_u64(0xFA017);
+    for it in 0..RUNS {
+        // Alternate scalar type and batch entry point like the fault-free
+        // batch-stress suite, so containment is exercised on all four paths.
+        match it % 4 {
+            0 => chaos_round::<f64>(&mut rng, &contexts, it, false),
+            1 => chaos_round::<Complex64>(&mut rng, &contexts, it, false),
+            2 => chaos_round::<f64>(&mut rng, &contexts, it, true),
+            _ => chaos_round::<Complex64>(&mut rng, &contexts, it, true),
+        }
+    }
+}
+
+#[test]
+fn sequential_path_contains_injected_panics_too() {
+    let _serial = serial();
+    let ctx = QrContext::new(1).expect("one thread");
+    let config = QrConfig::new(4);
+    let plan: QrPlan<f64> = QrPlan::new(20, 12, config).unwrap();
+    let mats: Vec<Matrix<f64>> = (0..3).map(|i| random_matrix(20, 12, 300 + i)).collect();
+    let references: Vec<_> = mats.iter().map(|a| qr_factorize(a, config)).collect();
+    let dag = TaskDag::build(
+        &elimination_list_for(plan.algorithm(), plan.tile_rows(), plan.tile_cols()),
+        plan.family(),
+    );
+
+    let armed = FaultPlan::new().panic_at(1, 0).install();
+    let batch = ctx.factorize_batch(&plan, &mats);
+    drop(armed);
+    match &batch[1] {
+        Err(QrError::TaskPanicked { kind, message }) => {
+            assert_eq!(*kind, dag.tasks[0].kind);
+            assert!(message.contains("injected fault at (copy 1, task 0)"));
+        }
+        other => panic!("sequential fault not contained: {other:?}"),
+    }
+    // The panic neither poisons the earlier copy nor the later one.
+    for copy in [0usize, 2] {
+        let f = batch[copy].as_ref().expect("clean sibling factors");
+        assert_eq!(f.factored_tiles(), references[copy].factored_tiles());
+    }
+}
+
+#[test]
+fn watchdog_flags_an_injected_stall_as_stalled() {
+    let _serial = serial();
+    let ctx = QrContext::new(2)
+        .expect("two threads")
+        .with_watchdog(Duration::from_millis(25));
+    let config = QrConfig::new(4);
+    let plan: QrPlan<f64> = QrPlan::new(16, 8, config).unwrap();
+    let a = random_matrix::<f64>(16, 8, 400);
+    let reference = qr_factorize(&a, config);
+
+    // Healthy runs never trip the watchdog.
+    let f = ctx.factorize(&plan, &a).expect("healthy run");
+    assert_eq!(f.factored_tiles(), reference.factored_tiles());
+
+    // Wedge the first task for far longer than the stall bound: heartbeats
+    // stop, the watchdog cancels the job, and the call returns Stalled well
+    // before a hung-forever worker would (the test itself is the no-hang
+    // assertion).
+    let armed = FaultPlan::new()
+        .delay_at(0, 0, Duration::from_millis(400))
+        .install();
+    assert_eq!(ctx.factorize(&plan, &a).err(), Some(QrError::Stalled));
+    drop(armed);
+
+    // Stalled is per-call, not sticky: the same context recovers bitwise.
+    let f = ctx.factorize(&plan, &a).expect("recovered run");
+    assert_eq!(f.factored_tiles(), reference.factored_tiles());
+}
+
+#[test]
+fn bounded_delays_never_trip_a_generous_watchdog() {
+    let _serial = serial();
+    let ctx = QrContext::new(THREADS)
+        .expect("valid thread count")
+        .with_watchdog(Duration::from_secs(5));
+    let config = QrConfig::new(4);
+    let plan: QrPlan<f64> = QrPlan::new(24, 16, config).unwrap();
+    let mats: Vec<Matrix<f64>> = (0..4).map(|i| random_matrix(24, 16, 500 + i)).collect();
+    let references: Vec<_> = mats.iter().map(|a| qr_factorize(a, config)).collect();
+
+    // Delays only (panics = 0): every item must complete, every result must
+    // be bitwise identical — schedule perturbation may not change a bit.
+    let faults = FaultPlan::seeded(0xDE1A75, 4, plan.task_count(), 0, 6);
+    let armed = faults.install();
+    let batch = ctx.factorize_batch(&plan, &mats);
+    drop(armed);
+    for (item, reference) in batch.into_iter().zip(&references) {
+        let f = item.expect("delayed item still completes");
+        assert_eq!(f.factored_tiles(), reference.factored_tiles());
+    }
+}
