@@ -28,6 +28,7 @@ use tileqr_bench::microbench::{run, write_json, Sample};
 use tileqr_bench::{seed_kernels, ws_kernels};
 use tileqr_kernels::blas::gemm_acc;
 use tileqr_kernels::flops::{gemm_flops, KernelKind};
+use tileqr_kernels::simd;
 use tileqr_kernels::{
     geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Trans, Workspace,
 };
@@ -458,6 +459,177 @@ fn bench_workspace(samples: &mut Vec<Sample>) {
     }
 }
 
+/// The PR-3 native-pinned (`-C target-cpu=native`) microblas GFLOP/s from
+/// the committed `BENCH_kernels.json`, frozen here as the reference the
+/// portable runtime-dispatch build must match within 5% (the bench output
+/// file is overwritten on every run, so the baseline lives in code).
+/// Order: GEQRT, TSQRT, TTQRT, UNMQR, TSMQR, TTMQR, GEMM.
+const NATIVE_FROZEN: &[(usize, [f64; 7])] = &[
+    (64, [4.56, 6.41, 2.97, 4.80, 11.77, 5.66, 17.83]),
+    (128, [7.43, 10.10, 5.23, 7.62, 14.98, 8.69, 20.33]),
+    (192, [9.32, 12.13, 6.47, 9.46, 16.21, 10.57, 20.75]),
+];
+
+const DISPATCH_KERNELS: [&str; 7] = ["GEQRT", "TSQRT", "TTQRT", "UNMQR", "TSMQR", "TTMQR", "GEMM"];
+
+/// The runtime-dispatch comparison: the six f64 kernels + GEMM per forced
+/// SIMD level (scalar vs every ISA this CPU supports), with the frozen
+/// native-pinned microblas numbers emitted as reference rows, plus the
+/// Complex64 register-block cells (the per-scalar `4 × 4` block this release
+/// introduced — previously complex reused f64's `8 × 4` shape and spilled).
+fn bench_simd_dispatch(samples: &mut Vec<Sample>) {
+    let group = "simd_dispatch";
+    let initial = simd::active();
+    for &nb in &tile_sizes() {
+        let ib = headline_ib(nb);
+        let fi = FactorInputs::new(nb);
+        for level in simd::available_levels() {
+            simd::set_active(level);
+            // T factors must be produced under the level that replays them
+            // so each level's cell is self-consistent.
+            let ui = UpdateInputs::new(nb, ib);
+            let variant = format!("simd={}", level.name());
+            run_production_kernels(samples, group, &variant, nb, ib, &fi, &ui);
+            let ga: Matrix<f64> = random_matrix(nb, nb, 17);
+            let gb: Matrix<f64> = random_matrix(nb, nb, 18);
+            let mut gc: Matrix<f64> = random_matrix(nb, nb, 19);
+            run(
+                samples,
+                group,
+                &format!("GEMM/{variant}"),
+                nb,
+                Some(gemm_flops(nb)),
+                || {
+                    gemm_acc(&mut gc, &ga, &gb);
+                },
+            );
+        }
+        // Frozen native-pinned reference rows for this tile size.
+        if let Some((_, frozen)) = NATIVE_FROZEN.iter().find(|(p, _)| *p == nb) {
+            for (kernel, &gflops) in DISPATCH_KERNELS.iter().zip(frozen) {
+                let flops = match *kernel {
+                    "GEMM" => gemm_flops(nb),
+                    "GEQRT" => KernelKind::Geqrt.flops(nb),
+                    "TSQRT" => KernelKind::Tsqrt.flops(nb),
+                    "TTQRT" => KernelKind::Ttqrt.flops(nb),
+                    "UNMQR" => KernelKind::Unmqr.flops(nb),
+                    "TSMQR" => KernelKind::Tsmqr.flops(nb),
+                    _ => KernelKind::Ttmqr.flops(nb),
+                };
+                samples.push(Sample {
+                    group: group.to_string(),
+                    name: format!("{kernel}/native-frozen"),
+                    param: nb,
+                    ns_per_iter: flops / gflops,
+                    gflops: Some(gflops),
+                });
+            }
+        }
+    }
+
+    // Complex64 register-block cells: complex GEMM per level (the pure
+    // register-block story) and the two complex kernel spot checks.
+    let nb = 48usize;
+    let ib = headline_ib(nb);
+    for level in simd::available_levels() {
+        simd::set_active(level);
+        let variant = format!("simd={}", level.name());
+        let ga: Matrix<Complex64> = random_matrix(nb, nb, 25);
+        let gb: Matrix<Complex64> = random_matrix(nb, nb, 26);
+        let mut gc: Matrix<Complex64> = random_matrix(nb, nb, 27);
+        // A complex multiply-accumulate is 8 real flops (4 mul + 4 add).
+        run(
+            samples,
+            group,
+            &format!("GEMM-c64/{variant}"),
+            nb,
+            Some(4.0 * gemm_flops(nb)),
+            || {
+                gemm_acc(&mut gc, &ga, &gb);
+            },
+        );
+        let mut ws: Workspace<Complex64> = Workspace::with_inner_block(nb, ib);
+        let a: Matrix<Complex64> = random_matrix(nb, nb, 20);
+        let mut t = Matrix::zeros(ib, nb);
+        run(
+            samples,
+            group,
+            &format!("GEQRT-c64/{variant}"),
+            nb,
+            None,
+            || {
+                let mut work = a.clone();
+                geqrt_ws(&mut work, &mut t, &mut ws);
+            },
+        );
+        let mut v: Matrix<Complex64> = random_matrix(nb, nb, 21);
+        let mut t_ge = Matrix::zeros(ib, nb);
+        geqrt_ws(&mut v, &mut t_ge, &mut ws);
+        let c0: Matrix<Complex64> = random_matrix(nb, nb, 22);
+        let mut c = c0.clone();
+        run(
+            samples,
+            group,
+            &format!("UNMQR-c64/{variant}"),
+            nb,
+            None,
+            || {
+                unmqr_ws(&v, &t_ge, &mut c, Trans::ConjTrans, &mut ws);
+            },
+        );
+    }
+    simd::set_active(initial);
+}
+
+/// Prints dispatched-vs-frozen-native ratios and flags any f64 cell where
+/// the best dispatched level falls more than 5% short of the native pin.
+fn print_dispatch_summary(samples: &[Sample]) {
+    println!("\nruntime dispatch vs frozen native pin (>= 0.95 required):");
+    let mut worst: Option<(f64, String)> = None;
+    for &(nb, _) in NATIVE_FROZEN {
+        if !tile_sizes().contains(&nb) {
+            continue;
+        }
+        for kernel in DISPATCH_KERNELS {
+            let frozen = samples
+                .iter()
+                .find(|s| {
+                    s.group == "simd_dispatch"
+                        && s.param == nb
+                        && s.name == format!("{kernel}/native-frozen")
+                })
+                .and_then(|s| s.gflops);
+            let best = samples
+                .iter()
+                .filter(|s| {
+                    s.group == "simd_dispatch"
+                        && s.param == nb
+                        && s.name.starts_with(&format!("{kernel}/simd="))
+                })
+                .filter_map(|s| s.gflops)
+                .fold(f64::NAN, f64::max);
+            if let (Some(frozen), true) = (frozen, best.is_finite()) {
+                let ratio = best / frozen;
+                let flag = if ratio < 0.95 {
+                    "  <-- BELOW 5% BUDGET"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {kernel:<6} nb={nb:<4} dispatched {best:>6.2} / native {frozen:>6.2} GFLOP/s = {ratio:>5.2}x{flag}"
+                );
+                let entry = (ratio, format!("{kernel} nb={nb}"));
+                if worst.as_ref().is_none_or(|(w, _)| ratio < *w) {
+                    worst = Some(entry);
+                }
+            }
+        }
+    }
+    if let Some((ratio, cell)) = worst {
+        println!("  worst cell: {cell} at {ratio:.3}x of the native pin");
+    }
+}
+
 /// Inner-blocking sweep at the largest configured tile size: every kernel
 /// across `ib` values, so the panel-width/packing trade-off is tracked.
 fn bench_ib_sweep(samples: &mut Vec<Sample>) {
@@ -529,9 +701,11 @@ fn print_speedups(samples: &[Sample]) {
 fn main() {
     let mut samples = Vec::new();
     bench_workspace(&mut samples);
+    bench_simd_dispatch(&mut samples);
     bench_ib_sweep(&mut samples);
     bench_complex(&mut samples);
     print_speedups(&samples);
+    print_dispatch_summary(&samples);
     write_json(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json"),
         &samples,

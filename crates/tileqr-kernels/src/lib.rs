@@ -18,10 +18,11 @@
 //! so the same code serves the paper's *double* (`f64`) and *double complex*
 //! ([`Complex64`](tileqr_matrix::Complex64)) experiments.
 //!
-//! # The three-level blocking hierarchy
+//! # The blocking hierarchy: `nb` → `ib` → `MR × NR` → ISA
 //!
-//! The kernels are organized around three nested blocking levels, the same
-//! hierarchy PLASMA's `core_blas` uses:
+//! The kernels are organized around three nested blocking levels — the same
+//! hierarchy PLASMA's `core_blas` uses — plus a runtime-dispatch level that
+//! decides *which instructions* execute the innermost block:
 //!
 //! 1. **Tile level (`nb`)** — the unit the runtime's task DAG schedules.
 //!    Owned by the kernel entry points in [`factor`] (GEQRT / TSQRT / TTQRT)
@@ -43,9 +44,20 @@
 //! 3. **Register level (`MR × NR`)** — the dense bulk of every panel update
 //!    funnels through [`microblas`]: packed operand panels and a
 //!    register-blocked microkernel accumulating an `MR × NR` block in a
-//!    fixed-size stack array (independent dependency chains, written so
-//!    LLVM autovectorizes it; std only, no intrinsics). [`microblas`] owns
-//!    everything `O(nb²·ib)` — the flops that dominate.
+//!    fixed-size stack array (independent dependency chains). The block
+//!    shape is chosen per scalar type
+//!    ([`Scalar::MR`](tileqr_matrix::Scalar::MR): `8 × 4` for `f64`,
+//!    `4 × 4` for `Complex64` so the complex accumulators fit the register
+//!    file). [`microblas`] owns everything `O(nb²·ib)` — the flops that
+//!    dominate.
+//! 4. **Instruction level (runtime ISA dispatch)** — the microkernel itself
+//!    is implemented per instruction set in [`simd`] with explicit
+//!    `core::arch` intrinsics (AVX2+FMA and AVX-512F on x86-64, NEON on
+//!    aarch64, and a generic scalar fallback identical to the historical
+//!    kernel), selected **once per process** by runtime feature detection
+//!    (overridable with `TILEQR_SIMD={scalar,avx2,avx512,neon}`) and cached,
+//!    so builds are portable — no `-C target-cpu=native` pin — while the
+//!    per-call dispatch cost is zero. Std only, no external dependencies.
 //!
 //! The triangular tiles of the TT kernel family additionally use the packed
 //! column-major layout of [`tileqr_matrix::packed`] inside [`ttqrt_ws`] and
@@ -82,6 +94,7 @@ pub mod flops;
 pub mod householder;
 pub mod microblas;
 pub mod reference;
+pub mod simd;
 pub mod workspace;
 
 pub use apply::{tsmqr, tsmqr_ws, ttmqr, ttmqr_ws, unmqr, unmqr_ws, Trans};

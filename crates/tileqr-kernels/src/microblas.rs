@@ -16,14 +16,17 @@
 //!    it, so the per-chunk working set is a few hundred kilobytes no matter
 //!    how large the operands are — the pack buffers live in the workspace
 //!    arena and are reused by every call, which keeps them hot in L2;
-//! 3. the [`ukernel`] multiplies one `MR × k` A-slab by one `k × NR` B-slab
-//!    into a stack-resident `[T; MR·NR]` accumulator block. The `MR·NR`
-//!    accumulators form independent dependency chains interleaved over the
-//!    `k` loop, so the floating-point units are never serialized on
-//!    add-latency — this replaces the dot-product-shaped reductions the
-//!    kernels previously used — and the fixed-size arrays let LLVM keep the
-//!    block in vector registers and autovectorize the update (std only, no
-//!    intrinsics, per the offline-buildability constraint).
+//! 3. the microkernel multiplies one `MR × k` A-slab by one `k × NR` B-slab
+//!    into a stack-resident accumulator block. The register-block shape is
+//!    per scalar ([`Scalar::MR`]/[`Scalar::NR`]: `8 × 4` for `f64`, `4 × 4`
+//!    for `Complex64` so the complex block fits the register file), and the
+//!    kernel itself is selected once per process by ISA — explicit AVX2 /
+//!    AVX-512 / NEON implementations with a generic scalar fallback, see
+//!    [`crate::simd`]. The `MR·NR` accumulators form independent dependency
+//!    chains interleaved over the `k` loop, so the floating-point units are
+//!    never serialized on add-latency — this replaces the dot-product-shaped
+//!    reductions the kernels previously used. Everything is std-only
+//!    `core::arch`, per the offline-buildability constraint.
 //!
 //! Operands are supplied as *column accessor closures* (`Fn(usize) -> &[T]`)
 //! rather than matrix references: the same code path then serves dense tiles,
@@ -39,26 +42,23 @@
 
 use tileqr_matrix::{Matrix, Scalar};
 
-/// Rows of one register block (the vectorized dimension of the microkernel).
-pub const MR: usize = 8;
+use crate::simd::{self, ACC_CAP};
 
-/// Columns of one register block.
-pub const NR: usize = 4;
-
-/// Length of the A pack buffer needed for an `m × k` `op(A)` operand.
+/// Length of the A pack buffer needed for an `m × k` `op(A)` operand of `T`
+/// (the register-block rows [`Scalar::MR`] are per scalar).
 #[inline]
-pub const fn apack_len(m: usize, k: usize) -> usize {
-    m.div_ceil(MR) * MR * k
+pub const fn apack_len<T: Scalar>(m: usize, k: usize) -> usize {
+    m.div_ceil(T::MR) * T::MR * k
 }
 
 /// Per-chunk budget for the resident `bpack` columns: chosen so one chunk
 /// plus one `apack` slab plus the touched `C` window stay far below L2.
 const CHUNK_BYTES: usize = 96 * 1024;
 
-/// Length of the B pack buffer needed for a `k × n` operand.
+/// Length of the B pack buffer needed for a `k × n` operand of `T`.
 #[inline]
-pub const fn bpack_len(k: usize, n: usize) -> usize {
-    n.div_ceil(NR) * NR * k
+pub const fn bpack_len<T: Scalar>(k: usize, n: usize) -> usize {
+    n.div_ceil(T::NR) * T::NR * k
 }
 
 /// How the `A` operand enters the product.
@@ -70,48 +70,28 @@ pub enum AMode {
     ConjTrans,
 }
 
-/// `MR × NR` register-blocked inner kernel:
-/// `acc[c·MR + r] += Σ_p ap[p·MR + r] · bp[p·NR + c]`.
-///
-/// `ap`/`bp` are the packed slabs produced by [`pack_a_slab`] /
-/// [`pack_b`]; the accumulator block lives on the caller's stack.
-#[inline]
-fn ukernel<T: Scalar>(k: usize, ap: &[T], bp: &[T], acc: &mut [T; MR * NR]) {
-    debug_assert!(ap.len() >= k * MR, "A slab shorter than k·MR");
-    debug_assert!(bp.len() >= k * NR, "B slab shorter than k·NR");
-    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(k) {
-        for (c, &bv) in b.iter().enumerate() {
-            for (r, &av) in a.iter().enumerate() {
-                // `mul_acc` is mul+add by default (bit-identical with the
-                // historical kernel) and a single hardware `vfmadd` for f64
-                // under the `fma` cargo feature — see `Scalar::mul_acc`.
-                acc[c * MR + r] = acc[c * MR + r].mul_acc(av, bv);
-            }
-        }
-    }
-}
-
 /// Packs a `k × n` operand `B` into `NR`-interleaved column slabs:
 /// slab `js` occupies `bp[js·k·NR ..][.. k·NR]` with element `(p, c)` at
 /// `p·NR + c`. Columns shorter than `k` (or beyond `n`) are zero-padded.
 fn pack_b<'a, T: Scalar + 'a>(k: usize, n: usize, bcol: &impl Fn(usize) -> &'a [T], bp: &mut [T]) {
-    debug_assert!(bp.len() >= bpack_len(k, n), "B pack buffer too small");
-    for js in 0..n.div_ceil(NR) {
-        let slab = &mut bp[js * k * NR..(js + 1) * k * NR];
-        for c in 0..NR {
-            let j = js * NR + c;
+    let nr = T::NR;
+    debug_assert!(bp.len() >= bpack_len::<T>(k, n), "B pack buffer too small");
+    for js in 0..n.div_ceil(nr) {
+        let slab = &mut bp[js * k * nr..(js + 1) * k * nr];
+        for c in 0..nr {
+            let j = js * nr + c;
             if j < n {
                 let src = bcol(j);
                 let avail = src.len().min(k);
                 for (p, &v) in src.iter().enumerate().take(avail) {
-                    slab[p * NR + c] = v;
+                    slab[p * nr + c] = v;
                 }
                 for p in avail..k {
-                    slab[p * NR + c] = T::ZERO;
+                    slab[p * nr + c] = T::ZERO;
                 }
             } else {
                 for p in 0..k {
-                    slab[p * NR + c] = T::ZERO;
+                    slab[p * nr + c] = T::ZERO;
                 }
             }
         }
@@ -129,21 +109,22 @@ fn pack_a<'a, T: Scalar + 'a>(
     acol: &impl Fn(usize) -> &'a [T],
     ap: &mut [T],
 ) {
-    debug_assert!(ap.len() >= apack_len(m, k), "A pack buffer too small");
-    for is in 0..m.div_ceil(MR) {
-        let i0 = is * MR;
-        let mr_valid = MR.min(m - i0);
-        let slab = &mut ap[is * k * MR..(is + 1) * k * MR];
+    let mr = T::MR;
+    debug_assert!(ap.len() >= apack_len::<T>(m, k), "A pack buffer too small");
+    for is in 0..m.div_ceil(mr) {
+        let i0 = is * mr;
+        let mr_valid = mr.min(m - i0);
+        let slab = &mut ap[is * k * mr..(is + 1) * k * mr];
         match amode {
             AMode::NoTrans => {
                 for p in 0..k {
                     let src = acol(p);
                     let avail = src.len().saturating_sub(i0).min(mr_valid);
                     for r in 0..avail {
-                        slab[p * MR + r] = src[i0 + r];
+                        slab[p * mr + r] = src[i0 + r];
                     }
-                    for r in avail..MR {
-                        slab[p * MR + r] = T::ZERO;
+                    for r in avail..mr {
+                        slab[p * mr + r] = T::ZERO;
                     }
                 }
             }
@@ -152,15 +133,15 @@ fn pack_a<'a, T: Scalar + 'a>(
                     let src = acol(i0 + r);
                     let avail = src.len().min(k);
                     for (p, &v) in src.iter().enumerate().take(avail) {
-                        slab[p * MR + r] = v.conj();
+                        slab[p * mr + r] = v.conj();
                     }
                     for p in avail..k {
-                        slab[p * MR + r] = T::ZERO;
+                        slab[p * mr + r] = T::ZERO;
                     }
                 }
-                for r in mr_valid..MR {
+                for r in mr_valid..mr {
                     for p in 0..k {
-                        slab[p * MR + r] = T::ZERO;
+                        slab[p * mr + r] = T::ZERO;
                     }
                 }
             }
@@ -198,38 +179,55 @@ pub fn gemm_into<'a, 'b, T: Scalar + 'a + 'b>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    assert!(apack.len() >= apack_len(m, k), "A pack buffer too small");
-    assert!(bpack.len() >= bpack_len(k, n), "B pack buffer too small");
+    let (mr, nr) = (T::MR, T::NR);
+    assert!(
+        apack.len() >= apack_len::<T>(m, k),
+        "A pack buffer too small"
+    );
+    assert!(
+        bpack.len() >= bpack_len::<T>(k, n),
+        "B pack buffer too small"
+    );
     pack_b(k, n, &bcol, bpack);
     pack_a(k, m, amode, &acol, apack);
+    // The microkernel ISA is resolved once per process ([`simd::active`]);
+    // fetching it here, outside the slab loops, keeps the per-block dispatch
+    // a predicted branch on a register value — zero per-call detection cost.
+    let level = simd::active();
     // Blocked sweep: a cache-resident chunk of B column slabs is reused by
     // every A row slab before moving on (each output column is computed
     // independently, so the chunking does not change the arithmetic).
-    let n_islabs = m.div_ceil(MR);
-    let n_jslabs = n.div_ceil(NR);
-    let slab_bytes = k * NR * std::mem::size_of::<T>();
+    let n_islabs = m.div_ceil(mr);
+    let n_jslabs = n.div_ceil(nr);
+    let slab_bytes = k * nr * std::mem::size_of::<T>();
     let jc = (CHUNK_BYTES / slab_bytes.max(1)).max(1);
     let mut js0 = 0;
     while js0 < n_jslabs {
         let js1 = (js0 + jc).min(n_jslabs);
         for is in 0..n_islabs {
-            let i0 = is * MR;
-            let mr_valid = MR.min(m - i0);
-            let aslab = &apack[is * k * MR..(is + 1) * k * MR];
+            let i0 = is * mr;
+            let mr_valid = mr.min(m - i0);
+            let aslab = &apack[is * k * mr..(is + 1) * k * mr];
             for js in js0..js1 {
-                let j0 = js * NR;
-                let nr_valid = NR.min(n - j0);
-                let mut acc = [T::ZERO; MR * NR];
-                ukernel(k, aslab, &bpack[js * k * NR..(js + 1) * k * NR], &mut acc);
+                let j0 = js * nr;
+                let nr_valid = nr.min(n - j0);
+                let mut acc = [T::ZERO; ACC_CAP];
+                simd::ukernel(
+                    level,
+                    k,
+                    aslab,
+                    &bpack[js * k * nr..(js + 1) * k * nr],
+                    &mut acc,
+                );
                 for cc in 0..nr_valid {
                     let base = coff(j0 + cc) + i0;
                     let dst = &mut c[base..base + mr_valid];
                     if sub {
-                        for (d, &v) in dst.iter_mut().zip(&acc[cc * MR..cc * MR + mr_valid]) {
+                        for (d, &v) in dst.iter_mut().zip(&acc[cc * mr..cc * mr + mr_valid]) {
                             *d -= v;
                         }
                     } else {
-                        for (d, &v) in dst.iter_mut().zip(&acc[cc * MR..cc * MR + mr_valid]) {
+                        for (d, &v) in dst.iter_mut().zip(&acc[cc * mr..cc * mr + mr_valid]) {
                             *d += v;
                         }
                     }
@@ -259,8 +257,8 @@ pub fn gemm_matrix<T: Scalar>(
     assert_eq!(b.rows(), k, "op(A)·B: inner dimensions must agree");
     assert_eq!(c.rows(), m, "op(A)·B: row counts must agree");
     assert_eq!(c.cols(), n, "op(A)·B: column counts must agree");
-    let mut apack = vec![T::ZERO; apack_len(m, k)];
-    let mut bpack = vec![T::ZERO; bpack_len(k, n)];
+    let mut apack = vec![T::ZERO; apack_len::<T>(m, k)];
+    let mut bpack = vec![T::ZERO; bpack_len::<T>(k, n)];
     let ld = c.rows();
     gemm_into(
         m,
@@ -364,8 +362,8 @@ mod tests {
         let b: Matrix<f64> = random_matrix(k, n, 8);
         // Column i of Aᴴ-mode A truncated to i+1 entries (upper trapezoid).
         let mut c = Matrix::<f64>::zeros(m, n);
-        let mut apack = vec![0.0; apack_len(m, k)];
-        let mut bpack = vec![0.0; bpack_len(k, n)];
+        let mut apack = vec![0.0; apack_len::<f64>(m, k)];
+        let mut bpack = vec![0.0; bpack_len::<f64>(k, n)];
         let ld = c.rows();
         gemm_into(
             m,
@@ -398,8 +396,8 @@ mod tests {
         let a: Matrix<f64> = random_matrix(m, k, 21);
         let b: Matrix<f64> = random_matrix(k, n, 22);
         let mut buf = vec![0.0; m * 4];
-        let mut apack = vec![0.0; apack_len(m, k)];
-        let mut bpack = vec![0.0; bpack_len(k, n)];
+        let mut apack = vec![0.0; apack_len::<f64>(m, k)];
+        let mut bpack = vec![0.0; bpack_len::<f64>(k, n)];
         gemm_into(
             m,
             n,
@@ -428,8 +426,8 @@ mod tests {
         let b: Matrix<f64> = random_matrix(4, 4, 32);
         let mut c: Matrix<f64> = random_matrix(4, 4, 33);
         let before = c.clone();
-        let mut apack = vec![0.0; apack_len(4, 4)];
-        let mut bpack = vec![0.0; bpack_len(4, 4)];
+        let mut apack = vec![0.0; apack_len::<f64>(4, 4)];
+        let mut bpack = vec![0.0; bpack_len::<f64>(4, 4)];
         for (m, n, k) in [(0usize, 4usize, 4usize), (4, 0, 4), (4, 4, 0)] {
             gemm_into(
                 m,

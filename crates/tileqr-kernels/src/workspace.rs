@@ -87,8 +87,8 @@ impl<T: Scalar> Workspace<T> {
             tail: vec![T::ZERO; nb],
             wcol: vec![T::ZERO; nb],
             w: Matrix::zeros(nb, nb),
-            apack: vec![T::ZERO; apack_len(nb, nb)],
-            bpack: vec![T::ZERO; bpack_len(nb, nb)],
+            apack: vec![T::ZERO; apack_len::<T>(nb, nb)],
+            bpack: vec![T::ZERO; bpack_len::<T>(nb, nb)],
             tri: vec![T::ZERO; packed_len(nb)],
         }
     }
@@ -134,8 +134,8 @@ impl<T: Scalar> Workspace<T> {
             nb
         );
         assert!(
-            self.apack.len() >= apack_len(nb, nb)
-                && self.bpack.len() >= bpack_len(nb, nb)
+            self.apack.len() >= apack_len::<T>(nb, nb)
+                && self.bpack.len() >= bpack_len::<T>(nb, nb)
                 && self.tri.len() >= packed_len(nb),
             "workspace pack buffers are not preallocated for nb={nb}"
         );
@@ -165,8 +165,8 @@ mod tests {
         for ib in [1usize, 3, 8, 16] {
             let ws: Workspace<f64> = Workspace::with_inner_block(16, ib);
             assert_eq!(ws.ib(), ib);
-            assert!(ws.apack.len() >= apack_len(16, 16));
-            assert!(ws.bpack.len() >= bpack_len(16, 16));
+            assert!(ws.apack.len() >= apack_len::<f64>(16, 16));
+            assert!(ws.bpack.len() >= bpack_len::<f64>(16, 16));
             assert!(ws.tri.len() >= packed_len(16));
             ws.require(16); // must not panic: buffers cover the full tile
         }

@@ -11,7 +11,13 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number with `f64` real and imaginary parts.
+///
+/// The layout is `#[repr(C)]` — `re` at offset 0, `im` at offset 8 — so a
+/// `[Complex64]` slice may be reinterpreted as an interleaved `[f64]` slice
+/// of twice the length. The explicit-SIMD microkernels in `tileqr-kernels`
+/// rely on this to load packed complex operands with plain vector loads.
 #[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -552,7 +552,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
     heartbeat: Option<&AtomicUsize>,
     run: &mut dyn FnMut(usize),
 ) {
-    debug_assert!(ctl.local_tasks > 0 && ctl.num_tasks % ctl.local_tasks == 0);
+    debug_assert!(ctl.local_tasks > 0 && ctl.num_tasks.is_multiple_of(ctl.local_tasks));
     // Arms while a task runs in abort mode; if the task panics the unwind
     // runs this Drop, flagging every other worker to exit so the caller can
     // join them and propagate the panic instead of deadlocking on

@@ -49,7 +49,7 @@ fn stress_round<T: RandomScalar>(
         .min(m)
         .max(1);
     let algo = algorithms[(rng.next_u64() % 4) as usize];
-    let family = if rng.next_u64() % 2 == 0 {
+    let family = if rng.next_u64().is_multiple_of(2) {
         KernelFamily::TT
     } else {
         KernelFamily::TS

@@ -108,7 +108,7 @@ fn randomized_stress_100_factorizations_per_scheduler_at_8_threads() {
         let m = p * nb - (rng.next_u64() % nb as u64) as usize; // ragged edge
         let n = (q * nb - (rng.next_u64() % nb as u64) as usize).min(m);
         let algo = algorithms[(rng.next_u64() % 4) as usize];
-        let family = if rng.next_u64() % 2 == 0 {
+        let family = if rng.next_u64().is_multiple_of(2) {
             KernelFamily::TT
         } else {
             KernelFamily::TS
