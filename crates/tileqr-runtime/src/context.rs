@@ -97,6 +97,18 @@ pub const MAX_THREADS: usize = 1024;
 /// The legacy free functions ([`crate::driver::qr_factorize`] & co.) keep
 /// their documented panicking behavior; the context API reports the same
 /// conditions as values.
+///
+/// # Retry safety
+///
+/// Service clients ([`crate::service::QrService`]) classify every variant as
+/// either **transient** — resubmitting the *same* input later can reasonably
+/// succeed — or **deterministic** — the same input will fail the same way, so
+/// a retry only burns capacity. [`QrError::is_transient`] encodes the
+/// classification, and the service's retry layer consults it: transient
+/// failures are retried (bounded attempts, decorrelated backoff),
+/// deterministic ones are surfaced immediately. Per-variant docs note which
+/// side each lands on; the transient set is [`QrError::TaskPanicked`],
+/// [`QrError::Stalled`] and [`QrError::QueueFull`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum QrError {
@@ -145,6 +157,11 @@ pub enum QrError {
     /// contained: only this batch item failed, its sibling items completed
     /// normally, and the pool survived. The item's output (tiles, `T`
     /// factors) holds partial garbage and must be refilled before reuse.
+    ///
+    /// **Transient** (retry-safe): a contained panic is environmental from
+    /// the submitter's point of view (a wedged worker, an injected fault) —
+    /// re-running the same input is reasonable and is what the service's
+    /// retry layer does.
     TaskPanicked {
         /// The kernel task that panicked.
         kind: TaskKind,
@@ -155,13 +172,23 @@ pub enum QrError {
     /// The factorization was cancelled through
     /// [`QrContext::cancel_handle`]. Batch items that had already finished
     /// when the cancellation was observed still return `Ok`.
+    ///
+    /// **Deterministic** (never auto-retried): cancellation is a caller
+    /// decision; silently re-running cancelled work would defeat it.
     Cancelled,
     /// A `*_with_deadline` call ran past its deadline. Batch items that had
     /// already finished still return `Ok`.
+    ///
+    /// **Deterministic** (never auto-retried): the deadline belongs to the
+    /// caller; retrying past it cannot make the result arrive in time.
     DeadlineExceeded,
     /// The pool watchdog ([`QrContext::with_watchdog`]) saw no progress from
     /// any worker for longer than the configured bound and cancelled the
     /// job.
+    ///
+    /// **Transient** (retry-safe): a stall is a scheduling/environment
+    /// pathology, not a property of the input — the chance it recurs on a
+    /// fresh run is exactly what bounded retries with backoff are for.
     Stalled,
     /// Spawning a pool worker thread failed ([`QrContext::new`] /
     /// [`QrContext::with_scheduler`]).
@@ -172,12 +199,37 @@ pub enum QrError {
     /// The opt-in [`QrConfig::check_finite`] pre-submission scan found a NaN
     /// or infinity; the input was rejected before any kernel ran and the
     /// caller's buffers are untouched.
+    ///
+    /// **Deterministic** (never auto-retried): the NaN is in the data; it
+    /// will still be there on the next attempt.
     NonFiniteInput {
         /// Row of the first non-finite entry (column-major scan order).
         row: usize,
         /// Column of the first non-finite entry.
         col: usize,
     },
+    /// The service's bounded admission queue rejected the submission: the
+    /// queue was at capacity ([`ServiceConfig::queue_capacity`]), the client
+    /// was at its in-flight quota, a blocking submit's wait deadline expired
+    /// before space appeared, or a low-priority submission was shed under
+    /// saturation.
+    ///
+    /// **Transient** (retry-safe): nothing about the *input* is wrong — the
+    /// service is telling the caller to back off and resubmit later. This is
+    /// the typed backpressure signal of
+    /// [`QrClient::submit`](crate::service::QrClient::submit).
+    ///
+    /// [`ServiceConfig::queue_capacity`]: crate::service::ServiceConfig::queue_capacity
+    QueueFull,
+    /// The service was shut down (dropped, or [`QrService::shutdown`] was
+    /// called) before this item could run; queued and delayed-for-retry
+    /// items are drained with this error rather than left hanging.
+    ///
+    /// **Deterministic** (never auto-retried by the service — it no longer
+    /// exists): the caller may resubmit to a *different* service instance.
+    ///
+    /// [`QrService::shutdown`]: crate::service::QrService::shutdown
+    ServiceShutdown,
 }
 
 impl QrError {
@@ -189,6 +241,23 @@ impl QrError {
             CancelCause::DeadlineExceeded => QrError::DeadlineExceeded,
             CancelCause::Stalled => QrError::Stalled,
         }
+    }
+
+    /// True for errors where resubmitting the *same* input later can
+    /// reasonably succeed — the classification the service's retry layer
+    /// and callers' own backoff loops key on (see the
+    /// [enum-level docs](QrError#retry-safety)).
+    ///
+    /// Transient: [`TaskPanicked`](QrError::TaskPanicked),
+    /// [`Stalled`](QrError::Stalled), [`QueueFull`](QrError::QueueFull).
+    /// Everything else — shape/configuration errors, non-finite inputs,
+    /// cancellation, deadlines, shutdown — is deterministic and must not be
+    /// blindly retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            QrError::TaskPanicked { .. } | QrError::Stalled | QrError::QueueFull
+        )
     }
 }
 
@@ -234,6 +303,14 @@ impl std::fmt::Display for QrError {
                 f,
                 "input contains a non-finite value at row {row}, column {col}"
             ),
+            QrError::QueueFull => write!(
+                f,
+                "the service admission queue is full (or the submission was shed); \
+                 back off and resubmit"
+            ),
+            QrError::ServiceShutdown => {
+                write!(f, "the service was shut down before this item could run")
+            }
         }
     }
 }
@@ -298,14 +375,72 @@ pub struct QrPlan<T: Scalar> {
     /// cache up without limit; with it, surplus returns are dropped.
     ws_high_water: std::sync::atomic::AtomicUsize,
     /// Recycled `ib × nb` `T`-factor buffers, returned by
-    /// [`QrPlan::recycle`] / [`QrPlan::recycle_reflectors`] and drawn (zeroed
-    /// in place) by the next factorization — the storage that was otherwise
-    /// the last per-call allocation of the hot path.
-    t_pool: Mutex<Vec<Matrix<T>>>,
-    /// Largest number of `T` buffers a single call has checked out
-    /// (`2 · p · q` per matrix in the batch) — the retention bound of
-    /// `t_pool`, same rationale as `ws_high_water`.
-    t_high_water: std::sync::atomic::AtomicUsize,
+    /// [`QrPlan::recycle`] / [`QrPlan::recycle_reflectors`] — or by simply
+    /// *dropping* a result handle, which recycles through a weak
+    /// back-reference — and drawn (zeroed in place) by the next
+    /// factorization. Shared (`Arc`) so handles can outlive the plan without
+    /// keeping its DAG alive just for the buffer return.
+    t_pool: Arc<TPool<T>>,
+}
+
+/// The plan's shared pool of recycled `ib × nb` `T`-factor buffers.
+///
+/// Extracted behind an `Arc` so result handles ([`QrFactorization`] /
+/// [`QrReflectors`]) can hold a `Weak` back-reference and return their
+/// buffers automatically on drop — service clients who simply drop results
+/// get the same allocation-free steady state as callers of the explicit
+/// [`QrPlan::recycle`] path, and a handle dropped after its plan costs
+/// nothing (the upgrade fails). Buffers of a foreign shape are dropped, and
+/// the pool retains at most the widest checkout ever made, so recycling can
+/// never ratchet memory up.
+pub(crate) struct TPool<T: Scalar> {
+    ib: usize,
+    nb: usize,
+    bufs: Mutex<Vec<Matrix<T>>>,
+    /// Largest number of buffers a single call has checked out
+    /// (`2 · p · q` per matrix in the batch) — the retention bound, same
+    /// rationale as `ws_high_water`.
+    high_water: AtomicUsize,
+}
+
+impl<T: Scalar> TPool<T> {
+    fn new(ib: usize, nb: usize) -> Self {
+        TPool {
+            ib,
+            nb,
+            bufs: Mutex::new(Vec::new()),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Returns buffers to the pool, keeping only plan-shaped ones and at
+    /// most the high-water count.
+    pub(crate) fn recycle(&self, bufs: impl Iterator<Item = Option<Matrix<T>>>) {
+        let cap = self.high_water.load(Ordering::Relaxed);
+        let mut pool = self.bufs.lock();
+        for b in bufs.flatten() {
+            if pool.len() >= cap {
+                break;
+            }
+            if b.shape() == (self.ib, self.nb) {
+                pool.push(b);
+            }
+        }
+    }
+
+    /// Records a checkout of `need` buffers and takes up to that many out of
+    /// the pool (newest first) under a short lock.
+    fn take(&self, need: usize) -> Vec<Matrix<T>> {
+        self.high_water.fetch_max(need, Ordering::Relaxed);
+        let mut pool = self.bufs.lock();
+        let keep = pool.len().saturating_sub(need);
+        pool.split_off(keep)
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.bufs.lock().len()
+    }
 }
 
 impl<T: Scalar> std::fmt::Debug for QrPlan<T> {
@@ -365,8 +500,7 @@ impl<T: Scalar> QrPlan<T> {
             }),
             ws_cache: Mutex::new(Vec::new()),
             ws_high_water: std::sync::atomic::AtomicUsize::new(0),
-            t_pool: Mutex::new(Vec::new()),
-            t_high_water: std::sync::atomic::AtomicUsize::new(0),
+            t_pool: Arc::new(TPool::new(ib, nb)),
         })
     }
 
@@ -444,17 +578,21 @@ impl<T: Scalar> QrPlan<T> {
         cache.truncate(cap);
     }
 
-    fn recycle_buffers(&self, bufs: impl Iterator<Item = Option<Matrix<T>>>) {
-        let cap = self.t_high_water.load(std::sync::atomic::Ordering::Relaxed);
-        let mut pool = self.t_pool.lock();
-        for b in bufs.flatten() {
-            if pool.len() >= cap {
-                break;
-            }
-            if b.shape() == (self.ib, self.nb) {
-                pool.push(b);
-            }
-        }
+    /// A weak back-reference to the plan's `T`-buffer pool, embedded in
+    /// every result handle so dropping the handle recycles automatically.
+    pub(crate) fn t_recycler(&self) -> std::sync::Weak<TPool<T>> {
+        Arc::downgrade(&self.t_pool)
+    }
+
+    /// The opt-in pre-submission finiteness scan, for callers that hold the
+    /// dense input themselves (the service layer applies it at dispatch
+    /// time): the first non-finite entry when the plan was built with
+    /// [`QrConfig::check_finite`](crate::driver::QrConfig::check_finite),
+    /// `None` otherwise.
+    pub(crate) fn non_finite_in(&self, a: &Matrix<T>) -> Option<(usize, usize)> {
+        self.check_finite
+            .then(|| find_non_finite_dense(a))
+            .flatten()
     }
 }
 
@@ -466,17 +604,11 @@ impl<T: Scalar<Real = f64>> QrPlan<T> {
     /// are zeroed in place before reuse.
     fn build_states(&self, tiled: Vec<TiledMatrix<T>>) -> Vec<FactorizationState<T>> {
         let need = 2 * self.p * self.q * tiled.len();
-        self.t_high_water
-            .fetch_max(need, std::sync::atomic::Ordering::Relaxed);
         // Take the recycled buffers out under a short lock; state
         // construction — tile-mutex wrapping, buffer zeroing and any
         // fresh-allocation fallback — runs lock-free, so concurrent
         // factorizations sharing one plan do not serialize here.
-        let mut recycled: Vec<Matrix<T>> = {
-            let mut pool = self.t_pool.lock();
-            let keep = pool.len().saturating_sub(need);
-            pool.split_off(keep)
-        };
+        let mut recycled: Vec<Matrix<T>> = self.t_pool.take(need);
         tiled
             .into_iter()
             .map(|t| {
@@ -506,7 +638,7 @@ impl<T: Scalar<Real = f64>> QrPlan<T> {
     /// ratchet memory up.
     pub fn recycle(&self, f: QrFactorization<T>) {
         let (t_geqrt, t_elim) = f.into_t_parts();
-        self.recycle_buffers(t_geqrt.into_iter().chain(t_elim));
+        self.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
     }
 
     /// [`QrPlan::recycle`] for the in-place path: returns a
@@ -516,7 +648,8 @@ impl<T: Scalar<Real = f64>> QrPlan<T> {
     /// allocation *count*, with nothing allocated per tile, task or `T`
     /// factor (see the [module docs](self)).
     pub fn recycle_reflectors(&self, r: QrReflectors<T>) {
-        self.recycle_buffers(r.t_geqrt.into_iter().chain(r.t_elim));
+        let (t_geqrt, t_elim) = r.into_t_parts();
+        self.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
     }
 }
 
@@ -590,12 +723,29 @@ impl ItemTracker {
         if let Some(err) = self.errors[copy].lock().take() {
             return Some(err);
         }
-        if self.done[copy].load(Ordering::Acquire) < self.dag.len() {
+        if !self.is_complete(copy) {
             return Some(QrError::from_cancel(
                 cause.unwrap_or(CancelCause::Cancelled),
             ));
         }
         None
+    }
+
+    /// Retires one task of `copy` and returns the new retire count — the
+    /// seam the streaming job uses to detect the *final* retire of a copy
+    /// and fire its per-item completion hook on the worker thread.
+    fn retire(&self, copy: usize) -> usize {
+        self.done[copy].fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Takes the first error recorded for `copy`, if any.
+    fn take_error(&self, copy: usize) -> Option<QrError> {
+        self.errors[copy].lock().take()
+    }
+
+    /// True once every task of `copy` has retired (executed or skipped).
+    fn is_complete(&self, copy: usize) -> bool {
+        self.done[copy].load(Ordering::Acquire) >= self.dag.len()
     }
 }
 
@@ -622,7 +772,7 @@ impl FaultSink for ItemTracker {
     }
 
     fn task_retired(&self, copy: usize) {
-        self.done[copy].fetch_add(1, Ordering::AcqRel);
+        self.retire(copy);
     }
 }
 
@@ -703,6 +853,164 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for BatchJob<T, S> {
             #[cfg(feature = "fault-injection")]
             crate::fault::check(g / n, g % n);
             self.states[g / n].run_ws(self.core.dag.tasks[g % n].kind, ws)
+        });
+    }
+}
+
+/// Per-item completion callback of the streaming path
+/// ([`QrContext::factorize_stream`]): called exactly once per submitted
+/// matrix, **from a worker thread**, the moment that matrix's last task
+/// retires — not when the whole fused job drains. The service layer
+/// ([`crate::service`]) implements it to resolve tickets while sibling
+/// matrices are still factoring.
+///
+/// Implementations must be cheap and must not block on the pool (they run
+/// inside the job); resolving a oneshot cell and pushing to a retry list
+/// are the intended scale of work.
+pub(crate) trait ItemSink<T: Scalar>: Send + Sync {
+    /// Delivers item `index`'s outcome: the finished factorization, or the
+    /// typed per-item error (contained panic, cancellation cause, …).
+    fn item_done(&self, index: usize, outcome: Result<QrFactorization<T>, QrError>);
+}
+
+/// The streaming variant of [`BatchJob`]: same fused-DAG execution, but each
+/// copy's state lives behind `Mutex<Option<Arc<…>>>` so the copy that
+/// finishes *first* can be dismantled into a [`QrFactorization`] and handed
+/// to the [`ItemSink`] while the rest of the job is still running.
+///
+/// Completion detection rides the [`FaultSink::task_retired`] hook:
+/// [`ItemTracker::retire`] returns the copy's new retire count, and the
+/// worker that performs the final retire takes the state out of its slot.
+/// Every task's short-lived `Arc` clone is dropped *before* that task's
+/// retire increment, and the increments form a release/acquire chain on the
+/// copy's counter, so at the final retire all other clones are gone and
+/// `Arc::try_unwrap` succeeds; a put-back plus the job-end sweep in
+/// [`QrContext::run_stream_job`] covers the theoretical failure without
+/// losing the item.
+struct StreamJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
+    /// One slot per copy: `Some(state)` while the copy is in flight, taken
+    /// by the finishing worker (or the job-end sweep). The lock is held only
+    /// to clone the `Arc` out (per task) or take it (once) — never across a
+    /// kernel.
+    states: Vec<Mutex<Option<Arc<FactorizationState<T>>>>>,
+    /// Exactly-once guard per copy: set by whichever path (worker hook or
+    /// job-end sweep) delivered the item to the sink.
+    resolved: Vec<AtomicBool>,
+    /// Fault-probe ids, one per copy: the service remaps retry attempts to
+    /// fresh probe coordinates so a seeded fault schedule can distinguish
+    /// attempt 0 from attempt 1 of the same submission. The plain batch path
+    /// probes with the copy index itself.
+    #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
+    probes: Vec<usize>,
+    core: Arc<PlanCore>,
+    sched: S,
+    remaining: Vec<AtomicUsize>,
+    completed: AtomicUsize,
+    aborted: AtomicBool,
+    ws_slots: Vec<Mutex<Option<Workspace<T>>>>,
+    tracker: ItemTracker,
+    cancel: CancelToken,
+    sink: Arc<dyn ItemSink<T>>,
+    /// Shape metadata + the plan's recycler for assembling results on the
+    /// worker thread.
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    recycler: std::sync::Weak<TPool<T>>,
+}
+
+impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> StreamJob<T, S> {
+    /// Dismantles a fully-retired copy and delivers its outcome to the sink.
+    /// Called by the worker that performed the copy's final retire; a copy
+    /// whose state was already taken (or whose `Arc` is still briefly
+    /// shared — see the put-back) is left for the job-end sweep.
+    fn finish_copy(&self, copy: usize) {
+        let taken = self.states[copy].lock().take();
+        let Some(arc) = taken else { return };
+        match Arc::try_unwrap(arc) {
+            Ok(state) => {
+                let (tiles, t_geqrt, t_elim) = state.into_parts();
+                let outcome = match self.tracker.take_error(copy) {
+                    Some(e) => {
+                        // A failed copy's T buffers go straight back to the
+                        // plan; its tiles hold partial garbage and are
+                        // dropped.
+                        if let Some(pool) = self.recycler.upgrade() {
+                            pool.recycle(t_geqrt.into_iter().chain(t_elim));
+                        }
+                        Err(e)
+                    }
+                    None => Ok(QrFactorization::from_parts(
+                        self.m,
+                        self.n,
+                        self.nb,
+                        self.ib,
+                        tiles,
+                        t_geqrt,
+                        t_elim,
+                        Arc::clone(&self.core.dag),
+                        self.recycler.clone(),
+                    )),
+                };
+                self.resolved[copy].store(true, Ordering::Release);
+                self.sink.item_done(copy, outcome);
+            }
+            Err(arc) => {
+                // Another worker still holds a task-scope clone (possible
+                // only if an Arc count decrement is not yet visible, which
+                // the retire chain rules out in practice — keep the item
+                // safe regardless): put the state back for the job-end
+                // sweep.
+                *self.states[copy].lock() = Some(arc);
+            }
+        }
+    }
+}
+
+impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> FaultSink for StreamJob<T, S> {
+    fn copy_failed(&self, copy: usize) -> bool {
+        self.tracker.copy_failed(copy)
+    }
+
+    fn record_panic(&self, copy: usize, local: usize, payload: &(dyn std::any::Any + Send)) {
+        self.tracker.record_panic(copy, local, payload);
+    }
+
+    fn task_retired(&self, copy: usize) {
+        if self.tracker.retire(copy) == self.core.dag.len() {
+            self.finish_copy(copy);
+        }
+    }
+}
+
+impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for StreamJob<T, S> {
+    fn run(&self, w: usize, heartbeat: &AtomicUsize) {
+        let n = self.core.dag.len();
+        let mut slot = self.ws_slots[w].lock();
+        let ws = slot.as_mut().expect("one workspace is staged per worker");
+        let ctl = DriveCtl {
+            num_tasks: self.remaining.len(),
+            local_tasks: n,
+            succ: &self.core.succ,
+            remaining: &self.remaining,
+            completed: &self.completed,
+            aborted: &self.aborted,
+            max_out_degree: self.core.max_out_degree,
+            cancel: Some(&self.cancel),
+            faults: Some(self),
+        };
+        drive_worker(&ctl, &self.sched, w, Some(heartbeat), &mut |g| {
+            let copy = g / n;
+            #[cfg(feature = "fault-injection")]
+            crate::fault::check(self.probes[copy], g % n);
+            // Clone the Arc out under a brief lock so same-copy tasks on
+            // other workers never serialize on the slot; the clone drops
+            // before this task's retire increment (see `StreamJob` docs).
+            let state = self.states[copy].lock().as_ref().map(Arc::clone);
+            if let Some(state) = state {
+                state.run_ws(self.core.dag.tasks[g % n].kind, ws);
+            }
         });
     }
 }
@@ -876,6 +1184,7 @@ impl QrContext {
                 t_geqrt,
                 t_elim,
                 Arc::clone(&plan.core.dag),
+                plan.t_recycler(),
             )),
         }
     }
@@ -1010,6 +1319,7 @@ impl QrContext {
                             t_geqrt,
                             t_elim,
                             Arc::clone(&plan.core.dag),
+                            plan.t_recycler(),
                         )),
                     }
                 })
@@ -1122,6 +1432,7 @@ impl QrContext {
                         dag: Arc::clone(&plan.core.dag),
                         t_geqrt,
                         t_elim,
+                        recycler: plan.t_recycler(),
                     }),
                 }
             }));
@@ -1368,6 +1679,263 @@ impl QrContext {
             .map(|(copy, s)| (s.into_parts(), tracker.verdict(copy, cause)))
             .collect()
     }
+
+    /// The streaming engine behind the service layer ([`crate::service`]):
+    /// factors `tiled` as one fused job like [`QrContext::run_batch`], but
+    /// delivers each item's outcome through `sink` **the moment its last
+    /// task retires** instead of returning a joined vector. `probes[i]` is
+    /// item `i`'s fault-injection probe id (the service remaps retry
+    /// attempts onto fresh probe coordinates); without the feature the ids
+    /// are carried but unread.
+    ///
+    /// Exactly-once guarantee: `sink.item_done` is called exactly once per
+    /// element of `tiled`, in every outcome — success, contained panic,
+    /// cancellation/stall abort, and pre-run rejection.
+    pub(crate) fn factorize_stream<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        tiled: Vec<TiledMatrix<T>>,
+        probes: Vec<usize>,
+        sink: &Arc<dyn ItemSink<T>>,
+    ) {
+        debug_assert_eq!(tiled.len(), probes.len());
+        if tiled.is_empty() {
+            return;
+        }
+        // Fail fast before any state is built: a sticky cancellation
+        // resolves every item without running a kernel.
+        if self.cancel.is_cancelled() {
+            for copy in 0..tiled.len() {
+                sink.item_done(copy, Err(QrError::Cancelled));
+            }
+            return;
+        }
+        let states = plan.build_states(tiled);
+        match &self.pool {
+            None => self.run_stream_sequential(plan, states, probes, sink),
+            Some(pool) => {
+                let copies = states.len();
+                let total = plan.core.dag.len() * copies;
+                let threads = pool.threads();
+                match self.scheduler {
+                    SchedulerKind::LockedFifo => self.run_stream_job(
+                        plan,
+                        pool,
+                        states,
+                        probes,
+                        LockedFifo::new(total),
+                        sink,
+                    ),
+                    SchedulerKind::WorkStealing => self.run_stream_job(
+                        plan,
+                        pool,
+                        states,
+                        probes,
+                        WorkStealing::new(total, threads),
+                        sink,
+                    ),
+                    SchedulerKind::WorkStealingPriority => self.run_stream_job(
+                        plan,
+                        pool,
+                        states,
+                        probes,
+                        WorkStealingPriority::new_shared_cyclic(
+                            plan.core.priorities(),
+                            threads,
+                            copies,
+                        ),
+                        sink,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// [`QrContext::run_stream_sequential`]: the `threads == 1` streaming
+    /// engine. Each copy runs to completion on the calling thread (bitwise
+    /// reference order) and its outcome is delivered to the sink before the
+    /// next copy starts — the same per-item streaming contract as the pool
+    /// path, just with trivial ordering.
+    fn run_stream_sequential<T: Scalar<Real = f64>>(
+        &self,
+        plan: &QrPlan<T>,
+        states: Vec<FactorizationState<T>>,
+        probes: Vec<usize>,
+        sink: &Arc<dyn ItemSink<T>>,
+    ) {
+        let mut ws = plan.checkout_workspaces(1);
+        // A cancellation stops the whole run: the copy it interrupted and
+        // every later copy resolve with the cause.
+        let mut stop: Option<QrError> = None;
+        for (copy, state) in states.into_iter().enumerate() {
+            let mut item_err: Option<QrError> = None;
+            if stop.is_none() {
+                for (local, task) in plan.core.dag.tasks.iter().enumerate() {
+                    if self.cancel.is_cancelled() {
+                        stop = Some(QrError::Cancelled);
+                        break;
+                    }
+                    // `probes[copy]`/`local` address the fault-injection
+                    // probe; without the feature they are deliberately
+                    // unused.
+                    let _ = (&probes, copy, local);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        #[cfg(feature = "fault-injection")]
+                        crate::fault::check(probes[copy], local);
+                        state.run_ws(task.kind, &mut ws[0])
+                    }));
+                    if let Err(payload) = result {
+                        item_err = Some(QrError::TaskPanicked {
+                            kind: task.kind,
+                            message: payload_message(&*payload).to_string(),
+                        });
+                        break;
+                    }
+                }
+            }
+            let (tiles, t_geqrt, t_elim) = state.into_parts();
+            let outcome = match item_err.or_else(|| stop.clone()) {
+                Some(e) => {
+                    // A failed copy's T buffers go straight back to the
+                    // plan; its partially factored tiles are dropped.
+                    plan.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
+                    Err(e)
+                }
+                None => Ok(QrFactorization::from_parts(
+                    plan.m,
+                    plan.n,
+                    plan.nb,
+                    plan.ib,
+                    tiles,
+                    t_geqrt,
+                    t_elim,
+                    Arc::clone(&plan.core.dag),
+                    plan.t_recycler(),
+                )),
+            };
+            sink.item_done(copy, outcome);
+        }
+        plan.restore_workspaces(ws);
+    }
+
+    /// Packages the streaming batch as one fused pool job ([`StreamJob`]),
+    /// runs it under the submitter-side controls, then sweeps up every copy
+    /// the worker-side completion hook did not resolve — copies skipped by a
+    /// cancellation/stall abort (and the theoretical `Arc::try_unwrap`
+    /// put-back) — so the exactly-once sink contract holds in every outcome.
+    fn run_stream_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
+        &self,
+        plan: &QrPlan<T>,
+        pool: &WorkerPool,
+        states: Vec<FactorizationState<T>>,
+        probes: Vec<usize>,
+        sched: S,
+        sink: &Arc<dyn ItemSink<T>>,
+    ) {
+        let threads = pool.threads();
+        let n = plan.core.dag.len();
+        let copies = states.len();
+        let mut roots = Vec::with_capacity(plan.core.roots.len() * copies);
+        for copy in 0..copies {
+            roots.extend(plan.core.roots.iter().map(|&r| copy * n + r));
+        }
+        sched.seed(&mut roots);
+        let mut remaining = Vec::with_capacity(n * copies);
+        for _ in 0..copies {
+            remaining.extend(
+                plan.core
+                    .dag
+                    .tasks
+                    .iter()
+                    .map(|t| AtomicUsize::new(t.deps.len())),
+            );
+        }
+        let job = Arc::new(StreamJob {
+            states: states
+                .into_iter()
+                .map(|s| Mutex::new(Some(Arc::new(s))))
+                .collect(),
+            resolved: (0..copies).map(|_| AtomicBool::new(false)).collect(),
+            probes,
+            core: Arc::clone(&plan.core),
+            sched,
+            remaining,
+            completed: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            ws_slots: plan
+                .checkout_workspaces(threads)
+                .into_iter()
+                .map(|ws| Mutex::new(Some(ws)))
+                .collect(),
+            tracker: ItemTracker::new(Arc::clone(&plan.core.dag), copies),
+            cancel: CancelToken::new(),
+            sink: Arc::clone(sink),
+            m: plan.m,
+            n: plan.n,
+            nb: plan.nb,
+            ib: plan.ib,
+            recycler: plan.t_recycler(),
+        });
+        pool.run_controlled(
+            Arc::clone(&job) as Arc<dyn Job>,
+            Some(RunCtl {
+                job_cancel: job.cancel.clone(),
+                user_cancel: self.cancel.clone(),
+                // Streaming submissions carry per-item deadlines at
+                // admission time (the service layer's job); the run itself
+                // is bounded by the stall watchdog and cancellation only.
+                deadline: None,
+                stall_bound: self.watchdog,
+            }),
+        );
+        let job = Arc::into_inner(job)
+            .unwrap_or_else(|| panic!("stream job still shared after the pool ran it"));
+        plan.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner));
+        let cause = job.cancel.cause();
+        for (copy, slot) in job.states.into_iter().enumerate() {
+            if job.resolved[copy].load(Ordering::Acquire) {
+                continue;
+            }
+            // A recorded fault wins; an incomplete retire count means the
+            // job was aborted out from under the copy; a complete count
+            // with no error is the put-back case — the copy succeeded.
+            let err = job.tracker.take_error(copy).or_else(|| {
+                (!job.tracker.is_complete(copy))
+                    .then(|| QrError::from_cancel(cause.unwrap_or(CancelCause::Cancelled)))
+            });
+            match slot.into_inner() {
+                Some(arc) => {
+                    let state = Arc::try_unwrap(arc).unwrap_or_else(|_| {
+                        panic!("stream copy state still shared after the pool drained")
+                    });
+                    let (tiles, t_geqrt, t_elim) = state.into_parts();
+                    let outcome = match err {
+                        Some(e) => {
+                            plan.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
+                            Err(e)
+                        }
+                        None => Ok(QrFactorization::from_parts(
+                            plan.m,
+                            plan.n,
+                            plan.nb,
+                            plan.ib,
+                            tiles,
+                            t_geqrt,
+                            t_elim,
+                            Arc::clone(&plan.core.dag),
+                            plan.t_recycler(),
+                        )),
+                    };
+                    sink.item_done(copy, outcome);
+                }
+                None => {
+                    // Unreachable — an unresolved copy keeps its state —
+                    // but the exactly-once contract is kept regardless.
+                    sink.item_done(copy, Err(err.unwrap_or(QrError::Stalled)));
+                }
+            }
+        }
+    }
 }
 
 /// The `T` factors of an in-place factorization ([`QrContext::factorize_into`]).
@@ -1376,6 +1944,12 @@ impl QrContext {
 /// replays the block reflectors (`Q`/`Qᴴ` application, `R` extraction) or
 /// upgrades into a self-contained [`QrFactorization`] by taking ownership of
 /// the tiles.
+///
+/// Dropping the handle returns its `ib × nb` `T` buffers to the owning
+/// plan's recycle pool automatically (via a weak back-reference), so a
+/// caller who never calls [`QrPlan::recycle_reflectors`] explicitly still
+/// keeps the steady-state loop allocation-free. If the plan is already gone,
+/// the buffers are simply freed.
 pub struct QrReflectors<T: Scalar> {
     m: usize,
     n: usize,
@@ -1386,6 +1960,17 @@ pub struct QrReflectors<T: Scalar> {
     dag: Arc<TaskDag>,
     t_geqrt: Vec<Option<Matrix<T>>>,
     t_elim: Vec<Option<Matrix<T>>>,
+    recycler: std::sync::Weak<TPool<T>>,
+}
+
+impl<T: Scalar> Drop for QrReflectors<T> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.recycler.upgrade() {
+            let t_geqrt = std::mem::take(&mut self.t_geqrt);
+            let t_elim = std::mem::take(&mut self.t_elim);
+            pool.recycle(t_geqrt.into_iter().chain(t_elim));
+        }
+    }
 }
 
 impl<T: Scalar> std::fmt::Debug for QrReflectors<T> {
@@ -1470,18 +2055,36 @@ impl<T: Scalar<Real = f64>> QrReflectors<T> {
     }
 
     /// Upgrades into a self-contained [`QrFactorization`] by taking
-    /// ownership of the factored tiles.
-    pub fn into_factorization(self, tiles: TiledMatrix<T>) -> QrFactorization<T> {
+    /// ownership of the factored tiles. The auto-recycle back-reference
+    /// moves with the `T` buffers, so dropping the factorization still
+    /// returns them to the plan.
+    pub fn into_factorization(mut self, tiles: TiledMatrix<T>) -> QrFactorization<T> {
         self.check_tiles(&tiles);
+        // `mem::take` rather than destructuring: the handle has a `Drop`
+        // impl (the auto-recycle path), which forbids moving fields out.
+        // The emptied vectors make that drop a no-op.
+        let t_geqrt = std::mem::take(&mut self.t_geqrt);
+        let t_elim = std::mem::take(&mut self.t_elim);
         QrFactorization::from_parts(
             self.m,
             self.n,
             self.nb,
             self.ib,
             tiles,
-            self.t_geqrt,
-            self.t_elim,
-            self.dag,
+            t_geqrt,
+            t_elim,
+            Arc::clone(&self.dag),
+            std::mem::take(&mut self.recycler),
+        )
+    }
+
+    /// Moves the `T` buffers out for explicit recycling
+    /// ([`QrPlan::recycle_reflectors`]), disarming the drop-recycle path.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_t_parts(mut self) -> (Vec<Option<Matrix<T>>>, Vec<Option<Matrix<T>>>) {
+        (
+            std::mem::take(&mut self.t_geqrt),
+            std::mem::take(&mut self.t_elim),
         )
     }
 }
@@ -1698,7 +2301,7 @@ mod tests {
         plan.recycle(reference);
         let per_call = 2 * plan.tile_rows() * plan.tile_cols();
         for _ in 0..3 {
-            assert!(plan.t_pool.lock().len() <= per_call);
+            assert!(plan.t_pool.len() <= per_call);
             let f = ctx.factorize(&plan, &a).unwrap();
             assert_eq!(f.r(), r_ref, "recycled T buffers changed the result");
             assert_eq!(f.apply_qh(&b), qhb_ref, "recycled T buffers broke Q replay");
@@ -1711,7 +2314,53 @@ mod tests {
             QrPlan::new(m, n, QrConfig::new(nb).with_inner_block(1)).unwrap();
         let f = ctx.factorize(&plan, &a).unwrap();
         plan_ib1.recycle(f);
-        assert!(plan_ib1.t_pool.lock().is_empty());
+        assert_eq!(plan_ib1.t_pool.len(), 0);
+    }
+
+    #[test]
+    fn dropping_a_result_recycles_t_buffers_automatically() {
+        let (m, n, nb) = (16usize, 8usize, 4usize);
+        let ctx = QrContext::new(2).unwrap();
+        let plan: QrPlan<f64> = QrPlan::new(m, n, QrConfig::new(nb)).unwrap();
+        let a: Matrix<f64> = random_matrix(m, n, 520);
+        let per_call = 2 * plan.tile_rows() * plan.tile_cols();
+
+        // Dense path: plain `drop` refills the pool through the weak
+        // back-reference, and the next run is bitwise identical whether its
+        // T storage was fresh or pool-drawn.
+        let reference = ctx.factorize(&plan, &a).unwrap();
+        let r_ref = reference.r();
+        assert_eq!(plan.t_pool.len(), 0);
+        drop(reference);
+        assert_eq!(plan.t_pool.len(), per_call);
+        let again = ctx.factorize(&plan, &a).unwrap();
+        assert_eq!(again.r(), r_ref);
+        assert_eq!(plan.t_pool.len(), 0, "pool drained by the recycled run");
+
+        // Explicit recycle after the fields were moved out must not
+        // double-return: `recycle` consumes via `into_t_parts`, which disarms
+        // the drop path.
+        plan.recycle(again);
+        assert_eq!(plan.t_pool.len(), per_call);
+
+        // In-place path: dropping the reflectors handle recycles too.
+        let mut tiles = TiledMatrix::from_dense_padded(&a, nb);
+        let refl = ctx.factorize_into(&plan, &mut tiles).unwrap();
+        assert_eq!(plan.t_pool.len(), 0);
+        drop(refl);
+        assert_eq!(plan.t_pool.len(), per_call);
+
+        // `into_factorization` moves the back-reference with the buffers.
+        let refl = ctx.factorize_into(&plan, &mut tiles).unwrap();
+        let f = refl.into_factorization(tiles);
+        assert_eq!(plan.t_pool.len(), 0);
+        drop(f);
+        assert_eq!(plan.t_pool.len(), per_call);
+
+        // A handle that outlives its plan frees the buffers quietly.
+        let f = ctx.factorize(&plan, &a).unwrap();
+        drop(plan);
+        drop(f);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! size) and are bitwise identical to the session API — both run the same
 //! kernels in a DAG-respecting order.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use tileqr_core::algorithms::Algorithm;
 use tileqr_core::dag::{KernelFamily, TaskDag};
@@ -133,6 +133,16 @@ impl QrConfig {
 /// The result of a tiled QR factorization: the factored tiles (R on the
 /// diagonal blocks, Householder vectors elsewhere), the `T` factors of every
 /// block reflector, and the DAG needed to replay the transformations.
+///
+/// Factorizations produced through the session API
+/// ([`QrContext`](crate::context::QrContext) with a
+/// [`QrPlan`](crate::context::QrPlan)) return their `ib × nb` `T` buffers to
+/// the plan's recycle pool automatically when dropped, via a weak
+/// back-reference — explicit
+/// [`QrPlan::recycle`](crate::context::QrPlan::recycle) remains available
+/// but is no longer required for the steady-state loop to stay
+/// allocation-free. One-shot factorizations from the free functions carry a
+/// dead reference and drop their buffers normally.
 pub struct QrFactorization<T: Scalar> {
     /// Original row count of the dense matrix (before padding).
     pub m: usize,
@@ -146,6 +156,19 @@ pub struct QrFactorization<T: Scalar> {
     /// Shared with the plan that produced the factorization (the DAG is
     /// read-only after construction and can be large).
     dag: Arc<TaskDag>,
+    /// Weak back-reference to the producing plan's `T`-buffer pool; dead
+    /// (`Weak::new()`) for one-shot factorizations.
+    recycler: Weak<crate::context::TPool<T>>,
+}
+
+impl<T: Scalar> Drop for QrFactorization<T> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.recycler.upgrade() {
+            let t_geqrt = std::mem::take(&mut self.t_geqrt);
+            let t_elim = std::mem::take(&mut self.t_elim);
+            pool.recycle(t_geqrt.into_iter().chain(t_elim));
+        }
+    }
 }
 
 impl<T: Scalar> std::fmt::Debug for QrFactorization<T> {
@@ -292,6 +315,7 @@ where
         t_geqrt,
         t_elim,
         dag: Arc::new(dag),
+        recycler: Weak::new(),
     }
 }
 
@@ -406,6 +430,7 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
         t_geqrt: Vec<Option<Matrix<T>>>,
         t_elim: Vec<Option<Matrix<T>>>,
         dag: Arc<TaskDag>,
+        recycler: Weak<crate::context::TPool<T>>,
     ) -> Self {
         QrFactorization {
             m,
@@ -416,6 +441,7 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
             t_geqrt,
             t_elim,
             dag,
+            recycler,
         }
     }
 
@@ -492,9 +518,14 @@ impl<T: Scalar<Real = f64>> QrFactorization<T> {
 
     /// Dismantles the factorization into its `T`-factor storage, for
     /// recycling through [`QrPlan::recycle`](crate::context::QrPlan::recycle).
+    /// `mem::take` rather than destructuring because the handle has a `Drop`
+    /// impl (the auto-recycle path); the emptied vectors make it a no-op.
     #[allow(clippy::type_complexity)] // crate-internal seam
-    pub(crate) fn into_t_parts(self) -> (Vec<Option<Matrix<T>>>, Vec<Option<Matrix<T>>>) {
-        (self.t_geqrt, self.t_elim)
+    pub(crate) fn into_t_parts(mut self) -> (Vec<Option<Matrix<T>>>, Vec<Option<Matrix<T>>>) {
+        (
+            std::mem::take(&mut self.t_geqrt),
+            std::mem::take(&mut self.t_elim),
+        )
     }
 
     /// Applies `Q` or `Qᴴ` to a dense matrix with `self.m` rows by replaying

@@ -484,6 +484,14 @@ pub(crate) trait FaultSink: Sync {
     /// Counts one task of `copy` as retired (executed *or* skipped); a copy
     /// whose retired count reaches the DAG length without a recorded fault
     /// completed successfully.
+    ///
+    /// This is also the generalized per-item completion hook: the retire of
+    /// a copy's *last* task is detectable inside this call (the tracker's
+    /// retire count equals the DAG length), and it fires on the worker
+    /// thread that performed it. The batch path only tallies here; the
+    /// streaming path (`StreamJob` in `context.rs`, behind the service
+    /// layer) dismantles the finished copy and resolves its ticket from
+    /// this hook, while sibling copies are still running.
     fn task_retired(&self, copy: usize);
 }
 

@@ -104,6 +104,70 @@ impl FaultPlan {
         plan
     }
 
+    /// Draws a reproducible fault schedule for a **service** round
+    /// ([`crate::service::QrService`]) of `items` consecutive submissions
+    /// whose sequence numbers start at `base_seq`: `faulted` distinct items
+    /// get *consecutive panicking attempts* — an item assigned `a` faulted
+    /// attempts (drawn uniformly from `1..=max_attempts`) panics on
+    /// attempts `0..a` at a random task each, keyed by the service's probe
+    /// mapping ([`crate::service::probe_id`]), and runs clean from attempt
+    /// `a` on. With a retry budget of `r` re-runs, items with `a ≤ r` are
+    /// retried to success and items with `a > r` surface attempt `r`'s
+    /// panic. The remaining items get `delays` short sleeps on their first
+    /// attempt (bitwise identity must survive schedule perturbation).
+    ///
+    /// Returns the plan plus the per-item faulted-attempt counts as sorted
+    /// `(seq, attempts)` pairs — the chaos suite's expected-outcome set.
+    pub fn seeded_service(
+        seed: u64,
+        base_seq: u64,
+        items: usize,
+        tasks: usize,
+        faulted: usize,
+        max_attempts: u32,
+        delays: usize,
+    ) -> (Self, Vec<(u64, u32)>) {
+        assert!(items > 0 && tasks > 0, "an empty round cannot be faulted");
+        assert!(faulted <= items, "at most one fault chain per item");
+        assert!(max_attempts >= 1, "a faulted item faults at least once");
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        // Faulted items: a seeded partial Fisher–Yates pick of `faulted`
+        // distinct items of the round.
+        let mut ids: Vec<usize> = (0..items).collect();
+        let mut chains = Vec::with_capacity(faulted);
+        for i in 0..faulted {
+            let j = i + (rng.next_u64() as usize) % (items - i);
+            ids.swap(i, j);
+            let seq = base_seq + ids[i] as u64;
+            let attempts = 1 + (rng.next_u64() % u64::from(max_attempts)) as u32;
+            for attempt in 0..attempts {
+                let task = (rng.next_u64() as usize) % tasks;
+                plan.faults.insert(
+                    (crate::service::probe_id(seq, attempt), task),
+                    FaultAction::Panic,
+                );
+            }
+            chains.push((seq, attempts));
+        }
+        // Delays go to the non-faulted items so every delayed item still
+        // completes on its first attempt and its bitwise-identity assertion
+        // stays meaningful.
+        let clean = &ids[faulted..];
+        if !clean.is_empty() {
+            for _ in 0..delays {
+                let seq = base_seq + clean[(rng.next_u64() as usize) % clean.len()] as u64;
+                let task = (rng.next_u64() as usize) % tasks;
+                let micros = 50 + rng.next_u64() % 500;
+                plan.faults
+                    .entry((crate::service::probe_id(seq, 0), task))
+                    .or_insert(FaultAction::Delay(Duration::from_micros(micros)));
+            }
+        }
+        chains.sort_unstable();
+        (plan, chains)
+    }
+
     /// The `(copy, task)` boundaries that panic, sorted (the chaos suite's
     /// expected-failure set).
     pub fn panics(&self) -> Vec<(usize, usize)> {

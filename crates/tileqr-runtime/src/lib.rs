@@ -40,8 +40,48 @@
 //!   [`driver::QrFactorization`] handle (extract `R`, apply `Q`/`Qᴴ`, build
 //!   `Q` explicitly, residuals).
 //! * [`solve`] — linear least-squares solve on top of the tiled QR, the
-//!   motivating application of the paper's introduction (one-shot and
-//!   context/plan-based variants).
+//!   motivating application of the paper's introduction (one-shot,
+//!   context/plan-based and service-routed variants).
+//! * [`service`] — the **streaming multi-tenant service layer** (see
+//!   below): a [`QrService`](service::QrService) in front of one context,
+//!   with bounded admission, per-tenant fairness, load shedding and
+//!   transient-fault retry.
+//!
+//! # Service layer
+//!
+//! `QrService` turns the session API into a long-running, multi-tenant
+//! front end. Many concurrent [`QrClient`](service::QrClient) handles
+//! submit dense matrices; each accepted submission returns a
+//! [`Ticket`](service::Ticket) that resolves with that matrix's `Result`
+//! the moment its last task retires — per-item streaming out of fused
+//! pool jobs, not join-the-whole-batch. The overload surface is typed and
+//! first-class:
+//!
+//! * **Bounded admission & backpressure** — the submission queue is
+//!   bounded; [`QrClient::submit`](service::QrClient::submit) fast-fails
+//!   with the retriable [`QrError::QueueFull`] while
+//!   [`QrClient::submit_within`](service::QrClient::submit_within) blocks
+//!   for admission up to a deadline.
+//! * **Fairness & quotas** — every client is a tenant with its own FIFO
+//!   lane and unresolved-item quota; the dispatcher dequeues lanes with a
+//!   deficit round-robin weighted by DAG size, so one hot tenant gets a
+//!   proportional share instead of starving the rest.
+//! * **Load shedding** — past a configured queue depth, new
+//!   [`Priority::Low`](service::Priority) work is shed at admission with
+//!   `QueueFull` instead of letting the tail latency of everything
+//!   collapse.
+//! * **Retry** — transient per-item faults ([`QrError::is_transient`]:
+//!   `TaskPanicked`, `Stalled`) re-run with bounded attempts and
+//!   decorrelated-jitter backoff; deterministic errors (`ShapeMismatch`
+//!   at submit, `NonFiniteInput` at dispatch) never retry.
+//! * **Shutdown ordering** — shutdown wakes blocked submitters
+//!   ([`QrError::ServiceShutdown`]), drains the in-flight job with real
+//!   outcomes, then resolves every queued/awaiting-retry ticket with
+//!   `ServiceShutdown`; no ticket is ever leaked, even if the dispatcher
+//!   panics.
+//!
+//! See the [`service`] module docs for the full semantics and
+//! `examples/service_stream.rs` for a multi-client open-loop demo.
 //!
 //! # Robustness & error handling
 //!
@@ -128,6 +168,7 @@ pub mod executor;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 mod pool;
+pub mod service;
 pub mod solve;
 pub mod state;
 pub mod sync;
@@ -138,6 +179,9 @@ pub use driver::{
     qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization, DEFAULT_INNER_BLOCK,
 };
 pub use executor::SchedulerKind;
-pub use solve::{least_squares_solve, least_squares_solve_with};
+pub use service::{
+    Priority, QrClient, QrService, RetryPolicy, ServiceConfig, ServiceStats, Ticket,
+};
+pub use solve::{least_squares_solve, least_squares_solve_via, least_squares_solve_with};
 pub use sync::CancelToken;
 pub use trace::{ExecutionTrace, TraceSummary, WorkerTrace};

@@ -11,6 +11,7 @@ use tileqr_matrix::{Matrix, Scalar};
 
 use crate::context::{QrContext, QrError, QrPlan};
 use crate::driver::{qr_factorize, QrConfig, QrFactorization};
+use crate::service::QrClient;
 
 /// Solves the least-squares problem `min ‖A·x − b‖₂` using a tiled QR
 /// factorization with the given configuration. Returns the solution vector
@@ -51,6 +52,31 @@ pub fn least_squares_solve_with<T: Scalar<Real = f64>>(
         });
     }
     let f = ctx.factorize(plan, a)?;
+    Ok(least_squares_with_factorization(&f, b))
+}
+
+/// Solves `min ‖A·x − b‖₂` through the **service layer**
+/// ([`crate::service`]): submits `a` on the client's tenant lane and
+/// blocks on the ticket, so the solve rides the service's admission
+/// control, fair scheduling and transient-fault retry. Takes `a` by value
+/// — the service retains the dense input across retry attempts.
+///
+/// Admission rejections surface unchanged: a retriable
+/// [`QrError::QueueFull`] under overload,
+/// [`QrError::ServiceShutdown`] once the service closed.
+pub fn least_squares_solve_via<T: Scalar<Real = f64>>(
+    client: &QrClient<T>,
+    plan: &std::sync::Arc<QrPlan<T>>,
+    a: Matrix<T>,
+    b: &[T],
+) -> Result<Vec<T>, QrError> {
+    if b.len() != a.rows() {
+        return Err(QrError::RhsLength {
+            expected: a.rows(),
+            got: b.len(),
+        });
+    }
+    let f = client.submit(plan, a)?.wait()?;
     Ok(least_squares_with_factorization(&f, b))
 }
 

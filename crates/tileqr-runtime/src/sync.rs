@@ -12,6 +12,12 @@
 //!   workers between tasks; carries *why* it fired (user cancel, deadline,
 //!   watchdog stall) so the context can report the matching
 //!   [`QrError`](crate::context::QrError).
+//! * [`OnceSlot`] — a one-shot blocking result cell (the service layer's
+//!   per-ticket rendezvous): one producer stores a value exactly once, any
+//!   number of consumers block until it lands. The producer skips the
+//!   condvar notification entirely when no consumer is waiting, so
+//!   resolving a ticket nobody is blocked on costs one mutex round trip
+//!   and zero syscalls.
 //! * [`Backoff`] — three-tier idle backoff (spin → yield → bounded park)
 //!   used by workers that find no runnable task, so an idle pool stops
 //!   burning CPU when the tail of the DAG is sequential while still reacting
@@ -153,6 +159,115 @@ impl CancelToken {
             CANCEL_STALLED => Some(CancelCause::Stalled),
             _ => None,
         }
+    }
+}
+
+/// A one-shot blocking result cell.
+///
+/// The producer calls [`OnceSlot::set`] exactly once; consumers either poll
+/// with [`OnceSlot::try_take`] or block in [`OnceSlot::wait`] /
+/// [`OnceSlot::wait_deadline`]. The value is *taken* (moved out) by whichever
+/// consumer call observes it first — the service layer wraps each slot in a
+/// single-owner `Ticket`, so in practice there is exactly one consumer.
+///
+/// `set` only touches the condvar when a consumer has registered as waiting
+/// (the `waiters` counter is incremented *before* the waiter takes the lock,
+/// and `set` reads it after releasing the lock, so a waiter is either seen by
+/// `set` or sees the value itself under the lock — the wakeup cannot be
+/// lost). This keeps the resolve path of an un-awaited ticket down to one
+/// uncontended mutex round trip, which is what lets the streaming service
+/// stay within its overhead budget against the fused batch path.
+#[derive(Debug)]
+pub struct OnceSlot<V> {
+    value: Mutex<Option<V>>,
+    cv: std::sync::Condvar,
+    waiters: AtomicUsize,
+}
+
+impl<V> Default for OnceSlot<V> {
+    fn default() -> Self {
+        OnceSlot::new()
+    }
+}
+
+impl<V> OnceSlot<V> {
+    /// An empty slot.
+    pub fn new() -> Self {
+        OnceSlot {
+            value: Mutex::new(None),
+            cv: std::sync::Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Stores the value, waking any blocked consumers. Returns `false` (and
+    /// drops `value`) if the slot was already filled — the service resolves
+    /// every ticket exactly once, so a double set is a caller bug surfaced
+    /// by a debug assertion rather than silent replacement.
+    pub fn set(&self, value: V) -> bool {
+        let stored = {
+            let mut slot = self.value.lock();
+            if slot.is_some() {
+                debug_assert!(false, "OnceSlot::set called twice");
+                false
+            } else {
+                *slot = Some(value);
+                true
+            }
+        };
+        if stored && self.waiters.load(Ordering::SeqCst) > 0 {
+            self.cv.notify_all();
+        }
+        stored
+    }
+
+    /// Takes the value if it has already landed.
+    pub fn try_take(&self) -> Option<V> {
+        self.value.lock().take()
+    }
+
+    /// True once a value has landed (and has not been taken yet).
+    pub fn is_set(&self) -> bool {
+        self.value.lock().is_some()
+    }
+
+    /// Blocks until the value lands, then takes it.
+    pub fn wait(&self) -> V {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut slot = self.value.lock();
+        loop {
+            if let Some(v) = slot.take() {
+                self.waiters.fetch_sub(1, Ordering::SeqCst);
+                return v;
+            }
+            slot = self
+                .cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until the value lands or `deadline` passes; takes the value if
+    /// it landed in time.
+    pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<V> {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let mut slot = self.value.lock();
+        let taken = loop {
+            if let Some(v) = slot.take() {
+                break Some(v);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break None;
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = guard;
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        taken
     }
 }
 
@@ -451,6 +566,37 @@ mod tests {
         assert!(!t.is_cancelled());
         t.cancel();
         assert_eq!(c.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn once_slot_set_then_take() {
+        let s = OnceSlot::new();
+        assert!(!s.is_set());
+        assert_eq!(s.try_take(), None);
+        assert!(s.set(7));
+        assert!(s.is_set());
+        assert_eq!(s.try_take(), Some(7));
+        assert_eq!(s.try_take(), None);
+    }
+
+    #[test]
+    fn once_slot_wakes_a_blocked_waiter() {
+        let s = Arc::new(OnceSlot::new());
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.wait());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(s.set(42));
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn once_slot_wait_deadline_times_out_and_later_succeeds() {
+        let s = OnceSlot::new();
+        let deadline = std::time::Instant::now() + Duration::from_millis(5);
+        assert_eq!(s.wait_deadline(deadline), None::<u32>);
+        s.set(9);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        assert_eq!(s.wait_deadline(deadline), Some(9));
     }
 
     #[test]

@@ -99,21 +99,31 @@ fn hot_loops_do_not_allocate_per_task() {
 }
 
 /// One steady-state iteration of the allocation-free batch loop: refill the
-/// tile buffers, factor them in place as one fused pool job, recycle the
-/// `T` storage. Returns the allocations performed inside the loop body.
+/// tile buffers, factor them in place as one fused pool job, return the `T`
+/// storage — either through the explicit [`QrPlan::recycle_reflectors`] call
+/// or by just dropping the results (the handles auto-recycle on drop).
+/// Returns the allocations performed inside the loop body.
 fn batch_steady_state_allocations(
     ctx: &QrContext,
     plan: &QrPlan<f64>,
     mats: &[Matrix<f64>],
     tiles: &mut [TiledMatrix<f64>],
+    explicit_recycle: bool,
 ) -> usize {
     let (allocs, ()) = allocations_during(|| {
         for (t, a) in tiles.iter_mut().zip(mats) {
             t.fill_from_dense_padded(a);
         }
         let refls = ctx.factorize_batch_into(plan, tiles);
-        for r in refls {
-            plan.recycle_reflectors(r.expect("conforming buffers must factor"));
+        if explicit_recycle {
+            for r in refls {
+                plan.recycle_reflectors(r.expect("conforming buffers must factor"));
+            }
+        } else {
+            // Drop-based recycling: the `Drop` impl hands the `T` buffers
+            // back to the plan's pool, so this must be exactly as
+            // allocation-free as the explicit call.
+            drop(refls);
         }
     });
     allocs
@@ -130,12 +140,16 @@ fn batch_steady_state_allocations(
 /// 2. the absolute steady-state count must undercut the 2 · p · q `T`-factor
 ///    allocations a single *non-recycled* matrix would need — direct
 ///    evidence the recycle pool, not the allocator, feeds the `T` slots.
+///
+/// Both probes run twice: once recycling explicitly and once just dropping
+/// the result handles, so drop-based auto-recycling is pinned to the same
+/// zero-growth steady state as the explicit call.
 fn batch_check(kind: SchedulerKind) {
     let nb = 4;
     let k = 3;
     let threads = 3;
     let ctx = QrContext::with_scheduler(threads, kind).expect("valid thread count");
-    let steady = |p: usize, q: usize| -> usize {
+    let steady = |p: usize, q: usize, explicit_recycle: bool| -> usize {
         let plan: QrPlan<f64> =
             QrPlan::new(p * nb, q * nb, QrConfig::new(nb)).expect("valid shape");
         let mats: Vec<Matrix<f64>> = (0..k)
@@ -149,26 +163,34 @@ fn batch_check(kind: SchedulerKind) {
         // sizes every retained vector; the measured iteration after it is
         // the steady state a batch service runs in.
         for _ in 0..2 {
-            let _ = batch_steady_state_allocations(&ctx, &plan, &mats, &mut tiles);
+            let _ =
+                batch_steady_state_allocations(&ctx, &plan, &mats, &mut tiles, explicit_recycle);
         }
-        batch_steady_state_allocations(&ctx, &plan, &mats, &mut tiles)
+        batch_steady_state_allocations(&ctx, &plan, &mats, &mut tiles, explicit_recycle)
     };
-    let small = steady(3, 2);
-    let large = steady(10, 6);
-    let slack = 32;
-    assert!(
-        large <= small + slack,
-        "[{}] batch hot path allocates per task/tile: {small} allocs on 6 tiles \
-         but {large} on 60 tiles",
-        kind.name()
-    );
-    assert!(
-        large < 2 * 10 * 6,
-        "[{}] steady-state batch call allocated {large} times — the T-factor \
-         pool is not feeding the hot path (a cold call needs 2·p·q·k = {})",
-        kind.name(),
-        2 * 10 * 6 * k
-    );
+    for explicit_recycle in [true, false] {
+        let small = steady(3, 2, explicit_recycle);
+        let large = steady(10, 6, explicit_recycle);
+        let mode = if explicit_recycle {
+            "explicit recycle"
+        } else {
+            "drop-based recycle"
+        };
+        let slack = 32;
+        assert!(
+            large <= small + slack,
+            "[{} / {mode}] batch hot path allocates per task/tile: {small} allocs on 6 tiles \
+             but {large} on 60 tiles",
+            kind.name()
+        );
+        assert!(
+            large < 2 * 10 * 6,
+            "[{} / {mode}] steady-state batch call allocated {large} times — the T-factor \
+             pool is not feeding the hot path (a cold call needs 2·p·q·k = {})",
+            kind.name(),
+            2 * 10 * 6 * k
+        );
+    }
 }
 
 fn parallel_check(kind: SchedulerKind, ib: usize) {

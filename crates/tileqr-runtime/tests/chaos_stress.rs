@@ -18,6 +18,9 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use tileqr_core::algorithms::Algorithm;
 use tileqr_core::dag::TaskDag;
 use tileqr_core::KernelFamily;
@@ -26,6 +29,7 @@ use tileqr_matrix::rng::Rng;
 use tileqr_matrix::{Complex64, Matrix, TiledMatrix};
 use tileqr_runtime::driver::{elimination_list_for, qr_factorize, QrConfig};
 use tileqr_runtime::fault::FaultPlan;
+use tileqr_runtime::service::{probe_id, QrService, RetryPolicy, ServiceConfig};
 use tileqr_runtime::{QrContext, QrError, QrPlan, SchedulerKind};
 
 const RUNS: usize = 100;
@@ -177,6 +181,295 @@ fn hundred_seeded_fault_schedules_are_contained_per_item() {
             _ => chaos_round::<Complex64>(&mut rng, &contexts, it, true),
         }
     }
+}
+
+/// Retry budget the service chaos rounds run with; fault chains are drawn
+/// from `1..=SERVICE_RETRIES + 1` attempts so both retried-to-success and
+/// budget-exhausted outcomes occur.
+const SERVICE_RETRIES: u32 = 2;
+/// Submissions per round — two per client thread.
+const SERVICE_ITEMS: usize = 8;
+/// Concurrent client threads per round.
+const SERVICE_CLIENTS: usize = 4;
+
+fn chaos_service_config() -> ServiceConfig {
+    // Generous admission: the round's seq ↔ item mapping assumes every
+    // submission is accepted (rejections would leave holes in the dense
+    // `base_seq..base_seq + items` range the fault plan was keyed on).
+    ServiceConfig::default()
+        .with_queue_capacity(64)
+        .with_shed_threshold(64)
+        .with_client_quota(64)
+        .with_max_group(4)
+        .with_retry(RetryPolicy {
+            max_retries: SERVICE_RETRIES,
+            base_delay: Duration::from_micros(50),
+            max_delay: Duration::from_millis(2),
+        })
+}
+
+fn chaos_services<T: RandomScalar>() -> Vec<QrService<T>> {
+    SchedulerKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let ctx = QrContext::with_scheduler(THREADS, kind).expect("valid thread count");
+            QrService::new(ctx, chaos_service_config()).expect("service spawns")
+        })
+        .collect()
+}
+
+/// One service chaos round: draw a problem, compute fault-free references,
+/// then — per scheduler — arm a seeded per-attempt fault schedule and push
+/// the items through the service from four concurrent client threads.
+/// Items whose fault chain fits the retry budget must be retried to a
+/// bitwise-identical success; items whose chain exceeds it must surface the
+/// last attempt's panic; clean items must match the references bitwise; and
+/// the retry counter must move by exactly the transient budget consumed
+/// (deterministic failures never retry, so any extra tick would fail the
+/// equality).
+fn service_chaos_round<T: RandomScalar>(rng: &mut Rng, services: &[QrService<T>], it: usize) {
+    let algorithms = [
+        Algorithm::Greedy,
+        Algorithm::FlatTree,
+        Algorithm::Fibonacci,
+        Algorithm::BinaryTree,
+    ];
+    let nb = 2 + (rng.next_u64() % 4) as usize; // 2..=5
+    let p = 2 + (rng.next_u64() % 4) as usize; // 2..=5 tile rows
+    let q = 1 + (rng.next_u64() % p.min(3) as u64) as usize; // 1..=min(p,3)
+    let m = p * nb - (rng.next_u64() % nb as u64) as usize; // ragged edges
+    let n = (q * nb - (rng.next_u64() % nb as u64) as usize)
+        .min(m)
+        .max(1);
+    let algo = algorithms[(rng.next_u64() % 4) as usize];
+    let family = if rng.next_u64() % 2 == 0 {
+        KernelFamily::TT
+    } else {
+        KernelFamily::TS
+    };
+    let ib = 1 + (rng.next_u64() % nb as u64) as usize; // 1..=nb
+
+    let config = QrConfig::new(nb)
+        .with_algorithm(algo)
+        .with_family(family)
+        .with_inner_block(ib);
+    let mats: Vec<Matrix<T>> = (0..SERVICE_ITEMS)
+        .map(|_| random_matrix(m, n, rng.next_u64()))
+        .collect();
+    // Fault-free references, computed before any plan is armed.
+    let references: Vec<_> = mats.iter().map(|a| qr_factorize(a, config)).collect();
+
+    let plan = Arc::new(QrPlan::<T>::new(m, n, config).expect("valid random shape"));
+    let dag = TaskDag::build(
+        &elimination_list_for(algo, plan.tile_rows(), plan.tile_cols()),
+        family,
+    );
+    let faulted = 1 + (rng.next_u64() as usize) % (SERVICE_ITEMS / 2); // 1..=4
+    let delays = (rng.next_u64() % 4) as usize;
+    let fault_seed = rng.next_u64();
+
+    for (service, kind) in services.iter().zip(SchedulerKind::ALL) {
+        let before = service.stats();
+        // The queue is quiescent between rounds, so the next assigned
+        // sequence number equals the accepted-submission count.
+        let base_seq = before.submitted;
+        let (faults, chains) = FaultPlan::seeded_service(
+            fault_seed,
+            base_seq,
+            SERVICE_ITEMS,
+            plan.task_count(),
+            faulted,
+            SERVICE_RETRIES + 1,
+            delays,
+        );
+        let chain_map: HashMap<u64, u32> = chains.iter().copied().collect();
+        // probe copy -> faulted task, for checking the surfaced error's kind.
+        let panic_tasks: HashMap<usize, usize> = faults.panics().into_iter().collect();
+        let label = |idx: usize, seq: u64| {
+            format!(
+                "iteration {it} item {idx} (seq {seq}): {m}x{n} nb={nb} ib={ib} {} {} under {}, \
+                 chains {chains:?} (+{} delays)",
+                algo.name(),
+                family.name(),
+                kind.name(),
+                faults.delay_count(),
+            )
+        };
+
+        let armed = faults.clone().install();
+        // Four concurrent clients submit two items each; the seq ↔ item
+        // mapping is nondeterministic under concurrency, so it is read back
+        // from the tickets rather than assumed.
+        let tickets: Vec<(usize, tileqr_runtime::Ticket<T>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..SERVICE_CLIENTS)
+                .map(|t| {
+                    let client = service.client();
+                    let mats = &mats;
+                    let plan = &plan;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for idx in (t..SERVICE_ITEMS).step_by(SERVICE_CLIENTS) {
+                            let ticket = client
+                                .submit(plan, mats[idx].clone())
+                                .expect("generous admission accepts every chaos submission");
+                            out.push((idx, ticket));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        // Every ticket resolves while the plan is still armed (retries run
+        // through the probed loop too); a leaked ticket would hang here.
+        let outcomes: Vec<(usize, u64, Result<_, QrError>)> = tickets
+            .into_iter()
+            .map(|(idx, t)| {
+                let seq = t.seq();
+                (idx, seq, t.wait())
+            })
+            .collect();
+        drop(armed);
+
+        // The round's sequence numbers are exactly the dense range the fault
+        // plan was keyed on.
+        let mut seqs: Vec<u64> = outcomes.iter().map(|&(_, seq, _)| seq).collect();
+        seqs.sort_unstable();
+        let expect_seqs: Vec<u64> = (base_seq..base_seq + SERVICE_ITEMS as u64).collect();
+        assert_eq!(seqs, expect_seqs, "iteration {it} under {}", kind.name());
+
+        for (idx, seq, outcome) in &outcomes {
+            match (chain_map.get(seq), outcome) {
+                // Chain fits the retry budget: retried to success, and the
+                // result is bitwise identical to the fault-free run.
+                (Some(&a), Ok(f)) if a <= SERVICE_RETRIES => assert_eq!(
+                    f.factored_tiles(),
+                    references[*idx].factored_tiles(),
+                    "{} (retried item diverged bitwise)",
+                    label(*idx, *seq)
+                ),
+                // Chain exhausts the budget: the final attempt's injected
+                // panic surfaces, with the faulted task's kind.
+                (Some(&a), Err(QrError::TaskPanicked { kind: k, message }))
+                    if a > SERVICE_RETRIES =>
+                {
+                    let probe = probe_id(*seq, SERVICE_RETRIES);
+                    let task = panic_tasks[&probe];
+                    assert_eq!(*k, dag.tasks[task].kind, "{}", label(*idx, *seq));
+                    let expect_msg = format!("injected fault at (copy {probe}, task {task})");
+                    assert!(
+                        message.contains(&expect_msg),
+                        "{}: got {message:?}",
+                        label(*idx, *seq)
+                    );
+                }
+                (Some(&a), other) => panic!(
+                    "{}: {a}-attempt chain resolved as {other:?}",
+                    label(*idx, *seq)
+                ),
+                (None, Ok(f)) => assert_eq!(
+                    f.factored_tiles(),
+                    references[*idx].factored_tiles(),
+                    "{} (clean item diverged bitwise)",
+                    label(*idx, *seq)
+                ),
+                (None, Err(e)) => panic!("{}: clean item failed: {e}", label(*idx, *seq)),
+            }
+        }
+
+        let after = service.stats();
+        assert_eq!(after.submitted - before.submitted, SERVICE_ITEMS as u64);
+        assert_eq!(
+            (after.completed + after.failed) - (before.completed + before.failed),
+            SERVICE_ITEMS as u64,
+            "iteration {it} under {}: a ticket went unaccounted",
+            kind.name()
+        );
+        // Exactly the transient budget is consumed — an `a`-attempt chain
+        // retries `min(a, budget)` times and nothing else retries at all.
+        let expect_retries: u64 = chains
+            .iter()
+            .map(|&(_, a)| u64::from(a.min(SERVICE_RETRIES)))
+            .sum();
+        assert_eq!(
+            after.retries - before.retries,
+            expect_retries,
+            "iteration {it} under {}: retry counter off (chains {chains:?})",
+            kind.name()
+        );
+        assert_eq!(service.queue_depth(), 0, "iteration {it} left residue");
+    }
+}
+
+/// Shutdown with faults armed and tickets in flight: every ticket still
+/// resolves — queued items drain with [`QrError::ServiceShutdown`], in-flight
+/// items finish with their real outcome (success or the injected panic; the
+/// drain never retries), and the counters account for every submission.
+fn service_chaos_drain<T: RandomScalar>(services: Vec<QrService<T>>, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    for service in services {
+        let config = QrConfig::new(4);
+        let plan = Arc::new(QrPlan::<T>::new(20, 12, config).expect("static shape"));
+        let before = service.stats();
+        let (faults, _chains) = FaultPlan::seeded_service(
+            rng.next_u64(),
+            before.submitted,
+            SERVICE_ITEMS,
+            plan.task_count(),
+            2,
+            SERVICE_RETRIES + 1,
+            2,
+        );
+        let armed = faults.install();
+        let client = service.client();
+        let tickets: Vec<_> = (0..SERVICE_ITEMS)
+            .map(|i| {
+                client
+                    .submit(&plan, random_matrix::<T>(20, 12, rng.next_u64() ^ i as u64))
+                    .expect("capacity admits the burst")
+            })
+            .collect();
+        service.shutdown();
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(_) | Err(QrError::ServiceShutdown) | Err(QrError::TaskPanicked { .. }) => {}
+                Err(e) => panic!("drain resolved a ticket with an unexpected error: {e}"),
+            }
+        }
+        drop(armed);
+        let after = service.stats();
+        assert_eq!(after.submitted - before.submitted, SERVICE_ITEMS as u64);
+        assert_eq!(
+            (after.completed + after.failed) - (before.completed + before.failed),
+            SERVICE_ITEMS as u64,
+            "shutdown drain lost a ticket"
+        );
+        assert_eq!(service.queue_depth(), 0);
+    }
+}
+
+#[test]
+fn hundred_seeded_service_schedules_with_concurrent_clients() {
+    let _serial = serial();
+    let f64_services = chaos_services::<f64>();
+    let c64_services = chaos_services::<Complex64>();
+    let mut rng = Rng::seed_from_u64(0x5E7FA017);
+    for it in 0..RUNS {
+        // Alternate scalar type; every round replays its schedule on all
+        // three schedulers' services.
+        if it % 2 == 0 {
+            service_chaos_round::<f64>(&mut rng, &f64_services, it);
+        } else {
+            service_chaos_round::<Complex64>(&mut rng, &c64_services, it);
+        }
+    }
+    // Final drain: shutdown with faults armed and tickets in flight must
+    // still resolve every ticket.
+    service_chaos_drain(f64_services, 0xD4A1_F00D);
+    service_chaos_drain(c64_services, 0xD4A1_F00E);
 }
 
 #[test]

@@ -208,6 +208,53 @@ fn context_teardown_with_a_call_in_flight_does_not_hang() {
 }
 
 #[test]
+fn service_teardown_with_in_flight_submissions_resolves_every_ticket() {
+    use tileqr_runtime::service::{QrService, ServiceConfig};
+    // A single-threaded context runs fused jobs on the dispatcher thread,
+    // so shutting down right after a burst guarantees a mix of in-flight,
+    // queued and never-dispatched items.
+    for threads in [1usize, 4] {
+        let ctx = QrContext::new(threads).unwrap();
+        let plan = Arc::new(plan());
+        let service = QrService::new(
+            ctx,
+            ServiceConfig::default()
+                .with_queue_capacity(64)
+                .with_shed_threshold(64),
+        )
+        .unwrap();
+        let client = service.client();
+        let tickets: Vec<_> = mats(24, 400)
+            .into_iter()
+            .map(|a| client.submit(&plan, a).unwrap())
+            .collect();
+        // Tear down with most of the burst still pending. Every ticket must
+        // resolve — items the dispatcher already ran return their real
+        // outcome, the rest drain with the typed shutdown error — and the
+        // whole sequence must terminate (no hang, no dropped receiver).
+        service.shutdown();
+        let mut drained = 0usize;
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            match ticket.wait() {
+                Ok(_) => {}
+                Err(QrError::ServiceShutdown) => drained += 1,
+                Err(e) => panic!("ticket {i}: expected Ok or ServiceShutdown, got {e:?}"),
+            }
+        }
+        // Post-shutdown bookkeeping: everything accounted for, nothing
+        // queued, new submissions typed-rejected (no panic, no hang).
+        let stats = service.stats();
+        assert_eq!(stats.completed + stats.failed, 24);
+        assert_eq!(stats.failed as usize, drained);
+        assert_eq!(service.queue_depth(), 0);
+        assert!(matches!(
+            client.submit(&plan, mats(1, 500).pop().unwrap()),
+            Err(QrError::ServiceShutdown)
+        ));
+    }
+}
+
+#[test]
 fn check_finite_rejects_non_finite_inputs_before_any_kernel() {
     let config = QrConfig::new(NB).with_check_finite(true);
     let plan: QrPlan<f64> = QrPlan::new(M, N, config).unwrap();

@@ -1,0 +1,394 @@
+//! Integration coverage of the streaming multi-tenant service layer:
+//! bitwise-identical streamed results across schedulers, bounded admission
+//! (fast-fail and blocking-with-deadline), priority load shedding,
+//! per-client quotas, deficit-round-robin fairness, deterministic input
+//! errors through the ticket, and the service-routed least-squares solve.
+//!
+//! The overload tests pin the dispatcher deterministically: a `threads = 1`
+//! context runs fused jobs *on the dispatcher thread itself*, so one large
+//! "blocker" submission keeps the dispatcher busy while the test fills the
+//! admission queue at leisure.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tileqr_matrix::generate::{random_matrix, random_vector};
+use tileqr_matrix::Matrix;
+use tileqr_runtime::driver::QrConfig;
+use tileqr_runtime::service::{Priority, QrService, RetryPolicy, ServiceConfig};
+use tileqr_runtime::solve::{least_squares_solve_via, least_squares_solve_with};
+use tileqr_runtime::{QrContext, QrError, QrPlan, SchedulerKind};
+
+const M: usize = 48;
+const N: usize = 32;
+const NB: usize = 8;
+
+fn plan() -> Arc<QrPlan<f64>> {
+    Arc::new(QrPlan::new(M, N, QrConfig::new(NB)).expect("valid shape"))
+}
+
+/// A plan big enough that one submission keeps a single-threaded dispatcher
+/// busy for a macroscopic stretch.
+fn blocker_plan() -> Arc<QrPlan<f64>> {
+    Arc::new(QrPlan::new(256, 192, QrConfig::new(8)).expect("valid shape"))
+}
+
+/// Spins until the service dequeued everything currently admitted (the
+/// dispatcher picked the work up; with `threads = 1` it is now running it).
+fn wait_until_drained_queue(service: &QrService<f64>) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.queue_depth() > 0 {
+        assert!(Instant::now() < deadline, "dispatcher never picked up work");
+        std::thread::yield_now();
+    }
+}
+
+/// Fast-retry policy for tests that should not sleep meaningfully.
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 2,
+        base_delay: Duration::from_micros(50),
+        max_delay: Duration::from_millis(2),
+    }
+}
+
+#[test]
+fn streamed_results_are_bitwise_identical_across_schedulers() {
+    let plan = plan();
+    let reference: Vec<Matrix<f64>> = (0..6)
+        .map(|i| {
+            let ctx = QrContext::new(1).unwrap();
+            ctx.factorize(&plan, &random_matrix(M, N, 40 + i))
+                .unwrap()
+                .r()
+        })
+        .collect();
+    let mut threaded: Vec<(usize, SchedulerKind)> = SchedulerKind::ALL
+        .iter()
+        .map(|&kind| (4usize, kind))
+        .collect();
+    threaded.push((1, SchedulerKind::default()));
+    for (threads, kind) in threaded {
+        let ctx = QrContext::with_scheduler(threads, kind).unwrap();
+        let service =
+            QrService::new(ctx, ServiceConfig::default().with_retry(fast_retry())).unwrap();
+        // Three tenants interleaving submissions over one shape.
+        let clients = [service.client(), service.client(), service.client()];
+        let tickets: Vec<_> = (0..6u64)
+            .map(|i| {
+                clients[(i % 3) as usize]
+                    .submit(&plan, random_matrix(M, N, 40 + i))
+                    .unwrap()
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let f = ticket.wait().unwrap_or_else(|e| {
+                panic!(
+                    "item {i} failed under {} threads {threads}: {e:?}",
+                    kind.name()
+                )
+            });
+            assert_eq!(
+                f.r().as_slice(),
+                reference[i].as_slice(),
+                "item {i} not bitwise identical under {} threads {threads}",
+                kind.name()
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.retries, 0);
+    }
+}
+
+#[test]
+fn full_queue_fast_fails_with_queue_full() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(4)
+            .with_shed_threshold(4),
+    )
+    .unwrap();
+    let client = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    let blocker = client.submit(&big, random_matrix(256, 192, 1)).unwrap();
+    wait_until_drained_queue(&service);
+    // Dispatcher is busy factoring the blocker; fill the queue.
+    let mut tickets = Vec::new();
+    for i in 0..4u64 {
+        tickets.push(client.submit(&small, random_matrix(M, N, 60 + i)).unwrap());
+    }
+    match client.submit(&small, random_matrix(M, N, 70)) {
+        Err(QrError::QueueFull) => {}
+        other => panic!("expected QueueFull on a full queue, got {other:?}"),
+    }
+    assert!(service.stats().rejected >= 1);
+    assert!(blocker.wait().is_ok());
+    for t in tickets {
+        assert!(t.wait().is_ok());
+    }
+    assert_eq!(service.stats().max_queue_depth, 4);
+}
+
+#[test]
+fn low_priority_is_shed_under_saturation_while_normal_is_admitted() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(8)
+            .with_shed_threshold(2),
+    )
+    .unwrap();
+    let client = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    let blocker = client.submit(&big, random_matrix(256, 192, 2)).unwrap();
+    wait_until_drained_queue(&service);
+    let t1 = client.submit(&small, random_matrix(M, N, 80)).unwrap();
+    let t2 = client.submit(&small, random_matrix(M, N, 81)).unwrap();
+    // Depth is now at the shed threshold: Low is rejected (retriable),
+    // Normal and High still get in.
+    match client.submit_with_priority(&small, random_matrix(M, N, 82), Priority::Low) {
+        Err(e @ QrError::QueueFull) => assert!(e.is_transient(), "shedding must be retriable"),
+        other => panic!("expected Low work to be shed, got {other:?}"),
+    }
+    let t3 = client
+        .submit_with_priority(&small, random_matrix(M, N, 83), Priority::High)
+        .unwrap();
+    let stats = service.stats();
+    assert_eq!(stats.shed, 1);
+    assert!(stats.rejected >= 1);
+    for t in [blocker, t1, t2, t3] {
+        assert!(t.wait().is_ok());
+    }
+}
+
+#[test]
+fn per_client_quota_bounds_one_tenant_without_blocking_others() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(16)
+            .with_shed_threshold(16)
+            .with_client_quota(2),
+    )
+    .unwrap();
+    let blocker_client = service.client();
+    let tenant_a = service.client();
+    let tenant_b = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    let blocker = blocker_client
+        .submit(&big, random_matrix(256, 192, 3))
+        .unwrap();
+    wait_until_drained_queue(&service);
+    let a1 = tenant_a.submit(&small, random_matrix(M, N, 90)).unwrap();
+    let a2 = tenant_a.submit(&small, random_matrix(M, N, 91)).unwrap();
+    match tenant_a.submit(&small, random_matrix(M, N, 92)) {
+        Err(QrError::QueueFull) => {}
+        other => panic!("expected the quota to reject tenant A, got {other:?}"),
+    }
+    // A clone shares the tenant identity — and its quota.
+    match tenant_a.clone().submit(&small, random_matrix(M, N, 93)) {
+        Err(QrError::QueueFull) => {}
+        other => panic!("expected the clone to share the quota, got {other:?}"),
+    }
+    // Another tenant is unaffected.
+    let b1 = tenant_b.submit(&small, random_matrix(M, N, 94)).unwrap();
+    for t in [blocker, a1, a2, b1] {
+        assert!(t.wait().is_ok());
+    }
+    // Quota slots were released on resolution: tenant A can submit again.
+    assert!(tenant_a
+        .submit(&small, random_matrix(M, N, 95))
+        .unwrap()
+        .wait()
+        .is_ok());
+}
+
+#[test]
+fn submit_within_blocks_until_admission_and_times_out_cleanly() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(1)
+            .with_shed_threshold(1),
+    )
+    .unwrap();
+    let client = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    let blocker = client.submit(&big, random_matrix(256, 192, 4)).unwrap();
+    wait_until_drained_queue(&service);
+    let filler = client.submit(&small, random_matrix(M, N, 96)).unwrap();
+    // Queue is full (capacity 1). The short deadline expires first.
+    match client.submit_within(
+        &small,
+        random_matrix(M, N, 97),
+        Priority::Normal,
+        Duration::from_millis(1),
+    ) {
+        Err(QrError::QueueFull) => {}
+        other => panic!("expected the blocking submit to time out, got {other:?}"),
+    }
+    // A generous deadline outlives the blocker: admission opens once the
+    // dispatcher dequeues the filler, and the submission goes through.
+    let admitted = client
+        .submit_within(
+            &small,
+            random_matrix(M, N, 98),
+            Priority::Normal,
+            Duration::from_secs(60),
+        )
+        .expect("blocking submit must be admitted once space frees");
+    for t in [blocker, filler, admitted] {
+        assert!(t.wait().is_ok());
+    }
+}
+
+#[test]
+fn fair_dequeue_keeps_a_flooding_tenant_from_starving_others() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(64)
+            .with_shed_threshold(64)
+            .with_client_quota(64),
+    )
+    .unwrap();
+    let blocker_client = service.client();
+    let flooder = service.client();
+    let polite = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    // Pin the dispatcher so both lanes are fully populated before the
+    // first fair-dequeue round.
+    let blocker = blocker_client
+        .submit(&big, random_matrix(256, 192, 5))
+        .unwrap();
+    wait_until_drained_queue(&service);
+    let flood: Vec<_> = (0..30u64)
+        .map(|i| {
+            flooder
+                .submit(&small, random_matrix(M, N, 200 + i))
+                .unwrap()
+        })
+        .collect();
+    let wanted: Vec<_> = (0..4u64)
+        .map(|i| polite.submit(&small, random_matrix(M, N, 300 + i)).unwrap())
+        .collect();
+    for t in wanted {
+        assert!(t.wait().is_ok());
+    }
+    // Deficit round-robin interleaves the lanes: when the polite tenant's
+    // last item resolved, the flooding tenant must not be fully drained
+    // (pure FIFO would have run all 30 flood items first).
+    let unresolved = flood.iter().filter(|t| !t.is_ready()).count();
+    assert!(
+        unresolved >= 1,
+        "fair dequeue should leave flood items behind the polite tenant's"
+    );
+    assert!(blocker.wait().is_ok());
+    for t in flood {
+        assert!(t.wait().is_ok());
+    }
+}
+
+#[test]
+fn non_finite_input_resolves_through_the_ticket_and_never_retries() {
+    let ctx = QrContext::new(2).unwrap();
+    let checked =
+        Arc::new(QrPlan::<f64>::new(M, N, QrConfig::new(NB).with_check_finite(true)).unwrap());
+    let service = QrService::new(ctx, ServiceConfig::default().with_retry(fast_retry())).unwrap();
+    let client = service.client();
+    let mut bad = random_matrix(M, N, 7);
+    bad.as_mut_slice()[5] = f64::NAN;
+    let ticket = client.submit(&checked, bad).unwrap();
+    match ticket.wait() {
+        Err(QrError::NonFiniteInput { .. }) => {}
+        other => panic!("expected NonFiniteInput through the ticket, got {other:?}"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.retries, 0, "deterministic errors must never retry");
+    assert_eq!(stats.failed, 1);
+    // The service keeps serving after a poisoned item.
+    assert!(client
+        .submit(&checked, random_matrix(M, N, 8))
+        .unwrap()
+        .wait()
+        .is_ok());
+}
+
+#[test]
+fn wait_for_times_out_and_hands_the_ticket_back() {
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(ctx, ServiceConfig::default()).unwrap();
+    let client = service.client();
+    let big = blocker_plan();
+    let small = plan();
+    let blocker = client.submit(&big, random_matrix(256, 192, 6)).unwrap();
+    wait_until_drained_queue(&service);
+    let queued = client.submit(&small, random_matrix(M, N, 99)).unwrap();
+    let queued = match queued.wait_for(Duration::from_millis(1)) {
+        Err(ticket) => ticket,
+        Ok(r) => panic!("queued item cannot resolve behind a blocker: {r:?}"),
+    };
+    assert!(blocker.wait().is_ok());
+    assert!(queued.wait().is_ok(), "the returned ticket must stay valid");
+}
+
+#[test]
+fn least_squares_solve_via_matches_the_context_path() {
+    let ctx = QrContext::new(2).unwrap();
+    let plan = plan();
+    let a: Matrix<f64> = random_matrix(M, N, 11);
+    let b: Vec<f64> = random_vector(M, 12);
+    let expected = {
+        let ctx = QrContext::new(1).unwrap();
+        least_squares_solve_with(&ctx, &plan, &a, &b).unwrap()
+    };
+    let service = QrService::new(ctx, ServiceConfig::default()).unwrap();
+    let client = service.client();
+    let x = least_squares_solve_via(&client, &plan, a.clone(), &b).unwrap();
+    assert_eq!(x, expected, "service-routed solve must match bitwise");
+    // RHS length mismatch is typed, not a panic.
+    match least_squares_solve_via(&client, &plan, a, &b[..M - 1]) {
+        Err(QrError::RhsLength { expected, got }) => {
+            assert_eq!((expected, got), (M, M - 1));
+        }
+        other => panic!("expected RhsLength, got {other:?}"),
+    }
+}
+
+#[test]
+fn submissions_after_shutdown_are_rejected_with_service_shutdown() {
+    let ctx = QrContext::new(1).unwrap();
+    let plan = plan();
+    let service = QrService::new(ctx, ServiceConfig::default()).unwrap();
+    let client = service.client();
+    service.shutdown();
+    match client.submit(&plan, random_matrix(M, N, 13)) {
+        Err(e @ QrError::ServiceShutdown) => {
+            assert!(!e.is_transient(), "shutdown is not a retriable condition");
+        }
+        other => panic!("expected ServiceShutdown, got {other:?}"),
+    }
+    match client.submit_within(
+        &plan,
+        random_matrix(M, N, 14),
+        Priority::High,
+        Duration::from_secs(1),
+    ) {
+        Err(QrError::ServiceShutdown) => {}
+        other => panic!("expected ServiceShutdown from the blocking path, got {other:?}"),
+    }
+}

@@ -16,7 +16,9 @@
 //!   performance model.
 //! * [`runtime`] — a multicore dependency-counting scheduler that executes
 //!   the task DAG, plus high-level drivers (factorize, apply Qᴴ, build Q,
-//!   least-squares solve).
+//!   least-squares solve) and a streaming multi-tenant service layer
+//!   (bounded admission, fair scheduling, load shedding, transient-fault
+//!   retry).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the full
 //! reproduction of the paper's tables and figures.
@@ -32,7 +34,8 @@ pub use tileqr_runtime as runtime;
 /// services factoring a stream of matrices should hold a
 /// [`QrContext`](prelude::QrContext) (persistent worker pool) plus one
 /// [`QrPlan`](prelude::QrPlan) per problem shape, so repeated calls pay only
-/// kernel time.
+/// kernel time. Multi-tenant traffic goes through a
+/// [`QrService`](prelude::QrService) in front of the context.
 pub mod prelude {
     pub use tileqr_core::algorithms::Algorithm;
     pub use tileqr_core::dag::KernelFamily;
@@ -41,6 +44,11 @@ pub mod prelude {
     pub use tileqr_runtime::driver::{
         qr_factorize, qr_factorize_parallel, QrConfig, QrFactorization,
     };
-    pub use tileqr_runtime::solve::{least_squares_solve, least_squares_solve_with};
+    pub use tileqr_runtime::service::{
+        Priority, QrClient, QrService, RetryPolicy, ServiceConfig, ServiceStats, Ticket,
+    };
+    pub use tileqr_runtime::solve::{
+        least_squares_solve, least_squares_solve_via, least_squares_solve_with,
+    };
     pub use tileqr_runtime::SchedulerKind;
 }
