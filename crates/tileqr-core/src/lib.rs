@@ -11,6 +11,9 @@
 //!   and the paper's Table 2;
 //! * [`dag`] — the weighted kernel task graph for the TT and TS kernel
 //!   families (Sections 2.1 and 2.3);
+//! * [`footprint`] — per-kernel memory footprints at tile-region granularity
+//!   and the static analyzer proving every plan's conflicting accesses are
+//!   ordered by the DAG (no RAW/WAR/WAW races, sound structure);
 //! * [`sim`] — the discrete-event simulator: unbounded/bounded schedules,
 //!   per-tile elimination times (Tables 3–4), critical paths (Table 5) and
 //!   the dynamic Asap / Grasap(k) algorithms;
@@ -28,6 +31,7 @@ pub mod algorithms;
 pub mod coarse;
 pub mod dag;
 pub mod elim;
+pub mod footprint;
 pub mod formulas;
 pub mod perfmodel;
 pub mod sim;

@@ -357,35 +357,41 @@ mod x86 {
     /// `8·k` / `4·k` elements.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn f64_ukernel_avx2(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; ACC_CAP]) {
-        let mut c = [[_mm256_setzero_pd(); 2]; 4];
-        for (j, cj) in c.iter_mut().enumerate() {
-            cj[0] = _mm256_loadu_pd(acc.as_ptr().add(j * 8));
-            cj[1] = _mm256_loadu_pd(acc.as_ptr().add(j * 8 + 4));
-        }
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        for _ in 0..k {
-            let a0 = _mm256_loadu_pd(a);
-            let a1 = _mm256_loadu_pd(a.add(4));
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let mut c = [[_mm256_setzero_pd(); 2]; 4];
             for (j, cj) in c.iter_mut().enumerate() {
-                let bv = _mm256_broadcast_sd(&*b.add(j));
-                #[cfg(feature = "fma")]
-                {
-                    cj[0] = _mm256_fmadd_pd(a0, bv, cj[0]);
-                    cj[1] = _mm256_fmadd_pd(a1, bv, cj[1]);
-                }
-                #[cfg(not(feature = "fma"))]
-                {
-                    cj[0] = _mm256_add_pd(cj[0], _mm256_mul_pd(a0, bv));
-                    cj[1] = _mm256_add_pd(cj[1], _mm256_mul_pd(a1, bv));
-                }
+                cj[0] = _mm256_loadu_pd(acc.as_ptr().add(j * 8));
+                cj[1] = _mm256_loadu_pd(acc.as_ptr().add(j * 8 + 4));
             }
-            a = a.add(8);
-            b = b.add(4);
-        }
-        for (j, cj) in c.iter().enumerate() {
-            _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8), cj[0]);
-            _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8 + 4), cj[1]);
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..k {
+                let a0 = _mm256_loadu_pd(a);
+                let a1 = _mm256_loadu_pd(a.add(4));
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let bv = _mm256_broadcast_sd(&*b.add(j));
+                    #[cfg(feature = "fma")]
+                    {
+                        cj[0] = _mm256_fmadd_pd(a0, bv, cj[0]);
+                        cj[1] = _mm256_fmadd_pd(a1, bv, cj[1]);
+                    }
+                    #[cfg(not(feature = "fma"))]
+                    {
+                        cj[0] = _mm256_add_pd(cj[0], _mm256_mul_pd(a0, bv));
+                        cj[1] = _mm256_add_pd(cj[1], _mm256_mul_pd(a1, bv));
+                    }
+                }
+                a = a.add(8);
+                b = b.add(4);
+            }
+            for (j, cj) in c.iter().enumerate() {
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8), cj[0]);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8 + 4), cj[1]);
+            }
         }
     }
 
@@ -398,34 +404,44 @@ mod x86 {
     /// `8·k` / `4·k` elements.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn f64_ukernel_avx512(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; ACC_CAP]) {
-        let mut c = [_mm512_setzero_pd(); 4];
-        for (j, cj) in c.iter_mut().enumerate() {
-            *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
-        }
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        for _ in 0..k {
-            let av = _mm512_loadu_pd(a);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let mut c = [_mm512_setzero_pd(); 4];
             for (j, cj) in c.iter_mut().enumerate() {
-                let bv = _mm512_set1_pd(*b.add(j));
-                #[cfg(feature = "fma")]
-                {
-                    *cj = _mm512_fmadd_pd(av, bv, *cj);
-                }
-                #[cfg(not(feature = "fma"))]
-                {
-                    *cj = _mm512_add_pd(*cj, _mm512_mul_pd(av, bv));
-                }
+                *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
             }
-            a = a.add(8);
-            b = b.add(4);
-        }
-        for (j, cj) in c.iter().enumerate() {
-            _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), *cj);
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..k {
+                let av = _mm512_loadu_pd(a);
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let bv = _mm512_set1_pd(*b.add(j));
+                    #[cfg(feature = "fma")]
+                    {
+                        *cj = _mm512_fmadd_pd(av, bv, *cj);
+                    }
+                    #[cfg(not(feature = "fma"))]
+                    {
+                        *cj = _mm512_add_pd(*cj, _mm512_mul_pd(av, bv));
+                    }
+                }
+                a = a.add(8);
+                b = b.add(4);
+            }
+            for (j, cj) in c.iter().enumerate() {
+                _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), *cj);
+            }
         }
     }
 
     /// Sign mask flipping the *even* (real-part) lanes of a 256-bit vector.
+    ///
+    /// Register-level only: the intrinsics are safe to call inside a
+    /// matching `target_feature` fn, so no inner `unsafe` block is needed —
+    /// the `unsafe fn` merely propagates the ISA-availability obligation.
     #[target_feature(enable = "avx2")]
     unsafe fn sign_even_256() -> __m256d {
         _mm256_castsi256_pd(_mm256_set_epi64x(0, i64::MIN, 0, i64::MIN))
@@ -438,6 +454,7 @@ mod x86 {
     /// form is plain AVX-512F and identical bit for bit.
     #[target_feature(enable = "avx512f")]
     unsafe fn xor_pd_512(a: __m512d, b: __m512d) -> __m512d {
+        // Register-level only; safe inside the matching `target_feature` fn.
         _mm512_castsi512_pd(_mm512_xor_epi64(
             _mm512_castpd_si512(a),
             _mm512_castpd_si512(b),
@@ -461,44 +478,52 @@ mod x86 {
     /// `4·k` / `4·k` complex elements (`8·k` f64 each).
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn c64_ukernel_avx2(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 2 * ACC_CAP]) {
-        let sign = sign_even_256();
-        // Column j of the 4×4 complex block = 8 doubles at acc[j*8..].
-        let mut c = [[_mm256_setzero_pd(); 2]; 4];
-        for (j, cj) in c.iter_mut().enumerate() {
-            cj[0] = _mm256_loadu_pd(acc.as_ptr().add(j * 8));
-            cj[1] = _mm256_loadu_pd(acc.as_ptr().add(j * 8 + 4));
-        }
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        for _ in 0..k {
-            let a0 = _mm256_loadu_pd(a); // rows 0,1: [re0 im0 re1 im1]
-            let a1 = _mm256_loadu_pd(a.add(4)); // rows 2,3
-            let s0 = _mm256_permute_pd(a0, 0b0101); // [im0 re0 im1 re1]
-            let s1 = _mm256_permute_pd(a1, 0b0101);
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let sign = sign_even_256();
+            // Column j of the 4×4 complex block = 8 doubles at acc[j*8..].
+            let mut c = [[_mm256_setzero_pd(); 2]; 4];
             for (j, cj) in c.iter_mut().enumerate() {
-                let bre = _mm256_broadcast_sd(&*b.add(2 * j));
-                let bim = _mm256_broadcast_sd(&*b.add(2 * j + 1));
-                #[cfg(feature = "fma")]
-                {
-                    let bpm = _mm256_xor_pd(bim, sign); // [-b_im +b_im ...]
-                    cj[0] = _mm256_fmadd_pd(a0, bre, _mm256_fmadd_pd(s0, bpm, cj[0]));
-                    cj[1] = _mm256_fmadd_pd(a1, bre, _mm256_fmadd_pd(s1, bpm, cj[1]));
-                }
-                #[cfg(not(feature = "fma"))]
-                {
-                    let _ = sign;
-                    let t2_0 = _mm256_mul_pd(s0, bim);
-                    let t2_1 = _mm256_mul_pd(s1, bim);
-                    cj[0] = _mm256_add_pd(cj[0], _mm256_addsub_pd(_mm256_mul_pd(a0, bre), t2_0));
-                    cj[1] = _mm256_add_pd(cj[1], _mm256_addsub_pd(_mm256_mul_pd(a1, bre), t2_1));
-                }
+                cj[0] = _mm256_loadu_pd(acc.as_ptr().add(j * 8));
+                cj[1] = _mm256_loadu_pd(acc.as_ptr().add(j * 8 + 4));
             }
-            a = a.add(8);
-            b = b.add(8);
-        }
-        for (j, cj) in c.iter().enumerate() {
-            _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8), cj[0]);
-            _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8 + 4), cj[1]);
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..k {
+                let a0 = _mm256_loadu_pd(a); // rows 0,1: [re0 im0 re1 im1]
+                let a1 = _mm256_loadu_pd(a.add(4)); // rows 2,3
+                let s0 = _mm256_permute_pd(a0, 0b0101); // [im0 re0 im1 re1]
+                let s1 = _mm256_permute_pd(a1, 0b0101);
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let bre = _mm256_broadcast_sd(&*b.add(2 * j));
+                    let bim = _mm256_broadcast_sd(&*b.add(2 * j + 1));
+                    #[cfg(feature = "fma")]
+                    {
+                        let bpm = _mm256_xor_pd(bim, sign); // [-b_im +b_im ...]
+                        cj[0] = _mm256_fmadd_pd(a0, bre, _mm256_fmadd_pd(s0, bpm, cj[0]));
+                        cj[1] = _mm256_fmadd_pd(a1, bre, _mm256_fmadd_pd(s1, bpm, cj[1]));
+                    }
+                    #[cfg(not(feature = "fma"))]
+                    {
+                        let _ = sign;
+                        let t2_0 = _mm256_mul_pd(s0, bim);
+                        let t2_1 = _mm256_mul_pd(s1, bim);
+                        cj[0] =
+                            _mm256_add_pd(cj[0], _mm256_addsub_pd(_mm256_mul_pd(a0, bre), t2_0));
+                        cj[1] =
+                            _mm256_add_pd(cj[1], _mm256_addsub_pd(_mm256_mul_pd(a1, bre), t2_1));
+                    }
+                }
+                a = a.add(8);
+                b = b.add(8);
+            }
+            for (j, cj) in c.iter().enumerate() {
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8), cj[0]);
+                _mm256_storeu_pd(acc.as_mut_ptr().add(j * 8 + 4), cj[1]);
+            }
         }
     }
 
@@ -520,66 +545,72 @@ mod x86 {
         bp: &[f64],
         acc: &mut [f64; 2 * ACC_CAP],
     ) {
-        let sign = _mm512_castsi512_pd(_mm512_set_epi64(
-            0,
-            i64::MIN,
-            0,
-            i64::MIN,
-            0,
-            i64::MIN,
-            0,
-            i64::MIN,
-        ));
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        #[cfg(feature = "fma")]
-        {
-            let mut cre = [_mm512_setzero_pd(); 4];
-            let mut cim = [_mm512_setzero_pd(); 4];
-            for (j, cj) in cre.iter_mut().enumerate() {
-                *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
-            }
-            for _ in 0..k {
-                let av = _mm512_loadu_pd(a); // [re0 im0 .. re3 im3]
-                let sv = _mm512_permute_pd(av, 0x55); // [im0 re0 .. im3 re3]
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let sign = _mm512_castsi512_pd(_mm512_set_epi64(
+                0,
+                i64::MIN,
+                0,
+                i64::MIN,
+                0,
+                i64::MIN,
+                0,
+                i64::MIN,
+            ));
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            #[cfg(feature = "fma")]
+            {
+                let mut cre = [_mm512_setzero_pd(); 4];
+                let mut cim = [_mm512_setzero_pd(); 4];
+                for (j, cj) in cre.iter_mut().enumerate() {
+                    *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
+                }
+                for _ in 0..k {
+                    let av = _mm512_loadu_pd(a); // [re0 im0 .. re3 im3]
+                    let sv = _mm512_permute_pd(av, 0x55); // [im0 re0 .. im3 re3]
+                    for j in 0..4 {
+                        let bre = _mm512_set1_pd(*b.add(2 * j));
+                        let bpm = xor_pd_512(_mm512_set1_pd(*b.add(2 * j + 1)), sign);
+                        cre[j] = _mm512_fmadd_pd(av, bre, cre[j]);
+                        cim[j] = _mm512_fmadd_pd(sv, bpm, cim[j]);
+                    }
+                    a = a.add(8);
+                    b = b.add(8);
+                }
                 for j in 0..4 {
-                    let bre = _mm512_set1_pd(*b.add(2 * j));
-                    let bpm = xor_pd_512(_mm512_set1_pd(*b.add(2 * j + 1)), sign);
-                    cre[j] = _mm512_fmadd_pd(av, bre, cre[j]);
-                    cim[j] = _mm512_fmadd_pd(sv, bpm, cim[j]);
+                    _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), _mm512_add_pd(cre[j], cim[j]));
                 }
-                a = a.add(8);
-                b = b.add(8);
             }
-            for j in 0..4 {
-                _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), _mm512_add_pd(cre[j], cim[j]));
-            }
-        }
-        #[cfg(not(feature = "fma"))]
-        {
-            let mut c = [_mm512_setzero_pd(); 4];
-            for (j, cj) in c.iter_mut().enumerate() {
-                *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
-            }
-            for _ in 0..k {
-                let av = _mm512_loadu_pd(a);
-                let sv = _mm512_permute_pd(av, 0x55);
+            #[cfg(not(feature = "fma"))]
+            {
+                let mut c = [_mm512_setzero_pd(); 4];
                 for (j, cj) in c.iter_mut().enumerate() {
-                    let bre = _mm512_set1_pd(*b.add(2 * j));
-                    let bim = _mm512_set1_pd(*b.add(2 * j + 1));
-                    let t1 = _mm512_mul_pd(av, bre);
-                    // t1 - t2 on real lanes / t1 + t2 on imaginary lanes,
-                    // expressed as t1 + (t2 XOR -0.0 on real lanes): IEEE
-                    // `x + (-y)` is bitwise `x - y`, so this matches the
-                    // scalar complex multiply exactly.
-                    let t2 = xor_pd_512(_mm512_mul_pd(sv, bim), sign);
-                    *cj = _mm512_add_pd(*cj, _mm512_add_pd(t1, t2));
+                    *cj = _mm512_loadu_pd(acc.as_ptr().add(j * 8));
                 }
-                a = a.add(8);
-                b = b.add(8);
-            }
-            for (j, cj) in c.iter().enumerate() {
-                _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), *cj);
+                for _ in 0..k {
+                    let av = _mm512_loadu_pd(a);
+                    let sv = _mm512_permute_pd(av, 0x55);
+                    for (j, cj) in c.iter_mut().enumerate() {
+                        let bre = _mm512_set1_pd(*b.add(2 * j));
+                        let bim = _mm512_set1_pd(*b.add(2 * j + 1));
+                        let t1 = _mm512_mul_pd(av, bre);
+                        // t1 - t2 on real lanes / t1 + t2 on imaginary lanes,
+                        // expressed as t1 + (t2 XOR -0.0 on real lanes): IEEE
+                        // `x + (-y)` is bitwise `x - y`, so this matches the
+                        // scalar complex multiply exactly.
+                        let t2 = xor_pd_512(_mm512_mul_pd(sv, bim), sign);
+                        *cj = _mm512_add_pd(*cj, _mm512_add_pd(t1, t2));
+                    }
+                    a = a.add(8);
+                    b = b.add(8);
+                }
+                for (j, cj) in c.iter().enumerate() {
+                    _mm512_storeu_pd(acc.as_mut_ptr().add(j * 8), *cj);
+                }
             }
         }
     }
@@ -604,40 +635,46 @@ mod neon {
     /// at least `8·k` / `4·k` elements.
     #[target_feature(enable = "neon")]
     pub unsafe fn f64_ukernel_neon(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; ACC_CAP]) {
-        let mut c = [[vdupq_n_f64(0.0); 4]; 4];
-        for (j, cj) in c.iter_mut().enumerate() {
-            for (i, cji) in cj.iter_mut().enumerate() {
-                *cji = vld1q_f64(acc.as_ptr().add(j * 8 + 2 * i));
-            }
-        }
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        for _ in 0..k {
-            let av = [
-                vld1q_f64(a),
-                vld1q_f64(a.add(2)),
-                vld1q_f64(a.add(4)),
-                vld1q_f64(a.add(6)),
-            ];
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let mut c = [[vdupq_n_f64(0.0); 4]; 4];
             for (j, cj) in c.iter_mut().enumerate() {
-                let bv = vdupq_n_f64(*b.add(j));
                 for (i, cji) in cj.iter_mut().enumerate() {
-                    #[cfg(feature = "fma")]
-                    {
-                        *cji = vfmaq_f64(*cji, av[i], bv);
-                    }
-                    #[cfg(not(feature = "fma"))]
-                    {
-                        *cji = vaddq_f64(*cji, vmulq_f64(av[i], bv));
-                    }
+                    *cji = vld1q_f64(acc.as_ptr().add(j * 8 + 2 * i));
                 }
             }
-            a = a.add(8);
-            b = b.add(4);
-        }
-        for (j, cj) in c.iter().enumerate() {
-            for (i, cji) in cj.iter().enumerate() {
-                vst1q_f64(acc.as_mut_ptr().add(j * 8 + 2 * i), *cji);
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..k {
+                let av = [
+                    vld1q_f64(a),
+                    vld1q_f64(a.add(2)),
+                    vld1q_f64(a.add(4)),
+                    vld1q_f64(a.add(6)),
+                ];
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let bv = vdupq_n_f64(*b.add(j));
+                    for (i, cji) in cj.iter_mut().enumerate() {
+                        #[cfg(feature = "fma")]
+                        {
+                            *cji = vfmaq_f64(*cji, av[i], bv);
+                        }
+                        #[cfg(not(feature = "fma"))]
+                        {
+                            *cji = vaddq_f64(*cji, vmulq_f64(av[i], bv));
+                        }
+                    }
+                }
+                a = a.add(8);
+                b = b.add(4);
+            }
+            for (j, cj) in c.iter().enumerate() {
+                for (i, cji) in cj.iter().enumerate() {
+                    vst1q_f64(acc.as_mut_ptr().add(j * 8 + 2 * i), *cji);
+                }
             }
         }
     }
@@ -654,49 +691,55 @@ mod neon {
     /// complex elements (`8·k` f64 each).
     #[target_feature(enable = "neon")]
     pub unsafe fn c64_ukernel_neon(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; 2 * ACC_CAP]) {
-        let mut c = [[vdupq_n_f64(0.0); 4]; 4];
-        for (j, cj) in c.iter_mut().enumerate() {
-            for (r, cjr) in cj.iter_mut().enumerate() {
-                *cjr = vld1q_f64(acc.as_ptr().add(j * 8 + 2 * r));
-            }
-        }
-        let mut a = ap.as_ptr();
-        let mut b = bp.as_ptr();
-        for _ in 0..k {
-            let av = [
-                vld1q_f64(a),
-                vld1q_f64(a.add(2)),
-                vld1q_f64(a.add(4)),
-                vld1q_f64(a.add(6)),
-            ];
-            let sv = [
-                vextq_f64(av[0], av[0], 1), // [im, re]
-                vextq_f64(av[1], av[1], 1),
-                vextq_f64(av[2], av[2], 1),
-                vextq_f64(av[3], av[3], 1),
-            ];
+        // SAFETY: the caller upholds the `# Safety` contract above — the
+        // required ISA is present and `ap`/`bp`/`acc` are at least as large
+        // as documented — so every intrinsic call and pointer offset below
+        // is in bounds.
+        unsafe {
+            let mut c = [[vdupq_n_f64(0.0); 4]; 4];
             for (j, cj) in c.iter_mut().enumerate() {
-                let b_im = *b.add(2 * j + 1);
-                let bre = vdupq_n_f64(*b.add(2 * j));
-                let bpm = vcombine_f64(vdup_n_f64(-b_im), vdup_n_f64(b_im));
                 for (r, cjr) in cj.iter_mut().enumerate() {
-                    #[cfg(feature = "fma")]
-                    {
-                        *cjr = vfmaq_f64(vfmaq_f64(*cjr, sv[r], bpm), av[r], bre);
-                    }
-                    #[cfg(not(feature = "fma"))]
-                    {
-                        let prod = vaddq_f64(vmulq_f64(av[r], bre), vmulq_f64(sv[r], bpm));
-                        *cjr = vaddq_f64(*cjr, prod);
-                    }
+                    *cjr = vld1q_f64(acc.as_ptr().add(j * 8 + 2 * r));
                 }
             }
-            a = a.add(8);
-            b = b.add(8);
-        }
-        for (j, cj) in c.iter().enumerate() {
-            for (r, cjr) in cj.iter().enumerate() {
-                vst1q_f64(acc.as_mut_ptr().add(j * 8 + 2 * r), *cjr);
+            let mut a = ap.as_ptr();
+            let mut b = bp.as_ptr();
+            for _ in 0..k {
+                let av = [
+                    vld1q_f64(a),
+                    vld1q_f64(a.add(2)),
+                    vld1q_f64(a.add(4)),
+                    vld1q_f64(a.add(6)),
+                ];
+                let sv = [
+                    vextq_f64(av[0], av[0], 1), // [im, re]
+                    vextq_f64(av[1], av[1], 1),
+                    vextq_f64(av[2], av[2], 1),
+                    vextq_f64(av[3], av[3], 1),
+                ];
+                for (j, cj) in c.iter_mut().enumerate() {
+                    let b_im = *b.add(2 * j + 1);
+                    let bre = vdupq_n_f64(*b.add(2 * j));
+                    let bpm = vcombine_f64(vdup_n_f64(-b_im), vdup_n_f64(b_im));
+                    for (r, cjr) in cj.iter_mut().enumerate() {
+                        #[cfg(feature = "fma")]
+                        {
+                            *cjr = vfmaq_f64(vfmaq_f64(*cjr, sv[r], bpm), av[r], bre);
+                        }
+                        #[cfg(not(feature = "fma"))]
+                        {
+                            let prod = vaddq_f64(vmulq_f64(av[r], bre), vmulq_f64(sv[r], bpm));
+                            *cjr = vaddq_f64(*cjr, prod);
+                        }
+                    }
+                }
+                a = a.add(8);
+                b = b.add(8);
+            }
+            for (j, cj) in c.iter().enumerate() {
+                for (r, cjr) in cj.iter().enumerate() {
+                    vst1q_f64(acc.as_mut_ptr().add(j * 8 + 2 * r), *cjr);
+                }
             }
         }
     }

@@ -68,7 +68,7 @@
 //! results are **bitwise identical** to the legacy free functions — the
 //! equivalence suite pins this down for `f64` and `Complex64`.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -84,7 +84,8 @@ use crate::executor::{
 };
 use crate::pool::{payload_message, Job, RunCtl, WorkerPool};
 use crate::state::FactorizationState;
-use crate::sync::{CancelCause, CancelToken, Mutex};
+use crate::sync::shim::{AtomicBool, AtomicUsize};
+use crate::sync::{CancelCause, CancelToken, ClaimFlag, Mutex};
 
 /// Hard upper bound on the worker-thread count of a [`QrContext`]; requests
 /// beyond it are configuration mistakes (the pool would oversubscribe any
@@ -373,7 +374,7 @@ pub struct QrPlan<T: Scalar> {
     /// Without it, concurrent `factorize` bursts (each building `threads`
     /// fresh workspaces against a momentarily-empty cache) would ratchet the
     /// cache up without limit; with it, surplus returns are dropped.
-    ws_high_water: std::sync::atomic::AtomicUsize,
+    ws_high_water: AtomicUsize,
     /// Recycled `ib × nb` `T`-factor buffers, returned by
     /// [`QrPlan::recycle`] / [`QrPlan::recycle_reflectors`] — or by simply
     /// *dropping* a result handle, which recycles through a weak
@@ -499,7 +500,7 @@ impl<T: Scalar> QrPlan<T> {
                 priorities: OnceLock::new(),
             }),
             ws_cache: Mutex::new(Vec::new()),
-            ws_high_water: std::sync::atomic::AtomicUsize::new(0),
+            ws_high_water: AtomicUsize::new(0),
             t_pool: Arc::new(TPool::new(ib, nb)),
         })
     }
@@ -553,8 +554,7 @@ impl<T: Scalar> QrPlan<T> {
     /// missing; the caller returns them through
     /// [`QrPlan::restore_workspaces`] when the job is done.
     fn checkout_workspaces(&self, count: usize) -> Vec<Workspace<T>> {
-        self.ws_high_water
-            .fetch_max(count, std::sync::atomic::Ordering::Relaxed);
+        self.ws_high_water.fetch_max(count, Ordering::Relaxed);
         let mut cache = self.ws_cache.lock();
         let mut out = Vec::with_capacity(count);
         while out.len() < count {
@@ -570,9 +570,7 @@ impl<T: Scalar> QrPlan<T> {
     /// retaining at most one workspace per worker of the widest checkout
     /// ever made (surplus built during concurrent bursts is dropped).
     fn restore_workspaces(&self, ws: impl IntoIterator<Item = Workspace<T>>) {
-        let cap = self
-            .ws_high_water
-            .load(std::sync::atomic::Ordering::Relaxed);
+        let cap = self.ws_high_water.load(Ordering::Relaxed);
         let mut cache = self.ws_cache.lock();
         cache.extend(ws);
         cache.truncate(cap);
@@ -893,9 +891,9 @@ struct StreamJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
     /// to clone the `Arc` out (per task) or take it (once) — never across a
     /// kernel.
     states: Vec<Mutex<Option<Arc<FactorizationState<T>>>>>,
-    /// Exactly-once guard per copy: set by whichever path (worker hook or
-    /// job-end sweep) delivered the item to the sink.
-    resolved: Vec<AtomicBool>,
+    /// Exactly-once guard per copy: claimed by whichever path (worker hook
+    /// or job-end sweep) delivers the item to the sink.
+    resolved: Vec<ClaimFlag>,
     /// Fault-probe ids, one per copy: the service remaps retry attempts to
     /// fresh probe coordinates so a seeded fault schedule can distinguish
     /// attempt 0 from attempt 1 of the same submission. The plain batch path
@@ -953,8 +951,9 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> StreamJob<T, S> {
                         self.recycler.clone(),
                     )),
                 };
-                self.resolved[copy].store(true, Ordering::Release);
-                self.sink.item_done(copy, outcome);
+                if self.resolved[copy].claim() {
+                    self.sink.item_done(copy, outcome);
+                }
             }
             Err(arc) => {
                 // Another worker still holds a task-scope clone (possible
@@ -1855,7 +1854,7 @@ impl QrContext {
                 .into_iter()
                 .map(|s| Mutex::new(Some(Arc::new(s))))
                 .collect(),
-            resolved: (0..copies).map(|_| AtomicBool::new(false)).collect(),
+            resolved: (0..copies).map(|_| ClaimFlag::new()).collect(),
             probes,
             core: Arc::clone(&plan.core),
             sched,
@@ -1893,8 +1892,8 @@ impl QrContext {
         plan.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner));
         let cause = job.cancel.cause();
         for (copy, slot) in job.states.into_iter().enumerate() {
-            if job.resolved[copy].load(Ordering::Acquire) {
-                continue;
+            if !job.resolved[copy].claim() {
+                continue; // the worker hook already delivered this copy
             }
             // A recorded fault wins; an incomplete retire count means the
             // job was aborted out from under the copy; a complete count

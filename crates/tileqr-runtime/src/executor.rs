@@ -51,7 +51,9 @@
 //!
 //! [`TaskDag::priorities`]: tileqr_core::dag::TaskDag::priorities
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::shim::{AtomicBool, AtomicUsize};
 
 use tileqr_core::dag::{SuccessorsCsr, TaskDag};
 use tileqr_core::TaskKind;
@@ -204,7 +206,7 @@ pub struct WorkStealing {
     /// Set once the injector has been observed empty. Tasks enter the
     /// injector only during [`Scheduler::seed`], so "drained" is permanent
     /// and idle workers stop taking the injector lock on every miss.
-    injector_drained: std::sync::atomic::AtomicBool,
+    injector_drained: AtomicBool,
     /// One deque per worker; worker `w` owns `deques[w]`.
     deques: Vec<WorkerDeque>,
 }
@@ -215,7 +217,7 @@ impl WorkStealing {
     pub fn new(num_tasks: usize, workers: usize) -> Self {
         WorkStealing {
             injector: TaskQueue::with_capacity(num_tasks),
-            injector_drained: std::sync::atomic::AtomicBool::new(false),
+            injector_drained: AtomicBool::new(false),
             deques: (0..workers.max(1))
                 .map(|_| WorkerDeque::with_capacity(num_tasks))
                 .collect(),
@@ -698,7 +700,6 @@ mod tests {
     use super::*;
     use crate::sync::Mutex;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicUsize;
     use tileqr_core::algorithms::Algorithm;
     use tileqr_core::KernelFamily;
 

@@ -24,7 +24,9 @@
 //! default builds.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
+
+use crate::sync::shim::AtomicBool;
 use std::time::Duration;
 
 use tileqr_matrix::rng::Rng;

@@ -136,6 +136,56 @@
 //! stays bitwise identical to its fault-free factorization and every
 //! faulted item reports the right error.
 //!
+//! # Concurrency invariants & verification
+//!
+//! The lock-free core of the runtime rests on a small set of invariants,
+//! each of which is *checked mechanically*, not just argued in comments:
+//!
+//! * **Chase–Lev deque** ([`sync::WorkerDeque`]) — every pushed index is
+//!   popped or stolen exactly once; the single-element owner/stealer race
+//!   resolves via the `SeqCst` compare-exchange on `top`; capacity is a
+//!   hard bound (exceeding it trips a `debug_assert`, the ring never
+//!   grows). The required `SeqCst` fences follow Lê et al. (PPoPP '13);
+//!   each ordering in `sync.rs` carries an audit comment saying which
+//!   reordering it forbids.
+//! * **Ready queue** ([`sync::TaskQueue`]) — exact-capacity MPMC ring:
+//!   slots hand over via per-slot sequence numbers, so an index is consumed
+//!   exactly once and the queue never reports empty while a completed push
+//!   is unconsumed.
+//! * **Dependency counting** (executor/pool) — a task becomes ready exactly
+//!   when its last dependency retires; the release-store/acquire-load pair
+//!   on the remaining-dependency counter publishes the predecessor's tile
+//!   writes to whichever worker picks the task up.
+//! * **Once-slots and parking** — `OnceSlot` publishes at most one value;
+//!   the three-tier backoff never parks a worker that has been signalled.
+//!
+//! Two in-tree verification layers check these claims on every CI run:
+//!
+//! 1. **Model checking.** Building with `RUSTFLAGS="--cfg tileqr_verify"`
+//!    swaps the primitives in [`sync`] onto the deterministic shims of the
+//!    `tileqr-verify` crate — a loom-style model checker exploring thread
+//!    interleavings (bounded-preemption DFS plus seeded random sampling)
+//!    while tracking happens-before. The `model_check` module (compiled
+//!    only under that cfg) then exhaustively checks small instances of the
+//!    deque, queue, once-slot, backoff and dependency-counter protocols,
+//!    and replays any failing schedule deterministically:
+//!
+//!    ```text
+//!    RUSTFLAGS="--cfg tileqr_verify" cargo test -p tileqr-runtime --lib model_check
+//!    ```
+//!
+//! 2. **Static plan analysis.** Independently of the runtime, the
+//!    `tileqr_core::footprint` analyzer proves every schedulable plan
+//!    (all elimination algorithms × kernel families × a broad shape sweep)
+//!    free of RAW/WAR/WAW hazards at tile-region granularity: any two
+//!    conflicting kernel accesses are ordered by a DAG path, so the
+//!    executor above — which is correct for *any* DAG — never runs two
+//!    conflicting kernels concurrently. `cargo run -p tileqr-core --bin
+//!    tileqr-analyze` is the CI gate; it exits non-zero on any hazard.
+//!
+//! Normal builds are untouched: the shim layer is a `cfg` alias, so the
+//! release executor compiles to exactly the same std/atomic code as before.
+//!
 //! [`TaskKind`]: tileqr_core::TaskKind
 //! [`QrError::WideMatrix`]: context::QrError::WideMatrix
 //! [`QrError::ZeroTileSize`]: context::QrError::ZeroTileSize
@@ -167,6 +217,8 @@ pub mod driver;
 pub mod executor;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
+#[cfg(all(test, tileqr_verify))]
+mod model_check;
 mod pool;
 pub mod service;
 pub mod solve;

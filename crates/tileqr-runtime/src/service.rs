@@ -63,8 +63,8 @@
 //! performs the same sweep on unwind).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tileqr_matrix::rng::Rng;
@@ -72,7 +72,8 @@ use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
 use crate::context::{ItemSink, QrContext, QrError, QrPlan};
 use crate::driver::QrFactorization;
-use crate::sync::{Mutex, OnceSlot};
+use crate::sync::shim::{AtomicU64, AtomicUsize};
+use crate::sync::{Condvar, LazyCondvar, Mutex, OnceSlot};
 
 /// Probe-id stride between retry attempts of one submission.
 ///
@@ -345,9 +346,9 @@ struct Shared<T: Scalar<Real = f64>> {
     /// Wakes the dispatcher: new work, a due retry, or shutdown.
     work_cv: Condvar,
     /// Wakes blocked [`QrClient::submit_within`] callers: freed queue
-    /// space or quota, or shutdown. Notified only when someone is waiting.
-    space_cv: Condvar,
-    space_waiters: AtomicUsize,
+    /// space or quota, or shutdown. Notified only when someone is waiting
+    /// (the waiter counter lives inside the [`LazyCondvar`]).
+    space_cv: LazyCondvar,
     next_client: AtomicU64,
     next_seq: AtomicU64,
     /// Backoff jitter source (deterministic seed: backoff spread needs no
@@ -466,9 +467,7 @@ impl<T: Scalar<Real = f64>> Shared<T> {
             }
         }
         item.slot.set(outcome);
-        if self.space_waiters.load(Ordering::SeqCst) > 0 {
-            self.space_cv.notify_all();
-        }
+        self.space_cv.notify_all_if_waiting();
     }
 
     /// Outcome routing of a finished attempt: transient failures with
@@ -571,8 +570,7 @@ impl<T: Scalar<Real = f64>> QrService<T> {
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
-            space_cv: Condvar::new(),
-            space_waiters: AtomicUsize::new(0),
+            space_cv: LazyCondvar::new(),
             next_client: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
             rng: Mutex::new(Rng::seed_from_u64(0x9E37_79B9_7F4A_7C15)),
@@ -629,7 +627,7 @@ impl<T: Scalar<Real = f64>> QrService<T> {
     pub fn shutdown(&self) {
         self.shared.inner.lock().shutdown = true;
         self.shared.work_cv.notify_all();
-        self.shared.space_cv.notify_all();
+        self.shared.space_cv.notify_all_if_waiting();
         if let Some(handle) = self.dispatcher.lock().take() {
             // A panicked dispatcher already ran its drain guard; the
             // service is still safe to drop.
@@ -729,13 +727,8 @@ impl<T: Scalar<Real = f64>> QrClient<T> {
                     if now >= deadline {
                         return Err(self.shared.reject(e));
                     }
-                    self.shared.space_waiters.fetch_add(1, Ordering::SeqCst);
-                    let (guard, _) = self
-                        .shared
-                        .space_cv
-                        .wait_timeout(inner, deadline - now)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    self.shared.space_waiters.fetch_sub(1, Ordering::SeqCst);
+                    let (guard, _timed_out) =
+                        self.shared.space_cv.wait_timeout(inner, deadline - now);
                     inner = guard;
                 }
             }
@@ -787,7 +780,7 @@ impl<T: Scalar<Real = f64>> Drop for DrainGuard<T> {
         for item in orphans {
             self.shared.resolve(item, Err(QrError::ServiceShutdown));
         }
-        self.shared.space_cv.notify_all();
+        self.shared.space_cv.notify_all_if_waiting();
     }
 }
 
@@ -829,10 +822,8 @@ fn dispatch_loop<T: Scalar<Real = f64>>(shared: Arc<Shared<T>>) {
                     if !shared.cfg.linger.is_zero() && inner.depth < shared.cfg.max_group {
                         let until = *linger_until.get_or_insert(now + shared.cfg.linger);
                         if now < until {
-                            let (guard, _) = shared
-                                .work_cv
-                                .wait_timeout(inner, until - now)
-                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            let (guard, _timed_out) =
+                                shared.work_cv.wait_timeout(inner, until - now);
                             inner = guard;
                             continue;
                         }
@@ -843,16 +834,12 @@ fn dispatch_loop<T: Scalar<Real = f64>>(shared: Arc<Shared<T>>) {
                 let next_due = inner.delayed.iter().map(|&(due, _)| due).min();
                 inner = match next_due {
                     Some(due) => {
-                        let (guard, _) = shared
+                        let (guard, _timed_out) = shared
                             .work_cv
-                            .wait_timeout(inner, due.saturating_duration_since(now))
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            .wait_timeout(inner, due.saturating_duration_since(now));
                         guard
                     }
-                    None => shared
-                        .work_cv
-                        .wait(inner)
-                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    None => shared.work_cv.wait(inner),
                 };
             }
         };
@@ -861,9 +848,7 @@ fn dispatch_loop<T: Scalar<Real = f64>>(shared: Arc<Shared<T>>) {
             Round::Run(group) => {
                 // The dequeue freed queue space; let blocked submitters at
                 // it before the (potentially long) fused job runs.
-                if shared.space_waiters.load(Ordering::SeqCst) > 0 {
-                    shared.space_cv.notify_all();
-                }
+                shared.space_cv.notify_all_if_waiting();
                 run_group(&shared, group);
             }
         }

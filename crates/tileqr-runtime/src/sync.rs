@@ -37,39 +37,286 @@
 //! but stores the elements in `AtomicUsize` cells, which keeps the whole
 //! implementation in safe Rust: task indices are plain `usize`s, so atomic
 //! cells cost nothing and eliminate every data race by construction.
+//!
+//! # Model checking and the memory-ordering audit
+//!
+//! Everything in this module is built on the `shim` alias layer: plain
+//! `std::sync` types in normal builds, the `tileqr-verify` model-checking
+//! shims under `RUSTFLAGS="--cfg tileqr_verify"`. The suites in
+//! `model_check.rs` (compiled only under that cfg) run the deque, the
+//! cancel token, the once-slot and the lazy-condvar handshake through every
+//! preemption-bounded interleaving plus seeded random sampling.
+//!
+//! Per-site ordering rationale, audited against the checker's
+//! happens-before layer:
+//!
+//! * [`WorkerDeque`] — verbatim Lê et al. (PPoPP'13): `push` publishes the
+//!   element with a **release fence** before the relaxed `bottom` store
+//!   (comment at the site explains why a release *store* would be wrong);
+//!   `pop` orders its `bottom` decrement against stealers' `top` reads with
+//!   a **SeqCst fence**, matched by the SeqCst fence in `steal`; the
+//!   `top` CAS in both is SeqCst. The checker verifies the protocol under
+//!   SC interleavings and its race detector confirms the fences establish
+//!   the element-handoff happens-before edges; it **cannot** justify
+//!   downgrading the SeqCst pair, because the weak behaviours a downgrade
+//!   admits (the load buffering / IRIW-style executions the PPoPP'13 proof
+//!   rules out) are exactly what an SC explorer never exhibits. They stay
+//!   SeqCst.
+//! * [`CancelToken`] — `trigger` is an AcqRel CAS (first cause wins and the
+//!   winner's writes are visible to whoever observes the cause);
+//!   `is_cancelled`/`cause` are Acquire loads; `reset` is a Release store.
+//! * [`OnceSlot`] / `LazyCondvar` — the waiter counter is incremented
+//!   *under the mutex* before the wait releases it, and the notifier reads
+//!   it *after* its own critical section, so mutex ordering alone makes the
+//!   counter race-free: either the notifier sees the waiter, or the waiter
+//!   entered the lock after the notifier and sees the state change itself.
+//!   The SeqCst counter orderings are therefore stronger than required —
+//!   Relaxed would satisfy the checker — but the counter is touched only on
+//!   the blocking slow path, so they are kept as belt and braces.
+//! * `ClaimFlag` — `claim` is a `swap(true, AcqRel)`: Acquire so the
+//!   single winner observes everything that happened before a racing
+//!   loser's attempt, Release so a later observer of the flag sees the
+//!   winner's prior writes.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use self::shim::{fence, AtomicIsize, AtomicUsize};
+
+/// Alias layer selecting the synchronisation backend.
+///
+/// Normal builds re-export `std::sync` primitives, so this module costs
+/// nothing. Under `--cfg tileqr_verify` the same names resolve to the
+/// `tileqr-verify` shims, which fall through to `std` outside a model but
+/// hand every operation to the interleaving explorer inside one. Everything
+/// in the runtime that synchronises between threads imports from here, never
+/// from `std::sync` directly.
+#[cfg(not(tileqr_verify))]
+pub(crate) mod shim {
+    pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize};
+    pub(crate) use std::sync::{
+        Condvar as RawCondvar, Mutex as RawMutex, MutexGuard as RawMutexGuard,
+    };
+    use std::time::Duration;
+
+    #[inline]
+    pub(crate) fn raw_lock<T>(m: &RawMutex<T>) -> RawMutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(crate) fn raw_into_inner<T>(m: RawMutex<T>) -> T {
+        m.into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[inline]
+    pub(crate) fn raw_wait<'a, T>(
+        cv: &RawCondvar,
+        g: RawMutexGuard<'a, T>,
+    ) -> RawMutexGuard<'a, T> {
+        cv.wait(g)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[inline]
+    pub(crate) fn raw_wait_timeout<'a, T>(
+        cv: &RawCondvar,
+        g: RawMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (RawMutexGuard<'a, T>, bool) {
+        let (g, r) = cv
+            .wait_timeout(g, dur)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        (g, r.timed_out())
+    }
+}
+
+/// See the `cfg(not(tileqr_verify))` twin above.
+#[cfg(tileqr_verify)]
+pub(crate) mod shim {
+    use std::time::Duration;
+    pub(crate) use tileqr_verify::sync::atomic::{
+        fence, AtomicBool, AtomicIsize, AtomicU64, AtomicUsize,
+    };
+    pub(crate) use tileqr_verify::sync::{
+        Condvar as RawCondvar, Mutex as RawMutex, MutexGuard as RawMutexGuard,
+    };
+
+    #[inline]
+    pub(crate) fn raw_lock<T>(m: &RawMutex<T>) -> RawMutexGuard<'_, T> {
+        m.lock()
+    }
+
+    pub(crate) fn raw_into_inner<T>(m: RawMutex<T>) -> T {
+        m.into_inner()
+    }
+
+    #[inline]
+    pub(crate) fn raw_wait<'a, T>(
+        cv: &RawCondvar,
+        g: RawMutexGuard<'a, T>,
+    ) -> RawMutexGuard<'a, T> {
+        cv.wait(g)
+    }
+
+    #[inline]
+    pub(crate) fn raw_wait_timeout<'a, T>(
+        cv: &RawCondvar,
+        g: RawMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (RawMutexGuard<'a, T>, bool) {
+        let (g, r) = cv.wait_timeout(g, dur);
+        (g, r.timed_out())
+    }
+}
+
 /// Infallible mutex: `lock()` returns the guard directly.
 #[derive(Debug, Default)]
-pub struct Mutex<T>(std::sync::Mutex<T>);
+pub struct Mutex<T>(shim::RawMutex<T>);
 
 /// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub type MutexGuard<'a, T> = shim::RawMutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     /// Wraps a value.
     pub const fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
+        Mutex(shim::RawMutex::new(value))
     }
 
     /// Acquires the lock, ignoring poison (a panic on another thread is
     /// already propagating through the thread scope).
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        shim::raw_lock(&self.0)
     }
 
     /// Consumes the mutex and returns the inner value.
     pub fn into_inner(self) -> T {
-        self.0
-            .into_inner()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        shim::raw_into_inner(self.0)
+    }
+}
+
+/// Infallible condition variable paired with [`Mutex`]: poison is stripped,
+/// and `wait_timeout` returns a plain `(guard, timed_out)` pair. Routed
+/// through the `shim` layer like every other primitive here.
+#[derive(Debug, Default)]
+pub(crate) struct Condvar(shim::RawCondvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub(crate) const fn new() -> Self {
+        Condvar(shim::RawCondvar::new())
+    }
+
+    /// Blocks until notified.
+    #[inline]
+    pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        shim::raw_wait(&self.0, guard)
+    }
+
+    /// Blocks until notified or `dur` elapses; the `bool` is true when the
+    /// wait timed out.
+    #[inline]
+    pub(crate) fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        shim::raw_wait_timeout(&self.0, guard, dur)
+    }
+
+    /// Wakes one waiter.
+    #[inline]
+    pub(crate) fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    #[inline]
+    pub(crate) fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+/// A condvar whose notifiers can skip the syscall when nobody waits.
+///
+/// Waiters register in a counter *while holding the mutex* (inside
+/// [`LazyCondvar::wait`]/[`LazyCondvar::wait_timeout`], before the wait
+/// releases it); a notifier that has since left its own critical section
+/// calls [`LazyCondvar::notify_all_if_waiting`], which reads the counter
+/// and only touches the condvar when it is nonzero. Mutex ordering makes
+/// the handshake lossless: a waiter either incremented the counter before
+/// the notifier's critical section (the notifier sees it and notifies) or
+/// entered the lock afterwards (and then observes the state change the
+/// notification would have signalled, so it never blocks on stale state —
+/// provided callers re-check their predicate under the lock before
+/// waiting, as every condvar loop must). Model-checked in
+/// `model_check.rs`, including the shutdown-vs-submit race.
+#[derive(Debug, Default)]
+pub(crate) struct LazyCondvar {
+    cv: Condvar,
+    waiters: AtomicUsize,
+}
+
+impl LazyCondvar {
+    /// A new lazy condvar with no waiters.
+    pub(crate) const fn new() -> Self {
+        LazyCondvar {
+            cv: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until notified; the caller must re-check its predicate.
+    pub(crate) fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let guard = self.cv.wait(guard);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        guard
+    }
+
+    /// Blocks until notified or `dur` elapses; the `bool` is true when the
+    /// wait timed out.
+    pub(crate) fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let (guard, timed_out) = self.cv.wait_timeout(guard, dur);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        (guard, timed_out)
+    }
+
+    /// Wakes all waiters iff any are registered. Call *after* leaving the
+    /// critical section that changed the awaited state.
+    #[inline]
+    pub(crate) fn notify_all_if_waiting(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// An exactly-once claim: many threads may race to [`ClaimFlag::claim`],
+/// exactly one wins. Backs the "resolve each ticket exactly once" guarantee
+/// of the streaming paths (a completion and a shutdown drain may race for
+/// the same item; whichever claims the flag delivers the outcome).
+#[derive(Debug, Default)]
+pub(crate) struct ClaimFlag(shim::AtomicBool);
+
+impl ClaimFlag {
+    /// A new, unclaimed flag.
+    pub(crate) fn new() -> Self {
+        ClaimFlag(shim::AtomicBool::new(false))
+    }
+
+    /// Attempts the claim; true for exactly one caller.
+    #[inline]
+    pub(crate) fn claim(&self) -> bool {
+        !self.0.swap(true, Ordering::AcqRel)
     }
 }
 
@@ -171,17 +418,17 @@ impl CancelToken {
 /// single-owner `Ticket`, so in practice there is exactly one consumer.
 ///
 /// `set` only touches the condvar when a consumer has registered as waiting
-/// (the `waiters` counter is incremented *before* the waiter takes the lock,
-/// and `set` reads it after releasing the lock, so a waiter is either seen by
-/// `set` or sees the value itself under the lock — the wakeup cannot be
-/// lost). This keeps the resolve path of an un-awaited ticket down to one
-/// uncontended mutex round trip, which is what lets the streaming service
-/// stay within its overhead budget against the fused batch path.
+/// (via `LazyCondvar`: the waiter registers *under the lock* before the
+/// wait releases it, and `set` checks after releasing the lock, so a waiter
+/// is either seen by `set` or sees the value itself under the lock — the
+/// wakeup cannot be lost). This keeps the resolve path of an un-awaited
+/// ticket down to one uncontended mutex round trip, which is what lets the
+/// streaming service stay within its overhead budget against the fused
+/// batch path.
 #[derive(Debug)]
 pub struct OnceSlot<V> {
     value: Mutex<Option<V>>,
-    cv: std::sync::Condvar,
-    waiters: AtomicUsize,
+    cv: LazyCondvar,
 }
 
 impl<V> Default for OnceSlot<V> {
@@ -195,8 +442,7 @@ impl<V> OnceSlot<V> {
     pub fn new() -> Self {
         OnceSlot {
             value: Mutex::new(None),
-            cv: std::sync::Condvar::new(),
-            waiters: AtomicUsize::new(0),
+            cv: LazyCondvar::new(),
         }
     }
 
@@ -215,8 +461,8 @@ impl<V> OnceSlot<V> {
                 true
             }
         };
-        if stored && self.waiters.load(Ordering::SeqCst) > 0 {
-            self.cv.notify_all();
+        if stored {
+            self.cv.notify_all_if_waiting();
         }
         stored
     }
@@ -233,26 +479,20 @@ impl<V> OnceSlot<V> {
 
     /// Blocks until the value lands, then takes it.
     pub fn wait(&self) -> V {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
         let mut slot = self.value.lock();
         loop {
             if let Some(v) = slot.take() {
-                self.waiters.fetch_sub(1, Ordering::SeqCst);
                 return v;
             }
-            slot = self
-                .cv
-                .wait(slot)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = self.cv.wait(slot);
         }
     }
 
     /// Blocks until the value lands or `deadline` passes; takes the value if
     /// it landed in time.
     pub fn wait_deadline(&self, deadline: std::time::Instant) -> Option<V> {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
         let mut slot = self.value.lock();
-        let taken = loop {
+        loop {
             if let Some(v) = slot.take() {
                 break Some(v);
             }
@@ -260,14 +500,9 @@ impl<V> OnceSlot<V> {
             if now >= deadline {
                 break None;
             }
-            let (guard, _timeout) = self
-                .cv
-                .wait_timeout(slot, deadline - now)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (guard, _timed_out) = self.cv.wait_timeout(slot, deadline - now);
             slot = guard;
-        };
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
-        taken
+        }
     }
 }
 
@@ -286,7 +521,7 @@ const SPIN_LIMIT: u32 = 6;
 const YIELD_LIMIT: u32 = 10;
 /// Past this step the park timeout stops doubling.
 const PARK_LIMIT: u32 = 14;
-/// First park duration; doubles each step up to [`MAX_PARK_MICROS`].
+/// First park duration; doubles each step up to `MAX_PARK_MICROS`.
 const BASE_PARK_MICROS: u64 = 20;
 /// Upper bound on a single park (keeps worst-case reaction time bounded).
 const MAX_PARK_MICROS: u64 = 200;
@@ -305,11 +540,19 @@ impl Backoff {
 
     /// Backs off once: `2^step` spin-loop hints while `step` is small, then
     /// a `yield_now`, then a bounded `park_timeout` whose duration doubles
-    /// until it reaches [`MAX_PARK_MICROS`]. A spurious `unpark` only makes
+    /// until it reaches `MAX_PARK_MICROS`. A spurious `unpark` only makes
     /// the sleep shorter, never incorrect — the caller re-checks its
     /// condition on every iteration anyway.
     #[inline]
     pub fn snooze(&mut self) {
+        // Inside a model-checker execution real spinning or parking would
+        // only burn wall clock (virtual threads advance by schedule points,
+        // not time), so a snooze becomes a single yield point.
+        #[cfg(tileqr_verify)]
+        if tileqr_verify::model::in_model() {
+            tileqr_verify::thread::yield_now();
+            return;
+        }
         if self.step <= SPIN_LIMIT {
             for _ in 0..(1u32 << self.step) {
                 std::hint::spin_loop();
@@ -453,7 +696,7 @@ impl WorkerDeque {
         // stealer acquiring `bottom` could miss the element write. The fence
         // orders the element store before the bottom store regardless of who
         // wrote `bottom` last — exactly the protocol of Lê et al. (PPoPP'13).
-        std::sync::atomic::fence(Ordering::Release);
+        fence(Ordering::Release);
         self.bottom.store(b + 1, Ordering::Relaxed);
     }
 
@@ -472,7 +715,7 @@ impl WorkerDeque {
         // The SeqCst fence orders the bottom decrement against the stealers'
         // top reads; without it a stealer and the owner could both take the
         // last element.
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             let task = self.cell(b).load(Ordering::Relaxed);
@@ -497,7 +740,7 @@ impl WorkerDeque {
     #[inline]
     pub fn steal(&self) -> Steal {
         let t = self.top.load(Ordering::Acquire);
-        std::sync::atomic::fence(Ordering::SeqCst);
+        fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
             return Steal::Empty;
@@ -672,6 +915,19 @@ mod tests {
         q.push(0);
         q.push(1);
         q.push(2);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "WorkerDeque capacity")]
+    fn deque_rejects_overflow_in_debug() {
+        // Capacity is a hard bound: the ring is sized to the DAG and never
+        // grows, so pushing `capacity + 1` live items must trip the debug
+        // assertion rather than silently overwrite un-stolen slots.
+        let d = WorkerDeque::with_capacity(2);
+        d.push(0);
+        d.push(1);
+        d.push(2);
     }
 
     #[test]

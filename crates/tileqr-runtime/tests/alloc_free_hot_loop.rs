@@ -29,19 +29,28 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump — the
+// layout/pointer contracts the caller upholds for us transfer unchanged to
+// the delegated calls, and the counter itself never allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: `layout` is the caller's valid, non-zero-size layout,
+        // forwarded verbatim.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was returned by `alloc`/`realloc` above, which
+        // delegate to `System`, with the same `layout`.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: same provenance argument as `dealloc`; `new_size` is the
+        // caller's requested size, forwarded verbatim.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -433,9 +433,16 @@ fn service_chaos_drain<T: RandomScalar>(services: Vec<QrService<T>>, seed: u64) 
             })
             .collect();
         service.shutdown();
+        // Exactly-once drain invariant: every ticket resolves to precisely
+        // one terminal outcome, and the per-category tallies observed by the
+        // clients reconcile with the service's own counters — nothing is
+        // lost, duplicated, or resolved on both sides of the ledger.
+        let (mut ok, mut shut, mut panicked) = (0u64, 0u64, 0u64);
         for ticket in tickets {
             match ticket.wait() {
-                Ok(_) | Err(QrError::ServiceShutdown) | Err(QrError::TaskPanicked { .. }) => {}
+                Ok(_) => ok += 1,
+                Err(QrError::ServiceShutdown) => shut += 1,
+                Err(QrError::TaskPanicked { .. }) => panicked += 1,
                 Err(e) => panic!("drain resolved a ticket with an unexpected error: {e}"),
             }
         }
@@ -443,9 +450,19 @@ fn service_chaos_drain<T: RandomScalar>(services: Vec<QrService<T>>, seed: u64) 
         let after = service.stats();
         assert_eq!(after.submitted - before.submitted, SERVICE_ITEMS as u64);
         assert_eq!(
-            (after.completed + after.failed) - (before.completed + before.failed),
+            ok + shut + panicked,
             SERVICE_ITEMS as u64,
-            "shutdown drain lost a ticket"
+            "a ticket resolved more or less than exactly once"
+        );
+        assert_eq!(
+            after.completed - before.completed,
+            ok,
+            "completed counter disagrees with the tickets that resolved Ok"
+        );
+        assert_eq!(
+            after.failed - before.failed,
+            shut + panicked,
+            "failed counter disagrees with the tickets that resolved Err"
         );
         assert_eq!(service.queue_depth(), 0);
     }

@@ -1,0 +1,79 @@
+//! [`RaceCell`]: a plain-data cell the checker watches for data races.
+//!
+//! Model bodies use it for the *non-atomic* payloads of a protocol (the
+//! task slot a deque index guards, the value an [`ItemSink`]-style handoff
+//! transfers). Two accesses from different virtual threads with no
+//! happens-before edge between them — at least one a write — fail the model
+//! with [`crate::model::FailureKind::DataRace`], exactly the condition under
+//! which real hardware could return torn or stale data.
+//!
+//! Outside a model it degrades to a mutex-protected cell, so shimmed code
+//! still runs (slowly but correctly) in ordinary builds.
+//!
+//! [`ItemSink`]: ../../tileqr_runtime/service/index.html
+
+use std::sync::Mutex as StdMutex;
+
+use crate::engine::{current, LazyId};
+
+/// A race-detected cell. See the module docs.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    id: LazyId,
+    value: StdMutex<T>,
+}
+
+impl<T> RaceCell<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        RaceCell {
+            id: LazyId::new(),
+            value: StdMutex::new(value),
+        }
+    }
+
+    fn access(&self, write: bool, what: &'static str) {
+        if let Some((engine, me)) = current() {
+            engine.cell_access(me, self.id.get(), write, what);
+        }
+    }
+
+    /// Reads the value (a racy read fails the model).
+    pub fn get(&self) -> T
+    where
+        T: Copy,
+    {
+        self.access(false, "RaceCell.get");
+        *self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Writes the value (a racy write fails the model).
+    pub fn set(&self, value: T) {
+        self.access(true, "RaceCell.set");
+        *self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = value;
+    }
+
+    /// Reads through a closure, for non-`Copy` payloads.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.access(false, "RaceCell.with");
+        f(&self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Mutates through a closure (counts as a write).
+    pub fn update<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.access(true, "RaceCell.update");
+        f(&mut self
+            .value
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}

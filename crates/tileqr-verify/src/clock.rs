@@ -1,0 +1,37 @@
+//! Vector clocks for the happens-before layer.
+
+/// A grow-on-demand vector clock indexed by virtual-thread id. Missing
+/// components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    #[inline]
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+            }
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.0.clear();
+    }
+}

@@ -1,0 +1,94 @@
+//! # tileqr-verify — a deterministic interleaving model checker
+//!
+//! A zero-dependency "loom-lite": shim synchronisation types
+//! ([`sync::atomic`], [`sync::Mutex`], [`sync::Condvar`], [`cell::RaceCell`],
+//! [`thread::spawn`]) backed by a virtual-thread scheduler that runs a closed
+//! concurrent test body under **every** schedule a depth-first search with
+//! bounded preemptions can reach, plus seeded random sampling beyond the DFS
+//! budget. The runtime crate routes the primitives in
+//! `tileqr-runtime/src/sync.rs` through these shims under
+//! `--cfg tileqr_verify`, which is how the Chase–Lev deque, `CancelToken`,
+//! the backpressure condvar and the ticket exactly-once protocol are model
+//! checked in CI.
+//!
+//! ## How the shim layer works
+//!
+//! Every shim type holds a real `std` primitive plus a lazily assigned object
+//! id. Outside a model (no [`model::Model`] is executing on the current
+//! thread) each operation falls straight through to `std` — so a binary built
+//! with `--cfg tileqr_verify` still behaves normally everywhere except inside
+//! `Model::check` bodies, and the whole ordinary test suite keeps passing
+//! under the verify cfg.
+//!
+//! Inside a model, threads created with [`thread::spawn`] become *virtual
+//! threads*: real OS threads (pooled and reused across executions) that pass
+//! a single run token between each other, so exactly one virtual thread runs
+//! at any instant. Before every shim operation the running thread reaches a
+//! *schedule point*: the engine picks which runnable thread continues, either
+//! replaying a recorded prefix (DFS), sampling with a seeded PRNG, or
+//! defaulting to "keep running". Executions are therefore fully
+//! deterministic: a failing schedule is reported as the exact sequence of
+//! choice indices and can be replayed with [`model::Model::replay`].
+//!
+//! ## What is explored, and what is checked
+//!
+//! The scheduler explores **sequentially consistent** interleavings; it does
+//! not simulate weak-memory reorderings. Memory orderings still matter
+//! through the *happens-before* layer: every shim operation updates
+//! fence-aware vector clocks (release/acquire stores and loads, release and
+//! acquire fences, SeqCst ops joining a global SC clock, RMWs extending
+//! release sequences), and [`cell::RaceCell`] asserts that every pair of
+//! conflicting plain accesses is ordered by that happens-before relation. A
+//! protocol that forgets a Release/Acquire pair or a fence fails with a
+//! reported data race even though the explored interleaving itself was SC.
+//! The converse limitation is documented in `tileqr-runtime`'s module docs:
+//! the checker cannot justify *downgrading* an ordering (e.g. the SeqCst
+//! fences in the deque), because the weak behaviours such a downgrade admits
+//! are exactly what it does not simulate.
+//!
+//! ## Preemption bounds and exploration budget
+//!
+//! Exhaustive search is exponential, so the DFS is bounded two ways
+//! (CHESS-style): a **preemption bound** — schedules may contain at most
+//! `preemption_bound` context switches at points where the running thread
+//! could have continued (forced switches when a thread blocks are free) —
+//! and an execution cap `max_dfs_executions`. Most real concurrency bugs
+//! fall to ≤ 2 preemptions. After the DFS budget, `random_samples` seeded
+//! random schedules (unbounded preemptions) probe the deeper space. The
+//! returned [`model::Report`] says how many executions ran, how many
+//! *distinct* schedules were seen, and whether the bounded DFS completed.
+//!
+//! Blocking is modeled precisely: a thread blocked on a shim mutex, condvar
+//! or join is not schedulable, and if no thread is runnable the engine
+//! reports a **deadlock with the exact schedule** — this is how lost-wakeup
+//! bugs surface. `Condvar::wait_timeout` is modeled as a nondeterministic
+//! scheduler choice (the waiter may be woken "by timeout" at any point, at
+//! most `max_timeout_wakes` times per execution so timeout loops stay
+//! bounded).
+//!
+//! ## Adding a new model-checked protocol
+//!
+//! 1. Express the protocol's shared state with the shim types (or with
+//!    `tileqr-runtime` primitives that already route through them).
+//! 2. Write a closed body: spawn 2–3 virtual threads doing a *small* number
+//!    of operations each, join them, and assert the invariant — either
+//!    in-body (`assert!`), via a [`cell::RaceCell`] (publication safety), or
+//!    by checking an oracle after the joins. Keep every loop bounded and the
+//!    body deterministic (no wall-clock reads, no hash-map iteration).
+//! 3. Run it under a [`model::Model`]: start with
+//!    `preemption_bound = 2..3` and check `report.dfs_complete`; add random
+//!    samples for the deeper space. `Model::check` panics with the failing
+//!    schedule, the last scheduler events and the repro choices on any
+//!    violation.
+//!
+//! See `tileqr-runtime/src/model_check.rs` for the real suites.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+mod clock;
+mod engine;
+pub mod model;
+mod rng;
+pub mod sync;
+pub mod thread;

@@ -1,0 +1,315 @@
+//! Model configuration, the exploration driver and the result report.
+
+use std::collections::HashSet;
+use std::panic;
+use std::sync::Arc;
+
+use crate::engine::{current, set_current, AbortUnwind, Engine, ExecLimits, ScheduleStep};
+use crate::rng::Rng;
+
+/// What kind of invariant violation the checker found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A virtual thread panicked (failed assertion in the model body).
+    Panic,
+    /// No virtual thread was runnable (lost wakeup, lock cycle, …).
+    Deadlock,
+    /// Two unordered plain accesses to a [`crate::cell::RaceCell`].
+    DataRace,
+    /// The per-execution schedule-point budget was exhausted.
+    StepLimit,
+    /// A replayed schedule diverged — the model body is not deterministic.
+    Nondeterminism,
+    /// The body spawned more virtual threads than `Model::max_threads`.
+    TooManyThreads,
+}
+
+/// A violation, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Classification of the violation.
+    pub kind: FailureKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The exact schedule (choice index per schedule point) that triggered
+    /// it; feed to [`Model::replay`].
+    pub schedule: Vec<usize>,
+    /// The most recent scheduler events (`t<tid>: <op>`) before the failure.
+    pub trace: Vec<String>,
+}
+
+/// Outcome of a [`Model::explore`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The model's name (for messages and summaries).
+    pub name: String,
+    /// Total executions run (DFS + random samples).
+    pub executions: u64,
+    /// Distinct schedules among them (random samples may repeat).
+    pub distinct_interleavings: u64,
+    /// True when the preemption-bounded DFS exhausted its search space
+    /// within `max_dfs_executions`.
+    pub dfs_complete: bool,
+    /// Deepest schedule (number of choice points) seen.
+    pub max_depth: usize,
+    /// The first violation found, if any (exploration stops on it).
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panics with a reproducible description if the exploration found any
+    /// violation; returns `self` otherwise so asserts can be chained.
+    pub fn assert_ok(self) -> Report {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model '{}' failed after {} executions: {:?}: {}\n  repro schedule: {:?}\n  last events:\n    {}",
+                self.name,
+                self.executions,
+                f.kind,
+                f.message,
+                f.schedule,
+                f.trace.join("\n    ")
+            );
+        }
+        self
+    }
+}
+
+/// Configuration for one model exploration. Build with [`Model::new`] and
+/// the `with_*` setters, then run with [`Model::explore`] or
+/// [`Model::check`].
+#[derive(Clone, Debug)]
+pub struct Model {
+    name: String,
+    preemption_bound: usize,
+    max_dfs_executions: u64,
+    random_samples: u64,
+    seed: u64,
+    max_steps: usize,
+    max_threads: usize,
+    max_timeout_wakes: usize,
+}
+
+impl Model {
+    /// A model with the default budgets: preemption bound 2, up to 50 000
+    /// DFS executions, no random samples, 20 000 schedule points per
+    /// execution, at most 8 virtual threads and 2 timeout wakes.
+    pub fn new(name: &str) -> Model {
+        Model {
+            name: name.to_string(),
+            preemption_bound: 2,
+            max_dfs_executions: 50_000,
+            random_samples: 0,
+            seed: 0x5EED_1E55_C0FF_EE00,
+            max_steps: 20_000,
+            max_threads: 8,
+            max_timeout_wakes: 2,
+        }
+    }
+
+    /// Maximum context switches at points where the running thread could
+    /// have continued (forced switches when a thread blocks are free).
+    pub fn with_preemption_bound(mut self, bound: usize) -> Model {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Cap on DFS executions; the report's `dfs_complete` says whether the
+    /// bounded search space was exhausted within it.
+    pub fn with_max_dfs_executions(mut self, n: u64) -> Model {
+        self.max_dfs_executions = n;
+        self
+    }
+
+    /// Seeded random schedules (unbounded preemptions) run after the DFS.
+    pub fn with_random_samples(mut self, n: u64) -> Model {
+        self.random_samples = n;
+        self
+    }
+
+    /// Seed for the random-sampling phase.
+    pub fn with_seed(mut self, seed: u64) -> Model {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-execution schedule-point budget (livelock guard).
+    pub fn with_max_steps(mut self, n: usize) -> Model {
+        self.max_steps = n;
+        self
+    }
+
+    /// Cap on virtual threads per execution.
+    pub fn with_max_threads(mut self, n: usize) -> Model {
+        self.max_threads = n;
+        self
+    }
+
+    /// How many times per execution timed condvar waits may wake "by
+    /// timeout" (bounds timeout-retry loops).
+    pub fn with_max_timeout_wakes(mut self, n: usize) -> Model {
+        self.max_timeout_wakes = n;
+        self
+    }
+
+    fn limits(&self) -> ExecLimits {
+        ExecLimits {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+            max_threads: self.max_threads,
+            max_timeout_wakes: self.max_timeout_wakes,
+        }
+    }
+
+    /// Explores the model and returns the [`Report`] (stopping at the first
+    /// violation) without panicking.
+    pub fn explore<F: Fn()>(&self, body: F) -> Report {
+        assert!(
+            current().is_none(),
+            "tileqr-verify models cannot be nested inside another model"
+        );
+        let engine = Arc::new(Engine::new(self.limits()));
+        let mut report = Report {
+            name: self.name.clone(),
+            executions: 0,
+            distinct_interleavings: 0,
+            dfs_complete: false,
+            max_depth: 0,
+            failure: None,
+        };
+        let mut distinct: HashSet<u64> = HashSet::new();
+
+        // Phase 1: depth-first search over schedule prefixes. The stack
+        // holds (number of options, current choice) per schedule point of
+        // the prefix being explored.
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        loop {
+            if report.executions >= self.max_dfs_executions {
+                break;
+            }
+            let replay: Vec<usize> = stack.iter().map(|&(_, choice)| choice).collect();
+            let (schedule, failure) = run_once(&engine, replay.clone(), None, &body);
+            report.executions += 1;
+            report.max_depth = report.max_depth.max(schedule.len());
+            distinct.insert(schedule_hash(&schedule));
+            if let Some(f) = failure {
+                report.failure = Some(f);
+                report.distinct_interleavings = distinct.len() as u64;
+                return report;
+            }
+            // Check replayed prefix determinism, then extend the stack with
+            // the newly discovered points (explored with choice 0 just now).
+            for (i, &(n_options, _)) in stack.iter().enumerate() {
+                if schedule.get(i).map(|s| s.options.len()) != Some(n_options) {
+                    report.failure = Some(Failure {
+                        kind: FailureKind::Nondeterminism,
+                        message: format!(
+                            "schedule point {i} offered a different option count on replay — \
+                             the model body is not deterministic"
+                        ),
+                        schedule: replay.clone(),
+                        trace: Vec::new(),
+                    });
+                    report.distinct_interleavings = distinct.len() as u64;
+                    return report;
+                }
+            }
+            for step in schedule.iter().skip(stack.len()) {
+                stack.push((step.options.len(), 0));
+            }
+            // Backtrack to the deepest point with an unexplored option.
+            loop {
+                match stack.last_mut() {
+                    None => break,
+                    Some(top) => {
+                        if top.1 + 1 < top.0 {
+                            top.1 += 1;
+                            break;
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+            if stack.is_empty() {
+                report.dfs_complete = true;
+                break;
+            }
+        }
+
+        // Phase 2: seeded random sampling, unbounded preemptions.
+        for sample in 0..self.random_samples {
+            let rng = Rng::new(
+                self.seed
+                    .wrapping_add(sample)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            let (schedule, failure) = run_once(&engine, Vec::new(), Some(rng), &body);
+            report.executions += 1;
+            report.max_depth = report.max_depth.max(schedule.len());
+            distinct.insert(schedule_hash(&schedule));
+            if let Some(f) = failure {
+                report.failure = Some(f);
+                break;
+            }
+        }
+        report.distinct_interleavings = distinct.len() as u64;
+        report
+    }
+
+    /// Explores and panics on any violation (the usual test entry point).
+    pub fn check<F: Fn()>(&self, body: F) -> Report {
+        self.explore(body).assert_ok()
+    }
+
+    /// Re-runs one exact schedule (as reported in [`Failure::schedule`]),
+    /// e.g. to debug a violation with extra logging in the body.
+    pub fn replay<F: Fn()>(&self, choices: &[usize], body: F) -> Report {
+        assert!(current().is_none(), "cannot replay inside a model");
+        let engine = Arc::new(Engine::new(self.limits()));
+        let (schedule, failure) = run_once(&engine, choices.to_vec(), None, &body);
+        Report {
+            name: self.name.clone(),
+            executions: 1,
+            distinct_interleavings: 1,
+            dfs_complete: false,
+            max_depth: schedule.len(),
+            failure,
+        }
+    }
+}
+
+/// True while the calling thread is executing inside a model body (shims
+/// route through the engine); false in ordinary code, where shims fall back
+/// to `std` behaviour.
+pub fn in_model() -> bool {
+    current().is_some()
+}
+
+fn run_once<F: Fn()>(
+    engine: &Arc<Engine>,
+    replay: Vec<usize>,
+    rng: Option<Rng>,
+    body: &F,
+) -> (Vec<ScheduleStep>, Option<Failure>) {
+    engine.begin_execution(replay, rng);
+    set_current(Some((Arc::clone(engine), 0)));
+    let result = panic::catch_unwind(panic::AssertUnwindSafe(body));
+    if let Err(payload) = result {
+        if !payload.is::<AbortUnwind>() {
+            engine.fail_from_panic(0, payload.as_ref());
+        }
+    }
+    engine.main_done();
+    set_current(None);
+    engine.take_execution()
+}
+
+fn schedule_hash(schedule: &[ScheduleStep]) -> u64 {
+    // FNV-1a over the chosen-thread sequence.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for step in schedule {
+        h ^= step.options[step.chosen] as u64 + 1;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,31 @@
+//! SplitMix64 — the seeded PRNG behind the random-sampling phase.
+//!
+//! Deterministic per seed, so a sampled schedule is reproducible from
+//! `(seed, sample index)` alone.
+
+#[derive(Clone, Debug)]
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixpoint of a raw 0 seed.
+        Rng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    #[inline]
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough index in `0..n` (`n` is tiny — a handful of runnable
+    /// threads — so modulo bias is irrelevant here).
+    #[inline]
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+}

@@ -1,0 +1,403 @@
+//! Shim synchronisation types: drop-in replacements for `std::sync` that
+//! route through the model-checking engine when a [`crate::model::Model`]
+//! is executing on the current thread, and fall back to plain `std`
+//! behaviour otherwise.
+
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+use crate::engine::{current, Engine, LazyId, Tid, WakeReason};
+use std::sync::Arc;
+
+/// Shim atomics and fences.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::current;
+    use crate::engine::{AtomicOpKind, LazyId};
+
+    /// An atomic fence. Inside a model this is a schedule point that applies
+    /// the fence's happens-before rules (release fences are published by
+    /// later relaxed stores, acquire fences materialise earlier relaxed
+    /// loads, SeqCst fences join the global SC clock).
+    pub fn fence(order: Ordering) {
+        if let Some((engine, me)) = current() {
+            engine.op_point(me, "fence");
+            engine.fence_hb(me, order);
+        } else {
+            std::sync::atomic::fence(order);
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $Name:ident, $Std:ident, $T:ty, rmw: [$($rmw:ident),*]) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $Name {
+                v: std::sync::atomic::$Std,
+                id: LazyId,
+            }
+
+            impl $Name {
+                /// A new shim atomic holding `v`.
+                pub const fn new(v: $T) -> Self {
+                    $Name { v: std::sync::atomic::$Std::new(v), id: LazyId::new() }
+                }
+
+                /// Atomic load.
+                #[inline]
+                pub fn load(&self, order: Ordering) -> $T {
+                    if let Some((engine, me)) = current() {
+                        engine.op_point(me, concat!(stringify!($Name), ".load"));
+                        let v = self.v.load(order);
+                        engine.atomic_hb(me, self.id.get(), AtomicOpKind::Load(order));
+                        v
+                    } else {
+                        self.v.load(order)
+                    }
+                }
+
+                /// Atomic store.
+                #[inline]
+                pub fn store(&self, value: $T, order: Ordering) {
+                    if let Some((engine, me)) = current() {
+                        engine.op_point(me, concat!(stringify!($Name), ".store"));
+                        self.v.store(value, order);
+                        engine.atomic_hb(me, self.id.get(), AtomicOpKind::Store(order));
+                    } else {
+                        self.v.store(value, order);
+                    }
+                }
+
+                /// Atomic swap.
+                #[inline]
+                pub fn swap(&self, value: $T, order: Ordering) -> $T {
+                    if let Some((engine, me)) = current() {
+                        engine.op_point(me, concat!(stringify!($Name), ".swap"));
+                        let v = self.v.swap(value, order);
+                        engine.atomic_hb(me, self.id.get(), AtomicOpKind::Rmw(order));
+                        v
+                    } else {
+                        self.v.swap(value, order)
+                    }
+                }
+
+                /// Atomic compare-exchange; a failure acts as a load with the
+                /// failure ordering.
+                #[inline]
+                pub fn compare_exchange(
+                    &self,
+                    cur: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    if let Some((engine, me)) = current() {
+                        engine.op_point(me, concat!(stringify!($Name), ".compare_exchange"));
+                        let r = self.v.compare_exchange(cur, new, success, failure);
+                        let kind = match r {
+                            Ok(_) => AtomicOpKind::Rmw(success),
+                            Err(_) => AtomicOpKind::RmwFailed(failure),
+                        };
+                        engine.atomic_hb(me, self.id.get(), kind);
+                        r
+                    } else {
+                        self.v.compare_exchange(cur, new, success, failure)
+                    }
+                }
+
+                /// Weak compare-exchange (shim: never fails spuriously, which
+                /// is a legal implementation).
+                #[inline]
+                pub fn compare_exchange_weak(
+                    &self,
+                    cur: $T,
+                    new: $T,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$T, $T> {
+                    self.compare_exchange(cur, new, success, failure)
+                }
+
+                $(
+                    /// Atomic read-modify-write (see the std method of the
+                    /// same name).
+                    #[inline]
+                    pub fn $rmw(&self, value: $T, order: Ordering) -> $T {
+                        if let Some((engine, me)) = current() {
+                            engine.op_point(me, concat!(stringify!($Name), ".", stringify!($rmw)));
+                            let v = self.v.$rmw(value, order);
+                            engine.atomic_hb(me, self.id.get(), AtomicOpKind::Rmw(order));
+                            v
+                        } else {
+                            self.v.$rmw(value, order)
+                        }
+                    }
+                )*
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// Model-checked `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    shim_atomic!(
+        /// Model-checked `AtomicIsize`.
+        AtomicIsize, AtomicIsize, isize,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    shim_atomic!(
+        /// Model-checked `AtomicU64`.
+        AtomicU64, AtomicU64, u64,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    shim_atomic!(
+        /// Model-checked `AtomicU32`.
+        AtomicU32, AtomicU32, u32,
+        rmw: [fetch_add, fetch_sub, fetch_or, fetch_and, fetch_max, fetch_min]
+    );
+    shim_atomic!(
+        /// Model-checked `AtomicBool`.
+        AtomicBool, AtomicBool, bool,
+        rmw: [fetch_or, fetch_and]
+    );
+}
+
+/// A model-checked mutex with the `std::sync::Mutex` shape. Outside a model
+/// it behaves exactly like the std mutex (with poison stripped — a poisoned
+/// lock means a panic is already propagating elsewhere).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    id: LazyId,
+    inner: StdMutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<StdMutexGuard<'a, T>>,
+    model: Option<(Arc<Engine>, Tid)>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            id: LazyId::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock (infallible; poison is stripped).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            Some((engine, me)) => {
+                engine.mutex_lock(me, self.id.get());
+                // The engine grants exclusive ownership, so the std lock
+                // must be free.
+                let inner = self
+                    .inner
+                    .try_lock()
+                    .expect("tileqr-verify: modelled mutex locked outside the model");
+                MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                    model: Some((engine, me)),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                inner: Some(
+                    self.inner
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner),
+                ),
+                model: None,
+            },
+        }
+    }
+
+    /// Consumes the mutex and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<'a, T> std::ops::Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already dismantled")
+    }
+}
+
+impl<'a, T> std::ops::DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already dismantled")
+    }
+}
+
+impl<'a, T> Drop for MutexGuard<'a, T> {
+    fn drop(&mut self) {
+        if let Some((engine, me)) = self.model.take() {
+            // Engine bookkeeping first (we still hold the token, so no
+            // other virtual thread can attempt the std lock before the
+            // inner guard drops right after this). During a panic unwind
+            // the teardown path is used: it never unwinds itself, which
+            // would otherwise abort the process.
+            if std::thread::panicking() {
+                engine.mutex_unlock_teardown(me, self.lock.id.get());
+            } else {
+                engine.mutex_unlock(me, self.lock.id.get());
+            }
+        }
+        self.inner.take();
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`], mirroring the std type.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (in a model: the
+    /// scheduler chose the timeout branch).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A model-checked condition variable. Inside a model, `wait` blocks until
+/// a notification and `wait_timeout` may additionally be woken by a
+/// scheduler-chosen timeout; outside, both delegate to `std`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: LazyId,
+    inner: StdCondvar,
+}
+
+/// A `MutexGuard` taken apart for a condvar wait: the lock to reacquire,
+/// the released std guard (std-backed mode) and the model registration
+/// (checked mode).
+type DismantledGuard<'a, T> = (
+    &'a Mutex<T>,
+    Option<StdMutexGuard<'a, T>>,
+    Option<(Arc<Engine>, Tid)>,
+);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            id: LazyId::new(),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn dismantle<'a, T>(guard: &mut MutexGuard<'a, T>) -> DismantledGuard<'a, T> {
+        (guard.lock, guard.inner.take(), guard.model.take())
+    }
+
+    /// Blocks until notified, releasing the mutex while waiting.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let (lock, std_guard, model) = Self::dismantle(&mut guard);
+        drop(guard);
+        match model {
+            Some((engine, me)) => {
+                drop(std_guard); // release before the engine hands off ownership
+                engine.cv_wait(me, self.id.get(), lock.id.get(), false);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("tileqr-verify: modelled mutex locked outside the model");
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: Some((engine, me)),
+                }
+            }
+            None => {
+                let inner = self
+                    .inner
+                    .wait(std_guard.expect("guard already dismantled"))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                MutexGuard {
+                    lock,
+                    inner: Some(inner),
+                    model: None,
+                }
+            }
+        }
+    }
+
+    /// Blocks until notified or the timeout elapses. Inside a model the
+    /// duration is ignored; the timeout is a nondeterministic scheduler
+    /// choice (bounded by the model's `max_timeout_wakes`).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (lock, std_guard, model) = Self::dismantle(&mut guard);
+        drop(guard);
+        match model {
+            Some((engine, me)) => {
+                drop(std_guard);
+                let reason = engine.cv_wait(me, self.id.get(), lock.id.get(), true);
+                let inner = lock
+                    .inner
+                    .try_lock()
+                    .expect("tileqr-verify: modelled mutex locked outside the model");
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: Some((engine, me)),
+                    },
+                    WaitTimeoutResult {
+                        timed_out: reason == WakeReason::TimedOut,
+                    },
+                )
+            }
+            None => {
+                let (inner, result) = self
+                    .inner
+                    .wait_timeout(std_guard.expect("guard already dismantled"), dur)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                (
+                    MutexGuard {
+                        lock,
+                        inner: Some(inner),
+                        model: None,
+                    },
+                    WaitTimeoutResult {
+                        timed_out: result.timed_out(),
+                    },
+                )
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        if let Some((engine, me)) = current() {
+            engine.cv_notify(me, self.id.get(), false);
+        } else {
+            self.inner.notify_one();
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        if let Some((engine, me)) = current() {
+            engine.cv_notify(me, self.id.get(), true);
+        } else {
+            self.inner.notify_all();
+        }
+    }
+}

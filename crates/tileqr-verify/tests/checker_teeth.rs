@@ -1,0 +1,334 @@
+//! Calibration tests for the model checker itself: known-buggy protocols it
+//! MUST flag, and known-correct ones it must pass. A checker that cannot
+//! find a seeded bug proves nothing about the protocols it blesses.
+
+use std::sync::Arc;
+
+use tileqr_verify::cell::RaceCell;
+use tileqr_verify::model::{FailureKind, Model};
+use tileqr_verify::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
+use tileqr_verify::sync::{Condvar, Mutex};
+use tileqr_verify::thread;
+
+/// Relaxed publication: flag stored Relaxed, payload read after a Relaxed
+/// flag load — there is no happens-before edge, so the payload read races.
+#[test]
+fn finds_relaxed_publication_race() {
+    let report = Model::new("relaxed-publication")
+        .with_preemption_bound(2)
+        .explore(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(RaceCell::new(0usize));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(42);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                let _ = data.get();
+            }
+            t.join().unwrap();
+        });
+    let failure = report.failure.expect("checker missed the publication race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+/// The same protocol with Release/Acquire is publication-safe: the
+/// bounded-DFS space must be explored completely with no violation.
+#[test]
+fn passes_release_acquire_publication() {
+    let report = Model::new("release-acquire-publication")
+        .with_preemption_bound(3)
+        .check(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(RaceCell::new(0usize));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(42);
+                f2.store(true, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) {
+                assert_eq!(data.get(), 42);
+            }
+            t.join().unwrap();
+        });
+    assert!(report.dfs_complete, "bounded DFS should exhaust this model");
+    assert!(report.distinct_interleavings > 1);
+}
+
+/// Fence-based publication (the deque's push protocol shape): relaxed store
+/// after a Release fence, relaxed load before an Acquire fence.
+#[test]
+fn passes_fence_publication() {
+    Model::new("fence-publication")
+        .with_preemption_bound(3)
+        .check(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(RaceCell::new(0usize));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(7);
+                fence(Ordering::Release);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                fence(Ordering::Acquire);
+                assert_eq!(data.get(), 7);
+            }
+            t.join().unwrap();
+        });
+}
+
+/// Unsynchronised read-modify-write (load; add; store) loses updates under
+/// the right interleaving. The in-body assert must fire.
+#[test]
+fn finds_lost_update() {
+    let report = Model::new("lost-update")
+        .with_preemption_bound(2)
+        .explore(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = thread::spawn(move || {
+                let v = c2.load(Ordering::SeqCst);
+                c2.store(v + 1, Ordering::SeqCst);
+            });
+            let v = counter.load(Ordering::SeqCst);
+            counter.store(v + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+        });
+    let failure = report.failure.expect("checker missed the lost update");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("lost update"));
+}
+
+/// The fetch_add version of the same counter is correct.
+#[test]
+fn passes_fetch_add_counter() {
+    Model::new("fetch-add-counter")
+        .with_preemption_bound(3)
+        .check(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let c2 = Arc::clone(&counter);
+            let t = thread::spawn(move || {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            counter.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(counter.load(Ordering::SeqCst), 2);
+        });
+}
+
+/// Classic lock-ordering deadlock: two mutexes taken in opposite orders.
+#[test]
+fn finds_lock_order_deadlock() {
+    let report = Model::new("lock-order-deadlock")
+        .with_preemption_bound(2)
+        .explore(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop(_ga);
+            drop(_gb);
+            t.join().unwrap();
+        });
+    let failure = report.failure.expect("checker missed the deadlock");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// Lost wakeup: the waiter checks the predicate, the setter sets it and
+/// notifies *before* the waiter blocks — with an untimed wait and no
+/// predicate re-check under the same critical section, the schedule where
+/// the notify lands between check and wait deadlocks.
+#[test]
+fn finds_lost_wakeup() {
+    let report = Model::new("lost-wakeup")
+        .with_preemption_bound(2)
+        .explore(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*s2;
+                let mut g = lock.lock();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (lock, cv) = &*state;
+            // BUG: predicate checked outside the wait loop's critical section.
+            let ready = { *lock.lock() };
+            if !ready {
+                let g = lock.lock();
+                let _g = cv.wait(g); // notify may already have happened
+            }
+            t.join().unwrap();
+        });
+    let failure = report.failure.expect("checker missed the lost wakeup");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+}
+
+/// The correct wait loop (predicate re-checked under the lock) passes.
+#[test]
+fn passes_predicate_wait_loop() {
+    Model::new("predicate-wait-loop")
+        .with_preemption_bound(3)
+        .check(|| {
+            let state = Arc::new((Mutex::new(false), Condvar::new()));
+            let s2 = Arc::clone(&state);
+            let t = thread::spawn(move || {
+                let (lock, cv) = &*s2;
+                let mut g = lock.lock();
+                *g = true;
+                drop(g);
+                cv.notify_one();
+            });
+            let (lock, cv) = &*state;
+            let mut g = lock.lock();
+            while !*g {
+                g = cv.wait(g);
+            }
+            drop(g);
+            t.join().unwrap();
+        });
+}
+
+/// A lone thread in wait_timeout must terminate via the modeled timeout
+/// rather than deadlocking.
+#[test]
+fn lone_wait_timeout_terminates() {
+    let report = Model::new("lone-wait-timeout").check(|| {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock.lock();
+        let (_g, result) = cv.wait_timeout(g, std::time::Duration::from_millis(1));
+        assert!(result.timed_out());
+    });
+    assert!(report.dfs_complete);
+}
+
+/// Exploration is deterministic: the same model explored twice yields the
+/// same execution count, distinct-schedule count and depth.
+#[test]
+fn exploration_is_deterministic() {
+    let model = Model::new("determinism").with_preemption_bound(2);
+    let body = || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::AcqRel);
+        });
+        counter.fetch_add(1, Ordering::AcqRel);
+        t.join().unwrap();
+    };
+    let a = model.check(body);
+    let b = model.check(body);
+    assert_eq!(a.executions, b.executions);
+    assert_eq!(a.distinct_interleavings, b.distinct_interleavings);
+    assert_eq!(a.max_depth, b.max_depth);
+    assert!(a.dfs_complete && b.dfs_complete);
+}
+
+/// A reported failure's schedule reproduces the same failure kind under
+/// `Model::replay`.
+#[test]
+fn replay_reproduces_failure() {
+    let model = Model::new("replay").with_preemption_bound(2);
+    let body = || {
+        let flag = Arc::new(AtomicBool::new(false));
+        let data = Arc::new(RaceCell::new(0usize));
+        let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+        let t = thread::spawn(move || {
+            d2.set(1);
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            let _ = data.get();
+        }
+        t.join().unwrap();
+    };
+    let report = model.explore(body);
+    let failure = report.failure.expect("expected a race");
+    let replayed = model.replay(&failure.schedule, body);
+    let again = replayed.failure.expect("replay lost the failure");
+    assert_eq!(again.kind, failure.kind);
+}
+
+/// Random sampling also finds the seeded race when the DFS budget is too
+/// small to reach it.
+#[test]
+fn random_sampling_finds_race() {
+    let report = Model::new("sampling")
+        .with_max_dfs_executions(1) // only the default schedule
+        .with_random_samples(500)
+        .explore(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let data = Arc::new(RaceCell::new(0usize));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.set(1);
+                f2.store(true, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) {
+                let _ = data.get();
+            }
+            t.join().unwrap();
+        });
+    let failure = report.failure.expect("sampling missed the race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+}
+
+/// Shims must fall back to std outside a model: this ordinary test uses
+/// them directly with real threads.
+#[test]
+fn shims_fall_back_to_std_outside_models() {
+    assert!(!tileqr_verify::model::in_model());
+    let counter = Arc::new(AtomicUsize::new(0));
+    let cell = Arc::new(RaceCell::new(0usize));
+    let lock = Arc::new(Mutex::new(0usize));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let (c, r, l) = (Arc::clone(&counter), Arc::clone(&cell), Arc::clone(&lock));
+            thread::spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                r.update(|v| *v += 1);
+                *l.lock() += 1;
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(counter.load(Ordering::SeqCst), 4);
+    assert_eq!(cell.get(), 4);
+    assert_eq!(*lock.lock(), 4);
+}
+
+/// A body that panics while a spawned child has never been scheduled must
+/// still terminate every execution: the child unwinds out of its *initial*
+/// token wait and must still be marked finished. Regression test — this
+/// used to let `AbortUnwind` escape the pooled worker's job, killing the
+/// worker thread and hanging the driver forever in `main_done`.
+#[test]
+fn panic_with_never_scheduled_child_terminates() {
+    let report = Model::new("panic-before-child")
+        .with_preemption_bound(0)
+        .explore(|| {
+            let flag = Arc::new(AtomicUsize::new(0));
+            let f2 = Arc::clone(&flag);
+            let _child = thread::spawn(move || {
+                f2.store(1, Ordering::SeqCst);
+            });
+            // With a zero preemption budget the child never runs before
+            // the main virtual thread hits this panic.
+            panic!("boom before the child ever ran");
+        });
+    let failure = report.failure.expect("the body always panics");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("boom"), "{}", failure.message);
+}

@@ -170,6 +170,58 @@ fn asymptotic_optimality_of_greedy_and_fibonacci() {
 }
 
 #[test]
+fn paper_table_shapes_are_covered_by_the_race_analyzer() {
+    use tiled_qr::core::footprint::{analyze, plan_dag, PAPER_TABLE_SHAPES};
+
+    // Every grid shape pinned by this file must be part of the analyzer's
+    // paper-table sweep, so `tileqr-analyze --paper-tables` (and the
+    // race-freedom test suite built on the same list) proves that each
+    // published number comes from a plan whose conflicting tile accesses
+    // are all ordered by the DAG.
+    let pinned: &[(usize, usize)] = &[
+        (40, 1),
+        (40, 2),
+        (40, 6),
+        (40, 13),
+        (40, 26),
+        (40, 39),
+        (40, 40),
+        (16, 16),
+        (32, 32),
+        (64, 64),
+        (128, 16),
+        (128, 64),
+        (128, 128),
+        (2, 2),
+        (5, 3),
+        (15, 6),
+        (40, 10),
+        (24, 12),
+        (48, 24),
+        (96, 48),
+        (192, 96),
+        (144, 12),
+    ];
+    for shape in pinned {
+        assert!(
+            PAPER_TABLE_SHAPES.contains(shape),
+            "shape {shape:?} used by paper_tables.rs is missing from the analyzer sweep"
+        );
+    }
+
+    // And the analysis is reachable through the facade: one representative
+    // table shape proves race-free for both kernel families.
+    for family in [KernelFamily::TT, KernelFamily::TS] {
+        let report = analyze(&plan_dag(Algorithm::Greedy, 40, 13, family));
+        assert!(
+            report.is_race_free(),
+            "Greedy 40x13 {family:?}: {:?}",
+            report.hazards.first()
+        );
+    }
+}
+
+#[test]
 fn binary_tree_is_not_asymptotically_optimal() {
     // Proposition 1: BinaryTree grows like 6q·log2(p), so its ratio to 22q
     // stays bounded away from 1 for p = q².
