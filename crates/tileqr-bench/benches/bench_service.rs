@@ -23,6 +23,11 @@
 //!   (shedding and quotas effectively disabled); `ns_per_iter` reports the
 //!   observed max queue depth — bounded near the shed threshold with
 //!   protection, growing with the arrival excess without it.
+//! * `service_mixed` — three tenants with three *different* shapes
+//!   interleaving one closed loop: throughput, average fused group width
+//!   (`group_items / groups`) and mixed-group count under the offset-mapped
+//!   heterogeneous runtime vs the `max_group = 1` narrow-job regime the old
+//!   same-plan gate degraded to on alternating shapes.
 //!
 //! Knobs: `TILEQR_BENCH_MS`, `TILEQR_BENCH_CTX_THREADS` (default 2),
 //! `TILEQR_BENCH_CTX_K` (batch width, default 8), `TILEQR_BENCH_SVC_NB`
@@ -459,6 +464,97 @@ fn main() {
             stats.shed,
             stats.rejected,
             stats.completed,
+        );
+    }
+
+    // --- mixed-shape cell: heterogeneous fused groups ----------------------
+    // Three tenants, each with its own shape (three distinct plans and task
+    // counts), interleaving one closed-loop burst. The offset-mapped runtime
+    // fuses across the plans — group width stays > 1 over distinct DAGs —
+    // while the `max_group = 1` run is the narrow-job regime the old
+    // same-plan gate degraded to whenever neighboring lanes held different
+    // shapes. Reported per config: closed-loop throughput, average fused
+    // group width (`group_items / groups`) and the mixed-group count.
+    let mixed_grids: [(usize, usize); 3] = [(8, 4), (6, 3), (4, 4)];
+    let mixed_plans: Vec<Arc<QrPlan<f64>>> = mixed_grids
+        .iter()
+        .map(|&(p, q)| Arc::new(QrPlan::new(p * nb, q * nb, config).expect("valid shape")))
+        .collect();
+    let mixed_mats: Vec<Matrix<f64>> = mixed_grids
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| random_matrix(p * nb, q * nb, 31 + i as u64))
+        .collect();
+    let n_mixed = env_usize("TILEQR_BENCH_SVC_MIXED_ITEMS", 192);
+    let mixed_flops_total: f64 = (0..n_mixed)
+        .map(|i| {
+            let (p, q) = mixed_grids[i % 3];
+            qr_flops(p * nb, q * nb)
+        })
+        .sum();
+    for (label, group_cap) in [("fused", k.max(2)), ("narrow", 1)] {
+        let service = QrService::new(
+            QrContext::new(threads).expect("thread count below the maximum"),
+            ServiceConfig::default()
+                .with_queue_capacity(n_mixed)
+                .with_shed_threshold(n_mixed)
+                .with_client_quota(n_mixed)
+                .with_max_group(group_cap)
+                .with_linger(Duration::from_micros(500)),
+        )
+        .expect("service spawns");
+        let clients: Vec<_> = (0..3).map(|_| service.client()).collect();
+        // Warm every plan's T pool and the dispatcher before timing.
+        for (c, (plan_i, a)) in clients.iter().zip(mixed_plans.iter().zip(&mixed_mats)) {
+            c.submit(plan_i, a.clone())
+                .expect("admitted")
+                .wait()
+                .expect("factors");
+        }
+        let warm = service.stats();
+        let start = Instant::now();
+        let tickets: Vec<Ticket<f64>> = (0..n_mixed)
+            .map(|i| {
+                clients[i % 3]
+                    .submit(&mixed_plans[i % 3], mixed_mats[i % 3].clone())
+                    .expect("capacity admits the whole closed loop")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("conforming input factors");
+        }
+        let mixed_item_ns = start.elapsed().as_nanos() as f64 / n_mixed as f64;
+        let stats = service.stats();
+        let groups = stats.groups - warm.groups;
+        let width = (stats.group_items - warm.group_items) as f64 / groups.max(1) as f64;
+        let mixed_groups = stats.mixed_groups - warm.mixed_groups;
+        service.shutdown();
+        samples.push(Sample {
+            group: "service_mixed".into(),
+            name: format!("closed_loop_{label}_t{threads}"),
+            param: nb,
+            ns_per_iter: mixed_item_ns,
+            gflops: Some(mixed_flops_total / (mixed_item_ns * n_mixed as f64)),
+        });
+        samples.push(Sample {
+            group: "service_mixed".into(),
+            name: format!("fused_width_{label}"),
+            param: nb,
+            ns_per_iter: width,
+            gflops: None,
+        });
+        samples.push(Sample {
+            group: "service_mixed".into(),
+            name: format!("mixed_groups_{label}"),
+            param: nb,
+            ns_per_iter: mixed_groups as f64,
+            gflops: None,
+        });
+        println!(
+            "mixed shapes ({label}, max_group {group_cap}): {:.0} items/s ({:.1} µs/item), \
+             avg fused width {width:.2} over {groups} groups, {mixed_groups} mixed",
+            1e9 / mixed_item_ns,
+            mixed_item_ns / 1e3,
         );
     }
 

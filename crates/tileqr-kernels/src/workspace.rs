@@ -121,6 +121,15 @@ impl<T: Scalar> Workspace<T> {
         }
     }
 
+    /// Switches the inner blocking factor (clamped to `1..=nb`) without
+    /// touching any buffer: every buffer is sized from `nb` alone, so a
+    /// workspace built for the largest tile order of a mixed-plan group can
+    /// serve each task with that task's own `ib`. Allocation-free.
+    #[inline]
+    pub fn set_inner_block(&mut self, ib: usize) {
+        self.ib = ib.clamp(1, self.nb.max(1));
+    }
+
     /// Asserts (in debug and release) that the workspace can serve tiles of
     /// order `nb`, including the micro-BLAS pack buffers and the packed
     /// triangular scratch — the zero-per-task-allocation guarantee relies on
@@ -194,6 +203,35 @@ mod tests {
         assert_eq!(ws.ib(), 2, "ensure keeps the inner blocking factor");
         assert_eq!(ws.w.shape(), (16, 16));
         ws.require(16);
+    }
+
+    #[test]
+    fn set_inner_block_switches_without_reallocating() {
+        let mut ws: Workspace<f64> = Workspace::with_inner_block(8, 8);
+        let cap = (
+            ws.tau.capacity(),
+            ws.apack.capacity(),
+            ws.bpack.capacity(),
+            ws.tri.capacity(),
+        );
+        ws.set_inner_block(3);
+        assert_eq!(ws.ib(), 3);
+        assert_eq!(ws.nb(), 8);
+        ws.set_inner_block(0);
+        assert_eq!(ws.ib(), 1, "clamped to 1");
+        ws.set_inner_block(99);
+        assert_eq!(ws.ib(), 8, "clamped to nb");
+        assert_eq!(
+            cap,
+            (
+                ws.tau.capacity(),
+                ws.apack.capacity(),
+                ws.bpack.capacity(),
+                ws.tri.capacity()
+            ),
+            "buffers untouched"
+        );
+        ws.require(8);
     }
 
     #[test]

@@ -79,13 +79,13 @@ use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
 
 use crate::driver::{elimination_list_for, replay_q, QrConfig, QrFactorization};
 use crate::executor::{
-    drive_worker, DriveCtl, FaultSink, LockedFifo, Scheduler, SchedulerKind, WorkStealing,
-    WorkStealingPriority,
+    drive_worker, DriveCtl, FaultSink, GroupSucc, ItemMap, LockedFifo, Scheduler, SchedulerKind,
+    WorkStealing, WorkStealingPriority,
 };
 use crate::pool::{payload_message, Job, RunCtl, WorkerPool};
 use crate::state::FactorizationState;
 use crate::sync::shim::{AtomicBool, AtomicUsize};
-use crate::sync::{CancelCause, CancelToken, ClaimFlag, Mutex};
+use crate::sync::{Backoff, CancelCause, CancelToken, ClaimFlag, Mutex};
 
 /// Hard upper bound on the worker-thread count of a [`QrContext`]; requests
 /// beyond it are configuration mistakes (the pool would oversubscribe any
@@ -626,6 +626,15 @@ impl<T: Scalar<Real = f64>> QrPlan<T> {
             .collect()
     }
 
+    /// [`QrPlan::build_states`] for a single matrix — the streaming path
+    /// builds copies one at a time because each item of a mixed group draws
+    /// from its own plan's pool.
+    fn build_state(&self, tiled: TiledMatrix<T>) -> FactorizationState<T> {
+        self.build_states(vec![tiled])
+            .pop()
+            .expect("one matrix in, one state out")
+    }
+
     /// Returns a consumed factorization's `T`-factor buffers to the plan's
     /// recycle pool, making the next [`QrContext::factorize`] /
     /// [`QrContext::factorize_batch`] call of this plan allocation-free for
@@ -689,9 +698,10 @@ fn find_non_finite_tiled<T: Scalar>(t: &TiledMatrix<T>) -> Option<(usize, usize)
 /// completion. After the job drains, [`ItemTracker::verdict`] turns the
 /// per-copy state into the item's `Result`.
 struct ItemTracker {
-    /// The plan's DAG, for mapping a panicking local task id to its
-    /// [`TaskKind`].
-    dag: Arc<TaskDag>,
+    /// Per-copy DAG, for sizing the retire target and mapping a panicking
+    /// local task id to its [`TaskKind`]. Same-plan groups hold clones of
+    /// one `Arc`; heterogeneous fused groups hold each item's own DAG.
+    dags: Vec<Arc<TaskDag>>,
     /// Fast path: no copy has failed yet (one relaxed load per task).
     any_failed: AtomicBool,
     /// Per-copy failure flag, checked before executing each task.
@@ -705,13 +715,24 @@ struct ItemTracker {
 
 impl ItemTracker {
     fn new(dag: Arc<TaskDag>, copies: usize) -> Self {
+        ItemTracker::per_copy(vec![dag; copies])
+    }
+
+    /// One DAG per copy — the heterogeneous fused-group constructor.
+    fn per_copy(dags: Vec<Arc<TaskDag>>) -> Self {
+        let copies = dags.len();
         ItemTracker {
-            dag,
+            dags,
             any_failed: AtomicBool::new(false),
             failed: (0..copies).map(|_| AtomicBool::new(false)).collect(),
             errors: (0..copies).map(|_| Mutex::new(None)).collect(),
             done: (0..copies).map(|_| AtomicUsize::new(0)).collect(),
         }
+    }
+
+    /// Task count of `copy`'s DAG — its retire target.
+    fn tasks_of(&self, copy: usize) -> usize {
+        self.dags[copy].len()
     }
 
     /// The item result of `copy` once the job has drained: a recorded fault
@@ -743,7 +764,7 @@ impl ItemTracker {
 
     /// True once every task of `copy` has retired (executed or skipped).
     fn is_complete(&self, copy: usize) -> bool {
-        self.done[copy].load(Ordering::Acquire) >= self.dag.len()
+        self.done[copy].load(Ordering::Acquire) >= self.dags[copy].len()
     }
 }
 
@@ -761,7 +782,7 @@ impl FaultSink for ItemTracker {
         let mut slot = self.errors[copy].lock();
         if slot.is_none() {
             *slot = Some(QrError::TaskPanicked {
-                kind: self.dag.tasks[local].kind,
+                kind: self.dags[copy].tasks[local].kind,
                 message: payload_message(payload).to_string(),
             });
         }
@@ -836,10 +857,13 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for BatchJob<T, S> {
         let n = self.core.dag.len();
         let mut slot = self.ws_slots[w].lock();
         let ws = slot.as_mut().expect("one workspace is staged per worker");
+        // Uniform map: the historical `g → (g / n, g % n)` arithmetic,
+        // allocation-free (no offset table is materialized).
+        let map = ItemMap::uniform(n, self.states.len());
         let ctl = DriveCtl {
             num_tasks: self.remaining.len(),
-            local_tasks: n,
-            succ: &self.core.succ,
+            map: &map,
+            succ: GroupSucc::Shared(&self.core.succ),
             remaining: &self.remaining,
             completed: &self.completed,
             aborted: &self.aborted,
@@ -871,10 +895,91 @@ pub(crate) trait ItemSink<T: Scalar>: Send + Sync {
     fn item_done(&self, index: usize, outcome: Result<QrFactorization<T>, QrError>);
 }
 
+/// One item of a streaming group ([`QrContext::factorize_stream`]): the
+/// item's own plan, its input, and its fault-injection probe id. Items of
+/// one call may reference *different* plans — the job fuses them through
+/// the offset map.
+pub(crate) struct StreamEntry<T: Scalar> {
+    pub(crate) plan: Arc<QrPlan<T>>,
+    pub(crate) input: StreamInput<T>,
+    /// Fault-probe id for this item: the service remaps retry attempts to
+    /// fresh probe coordinates so a seeded fault schedule can distinguish
+    /// attempt 0 from attempt 1 of the same submission. Without the feature
+    /// the id is carried but unread.
+    pub(crate) probe: usize,
+}
+
+/// How a streaming item's matrix enters the job.
+pub(crate) enum StreamInput<T: Scalar> {
+    /// Already tiled (direct internal callers and tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    Tiled(TiledMatrix<T>),
+    /// Dense: the dispatcher allocates only a zeroed tile grid, and the
+    /// first worker that touches the copy performs the dense → tiled copy
+    /// ([`FactorizationState::fill_tiles_from_dense`]) — the admission path
+    /// never pays the `O(m·n)` tiling cost.
+    Dense(Arc<Matrix<T>>),
+}
+
+/// Per-copy shape/schedule metadata of a streaming job, drawn from that
+/// item's own plan — the seam that lets one fused job span plans: the DAG
+/// to execute, the shape to stamp on the result, and the plan pool the
+/// copy's `T` buffers recycle back to.
+struct StreamItemMeta<T: Scalar> {
+    core: Arc<PlanCore>,
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    recycler: std::sync::Weak<TPool<T>>,
+}
+
+/// Lazy-tiling gate of one streaming copy ([`StreamInput::Dense`]): the
+/// first worker to touch the copy claims the gate, copies the dense input
+/// into the copy's (zeroed) tiles, and publishes readiness; concurrent
+/// same-copy workers spin briefly until the tiles are in place. Pre-tiled
+/// copies are born ready.
+struct TileGate<T: Scalar> {
+    /// The dense input, taken by the claiming worker; `None` once tiled
+    /// (and for pre-tiled inputs).
+    dense: Mutex<Option<Arc<Matrix<T>>>>,
+    claim: ClaimFlag,
+    ready: AtomicBool,
+}
+
+impl<T: Scalar> TileGate<T> {
+    /// A gate for a copy whose tiles already hold the input.
+    fn ready() -> Self {
+        TileGate {
+            dense: Mutex::new(None),
+            claim: ClaimFlag::new(),
+            ready: AtomicBool::new(true),
+        }
+    }
+
+    /// A gate holding a dense input awaiting worker-side tiling.
+    fn pending(dense: Arc<Matrix<T>>) -> Self {
+        TileGate {
+            dense: Mutex::new(Some(dense)),
+            claim: ClaimFlag::new(),
+            ready: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The streaming variant of [`BatchJob`]: same fused-DAG execution, but each
 /// copy's state lives behind `Mutex<Option<Arc<…>>>` so the copy that
 /// finishes *first* can be dismantled into a [`QrFactorization`] and handed
-/// to the [`ItemSink`] while the rest of the job is still running.
+/// to the [`ItemSink`] while the rest of the job is still running — and each
+/// copy carries its **own** plan metadata, so one job can fuse items of
+/// different shapes, tile sizes and elimination trees.
+///
+/// Global task id `g` resolves through the job's [`ItemMap`] to
+/// `(copy, local)`; same-plan groups use the uniform map (bit-for-bit the
+/// historical cyclic arithmetic) while mixed groups binary-search the
+/// prefix-sum offsets. Successor release and priority ranking follow the
+/// same per-copy contract ([`GroupSucc`],
+/// [`WorkStealingPriority::new_shared_offsets`]).
 ///
 /// Completion detection rides the [`FaultSink::task_retired`] hook:
 /// [`ItemTracker::retire`] returns the copy's new retire count, and the
@@ -894,13 +999,20 @@ struct StreamJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
     /// Exactly-once guard per copy: claimed by whichever path (worker hook
     /// or job-end sweep) delivers the item to the sink.
     resolved: Vec<ClaimFlag>,
-    /// Fault-probe ids, one per copy: the service remaps retry attempts to
-    /// fresh probe coordinates so a seeded fault schedule can distinguish
-    /// attempt 0 from attempt 1 of the same submission. The plain batch path
-    /// probes with the copy index itself.
+    /// Fault-probe ids, one per copy (see [`StreamEntry::probe`]).
     #[cfg_attr(not(feature = "fault-injection"), allow(dead_code))]
     probes: Vec<usize>,
-    core: Arc<PlanCore>,
+    /// Per-copy lazy-tiling gates.
+    gates: Vec<TileGate<T>>,
+    /// Per-copy plan metadata.
+    metas: Vec<StreamItemMeta<T>>,
+    /// `g → (copy, local)` geometry of the fused group.
+    map: ItemMap,
+    /// True when every item references the same plan: the successor CSR is
+    /// shared and the per-worker CSR-reference collection is skipped.
+    homogeneous: bool,
+    /// Largest successor batch any copy's task can enable.
+    max_out_degree: usize,
     sched: S,
     remaining: Vec<AtomicUsize>,
     completed: AtomicUsize,
@@ -909,13 +1021,6 @@ struct StreamJob<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> {
     tracker: ItemTracker,
     cancel: CancelToken,
     sink: Arc<dyn ItemSink<T>>,
-    /// Shape metadata + the plan's recycler for assembling results on the
-    /// worker thread.
-    m: usize,
-    n: usize,
-    nb: usize,
-    ib: usize,
-    recycler: std::sync::Weak<TPool<T>>,
 }
 
 impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> StreamJob<T, S> {
@@ -926,29 +1031,30 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> StreamJob<T, S> {
     fn finish_copy(&self, copy: usize) {
         let taken = self.states[copy].lock().take();
         let Some(arc) = taken else { return };
+        let meta = &self.metas[copy];
         match Arc::try_unwrap(arc) {
             Ok(state) => {
                 let (tiles, t_geqrt, t_elim) = state.into_parts();
                 let outcome = match self.tracker.take_error(copy) {
                     Some(e) => {
                         // A failed copy's T buffers go straight back to the
-                        // plan; its tiles hold partial garbage and are
-                        // dropped.
-                        if let Some(pool) = self.recycler.upgrade() {
+                        // item's own plan; its tiles hold partial garbage
+                        // and are dropped.
+                        if let Some(pool) = meta.recycler.upgrade() {
                             pool.recycle(t_geqrt.into_iter().chain(t_elim));
                         }
                         Err(e)
                     }
                     None => Ok(QrFactorization::from_parts(
-                        self.m,
-                        self.n,
-                        self.nb,
-                        self.ib,
+                        meta.m,
+                        meta.n,
+                        meta.nb,
+                        meta.ib,
                         tiles,
                         t_geqrt,
                         t_elim,
-                        Arc::clone(&self.core.dag),
-                        self.recycler.clone(),
+                        Arc::clone(&meta.core.dag),
+                        meta.recycler.clone(),
                     )),
                 };
                 if self.resolved[copy].claim() {
@@ -965,6 +1071,33 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> StreamJob<T, S> {
             }
         }
     }
+
+    /// Makes sure `copy`'s tiles hold its input before a kernel touches
+    /// them: the claiming worker tiles the dense input in place, everyone
+    /// else spins until published. The spin escapes only when the copy is
+    /// poisoned (the claimer panicked mid-tiling and can never publish) —
+    /// a poisoned copy's outcome is an error, so the kernel result that
+    /// follows is discarded either way.
+    fn ensure_tiled(&self, copy: usize, state: &FactorizationState<T>) {
+        let gate = &self.gates[copy];
+        if gate.ready.load(Ordering::Acquire) {
+            return;
+        }
+        if gate.claim.claim() {
+            if let Some(dense) = gate.dense.lock().take() {
+                state.fill_tiles_from_dense(&dense);
+            }
+            gate.ready.store(true, Ordering::Release);
+        } else {
+            let mut backoff = Backoff::new();
+            while !gate.ready.load(Ordering::Acquire) {
+                if self.tracker.copy_failed(copy) {
+                    return;
+                }
+                backoff.snooze();
+            }
+        }
+    }
 }
 
 impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> FaultSink for StreamJob<T, S> {
@@ -977,7 +1110,7 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> FaultSink for StreamJob<
     }
 
     fn task_retired(&self, copy: usize) {
-        if self.tracker.retire(copy) == self.core.dag.len() {
+        if self.tracker.retire(copy) == self.tracker.tasks_of(copy) {
             self.finish_copy(copy);
         }
     }
@@ -985,30 +1118,49 @@ impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> FaultSink for StreamJob<
 
 impl<T: Scalar<Real = f64>, S: Scheduler + Send + Sync> Job for StreamJob<T, S> {
     fn run(&self, w: usize, heartbeat: &AtomicUsize) {
-        let n = self.core.dag.len();
         let mut slot = self.ws_slots[w].lock();
         let ws = slot.as_mut().expect("one workspace is staged per worker");
+        // Heterogeneous groups collect the per-copy CSR references once per
+        // worker run — O(group), bounded by the service's max_group —
+        // instead of materializing any fused adjacency; same-plan groups
+        // share the single CSR, allocation-free.
+        let succ_refs: Vec<&SuccessorsCsr>;
+        let succ = if self.homogeneous {
+            GroupSucc::Shared(&self.metas[0].core.succ)
+        } else {
+            succ_refs = self.metas.iter().map(|m| &m.core.succ).collect();
+            GroupSucc::PerCopy(&succ_refs)
+        };
         let ctl = DriveCtl {
             num_tasks: self.remaining.len(),
-            local_tasks: n,
-            succ: &self.core.succ,
+            map: &self.map,
+            succ,
             remaining: &self.remaining,
             completed: &self.completed,
             aborted: &self.aborted,
-            max_out_degree: self.core.max_out_degree,
+            max_out_degree: self.max_out_degree,
             cancel: Some(&self.cancel),
             faults: Some(self),
         };
         drive_worker(&ctl, &self.sched, w, Some(heartbeat), &mut |g| {
-            let copy = g / n;
+            let (copy, local) = self.map.locate(g);
+            let meta = &self.metas[copy];
             #[cfg(feature = "fault-injection")]
-            crate::fault::check(self.probes[copy], g % n);
+            crate::fault::check(self.probes[copy], local);
             // Clone the Arc out under a brief lock so same-copy tasks on
             // other workers never serialize on the slot; the clone drops
             // before this task's retire increment (see `StreamJob` docs).
             let state = self.states[copy].lock().as_ref().map(Arc::clone);
             if let Some(state) = state {
-                state.run_ws(self.core.dag.tasks[g % n].kind, ws);
+                // Mixed-ib groups: the workspace buffers are sized from the
+                // group's largest nb and serve every smaller tile; only the
+                // panel width switches, allocation-free
+                // ([`Workspace::set_inner_block`]).
+                if ws.ib() != meta.ib {
+                    ws.set_inner_block(meta.ib);
+                }
+                self.ensure_tiled(copy, &state);
+                state.run_ws(meta.core.dag.tasks[local].kind, ws);
             }
         });
     }
@@ -1680,71 +1832,87 @@ impl QrContext {
     }
 
     /// The streaming engine behind the service layer ([`crate::service`]):
-    /// factors `tiled` as one fused job like [`QrContext::run_batch`], but
+    /// factors `items` as one fused job like [`QrContext::run_batch`], but
     /// delivers each item's outcome through `sink` **the moment its last
-    /// task retires** instead of returning a joined vector. `probes[i]` is
-    /// item `i`'s fault-injection probe id (the service remaps retry
-    /// attempts onto fresh probe coordinates); without the feature the ids
-    /// are carried but unread.
+    /// task retires** instead of returning a joined vector — and each item
+    /// carries its **own** plan, so one fused job may span different shapes,
+    /// tile sizes and elimination trees.
+    ///
+    /// Id mapping: global task id `g` resolves to `(copy, local)` through an
+    /// [`ItemMap`]. When every item references the same plan (`Arc::ptr_eq`)
+    /// the map is uniform — `g → (g / n, g % n)`, bit-for-bit the historical
+    /// cyclic arithmetic, with the shared successor CSR and the cyclic
+    /// priority ranking — so same-plan groups execute identically to the
+    /// pre-offset runtime. Mixed groups use prefix-sum offsets, per-copy
+    /// successor indexing, per-copy priority tables
+    /// ([`WorkStealingPriority::new_shared_offsets`]) and a workspace
+    /// checkout sized to the **max** tile order across the group's plans.
     ///
     /// Exactly-once guarantee: `sink.item_done` is called exactly once per
-    /// element of `tiled`, in every outcome — success, contained panic,
+    /// element of `items`, in every outcome — success, contained panic,
     /// cancellation/stall abort, and pre-run rejection.
     pub(crate) fn factorize_stream<T: Scalar<Real = f64>>(
         &self,
-        plan: &QrPlan<T>,
-        tiled: Vec<TiledMatrix<T>>,
-        probes: Vec<usize>,
+        items: Vec<StreamEntry<T>>,
         sink: &Arc<dyn ItemSink<T>>,
     ) {
-        debug_assert_eq!(tiled.len(), probes.len());
-        if tiled.is_empty() {
+        if items.is_empty() {
             return;
         }
         // Fail fast before any state is built: a sticky cancellation
         // resolves every item without running a kernel.
         if self.cancel.is_cancelled() {
-            for copy in 0..tiled.len() {
+            for copy in 0..items.len() {
                 sink.item_done(copy, Err(QrError::Cancelled));
             }
             return;
         }
-        let states = plan.build_states(tiled);
         match &self.pool {
-            None => self.run_stream_sequential(plan, states, probes, sink),
+            None => self.run_stream_sequential(items, sink),
             Some(pool) => {
-                let copies = states.len();
-                let total = plan.core.dag.len() * copies;
+                let homogeneous = items[1..]
+                    .iter()
+                    .all(|e| Arc::ptr_eq(&e.plan, &items[0].plan));
+                let map = if homogeneous {
+                    ItemMap::uniform(items[0].plan.core.dag.len(), items.len())
+                } else {
+                    let counts: Vec<usize> = items.iter().map(|e| e.plan.core.dag.len()).collect();
+                    ItemMap::from_counts(&counts)
+                };
+                let total = map.total();
                 let threads = pool.threads();
                 match self.scheduler {
                     SchedulerKind::LockedFifo => self.run_stream_job(
-                        plan,
+                        items,
+                        map,
+                        homogeneous,
                         pool,
-                        states,
-                        probes,
                         LockedFifo::new(total),
                         sink,
                     ),
                     SchedulerKind::WorkStealing => self.run_stream_job(
-                        plan,
+                        items,
+                        map,
+                        homogeneous,
                         pool,
-                        states,
-                        probes,
                         WorkStealing::new(total, threads),
                         sink,
                     ),
-                    SchedulerKind::WorkStealingPriority => self.run_stream_job(
-                        plan,
-                        pool,
-                        states,
-                        probes,
-                        WorkStealingPriority::new_shared_cyclic(
-                            plan.core.priorities(),
-                            threads,
-                            copies,
-                        ),
-                        sink,
-                    ),
+                    SchedulerKind::WorkStealingPriority => {
+                        let sched = if homogeneous {
+                            WorkStealingPriority::new_shared_cyclic(
+                                items[0].plan.core.priorities(),
+                                threads,
+                                items.len(),
+                            )
+                        } else {
+                            WorkStealingPriority::new_shared_offsets(
+                                items.iter().map(|e| e.plan.core.priorities()).collect(),
+                                threads,
+                            )
+                        };
+                        self.run_stream_job(items, map, homogeneous, pool, sched, sink)
+                    }
                 }
             }
         }
@@ -1752,50 +1920,56 @@ impl QrContext {
 
     /// [`QrContext::run_stream_sequential`]: the `threads == 1` streaming
     /// engine. Each copy runs to completion on the calling thread (bitwise
-    /// reference order) and its outcome is delivered to the sink before the
-    /// next copy starts — the same per-item streaming contract as the pool
-    /// path, just with trivial ordering.
+    /// reference order, against its own plan) and its outcome is delivered
+    /// to the sink before the next copy starts — the same per-item streaming
+    /// contract as the pool path, just with trivial ordering.
     fn run_stream_sequential<T: Scalar<Real = f64>>(
         &self,
-        plan: &QrPlan<T>,
-        states: Vec<FactorizationState<T>>,
-        probes: Vec<usize>,
+        items: Vec<StreamEntry<T>>,
         sink: &Arc<dyn ItemSink<T>>,
     ) {
-        let mut ws = plan.checkout_workspaces(1);
         // A cancellation stops the whole run: the copy it interrupted and
         // every later copy resolve with the cause.
         let mut stop: Option<QrError> = None;
-        for (copy, state) in states.into_iter().enumerate() {
+        for (copy, entry) in items.into_iter().enumerate() {
+            let StreamEntry { plan, input, probe } = entry;
+            if stop.is_some() {
+                sink.item_done(copy, Err(stop.clone().unwrap()));
+                continue;
+            }
+            let tiled = match input {
+                StreamInput::Tiled(t) => t,
+                StreamInput::Dense(a) => TiledMatrix::from_dense_padded(&a, plan.nb),
+            };
+            let state = plan.build_state(tiled);
+            let mut ws = plan.checkout_workspaces(1);
             let mut item_err: Option<QrError> = None;
-            if stop.is_none() {
-                for (local, task) in plan.core.dag.tasks.iter().enumerate() {
-                    if self.cancel.is_cancelled() {
-                        stop = Some(QrError::Cancelled);
-                        break;
-                    }
-                    // `probes[copy]`/`local` address the fault-injection
-                    // probe; without the feature they are deliberately
-                    // unused.
-                    let _ = (&probes, copy, local);
-                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        #[cfg(feature = "fault-injection")]
-                        crate::fault::check(probes[copy], local);
-                        state.run_ws(task.kind, &mut ws[0])
-                    }));
-                    if let Err(payload) = result {
-                        item_err = Some(QrError::TaskPanicked {
-                            kind: task.kind,
-                            message: payload_message(&*payload).to_string(),
-                        });
-                        break;
-                    }
+            for (local, task) in plan.core.dag.tasks.iter().enumerate() {
+                if self.cancel.is_cancelled() {
+                    stop = Some(QrError::Cancelled);
+                    break;
+                }
+                // `probe`/`local` address the fault-injection probe;
+                // without the feature they are deliberately unused.
+                let _ = (probe, local);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    #[cfg(feature = "fault-injection")]
+                    crate::fault::check(probe, local);
+                    state.run_ws(task.kind, &mut ws[0])
+                }));
+                if let Err(payload) = result {
+                    item_err = Some(QrError::TaskPanicked {
+                        kind: task.kind,
+                        message: payload_message(&*payload).to_string(),
+                    });
+                    break;
                 }
             }
+            plan.restore_workspaces(ws);
             let (tiles, t_geqrt, t_elim) = state.into_parts();
             let outcome = match item_err.or_else(|| stop.clone()) {
                 Some(e) => {
-                    // A failed copy's T buffers go straight back to the
+                    // A failed copy's T buffers go straight back to its own
                     // plan; its partially factored tiles are dropped.
                     plan.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
                     Err(e)
@@ -1814,7 +1988,6 @@ impl QrContext {
             };
             sink.item_done(copy, outcome);
         }
-        plan.restore_workspaces(ws);
     }
 
     /// Packages the streaming batch as one fused pool job ([`StreamJob`]),
@@ -1822,58 +1995,109 @@ impl QrContext {
     /// the worker-side completion hook did not resolve — copies skipped by a
     /// cancellation/stall abort (and the theoretical `Arc::try_unwrap`
     /// put-back) — so the exactly-once sink contract holds in every outcome.
+    ///
+    /// Heterogeneous mechanics: each copy's roots/dependency counts come
+    /// from its own plan (offset by [`ItemMap::base`]); the per-worker
+    /// workspaces are checked out from the plan with the **largest** tile
+    /// order (every buffer is sized from `nb` alone, so they serve every
+    /// smaller tile — tasks switch the panel width in place via
+    /// [`Workspace::set_inner_block`]) and restored to that plan with its
+    /// own `ib` re-established; dense inputs are tiled lazily by the first
+    /// worker to touch each copy, keeping the dispatcher thread free.
     fn run_stream_job<T: Scalar<Real = f64>, S: Scheduler + Send + Sync + 'static>(
         &self,
-        plan: &QrPlan<T>,
+        items: Vec<StreamEntry<T>>,
+        map: ItemMap,
+        homogeneous: bool,
         pool: &WorkerPool,
-        states: Vec<FactorizationState<T>>,
-        probes: Vec<usize>,
         sched: S,
         sink: &Arc<dyn ItemSink<T>>,
     ) {
         let threads = pool.threads();
-        let n = plan.core.dag.len();
-        let copies = states.len();
-        let mut roots = Vec::with_capacity(plan.core.roots.len() * copies);
-        for copy in 0..copies {
-            roots.extend(plan.core.roots.iter().map(|&r| copy * n + r));
+        let copies = items.len();
+        let mut roots = Vec::new();
+        for (copy, entry) in items.iter().enumerate() {
+            let base = map.base(copy);
+            roots.extend(entry.plan.core.roots.iter().map(|&r| base + r));
         }
         sched.seed(&mut roots);
-        let mut remaining = Vec::with_capacity(n * copies);
-        for _ in 0..copies {
+        let mut remaining = Vec::with_capacity(map.total());
+        for entry in &items {
             remaining.extend(
-                plan.core
+                entry
+                    .plan
+                    .core
                     .dag
                     .tasks
                     .iter()
                     .map(|t| AtomicUsize::new(t.deps.len())),
             );
         }
+        // The group's workspaces come from the largest-nb plan: its buffers
+        // serve every smaller tile order in the group.
+        let ws_owner = Arc::clone(
+            &items
+                .iter()
+                .max_by_key(|e| e.plan.nb)
+                .expect("group is non-empty")
+                .plan,
+        );
+        let max_out_degree = items
+            .iter()
+            .map(|e| e.plan.core.max_out_degree)
+            .max()
+            .unwrap_or(0);
+        let mut states = Vec::with_capacity(copies);
+        let mut gates = Vec::with_capacity(copies);
+        let mut dags = Vec::with_capacity(copies);
+        let mut probes = Vec::with_capacity(copies);
+        let mut metas = Vec::with_capacity(copies);
+        for entry in items {
+            let StreamEntry { plan, input, probe } = entry;
+            let (state, gate) = match input {
+                StreamInput::Tiled(t) => (plan.build_state(t), TileGate::ready()),
+                // Dense inputs defer the O(m·n) tiling copy to the first
+                // worker that touches the copy: the dispatcher allocates
+                // only a zeroed grid here.
+                StreamInput::Dense(a) => (
+                    plan.build_state(TiledMatrix::zeros(plan.p, plan.q, plan.nb)),
+                    TileGate::pending(a),
+                ),
+            };
+            states.push(Mutex::new(Some(Arc::new(state))));
+            gates.push(gate);
+            dags.push(Arc::clone(&plan.core.dag));
+            probes.push(probe);
+            metas.push(StreamItemMeta {
+                core: Arc::clone(&plan.core),
+                m: plan.m,
+                n: plan.n,
+                nb: plan.nb,
+                ib: plan.ib,
+                recycler: plan.t_recycler(),
+            });
+        }
         let job = Arc::new(StreamJob {
-            states: states
-                .into_iter()
-                .map(|s| Mutex::new(Some(Arc::new(s))))
-                .collect(),
+            states,
             resolved: (0..copies).map(|_| ClaimFlag::new()).collect(),
             probes,
-            core: Arc::clone(&plan.core),
+            gates,
+            metas,
+            map,
+            homogeneous,
+            max_out_degree,
             sched,
             remaining,
             completed: AtomicUsize::new(0),
             aborted: AtomicBool::new(false),
-            ws_slots: plan
+            ws_slots: ws_owner
                 .checkout_workspaces(threads)
                 .into_iter()
                 .map(|ws| Mutex::new(Some(ws)))
                 .collect(),
-            tracker: ItemTracker::new(Arc::clone(&plan.core.dag), copies),
+            tracker: ItemTracker::per_copy(dags),
             cancel: CancelToken::new(),
             sink: Arc::clone(sink),
-            m: plan.m,
-            n: plan.n,
-            nb: plan.nb,
-            ib: plan.ib,
-            recycler: plan.t_recycler(),
         });
         pool.run_controlled(
             Arc::clone(&job) as Arc<dyn Job>,
@@ -1889,12 +2113,20 @@ impl QrContext {
         );
         let job = Arc::into_inner(job)
             .unwrap_or_else(|| panic!("stream job still shared after the pool ran it"));
-        plan.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner));
+        // Restore with the owner plan's own panel width re-established —
+        // the last task a workspace served may have switched it.
+        ws_owner.restore_workspaces(job.ws_slots.into_iter().filter_map(Mutex::into_inner).map(
+            |mut ws| {
+                ws.set_inner_block(ws_owner.ib);
+                ws
+            },
+        ));
         let cause = job.cancel.cause();
         for (copy, slot) in job.states.into_iter().enumerate() {
             if !job.resolved[copy].claim() {
                 continue; // the worker hook already delivered this copy
             }
+            let meta = &job.metas[copy];
             // A recorded fault wins; an incomplete retire count means the
             // job was aborted out from under the copy; a complete count
             // with no error is the put-back case — the copy succeeded.
@@ -1910,19 +2142,21 @@ impl QrContext {
                     let (tiles, t_geqrt, t_elim) = state.into_parts();
                     let outcome = match err {
                         Some(e) => {
-                            plan.t_pool.recycle(t_geqrt.into_iter().chain(t_elim));
+                            if let Some(pool) = meta.recycler.upgrade() {
+                                pool.recycle(t_geqrt.into_iter().chain(t_elim));
+                            }
                             Err(e)
                         }
                         None => Ok(QrFactorization::from_parts(
-                            plan.m,
-                            plan.n,
-                            plan.nb,
-                            plan.ib,
+                            meta.m,
+                            meta.n,
+                            meta.nb,
+                            meta.ib,
                             tiles,
                             t_geqrt,
                             t_elim,
-                            Arc::clone(&plan.core.dag),
-                            plan.t_recycler(),
+                            Arc::clone(&meta.core.dag),
+                            meta.recycler.clone(),
                         )),
                     };
                     sink.item_done(copy, outcome);
@@ -2445,10 +2679,11 @@ mod tests {
                 let n = self.core.dag.len();
                 // Legacy abort mode (`faults: None`): the panic unwinds out
                 // of the worker and the pool re-raises it on the submitter.
+                let map = ItemMap::uniform(n, 1);
                 let ctl = DriveCtl {
                     num_tasks: n,
-                    local_tasks: n,
-                    succ: &self.core.succ,
+                    map: &map,
+                    succ: GroupSucc::Shared(&self.core.succ),
                     remaining: &self.remaining,
                     completed: &self.completed,
                     aborted: &self.aborted,
@@ -2498,6 +2733,131 @@ mod tests {
             let f = item.expect("batch after a panic must succeed");
             assert_eq!(
                 f.factored_tiles(),
+                seq.factorize(&plan, a).unwrap().factored_tiles()
+            );
+        }
+    }
+
+    /// Ordered collection sink for the stream tests: slot `i` receives
+    /// item `i`'s outcome exactly once.
+    type ItemOutcome = Result<QrFactorization<f64>, QrError>;
+    struct CollectSink {
+        results: Mutex<Vec<Option<ItemOutcome>>>,
+    }
+
+    impl ItemSink<f64> for CollectSink {
+        fn item_done(&self, index: usize, outcome: Result<QrFactorization<f64>, QrError>) {
+            let mut slots = self.results.lock();
+            assert!(slots[index].is_none(), "item {index} delivered twice");
+            slots[index] = Some(outcome);
+        }
+    }
+
+    /// The tentpole contract end to end: one fused streaming job spanning
+    /// *different* plans (shapes, tile sizes, inner blockings, trees), fed
+    /// through both input modes, with every item bitwise equal to its own
+    /// sequential single-plan reference.
+    #[test]
+    fn mixed_plan_stream_matches_each_items_sequential_reference() {
+        use tileqr_matrix::generate::random_matrix;
+        let ctx = QrContext::new(3).unwrap();
+        let seq = QrContext::new(1).unwrap();
+        let plans: Vec<Arc<QrPlan<f64>>> = vec![
+            Arc::new(QrPlan::new(40, 24, QrConfig::new(8)).unwrap()),
+            Arc::new(
+                QrPlan::new(
+                    18,
+                    18,
+                    QrConfig::new(6)
+                        .with_inner_block(3)
+                        .with_algorithm(Algorithm::FlatTree),
+                )
+                .unwrap(),
+            ),
+            Arc::new(QrPlan::new(33, 10, QrConfig::new(5)).unwrap()),
+        ];
+        // Two rounds: [0, 1, 2, 1] then [2, 0] — distinct task counts, so
+        // the heterogeneous (offset) mapping is exercised, and plan 1
+        // appears twice in one group to cover same-plan copies inside a
+        // mixed group.
+        for round in [vec![0usize, 1, 2, 1], vec![2, 0]] {
+            let mats: Vec<Matrix<f64>> = round
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    let plan = &plans[p];
+                    random_matrix(plan.m(), plan.n(), 7_000 + i as u64)
+                })
+                .collect();
+            let entries: Vec<StreamEntry<f64>> = round
+                .iter()
+                .zip(&mats)
+                .enumerate()
+                .map(|(i, (&p, a))| StreamEntry {
+                    plan: Arc::clone(&plans[p]),
+                    // Alternate input modes: even items pre-tiled, odd items
+                    // dense (worker-side lazy tiling).
+                    input: if i % 2 == 0 {
+                        StreamInput::Tiled(TiledMatrix::from_dense_padded(a, plans[p].tile_size()))
+                    } else {
+                        StreamInput::Dense(Arc::new(a.clone()))
+                    },
+                    probe: i,
+                })
+                .collect();
+            let sink = Arc::new(CollectSink {
+                results: Mutex::new((0..round.len()).map(|_| None).collect()),
+            });
+            ctx.factorize_stream(entries, &(Arc::clone(&sink) as Arc<dyn ItemSink<f64>>));
+            let results = sink.results.lock();
+            for (i, (&p, a)) in round.iter().zip(&mats).enumerate() {
+                let got = results[i]
+                    .as_ref()
+                    .expect("every item resolves")
+                    .as_ref()
+                    .expect("mixed-group item succeeds");
+                let reference = seq.factorize(&plans[p], a).unwrap();
+                assert_eq!(
+                    got.factored_tiles(),
+                    reference.factored_tiles(),
+                    "round item {i} (plan {p}) must be bitwise equal to its sequential reference"
+                );
+            }
+        }
+    }
+
+    /// Same-plan streaming groups must reduce to the historical uniform
+    /// mapping: identical results to the sequential reference, via the
+    /// pre-tiled input mode (the path the old runtime used).
+    #[test]
+    fn homogeneous_stream_group_still_matches_the_sequential_reference() {
+        use tileqr_matrix::generate::random_matrix;
+        let ctx = QrContext::new(2).unwrap();
+        let seq = QrContext::new(1).unwrap();
+        let plan = Arc::new(QrPlan::<f64>::new(24, 16, QrConfig::new(8)).unwrap());
+        let mats: Vec<Matrix<f64>> = (0..3).map(|i| random_matrix(24, 16, 8_100 + i)).collect();
+        let entries: Vec<StreamEntry<f64>> = mats
+            .iter()
+            .enumerate()
+            .map(|(i, a)| StreamEntry {
+                plan: Arc::clone(&plan),
+                input: StreamInput::Tiled(TiledMatrix::from_dense_padded(a, plan.tile_size())),
+                probe: i,
+            })
+            .collect();
+        let sink = Arc::new(CollectSink {
+            results: Mutex::new((0..mats.len()).map(|_| None).collect()),
+        });
+        ctx.factorize_stream(entries, &(Arc::clone(&sink) as Arc<dyn ItemSink<f64>>));
+        let results = sink.results.lock();
+        for (i, a) in mats.iter().enumerate() {
+            let got = results[i]
+                .as_ref()
+                .expect("every item resolves")
+                .as_ref()
+                .expect("homogeneous item succeeds");
+            assert_eq!(
+                got.factored_tiles(),
                 seq.factorize(&plan, a).unwrap().factored_tiles()
             );
         }

@@ -278,22 +278,50 @@ impl Scheduler for WorkStealing {
     }
 }
 
+/// How [`WorkStealingPriority`] maps a global task id to its critical-path
+/// rank.
+enum PriorityRanking {
+    /// One shared per-shape table reused cyclically: task `t` is ranked by
+    /// `priority[t % period]`. Serves a single DAG (`period == len`) and a
+    /// fused batch of identical copies (ids `copy * period + local`), with
+    /// no per-call priority allocation.
+    Cyclic {
+        priority: std::sync::Arc<[u64]>,
+        period: usize,
+    },
+    /// Heterogeneous fused group: copy `c` owns the contiguous id range
+    /// `offsets[c] .. offsets[c + 1]` and ranks its tasks with its own
+    /// shared per-shape table. Same prefix-sum geometry as
+    /// [`ItemMap::from_counts`].
+    Offsets {
+        tables: Vec<std::sync::Arc<[u64]>>,
+        offsets: Vec<usize>,
+    },
+}
+
+impl PriorityRanking {
+    #[inline]
+    fn rank(&self, t: usize) -> u64 {
+        match self {
+            PriorityRanking::Cyclic { priority, period } => priority[t % period],
+            PriorityRanking::Offsets { tables, offsets } => {
+                let copy = offsets.partition_point(|&o| o <= t) - 1;
+                tables[copy][t - offsets[copy]]
+            }
+        }
+    }
+}
+
 /// Work stealing with critical-path priorities: each batch of newly-enabled
 /// tasks is pushed so the owner pops the task with the largest weighted
 /// critical-path-to-exit first, and stealers take the least critical one.
 pub struct WorkStealingPriority {
     inner: WorkStealing,
-    /// `priority[i]` = weighted longest path from task `i` to a DAG exit
-    /// ([`TaskDag::priorities`](tileqr_core::dag::TaskDag::priorities)).
-    /// Shared so a reusable plan can hand the same priority table to many
-    /// jobs without copying it.
-    priority: std::sync::Arc<[u64]>,
-    /// Task ids are reduced modulo this before the priority lookup. Equal to
-    /// `priority.len()` for a single DAG; a *fused batch* of `k` independent
-    /// copies of one DAG (task ids `copy * period + local`) reuses the
-    /// per-copy priority table cyclically instead of materializing `k`
-    /// copies of it per call.
-    period: usize,
+    /// `rank(i)` = weighted longest path from task `i` to its DAG's exit
+    /// ([`TaskDag::priorities`](tileqr_core::dag::TaskDag::priorities)),
+    /// looked up through the shared per-shape table(s) so a reusable plan
+    /// hands the same table to many jobs without copying it.
+    ranking: PriorityRanking,
 }
 
 impl WorkStealingPriority {
@@ -322,8 +350,28 @@ impl WorkStealingPriority {
         let period = priority.len().max(1);
         WorkStealingPriority {
             inner: WorkStealing::new(priority.len() * copies.max(1), workers),
-            priority,
-            period,
+            ranking: PriorityRanking::Cyclic { priority, period },
+        }
+    }
+
+    /// Builds the scheduler for a *heterogeneous* fused group: `tables[c]`
+    /// is copy `c`'s shared per-shape priority table, and copy `c` owns the
+    /// contiguous global id range starting at the prefix sum of the earlier
+    /// table lengths — the same `g → (copy, local)` contract as
+    /// [`ItemMap::from_counts`]. Tables are `Arc` clones of each plan's
+    /// cached priorities, so mixed groups cost one small `Vec` per job, not
+    /// a fused priority table.
+    pub fn new_shared_offsets(tables: Vec<std::sync::Arc<[u64]>>, workers: usize) -> Self {
+        let mut offsets = Vec::with_capacity(tables.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for t in &tables {
+            total += t.len();
+            offsets.push(total);
+        }
+        WorkStealingPriority {
+            inner: WorkStealing::new(total, workers),
+            ranking: PriorityRanking::Offsets { tables, offsets },
         }
     }
 
@@ -332,7 +380,7 @@ impl WorkStealingPriority {
     /// maximum out-degree — `O(q)` for tiled QR).
     #[inline]
     fn sort_ascending(&self, batch: &mut [usize]) {
-        batch.sort_unstable_by_key(|&t| self.priority[t % self.period]);
+        batch.sort_unstable_by_key(|&t| self.ranking.rank(t));
     }
 }
 
@@ -469,6 +517,138 @@ pub(crate) fn initial_roots(dag: &TaskDag) -> Vec<usize> {
         .collect()
 }
 
+/// Maps a global task id of a fused group to `(copy, local)`.
+///
+/// A fused pool job runs several independent DAG instances ("copies") under
+/// one scheduler. Global ids are assigned contiguously per copy: copy `c`
+/// owns `base(c) .. base(c) + tasks_of(c)`. Two representations share the
+/// type:
+///
+/// * **Uniform** (`stride != 0`): every copy has `stride` tasks, so
+///   `locate` is `g → (g / stride, g % stride)` — bit-for-bit the
+///   historical cyclic mapping of same-plan batches, with no per-call
+///   allocation (`offsets` stays empty).
+/// * **Heterogeneous** (`stride == 0`): `offsets` is the task-count prefix
+///   sum (`offsets[c]` = first id of copy `c`, `offsets.len() == copies + 1`)
+///   and `locate` binary-searches it — `O(log copies)` on a group bounded
+///   by the service's `max_group`.
+///
+/// [`ItemMap::from_counts`] detects the all-equal case and collapses it to
+/// the uniform form, so same-plan groups keep the exact pre-offset id
+/// arithmetic on every path that consumes the map.
+pub(crate) struct ItemMap {
+    /// Tasks per copy when uniform; `0` flags the heterogeneous form.
+    stride: usize,
+    #[cfg_attr(not(test), allow(dead_code))]
+    copies: usize,
+    total: usize,
+    /// Prefix-sum id offsets (heterogeneous form only; empty when uniform).
+    offsets: Vec<usize>,
+}
+
+impl ItemMap {
+    /// A group of `copies` identical DAGs of `local_tasks` tasks each.
+    pub(crate) fn uniform(local_tasks: usize, copies: usize) -> Self {
+        let local_tasks = local_tasks.max(1);
+        ItemMap {
+            stride: local_tasks,
+            copies,
+            total: local_tasks * copies,
+            offsets: Vec::new(),
+        }
+    }
+
+    /// A group described by one task count per copy.
+    pub(crate) fn from_counts(counts: &[usize]) -> Self {
+        if let Some(&first) = counts.first() {
+            if counts.iter().all(|&c| c == first) {
+                return ItemMap::uniform(first, counts.len());
+            }
+        }
+        let mut offsets = Vec::with_capacity(counts.len() + 1);
+        let mut total = 0usize;
+        offsets.push(0);
+        for &c in counts {
+            total += c;
+            offsets.push(total);
+        }
+        ItemMap {
+            stride: 0,
+            copies: counts.len(),
+            total,
+            offsets,
+        }
+    }
+
+    /// Number of DAG copies in the group.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn copies(&self) -> usize {
+        self.copies
+    }
+
+    /// Total task count across all copies.
+    #[inline]
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// First global id of `copy`.
+    #[inline]
+    pub(crate) fn base(&self, copy: usize) -> usize {
+        if self.stride != 0 {
+            copy * self.stride
+        } else {
+            self.offsets[copy]
+        }
+    }
+
+    /// Task count of `copy`.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn tasks_of(&self, copy: usize) -> usize {
+        if self.stride != 0 {
+            self.stride
+        } else {
+            self.offsets[copy + 1] - self.offsets[copy]
+        }
+    }
+
+    /// `g → (copy, local)`.
+    #[inline]
+    // `stride != 0` selects the uniform mode, it is not a div-by-zero guard.
+    #[allow(clippy::manual_checked_ops)]
+    pub(crate) fn locate(&self, g: usize) -> (usize, usize) {
+        if self.stride != 0 {
+            (g / self.stride, g % self.stride)
+        } else {
+            let copy = self.offsets.partition_point(|&o| o <= g) - 1;
+            (copy, g - self.offsets[copy])
+        }
+    }
+}
+
+/// Successor adjacency of a fused group: one shared per-shape CSR when every
+/// copy runs the same DAG (same-plan groups, single runs), or one CSR
+/// reference per copy for heterogeneous groups.
+#[derive(Clone, Copy)]
+pub(crate) enum GroupSucc<'a> {
+    /// All copies share one CSR.
+    Shared(&'a SuccessorsCsr),
+    /// `per_copy[c]` is copy `c`'s CSR.
+    PerCopy(&'a [&'a SuccessorsCsr]),
+}
+
+impl GroupSucc<'_> {
+    #[inline]
+    fn of_copy(&self, copy: usize) -> &SuccessorsCsr {
+        match self {
+            GroupSucc::Shared(csr) => csr,
+            GroupSucc::PerCopy(per_copy) => per_copy[copy],
+        }
+    }
+}
+
 /// Receives contained task panics from [`drive_worker`] and answers which
 /// batch copies have already failed (so their remaining tasks are skipped —
 /// counted as released, never executed).
@@ -504,10 +684,13 @@ pub(crate) struct DriveCtl<'a> {
     /// Total task count of the (fused) run; the loop exits when `completed`
     /// reaches it.
     pub(crate) num_tasks: usize,
-    /// Task count of one DAG copy (`num_tasks` for a single matrix).
-    pub(crate) local_tasks: usize,
-    /// Per-shape successor CSR, indexed by `id % local_tasks`.
-    pub(crate) succ: &'a SuccessorsCsr,
+    /// Global-id geometry of the run: `map.locate(g)` resolves every task id
+    /// to its `(copy, local)` pair. Uniform for single runs and same-plan
+    /// batches (the historical `g → (g / n, g % n)` arithmetic);
+    /// prefix-sum offsets for heterogeneous fused groups.
+    pub(crate) map: &'a ItemMap,
+    /// Per-copy successor adjacency, indexed by the local id from `map`.
+    pub(crate) succ: GroupSucc<'a>,
     /// Per-task dependency counters of the whole fused run.
     pub(crate) remaining: &'a [AtomicUsize],
     /// Tasks completed so far across all workers.
@@ -532,18 +715,21 @@ pub(crate) struct DriveCtl<'a> {
 /// scheduler, and back off when idle until every one of `ctl.num_tasks`
 /// tasks completed (or a sibling aborted, or the cancel token fired).
 ///
-/// The loop is phrased over **raw task ids** so the same code serves three
-/// callers: the scoped executor ([`execute_parallel_with_scheduler`]), the
+/// The loop is phrased over **raw task ids** so the same code serves every
+/// caller: the scoped executor ([`execute_parallel_with_scheduler`]), the
 /// single-factorization pool jobs of [`QrContext`](crate::context::QrContext),
-/// and the *fused batch* jobs of
-/// [`QrContext::factorize_batch`](crate::context::QrContext::factorize_batch).
-/// A batch of `k` independent copies of one DAG uses global ids
-/// `copy * local_tasks + local`: the single per-shape successor CSR is
-/// indexed by `id % local_tasks` and the released successors are offset back
-/// into the id's copy, so no per-call fused adjacency is ever materialized.
-/// For a single DAG `local_tasks == num_tasks` and the id arithmetic is the
-/// identity. All paths are bitwise equivalent by construction because they
-/// run exactly this code over the same per-tile kernel ordering.
+/// the *fused batch* jobs of
+/// [`QrContext::factorize_batch`](crate::context::QrContext::factorize_batch),
+/// and the service layer's heterogeneous fused groups. `ctl.map` resolves a
+/// global id to `(copy, local)` — uniform stride division for same-plan
+/// groups (bit-for-bit the historical `g → (g / n, g % n)` mapping),
+/// prefix-sum offsets for mixed-plan groups — and `ctl.succ` hands back the
+/// copy's own successor CSR, so no per-call fused adjacency is ever
+/// materialized. Released successors stay within the task's copy by
+/// offsetting local successor ids with the copy's base. For a single DAG the
+/// id arithmetic is the identity. Same-plan paths are bitwise equivalent by
+/// construction because they run exactly this code over the same per-tile
+/// kernel ordering.
 ///
 /// Panic handling depends on `ctl.faults` — see [`DriveCtl::faults`]. In
 /// containment mode a failed copy's remaining tasks still *retire* (their
@@ -562,7 +748,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
     heartbeat: Option<&AtomicUsize>,
     run: &mut dyn FnMut(usize),
 ) {
-    debug_assert!(ctl.local_tasks > 0 && ctl.num_tasks.is_multiple_of(ctl.local_tasks));
+    debug_assert_eq!(ctl.map.total(), ctl.num_tasks);
     // Arms while a task runs in abort mode; if the task panics the unwind
     // runs this Drop, flagging every other worker to exit so the caller can
     // join them and propagate the panic instead of deadlocking on
@@ -593,8 +779,7 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
         match next.take().or_else(|| sched.pop(w)) {
             Some(idx) => {
                 backoff.reset();
-                let local = idx % ctl.local_tasks;
-                let copy = idx / ctl.local_tasks;
+                let (copy, local) = ctl.map.locate(idx);
                 match ctl.faults {
                     None => {
                         let guard = AbortOnPanic(ctl.aborted);
@@ -620,12 +805,12 @@ pub(crate) fn drive_worker<S: Scheduler + ?Sized>(
                     hb.store(hb.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
                 }
                 ctl.completed.fetch_add(1, Ordering::Release);
-                // Successors stay within the task's own DAG copy: reduce to
-                // the local id for the CSR lookup, offset the released ids
-                // back into the copy.
+                // Successors stay within the task's own DAG copy: look up
+                // the copy's CSR by the local id, offset the released ids
+                // back into the copy's global range.
                 let base = idx - local;
                 enabled.clear();
-                for &s in ctl.succ.of(local) {
+                for &s in ctl.succ.of_copy(copy).of(local) {
                     let g = base + s;
                     if ctl.remaining[g].fetch_sub(1, Ordering::AcqRel) == 1 {
                         enabled.push(g);
@@ -668,10 +853,11 @@ fn run_pool<S, W, M, F>(
     let completed = AtomicUsize::new(0);
     let aborted = AtomicBool::new(false);
 
+    let map = ItemMap::uniform(n, 1);
     let ctl = DriveCtl {
         num_tasks: n,
-        local_tasks: n,
-        succ,
+        map: &map,
+        succ: GroupSucc::Shared(succ),
         remaining: &remaining,
         completed: &completed,
         aborted: &aborted,
@@ -906,6 +1092,150 @@ mod tests {
         assert_eq!(sched.pop(0), Some(0)); // priority 3
         assert_eq!(sched.pop(0), Some(2)); // priority 1
         assert_eq!(sched.pop(0), None);
+    }
+
+    #[test]
+    fn item_map_uniform_matches_historical_cyclic_arithmetic() {
+        let map = ItemMap::uniform(7, 4);
+        assert_eq!(map.copies(), 4);
+        assert_eq!(map.total(), 28);
+        for g in 0..map.total() {
+            assert_eq!(map.locate(g), (g / 7, g % 7));
+        }
+        for c in 0..4 {
+            assert_eq!(map.base(c), c * 7);
+            assert_eq!(map.tasks_of(c), 7);
+        }
+    }
+
+    #[test]
+    fn item_map_equal_counts_collapse_to_uniform() {
+        let map = ItemMap::from_counts(&[5, 5, 5]);
+        assert_eq!(map.stride, 5, "same-plan groups must take the uniform path");
+        assert!(map.offsets.is_empty());
+        for g in 0..15 {
+            assert_eq!(map.locate(g), (g / 5, g % 5));
+        }
+    }
+
+    #[test]
+    fn item_map_heterogeneous_is_a_bijection_over_disjoint_ranges() {
+        let counts = [3usize, 7, 1, 4];
+        let map = ItemMap::from_counts(&counts);
+        assert_eq!(map.copies(), 4);
+        assert_eq!(map.total(), 15);
+        let mut seen = HashSet::new();
+        for g in 0..map.total() {
+            let (copy, local) = map.locate(g);
+            assert!(copy < map.copies());
+            assert!(local < map.tasks_of(copy));
+            assert_eq!(map.base(copy) + local, g);
+            assert!(seen.insert((copy, local)), "id {g} not unique");
+        }
+        assert_eq!(seen.len(), map.total());
+        for (c, &count) in counts.iter().enumerate() {
+            assert_eq!(map.tasks_of(c), count);
+        }
+    }
+
+    #[test]
+    fn priority_offsets_ranks_each_copy_by_its_own_table() {
+        // copy 0: ids 0..3 with priorities [3, 8, 1]; copy 1: ids 3..5 with
+        // priorities [12, 2]. Continuation and pops must follow the fused
+        // per-copy ranks, not any shared cyclic table.
+        let tables: Vec<std::sync::Arc<[u64]>> =
+            vec![vec![3u64, 8, 1].into(), vec![12u64, 2].into()];
+        let sched = WorkStealingPriority::new_shared_offsets(tables, 1);
+        let mut batch = vec![0usize, 1, 2, 3, 4];
+        assert_eq!(sched.push_ready(0, &mut batch), Some(3)); // rank 12
+        assert_eq!(sched.pop(0), Some(1)); // rank 8
+        assert_eq!(sched.pop(0), Some(0)); // rank 3
+        assert_eq!(sched.pop(0), Some(4)); // rank 2
+        assert_eq!(sched.pop(0), Some(2)); // rank 1
+        assert_eq!(sched.pop(0), None);
+    }
+
+    #[test]
+    fn fused_heterogeneous_copies_run_once_and_respect_deps() {
+        // Two *different* DAGs fused under one scheduler through the offset
+        // map: every task of each copy runs exactly once, and dependencies
+        // hold within each copy.
+        let dag_a = sample_dag(6, 3);
+        let dag_b = TaskDag::build(
+            &Algorithm::FlatTree.elimination_list(4, 2),
+            KernelFamily::TS,
+        );
+        assert_ne!(dag_a.len(), dag_b.len(), "copies must be heterogeneous");
+        let succ_a = dag_a.successors_csr();
+        let succ_b = dag_b.successors_csr();
+        let map = ItemMap::from_counts(&[dag_a.len(), dag_b.len()]);
+        assert_eq!(map.total(), dag_a.len() + dag_b.len());
+        let per_copy = [&succ_a, &succ_b];
+        let dags = [&dag_a, &dag_b];
+
+        let remaining: Vec<AtomicUsize> = dags
+            .iter()
+            .flat_map(|d| d.tasks.iter().map(|t| AtomicUsize::new(t.deps.len())))
+            .collect();
+        let mut roots: Vec<usize> = Vec::new();
+        for (c, d) in dags.iter().enumerate() {
+            let base = map.base(c);
+            roots.extend(
+                d.tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.deps.is_empty())
+                    .map(|(i, _)| base + i),
+            );
+        }
+        let tables: Vec<std::sync::Arc<[u64]>> = vec![
+            dag_a.priorities_with(&succ_a).into(),
+            dag_b.priorities_with(&succ_b).into(),
+        ];
+        let sched = WorkStealingPriority::new_shared_offsets(tables, 3);
+        sched.seed(&mut roots);
+        let completed = AtomicUsize::new(0);
+        let aborted = AtomicBool::new(false);
+        let ctl = DriveCtl {
+            num_tasks: map.total(),
+            map: &map,
+            succ: GroupSucc::PerCopy(&per_copy),
+            remaining: &remaining,
+            completed: &completed,
+            aborted: &aborted,
+            max_out_degree: succ_a.max_out_degree().max(succ_b.max_out_degree()),
+            cancel: None,
+            faults: None,
+        };
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..3 {
+                let ctl = &ctl;
+                let sched = &sched;
+                let order = &order;
+                scope.spawn(move || {
+                    drive_worker(ctl, sched, w, None, &mut |g| {
+                        order.lock().push(g);
+                    });
+                });
+            }
+        });
+        let order = order.into_inner();
+        assert_eq!(order.len(), map.total());
+        let position: std::collections::HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        assert_eq!(position.len(), map.total(), "a task ran twice");
+        for (c, d) in dags.iter().enumerate() {
+            let base = map.base(c);
+            for (i, t) in d.tasks.iter().enumerate() {
+                for &dep in &t.deps {
+                    assert!(
+                        position[&(base + dep)] < position[&(base + i)],
+                        "copy {c}: dependency {dep} ran after dependent {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -28,15 +28,32 @@
 //! tenant with its own FIFO lane and in-flight quota
 //! ([`ServiceConfig::per_client_quota`] bounds queued + running + awaiting
 //! retry). The dispatcher dequeues lanes with a deficit round-robin: each
-//! non-empty lane accrues a quantum (the largest head-of-line task count
-//! among lanes, so every lane can always afford at least one item per
-//! rotation) and spends it on its queued items' DAG sizes — a tenant
-//! flooding the queue gets a proportional share, not the whole pool.
+//! non-empty lane accrues a quantum equal to **its own** head-of-line task
+//! count (so every lane can always afford its next item, and a tenant
+//! running large plans never inflates a small-plan tenant's budget) and
+//! spends it on its queued items' DAG sizes — a tenant flooding the queue
+//! gets a proportional share, not the whole pool.
 //! Under saturation ([`ServiceConfig::shed_threshold`] queued or more),
 //! new [`Priority::Low`] work is shed at admission with `QueueFull`
 //! (counted in [`ServiceStats::shed`]) so latency-sensitive work keeps a
 //! bounded queue ahead of it; `Normal`/`High` admission is bounded only by
 //! `queue_capacity`.
+//!
+//! # Mixed-plan fused groups
+//!
+//! A fused group may span **different plans** — shapes, tile sizes and
+//! elimination trees. The runtime maps each global task id `g` to
+//! `(copy, local)` through a per-item offset table: copy `i` owns the
+//! contiguous id range `[offset[i], offset[i+1])` where `offset` is the
+//! prefix sum of the items' DAG sizes, so `copy = partition_point(offset,
+//! ≤ g) − 1` and `local = g − offset[copy]`. Successor release, priority
+//! ranking and `T`-factor recycling all follow that per-copy contract,
+//! and the group's worker workspaces are sized by its largest tile order.
+//! Same-plan groups collapse to the historical uniform mapping
+//! `g → (g / n, g % n)` and execute bitwise-identically to the
+//! single-plan service. Per-item tiling happens *inside* the fused job
+//! (the first worker to touch a copy tiles its dense input), so the
+//! dispatcher thread stays responsive regardless of group size.
 //!
 //! # Retry
 //!
@@ -68,9 +85,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tileqr_matrix::rng::Rng;
-use tileqr_matrix::{Matrix, Scalar, TiledMatrix};
+use tileqr_matrix::{Matrix, Scalar};
 
-use crate::context::{ItemSink, QrContext, QrError, QrPlan};
+use crate::context::{ItemSink, QrContext, QrError, QrPlan, StreamEntry, StreamInput};
 use crate::driver::QrFactorization;
 use crate::sync::shim::{AtomicU64, AtomicUsize};
 use crate::sync::{Condvar, LazyCondvar, Mutex, OnceSlot};
@@ -236,6 +253,13 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Retry attempts scheduled after transient faults.
     pub retries: u64,
+    /// Fused groups launched by the dispatcher.
+    pub groups: u64,
+    /// Items those groups carried (`group_items / groups` = average fused
+    /// width — the mixed-plan fusing payoff in one number).
+    pub group_items: u64,
+    /// Groups that fused items of at least two distinct plans.
+    pub mixed_groups: u64,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
 }
@@ -299,7 +323,10 @@ struct PendingItem<T: Scalar<Real = f64>> {
     client: u64,
     attempt: u32,
     prev_delay: Duration,
-    a: Matrix<T>,
+    /// Shared with the in-flight job (the first worker to touch the copy
+    /// tiles from it — see [`run_group`]) while the service retains it for
+    /// potential retries.
+    a: Arc<Matrix<T>>,
     plan: Arc<QrPlan<T>>,
     slot: Arc<OnceSlot<Result<QrFactorization<T>, QrError>>>,
 }
@@ -336,6 +363,9 @@ struct StatCells {
     completed: AtomicU64,
     failed: AtomicU64,
     retries: AtomicU64,
+    groups: AtomicU64,
+    group_items: AtomicU64,
+    mixed_groups: AtomicU64,
     max_queue_depth: AtomicUsize,
 }
 
@@ -409,7 +439,7 @@ impl<T: Scalar<Real = f64>> Shared<T> {
             client,
             attempt: 0,
             prev_delay: self.cfg.retry.base_delay,
-            a,
+            a: Arc::new(a),
             plan,
             slot: Arc::clone(&slot),
         };
@@ -514,6 +544,9 @@ impl<T: Scalar<Real = f64>> Shared<T> {
             completed: self.stats.completed.load(Ordering::Relaxed),
             failed: self.stats.failed.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
+            groups: self.stats.groups.load(Ordering::Relaxed),
+            group_items: self.stats.group_items.load(Ordering::Relaxed),
+            mixed_groups: self.stats.mixed_groups.load(Ordering::Relaxed),
             max_queue_depth: self.stats.max_queue_depth.load(Ordering::Relaxed),
         }
     }
@@ -581,6 +614,9 @@ impl<T: Scalar<Real = f64>> QrService<T> {
                 completed: AtomicU64::new(0),
                 failed: AtomicU64::new(0),
                 retries: AtomicU64::new(0),
+                groups: AtomicU64::new(0),
+                group_items: AtomicU64::new(0),
+                mixed_groups: AtomicU64::new(0),
                 max_queue_depth: AtomicUsize::new(0),
             },
         });
@@ -884,38 +920,32 @@ fn promote_due_retries<T: Scalar<Real = f64>>(inner: &mut ServiceInner<T>, now: 
     }
 }
 
-/// Deficit-round-robin dequeue of up to `max_group` items sharing one
-/// plan (a fused job needs one DAG). Each visited non-empty lane accrues
-/// one quantum — the largest head-of-line task count, so every lane can
-/// afford at least one item per rotation — and spends it on its items'
-/// DAG sizes. Lanes whose head needs a different plan than this round's
-/// keep their items (and their accrued deficit, capped at two quanta) for
-/// a later round; the scan stops after a full fruitless rotation.
+/// Deficit-round-robin dequeue of up to `max_group` items — across
+/// plans: the fused job maps global ids through per-item DAG offsets, so
+/// lanes with different shapes coalesce into one wide job instead of
+/// fragmenting into narrow per-plan rounds. Each visited non-empty lane
+/// accrues one quantum equal to **its own** head-of-line task count (so
+/// every lane can always afford its next item, and no lane's budget is
+/// inflated by another tenant's large plan) and spends it on its items'
+/// DAG sizes; unspent deficit carries, capped at two quanta. The scan
+/// stops after a full fruitless rotation.
 fn collect_group<T: Scalar<Real = f64>>(
     inner: &mut ServiceInner<T>,
     max_group: usize,
 ) -> Vec<PendingItem<T>> {
-    let quantum = inner
-        .lanes
-        .iter()
-        .filter_map(|lane| lane.items.front())
-        .map(|item| item.plan.task_count())
-        .max()
-        .unwrap_or(1)
-        .max(1);
     let mut group: Vec<PendingItem<T>> = Vec::new();
-    let mut plan: Option<Arc<QrPlan<T>>> = None;
     let mut fruitless = 0;
     while group.len() < max_group && inner.depth > 0 && fruitless < inner.lanes.len() {
         let lane_count = inner.lanes.len();
         let lane = &mut inner.lanes[inner.rr_cursor % lane_count];
         inner.rr_cursor = inner.rr_cursor.wrapping_add(1);
-        if lane.items.is_empty() {
+        let Some(head) = lane.items.front() else {
             // Standard DRR: an idle lane keeps no balance.
             lane.deficit = 0;
             fruitless += 1;
             continue;
-        }
+        };
+        let quantum = head.plan.task_count().max(1);
         lane.deficit = (lane.deficit + quantum).min(2 * quantum);
         let mut took = false;
         while group.len() < max_group {
@@ -923,16 +953,12 @@ fn collect_group<T: Scalar<Real = f64>>(
                 break;
             };
             let cost = head.plan.task_count();
-            let same_plan = plan.as_ref().is_none_or(|p| Arc::ptr_eq(p, &head.plan));
-            if !same_plan || lane.deficit < cost {
+            if lane.deficit < cost {
                 break;
             }
             let item = lane.items.pop_front().expect("head exists");
             lane.deficit -= cost;
             inner.depth -= 1;
-            if plan.is_none() {
-                plan = Some(Arc::clone(&item.plan));
-            }
             group.push(item);
             took = true;
         }
@@ -942,10 +968,13 @@ fn collect_group<T: Scalar<Real = f64>>(
     group
 }
 
-/// Runs one same-plan group as a fused streaming job. Deterministic input
-/// errors (the opt-in non-finite scan) resolve immediately without
-/// touching the pool; the rest tile from their retained dense inputs and
-/// stream their outcomes through the [`GroupSink`].
+/// Runs one (possibly mixed-plan) group as a fused streaming job.
+/// Deterministic input errors (the opt-in non-finite scan, O(m·n) but
+/// scan-only) resolve immediately without touching the pool; the rest
+/// enter the job as **dense** inputs — the first worker to touch each copy
+/// performs the tiling, so the dispatcher returns to admission in O(group)
+/// instead of blocking for the whole group's tiling time — and stream
+/// their outcomes through the [`GroupSink`].
 fn run_group<T: Scalar<Real = f64>>(shared: &Arc<Shared<T>>, group: Vec<PendingItem<T>>) {
     let mut runnable: Vec<PendingItem<T>> = Vec::with_capacity(group.len());
     for item in group {
@@ -959,20 +988,30 @@ fn run_group<T: Scalar<Real = f64>>(shared: &Arc<Shared<T>>, group: Vec<PendingI
     let Some(first) = runnable.first() else {
         return;
     };
-    let plan = Arc::clone(&first.plan);
-    let tiled: Vec<TiledMatrix<T>> = runnable
+    shared.stats.groups.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .group_items
+        .fetch_add(runnable.len() as u64, Ordering::Relaxed);
+    if runnable
         .iter()
-        .map(|item| TiledMatrix::from_dense_padded(&item.a, plan.tile_size()))
-        .collect();
-    let probes: Vec<usize> = runnable
+        .any(|item| !Arc::ptr_eq(&item.plan, &first.plan))
+    {
+        shared.stats.mixed_groups.fetch_add(1, Ordering::Relaxed);
+    }
+    let entries: Vec<StreamEntry<T>> = runnable
         .iter()
-        .map(|item| probe_id(item.seq, item.attempt))
+        .map(|item| StreamEntry {
+            plan: Arc::clone(&item.plan),
+            input: StreamInput::Dense(Arc::clone(&item.a)),
+            probe: probe_id(item.seq, item.attempt),
+        })
         .collect();
     let sink: Arc<dyn ItemSink<T>> = Arc::new(GroupSink {
         shared: Arc::clone(shared),
         items: runnable.into_iter().map(|i| Mutex::new(Some(i))).collect(),
     });
-    shared.ctx.factorize_stream(&plan, tiled, probes, &sink);
+    shared.ctx.factorize_stream(entries, &sink);
 }
 
 #[cfg(test)]

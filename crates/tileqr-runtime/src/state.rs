@@ -134,6 +134,46 @@ impl<T: Scalar<Real = f64>> FactorizationState<T> {
         col * self.p + row
     }
 
+    /// Fills the tiles in place from a dense matrix, zero-padding partial
+    /// edge tiles — the lazy-tiling seam of the streaming runtime: a state
+    /// built over [`TiledMatrix::zeros`] on the dispatcher thread is
+    /// populated here by the first *worker* that touches the copy, keeping
+    /// the `O(m·n)` tiling cost off the admission path. Entries outside the
+    /// dense matrix are left untouched, so the tiles must start zeroed for
+    /// the result to match [`TiledMatrix::from_dense_padded`] bitwise.
+    ///
+    /// Locks each tile while writing; the caller must order this before any
+    /// task of the copy runs (the stream job's tile gate does).
+    ///
+    /// # Panics
+    /// Panics unless the dense matrix pads to this state's grid, i.e.
+    /// `⌈rows/nb⌉ = p` and `⌈cols/nb⌉ = q` (with the same one-tile minimum
+    /// as `from_dense_padded`).
+    pub fn fill_tiles_from_dense(&self, a: &Matrix<T>) {
+        let nb = self.nb;
+        let (p, q) = (a.rows().div_ceil(nb).max(1), a.cols().div_ceil(nb).max(1));
+        assert!(
+            (p, q) == (self.p, self.q),
+            "a {} × {} matrix pads to a {p} × {q} grid of nb = {nb} tiles, \
+             but this state is {} × {}",
+            a.rows(),
+            a.cols(),
+            self.p,
+            self.q
+        );
+        for tj in 0..self.q {
+            for ti in 0..self.p {
+                let rows = nb.min(a.rows().saturating_sub(ti * nb));
+                let cols = nb.min(a.cols().saturating_sub(tj * nb));
+                if rows == 0 || cols == 0 {
+                    continue;
+                }
+                let mut tile = self.tiles[self.idx(ti, tj)].lock();
+                tile.copy_block(0, 0, a, ti * nb, tj * nb, rows, cols);
+            }
+        }
+    }
+
     /// Executes one task of the DAG with a fresh workspace (matching the
     /// state's inner blocking) — allocating compatibility wrapper over
     /// [`FactorizationState::run_ws`].
@@ -278,6 +318,18 @@ mod tests {
         assert!(te.iter().all(|t| t
             .as_ref()
             .is_some_and(|m| m.as_slice().iter().all(|v| *v == 0.0))));
+    }
+
+    #[test]
+    fn fill_tiles_from_dense_matches_from_dense_padded_bitwise() {
+        // Ragged shape: exercises partial edge tiles and the zero padding.
+        let a = random_matrix::<f64>(11, 6, 9);
+        let eager = TiledMatrix::from_dense_padded(&a, 4);
+        let lazy =
+            FactorizationState::new(TiledMatrix::zeros(eager.tile_rows(), eager.tile_cols(), 4));
+        lazy.fill_tiles_from_dense(&a);
+        let (filled, _, _) = lazy.into_parts();
+        assert_eq!(filled, eager);
     }
 
     #[test]

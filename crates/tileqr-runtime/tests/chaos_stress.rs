@@ -571,3 +571,130 @@ fn bounded_delays_never_trip_a_generous_watchdog() {
         assert_eq!(f.factored_tiles(), reference.factored_tiles());
     }
 }
+
+/// Mixed-plan service chaos: one service runs a queue that alternates
+/// between two *different* plans (shape, tile size, inner blocking, tree,
+/// kernel family), with a hand-built per-attempt fault schedule. The fused
+/// groups span both plans (`mixed_groups` moves); injected panics stay
+/// contained to exactly the addressed attempt of the addressed item;
+/// retries match the injected transient chains exactly; and every clean or
+/// retried item is bitwise identical to its own fault-free reference.
+#[test]
+fn mixed_plan_service_chaos_contains_faults_and_retries_exactly() {
+    let _serial = serial();
+    let config_a = QrConfig::new(4)
+        .with_algorithm(Algorithm::Greedy)
+        .with_family(KernelFamily::TT);
+    let config_b = QrConfig::new(5)
+        .with_algorithm(Algorithm::FlatTree)
+        .with_family(KernelFamily::TS)
+        .with_inner_block(2);
+    let plan_a = Arc::new(QrPlan::<f64>::new(20, 12, config_a).expect("valid shape"));
+    let plan_b = Arc::new(QrPlan::<f64>::new(15, 15, config_b).expect("valid shape"));
+    let dag_a = TaskDag::build(
+        &elimination_list_for(Algorithm::Greedy, plan_a.tile_rows(), plan_a.tile_cols()),
+        KernelFamily::TT,
+    );
+    let dag_b = TaskDag::build(
+        &elimination_list_for(Algorithm::FlatTree, plan_b.tile_rows(), plan_b.tile_cols()),
+        KernelFamily::TS,
+    );
+
+    const ITEMS: usize = 8;
+    let plan_of = |idx: usize| {
+        if idx % 2 == 0 {
+            (&plan_a, &config_a)
+        } else {
+            (&plan_b, &config_b)
+        }
+    };
+    let mut rng = Rng::seed_from_u64(0xC0FFEE_A11);
+    let mats: Vec<Matrix<f64>> = (0..ITEMS)
+        .map(|idx| {
+            let (plan, _) = plan_of(idx);
+            random_matrix(plan.m(), plan.n(), rng.next_u64())
+        })
+        .collect();
+    // Fault-free references, computed before the plan is armed.
+    let references: Vec<_> = (0..ITEMS)
+        .map(|idx| qr_factorize(&mats[idx], *plan_of(idx).1))
+        .collect();
+
+    let ctx = QrContext::with_scheduler(THREADS, SchedulerKind::default()).unwrap();
+    let service = QrService::new(ctx, chaos_service_config()).unwrap();
+    let base_seq = service.stats().submitted;
+
+    // Hand-built schedule keyed on (seq, attempt) probe coordinates —
+    // submissions below are serial, so item `idx` gets seq `base_seq + idx`.
+    // Item 1 (plan B): 2-panic transient chain, fits the retry budget.
+    // Item 4 (plan A): 3-panic chain, exhausts the budget and surfaces.
+    // Item 6 (plan A): a bounded delay only — must not retry at all.
+    let task_b = dag_b.len() / 2;
+    let task_a = dag_a.len() / 3;
+    let seq1 = base_seq + 1;
+    let seq4 = base_seq + 4;
+    let seq6 = base_seq + 6;
+    let faults = FaultPlan::new()
+        .panic_at(probe_id(seq1, 0), task_b)
+        .panic_at(probe_id(seq1, 1), task_b)
+        .panic_at(probe_id(seq4, 0), task_a)
+        .panic_at(probe_id(seq4, 1), task_a)
+        .panic_at(probe_id(seq4, 2), task_a)
+        .delay_at(probe_id(seq6, 0), 0, Duration::from_millis(1));
+    let armed = faults.install();
+
+    let client = service.client();
+    let tickets: Vec<_> = (0..ITEMS)
+        .map(|idx| {
+            let (plan, _) = plan_of(idx);
+            client
+                .submit(plan, mats[idx].clone())
+                .expect("generous admission accepts the mixed burst")
+        })
+        .collect();
+    // Serial submission makes the seq ↔ item mapping exact.
+    for (idx, t) in tickets.iter().enumerate() {
+        assert_eq!(t.seq(), base_seq + idx as u64, "serial submission order");
+    }
+    let outcomes: Vec<Result<_, QrError>> = tickets.into_iter().map(|t| t.wait()).collect();
+    drop(armed);
+
+    for (idx, outcome) in outcomes.iter().enumerate() {
+        let seq = base_seq + idx as u64;
+        if seq == seq4 {
+            // The exhausted chain surfaces the *last* attempt's injected
+            // panic with the faulted task's kind.
+            match outcome {
+                Err(QrError::TaskPanicked { kind, message }) => {
+                    assert_eq!(*kind, dag_a.tasks[task_a].kind, "item {idx}");
+                    let probe = probe_id(seq4, SERVICE_RETRIES);
+                    let expect = format!("injected fault at (copy {probe}, task {task_a})");
+                    assert!(message.contains(&expect), "item {idx}: got {message:?}");
+                }
+                other => panic!("item {idx}: exhausted chain resolved as {other:?}"),
+            }
+        } else {
+            let f = outcome
+                .as_ref()
+                .unwrap_or_else(|e| panic!("item {idx} (seq {seq}) failed: {e:?}"));
+            assert_eq!(
+                f.factored_tiles(),
+                references[idx].factored_tiles(),
+                "item {idx} (seq {seq}) diverged bitwise from its fault-free reference"
+            );
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted - base_seq, ITEMS as u64);
+    assert_eq!(stats.completed, ITEMS as u64 - 1);
+    assert_eq!(stats.failed, 1);
+    // Exactly the injected transient budget: 2 for the recovered chain,
+    // SERVICE_RETRIES for the exhausted one, nothing for the delay.
+    assert_eq!(stats.retries, 2 + u64::from(SERVICE_RETRIES));
+    assert!(
+        stats.mixed_groups >= 1,
+        "the alternating two-plan queue must fuse into mixed groups: {stats:?}"
+    );
+    assert_eq!(service.queue_depth(), 0, "no residue after the round");
+}

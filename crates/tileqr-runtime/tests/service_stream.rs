@@ -392,3 +392,161 @@ fn submissions_after_shutdown_are_rejected_with_service_shutdown() {
         other => panic!("expected ServiceShutdown from the blocking path, got {other:?}"),
     }
 }
+
+/// The tentpole through the public API: three tenants each submitting their
+/// own shape concurrently. The linger window coalesces the backlog into
+/// fused groups that span plans (`mixed_groups` moves), and every item is
+/// bitwise identical to its own sequential single-plan reference.
+#[test]
+fn mixed_shape_submissions_coalesce_and_stay_bitwise_identical() {
+    let shapes: [(usize, usize, usize); 3] = [(M, N, NB), (30, 20, 5), (26, 26, 6)];
+    let plans: Vec<Arc<QrPlan<f64>>> = shapes
+        .iter()
+        .map(|&(m, n, nb)| Arc::new(QrPlan::new(m, n, QrConfig::new(nb)).expect("valid shape")))
+        .collect();
+    let ctx = QrContext::new(4).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_max_group(8)
+            .with_linger(Duration::from_millis(50)),
+    )
+    .unwrap();
+    let clients: Vec<_> = (0..3).map(|_| service.client()).collect();
+    // 4 items per tenant, interleaved, all queued well inside one linger
+    // window — the dispatcher must fuse across the three plans.
+    let mats: Vec<Matrix<f64>> = (0..12)
+        .map(|i| {
+            let (m, n, _) = shapes[i % 3];
+            random_matrix(m, n, 7_700 + i as u64)
+        })
+        .collect();
+    let tickets: Vec<_> = mats
+        .iter()
+        .enumerate()
+        .map(|(i, a)| clients[i % 3].submit(&plans[i % 3], a.clone()).unwrap())
+        .collect();
+    let seq = QrContext::new(1).unwrap();
+    for (i, (ticket, a)) in tickets.into_iter().zip(&mats).enumerate() {
+        let f = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("item {i} failed: {e:?}"));
+        let reference = seq.factorize(&plans[i % 3], a).unwrap();
+        assert_eq!(
+            f.factored_tiles(),
+            reference.factored_tiles(),
+            "item {i} (plan {}) must be bitwise identical to its sequential reference",
+            i % 3
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.failed, 0);
+    assert!(
+        stats.mixed_groups >= 1,
+        "a coalesced mixed-shape backlog must fuse across plans, not fragment \
+         into per-plan jobs: {stats:?}"
+    );
+    assert!(
+        stats.group_items > stats.groups,
+        "fused groups must carry more than one item on average: {stats:?}"
+    );
+}
+
+/// The DRR fairness-skew fix: each lane's quantum is its **own** head-of-line
+/// cost. A tenant flooding small-plan items can no longer burn a budget
+/// inflated by another tenant's large plan, so the large item lands in the
+/// *first* fused group (mixed across plans) instead of waiting behind the
+/// whole flood.
+#[test]
+fn per_lane_quantum_keeps_a_small_plan_flood_from_crowding_out_a_large_item() {
+    let small = plan();
+    let large = blocker_plan();
+    // threads = 1: the first (blocker) submission pins the dispatcher while
+    // the mixed backlog queues up behind it.
+    let ctx = QrContext::new(1).unwrap();
+    let service = QrService::new(
+        ctx,
+        ServiceConfig::default()
+            .with_queue_capacity(64)
+            .with_client_quota(64)
+            .with_max_group(8),
+    )
+    .unwrap();
+    let flooder = service.client();
+    let tenant_b = service.client();
+    let blocker = flooder
+        .submit(&large, random_matrix(256, 192, 7_900))
+        .unwrap();
+    wait_until_drained_queue(&service);
+    // Backlog while the dispatcher is busy: 8 small items from the flooder,
+    // one large item from tenant B. Under the old global-max quantum the
+    // flooder's lane could afford the whole flood in one visit and the first
+    // group came out single-plan.
+    let small_mats: Vec<Matrix<f64>> = (0..8).map(|i| random_matrix(M, N, 7_910 + i)).collect();
+    let small_tickets: Vec<_> = small_mats
+        .iter()
+        .map(|a| flooder.submit(&small, a.clone()).unwrap())
+        .collect();
+    let big = random_matrix(256, 192, 7_950);
+    let big_ticket = tenant_b.submit(&large, big.clone()).unwrap();
+    assert!(blocker.wait().is_ok());
+    let seq = QrContext::new(1).unwrap();
+    for (i, (ticket, a)) in small_tickets.into_iter().zip(&small_mats).enumerate() {
+        let f = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("small item {i} failed: {e:?}"));
+        assert_eq!(
+            f.factored_tiles(),
+            seq.factorize(&small, a).unwrap().factored_tiles(),
+            "small item {i} diverged bitwise"
+        );
+    }
+    let f = big_ticket.wait().expect("large item resolves");
+    assert_eq!(
+        f.factored_tiles(),
+        seq.factorize(&large, &big).unwrap().factored_tiles(),
+        "large item diverged bitwise"
+    );
+    let stats = service.stats();
+    assert!(
+        stats.mixed_groups >= 1,
+        "per-lane quantum must admit the large-plan tenant into the first \
+         fused group instead of letting the flood burst past it: {stats:?}"
+    );
+}
+
+/// The dispatcher-stall fix: per-item tiling happens inside the fused job
+/// (worker-side), so admission latency stays bounded while a large group
+/// launches — submit is a queue push, never an O(group · m · n) wait.
+#[test]
+fn admission_stays_responsive_while_a_large_group_launches() {
+    let large = blocker_plan();
+    let ctx = QrContext::new(2).unwrap();
+    let service = QrService::new(ctx, ServiceConfig::default().with_max_group(4)).unwrap();
+    let client = service.client();
+    let tickets: Vec<_> = (0..4u64)
+        .map(|i| {
+            client
+                .submit(&large, random_matrix(256, 192, 7_960 + i))
+                .unwrap()
+        })
+        .collect();
+    // The group has been picked up (and with worker-side tiling, the
+    // dispatcher handed the dense inputs straight to the pool).
+    wait_until_drained_queue(&service);
+    // Pre-generate so only admission itself is timed.
+    let extra_mat = random_matrix(256, 192, 7_970);
+    let t0 = Instant::now();
+    let extra = client.submit(&large, extra_mat).unwrap();
+    let latency = t0.elapsed();
+    assert!(
+        latency < Duration::from_millis(250),
+        "admission blocked for {latency:?} while a large group was launching"
+    );
+    for (i, t) in tickets.into_iter().enumerate() {
+        t.wait()
+            .unwrap_or_else(|e| panic!("group item {i} failed: {e:?}"));
+    }
+    extra.wait().expect("late submission resolves");
+}
